@@ -1,0 +1,81 @@
+// Ablation: mutation kernels.
+//
+// The paper's gen_new_strat() draws a completely fresh random strategy
+// (global exploration). The literature the validation study rests on uses a
+// U-shaped distribution (near-deterministic mutants), and evolutionary
+// computation commonly uses *local* kernels (bit flips, Gaussian
+// perturbation). This bench runs the identical noisy mixed memory-one
+// workload under each kernel and reports where the population ends up —
+// showing that the Fig. 2 WSLS result depends on mutants being able to
+// reach deterministic corners.
+#include <iostream>
+
+#include "analysis/coop.hpp"
+#include "core/engine.hpp"
+#include "game/named.hpp"
+#include "pop/stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("ablation_mutation_kernels",
+                "fresh-uniform vs U-shaped vs Gaussian-local mutants");
+  auto ssets = cli.opt<int>("ssets", 32, "number of SSets");
+  auto gens = cli.opt<std::int64_t>("generations", 400000, "generations");
+  auto seed = cli.opt<std::uint64_t>("seed", 11, "random seed");
+  cli.parse(argc, argv);
+
+  core::SimConfig base;
+  base.memory = 1;
+  base.ssets = static_cast<pop::SSetId>(*ssets);
+  base.generations = static_cast<std::uint64_t>(*gens);
+  base.space = pop::StrategySpace::Mixed;
+  base.game.noise = 0.02;
+  base.pc_rate = 1.0;
+  base.mutation_rate = 0.02;
+  base.beta = 10.0;
+  base.seed = *seed;
+  base.fitness_mode = core::FitnessMode::Analytic;
+
+  std::cout << "mutation-kernel ablation — " << base.summary() << "\n\n";
+
+  struct Row {
+    const char* name;
+    pop::MutationKernel kernel;
+  };
+  const Row rows[] = {
+      {"uniform (paper gen_new_strat)", pop::MutationKernel::UniformProbs},
+      {"U-shaped (Nowak&Sigmund 1993)", pop::MutationKernel::UShapedProbs},
+      {"Gaussian local (sigma 0.1)", pop::MutationKernel::MixedGaussian},
+  };
+
+  const game::Strategy wsls = game::named::win_stay_lose_shift(1);
+  util::TextTable table({"kernel", "WSLS share", "play coop rate",
+                         "distinct", "nearest-named", "wall (s)"});
+  for (const auto& row : rows) {
+    auto cfg = base;
+    cfg.mutation_kernel = row.kernel;
+    core::Engine engine(cfg);
+    util::Timer t;
+    engine.run_all();
+    const auto& pop = engine.population();
+    const auto coop = analysis::expected_play_cooperation(pop, cfg.game);
+    const auto c = pop::census(pop);
+    const auto [name, dist] =
+        game::named::nearest_named(pop.strategy(c.front().example));
+    char wshare[16], crate[16], wall[16];
+    std::snprintf(wshare, sizeof wshare, "%.1f%%",
+                  100.0 * pop::fraction_near(pop, wsls, 0.25));
+    std::snprintf(crate, sizeof crate, "%.3f", coop.mean_coop_rate);
+    std::snprintf(wall, sizeof wall, "%.1f", t.seconds());
+    table.add_row({row.name, wshare, crate, std::to_string(c.size()), name,
+                   wall});
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: reaching the WSLS corner requires mutants with "
+               "near-deterministic entries; uniform mutants keep the "
+               "population sloppy and exploitable.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared plumbing for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "machine/costmodel.hpp"
+#include "machine/perfsim.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace egt::bench {
+
+/// Resolve the kernel cost table: the baked-in reference by default, a
+/// fresh measurement of this host when --calibrate is passed.
+inline machine::RoundCostTable resolve_costs(bool calibrate) {
+  if (!calibrate) return machine::default_round_costs();
+  std::fprintf(stderr, "calibrating game kernel on this host...\n");
+  return machine::calibrate_host();
+}
+
+inline void print_header(const std::string& title, const std::string& what) {
+  std::cout << "==================================================\n"
+            << title << "\n"
+            << what << "\n"
+            << "==================================================\n";
+}
+
+inline std::string seconds_str(double s) {
+  char buf[32];
+  if (s >= 100) {
+    std::snprintf(buf, sizeof buf, "%.0f", s);
+  } else if (s >= 1) {
+    std::snprintf(buf, sizeof buf, "%.2f", s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3g", s);
+  }
+  return buf;
+}
+
+inline std::string pct_str(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * frac);
+  return buf;
+}
+
+}  // namespace egt::bench

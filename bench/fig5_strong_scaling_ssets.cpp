@@ -1,0 +1,74 @@
+// Figure 5 reproduction: strong-scaling efficiency as a function of the
+// population size (number of SSets), baseline 256 processors.
+//
+// Paper's finding: small populations leave processors starved — when the
+// computation per processor drops below the population-dynamics overhead,
+// efficiency falls; larger populations scale better.
+#include <memory>
+
+#include "bench_common.hpp"
+
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("fig5_strong_scaling_ssets",
+                "Fig. 5: strong scaling efficiency vs population size");
+  auto calibrate = cli.flag("calibrate", "re-measure kernel costs first");
+  auto nature_us = cli.opt<double>(
+      "nature-overhead-us", 5000.0,
+      "serialized Nature bookkeeping per generation (paper-implied ~5ms; "
+      "see EXPERIMENTS.md)");
+  auto csv_path = cli.opt<std::string>("csv", "", "also write CSV here");
+  cli.parse(argc, argv);
+
+  const auto costs = bench::resolve_costs(*calibrate);
+  const machine::PerfSimulator sim(machine::bluegene_l(), costs);
+
+  machine::Workload w;
+  w.memory = 1;
+  w.generations = 100;
+  w.pc_rate = 0.01;
+  w.mutation_rate = 0.05;
+  w.nature_overhead_us = *nature_us;
+
+  constexpr std::uint64_t kSsets[6] = {1024, 2048, 4096, 8192, 16384, 32768};
+  constexpr std::uint64_t kProcs[4] = {256, 512, 1024, 2048};
+
+  bench::print_header(
+      "Figure 5 — strong-scaling efficiency vs number of SSets",
+      "baseline 256 processors; simulated BlueGene/L, memory-one");
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!csv_path->empty()) {
+    csv = std::make_unique<util::CsvWriter>(
+        *csv_path, std::vector<std::string>{"ssets", "procs", "efficiency"});
+  }
+
+  util::TextTable table({"SSets", "256p", "512p", "1024p", "2048p"});
+  std::vector<double> eff_at_2048;
+  for (auto ssets : kSsets) {
+    w.ssets = ssets;
+    const auto base = sim.simulate(w, kProcs[0]);
+    std::vector<std::string> row{std::to_string(ssets)};
+    for (auto procs : kProcs) {
+      const auto rep = sim.simulate(w, procs);
+      const double eff = machine::strong_scaling_efficiency(base, rep);
+      if (procs == 2048) eff_at_2048.push_back(eff);
+      row.push_back(bench::pct_str(eff));
+      if (csv) {
+        csv->row({static_cast<double>(ssets), static_cast<double>(procs), eff});
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper claim: efficiency improves with population size "
+               "(more compute per processor relative to the population-"
+               "dynamics overhead).\nmodel 2,048-proc efficiency, smallest "
+               "-> largest population: "
+            << bench::pct_str(eff_at_2048.front()) << " -> "
+            << bench::pct_str(eff_at_2048.back()) << "\n";
+  return 0;
+}

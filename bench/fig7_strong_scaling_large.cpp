@@ -1,0 +1,79 @@
+// Figure 7 reproduction: large-system strong scaling on Blue Gene/P —
+// fixed population, 1,024 up to 262,144 processors. The paper reports 99%
+// efficiency through 16,384 processors and 82% at 262,144, plus ~15%
+// degradation on the non-power-of-two 294,912-processor (72-rack)
+// partition (§VI-D).
+#include <memory>
+
+#include "bench_common.hpp"
+
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("fig7_strong_scaling_large",
+                "Fig. 7: strong scaling to 262,144 processors");
+  auto calibrate = cli.flag("calibrate", "re-measure kernel costs first");
+  auto csv_path = cli.opt<std::string>("csv", "", "also write CSV here");
+  cli.parse(argc, argv);
+
+  const auto costs = bench::resolve_costs(*calibrate);
+  const machine::PerfSimulator sim(machine::bluegene_p(), costs);
+
+  // Fixed problem: the 1,024-processor weak-scaling workload kept constant
+  // while processors grow (4,096 SSets/proc at the base).
+  machine::Workload w;
+  w.memory = 6;
+  w.ssets = 4096 * 1024;
+  w.games_per_sset = 1;
+  w.generations = 1000;
+  w.pc_rate = 0.01;
+  w.mutation_rate = 0.05;
+
+  // The paper's tested partitions plus the 72-rack non-power-of-two run.
+  constexpr std::uint64_t kProcs[6] = {1024,  2048,   8192,
+                                       16384, 262144, 294912};
+
+  bench::print_header(
+      "Figure 7 — strong scaling for large systems (simulated BG/P)",
+      "fixed population of 4,194,304 SSets, memory-six, 1,000 generations");
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!csv_path->empty()) {
+    csv = std::make_unique<util::CsvWriter>(
+        *csv_path, std::vector<std::string>{"procs", "seconds", "efficiency",
+                                            "comm_fraction"});
+  }
+
+  util::TextTable table({"procs", "runtime (s)", "speedup", "efficiency",
+                         "comm %", "torus", "note"});
+  const auto base = sim.simulate(w, kProcs[0]);
+  for (auto procs : kProcs) {
+    const auto rep = sim.simulate(w, procs);
+    const double eff = machine::strong_scaling_efficiency(base, rep);
+    const double speedup = base.total_seconds / rep.total_seconds;
+    char sp[32];
+    std::snprintf(sp, sizeof sp, "%.1fx", speedup);
+    const machine::Torus3D torus(procs);
+    table.add_row({std::to_string(procs),
+                   bench::seconds_str(rep.total_seconds), sp,
+                   bench::pct_str(eff), bench::pct_str(rep.comm_fraction()),
+                   torus.to_string(),
+                   rep.mapping_penalty > 1.0 ? "non-pow2 (72 racks)" : ""});
+    if (csv) {
+      csv->row({static_cast<double>(procs), rep.total_seconds, eff,
+                rep.comm_fraction()});
+    }
+  }
+  table.print(std::cout);
+
+  const auto e16k = machine::strong_scaling_efficiency(
+      base, sim.simulate(w, 16384));
+  const auto e262k = machine::strong_scaling_efficiency(
+      base, sim.simulate(w, 262144));
+  std::cout << "\npaper: 99% efficiency through 16,384 procs, 82% at "
+               "262,144, ~15% degradation at 294,912.\nmodel:  "
+            << bench::pct_str(e16k) << " at 16,384; " << bench::pct_str(e262k)
+            << " at 262,144.\n";
+  return 0;
+}

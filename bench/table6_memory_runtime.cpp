@@ -1,0 +1,110 @@
+// Table VI reproduction: full-simulation time (seconds) for 1,024 SSets and
+// 1,000 generations as memory steps go from one to six, across 128..2,048
+// Blue Gene/L processors.
+//
+// The paper measured wall clock on BG/L; we predict it with the calibrated
+// performance simulator (DESIGN.md §2) using the paper's own find_state
+// implementation (linear search), whose cost growth the paper identifies as
+// the source of the memory-step slowdown. A host-measured column (tiny real
+// run of the actual engine) validates the kernel-side growth shape.
+#include <memory>
+
+#include "bench_common.hpp"
+
+#include "core/engine.hpp"
+#include "util/csv.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+// Paper Table VI, seconds (rows memory-one..six, columns 128..2048 procs).
+constexpr double kPaper[6][5] = {
+    {26.5, 13.6, 5.9, 4.59, 4.04},     {2207, 1106, 552, 442, 277},
+    {2401, 1206, 605, 478, 305},       {3079, 1581, 824, 732, 420},
+    {7903, 4011, 2007, 1829, 1005},    {8690, 4367, 2188, 2054, 1097},
+};
+constexpr std::uint64_t kProcs[5] = {128, 256, 512, 1024, 2048};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("table6_memory_runtime",
+                "Table VI: runtime vs memory steps on simulated BG/L");
+  auto calibrate = cli.flag("calibrate", "re-measure kernel costs first");
+  auto measure = cli.opt<int>(
+      "measure-ssets", 24,
+      "SSets for the real host measurement column (0 disables)");
+  auto csv_path = cli.opt<std::string>("csv", "", "also write CSV here");
+  cli.parse(argc, argv);
+
+  const auto costs = bench::resolve_costs(*calibrate);
+  const machine::PerfSimulator sim(machine::bluegene_l(), costs);
+
+  machine::Workload w;
+  w.ssets = 1024;
+  w.generations = 1000;
+  w.pc_rate = 0.01;  // paper §VI-B.1
+  w.mutation_rate = 0.05;
+  w.rounds = 200;
+
+  bench::print_header(
+      "Table VI — runtime (s), 1,024 SSets, 1,000 generations",
+      "model: simulated BlueGene/L, linear find_state (the paper's kernel)");
+
+  util::TextTable table({"memory", "128p", "256p", "512p", "1024p", "2048p",
+                         "paper@128p", "paper@2048p"});
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!csv_path->empty()) {
+    csv = std::make_unique<util::CsvWriter>(
+        *csv_path, std::vector<std::string>{"memory", "procs", "model_seconds",
+                                            "paper_seconds"});
+  }
+
+  for (int memory = 1; memory <= 6; ++memory) {
+    w.memory = memory;
+    std::vector<std::string> row{"memory-" + std::to_string(memory)};
+    for (int c = 0; c < 5; ++c) {
+      const auto rep =
+          sim.simulate(w, kProcs[c], game::LookupMode::LinearSearch);
+      row.push_back(bench::seconds_str(rep.total_seconds));
+      if (csv) {
+        csv->row({static_cast<double>(memory), static_cast<double>(kProcs[c]),
+                  rep.total_seconds, kPaper[memory - 1][c]});
+      }
+    }
+    row.push_back(bench::seconds_str(kPaper[memory - 1][0]));
+    row.push_back(bench::seconds_str(kPaper[memory - 1][4]));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  if (*measure > 0) {
+    std::cout << "\nhost validation: real engine, " << *measure
+              << " SSets, 3 generations, sampled fitness, linear find_state\n";
+    util::TextTable mt({"memory", "seconds/generation", "vs memory-1"});
+    double base = 0.0;
+    for (int memory = 1; memory <= 6; ++memory) {
+      core::SimConfig cfg;
+      cfg.memory = memory;
+      cfg.ssets = static_cast<pop::SSetId>(*measure);
+      cfg.generations = 3;
+      cfg.pc_rate = 0.01;
+      cfg.lookup = game::LookupMode::LinearSearch;
+      cfg.fitness_mode = core::FitnessMode::Sampled;
+      core::Engine engine(cfg);
+      util::Timer t;
+      engine.run_all();
+      const double per_gen = t.seconds() / 3.0;
+      if (memory == 1) base = per_gen;
+      mt.add_row("memory-" + std::to_string(memory),
+                 {per_gen, per_gen / base});
+    }
+    mt.print(std::cout);
+  }
+
+  std::cout << "\nreading: absolute seconds are a machine model; the "
+               "reproduction targets are the growth with memory steps and "
+               "the per-row drop with processor count (see EXPERIMENTS.md).\n";
+  return 0;
+}

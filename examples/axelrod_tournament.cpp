@@ -1,0 +1,61 @@
+// Axelrod-style round-robin tournament (paper §III-B): the named strategies
+// of the cooperation literature play everyone else; with errors switched on
+// the ranking reshuffles — the effect that motivates memory-n strategies.
+//
+//   ./axelrod_tournament [--noise 0.02] [--memory 2] [--repetitions 5]
+#include <cstdio>
+#include <iostream>
+
+#include "game/tournament.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("axelrod_tournament", "round-robin of named strategies");
+  auto memory = cli.opt<int>("memory", 1, "memory depth (1..6)");
+  auto noise = cli.opt<double>("noise", 0.0, "execution error rate");
+  auto reps = cli.opt<int>("repetitions", 5,
+                           "games per pair (Axelrod played five)");
+  cli.parse(argc, argv);
+
+  const auto entries = game::named::full_catalog(*memory);
+  game::TournamentConfig cfg;
+  cfg.game.payoff = game::axelrod_payoff();  // Axelrod's [3,0,5,1]
+  cfg.game.noise = *noise;
+  cfg.repetitions = static_cast<std::uint32_t>(*reps);
+  cfg.include_self_play = false;
+
+  std::printf("Axelrod tournament: %zu strategies, memory-%d, noise %.3f, "
+              "%d repetitions\n\n",
+              entries.size(), *memory, *noise, *reps);
+  const auto noiseless = run_tournament(entries, *memory, cfg);
+  std::cout << format_ranking(noiseless);
+  std::printf(
+      "\nwith unconditional cooperators on the menu, ALLD feasts — "
+      "Axelrod's point was that *fields of retaliators* flip this:\n\n");
+
+  // The same tournament without the exploitable entries.
+  std::vector<game::named::NamedStrategy> retaliators;
+  for (const auto& e : entries) {
+    if (e.name != "ALLC" && e.name != "FBF" && e.name != "RANDOM") {
+      retaliators.push_back(e);
+    }
+  }
+  const auto guarded = run_tournament(retaliators, *memory, cfg);
+  std::cout << format_ranking(guarded);
+
+  if (*noise == 0.0) {
+    // Show the paper's §III-E point without extra flags: repeat with errors.
+    cfg.game.noise = 0.02;
+    std::printf("\nretaliator field with 2%% execution errors:\n");
+    const auto noisy = run_tournament(retaliators, *memory, cfg);
+    std::cout << format_ranking(noisy);
+    std::printf(
+        "\nerrors reshuffle the table: TFT pairs dissolve into feuds "
+        "(watch its cooperation rate drop) while forgiving rules (CTFT, "
+        "GTFT) keep cooperating. Which rule *wins* depends on the field — "
+        "exactly why round robins are not enough and the paper simulates "
+        "evolving populations (§III-E, §VI-A).\n");
+  }
+  return 0;
+}

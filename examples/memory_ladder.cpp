@@ -1,0 +1,74 @@
+// Memory ladder: does remembering more help? Evolve populations at
+// memory-1..6 under identical conditions and compare the cooperation level
+// they reach — the scientific question (Brunauer et al. 2007) that
+// motivates the paper's memory-six capability.
+//
+//   ./memory_ladder [--ssets 32] [--generations 20000]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "pop/stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("memory_ladder",
+                "cooperation reached at each memory depth 1..6");
+  auto ssets = cli.opt<int>("ssets", 32, "number of SSets");
+  auto gens = cli.opt<std::int64_t>("generations", 20000, "generations");
+  auto max_memory = cli.opt<int>("max-memory", 6, "deepest memory to try");
+  auto seeds = cli.opt<int>("seeds", 3, "independent runs per depth");
+  cli.parse(argc, argv);
+
+  std::printf("memory ladder: %d SSets, %lld generations, %d seeds per "
+              "depth, pure strategies, exact fitness\n\n",
+              *ssets, static_cast<long long>(*gens), *seeds);
+
+  util::TextTable table({"memory", "strategies (2^4^n)", "mean coop prob",
+                         "dominant share", "distinct", "wall (s)"});
+  for (int memory = 1; memory <= *max_memory; ++memory) {
+    double coop = 0.0, dominant = 0.0, distinct = 0.0;
+    util::Timer t;
+    for (int s = 0; s < *seeds; ++s) {
+      core::SimConfig cfg;
+      cfg.memory = memory;
+      cfg.ssets = static_cast<pop::SSetId>(*ssets);
+      cfg.generations = static_cast<std::uint64_t>(*gens);
+      cfg.pc_rate = 0.1;
+      cfg.mutation_rate = 0.05;
+      cfg.beta = 10.0;
+      cfg.seed = 1000 + static_cast<std::uint64_t>(s);
+      cfg.fitness_mode = core::FitnessMode::Analytic;
+      core::Engine engine(cfg);
+      engine.run_all();
+      coop += pop::mean_coop_probability(engine.population());
+      dominant += pop::dominant_fraction(engine.population());
+      distinct += static_cast<double>(
+          pop::distinct_strategies(engine.population()));
+    }
+    const double n = *seeds;
+    char space[32];
+    if (memory <= 2) {
+      std::snprintf(space, sizeof space, "%.0f",
+                    std::pow(2.0, game::num_states(memory)));
+    } else {
+      std::snprintf(space, sizeof space, "2^%u", game::num_states(memory));
+    }
+    auto num = [](double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3g", v);
+      return std::string(buf);
+    };
+    table.add_row({"memory-" + std::to_string(memory), space, num(coop / n),
+                   num(dominant / n), num(distinct / n), num(t.seconds())});
+  }
+  table.print(std::cout);
+  std::printf("\nreading: deeper memory expands the reachable strategy "
+              "space (Table IV of the paper); whether that helps "
+              "cooperation is exactly what large simulations probe.\n");
+  return 0;
+}

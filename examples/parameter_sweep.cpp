@@ -1,0 +1,78 @@
+// Parameter sweep: map the (selection intensity beta) x (mutation rate mu)
+// plane and record where cooperation lives — the kind of production study
+// the paper's framework is built to enable for domain scientists. Results
+// land in a CSV for plotting; a coarse ASCII heat map prints immediately.
+//
+//   ./parameter_sweep [--ssets 24] [--generations 30000] [--csv sweep.csv]
+#include <cstdio>
+#include <vector>
+
+#include "analysis/coop.hpp"
+#include "core/engine.hpp"
+#include "pop/stats.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("parameter_sweep", "cooperation across the (beta, mu) plane");
+  auto ssets = cli.opt<int>("ssets", 24, "number of SSets");
+  auto gens = cli.opt<std::int64_t>("generations", 30000,
+                                    "generations per cell");
+  auto seeds = cli.opt<int>("seeds", 2, "independent runs per cell");
+  auto csv_path = cli.opt<std::string>("csv", "sweep.csv", "output CSV");
+  cli.parse(argc, argv);
+
+  const std::vector<double> betas{0.1, 0.5, 1.0, 3.0, 10.0, 30.0};
+  const std::vector<double> mus{0.002, 0.01, 0.05, 0.2};
+
+  util::CsvWriter csv(*csv_path, {"beta", "mu", "seed", "play_cooperation",
+                                  "dominant_fraction", "distinct"});
+
+  std::printf("sweeping %zu x %zu cells, %d seed(s), %d SSets, %lld "
+              "generations each\n\n",
+              betas.size(), mus.size(), *seeds, *ssets,
+              static_cast<long long>(*gens));
+  std::printf("play-cooperation heat map (rows: mu, columns: beta)\n");
+  std::printf("%8s", "mu\\beta");
+  for (double b : betas) std::printf("%7.1f", b);
+  std::printf("\n");
+
+  for (double mu : mus) {
+    std::printf("%8.3f", mu);
+    for (double beta : betas) {
+      double coop_sum = 0.0;
+      for (int s = 0; s < *seeds; ++s) {
+        core::SimConfig cfg;
+        cfg.memory = 1;
+        cfg.ssets = static_cast<pop::SSetId>(*ssets);
+        cfg.generations = static_cast<std::uint64_t>(*gens);
+        cfg.space = pop::StrategySpace::Mixed;
+        cfg.mutation_kernel = pop::MutationKernel::UShapedProbs;
+        cfg.game.noise = 0.02;
+        cfg.pc_rate = 1.0;
+        cfg.mutation_rate = mu;
+        cfg.beta = beta;
+        cfg.seed = 7000 + static_cast<std::uint64_t>(s);
+        cfg.fitness_mode = core::FitnessMode::Analytic;
+        core::Engine engine(cfg);
+        engine.run_all();
+        const auto coop = analysis::expected_play_cooperation(
+            engine.population(), cfg.game);
+        coop_sum += coop.mean_coop_rate;
+        csv.row({beta, mu, static_cast<double>(s), coop.mean_coop_rate,
+                 pop::dominant_fraction(engine.population()),
+                 static_cast<double>(
+                     pop::distinct_strategies(engine.population()))});
+      }
+      std::printf("%7.2f", coop_sum / *seeds);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nCSV written: %s\n", csv_path->c_str());
+  std::printf("reading: strong selection + rare mutation finds and holds "
+              "cooperative (WSLS-like) rules; weak selection or heavy "
+              "mutation keeps the population noisy.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: play a single Iterated Prisoner's Dilemma, then evolve a
+// small population for a few thousand generations — the whole public API
+// surface in ~60 lines.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "game/ipd.hpp"
+#include "game/named.hpp"
+#include "pop/stats.hpp"
+
+int main() {
+  using namespace egt;
+
+  // --- 1. one game: TFT vs WSLS, 200 rounds, the paper's payoffs ---------
+  const game::IpdEngine ipd(/*memory=*/1);  // defaults: [3,0,4,1], 200 rounds
+  const auto result = ipd.play(game::named::tit_for_tat(1),
+                               game::named::win_stay_lose_shift(1),
+                               util::StreamRng(/*seed=*/1, /*key=*/0));
+  std::printf("TFT vs WSLS over %u rounds: %.0f vs %.0f (%.0f%% cooperation)\n",
+              result.rounds, result.payoff_a, result.payoff_b,
+              100.0 * result.coop_rate());
+
+  // --- 2. one evolutionary run -------------------------------------------
+  core::SimConfig cfg;
+  cfg.memory = 1;          // memory-one strategies (4 states, 16 pure rules)
+  cfg.ssets = 64;          // 64 strategy sets
+  cfg.generations = 5000;  // evolve for 5,000 generations
+  cfg.pc_rate = 0.1;       // pairwise-comparison (Fermi) learning rate
+  cfg.mutation_rate = 0.05;
+  cfg.beta = 10.0;         // selection intensity
+  cfg.seed = 42;
+  cfg.fitness_mode = core::FitnessMode::Analytic;  // exact expected payoffs
+
+  core::Engine engine(cfg);
+  engine.run_all();
+
+  const auto& pop = engine.population();
+  std::printf("\nafter %llu generations (%u SSets):\n",
+              static_cast<unsigned long long>(engine.generation()),
+              pop.size());
+  std::printf("%s", pop::format_census(pop, 3).c_str());
+  std::printf("mean cooperation probability: %.3f\n",
+              pop::mean_coop_probability(pop));
+  return 0;
+}

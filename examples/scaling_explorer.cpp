@@ -1,0 +1,87 @@
+// Scaling explorer: interactive front-end to the Blue Gene performance
+// model. Ask "what would my workload cost on p processors of BG/L or BG/P?"
+// and get the compute/communication decomposition, memory feasibility, and
+// scaling efficiency — the tool a domain scientist would use to size a run
+// before burning an allocation.
+//
+//   ./scaling_explorer --machine bgp --ssets 1e6 --memory 6 \
+//       --procs 1024,4096,65536
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "machine/perfsim.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+std::vector<std::uint64_t> parse_list(const std::string& csv) {
+  std::vector<std::uint64_t> out;
+  std::istringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(static_cast<std::uint64_t>(std::stod(item)));
+  }
+  return out;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("scaling_explorer", "size a run on the Blue Gene model");
+  auto machine_name =
+      cli.opt<std::string>("machine", "bgp", "bgl | bgp | host");
+  auto ssets = cli.opt<std::int64_t>("ssets", 1048576, "number of SSets");
+  auto memory = cli.opt<int>("memory", 6, "memory steps (1..6)");
+  auto gens = cli.opt<std::int64_t>("generations", 1000, "generations");
+  auto games = cli.opt<std::int64_t>(
+      "games-per-sset", 0, "opponents per SSet per generation (0=all-pairs)");
+  auto procs_csv = cli.opt<std::string>(
+      "procs", "1024,4096,16384,65536,262144", "processor counts");
+  auto pc = cli.opt<double>("pc-rate", 0.01, "pairwise comparison rate");
+  cli.parse(argc, argv);
+
+  const machine::PerfSimulator sim(machine::spec_by_name(*machine_name),
+                                   machine::default_round_costs());
+
+  machine::Workload w;
+  w.memory = *memory;
+  w.ssets = static_cast<std::uint64_t>(*ssets);
+  w.games_per_sset = static_cast<std::uint64_t>(*games);
+  w.generations = static_cast<std::uint64_t>(*gens);
+  w.pc_rate = *pc;
+
+  std::printf("workload: %llu SSets, memory-%d, %llu generations, "
+              "%llu games/SSet/gen on %s\n\n",
+              static_cast<unsigned long long>(w.ssets), w.memory,
+              static_cast<unsigned long long>(w.generations),
+              static_cast<unsigned long long>(w.resolved_games_per_sset()),
+              sim.spec().name.c_str());
+
+  util::TextTable table({"procs", "torus", "runtime", "compute %", "comm %",
+                         "MB/node", "fits", "efficiency"});
+  const auto procs = parse_list(*procs_csv);
+  machine::PerfReport base;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const auto rep = sim.simulate(w, procs[i]);
+    if (i == 0) base = rep;
+    char runtime[32], comp[16], comm[16], mem[32], eff[16];
+    std::snprintf(runtime, sizeof runtime, "%.3gs", rep.total_seconds);
+    std::snprintf(comp, sizeof comp, "%.1f%%",
+                  100.0 * rep.compute_seconds / rep.total_seconds);
+    std::snprintf(comm, sizeof comm, "%.1f%%", 100.0 * rep.comm_fraction());
+    std::snprintf(mem, sizeof mem, "%.2f",
+                  rep.memory_per_node_bytes / (1024.0 * 1024.0));
+    std::snprintf(eff, sizeof eff, "%.1f%%",
+                  100.0 * machine::strong_scaling_efficiency(base, rep));
+    table.add_row({std::to_string(procs[i]),
+                   machine::Torus3D(procs[i]).to_string(), runtime, comp,
+                   comm, mem, rep.fits_in_memory ? "yes" : "NO", eff});
+  }
+  table.print(std::cout);
+  std::printf("\n(fits = replicated strategy storage vs %s's %.0f MB/node; "
+              "efficiency is strong-scaling vs the first row)\n",
+              sim.spec().name.c_str(),
+              sim.spec().memory_per_node_bytes / (1024.0 * 1024.0));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Spatial Prisoner's Dilemma: evolution on a 2-D torus lattice, where SSets
+// play only their neighbours and imitate only their neighbours — the
+// classic structured-population extension (Nowak & May 1992) of the
+// paper's well-mixed model. Renders the lattice as ASCII frames so you can
+// watch cooperative clusters fight defector fronts.
+//
+//   ./spatial_dilemma [--width 16] [--height 16] [--generations 40000]
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "pop/stats.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+char cell_char(double coop) {
+  if (coop >= 0.75) return '#';  // strongly cooperative rule
+  if (coop >= 0.5) return '+';
+  if (coop >= 0.25) return '.';
+  return ' ';  // defector
+}
+
+void render(const egt::pop::Population& pop, int width, int height) {
+  for (int y = 0; y < height; ++y) {
+    std::fputs("  |", stdout);
+    for (int x = 0; x < width; ++x) {
+      const auto& s = pop.strategy(
+          static_cast<egt::pop::SSetId>(y * width + x));
+      double coop = 0.0;
+      for (egt::game::State st = 0; st < s.states(); ++st) {
+        coop += s.coop_prob(st);
+      }
+      std::fputc(cell_char(coop / s.states()), stdout);
+    }
+    std::fputs("|\n", stdout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("spatial_dilemma", "evolution on a torus lattice");
+  auto width = cli.opt<int>("width", 16, "lattice width (>= 3)");
+  auto height = cli.opt<int>("height", 16, "lattice height (>= 3)");
+  auto gens = cli.opt<std::int64_t>("generations", 40000, "generations");
+  auto frames = cli.opt<int>("frames", 4, "lattice snapshots to print");
+  auto moore = cli.flag("moore", "8-neighbourhood instead of 4");
+  cli.parse(argc, argv);
+
+  core::SimConfig cfg;
+  cfg.memory = 1;
+  cfg.ssets = static_cast<pop::SSetId>(*width * *height);
+  cfg.generations = static_cast<std::uint64_t>(*gens);
+  cfg.pc_rate = 1.0;
+  cfg.mutation_rate = 0.05;
+  cfg.beta = 10.0;
+  cfg.seed = 1992;  // Nowak & May's year
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.interaction.kind = core::InteractionSpec::Kind::Lattice2D;
+  cfg.interaction.lattice_width = static_cast<pop::SSetId>(*width);
+  cfg.interaction.moore = *moore;
+
+  std::printf("spatial PD on a %dx%d torus (%s neighbourhood)\n%s\n\n",
+              *width, *height, *moore ? "Moore" : "von Neumann",
+              cfg.summary().c_str());
+  std::printf("legend: '#' cooperative rule, '+' leaning C, '.' leaning D, "
+              "' ' defector\n\n");
+
+  core::Engine engine(cfg);
+  const std::uint64_t per_frame =
+      cfg.generations / static_cast<std::uint64_t>(*frames);
+  for (int f = 0; f <= *frames; ++f) {
+    std::printf("generation %llu  (coop probability %.3f, distinct rules "
+                "%zu)\n",
+                static_cast<unsigned long long>(engine.generation()),
+                pop::mean_coop_probability(engine.population()),
+                pop::distinct_strategies(engine.population()));
+    render(engine.population(), *width, *height);
+    std::printf("\n");
+    if (f < *frames) engine.run(per_frame);
+  }
+
+  std::printf("final census:\n%s",
+              pop::format_census(engine.population(), 4).c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+// WSLS emergence (the paper's validation study at example scale): evolve
+// probabilistic memory-one strategies under execution errors and watch
+// Win-Stay Lose-Shift take over, reproducing Nowak & Sigmund (1993) and the
+// paper's Fig. 2 qualitatively in under a minute.
+//
+//   ./wsls_emergence [--ssets 96] [--generations 2e5] [--out wsls]
+#include <cstdio>
+
+#include "analysis/heatmap.hpp"
+#include "analysis/kmeans.hpp"
+#include "core/engine.hpp"
+#include "core/observer.hpp"
+#include "game/named.hpp"
+#include "pop/stats.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("wsls_emergence", "watch WSLS take over a noisy population");
+  auto ssets = cli.opt<int>("ssets", 32, "number of SSets");
+  auto gens = cli.opt<std::int64_t>("generations", 600000, "generations");
+  auto out = cli.opt<std::string>("out", "wsls", "heat-map file prefix");
+  cli.parse(argc, argv);
+
+  core::SimConfig cfg;
+  cfg.memory = 1;
+  cfg.ssets = static_cast<pop::SSetId>(*ssets);
+  cfg.generations = static_cast<std::uint64_t>(*gens);
+  cfg.space = pop::StrategySpace::Mixed;  // probabilistic strategies
+  cfg.game.noise = 0.02;                  // errors make WSLS shine
+  cfg.pc_rate = 1.0;
+  cfg.mutation_rate = 0.02;
+  cfg.beta = 10.0;
+  cfg.seed = 1993;  // Nowak & Sigmund's year
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  // U-shaped mutant probabilities (Nowak & Sigmund 1993): without mass near
+  // 0 and 1, near-deterministic rules like WSLS are never proposed.
+  cfg.mutation_kernel = pop::MutationKernel::UShapedProbs;
+
+  std::printf("evolving: %s\n\n", cfg.summary().c_str());
+
+  core::Engine engine(cfg);
+  const game::Strategy wsls = game::named::win_stay_lose_shift(1);
+
+  // Print a progress line every 5% of the run.
+  const std::uint64_t tick = std::max<std::uint64_t>(1, cfg.generations / 20);
+  core::CallbackObserver progress(
+      [&](const pop::Population& p, const core::GenerationRecord& r) {
+        if (r.generation % tick != 0) return;
+        std::printf("gen %9llu: coop=%.3f  WSLS-like=%4.1f%%  distinct=%zu\n",
+                    static_cast<unsigned long long>(r.generation),
+                    pop::mean_coop_probability(p),
+                    100.0 * pop::fraction_near(p, wsls, 0.5),
+                    pop::distinct_strategies(p));
+      });
+
+  core::SnapshotRecorder snaps({0, cfg.generations - 1});
+  core::MultiObserver obs;
+  obs.add(progress);
+  obs.add(snaps);
+  engine.run_all(&obs);
+
+  const auto& final_pop = snaps.snapshots().back().second;
+  std::printf("\nfinal census:\n%s", pop::format_census(final_pop, 5).c_str());
+
+  // Fig. 2-style heat maps (k-means sorted), plus a terminal rendition.
+  const auto rows = analysis::strategy_matrix(final_pop);
+  const auto clusters = analysis::kmeans(rows, 8);
+  analysis::HeatmapOptions opt;
+  opt.cell_width = 24;
+  opt.cell_height = 2;
+  analysis::write_heatmap_ppm(
+      *out + "_initial.ppm",
+      analysis::strategy_matrix(snaps.snapshots().front().second), opt);
+  opt.row_order = analysis::cluster_sorted_order(clusters);
+  analysis::write_heatmap_ppm(*out + "_final.ppm", rows, opt);
+  std::printf("\nheat maps written: %s_initial.ppm, %s_final.ppm\n",
+              out->c_str(), out->c_str());
+  std::printf("\nfinal population (cluster-sorted, C=cooperate, D=defect, "
+              "columns = states CC CD DC DD):\n%s",
+              analysis::ascii_heatmap(rows, 24).c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "analysis/coop.hpp"
+
+#include "game/markov.hpp"
+#include "util/check.hpp"
+
+namespace egt::analysis {
+
+namespace {
+
+/// (A's coop rate, A's per-round payoff) for an ordered pair game.
+std::pair<double, double> pair_outcome(const game::Strategy& a,
+                                       const game::Strategy& b,
+                                       const game::IpdParams& params,
+                                       std::uint64_t stream_key) {
+  if (a.is_pure() && b.is_pure() && params.noise == 0.0) {
+    const auto g = game::markov::exact_pure_game(a.as_pure(), b.as_pure(),
+                                                 params.payoff, params.rounds);
+    return {static_cast<double>(g.coop_a) / g.rounds, g.mean_payoff_a()};
+  }
+  if (a.memory() == 1) {
+    const auto o = game::markov::finite_outcome_mem1(
+        a, b, params.payoff, params.rounds, params.noise);
+    return {o.coop_a, o.payoff_a};
+  }
+  // Stochastic memory>=2: one seeded sampled game.
+  const game::IpdEngine engine(a.memory(), params);
+  const auto g = engine.play(a, b, util::StreamRng(0x0c00b, stream_key));
+  return {static_cast<double>(g.coop_a) / g.rounds, g.mean_payoff_a()};
+}
+
+}  // namespace
+
+double pair_cooperation(const game::Strategy& a, const game::Strategy& b,
+                        const game::IpdParams& params,
+                        std::uint64_t sample_seed) {
+  return pair_outcome(a, b, params, sample_seed).first;
+}
+
+CooperationReport expected_play_cooperation(const pop::Population& pop,
+                                            const game::IpdParams& params,
+                                            std::uint64_t sample_seed) {
+  const pop::SSetId n = pop.size();
+  EGT_REQUIRE(n >= 2);
+  CooperationReport rep;
+  rep.per_sset_coop.assign(n, 0.0);
+  double coop_total = 0.0;
+  double payoff_total = 0.0;
+  for (pop::SSetId i = 0; i < n; ++i) {
+    double coop_i = 0.0;
+    for (pop::SSetId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const auto [coop, payoff] =
+          pair_outcome(pop.strategy(i), pop.strategy(j), params,
+                       util::stream_key(sample_seed, i, j));
+      coop_i += coop;
+      payoff_total += payoff;
+    }
+    rep.per_sset_coop[i] = coop_i / (n - 1);
+    coop_total += coop_i;
+  }
+  const double games = static_cast<double>(n) * (n - 1);
+  rep.mean_coop_rate = coop_total / games;
+  rep.mean_payoff = payoff_total / games;
+  return rep;
+}
+
+}  // namespace egt::analysis

@@ -1,0 +1,41 @@
+// Play-based cooperation measures.
+//
+// pop::mean_coop_probability averages the strategy *tables* — cheap, but a
+// rule's table says nothing about which states its games actually visit
+// (WSLS's table averages 0.5 yet WSLS pairs cooperate almost always).
+// These functions compute the cooperation that would actually be *played*:
+// the expected fraction of cooperative moves over all ordered pair games
+// of a generation, exactly where an analytic evaluator exists (memory-one
+// chains, deterministic pure pairs) and by a seeded sample otherwise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/ipd.hpp"
+#include "pop/population.hpp"
+
+namespace egt::analysis {
+
+struct CooperationReport {
+  /// Expected fraction of cooperative moves across all games.
+  double mean_coop_rate = 0.0;
+  /// Expected per-round payoff averaged over all (ordered) games.
+  double mean_payoff = 0.0;
+  /// Each SSet's own expected cooperation rate (its agents' moves only).
+  std::vector<double> per_sset_coop;
+};
+
+/// Evaluate the whole population's expected play. O(ssets^2) pair
+/// evaluations. `sample_seed` feeds the fallback sampler used for
+/// stochastic memory>=2 pairs.
+CooperationReport expected_play_cooperation(const pop::Population& pop,
+                                            const game::IpdParams& params,
+                                            std::uint64_t sample_seed = 0);
+
+/// Expected cooperation rate of one ordered pair game (player A's moves).
+double pair_cooperation(const game::Strategy& a, const game::Strategy& b,
+                        const game::IpdParams& params,
+                        std::uint64_t sample_seed = 0);
+
+}  // namespace egt::analysis

@@ -1,0 +1,80 @@
+#include "analysis/ess.hpp"
+
+#include "game/enumerate.hpp"
+#include "game/markov.hpp"
+#include "util/check.hpp"
+
+namespace egt::analysis {
+
+namespace {
+
+/// Per-round expected payoff of `a` against `b` (A's side), analytic only.
+double mean_payoff(const game::Strategy& a, const game::Strategy& b,
+                   const game::IpdParams& params) {
+  if (a.is_pure() && b.is_pure() && params.noise == 0.0) {
+    return game::markov::exact_pure_game(a.as_pure(), b.as_pure(),
+                                         params.payoff, params.rounds)
+        .mean_payoff_a();
+  }
+  EGT_REQUIRE_MSG(a.memory() == 1 && b.memory() == 1,
+                  "invasion analysis needs an analytically solvable game "
+                  "(memory-one, or pure strategies without noise)");
+  return game::markov::finite_outcome_mem1(a, b, params.payoff, params.rounds,
+                                           params.noise)
+      .payoff_a;
+}
+
+}  // namespace
+
+InvasionAnalysis analyze_invasion(const game::Strategy& resident,
+                                  const game::Strategy& mutant,
+                                  std::uint32_t n,
+                                  const game::IpdParams& params,
+                                  double tolerance) {
+  EGT_REQUIRE_MSG(n >= 3, "invasion analysis needs at least three SSets");
+  // One mutant among n-1 residents; everyone plays everyone else.
+  const double rr = mean_payoff(resident, resident, params);
+  const double rm = mean_payoff(resident, mutant, params);
+  const double mr = mean_payoff(mutant, resident, params);
+
+  InvasionAnalysis out;
+  out.mutant_fitness = mr;  // all n-1 opponents are residents
+  out.resident_fitness =
+      (static_cast<double>(n - 2) * rr + rm) / static_cast<double>(n - 1);
+  const double edge = out.mutant_fitness - out.resident_fitness;
+  if (edge > tolerance) {
+    out.outcome = InvasionOutcome::Invadable;
+  } else if (edge < -tolerance) {
+    out.outcome = InvasionOutcome::Resists;
+  } else {
+    out.outcome = InvasionOutcome::Neutral;
+  }
+  return out;
+}
+
+bool is_uninvadable_pure_mem1(const game::PureStrategy& resident,
+                              std::uint32_t n, const game::IpdParams& params,
+                              double tolerance) {
+  EGT_REQUIRE_MSG(resident.memory() == 1, "memory-one sweep");
+  for (const auto& mutant : game::all_pure_strategies(1)) {
+    if (mutant == resident) continue;
+    const auto a = analyze_invasion(game::Strategy(resident),
+                                    game::Strategy(mutant), n, params,
+                                    tolerance);
+    if (a.outcome == InvasionOutcome::Invadable) return false;
+  }
+  return true;
+}
+
+std::vector<game::PureStrategy> uninvadable_pure_mem1(
+    std::uint32_t n, const game::IpdParams& params, double tolerance) {
+  std::vector<game::PureStrategy> out;
+  for (const auto& resident : game::all_pure_strategies(1)) {
+    if (is_uninvadable_pure_mem1(resident, n, params, tolerance)) {
+      out.push_back(resident);
+    }
+  }
+  return out;
+}
+
+}  // namespace egt::analysis

@@ -1,0 +1,51 @@
+// Invasion analysis / evolutionary stability in the finite population.
+//
+// §III of the paper frames the whole field around two facts: defection is
+// the unbeatable one-shot strategy, yet strategies like WSLS stabilise
+// cooperation in the repeated game. This module makes those statements
+// checkable: drop one mutant SSet into a resident population of size N and
+// compare fitness exactly (using the analytic game evaluators), or sweep
+// all 16 memory-one pure strategies for uninvadability.
+//
+// Requires analytically solvable games: memory-one (any mix, any noise) or
+// deterministic pure pairs of any memory with zero noise.
+#pragma once
+
+#include <vector>
+
+#include "game/ipd.hpp"
+#include "game/strategy.hpp"
+
+namespace egt::analysis {
+
+enum class InvasionOutcome {
+  Resists,    ///< mutant strictly less fit: selection removes it
+  Neutral,    ///< equal fitness: drift decides
+  Invadable,  ///< mutant strictly fitter: selection amplifies it
+};
+
+struct InvasionAnalysis {
+  double resident_fitness = 0.0;  ///< per-round, per-opponent average
+  double mutant_fitness = 0.0;
+  InvasionOutcome outcome = InvasionOutcome::Neutral;
+};
+
+/// One `mutant` SSet among (n - 1) `resident` SSets, all-pairs play.
+InvasionAnalysis analyze_invasion(const game::Strategy& resident,
+                                  const game::Strategy& mutant,
+                                  std::uint32_t n,
+                                  const game::IpdParams& params,
+                                  double tolerance = 1e-9);
+
+/// True when `resident` resists (or is neutral against) every one of the
+/// 16 memory-one pure mutants.
+bool is_uninvadable_pure_mem1(const game::PureStrategy& resident,
+                              std::uint32_t n, const game::IpdParams& params,
+                              double tolerance = 1e-9);
+
+/// All memory-one pure strategies that no memory-one pure mutant can
+/// strictly invade at population size n.
+std::vector<game::PureStrategy> uninvadable_pure_mem1(
+    std::uint32_t n, const game::IpdParams& params, double tolerance = 1e-9);
+
+}  // namespace egt::analysis

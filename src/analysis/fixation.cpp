@@ -1,0 +1,79 @@
+#include "analysis/fixation.hpp"
+
+#include "pop/stats.hpp"
+#include "util/check.hpp"
+
+namespace egt::analysis {
+
+FixationResult run_until_fixation(core::Engine& engine,
+                                  std::uint64_t max_generations,
+                                  double threshold,
+                                  std::uint64_t check_interval) {
+  EGT_REQUIRE_MSG(threshold > 0.0 && threshold <= 1.0,
+                  "threshold out of (0, 1]");
+  EGT_REQUIRE_MSG(check_interval >= 1, "check interval must be positive");
+
+  FixationResult result;
+  auto check = [&]() {
+    const auto c = pop::census(engine.population());
+    result.final_dominant_fraction =
+        static_cast<double>(c.front().count) / engine.population().size();
+    if (result.final_dominant_fraction >= threshold) {
+      result.fixated = true;
+      result.generation = engine.generation();
+      result.strategy = engine.population().strategy(c.front().example);
+      return true;
+    }
+    return false;
+  };
+
+  if (check()) return result;
+  std::uint64_t done = 0;
+  while (done < max_generations) {
+    const std::uint64_t step =
+        std::min<std::uint64_t>(check_interval, max_generations - done);
+    engine.run(step);
+    done += step;
+    if (check()) return result;
+  }
+  return result;
+}
+
+double fixation_probability(const core::SimConfig& config,
+                            const game::Strategy& resident,
+                            const game::Strategy& mutant,
+                            std::uint32_t trials,
+                            std::uint64_t max_generations_per_trial) {
+  EGT_REQUIRE_MSG(trials >= 1, "need at least one trial");
+  EGT_REQUIRE_MSG(resident.memory() == config.memory &&
+                      mutant.memory() == config.memory,
+                  "strategy memory depth must match the config");
+
+  auto cfg = config;
+  cfg.mutation_rate = 0.0;  // pure imitation: homogeneity is absorbing
+  cfg.validate();
+
+  const std::uint64_t mutant_hash = mutant.hash();
+  std::uint32_t took_over = 0;
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    auto trial_cfg = cfg;
+    trial_cfg.seed = util::mix64(cfg.seed + 0x9e3779b97f4a7c15ULL * (trial + 1));
+
+    std::vector<game::Strategy> strategies(cfg.ssets, resident);
+    strategies[trial % cfg.ssets] = mutant;
+
+    pop::NatureAgent fresh(trial_cfg.nature_config());
+    core::Engine engine(
+        trial_cfg,
+        core::Engine::RestoredState{0, fresh.save_state(),
+                                    pop::Population(std::move(strategies))});
+    const auto result =
+        run_until_fixation(engine, max_generations_per_trial, 1.0);
+    if (result.fixated && result.strategy->hash() == mutant_hash) {
+      ++took_over;
+    }
+  }
+  return static_cast<double>(took_over) / trials;
+}
+
+}  // namespace egt::analysis

@@ -1,0 +1,41 @@
+// Fixation analysis: run the dynamics until one strategy takes over (or a
+// budget runs out) and report when. The quantity of interest across the
+// evolutionary-dynamics literature (fixation probability/time under
+// pairwise comparison, Traulsen et al. 2007 — the paper's ref [15]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/engine.hpp"
+
+namespace egt::analysis {
+
+struct FixationResult {
+  bool fixated = false;
+  /// Generation at which the threshold was first reached (valid if fixated).
+  std::uint64_t generation = 0;
+  /// The (near-)fixed strategy (valid if fixated).
+  std::optional<game::Strategy> strategy;
+  /// Dominant-strategy share when the run stopped.
+  double final_dominant_fraction = 0.0;
+};
+
+/// Advance `engine` until the most common strategy holds at least
+/// `threshold` of the population, checking every `check_interval`
+/// generations, giving up after `max_generations` more generations.
+FixationResult run_until_fixation(core::Engine& engine,
+                                  std::uint64_t max_generations,
+                                  double threshold = 1.0,
+                                  std::uint64_t check_interval = 16);
+
+/// Monte-Carlo fixation probability of a single `mutant` SSet invading a
+/// `resident` population under the config's dynamics (mutation disabled;
+/// runs until the population is homogeneous). Returns the fraction of
+/// `trials` in which the mutant's strategy took over.
+double fixation_probability(const core::SimConfig& config,
+                            const game::Strategy& resident,
+                            const game::Strategy& mutant, std::uint32_t trials,
+                            std::uint64_t max_generations_per_trial = 200000);
+
+}  // namespace egt::analysis

@@ -1,0 +1,90 @@
+#include "analysis/heatmap.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "analysis/kmeans.hpp"
+#include "util/check.hpp"
+
+namespace egt::analysis {
+
+namespace {
+struct Rgb {
+  std::uint8_t r, g, b;
+};
+
+/// Blue (defect) -> yellow (cooperate), matching the paper's colouring.
+Rgb colour(double coop) {
+  coop = std::clamp(coop, 0.0, 1.0);
+  const auto lerp = [&](double a, double b) {
+    return static_cast<std::uint8_t>(a + (b - a) * coop + 0.5);
+  };
+  // defect: #2159a6 ; cooperate: #ffd21f
+  return {lerp(0x21, 0xff), lerp(0x59, 0xd2), lerp(0xa6, 0x1f)};
+}
+}  // namespace
+
+void write_heatmap_ppm(const std::string& path,
+                       const std::vector<std::vector<double>>& rows,
+                       const HeatmapOptions& options) {
+  EGT_REQUIRE_MSG(!rows.empty(), "heatmap needs rows");
+  EGT_REQUIRE(options.cell_width >= 1 && options.cell_height >= 1);
+  const std::size_t ncols = rows.front().size();
+  for (const auto& r : rows) {
+    EGT_REQUIRE_MSG(r.size() == ncols, "heatmap needs rectangular input");
+  }
+  std::vector<std::size_t> order = options.row_order;
+  if (order.empty()) {
+    order.resize(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) order[i] = i;
+  }
+  EGT_REQUIRE_MSG(order.size() == rows.size(), "row_order size mismatch");
+
+  const std::size_t width = ncols * static_cast<std::size_t>(options.cell_width);
+  const std::size_t height =
+      rows.size() * static_cast<std::size_t>(options.cell_height);
+
+  std::ofstream out(path, std::ios::binary);
+  EGT_REQUIRE_MSG(out.good(), "cannot open heatmap file " + path);
+  out << "P6\n" << width << " " << height << "\n255\n";
+
+  std::vector<std::uint8_t> scanline(width * 3);
+  for (std::size_t r : order) {
+    const auto& row = rows[r];
+    std::size_t px = 0;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const Rgb rgb = colour(row[c]);
+      for (int w = 0; w < options.cell_width; ++w) {
+        scanline[px++] = rgb.r;
+        scanline[px++] = rgb.g;
+        scanline[px++] = rgb.b;
+      }
+    }
+    for (int h = 0; h < options.cell_height; ++h) {
+      out.write(reinterpret_cast<const char*>(scanline.data()),
+                static_cast<std::streamsize>(scanline.size()));
+    }
+  }
+}
+
+void write_population_heatmap(const std::string& path,
+                              const pop::Population& pop,
+                              const HeatmapOptions& options) {
+  write_heatmap_ppm(path, strategy_matrix(pop), options);
+}
+
+std::string ascii_heatmap(const std::vector<std::vector<double>>& rows,
+                          std::size_t max_rows) {
+  std::string out;
+  const std::size_t n = std::min(rows.size(), max_rows);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (double v : rows[r]) {
+      out += v >= 0.75 ? 'C' : (v >= 0.5 ? 'c' : (v >= 0.25 ? 'd' : 'D'));
+    }
+    out += '\n';
+  }
+  if (n < rows.size()) out += "...\n";
+  return out;
+}
+
+}  // namespace egt::analysis

@@ -1,0 +1,38 @@
+// Strategy heat-map rendering (the paper's Fig. 2 artefact): one row per
+// SSet, one column per state; yellow = cooperate, blue = defect,
+// intermediate probabilities interpolate. Written as binary PPM (P6),
+// viewable everywhere and convertible with any image tool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pop/population.hpp"
+
+namespace egt::analysis {
+
+struct HeatmapOptions {
+  /// Pixel size of one matrix cell.
+  int cell_width = 4;
+  int cell_height = 1;
+  /// Optional row order (e.g. cluster_sorted_order); empty = natural.
+  std::vector<std::size_t> row_order;
+};
+
+/// Write `rows` (values in [0,1] = cooperation probability) to `path`.
+void write_heatmap_ppm(const std::string& path,
+                       const std::vector<std::vector<double>>& rows,
+                       const HeatmapOptions& options = {});
+
+/// Convenience: render a population's strategy table.
+void write_population_heatmap(const std::string& path,
+                              const pop::Population& pop,
+                              const HeatmapOptions& options = {});
+
+/// ASCII rendition for terminals/tests: one char per cell,
+/// 'C' (p >= 0.75), 'c' (>= 0.5), 'd' (>= 0.25), 'D' (< 0.25).
+std::string ascii_heatmap(const std::vector<std::vector<double>>& rows,
+                          std::size_t max_rows = 40);
+
+}  // namespace egt::analysis

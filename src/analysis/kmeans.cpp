@@ -1,0 +1,142 @@
+#include "analysis/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace egt::analysis {
+
+namespace {
+double sq_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return d2;
+}
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, std::uint64_t seed,
+                    std::size_t max_iterations) {
+  EGT_REQUIRE_MSG(!points.empty(), "kmeans needs points");
+  EGT_REQUIRE_MSG(k >= 1, "kmeans needs k >= 1");
+  k = std::min(k, points.size());
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points) {
+    EGT_REQUIRE_MSG(p.size() == dim, "kmeans needs rectangular input");
+  }
+
+  util::Xoshiro256 rng(seed);
+
+  // k-means++ seeding.
+  KMeansResult res;
+  res.centroids.push_back(
+      points[util::uniform_below(rng, points.size())]);
+  std::vector<double> min_d2(points.size(),
+                             std::numeric_limits<double>::infinity());
+  while (res.centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      min_d2[i] =
+          std::min(min_d2[i], sq_distance(points[i], res.centroids.back()));
+      total += min_d2[i];
+    }
+    if (total == 0.0) break;  // fewer distinct points than k
+    double target = util::uniform01(rng) * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= min_d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    res.centroids.push_back(points[chosen]);
+  }
+  const std::size_t kk = res.centroids.size();
+
+  // Lloyd iterations.
+  res.assignment.assign(points.size(), 0);
+  for (res.iterations = 0; res.iterations < max_iterations; ++res.iterations) {
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t best = 0;
+      double best_d2 = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < kk; ++c) {
+        const double d2 = sq_distance(points[i], res.centroids[c]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (res.assignment[i] != best) {
+        res.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && res.iterations > 0) break;
+
+    std::vector<std::vector<double>> sums(kk, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(kk, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = res.assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < kk; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (std::size_t d = 0; d < dim; ++d) {
+        res.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  res.cluster_sizes.assign(kk, 0);
+  res.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ++res.cluster_sizes[res.assignment[i]];
+    res.inertia += sq_distance(points[i], res.centroids[res.assignment[i]]);
+  }
+  return res;
+}
+
+std::vector<std::vector<double>> strategy_matrix(const pop::Population& pop) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(pop.size());
+  for (pop::SSetId i = 0; i < pop.size(); ++i) {
+    const auto& s = pop.strategy(i);
+    std::vector<double> row(s.states());
+    for (game::State st = 0; st < s.states(); ++st) {
+      row[st] = s.coop_prob(st);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<std::size_t> cluster_sorted_order(const KMeansResult& result) {
+  // Rank clusters by size (descending), then emit point indices cluster by
+  // cluster, preserving point order within a cluster.
+  std::vector<std::size_t> cluster_rank(result.cluster_sizes.size());
+  std::iota(cluster_rank.begin(), cluster_rank.end(), std::size_t{0});
+  std::stable_sort(cluster_rank.begin(), cluster_rank.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return result.cluster_sizes[a] > result.cluster_sizes[b];
+                   });
+  std::vector<std::size_t> order;
+  order.reserve(result.assignment.size());
+  for (std::size_t c : cluster_rank) {
+    for (std::size_t i = 0; i < result.assignment.size(); ++i) {
+      if (result.assignment[i] == c) order.push_back(i);
+    }
+  }
+  return order;
+}
+
+}  // namespace egt::analysis

@@ -1,0 +1,34 @@
+// Lloyd k-means clustering, used (as in the paper's Fig. 2) to group the
+// final population's strategies so dominant rules stand out visually.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pop/population.hpp"
+
+namespace egt::analysis {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  ///< k x dim
+  std::vector<std::size_t> assignment;         ///< point -> cluster
+  std::vector<std::size_t> cluster_sizes;      ///< per cluster
+  double inertia = 0.0;                        ///< sum of squared distances
+  std::size_t iterations = 0;
+};
+
+/// Lloyd iterations with k-means++ seeding. `points` must be non-empty and
+/// rectangular. Deterministic for a fixed seed.
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, std::uint64_t seed = 17,
+                    std::size_t max_iterations = 200);
+
+/// The population's strategy table as rows of per-state cooperation
+/// probabilities (the point set clustered for Fig. 2).
+std::vector<std::vector<double>> strategy_matrix(const pop::Population& pop);
+
+/// Row order that groups rows by cluster (largest cluster first), which is
+/// what makes the Fig. 2(b) bands visible.
+std::vector<std::size_t> cluster_sorted_order(const KMeansResult& result);
+
+}  // namespace egt::analysis

@@ -1,0 +1,168 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/engine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace egt::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4547544353494d31ULL;  // "EGTCSIM1"
+
+class Writer {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void bytes(const std::vector<std::byte>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    if (!b.empty()) {
+      const auto off = out_.size();
+      out_.resize(off + b.size());
+      std::memcpy(out_.data() + off, b.data(), b.size());
+    }
+  }
+  std::vector<std::byte> take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto off = out_.size();
+    out_.resize(off + n);
+    std::memcpy(out_.data() + off, p, n);
+  }
+  std::vector<std::byte> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::byte>& in) : in_(in) {}
+  std::uint32_t u32() {
+    std::uint32_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::vector<std::byte> bytes() {
+    const std::uint32_t n = u32();
+    EGT_REQUIRE_MSG(off_ + n <= in_.size(), "truncated checkpoint");
+    std::vector<std::byte> b(in_.begin() + static_cast<std::ptrdiff_t>(off_),
+                             in_.begin() + static_cast<std::ptrdiff_t>(off_ + n));
+    off_ += n;
+    return b;
+  }
+  bool exhausted() const noexcept { return off_ == in_.size(); }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    EGT_REQUIRE_MSG(off_ + n <= in_.size(), "truncated checkpoint");
+    std::memcpy(p, in_.data() + off_, n);
+    off_ += n;
+  }
+  const std::vector<std::byte>& in_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const SimConfig& config) {
+  std::uint64_t h = util::mix64(config.seed + 1);
+  auto mixin = [&h](std::uint64_t v) { h = util::mix64(h ^ v); };
+  mixin(static_cast<std::uint64_t>(config.memory));
+  mixin(config.ssets);
+  mixin(config.game.rounds);
+  std::uint64_t bits;
+  auto mixd = [&](double d) {
+    std::memcpy(&bits, &d, sizeof bits);
+    mixin(bits);
+  };
+  mixd(config.game.noise);
+  mixd(config.game.payoff.reward);
+  mixd(config.game.payoff.sucker);
+  mixd(config.game.payoff.temptation);
+  mixd(config.game.payoff.punishment);
+  mixd(config.pc_rate);
+  mixd(config.mutation_rate);
+  mixd(config.beta);
+  mixin(config.require_teacher_better ? 1 : 0);
+  mixin(static_cast<std::uint64_t>(config.space));
+  mixin(static_cast<std::uint64_t>(config.update_rule));
+  mixin(static_cast<std::uint64_t>(config.mutation_kernel));
+  mixin(config.mutation_bits);
+  mixd(config.mutation_sigma);
+  mixin(static_cast<std::uint64_t>(config.fitness_scale));
+  mixin(static_cast<std::uint64_t>(config.interaction.kind));
+  mixin(config.interaction.ring_k);
+  mixin(config.interaction.lattice_width);
+  mixin(config.interaction.moore ? 1 : 0);
+  return h;
+}
+
+std::vector<std::byte> save_checkpoint(const Engine& engine) {
+  Writer w;
+  w.u64(kMagic);
+  w.u64(config_fingerprint(engine.config()));
+  w.u64(engine.generation());
+  const auto nature = engine.nature_agent().save_state();
+  for (auto word : nature.rng) w.u64(word);
+  w.u64(nature.planned);
+  const auto& pop = engine.population();
+  w.u32(pop.size());
+  for (pop::SSetId i = 0; i < pop.size(); ++i) {
+    w.bytes(pop.strategy(i).serialize());
+  }
+  return w.take();
+}
+
+Engine restore_checkpoint(const SimConfig& config,
+                          const std::vector<std::byte>& blob) {
+  Reader r(blob);
+  EGT_REQUIRE_MSG(r.u64() == kMagic, "not an egtsim checkpoint");
+  EGT_REQUIRE_MSG(r.u64() == config_fingerprint(config),
+                  "checkpoint was written under a different configuration");
+  const std::uint64_t generation = r.u64();
+  pop::NatureAgent::State nature;
+  for (auto& word : nature.rng) word = r.u64();
+  nature.planned = r.u64();
+  const std::uint32_t ssets = r.u32();
+  EGT_REQUIRE_MSG(ssets == config.ssets,
+                  "checkpoint population size mismatch");
+  std::vector<game::Strategy> strategies;
+  strategies.reserve(ssets);
+  for (std::uint32_t i = 0; i < ssets; ++i) {
+    strategies.push_back(game::Strategy::deserialize(r.bytes()));
+  }
+  EGT_REQUIRE_MSG(r.exhausted(), "trailing bytes in checkpoint");
+  return Engine(config, Engine::RestoredState{
+                            generation, nature,
+                            pop::Population(std::move(strategies))});
+}
+
+void write_checkpoint_file(const Engine& engine, const std::string& path) {
+  const auto blob = save_checkpoint(engine);
+  std::ofstream out(path, std::ios::binary);
+  EGT_REQUIRE_MSG(out.good(), "cannot open checkpoint file " + path);
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  EGT_REQUIRE_MSG(out.good(), "failed writing checkpoint file " + path);
+}
+
+Engine read_checkpoint_file(const SimConfig& config, const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EGT_REQUIRE_MSG(in.good(), "cannot open checkpoint file " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> blob(size);
+  in.read(reinterpret_cast<char*>(blob.data()),
+          static_cast<std::streamsize>(size));
+  EGT_REQUIRE_MSG(in.good(), "failed reading checkpoint file " + path);
+  return restore_checkpoint(config, blob);
+}
+
+}  // namespace egt::core

@@ -1,0 +1,41 @@
+// Checkpoint / restart for long evolutionary runs.
+//
+// The paper's production runs span 10^7 generations; on shared machines
+// such runs need to survive job-time limits. A checkpoint captures the
+// engine's complete mutable state — generation counter, Nature Agent RNG,
+// and the strategy table — so a restored engine continues the *exact*
+// trajectory of an uninterrupted run.
+//
+// Exactness caveat: FitnessMode::SampledFrozen keys its frozen samples by
+// the generation each pair was last (re)played, which a restart cannot
+// recover; restored frozen-mode runs are statistically equivalent but not
+// bit-identical. Sampled and Analytic modes restart bit-exactly (asserted
+// in tests/core/checkpoint_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace egt::core {
+
+class Engine;
+struct SimConfig;
+
+/// Serialize the engine's state. The blob embeds a fingerprint of the
+/// configuration; restoring under a different config is rejected.
+std::vector<std::byte> save_checkpoint(const Engine& engine);
+
+/// Reconstruct an engine mid-run. `config` must match the saving run's
+/// configuration (validated via the embedded fingerprint).
+Engine restore_checkpoint(const SimConfig& config,
+                          const std::vector<std::byte>& blob);
+
+/// File convenience wrappers.
+void write_checkpoint_file(const Engine& engine, const std::string& path);
+Engine read_checkpoint_file(const SimConfig& config, const std::string& path);
+
+/// Stable fingerprint of the dynamics-relevant configuration fields.
+std::uint64_t config_fingerprint(const SimConfig& config);
+
+}  // namespace egt::core

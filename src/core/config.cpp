@@ -1,0 +1,114 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace egt::core {
+
+void SimConfig::validate() const {
+  EGT_REQUIRE_MSG(memory >= 0 && memory <= game::kMaxMemory,
+                  "memory steps must be in [0, 6]");
+  EGT_REQUIRE_MSG(ssets >= 2, "need at least two SSets");
+  EGT_REQUIRE_MSG(game.rounds > 0, "need at least one round per game");
+  EGT_REQUIRE_MSG(game.noise >= 0.0 && game.noise <= 1.0,
+                  "noise out of [0,1]");
+  EGT_REQUIRE_MSG(pc_rate >= 0.0 && pc_rate <= 1.0, "pc_rate out of [0,1]");
+  EGT_REQUIRE_MSG(mutation_rate >= 0.0 && mutation_rate <= 1.0,
+                  "mutation_rate out of [0,1]");
+  EGT_REQUIRE_MSG(beta >= 0.0, "beta must be non-negative");
+  if (fitness_mode != FitnessMode::Sampled) {
+    // Cached modes keep a rows-by-ssets payoff matrix per rank.
+    EGT_REQUIRE_MSG(ssets <= 16384,
+                    "cached fitness modes support at most 16384 SSets");
+  }
+  switch (mutation_kernel) {
+    case pop::MutationKernel::UniformProbs:
+      break;
+    case pop::MutationKernel::UShapedProbs:
+    case pop::MutationKernel::MixedGaussian:
+      EGT_REQUIRE_MSG(space == pop::StrategySpace::Mixed,
+                      "this mutation kernel needs the mixed strategy space");
+      break;
+    case pop::MutationKernel::PureBitFlip:
+      EGT_REQUIRE_MSG(space == pop::StrategySpace::Pure,
+                      "PureBitFlip needs the pure strategy space");
+      break;
+  }
+  EGT_REQUIRE_MSG(mutation_bits >= 1, "mutation_bits must be positive");
+  EGT_REQUIRE_MSG(mutation_sigma > 0.0, "mutation_sigma must be positive");
+  switch (interaction.kind) {
+    case InteractionSpec::Kind::Complete:
+      break;
+    case InteractionSpec::Kind::Ring:
+      EGT_REQUIRE_MSG(ssets >= 3 && interaction.ring_k >= 1 &&
+                          2 * interaction.ring_k < ssets,
+                      "ring interaction needs 1 <= k and 2k < ssets");
+      break;
+    case InteractionSpec::Kind::Lattice2D: {
+      const auto w = interaction.lattice_width;
+      EGT_REQUIRE_MSG(w >= 3 && ssets % w == 0 && ssets / w >= 3,
+                      "lattice needs width >= 3 dividing ssets with "
+                      "height >= 3");
+      break;
+    }
+  }
+  if (interaction.structured()) {
+    EGT_REQUIRE_MSG(agent_threads == 0,
+                    "the agent-thread tier currently supports only the "
+                    "well-mixed population");
+    EGT_REQUIRE_MSG(update_rule == pop::UpdateRule::PairwiseComparison,
+                    "the Moran rule is defined for the well-mixed "
+                    "population only");
+  }
+}
+
+pop::NatureConfig SimConfig::nature_config() const {
+  pop::NatureConfig nc;
+  nc.ssets = ssets;
+  nc.memory = memory;
+  nc.pc_rate = pc_rate;
+  nc.mutation_rate = mutation_rate;
+  nc.beta = beta;
+  nc.require_teacher_better = require_teacher_better;
+  nc.update_rule = update_rule;
+  nc.space = space;
+  nc.kernel = mutation_kernel;
+  nc.bitflip_bits = mutation_bits;
+  nc.gaussian_sigma = mutation_sigma;
+  nc.seed = seed;
+  return nc;
+}
+
+pop::InteractionGraph make_interaction_graph(const SimConfig& config) {
+  switch (config.interaction.kind) {
+    case InteractionSpec::Kind::Ring:
+      return pop::InteractionGraph::ring(config.ssets,
+                                         config.interaction.ring_k);
+    case InteractionSpec::Kind::Lattice2D:
+      return pop::InteractionGraph::lattice(
+          config.interaction.lattice_width,
+          config.ssets / config.interaction.lattice_width,
+          config.interaction.moore);
+    case InteractionSpec::Kind::Complete:
+      break;
+  }
+  return pop::InteractionGraph::complete(config.ssets);
+}
+
+std::string SimConfig::summary() const {
+  std::ostringstream os;
+  os << "memory-" << memory << ", " << ssets << " SSets, " << generations
+     << " generations, rounds=" << game.rounds << ", noise=" << game.noise
+     << ", pc_rate=" << pc_rate << ", mu=" << mutation_rate
+     << ", beta=" << beta << ", space="
+     << (space == pop::StrategySpace::Pure ? "pure" : "mixed") << ", fitness="
+     << (fitness_mode == FitnessMode::Sampled
+             ? "sampled"
+             : (fitness_mode == FitnessMode::SampledFrozen ? "sampled-frozen"
+                                                           : "analytic"))
+     << ", seed=" << seed;
+  return os.str();
+}
+
+}  // namespace egt::core

@@ -1,0 +1,112 @@
+// Simulation configuration: one struct that fully determines a run
+// (both the serial reference engine and the parallel engine consume it, and
+// equal configs produce bit-identical trajectories).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "game/ipd.hpp"
+#include "pop/graph.hpp"
+#include "pop/nature.hpp"
+
+namespace egt::core {
+
+/// How per-pair payoffs are obtained each generation.
+enum class FitnessMode {
+  /// Re-play every game every generation with generation-keyed RNG streams —
+  /// the paper's behaviour. O(ssets^2 * rounds) per generation.
+  Sampled,
+  /// Play a pair's game once and reuse the value until either strategy
+  /// changes (then re-play with the change generation's stream). Exact for
+  /// deterministic games; a frozen sample for stochastic ones.
+  SampledFrozen,
+  /// Exact expected payoffs: cycle detection for deterministic pure pairs,
+  /// Markov-chain propagation for memory-one pairs (see game/markov.hpp),
+  /// frozen sampling as a last resort for stochastic memory>=2 pairs.
+  /// Cached across generations (expectations don't change until a strategy
+  /// does).
+  Analytic,
+};
+
+/// Scale of the fitness value fed to the Fermi rule.
+enum class FitnessScale {
+  /// Mean per-round, per-opponent payoff in [S, T] — keeps beta on the
+  /// familiar scale of the PC literature. Default.
+  PerRoundAverage,
+  /// Raw summed payoff over all rounds and opponents (the paper's
+  /// relative_fitness).
+  Total,
+};
+
+/// How the parallel engine coordinates Nature with the compute ranks.
+enum class CommPattern {
+  /// Rank 0 is the Nature Agent and broadcasts the per-generation event
+  /// plan (and mutated strategy payloads) — the paper's §V-B pattern.
+  PaperBcast,
+  /// Every rank replays Nature's RNG locally; only fitness values of the
+  /// PC pair are exchanged (allreduce). An ablation that removes the
+  /// per-generation broadcast.
+  ReplicatedNature,
+};
+
+/// Population structure (DESIGN.md: spatial extension). Complete is the
+/// paper's well-mixed population; Ring/Lattice restrict both game play and
+/// imitation to graph neighbours.
+struct InteractionSpec {
+  enum class Kind { Complete, Ring, Lattice2D };
+  Kind kind = Kind::Complete;
+  std::uint32_t ring_k = 1;       ///< Ring: neighbours per side
+  pop::SSetId lattice_width = 0;  ///< Lattice2D: width (height = ssets/width)
+  bool moore = false;             ///< Lattice2D: 8-neighbourhood
+
+  bool structured() const noexcept { return kind != Kind::Complete; }
+};
+
+struct SimConfig {
+  int memory = 1;
+  pop::SSetId ssets = 64;
+  std::uint64_t generations = 1000;
+  InteractionSpec interaction;
+
+  game::IpdParams game{};  ///< payoff matrix, rounds (200), noise
+
+  double pc_rate = 0.1;  ///< event rate (PC or Moran, per update_rule)
+  double mutation_rate = 0.05;
+  double beta = 1.0;
+  bool require_teacher_better = false;
+  pop::UpdateRule update_rule = pop::UpdateRule::PairwiseComparison;
+  pop::StrategySpace space = pop::StrategySpace::Pure;
+  pop::MutationKernel mutation_kernel = pop::MutationKernel::UniformProbs;
+  std::uint32_t mutation_bits = 1;   ///< PureBitFlip: bits flipped
+  double mutation_sigma = 0.1;       ///< MixedGaussian: std deviation
+
+  FitnessMode fitness_mode = FitnessMode::Sampled;
+  FitnessScale fitness_scale = FitnessScale::PerRoundAverage;
+  game::LookupMode lookup = game::LookupMode::Indexed;
+  CommPattern comm_pattern = CommPattern::PaperBcast;
+
+  std::uint64_t seed = 1234;
+
+  /// Agent-tier shared-memory parallelism (the paper's second level:
+  /// concurrent game play of the agents within a strategy group): extra
+  /// worker threads evaluating one SSet's games. 0 = serial. Results are
+  /// bit-identical for any value (games are keyed streams; row sums are
+  /// accumulated in a fixed order).
+  unsigned agent_threads = 0;
+
+  /// Throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+
+  /// The Nature Agent's slice of this configuration. (The interaction
+  /// graph itself is attached by the engine — see make_interaction_graph.)
+  pop::NatureConfig nature_config() const;
+
+  std::string summary() const;
+};
+
+/// Build the interaction graph this config describes. Deterministic, so
+/// every rank reconstructs the identical structure locally.
+pop::InteractionGraph make_interaction_graph(const SimConfig& config);
+
+}  // namespace egt::core

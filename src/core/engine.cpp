@@ -1,0 +1,111 @@
+#include "core/engine.hpp"
+
+#include "util/check.hpp"
+
+namespace egt::core {
+
+pop::Population make_initial_population(const SimConfig& config) {
+  util::Xoshiro256 rng(util::mix64(config.seed ^ 0x5851f42d4c957f2dULL));
+  if (config.space == pop::StrategySpace::Pure) {
+    return pop::Population::random_pure(config.ssets, config.memory, rng);
+  }
+  return pop::Population::random_mixed(config.ssets, config.memory, rng);
+}
+
+std::shared_ptr<const pop::InteractionGraph> make_shared_graph(
+    const SimConfig& config) {
+  if (!config.interaction.structured()) return nullptr;
+  return std::make_shared<const pop::InteractionGraph>(
+      make_interaction_graph(config));
+}
+
+namespace {
+pop::NatureConfig nature_config_with_graph(
+    const SimConfig& config,
+    std::shared_ptr<const pop::InteractionGraph> graph) {
+  auto nc = config.nature_config();
+  nc.graph = std::move(graph);
+  return nc;
+}
+}  // namespace
+
+Engine::Engine(const SimConfig& config)
+    : config_((config.validate(), config)),
+      pop_(make_initial_population(config)),
+      graph_(make_shared_graph(config)),
+      nature_(nature_config_with_graph(config, graph_)),
+      fitness_(config, 0, config.ssets, graph_) {
+  fitness_.initialize(pop_);
+}
+
+Engine::Engine(const SimConfig& config, RestoredState state)
+    : config_((config.validate(), config)),
+      pop_(std::move(state.population)),
+      graph_(make_shared_graph(config)),
+      nature_(nature_config_with_graph(config, graph_)),
+      fitness_(config, 0, config.ssets, graph_),
+      generation_(state.generation) {
+  EGT_REQUIRE_MSG(pop_.size() == config.ssets,
+                  "checkpoint population size does not match the config");
+  EGT_REQUIRE_MSG(pop_.memory() == config.memory,
+                  "checkpoint memory depth does not match the config");
+  nature_.restore_state(state.nature);
+  fitness_.initialize(pop_);
+}
+
+void Engine::step() {
+  // 1. Game dynamics: this generation's fitness.
+  fitness_.begin_generation(pop_, generation_);
+  for (pop::SSetId i = 0; i < config_.ssets; ++i) {
+    pop_.set_fitness(i, fitness_.fitness(i));
+  }
+
+  // 2. Population dynamics.
+  record_ = GenerationRecord{};
+  record_.generation = generation_;
+  const pop::GenerationPlan plan = nature_.plan_generation(&pop_);
+
+  if (plan.pc) {
+    GenerationRecord::PcOutcome out;
+    out.teacher = plan.pc->teacher;
+    out.learner = plan.pc->learner;
+    out.adopted = nature_.decide_adoption(fitness_.fitness(out.teacher),
+                                          fitness_.fitness(out.learner));
+    if (out.adopted) {
+      pop_.set_strategy(out.learner, pop_.strategy(out.teacher));
+      fitness_.strategy_changed(out.learner, pop_, generation_);
+    }
+    record_.pc = out;
+  }
+
+  if (plan.moran) {
+    const pop::MoranPick pick = nature_.select_moran(fitness_.block());
+    GenerationRecord::PcOutcome out;
+    out.teacher = pick.reproducer;
+    out.learner = pick.dying;
+    out.adopted = pick.is_change();
+    if (pick.is_change()) {
+      pop_.set_strategy(pick.dying, pop_.strategy(pick.reproducer));
+      fitness_.strategy_changed(pick.dying, pop_, generation_);
+    }
+    record_.pc = out;
+    record_.was_moran = true;
+  }
+
+  if (plan.mutation) {
+    pop_.set_strategy(plan.mutation->target, plan.mutation->strategy);
+    fitness_.strategy_changed(plan.mutation->target, pop_, generation_);
+    record_.mutation = plan.mutation->target;
+  }
+
+  ++generation_;
+}
+
+void Engine::run(std::uint64_t generations, Observer* observer) {
+  for (std::uint64_t g = 0; g < generations; ++g) {
+    step();
+    if (observer != nullptr) observer->on_generation(pop_, record_);
+  }
+}
+
+}  // namespace egt::core

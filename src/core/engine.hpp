@@ -1,0 +1,86 @@
+// The serial reference engine: one process plays the whole population.
+//
+// Semantics of one generation (paper §IV):
+//   1. Game dynamics: every SSet's agents play every other SSet's strategy;
+//      fitness is the (scaled) sum of payoffs.
+//   2. Population dynamics: Nature may schedule a pairwise-comparison event
+//      (Fermi imitation on this generation's fitness) and a mutation event;
+//      both apply before the next generation starts.
+//
+// The parallel engine (parallel_engine.hpp) produces the exact same
+// trajectory; tests assert bit-identical strategy tables and fitness.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "pop/graph.hpp"
+#include "core/fitness.hpp"
+#include "core/observer.hpp"
+#include "pop/nature.hpp"
+#include "pop/population.hpp"
+
+namespace egt::core {
+
+/// Construct the deterministic initial population for a config (shared by
+/// the serial and parallel engines).
+pop::Population make_initial_population(const SimConfig& config);
+
+class Engine {
+ public:
+  explicit Engine(const SimConfig& config);
+
+  /// Mid-run state as captured by a checkpoint (core/checkpoint.hpp).
+  struct RestoredState {
+    std::uint64_t generation = 0;
+    pop::NatureAgent::State nature;
+    pop::Population population;
+  };
+
+  /// Resume from a checkpointed state.
+  Engine(const SimConfig& config, RestoredState state);
+
+  /// The Nature Agent (checkpointing, inspection).
+  const pop::NatureAgent& nature_agent() const noexcept { return nature_; }
+
+  const SimConfig& config() const noexcept { return config_; }
+  const pop::Population& population() const noexcept { return pop_; }
+  std::uint64_t generation() const noexcept { return generation_; }
+  const GenerationRecord& last_record() const noexcept { return record_; }
+
+  /// Advance one generation.
+  void step();
+
+  /// Run `generations` more generations, reporting each to `observer`.
+  void run(std::uint64_t generations, Observer* observer = nullptr);
+
+  /// Run config().generations generations.
+  void run_all(Observer* observer = nullptr) {
+    run(config_.generations, observer);
+  }
+
+  /// Total ordered pairs evaluated so far (work accounting).
+  std::uint64_t pairs_evaluated() const noexcept {
+    return fitness_.pairs_evaluated();
+  }
+
+  /// The interaction graph (null for the well-mixed population).
+  const pop::InteractionGraph* interaction_graph() const noexcept {
+    return graph_.get();
+  }
+
+ private:
+  SimConfig config_;
+  pop::Population pop_;
+  std::shared_ptr<const pop::InteractionGraph> graph_;  // before nature_
+  pop::NatureAgent nature_;
+  BlockFitness fitness_;
+  std::uint64_t generation_ = 0;
+  GenerationRecord record_;
+};
+
+/// Null for well-mixed configs; the shared graph otherwise.
+std::shared_ptr<const pop::InteractionGraph> make_shared_graph(
+    const SimConfig& config);
+
+}  // namespace egt::core

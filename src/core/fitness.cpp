@@ -1,0 +1,145 @@
+#include "core/fitness.hpp"
+
+#include "util/check.hpp"
+
+namespace egt::core {
+
+PairEvaluator::PairEvaluator(const SimConfig& config)
+    : config_(config),
+      engine_(config.memory, config.game, config.lookup) {}
+
+double PairEvaluator::payoff(const pop::Population& pop, pop::SSetId i,
+                             pop::SSetId j, std::uint64_t gen_key) const {
+  const game::Strategy& si = pop.strategy(i);
+  const game::Strategy& sj = pop.strategy(j);
+  if (config_.fitness_mode == FitnessMode::Analytic) {
+    if (si.is_pure() && sj.is_pure() && config_.game.noise == 0.0) {
+      return game::markov::exact_pure_game(si.as_pure(), sj.as_pure(),
+                                           config_.game.payoff,
+                                           config_.game.rounds)
+          .payoff_a;
+    }
+    if (config_.memory == 1) {
+      return game::markov::expected_game_mem1(si, sj, config_.game.payoff,
+                                              config_.game.rounds,
+                                              config_.game.noise)
+          .payoff_a;
+    }
+    // No closed form for stochastic memory>=2 pairs: fall through to a
+    // (frozen) sampled game.
+  }
+  util::StreamRng rng(config_.seed, util::stream_key(gen_key, i, j));
+  return engine_.play(si, sj, rng).payoff_a;
+}
+
+BlockFitness::BlockFitness(const SimConfig& config, pop::SSetId row_begin,
+                           pop::SSetId row_end,
+                           std::shared_ptr<const pop::InteractionGraph> graph)
+    : config_(config),
+      eval_(config),
+      graph_(std::move(graph)),
+      begin_(row_begin),
+      end_(row_end) {
+  EGT_REQUIRE(row_begin <= row_end && row_end <= config.ssets);
+  fitness_.assign(end_ - begin_, 0.0);
+  if (cached()) {
+    matrix_.assign(static_cast<std::size_t>(end_ - begin_) * config_.ssets,
+                   0.0);
+  }
+  if (config.agent_threads > 0) {
+    row_scratch_.assign(config_.ssets, 0.0);
+    agent_pool_ = std::make_unique<par::ThreadPool>(config.agent_threads);
+  }
+}
+
+double BlockFitness::row_scale(pop::SSetId i) const noexcept {
+  if (config_.fitness_scale == FitnessScale::Total) return 1.0;
+  const double opponents =
+      structured() ? graph_->degree(i)
+                   : static_cast<double>(config_.ssets - 1);
+  return 1.0 / (opponents * config_.game.rounds);
+}
+
+void BlockFitness::recompute_row(pop::SSetId i, const pop::Population& pop,
+                                 std::uint64_t gen_key) {
+  const std::size_t row = i - begin_;
+  double sum = 0.0;
+  if (structured()) {
+    // Structured population: only neighbours play.
+    for (pop::SSetId j : graph_->neighbors(i)) {
+      const double v = eval_.payoff(pop, i, j, gen_key);
+      ++pairs_;
+      if (cached()) matrix_[row * config_.ssets + j] = v;
+      sum += v;
+    }
+    fitness_[row] = sum * row_scale(i);
+    return;
+  }
+  if (agent_pool_ != nullptr) {
+    // Agent tier: the row's games run concurrently into a buffer; the sum
+    // is then taken in fixed j order, so the result is bit-identical to
+    // the serial path.
+    agent_pool_->parallel_for(
+        config_.ssets, [&](std::uint64_t b, std::uint64_t e) {
+          for (std::uint64_t j = b; j < e; ++j) {
+            if (j == i) continue;
+            row_scratch_[j] = eval_.payoff(pop, i, static_cast<pop::SSetId>(j),
+                                           gen_key);
+          }
+        });
+    pairs_ += config_.ssets - 1;
+    for (pop::SSetId j = 0; j < config_.ssets; ++j) {
+      if (j == i) continue;
+      if (cached()) matrix_[row * config_.ssets + j] = row_scratch_[j];
+      sum += row_scratch_[j];
+    }
+  } else {
+    for (pop::SSetId j = 0; j < config_.ssets; ++j) {
+      if (j == i) continue;
+      const double v = eval_.payoff(pop, i, j, gen_key);
+      ++pairs_;
+      if (cached()) matrix_[row * config_.ssets + j] = v;
+      sum += v;
+    }
+  }
+  fitness_[row] = sum * row_scale(i);
+}
+
+void BlockFitness::initialize(const pop::Population& pop) {
+  for (pop::SSetId i = begin_; i < end_; ++i) {
+    recompute_row(i, pop, 0);
+  }
+}
+
+void BlockFitness::begin_generation(const pop::Population& pop,
+                                    std::uint64_t generation) {
+  if (cached()) return;  // values only move when a strategy changes
+  for (pop::SSetId i = begin_; i < end_; ++i) {
+    recompute_row(i, pop, generation);
+  }
+}
+
+void BlockFitness::strategy_changed(pop::SSetId k, const pop::Population& pop,
+                                    std::uint64_t generation) {
+  if (!cached()) return;  // next begin_generation re-plays everything anyway
+  if (k >= begin_ && k < end_) {
+    recompute_row(k, pop, generation);
+  }
+  for (pop::SSetId i = begin_; i < end_; ++i) {
+    if (i == k) continue;
+    if (structured() && !graph_->are_neighbors(i, k)) continue;
+    const std::size_t idx =
+        static_cast<std::size_t>(i - begin_) * config_.ssets + k;
+    const double fresh = eval_.payoff(pop, i, k, generation);
+    ++pairs_;
+    fitness_[i - begin_] += (fresh - matrix_[idx]) * row_scale(i);
+    matrix_[idx] = fresh;
+  }
+}
+
+double BlockFitness::fitness(pop::SSetId i) const {
+  EGT_REQUIRE_MSG(i >= begin_ && i < end_, "fitness query outside block");
+  return fitness_[i - begin_];
+}
+
+}  // namespace egt::core

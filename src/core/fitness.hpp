@@ -1,0 +1,104 @@
+// Fitness evaluation (the game-dynamics tier).
+//
+// An SSet's relative fitness for a generation is the sum of its agents'
+// payoffs against every other SSet's strategy (paper §IV-A/§IV-D). Each
+// ordered pair (i, j) is one agent-vs-strategy game whose RNG stream is
+// keyed by (seed, generation-key, i, j), so the value is a pure function of
+// the configuration — independent of evaluation order, rank count, or which
+// rank computes it.
+//
+// BlockFitness maintains the fitness of a contiguous row block [begin, end)
+// of SSets. The serial engine uses one block covering everything; each
+// parallel rank owns one block (memory then scales as rows/rank * ssets,
+// mirroring the paper's per-node strategy-space storage).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "game/markov.hpp"
+#include "par/threadpool.hpp"
+#include "pop/population.hpp"
+
+namespace egt::core {
+
+/// Stateless per-pair payoff evaluation under a SimConfig.
+class PairEvaluator {
+ public:
+  explicit PairEvaluator(const SimConfig& config);
+
+  /// Payoff of SSet `i` playing SSet `j` (i's side), using the stream keyed
+  /// by (seed, gen_key, i, j). For FitnessMode::Analytic the value is an
+  /// expectation and gen_key is ignored where exact methods apply.
+  double payoff(const pop::Population& pop, pop::SSetId i, pop::SSetId j,
+                std::uint64_t gen_key) const;
+
+  const game::IpdEngine& engine() const noexcept { return engine_; }
+
+ private:
+  SimConfig config_;
+  game::IpdEngine engine_;
+};
+
+class BlockFitness {
+ public:
+  /// `graph` restricts game play to neighbours (null = well-mixed, the
+  /// paper's population; the engines pass make_interaction_graph output).
+  BlockFitness(const SimConfig& config, pop::SSetId row_begin,
+               pop::SSetId row_end,
+               std::shared_ptr<const pop::InteractionGraph> graph = nullptr);
+
+  pop::SSetId row_begin() const noexcept { return begin_; }
+  pop::SSetId row_end() const noexcept { return end_; }
+
+  /// Full evaluation of the block (generation key = current generation for
+  /// Sampled, 0 for the cached modes).
+  void initialize(const pop::Population& pop);
+
+  /// Called at the top of every generation *before* Nature acts.
+  /// Sampled mode re-plays all games with this generation's streams; the
+  /// cached modes are no-ops here.
+  void begin_generation(const pop::Population& pop, std::uint64_t generation);
+
+  /// Called after SSet `k` changed strategy in `generation`. Cached modes
+  /// refresh row k (if owned) and every owned entry against k.
+  void strategy_changed(pop::SSetId k, const pop::Population& pop,
+                        std::uint64_t generation);
+
+  /// Fitness of an owned SSet.
+  double fitness(pop::SSetId i) const;
+
+  /// Fitness of the whole block, indexed by (i - row_begin).
+  std::span<const double> block() const noexcept { return fitness_; }
+
+  /// Games played (sampled) or pairs evaluated (analytic) so far — work
+  /// accounting used by tests and the ablation bench.
+  std::uint64_t pairs_evaluated() const noexcept { return pairs_; }
+
+ private:
+  bool cached() const noexcept {
+    return config_.fitness_mode != FitnessMode::Sampled;
+  }
+  bool structured() const noexcept {
+    return graph_ != nullptr && !graph_->is_complete();
+  }
+  double row_scale(pop::SSetId i) const noexcept;
+  void recompute_row(pop::SSetId i, const pop::Population& pop,
+                     std::uint64_t gen_key);
+
+  SimConfig config_;
+  PairEvaluator eval_;
+  std::shared_ptr<const pop::InteractionGraph> graph_;
+  pop::SSetId begin_;
+  pop::SSetId end_;
+  std::vector<double> fitness_;         // per owned row (scaled sums)
+  std::vector<double> matrix_;          // cached modes: rows x ssets payoffs
+  std::vector<double> row_scratch_;     // agent-tier evaluation buffer
+  std::unique_ptr<par::ThreadPool> agent_pool_;  // paper's second tier
+  mutable std::uint64_t pairs_ = 0;
+};
+
+}  // namespace egt::core

@@ -1,0 +1,48 @@
+#include "core/observer.hpp"
+
+#include <algorithm>
+
+#include "pop/stats.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace egt::core {
+
+void TimeSeriesRecorder::on_generation(const pop::Population& pop,
+                                       const GenerationRecord& record) {
+  if (interval_ != 0 && record.generation % interval_ != 0) return;
+  Sample s;
+  s.generation = record.generation;
+  s.mean_fitness = util::mean(pop.fitness());
+  s.mean_coop_probability = pop::mean_coop_probability(pop);
+  const auto c = pop::census(pop);
+  s.dominant_fraction = static_cast<double>(c.front().count) / pop.size();
+  s.distinct = c.size();
+  s.entropy = pop::strategy_entropy(pop);
+  if (reference_) {
+    s.tracked_fraction = pop::fraction_near(pop, *reference_, tolerance_);
+  }
+  samples_.push_back(s);
+}
+
+void TimeSeriesRecorder::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path, {"generation", "mean_fitness", "mean_coop_prob",
+                             "dominant_fraction", "entropy", "distinct",
+                             "tracked_fraction"});
+  for (const auto& s : samples_) {
+    csv.row({static_cast<double>(s.generation), s.mean_fitness,
+             s.mean_coop_probability, s.dominant_fraction, s.entropy,
+             static_cast<double>(s.distinct), s.tracked_fraction});
+  }
+}
+
+void SnapshotRecorder::on_generation(const pop::Population& pop,
+                                     const GenerationRecord& record) {
+  if (std::find(wanted_.begin(), wanted_.end(), record.generation) ==
+      wanted_.end()) {
+    return;
+  }
+  snapshots_.emplace_back(record.generation, pop);
+}
+
+}  // namespace egt::core

@@ -1,0 +1,123 @@
+// Observation hooks of the serial engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "pop/population.hpp"
+
+namespace egt::core {
+
+/// What happened in one generation (events already applied).
+struct GenerationRecord {
+  std::uint64_t generation = 0;
+  struct PcOutcome {
+    pop::SSetId teacher = 0;  ///< Moran: the reproducer
+    pop::SSetId learner = 0;  ///< Moran: the replaced SSet
+    bool adopted = false;
+  };
+  std::optional<PcOutcome> pc;
+  /// True when `pc` describes a Moran birth-death event.
+  bool was_moran = false;
+  std::optional<pop::SSetId> mutation;  ///< target SSet
+};
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  /// Called after every generation. `pop` carries this generation's
+  /// fitness values and the *post-event* strategy table.
+  virtual void on_generation(const pop::Population& pop,
+                             const GenerationRecord& record) = 0;
+};
+
+/// Adapts a lambda.
+class CallbackObserver final : public Observer {
+ public:
+  using Fn = std::function<void(const pop::Population&,
+                                const GenerationRecord&)>;
+  explicit CallbackObserver(Fn fn) : fn_(std::move(fn)) {}
+  void on_generation(const pop::Population& pop,
+                     const GenerationRecord& record) override {
+    fn_(pop, record);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Records population summary statistics every `interval` generations.
+class TimeSeriesRecorder final : public Observer {
+ public:
+  struct Sample {
+    std::uint64_t generation = 0;
+    double mean_fitness = 0.0;
+    double mean_coop_probability = 0.0;
+    double dominant_fraction = 0.0;
+    double entropy = 0.0;
+    std::size_t distinct = 0;
+    /// Share of SSets near the tracked strategy (0 when none is tracked).
+    double tracked_fraction = 0.0;
+  };
+
+  explicit TimeSeriesRecorder(std::uint64_t interval) : interval_(interval) {}
+
+  /// Additionally track the population share within L2 `tolerance` of
+  /// `reference` (e.g. WSLS for the Fig. 2 study).
+  TimeSeriesRecorder(std::uint64_t interval, game::Strategy reference,
+                     double tolerance)
+      : interval_(interval),
+        reference_(std::move(reference)),
+        tolerance_(tolerance) {}
+
+  void on_generation(const pop::Population& pop,
+                     const GenerationRecord& record) override;
+
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  /// Dump as CSV (one row per sample).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::uint64_t interval_;
+  std::optional<game::Strategy> reference_;
+  double tolerance_ = 0.0;
+  std::vector<Sample> samples_;
+};
+
+/// Stores full population snapshots at chosen generations (e.g. first and
+/// last for the Fig. 2 heat maps).
+class SnapshotRecorder final : public Observer {
+ public:
+  explicit SnapshotRecorder(std::vector<std::uint64_t> generations)
+      : wanted_(std::move(generations)) {}
+
+  void on_generation(const pop::Population& pop,
+                     const GenerationRecord& record) override;
+
+  const std::vector<std::pair<std::uint64_t, pop::Population>>& snapshots()
+      const noexcept {
+    return snapshots_;
+  }
+
+ private:
+  std::vector<std::uint64_t> wanted_;
+  std::vector<std::pair<std::uint64_t, pop::Population>> snapshots_;
+};
+
+/// Fans one engine callback out to several observers.
+class MultiObserver final : public Observer {
+ public:
+  void add(Observer& obs) { children_.push_back(&obs); }
+  void on_generation(const pop::Population& pop,
+                     const GenerationRecord& record) override {
+    for (auto* c : children_) c->on_generation(pop, record);
+  }
+
+ private:
+  std::vector<Observer*> children_;
+};
+
+}  // namespace egt::core

@@ -1,0 +1,256 @@
+#include "core/parallel_engine.hpp"
+
+#include <cstring>
+#include <optional>
+
+#include "core/engine.hpp"
+#include "core/fitness.hpp"
+#include "par/partition.hpp"
+#include "pop/nature.hpp"
+#include "util/check.hpp"
+
+namespace egt::core {
+
+namespace {
+
+constexpr int kTagFitTeacher = 1;
+constexpr int kTagFitLearner = 2;
+
+// -- generation-plan wire format ---------------------------------------------
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const auto off = out.size();
+  out.resize(off + sizeof v);
+  std::memcpy(out.data() + off, &v, sizeof v);
+}
+
+std::uint32_t get_u32(const std::vector<std::byte>& in, std::size_t& off) {
+  std::uint32_t v;
+  std::memcpy(&v, in.data() + off, sizeof v);
+  off += sizeof v;
+  return v;
+}
+
+std::vector<std::byte> encode_plan(const pop::GenerationPlan& plan) {
+  std::vector<std::byte> out;
+  out.push_back(static_cast<std::byte>(plan.pc ? 1 : 0));
+  if (plan.pc) {
+    put_u32(out, plan.pc->teacher);
+    put_u32(out, plan.pc->learner);
+  }
+  out.push_back(static_cast<std::byte>(plan.moran ? 1 : 0));
+  out.push_back(static_cast<std::byte>(plan.mutation ? 1 : 0));
+  if (plan.mutation) {
+    put_u32(out, plan.mutation->target);
+    const auto payload = plan.mutation->strategy.serialize();
+    put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+pop::GenerationPlan decode_plan(const std::vector<std::byte>& in) {
+  pop::GenerationPlan plan;
+  std::size_t off = 0;
+  EGT_REQUIRE_MSG(in.size() >= 3, "plan payload too short");
+  if (std::to_integer<int>(in[off++]) != 0) {
+    pop::GenerationPlan::Pc pc;
+    pc.teacher = get_u32(in, off);
+    pc.learner = get_u32(in, off);
+    plan.pc = pc;
+  }
+  plan.moran = std::to_integer<int>(in[off++]) != 0;
+  if (std::to_integer<int>(in[off++]) != 0) {
+    pop::GenerationPlan::Mutation mut;
+    mut.target = get_u32(in, off);
+    const std::uint32_t len = get_u32(in, off);
+    EGT_REQUIRE_MSG(off + len == in.size(), "plan payload size mismatch");
+    std::vector<std::byte> payload(in.begin() + static_cast<std::ptrdiff_t>(off),
+                                   in.end());
+    mut.strategy = game::Strategy::deserialize(payload);
+    plan.mutation = std::move(mut);
+  }
+  return plan;
+}
+
+// -- per-rank program ---------------------------------------------------------
+
+void rank_main(par::Comm& comm, const SimConfig& config,
+               std::optional<pop::Population>& result_slot) {
+  const int rank = comm.rank();
+  const auto nranks = static_cast<std::uint64_t>(comm.size());
+
+  // Every rank derives the identical initial state from the seed alone —
+  // the paper's "each node can calculate its position ... individually".
+  pop::Population pop = make_initial_population(config);
+  // Every rank reconstructs the identical interaction graph locally.
+  const auto graph = make_shared_graph(config);
+  const par::BlockPartition part(config.ssets, nranks);
+  const auto row_begin = static_cast<pop::SSetId>(
+      part.begin(static_cast<std::uint64_t>(rank)));
+  const auto row_end =
+      static_cast<pop::SSetId>(part.end(static_cast<std::uint64_t>(rank)));
+  BlockFitness fit(config, row_begin, row_end, graph);
+  fit.initialize(pop);
+
+  const bool replay_nature =
+      config.comm_pattern == CommPattern::ReplicatedNature;
+  std::optional<pop::NatureAgent> nature;
+  if (replay_nature || rank == 0) {
+    auto nc = config.nature_config();
+    nc.graph = graph;
+    nature.emplace(nc);
+  }
+
+  auto owner_of = [&](pop::SSetId i) {
+    return static_cast<int>(part.owner(i));
+  };
+
+  // Matches the serial engine: zero until the first generation runs.
+  std::vector<double> fitness_snapshot(fit.block().size(), 0.0);
+
+  for (std::uint64_t gen = 0; gen < config.generations; ++gen) {
+    // 1. Game dynamics: local, communication-free.
+    fit.begin_generation(pop, gen);
+    fitness_snapshot.assign(fit.block().begin(), fit.block().end());
+
+    // 2. Population dynamics.
+    pop::GenerationPlan plan;
+    if (replay_nature) {
+      plan = nature->plan_generation(&pop);
+    } else {
+      std::vector<std::byte> wire;
+      if (rank == 0) {
+        plan = nature->plan_generation(&pop);
+        wire = encode_plan(plan);
+      }
+      comm.bcast(wire, 0);
+      if (rank != 0) plan = decode_plan(wire);
+    }
+
+    if (plan.pc) {
+      const pop::SSetId teacher = plan.pc->teacher;
+      const pop::SSetId learner = plan.pc->learner;
+      bool adopted = false;
+
+      if (replay_nature) {
+        std::vector<double> pair_fitness(2, 0.0);
+        if (owner_of(teacher) == rank) pair_fitness[0] = fit.fitness(teacher);
+        if (owner_of(learner) == rank) pair_fitness[1] = fit.fitness(learner);
+        pair_fitness =
+            comm.allreduce(std::move(pair_fitness), par::Comm::ReduceOp::Sum);
+        adopted = nature->decide_adoption(pair_fitness[0], pair_fitness[1]);
+      } else {
+        // Owners return fitness to the Nature Agent point-to-point
+        // (the paper's torus sends), rank 0 decides, decision broadcast.
+        if (rank != 0 && owner_of(teacher) == rank) {
+          comm.send_value(0, kTagFitTeacher, fit.fitness(teacher));
+        }
+        if (rank != 0 && owner_of(learner) == rank) {
+          comm.send_value(0, kTagFitLearner, fit.fitness(learner));
+        }
+        std::uint8_t adopted_wire = 0;
+        if (rank == 0) {
+          const double tf = owner_of(teacher) == 0
+                                ? fit.fitness(teacher)
+                                : comm.recv_value<double>(owner_of(teacher),
+                                                          kTagFitTeacher);
+          const double lf = owner_of(learner) == 0
+                                ? fit.fitness(learner)
+                                : comm.recv_value<double>(owner_of(learner),
+                                                          kTagFitLearner);
+          adopted_wire = nature->decide_adoption(tf, lf) ? 1 : 0;
+        }
+        comm.bcast_value(adopted_wire, 0);
+        adopted = adopted_wire != 0;
+      }
+
+      if (adopted) {
+        pop.set_strategy(learner, pop.strategy(teacher));
+        fit.strategy_changed(learner, pop, gen);
+      }
+    }
+
+    if (plan.moran) {
+      // The Moran rule needs the whole fitness vector at the selector —
+      // the communication pattern the paper's pairwise rule avoids.
+      pop::MoranPick pick;
+      auto pack_block = [&] {
+        std::vector<std::byte> bytes(fit.block().size() * sizeof(double));
+        std::memcpy(bytes.data(), fit.block().data(), bytes.size());
+        return bytes;
+      };
+      auto assemble = [&](const std::vector<std::vector<std::byte>>& blocks) {
+        std::vector<double> full(config.ssets, 0.0);
+        for (std::uint64_t r = 0; r < nranks; ++r) {
+          const auto& b = blocks[r];
+          std::memcpy(full.data() + part.begin(r), b.data(), b.size());
+        }
+        return full;
+      };
+      if (replay_nature) {
+        const auto full = assemble(comm.allgather(pack_block()));
+        pick = nature->select_moran(full);
+      } else {
+        auto blocks = comm.gather(pack_block(), 0);
+        std::uint64_t wire = 0;
+        if (rank == 0) {
+          const auto full = assemble(blocks);
+          pick = nature->select_moran(full);
+          wire = (static_cast<std::uint64_t>(pick.reproducer) << 32) |
+                 pick.dying;
+        }
+        comm.bcast_value(wire, 0);
+        pick.reproducer = static_cast<pop::SSetId>(wire >> 32);
+        pick.dying = static_cast<pop::SSetId>(wire & 0xffffffffu);
+      }
+      if (pick.is_change()) {
+        pop.set_strategy(pick.dying, pop.strategy(pick.reproducer));
+        fit.strategy_changed(pick.dying, pop, gen);
+      }
+    }
+
+    if (plan.mutation) {
+      pop.set_strategy(plan.mutation->target, plan.mutation->strategy);
+      fit.strategy_changed(plan.mutation->target, pop, gen);
+    }
+  }
+
+  // Collect the final fitness (as of the top of the last generation, the
+  // same values the serial engine leaves in its population).
+  std::vector<std::byte> mine(fitness_snapshot.size() * sizeof(double));
+  std::memcpy(mine.data(), fitness_snapshot.data(), mine.size());
+  auto blocks = comm.gather(std::move(mine), 0);
+
+  if (rank == 0) {
+    for (std::uint64_t r = 0; r < nranks; ++r) {
+      const auto& b = blocks[r];
+      std::vector<double> values(b.size() / sizeof(double));
+      std::memcpy(values.data(), b.data(), b.size());
+      const auto base = static_cast<pop::SSetId>(part.begin(r));
+      for (std::size_t k = 0; k < values.size(); ++k) {
+        pop.set_fitness(base + static_cast<pop::SSetId>(k), values[k]);
+      }
+    }
+    result_slot = std::move(pop);
+  }
+}
+
+}  // namespace
+
+ParallelResult run_parallel(const SimConfig& config, int nranks) {
+  config.validate();
+  EGT_REQUIRE_MSG(nranks >= 1, "need at least one rank");
+  EGT_REQUIRE_MSG(static_cast<pop::SSetId>(nranks) <= config.ssets,
+                  "more ranks than SSets is not supported by the block "
+                  "partition (use the performance simulator for that regime)");
+
+  std::optional<pop::Population> final_pop;
+  const par::TrafficReport traffic = par::run_ranks_traced(
+      nranks,
+      [&](par::Comm& comm) { rank_main(comm, config, final_pop); });
+  EGT_ASSERT(final_pop.has_value());
+  return ParallelResult{std::move(*final_pop), traffic, config.generations};
+}
+
+}  // namespace egt::core

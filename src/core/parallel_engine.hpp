@@ -1,0 +1,38 @@
+// The parallel engine: the paper's algorithm on the mini message-passing
+// runtime.
+//
+// Mapping (paper §V): rank 0 doubles as the Nature Agent; every rank owns a
+// contiguous block of SSets and computes their game play locally against
+// the replicated strategy table (no communication in the game-dynamics
+// tier). Population dynamics per generation:
+//
+//   PaperBcast (default, the paper's §V-B pattern):
+//     rank 0 plans the generation and broadcasts the event plan (including
+//     any mutated strategy payload) over the binomial tree; owners of the
+//     PC pair return fitness point-to-point; rank 0 broadcasts the adoption
+//     decision; all ranks apply updates to their replica.
+//
+//   ReplicatedNature (ablation): every rank replays Nature's RNG, so the
+//   schedule and mutation payloads need no broadcast; only the PC pair's
+//   fitness is combined with an allreduce.
+//
+// For any rank count the trajectory is bit-identical to the serial Engine —
+// the central integration-test invariant.
+#pragma once
+
+#include "core/config.hpp"
+#include "par/runtime.hpp"
+#include "pop/population.hpp"
+
+namespace egt::core {
+
+struct ParallelResult {
+  pop::Population population;  ///< final strategy table + final fitness
+  par::TrafficReport traffic;  ///< total p2p traffic of the whole run
+  std::uint64_t generations = 0;
+};
+
+/// Run the full simulation on `nranks` ranks. Blocks until done.
+ParallelResult run_parallel(const SimConfig& config, int nranks);
+
+}  // namespace egt::core

@@ -1,0 +1,34 @@
+#include "game/enumerate.hpp"
+
+#include "util/check.hpp"
+
+namespace egt::game {
+
+std::uint64_t pure_strategy_count(int memory) {
+  EGT_REQUIRE_MSG(memory >= 0 && memory <= 2,
+                  "pure strategy count only fits 64 bits for memory <= 2");
+  return std::uint64_t{1} << num_states(memory);
+}
+
+PureStrategy pure_strategy_from_index(int memory, std::uint64_t index) {
+  EGT_REQUIRE(memory >= 0 && memory <= 2);
+  EGT_REQUIRE_MSG(index < pure_strategy_count(memory),
+                  "strategy index out of range");
+  PureStrategy s(memory);
+  for (State st = 0; st < s.states(); ++st) {
+    s.set_move(st, from_bit(static_cast<int>((index >> st) & 1u)));
+  }
+  return s;
+}
+
+std::vector<PureStrategy> all_pure_strategies(int memory) {
+  const std::uint64_t n = pure_strategy_count(memory);
+  std::vector<PureStrategy> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(pure_strategy_from_index(memory, i));
+  }
+  return out;
+}
+
+}  // namespace egt::game

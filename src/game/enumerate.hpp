@@ -1,0 +1,28 @@
+// Exhaustive enumeration of small strategy spaces.
+//
+// The paper's Table III lists all 16 memory-one pure strategies and
+// Table IV counts the explosion beyond (2^16 at memory-two, astronomically
+// more after). Enumeration is feasible exactly for memory-zero/one (2 and
+// 16 strategies) and, with patience, memory-two (65,536) — which is what
+// exhaustive tests and small exact studies use.
+#pragma once
+
+#include <vector>
+
+#include "game/strategy.hpp"
+
+namespace egt::game {
+
+/// Number of pure memory-n strategies, 2^(4^n), as long as it fits 64 bits
+/// (memory <= 2).
+std::uint64_t pure_strategy_count(int memory);
+
+/// All pure strategies of the given memory depth, ordered by their table
+/// read as a binary number (state 0 = least significant bit) — the paper's
+/// Table III ordering up to row permutation. memory <= 2 only.
+std::vector<PureStrategy> all_pure_strategies(int memory);
+
+/// The strategy whose table equals `index` in the enumeration order.
+PureStrategy pure_strategy_from_index(int memory, std::uint64_t index);
+
+}  // namespace egt::game

@@ -1,0 +1,312 @@
+#include "game/markov.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace egt::game::markov {
+
+namespace {
+
+/// Effective cooperation probability after execution noise.
+inline double noisy(double p, double eps) noexcept {
+  return (1.0 - eps) * p + eps * (1.0 - p);
+}
+
+/// Cooperation probabilities of both players conditioned on the previous
+/// outcome o = 2*moveA + moveB (bit = 1 means defect).
+struct OutcomeChain {
+  // pa[o] = P(A cooperates | previous outcome o); same for pb.
+  std::array<double, 4> pa{};
+  std::array<double, 4> pb{};
+
+  OutcomeChain(const Strategy& a, const Strategy& b, double eps) {
+    EGT_REQUIRE_MSG(a.memory() == 1 && b.memory() == 1,
+                    "outcome-chain analysis requires memory-one strategies");
+    for (int o = 0; o < 4; ++o) {
+      const auto oa = static_cast<State>(o);
+      // B sees the mirrored state: (my, opp) swaps.
+      const auto ob = static_cast<State>(((o & 1) << 1) | (o >> 1));
+      pa[static_cast<std::size_t>(o)] = noisy(a.coop_prob(oa), eps);
+      pb[static_cast<std::size_t>(o)] = noisy(b.coop_prob(ob), eps);
+    }
+  }
+
+  /// One exact propagation step of the outcome distribution.
+  std::array<double, 4> step(const std::array<double, 4>& d) const noexcept {
+    std::array<double, 4> out{};
+    for (std::size_t o = 0; o < 4; ++o) {
+      if (d[o] == 0.0) continue;
+      const double ca = pa[o];
+      const double cb = pb[o];
+      out[0] += d[o] * ca * cb;
+      out[1] += d[o] * ca * (1.0 - cb);
+      out[2] += d[o] * (1.0 - ca) * cb;
+      out[3] += d[o] * (1.0 - ca) * (1.0 - cb);
+    }
+    return out;
+  }
+};
+
+/// Payoff of A for each outcome o = 2*moveA + moveB.
+std::array<double, 4> payoff_vector_a(const PayoffMatrix& m) {
+  return {m.reward, m.sucker, m.temptation, m.punishment};
+}
+/// Payoff of B (mirror).
+std::array<double, 4> payoff_vector_b(const PayoffMatrix& m) {
+  return {m.reward, m.temptation, m.sucker, m.punishment};
+}
+
+}  // namespace
+
+namespace {
+/// Totals of the exact finite-game expectation (payoff sums, cooperation
+/// move counts as real numbers).
+struct FiniteTotals {
+  double payoff_a = 0.0, payoff_b = 0.0;
+  double coop_a = 0.0, coop_b = 0.0;
+};
+
+FiniteTotals finite_totals_mem1(const Strategy& a, const Strategy& b,
+                                const PayoffMatrix& payoff,
+                                std::uint32_t rounds, double eps) {
+  EGT_REQUIRE(rounds > 0);
+  const OutcomeChain chain(a, b, eps);
+  const auto va = payoff_vector_a(payoff);
+  const auto vb = payoff_vector_b(payoff);
+
+  FiniteTotals t;
+  // The all-cooperate initial history is outcome CC.
+  std::array<double, 4> prev{1.0, 0.0, 0.0, 0.0};
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    const auto d = chain.step(prev);
+    for (std::size_t o = 0; o < 4; ++o) {
+      t.payoff_a += d[o] * va[o];
+      t.payoff_b += d[o] * vb[o];
+    }
+    t.coop_a += d[0] + d[1];
+    t.coop_b += d[0] + d[2];
+    prev = d;
+  }
+  return t;
+}
+}  // namespace
+
+GameResult expected_game_mem1(const Strategy& a, const Strategy& b,
+                              const PayoffMatrix& payoff, std::uint32_t rounds,
+                              double eps) {
+  const FiniteTotals t = finite_totals_mem1(a, b, payoff, rounds, eps);
+  GameResult res;
+  res.rounds = rounds;
+  res.payoff_a = t.payoff_a;
+  res.payoff_b = t.payoff_b;
+  // Expected cooperation counts, rounded to the nearest integer for the
+  // integral fields; exact expectations are available via
+  // finite_outcome_mem1.
+  res.coop_a = static_cast<std::uint32_t>(std::lround(t.coop_a));
+  res.coop_b = static_cast<std::uint32_t>(std::lround(t.coop_b));
+  return res;
+}
+
+ExpectedOutcome finite_outcome_mem1(const Strategy& a, const Strategy& b,
+                                    const PayoffMatrix& payoff,
+                                    std::uint32_t rounds, double eps) {
+  const FiniteTotals t = finite_totals_mem1(a, b, payoff, rounds, eps);
+  ExpectedOutcome out;
+  const double n = rounds;
+  out.payoff_a = t.payoff_a / n;
+  out.payoff_b = t.payoff_b / n;
+  out.coop_a = t.coop_a / n;
+  out.coop_b = t.coop_b / n;
+  return out;
+}
+
+std::array<double, 4> stationary_distribution_mem1(const Strategy& a,
+                                                   const Strategy& b,
+                                                   double eps) {
+  const OutcomeChain chain(a, b, eps);
+
+  // Solve pi = pi * T, sum(pi) = 1 by Gaussian elimination on
+  // (T^t - I) pi = 0 with the last equation replaced by sum = 1.
+  double m[4][5] = {};
+  for (int j = 0; j < 4; ++j) {  // equation j: sum_i pi_i (T[i][j] - I) = 0
+    const std::array<double, 4> unit_rows[4] = {
+        chain.step({1, 0, 0, 0}), chain.step({0, 1, 0, 0}),
+        chain.step({0, 0, 1, 0}), chain.step({0, 0, 0, 1})};
+    for (int i = 0; i < 4; ++i) {
+      m[j][i] = unit_rows[i][static_cast<std::size_t>(j)] - (i == j ? 1.0 : 0.0);
+    }
+    m[j][4] = 0.0;
+  }
+  for (int i = 0; i < 4; ++i) m[3][i] = 1.0;
+  m[3][4] = 1.0;
+
+  // Partial-pivot elimination.
+  bool singular = false;
+  for (int col = 0; col < 4 && !singular; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 4; ++r) {
+      if (std::fabs(m[r][col]) > std::fabs(m[pivot][col])) pivot = r;
+    }
+    if (std::fabs(m[pivot][col]) < 1e-12) {
+      singular = true;
+      break;
+    }
+    if (pivot != col) {
+      for (int c = 0; c <= 4; ++c) std::swap(m[pivot][c], m[col][c]);
+    }
+    for (int r = 0; r < 4; ++r) {
+      if (r == col) continue;
+      const double f = m[r][col] / m[col][col];
+      for (int c = col; c <= 4; ++c) m[r][c] -= f * m[col][c];
+    }
+  }
+
+  std::array<double, 4> pi{};
+  if (!singular) {
+    bool ok = true;
+    for (int i = 0; i < 4; ++i) {
+      pi[static_cast<std::size_t>(i)] = m[i][4] / m[i][i];
+      if (!(pi[static_cast<std::size_t>(i)] >= -1e-9)) ok = false;
+    }
+    if (ok) {
+      for (auto& p : pi) p = std::max(p, 0.0);
+      double sum = pi[0] + pi[1] + pi[2] + pi[3];
+      for (auto& p : pi) p /= sum;
+      return pi;
+    }
+  }
+
+  // Non-ergodic chain (several closed classes or a periodic orbit): the
+  // Cesàro average of the distribution sequence always converges; average
+  // the orbit from the all-cooperate start.
+  std::array<double, 4> d{1.0, 0.0, 0.0, 0.0};
+  std::array<double, 4> acc{};
+  constexpr int kBurn = 512;
+  constexpr int kAvg = 4096;
+  for (int t = 0; t < kBurn; ++t) d = chain.step(d);
+  for (int t = 0; t < kAvg; ++t) {
+    d = chain.step(d);
+    for (std::size_t o = 0; o < 4; ++o) acc[o] += d[o];
+  }
+  for (auto& p : acc) p /= kAvg;
+  return acc;
+}
+
+ExpectedOutcome stationary_mem1(const Strategy& a, const Strategy& b,
+                                const PayoffMatrix& payoff, double eps) {
+  const auto pi = stationary_distribution_mem1(a, b, eps);
+  const auto va = payoff_vector_a(payoff);
+  const auto vb = payoff_vector_b(payoff);
+  ExpectedOutcome out;
+  for (std::size_t o = 0; o < 4; ++o) {
+    out.payoff_a += pi[o] * va[o];
+    out.payoff_b += pi[o] * vb[o];
+  }
+  out.coop_a = pi[0] + pi[1];
+  out.coop_b = pi[0] + pi[2];
+  return out;
+}
+
+PureOrbit pure_orbit(const PureStrategy& a, const PureStrategy& b,
+                     const PayoffMatrix& payoff) {
+  EGT_REQUIRE(a.memory() == b.memory());
+  const StateCodec codec(a.memory());
+  std::vector<std::int32_t> first_seen(codec.states(), -1);
+  std::vector<double> pay_a, pay_b;
+  std::vector<int> coop_a, coop_b;
+
+  State s = StateCodec::initial();
+  for (std::uint32_t t = 0;; ++t) {
+    if (first_seen[s] >= 0) {
+      PureOrbit orbit;
+      orbit.transient = static_cast<std::uint32_t>(first_seen[s]);
+      orbit.cycle = t - orbit.transient;
+      for (std::uint32_t k = orbit.transient; k < t; ++k) {
+        orbit.cycle_payoff_a += pay_a[k];
+        orbit.cycle_payoff_b += pay_b[k];
+        orbit.cycle_coop_a += coop_a[k];
+        orbit.cycle_coop_b += coop_b[k];
+      }
+      orbit.cycle_payoff_a /= orbit.cycle;
+      orbit.cycle_payoff_b /= orbit.cycle;
+      orbit.cycle_coop_a /= orbit.cycle;
+      orbit.cycle_coop_b /= orbit.cycle;
+      return orbit;
+    }
+    first_seen[s] = static_cast<std::int32_t>(t);
+    const Move ma = a.move(s);
+    const Move mb = b.move(codec.swap_perspective(s));
+    pay_a.push_back(payoff.payoff(ma, mb));
+    pay_b.push_back(payoff.payoff(mb, ma));
+    coop_a.push_back(ma == Move::Cooperate ? 1 : 0);
+    coop_b.push_back(mb == Move::Cooperate ? 1 : 0);
+    s = codec.push(s, ma, mb);
+  }
+}
+
+GameResult exact_pure_game(const PureStrategy& a, const PureStrategy& b,
+                           const PayoffMatrix& payoff, std::uint32_t rounds) {
+  EGT_REQUIRE(a.memory() == b.memory());
+  EGT_REQUIRE(rounds > 0);
+  const StateCodec codec(a.memory());
+
+  // The joint configuration is A's view; B's view is its mirror. The map
+  // config -> next config is deterministic, so the trajectory from state 0
+  // reaches a cycle after at most 4^n steps.
+  std::vector<std::int32_t> first_seen(codec.states(), -1);
+  std::vector<double> cum_a{0.0};
+  std::vector<double> cum_b{0.0};
+  std::vector<std::uint32_t> cum_ca{0};
+  std::vector<std::uint32_t> cum_cb{0};
+
+  auto result_at = [&](std::uint32_t t0, std::uint32_t t1) {
+    // Totals over `rounds` steps of a trajectory that is a cycle
+    // [t0, t1) after a transient of t0 steps.
+    GameResult res;
+    res.rounds = rounds;
+    if (rounds < t1) {
+      res.payoff_a = cum_a[rounds];
+      res.payoff_b = cum_b[rounds];
+      res.coop_a = cum_ca[rounds];
+      res.coop_b = cum_cb[rounds];
+      return res;
+    }
+    const std::uint32_t len = t1 - t0;
+    const std::uint32_t after = rounds - t0;
+    const std::uint32_t cycles = after / len;
+    const std::uint32_t rem = after % len;
+    res.payoff_a = cum_a[t0] + cycles * (cum_a[t1] - cum_a[t0]) +
+                   (cum_a[t0 + rem] - cum_a[t0]);
+    res.payoff_b = cum_b[t0] + cycles * (cum_b[t1] - cum_b[t0]) +
+                   (cum_b[t0 + rem] - cum_b[t0]);
+    res.coop_a = cum_ca[t0] + cycles * (cum_ca[t1] - cum_ca[t0]) +
+                 (cum_ca[t0 + rem] - cum_ca[t0]);
+    res.coop_b = cum_cb[t0] + cycles * (cum_cb[t1] - cum_cb[t0]) +
+                 (cum_cb[t0 + rem] - cum_cb[t0]);
+    return res;
+  };
+
+  State s = StateCodec::initial();
+  for (std::uint32_t t = 0;; ++t) {
+    if (first_seen[s] >= 0) {
+      return result_at(static_cast<std::uint32_t>(first_seen[s]), t);
+    }
+    if (t >= rounds) {
+      // No revisit needed: we already walked the whole game.
+      return result_at(t, t + 1);  // degenerate: rounds < t1 branch fires
+    }
+    first_seen[s] = static_cast<std::int32_t>(t);
+    const Move ma = a.move(s);
+    const Move mb = b.move(codec.swap_perspective(s));
+    cum_a.push_back(cum_a.back() + payoff.payoff(ma, mb));
+    cum_b.push_back(cum_b.back() + payoff.payoff(mb, ma));
+    cum_ca.push_back(cum_ca.back() + (ma == Move::Cooperate ? 1u : 0u));
+    cum_cb.push_back(cum_cb.back() + (mb == Move::Cooperate ? 1u : 0u));
+    s = codec.push(s, ma, mb);
+  }
+}
+
+}  // namespace egt::game::markov

@@ -1,0 +1,82 @@
+// Analytic game evaluation (the "analytic fitness engine" of DESIGN.md).
+//
+// Two independent exact methods replace round-by-round sampling:
+//
+//  * Memory-one stochastic pairs: the outcome of round t+1 depends only on
+//    the outcome of round t, so the joint play is a Markov chain over the
+//    four outcomes {CC, CD, DC, DD}. We propagate the exact outcome
+//    distribution for the finite number of rounds (expected total payoff,
+//    matching the sampled engine in expectation), and also expose the
+//    stationary distribution for the infinitely repeated game
+//    (Nowak & Sigmund 1993 style analysis).
+//
+//  * Deterministic pure pairs of any memory depth with zero noise: the joint
+//    trajectory is eventually periodic, so cycle detection gives the *exact*
+//    finite-round totals in O(transient + cycle) instead of O(rounds).
+#pragma once
+
+#include <array>
+
+#include "game/ipd.hpp"
+#include "game/payoff.hpp"
+#include "game/strategy.hpp"
+
+namespace egt::game::markov {
+
+/// Expected per-round quantities of a strategy pair.
+struct ExpectedOutcome {
+  double payoff_a = 0.0;  ///< expected per-round payoff of A
+  double payoff_b = 0.0;
+  double coop_a = 0.0;  ///< probability A cooperates (per round, averaged)
+  double coop_b = 0.0;
+};
+
+/// Exact expected totals of a finite game between two memory-one
+/// strategies (mixed or pure) with execution noise `eps`, starting from the
+/// all-cooperate history, over `rounds` rounds. Equals the expectation of
+/// IpdEngine::play over its RNG.
+GameResult expected_game_mem1(const Strategy& a, const Strategy& b,
+                              const PayoffMatrix& payoff, std::uint32_t rounds,
+                              double eps);
+
+/// Per-round averages of the same finite game, as exact expectations
+/// (payoffs per round, cooperation probabilities per move).
+ExpectedOutcome finite_outcome_mem1(const Strategy& a, const Strategy& b,
+                                    const PayoffMatrix& payoff,
+                                    std::uint32_t rounds, double eps);
+
+/// Stationary (infinitely repeated) per-round expectations for a
+/// memory-one pair. Requires an ergodic chain: eps > 0, or all
+/// probabilities strictly inside (0, 1). Falls back to long-run averaging
+/// of the deterministic orbit when the chain is not ergodic.
+ExpectedOutcome stationary_mem1(const Strategy& a, const Strategy& b,
+                                const PayoffMatrix& payoff, double eps);
+
+/// Exact finite-round totals for two deterministic pure strategies of any
+/// memory depth with zero noise, via cycle detection on the joint state
+/// trajectory. Identical to IpdEngine::play for the same parameters.
+GameResult exact_pure_game(const PureStrategy& a, const PureStrategy& b,
+                           const PayoffMatrix& payoff, std::uint32_t rounds);
+
+/// Stationary distribution over outcomes {CC, CD, DC, DD} (A's move first)
+/// of the memory-one chain; exposed for tests and theory work.
+std::array<double, 4> stationary_distribution_mem1(const Strategy& a,
+                                                   const Strategy& b,
+                                                   double eps);
+
+/// Orbit structure of a deterministic pure pair: the play from the
+/// all-cooperate start is a transient followed by a cycle. Explains *why*
+/// a pair scores what it does (e.g. a noisy-free TFT pair has cycle length
+/// 1 on mutual cooperation; two alternators lock into a 2-cycle).
+struct PureOrbit {
+  std::uint32_t transient = 0;  ///< rounds before the cycle is entered
+  std::uint32_t cycle = 0;      ///< cycle length in rounds (>= 1)
+  double cycle_payoff_a = 0.0;  ///< per-round payoff of A averaged over the cycle
+  double cycle_payoff_b = 0.0;
+  double cycle_coop_a = 0.0;  ///< fraction of C moves by A on the cycle
+  double cycle_coop_b = 0.0;
+};
+PureOrbit pure_orbit(const PureStrategy& a, const PureStrategy& b,
+                     const PayoffMatrix& payoff);
+
+}  // namespace egt::game::markov

@@ -1,0 +1,25 @@
+// The binary move of the Prisoner's Dilemma. The paper encodes cooperate as
+// 0 and defect as 1 (Table V); we keep that convention everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace egt::game {
+
+enum class Move : std::uint8_t { Cooperate = 0, Defect = 1 };
+
+constexpr Move opposite(Move m) noexcept {
+  return m == Move::Cooperate ? Move::Defect : Move::Cooperate;
+}
+
+constexpr int to_bit(Move m) noexcept { return static_cast<int>(m); }
+
+constexpr Move from_bit(int b) noexcept {
+  return b == 0 ? Move::Cooperate : Move::Defect;
+}
+
+constexpr char to_char(Move m) noexcept {
+  return m == Move::Cooperate ? 'C' : 'D';
+}
+
+}  // namespace egt::game

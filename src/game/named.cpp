@@ -1,0 +1,159 @@
+#include "game/named.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace egt::game::named {
+
+namespace {
+
+/// Build a pure strategy by evaluating `rule` on every state.
+template <class Rule>
+PureStrategy build(int memory, Rule&& rule) {
+  const StateCodec codec(memory);
+  PureStrategy s(memory);
+  for (State st = 0; st < codec.states(); ++st) {
+    s.set_move(st, rule(codec, st));
+  }
+  return s;
+}
+
+}  // namespace
+
+PureStrategy all_c(int memory) {
+  return build(memory, [](const StateCodec&, State) { return Move::Cooperate; });
+}
+
+PureStrategy all_d(int memory) {
+  return build(memory, [](const StateCodec&, State) { return Move::Defect; });
+}
+
+PureStrategy tit_for_tat(int memory) {
+  EGT_REQUIRE_MSG(memory >= 1, "TFT needs at least memory-one");
+  return build(memory, [](const StateCodec& c, State s) {
+    return c.opp_move(s, 0);
+  });
+}
+
+PureStrategy tit_for_two_tats(int memory) {
+  EGT_REQUIRE_MSG(memory >= 2, "TF2T needs at least memory-two");
+  return build(memory, [](const StateCodec& c, State s) {
+    const bool two_defections = c.opp_move(s, 0) == Move::Defect &&
+                                c.opp_move(s, 1) == Move::Defect;
+    return two_defections ? Move::Defect : Move::Cooperate;
+  });
+}
+
+PureStrategy grim(int memory) {
+  EGT_REQUIRE_MSG(memory >= 1, "GRIM needs at least memory-one");
+  // Any set bit in the state means some defection is remembered; once we
+  // defect, our own defection keeps the trigger armed for `memory` rounds,
+  // making defection absorbing.
+  return build(memory, [](const StateCodec&, State s) {
+    return s == 0 ? Move::Cooperate : Move::Defect;
+  });
+}
+
+PureStrategy win_stay_lose_shift(int memory) {
+  EGT_REQUIRE_MSG(memory >= 1, "WSLS needs at least memory-one");
+  return build(memory, [](const StateCodec& c, State s) {
+    const Move mine = c.my_move(s, 0);
+    const Move theirs = c.opp_move(s, 0);
+    // Opponent cooperation means I scored R or T ("win"): repeat my move.
+    // Opponent defection means S or P ("lose"): switch.
+    return theirs == Move::Cooperate ? mine : opposite(mine);
+  });
+}
+
+MixedStrategy generous_tit_for_tat(int memory, double generosity) {
+  EGT_REQUIRE_MSG(memory >= 1, "GTFT needs at least memory-one");
+  EGT_REQUIRE_MSG(generosity >= 0.0 && generosity <= 1.0,
+                  "generosity out of [0,1]");
+  const StateCodec codec(memory);
+  MixedStrategy m(memory, 1.0);
+  for (State s = 0; s < codec.states(); ++s) {
+    m.set_coop_prob(
+        s, codec.opp_move(s, 0) == Move::Cooperate ? 1.0 : generosity);
+  }
+  return m;
+}
+
+MixedStrategy random_strategy(int memory, double p) {
+  return MixedStrategy(memory, p);
+}
+
+PureStrategy contrite_tit_for_tat(int memory) {
+  EGT_REQUIRE_MSG(memory >= 1, "CTFT needs at least memory-one");
+  // Retaliate only from good standing: defect iff I cooperated and the
+  // opponent defected in the most recent round; otherwise cooperate
+  // (including accepting punishment after my own defection).
+  return build(memory, [](const StateCodec& c, State s) {
+    const bool provoked_in_good_standing =
+        c.my_move(s, 0) == Move::Cooperate && c.opp_move(s, 0) == Move::Defect;
+    return provoked_in_good_standing ? Move::Defect : Move::Cooperate;
+  });
+}
+
+PureStrategy firm_but_fair(int memory) {
+  EGT_REQUIRE_MSG(memory >= 1, "FBF needs at least memory-one");
+  // WSLS variant that keeps cooperating after being suckered (state C,D).
+  return build(memory, [](const StateCodec& c, State s) {
+    const Move mine = c.my_move(s, 0);
+    const Move theirs = c.opp_move(s, 0);
+    if (mine == Move::Cooperate && theirs == Move::Defect) {
+      return Move::Cooperate;
+    }
+    return theirs == Move::Cooperate ? mine : opposite(mine);
+  });
+}
+
+PureStrategy alternator(int memory) {
+  EGT_REQUIRE_MSG(memory >= 1, "alternator needs at least memory-one");
+  return build(memory, [](const StateCodec& c, State s) {
+    return opposite(c.my_move(s, 0));
+  });
+}
+
+std::vector<NamedStrategy> pure_catalog(int memory) {
+  std::vector<NamedStrategy> out;
+  out.push_back({"ALLC", all_c(memory)});
+  out.push_back({"ALLD", all_d(memory)});
+  if (memory >= 1) {
+    out.push_back({"TFT", tit_for_tat(memory)});
+    out.push_back({"GRIM", grim(memory)});
+    out.push_back({"WSLS", win_stay_lose_shift(memory)});
+    out.push_back({"CTFT", contrite_tit_for_tat(memory)});
+    out.push_back({"FBF", firm_but_fair(memory)});
+    out.push_back({"ALT", alternator(memory)});
+  }
+  if (memory >= 2) {
+    out.push_back({"TF2T", tit_for_two_tats(memory)});
+  }
+  return out;
+}
+
+std::vector<NamedStrategy> full_catalog(int memory) {
+  auto out = pure_catalog(memory);
+  if (memory >= 1) {
+    out.push_back({"GTFT", generous_tit_for_tat(memory, 1.0 / 3.0)});
+  }
+  out.push_back({"RANDOM", random_strategy(memory, 0.5)});
+  return out;
+}
+
+std::pair<std::string, double> nearest_named(const Strategy& s) {
+  const MixedStrategy probe = s.to_mixed();
+  std::string best_name = "?";
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& entry : full_catalog(s.memory())) {
+    const double d = probe.distance(entry.strategy.to_mixed());
+    if (d < best) {
+      best = d;
+      best_name = entry.name;
+    }
+  }
+  return {best_name, best};
+}
+
+}  // namespace egt::game::named

@@ -1,0 +1,71 @@
+// Catalogue of named strategies from the cooperation literature, each
+// generalised to an arbitrary memory depth n (1..6 unless noted).
+//
+// Conventions follow the paper: Cooperate = 0, Defect = 1; state bit layout
+// from game/state.hpp (round 0 = most recent, own move = high bit of pair).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "game/strategy.hpp"
+
+namespace egt::game::named {
+
+/// Always cooperate.
+PureStrategy all_c(int memory);
+
+/// Always defect.
+PureStrategy all_d(int memory);
+
+/// Tit-For-Tat: copy the opponent's most recent move.
+PureStrategy tit_for_tat(int memory);
+
+/// Tit-For-Two-Tats: defect only after two consecutive opponent defections
+/// (memory >= 2).
+PureStrategy tit_for_two_tats(int memory);
+
+/// Grim trigger: cooperate until any defection (own or opponent's) appears
+/// in the remembered window; defection is then self-sustaining.
+PureStrategy grim(int memory);
+
+/// Win-Stay Lose-Shift (Pavlov): repeat own move after R or T, switch after
+/// S or P. Memory-one pattern "0110" in the paper's state order... see
+/// Table V; generalised by looking at the most recent round only.
+PureStrategy win_stay_lose_shift(int memory);
+
+/// Generous Tit-For-Tat: cooperate after opponent C; after opponent D still
+/// cooperate with probability `generosity`.
+MixedStrategy generous_tit_for_tat(int memory, double generosity);
+
+/// Unconditional coin flip: cooperate with probability p in every state.
+MixedStrategy random_strategy(int memory, double p = 0.5);
+
+/// Contrite TFT approximation: like TFT, but cooperate when own last move
+/// was a defection while the opponent cooperated (apologise after own
+/// error). Needs memory >= 1.
+PureStrategy contrite_tit_for_tat(int memory);
+
+/// Firm-But-Fair: like WSLS but keeps cooperating after being suckered once.
+PureStrategy firm_but_fair(int memory);
+
+/// Alternator: cooperate iff own most recent move was a defection.
+PureStrategy alternator(int memory);
+
+/// The registry entry used by tournaments and censuses.
+struct NamedStrategy {
+  std::string name;
+  Strategy strategy;
+};
+
+/// All pure named strategies at the given memory depth (deterministic order).
+std::vector<NamedStrategy> pure_catalog(int memory);
+
+/// Full catalogue including stochastic entries (GTFT, RANDOM).
+std::vector<NamedStrategy> full_catalog(int memory);
+
+/// Nearest catalogue entry (by L2 distance in cooperation-probability
+/// space) to the given strategy; returns its name and the distance.
+std::pair<std::string, double> nearest_named(const Strategy& s);
+
+}  // namespace egt::game::named

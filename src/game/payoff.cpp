@@ -1,0 +1,28 @@
+#include "game/payoff.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace egt::game {
+
+std::string PayoffMatrix::to_string() const {
+  std::ostringstream os;
+  os << "[R=" << reward << ", S=" << sucker << ", T=" << temptation
+     << ", P=" << punishment << "]";
+  return os.str();
+}
+
+PayoffMatrix donation_payoff(double benefit, double cost) {
+  EGT_REQUIRE_MSG(benefit > cost && cost > 0,
+                  "donation game requires b > c > 0");
+  return {benefit - cost, -cost, benefit, 0.0};
+}
+
+PayoffMatrix snowdrift_payoff(double benefit, double cost) {
+  EGT_REQUIRE_MSG(benefit > cost && cost > 0,
+                  "snowdrift requires b > c > 0");
+  return {benefit - cost / 2.0, benefit - cost, benefit, 0.0};
+}
+
+}  // namespace egt::game

@@ -1,0 +1,63 @@
+// Two-player symmetric 2x2 payoff matrices.
+//
+// The paper's Prisoner's Dilemma uses f[R,S,T,P] = [3,0,4,1] (Table I /
+// §V-C). Other classic games are provided for the examples and tests.
+#pragma once
+
+#include <string>
+
+#include "game/move.hpp"
+
+namespace egt::game {
+
+/// Payoffs for the row player of a symmetric 2x2 game.
+///   R: both cooperate, S: I cooperate / opponent defects,
+///   T: I defect / opponent cooperates, P: both defect.
+struct PayoffMatrix {
+  double reward = 3.0;      ///< R
+  double sucker = 0.0;      ///< S
+  double temptation = 4.0;  ///< T
+  double punishment = 1.0;  ///< P
+
+  /// Payoff for `mine` against `theirs`.
+  constexpr double payoff(Move mine, Move theirs) const noexcept {
+    if (mine == Move::Cooperate) {
+      return theirs == Move::Cooperate ? reward : sucker;
+    }
+    return theirs == Move::Cooperate ? temptation : punishment;
+  }
+
+  /// T > R > P > S: defection dominant, mutual cooperation efficient.
+  constexpr bool is_prisoners_dilemma() const noexcept {
+    return temptation > reward && reward > punishment && punishment > sucker;
+  }
+
+  /// 2R > T + S: mutual cooperation beats alternating exploitation, the
+  /// standard extra condition for the *iterated* PD.
+  constexpr bool rewards_mutual_cooperation() const noexcept {
+    return 2.0 * reward > temptation + sucker;
+  }
+
+  std::string to_string() const;
+};
+
+/// The paper's payoff values f[R,S,T,P] = [3,0,4,1].
+constexpr PayoffMatrix paper_payoff() noexcept { return {3.0, 0.0, 4.0, 1.0}; }
+
+/// Axelrod's tournament values [3,0,5,1].
+constexpr PayoffMatrix axelrod_payoff() noexcept {
+  return {3.0, 0.0, 5.0, 1.0};
+}
+
+/// Donation game: benefit b, cost c (b > c > 0).
+PayoffMatrix donation_payoff(double benefit, double cost);
+
+/// Snowdrift / hawk-dove game with benefit b and cost c (b > c > 0).
+PayoffMatrix snowdrift_payoff(double benefit, double cost);
+
+/// Stag hunt: coordination game, R > T >= P > S.
+constexpr PayoffMatrix stag_hunt_payoff() noexcept {
+  return {4.0, 0.0, 3.0, 2.0};
+}
+
+}  // namespace egt::game

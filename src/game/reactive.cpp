@@ -1,0 +1,66 @@
+#include "game/reactive.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace egt::game::reactive {
+
+bool is_valid(const ReactiveStrategy& s) noexcept {
+  auto ok = [](double v) { return v >= 0.0 && v <= 1.0; };
+  return ok(s.y) && ok(s.p) && ok(s.q);
+}
+
+MixedStrategy to_memory_one(const ReactiveStrategy& s) {
+  EGT_REQUIRE_MSG(is_valid(s), "reactive probabilities out of [0,1]");
+  // States (my, opp): CC=0, CD=1, DC=2, DD=3 — only the opponent bit acts.
+  return MixedStrategy::mem1({s.p, s.q, s.p, s.q});
+}
+
+CooperationLevels stationary_cooperation(const ReactiveStrategy& a,
+                                         const ReactiveStrategy& b) {
+  EGT_REQUIRE_MSG(is_valid(a) && is_valid(b),
+                  "reactive probabilities out of [0,1]");
+  const double s1 = a.p - a.q;
+  const double s2 = b.p - b.q;
+  const double denom = 1.0 - s1 * s2;
+  EGT_REQUIRE_MSG(std::fabs(denom) > 1e-12,
+                  "closed form undefined: |(p1-q1)(p2-q2)| = 1 "
+                  "(deterministic echo pair)");
+  CooperationLevels c;
+  c.c1 = (a.q + s1 * b.q) / denom;
+  c.c2 = (b.q + s2 * a.q) / denom;
+  return c;
+}
+
+double stationary_payoff(const ReactiveStrategy& a, const ReactiveStrategy& b,
+                         const PayoffMatrix& payoff) {
+  const auto c = stationary_cooperation(a, b);
+  // Moves are independent across players in the stationary regime of
+  // reactive pairs: P(I play C) = c1, P(opponent plays C) = c2.
+  return payoff.reward * c.c1 * c.c2 + payoff.sucker * c.c1 * (1.0 - c.c2) +
+         payoff.temptation * (1.0 - c.c1) * c.c2 +
+         payoff.punishment * (1.0 - c.c1) * (1.0 - c.c2);
+}
+
+double gtft_optimal_generosity(const PayoffMatrix& payoff) {
+  EGT_REQUIRE_MSG(payoff.is_prisoners_dilemma(),
+                  "GTFT generosity is defined for Prisoner's Dilemmas");
+  const double a =
+      1.0 - (payoff.temptation - payoff.reward) /
+                (payoff.reward - payoff.sucker);
+  const double b = (payoff.reward - payoff.punishment) /
+                   (payoff.temptation - payoff.punishment);
+  return std::min(a, b);
+}
+
+ReactiveStrategy tft() noexcept { return {1.0, 1.0, 0.0}; }
+
+ReactiveStrategy gtft(const PayoffMatrix& payoff) {
+  return {1.0, 1.0, gtft_optimal_generosity(payoff)};
+}
+
+ReactiveStrategy all_c() noexcept { return {1.0, 1.0, 1.0}; }
+ReactiveStrategy all_d() noexcept { return {0.0, 0.0, 0.0}; }
+
+}  // namespace egt::game::reactive

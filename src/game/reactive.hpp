@@ -1,0 +1,57 @@
+// Reactive strategies and their closed-form analysis.
+//
+// A reactive strategy (y, p, q) cooperates with probability y on the first
+// move, p after an opponent's cooperation and q after an opponent's
+// defection — the subspace of memory-one strategies that ignores one's own
+// last move. Nowak (1990) / Nowak & Sigmund (1992, ref [13]) give the
+// long-run payoffs in closed form, which this module implements and which
+// the tests cross-validate against the general Markov machinery
+// (game/markov.hpp). Includes the classic Generous-Tit-For-Tat optimum
+// that the named-strategy catalogue's GTFT uses.
+#pragma once
+
+#include "game/payoff.hpp"
+#include "game/strategy.hpp"
+
+namespace egt::game::reactive {
+
+struct ReactiveStrategy {
+  double y = 1.0;  ///< P(cooperate | first round)
+  double p = 1.0;  ///< P(cooperate | opponent cooperated)
+  double q = 0.0;  ///< P(cooperate | opponent defected)
+};
+
+/// Validity check: all probabilities in [0, 1].
+bool is_valid(const ReactiveStrategy& s) noexcept;
+
+/// The equivalent memory-one mixed strategy (own last move ignored).
+MixedStrategy to_memory_one(const ReactiveStrategy& s);
+
+/// Long-run (stationary) cooperation levels c1, c2 of two reactive
+/// strategies playing each other, by the closed form
+///   c1 = (q1 + s1 q2) / (1 - s1 s2),  s_i = p_i - q_i.
+/// Requires |s1 s2| < 1 (guaranteed unless both strategies are fully
+/// deterministic with |p - q| = 1).
+struct CooperationLevels {
+  double c1 = 0.0;
+  double c2 = 0.0;
+};
+CooperationLevels stationary_cooperation(const ReactiveStrategy& a,
+                                         const ReactiveStrategy& b);
+
+/// Long-run per-round expected payoff of `a` against `b`.
+double stationary_payoff(const ReactiveStrategy& a, const ReactiveStrategy& b,
+                         const PayoffMatrix& payoff);
+
+/// The most generous q that is still safe for TFT-like strategies:
+///   q* = min(1 - (T-R)/(R-S), (R-P)/(T-P))
+/// (Nowak & Sigmund's GTFT). For the paper's payoffs [3,0,4,1] this is 1/3.
+double gtft_optimal_generosity(const PayoffMatrix& payoff);
+
+/// Named reactive points.
+ReactiveStrategy tft() noexcept;
+ReactiveStrategy gtft(const PayoffMatrix& payoff);
+ReactiveStrategy all_c() noexcept;
+ReactiveStrategy all_d() noexcept;
+
+}  // namespace egt::game::reactive

@@ -1,0 +1,166 @@
+#include "game/strategy.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace egt::game {
+
+namespace {
+int memory_from_states(std::size_t states) {
+  for (int n = 0; n <= kMaxMemory; ++n) {
+    if (num_states(n) == states) return n;
+  }
+  EGT_REQUIRE_MSG(false, "state count is not 4^n for n in [0,6]");
+  return -1;  // unreachable
+}
+}  // namespace
+
+PureStrategy PureStrategy::from_bits(const std::string& bits) {
+  const int memory = memory_from_states(bits.size());
+  PureStrategy s(memory);
+  s.moves_ = util::BitVec::from_string(bits);
+  return s;
+}
+
+MixedStrategy::MixedStrategy(int memory, double p)
+    : memory_(memory), coop_(num_states(memory), p) {
+  EGT_REQUIRE(memory >= 0 && memory <= kMaxMemory);
+  EGT_REQUIRE_MSG(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+}
+
+MixedStrategy MixedStrategy::from_probs(std::vector<double> coop) {
+  const int memory = memory_from_states(coop.size());
+  MixedStrategy s(memory, 0.0);
+  for (double p : coop) {
+    EGT_REQUIRE_MSG(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  }
+  s.coop_ = std::move(coop);
+  return s;
+}
+
+MixedStrategy MixedStrategy::mem1(const std::array<double, 4>& coop) {
+  return from_probs({coop[0], coop[1], coop[2], coop[3]});
+}
+
+MixedStrategy MixedStrategy::from_pure(const PureStrategy& p) {
+  MixedStrategy m(p.memory(), 0.0);
+  for (State s = 0; s < p.states(); ++s) {
+    m.coop_[s] = p.move(s) == Move::Cooperate ? 1.0 : 0.0;
+  }
+  return m;
+}
+
+void MixedStrategy::set_coop_prob(State s, double p) {
+  EGT_REQUIRE_MSG(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  coop_[s] = p;
+}
+
+bool MixedStrategy::is_degenerate() const noexcept {
+  for (double p : coop_) {
+    if (p != 0.0 && p != 1.0) return false;
+  }
+  return true;
+}
+
+double MixedStrategy::distance(const MixedStrategy& other) const {
+  EGT_REQUIRE(memory_ == other.memory_);
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < coop_.size(); ++i) {
+    const double d = coop_[i] - other.coop_[i];
+    d2 += d * d;
+  }
+  return std::sqrt(d2);
+}
+
+std::uint64_t MixedStrategy::hash() const noexcept {
+  std::uint64_t h = util::mix64(static_cast<std::uint64_t>(memory_) + 1);
+  for (double p : coop_) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &p, sizeof bits);
+    h = util::mix64(h ^ bits);
+  }
+  return h;
+}
+
+std::string MixedStrategy::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < coop_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << coop_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+int Strategy::memory() const noexcept {
+  return std::visit([](const auto& s) { return s.memory(); }, impl_);
+}
+
+std::uint32_t Strategy::states() const noexcept {
+  return std::visit([](const auto& s) { return s.states(); }, impl_);
+}
+
+double Strategy::coop_prob(State s) const noexcept {
+  if (const auto* p = std::get_if<PureStrategy>(&impl_)) {
+    return p->move(s) == Move::Cooperate ? 1.0 : 0.0;
+  }
+  return std::get<MixedStrategy>(impl_).coop_prob(s);
+}
+
+MixedStrategy Strategy::to_mixed() const {
+  if (const auto* p = std::get_if<PureStrategy>(&impl_)) {
+    return MixedStrategy::from_pure(*p);
+  }
+  return std::get<MixedStrategy>(impl_);
+}
+
+std::uint64_t Strategy::hash() const noexcept {
+  const std::uint64_t tag = is_pure() ? 0x9e3779b97f4a7c15ULL : 0;
+  return util::mix64(
+      tag ^ std::visit([](const auto& s) { return s.hash(); }, impl_));
+}
+
+std::vector<std::byte> Strategy::serialize() const {
+  std::vector<std::byte> out;
+  out.push_back(static_cast<std::byte>(is_pure() ? 0 : 1));
+  out.push_back(static_cast<std::byte>(memory()));
+  if (is_pure()) {
+    const auto words = as_pure().table().words();
+    const auto* p = reinterpret_cast<const std::byte*>(words.data());
+    out.insert(out.end(), p, p + words.size() * sizeof(std::uint64_t));
+  } else {
+    const auto& probs = as_mixed().probs();
+    const auto* p = reinterpret_cast<const std::byte*>(probs.data());
+    out.insert(out.end(), p, p + probs.size() * sizeof(double));
+  }
+  return out;
+}
+
+Strategy Strategy::deserialize(const std::vector<std::byte>& bytes) {
+  EGT_REQUIRE_MSG(bytes.size() >= 2, "strategy payload too short");
+  const bool pure = std::to_integer<int>(bytes[0]) == 0;
+  const int memory = std::to_integer<int>(bytes[1]);
+  EGT_REQUIRE(memory >= 0 && memory <= kMaxMemory);
+  const std::uint32_t states = num_states(memory);
+  if (pure) {
+    const std::size_t nwords = (states + 63) / 64;
+    EGT_REQUIRE_MSG(bytes.size() == 2 + nwords * sizeof(std::uint64_t),
+                    "pure strategy payload size mismatch");
+    PureStrategy s(memory);
+    for (State i = 0; i < states; ++i) {
+      std::uint64_t w;
+      std::memcpy(&w, bytes.data() + 2 + (i / 64) * sizeof w, sizeof w);
+      s.set_move(i, from_bit((w >> (i % 64)) & 1u));
+    }
+    return s;
+  }
+  EGT_REQUIRE_MSG(bytes.size() == 2 + states * sizeof(double),
+                  "mixed strategy payload size mismatch");
+  std::vector<double> probs(states);
+  std::memcpy(probs.data(), bytes.data() + 2, states * sizeof(double));
+  return MixedStrategy::from_probs(std::move(probs));
+}
+
+}  // namespace egt::game

@@ -1,0 +1,86 @@
+#include "game/tournament.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace egt::game {
+
+TournamentResult run_tournament(
+    const std::vector<named::NamedStrategy>& entries, int engine_memory,
+    const TournamentConfig& config) {
+  EGT_REQUIRE_MSG(!entries.empty(), "tournament needs at least one entry");
+  const std::size_t n = entries.size();
+  for (const auto& e : entries) {
+    EGT_REQUIRE_MSG(e.strategy.memory() == engine_memory,
+                    "entry memory depth must match the engine");
+  }
+
+  const IpdEngine engine(engine_memory, config.game);
+
+  TournamentResult res;
+  res.names.reserve(n);
+  for (const auto& e : entries) res.names.push_back(e.name);
+  res.score.assign(n, std::vector<double>(n, 0.0));
+  res.total.assign(n, 0.0);
+  res.coop_rate.assign(n, 0.0);
+
+  std::vector<double> rounds_played(n, 0.0);
+  std::vector<double> coop_moves(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      if (i == j && !config.include_self_play) continue;
+      for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
+        util::StreamRng rng(config.seed, util::stream_key(i, j, rep));
+        const GameResult g =
+            engine.play(entries[i].strategy, entries[j].strategy, rng);
+        res.score[i][j] += g.payoff_a;
+        coop_moves[i] += g.coop_a;
+        rounds_played[i] += g.rounds;
+        if (i != j) {
+          res.score[j][i] += g.payoff_b;
+          coop_moves[j] += g.coop_b;
+          rounds_played[j] += g.rounds;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    res.total[i] = std::accumulate(res.score[i].begin(), res.score[i].end(), 0.0);
+    res.coop_rate[i] =
+        rounds_played[i] == 0.0 ? 0.0 : coop_moves[i] / rounds_played[i];
+  }
+
+  res.ranking.resize(n);
+  std::iota(res.ranking.begin(), res.ranking.end(), std::size_t{0});
+  std::stable_sort(res.ranking.begin(), res.ranking.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return res.total[a] > res.total[b];
+                   });
+  return res;
+}
+
+std::string format_ranking(const TournamentResult& result) {
+  std::ostringstream os;
+  std::size_t width = 4;
+  for (const auto& name : result.names) width = std::max(width, name.size());
+  os << "rank  strategy" << std::string(width - 4, ' ')
+     << "  total-payoff  coop-rate\n";
+  for (std::size_t r = 0; r < result.ranking.size(); ++r) {
+    const std::size_t i = result.ranking[r];
+    os << r + 1 << ".    " << result.names[i]
+       << std::string(width - result.names[i].size() + 4, ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%12.1f  %8.3f", result.total[i],
+                  result.coop_rate[i]);
+    os << buf << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace egt::game

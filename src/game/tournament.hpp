@@ -1,0 +1,44 @@
+// Axelrod-style round-robin tournament (paper §III-B): every strategy plays
+// every other (and optionally itself) for a number of repetitions; scores
+// are summed and ranked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/ipd.hpp"
+#include "game/named.hpp"
+
+namespace egt::game {
+
+struct TournamentConfig {
+  IpdParams game;                 ///< payoffs / rounds / noise per game
+  std::uint32_t repetitions = 1;  ///< games per ordered pair
+  bool include_self_play = false;
+  std::uint64_t seed = 42;
+};
+
+struct TournamentResult {
+  std::vector<std::string> names;
+  /// score[i][j]: total payoff strategy i earned against j (summed over
+  /// repetitions).
+  std::vector<std::vector<double>> score;
+  /// total[i]: sum over opponents (the tournament ranking criterion).
+  std::vector<double> total;
+  /// ranking: indices into names, best first.
+  std::vector<std::size_t> ranking;
+  /// overall cooperation rate per strategy.
+  std::vector<double> coop_rate;
+};
+
+/// Run the round-robin. All strategies must share one memory depth equal to
+/// `engine_memory`.
+TournamentResult run_tournament(const std::vector<named::NamedStrategy>& entries,
+                                int engine_memory,
+                                const TournamentConfig& config = {});
+
+/// Render the ranking as an aligned text block.
+std::string format_ranking(const TournamentResult& result);
+
+}  // namespace egt::game

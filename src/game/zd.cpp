@@ -1,0 +1,98 @@
+#include "game/zd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "game/markov.hpp"
+#include "util/check.hpp"
+
+namespace egt::game::zd {
+
+namespace {
+constexpr double kEps = 1e-12;
+
+std::optional<ZdProbs> validated(ZdProbs p) {
+  // Clamp away sub-epsilon numerical dust, then validate.
+  auto tidy = [](double v) {
+    if (v > -kEps && v < 0.0) return 0.0;
+    if (v > 1.0 && v < 1.0 + kEps) return 1.0;
+    return v;
+  };
+  p.p_cc = tidy(p.p_cc);
+  p.p_cd = tidy(p.p_cd);
+  p.p_dc = tidy(p.p_dc);
+  p.p_dd = tidy(p.p_dd);
+  if (!p.valid()) return std::nullopt;
+  return p;
+}
+}  // namespace
+
+MixedStrategy to_memory_one(const ZdProbs& p) {
+  EGT_REQUIRE_MSG(p.valid(), "ZD probabilities out of [0,1]");
+  // StateCodec order (my, opp): CC, CD, DC, DD.
+  return MixedStrategy::mem1({p.p_cc, p.p_cd, p.p_dc, p.p_dd});
+}
+
+std::optional<ZdProbs> extortionate(const PayoffMatrix& m, double chi,
+                                    double phi) {
+  EGT_REQUIRE_MSG(chi >= 1.0, "extortion factor chi must be >= 1");
+  EGT_REQUIRE_MSG(phi > 0.0, "phi must be positive");
+  // Press & Dyson: p~ = phi * [(S_self - P) - chi (S_opp - P)].
+  ZdProbs p;
+  p.p_cc = 1.0 - phi * (chi - 1.0) * (m.reward - m.punishment);
+  p.p_cd = 1.0 - phi * ((m.punishment - m.sucker) +
+                        chi * (m.temptation - m.punishment));
+  p.p_dc = phi * ((m.temptation - m.punishment) +
+                  chi * (m.punishment - m.sucker));
+  p.p_dd = 0.0;
+  return validated(p);
+}
+
+double max_phi_extortionate(const PayoffMatrix& m, double chi) {
+  EGT_REQUIRE_MSG(chi >= 1.0, "extortion factor chi must be >= 1");
+  double bound = 1.0 / ((m.temptation - m.punishment) +
+                        chi * (m.punishment - m.sucker));  // p_dc <= 1
+  bound = std::min(bound, 1.0 / ((m.punishment - m.sucker) +
+                                 chi * (m.temptation - m.punishment)));
+  if (chi > 1.0) {
+    bound = std::min(bound,
+                     1.0 / ((chi - 1.0) * (m.reward - m.punishment)));
+  }
+  return bound;
+}
+
+std::optional<ZdProbs> generous(const PayoffMatrix& m, double chi,
+                                double phi) {
+  EGT_REQUIRE_MSG(chi > 0.0 && chi <= 1.0, "generous chi must be in (0, 1]");
+  EGT_REQUIRE_MSG(phi > 0.0, "phi must be positive");
+  // Enforces pi_opp - R = chi (pi_self - R): the player caps its own
+  // surplus relative to full cooperation (Stewart & Plotkin's generous ZD).
+  ZdProbs p;
+  p.p_cc = 1.0;
+  p.p_cd = 1.0 - phi * ((m.temptation - m.reward) +
+                        chi * (m.reward - m.sucker));
+  p.p_dc = phi * (chi * (m.temptation - m.reward) + (m.reward - m.sucker));
+  p.p_dd = phi * (1.0 - chi) * (m.reward - m.punishment);
+  return validated(p);
+}
+
+bool enforces_linear_relation(const ZdProbs& p, const PayoffMatrix& payoff,
+                              double alpha, double beta, double gamma,
+                              double tolerance) {
+  const Strategy self = to_memory_one(p);
+  const std::array<Strategy, 4> probes{
+      Strategy(MixedStrategy::mem1({1.0, 1.0, 1.0, 1.0})),      // ALLC
+      Strategy(MixedStrategy::mem1({0.0, 0.0, 0.0, 0.0})),      // ALLD
+      Strategy(MixedStrategy::mem1({0.5, 0.5, 0.5, 0.5})),      // RANDOM
+      Strategy(MixedStrategy::mem1({0.9, 0.2, 0.7, 0.4})),      // arbitrary
+  };
+  for (const auto& q : probes) {
+    const auto out = markov::stationary_mem1(self, q, payoff, 0.0);
+    const double relation =
+        alpha * out.payoff_a + beta * out.payoff_b + gamma;
+    if (std::fabs(relation) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace egt::game::zd

@@ -1,0 +1,62 @@
+// Zero-determinant (ZD) strategies — Press & Dyson (2012), published the
+// same year as the paper. A memory-one strategy can unilaterally enforce a
+// *linear relation* between the two players' long-run payoffs:
+//
+//   alpha * pi_self + beta * pi_opponent + gamma = 0
+//
+// Special cases: *extortionate* strategies guarantee
+// pi_self - P = chi (pi_opponent - P) with extortion factor chi >= 1, and
+// *generous* ZD strategies pin the relation to R instead of P. These are
+// the modern counterpoint to the WSLS story the paper validates: ZD
+// extortioners beat any evolutionary opponent one-on-one, yet lose to
+// WSLS-like populations in evolving ensembles.
+//
+// Verified against the general Markov machinery in tests/game/zd_test.cpp.
+#pragma once
+
+#include <optional>
+
+#include "game/payoff.hpp"
+#include "game/strategy.hpp"
+
+namespace egt::game::zd {
+
+/// Memory-one cooperation probabilities in Press-Dyson order
+/// (p_R, p_S, p_T, p_P) = outcomes (CC, CD, DC, DD) from the player's view.
+struct ZdProbs {
+  double p_cc = 1.0;
+  double p_cd = 0.0;
+  double p_dc = 0.0;
+  double p_dd = 0.0;
+
+  bool valid() const noexcept {
+    auto ok = [](double v) { return v >= 0.0 && v <= 1.0; };
+    return ok(p_cc) && ok(p_cd) && ok(p_dc) && ok(p_dd);
+  }
+};
+
+/// The equivalent library strategy (states in StateCodec order).
+MixedStrategy to_memory_one(const ZdProbs& p);
+
+/// Extortionate ZD strategy with factor `chi` >= 1 and normalisation
+/// `phi` in (0, phi_max]: enforces  pi_self - P = chi * (pi_opp - P).
+/// Returns nullopt if (chi, phi) yields probabilities outside [0, 1].
+std::optional<ZdProbs> extortionate(const PayoffMatrix& payoff, double chi,
+                                    double phi);
+
+/// Largest phi for which `extortionate` stays within [0, 1].
+double max_phi_extortionate(const PayoffMatrix& payoff, double chi);
+
+/// Generous ZD strategy: enforces  pi_self - R = chi * (pi_opp - R) with
+/// chi in (0, 1]; cooperative counterpart of extortion (Stewart & Plotkin).
+std::optional<ZdProbs> generous(const PayoffMatrix& payoff, double chi,
+                                double phi);
+
+/// Check (numerically) that `p` enforces alpha*pi_a + beta*pi_b + gamma = 0
+/// against the three canonical probes ALLC, ALLD, RANDOM; used by tests
+/// and available for exploratory work.
+bool enforces_linear_relation(const ZdProbs& p, const PayoffMatrix& payoff,
+                              double alpha, double beta, double gamma,
+                              double tolerance = 1e-6);
+
+}  // namespace egt::game::zd

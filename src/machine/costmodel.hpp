@@ -1,0 +1,67 @@
+// Game-kernel cost model.
+//
+// The performance simulator needs the cost of one IPD round as a function
+// of memory depth and state-lookup mode. Those constants are *measured* by
+// running the real game kernel of this library (calibrate_host), then
+// scaled to a target machine by its compute_scale. A baked-in default table
+// (one calibration run of this repository on its reference host) keeps the
+// benches reproducible without a warm-up phase; pass --calibrate to any
+// bench to re-measure.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "game/ipd.hpp"
+#include "machine/machine.hpp"
+
+namespace egt::machine {
+
+/// ns per game round on the calibration host, indexed by memory steps 0..6.
+struct RoundCostTable {
+  std::array<double, 7> indexed_ns{};
+  std::array<double, 7> linear_ns{};
+
+  double ns(int memory, game::LookupMode mode) const noexcept {
+    const auto m = static_cast<std::size_t>(memory);
+    return mode == game::LookupMode::Indexed ? indexed_ns[m] : linear_ns[m];
+  }
+};
+
+/// The baked-in reference calibration (see costmodel.cpp for provenance).
+RoundCostTable default_round_costs();
+
+/// Measure the real kernel on this host: random pure strategy pairs,
+/// `sample_rounds` rounds per memory depth per mode. Takes a few seconds.
+RoundCostTable calibrate_host(std::uint64_t sample_rounds = 2'000'000,
+                              std::uint64_t seed = 7);
+
+/// Cost model bound to one machine.
+class CostModel {
+ public:
+  CostModel(RoundCostTable table, const MachineSpec& spec)
+      : table_(table), scale_(spec.compute_scale) {}
+
+  /// Seconds per game round on the target machine.
+  double round_seconds(int memory, game::LookupMode mode) const noexcept {
+    return table_.ns(memory, mode) * scale_ * 1e-9;
+  }
+
+  const RoundCostTable& table() const noexcept { return table_; }
+
+ private:
+  RoundCostTable table_;
+  double scale_;
+};
+
+/// Bytes a node needs for its replicated strategy table (feasibility
+/// checks; the paper had to stop at memory-six on 512 MB BG/L nodes).
+double strategy_table_bytes(std::uint64_t ssets, int memory, bool pure);
+
+/// Deepest memory whose replicated strategy table still fits in one node
+/// of `spec` (§VI-B.1: "because the Blue Gene/L has only 512 MB of
+/// per-node memory, we had to limit our tests to memory-six"). Returns -1
+/// if even memory-zero does not fit.
+int max_memory_steps(const MachineSpec& spec, std::uint64_t ssets, bool pure);
+
+}  // namespace egt::machine

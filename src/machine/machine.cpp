@@ -1,0 +1,62 @@
+#include "machine/machine.hpp"
+
+#include "util/check.hpp"
+
+namespace egt::machine {
+
+MachineSpec bluegene_l() {
+  MachineSpec s;
+  s.name = "BlueGene/L";
+  // 700 MHz dual-issue in-order PPC440 vs a ~3 GHz out-of-order x86 host:
+  // clock ratio ~4.3x, IPC ratio ~3x on branchy integer code.
+  s.compute_scale = 13.0;
+  s.p2p_latency_us = 3.3;            // measured MPI ping-pong class figure
+  s.hop_latency_us = 0.07;
+  s.link_bandwidth_GBs = 0.154;      // 175 MB/s raw, ~88% payload
+  s.tree_stage_latency_us = 1.6;
+  s.tree_bandwidth_GBs = 0.35;
+  s.per_generation_overhead_us = 2.0;
+  s.memory_per_node_bytes = 512.0 * 1024 * 1024;
+  return s;
+}
+
+MachineSpec bluegene_p() {
+  MachineSpec s;
+  s.name = "BlueGene/P";
+  s.compute_scale = 10.5;            // 850 MHz PPC450
+  s.p2p_latency_us = 2.7;
+  s.hop_latency_us = 0.045;
+  s.link_bandwidth_GBs = 0.374;      // 425 MB/s raw
+  s.tree_stage_latency_us = 1.3;
+  s.tree_bandwidth_GBs = 0.7;
+  s.per_generation_overhead_us = 1.5;
+  s.memory_per_node_bytes = 2.0 * 1024 * 1024 * 1024;
+  return s;
+}
+
+MachineSpec calibration_host() {
+  MachineSpec s;
+  s.name = "host";
+  s.compute_scale = 1.0;
+  s.p2p_latency_us = 0.5;   // shared-memory mailbox handoff
+  s.hop_latency_us = 0.0;
+  s.link_bandwidth_GBs = 8.0;
+  s.tree_stage_latency_us = 0.5;
+  s.tree_bandwidth_GBs = 8.0;
+  s.per_generation_overhead_us = 0.2;
+  s.memory_per_node_bytes = 4.0 * 1024 * 1024 * 1024;
+  return s;
+}
+
+MachineSpec spec_by_name(const std::string& name) {
+  if (name == "bgl" || name == "BlueGene/L") return bluegene_l();
+  // "jugene": the 72-rack Juelich BG/P the paper's large runs used.
+  if (name == "bgp" || name == "jugene" || name == "BlueGene/P") {
+    return bluegene_p();
+  }
+  if (name == "host") return calibration_host();
+  EGT_REQUIRE_MSG(false, "unknown machine spec: " + name);
+  return {};
+}
+
+}  // namespace egt::machine

@@ -1,0 +1,56 @@
+// Machine descriptions for the performance simulator.
+//
+// The paper's experiments ran on IBM Blue Gene/L (validation and small
+// scaling, 512 MB/node, 700 MHz PPC440) and Blue Gene/P (large scaling,
+// 2 GB/node, 850 MHz PPC450, 3-D torus + collective tree networks). We
+// cannot run on those machines, so `egt::machine` models them: compute
+// speed is expressed relative to the host this library was calibrated on,
+// and the two Blue Gene networks are modelled with latency/bandwidth
+// parameters taken from the published system overviews ([33], [35] in the
+// paper's bibliography).
+#pragma once
+
+#include <string>
+
+namespace egt::machine {
+
+struct MachineSpec {
+  std::string name;
+
+  /// Single-core game-kernel slowdown relative to the calibration host
+  /// (host = 1.0). A 700 MHz in-order PPC440 is roughly an order of
+  /// magnitude slower per core than a modern x86 core on this integer-heavy
+  /// kernel.
+  double compute_scale = 1.0;
+
+  // -- 3-D torus (point-to-point) -------------------------------------------
+  double p2p_latency_us = 3.0;    ///< software + injection overhead
+  double hop_latency_us = 0.05;   ///< per-hop through-routing cost
+  double link_bandwidth_GBs = 0.175;  ///< per-link payload bandwidth
+
+  // -- collective tree (broadcasts / reductions) -----------------------------
+  double tree_stage_latency_us = 1.3;  ///< per tree level
+  double tree_bandwidth_GBs = 0.35;
+
+  /// Per-generation software overhead on every node (loop bookkeeping,
+  /// progress of the messaging layer), in microseconds.
+  double per_generation_overhead_us = 1.0;
+
+  /// Memory per node in bytes (feasibility checks, paper §VI-B.1).
+  double memory_per_node_bytes = 512.0 * 1024 * 1024;
+};
+
+/// Blue Gene/L: 700 MHz PPC440, 512 MB/node, 175 MB/s torus links.
+MachineSpec bluegene_l();
+
+/// Blue Gene/P: 850 MHz PPC450 (quad-core nodes), 2 GB/node, faster
+/// networks. The paper runs one MPI process per core.
+MachineSpec bluegene_p();
+
+/// The calibration host itself (compute_scale 1, cheap shared-memory
+/// "network") — used for sanity checks of the model against real runs.
+MachineSpec calibration_host();
+
+MachineSpec spec_by_name(const std::string& name);
+
+}  // namespace egt::machine

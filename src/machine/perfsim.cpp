@@ -1,0 +1,124 @@
+#include "machine/perfsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace egt::machine {
+
+double PerfSimulator::bcast_seconds(double bytes, std::uint64_t procs) const {
+  if (procs <= 1) return 0.0;
+  const double stages = std::ceil(std::log2(static_cast<double>(procs)));
+  return stages * (spec_.tree_stage_latency_us * 1e-6 +
+                   bytes / (spec_.tree_bandwidth_GBs * 1e9));
+}
+
+double PerfSimulator::p2p_seconds(double bytes, const Torus3D& torus) const {
+  return spec_.p2p_latency_us * 1e-6 +
+         torus.average_hops() * spec_.hop_latency_us * 1e-6 +
+         bytes / (spec_.link_bandwidth_GBs * 1e9);
+}
+
+PerfReport PerfSimulator::simulate(const Workload& work, std::uint64_t procs,
+                                   game::LookupMode mode) const {
+  EGT_REQUIRE_MSG(procs >= 1, "need at least one processor");
+  EGT_REQUIRE_MSG(work.generations >= 1, "need at least one generation");
+
+  const Torus3D torus(procs);
+  PerfReport rep;
+  rep.procs = procs;
+  rep.mapping_penalty = torus.mapping_penalty();
+
+  // -- game-dynamics tier: perfectly local, bounded by the busiest node ----
+  const double games_total = work.games_per_generation();
+  const double games_per_proc =
+      std::ceil(games_total / static_cast<double>(procs));
+  const double round_s = cost_.round_seconds(work.memory, mode);
+  const double compute_per_gen =
+      games_per_proc * static_cast<double>(work.rounds) * round_s;
+
+  // -- population-dynamics tier: event-driven communication ----------------
+  const double strategy_bytes =
+      work.pure_strategies
+          ? static_cast<double>(game::num_states(work.memory)) / 8.0
+          : static_cast<double>(game::num_states(work.memory)) * 8.0;
+
+  double comm_total = 0.0;
+  double bcast_bytes = 0.0;
+  double p2p_bytes = 0.0;
+  util::StreamRng rng(work.seed, util::stream_key(0xbeefULL, procs));
+  for (std::uint64_t gen = 0; gen < work.generations; ++gen) {
+    const bool pc = util::bernoulli(rng, work.pc_rate);
+    const bool mut = util::bernoulli(rng, work.mutation_rate);
+
+    // Nature's per-generation plan broadcast (PaperBcast pattern).
+    double plan_bytes = 2.0;
+    if (pc) plan_bytes += 8.0;
+    if (mut) plan_bytes += 8.0 + strategy_bytes;
+    comm_total += bcast_seconds(plan_bytes, procs);
+    bcast_bytes += plan_bytes * std::max<double>(1.0, std::log2(
+                                    static_cast<double>(procs)));
+
+    if (pc) {
+      rep.pc_events++;
+      if (work.moran_rule) {
+        // Moran: the Nature Agent collects the whole fitness vector —
+        // (procs-1) messages serialised at the root plus the payload —
+        // then broadcasts the (reproducer, dying) pick.
+        const double payload = static_cast<double>(work.ssets) * 8.0;
+        comm_total += static_cast<double>(procs - 1) *
+                          spec_.p2p_latency_us * 1e-6 +
+                      payload / (spec_.link_bandwidth_GBs * 1e9);
+        p2p_bytes += payload;
+        comm_total += bcast_seconds(8.0, procs);
+        bcast_bytes += 8.0;
+      } else {
+        // Two fitness returns to the Nature Agent over the torus, then
+        // the one-byte adoption decision broadcast.
+        comm_total += 2.0 * p2p_seconds(8.0, torus);
+        p2p_bytes += 16.0;
+        comm_total += bcast_seconds(1.0, procs);
+        bcast_bytes += 1.0;
+      }
+    }
+    if (mut) rep.mutations++;
+  }
+
+  const double overhead_total =
+      static_cast<double>(work.generations) *
+      (spec_.per_generation_overhead_us + work.nature_overhead_us) * 1e-6;
+
+  rep.compute_seconds =
+      compute_per_gen * static_cast<double>(work.generations);
+  rep.comm_seconds = comm_total;
+  rep.overhead_seconds = overhead_total;
+  rep.bytes_broadcast = bcast_bytes;
+  rep.bytes_p2p = p2p_bytes;
+  rep.total_seconds = (rep.compute_seconds + rep.comm_seconds +
+                       rep.overhead_seconds) *
+                      rep.mapping_penalty;
+
+  // -- feasibility: replicated strategies a node must hold -----------------
+  const double owned =
+      std::ceil(static_cast<double>(work.ssets) / static_cast<double>(procs));
+  const double opponents = std::min<double>(
+      static_cast<double>(work.ssets),
+      owned * static_cast<double>(work.resolved_games_per_sset()));
+  rep.memory_per_node_bytes = (owned + opponents) * strategy_bytes;
+  rep.fits_in_memory = rep.memory_per_node_bytes < spec_.memory_per_node_bytes;
+
+  return rep;
+}
+
+double strong_scaling_efficiency(const PerfReport& base,
+                                 const PerfReport& report) {
+  EGT_REQUIRE(base.procs >= 1 && report.procs >= 1);
+  const double speedup = base.total_seconds / report.total_seconds;
+  const double ideal = static_cast<double>(report.procs) /
+                       static_cast<double>(base.procs);
+  return speedup / ideal;
+}
+
+}  // namespace egt::machine

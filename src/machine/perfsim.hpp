@@ -1,0 +1,104 @@
+// Discrete-event performance simulator of the parallel algorithm.
+//
+// Replays the per-generation schedule of the parallel engine — local game
+// play, Nature's event broadcasts, point-to-point fitness returns — against
+// a machine model (machine.hpp) and the measured kernel costs
+// (costmodel.hpp), and returns the predicted wall-clock decomposition.
+// This is the substitute for the paper's Blue Gene runs (DESIGN.md §2): it
+// regenerates Tables VI–VII and Figures 3–7 at full scale, including
+// 262,144-processor partitions no laptop can execute.
+#pragma once
+
+#include <cstdint>
+
+#include "game/ipd.hpp"
+#include "machine/costmodel.hpp"
+#include "machine/machine.hpp"
+#include "machine/topology.hpp"
+
+namespace egt::machine {
+
+/// What the simulated application runs per generation.
+struct Workload {
+  int memory = 6;
+  std::uint64_t ssets = 1024;
+  /// Opponent games each SSet plays per generation. 0 means all-pairs
+  /// (ssets - 1), the small-scale-study setting; the large weak-scaling
+  /// runs cap it (see EXPERIMENTS.md on the 10^18-agent configuration).
+  std::uint64_t games_per_sset = 0;
+  std::uint32_t rounds = 200;
+  std::uint64_t generations = 1000;
+  double pc_rate = 0.01;  ///< the paper's scaling-study setting (§VI-B.1)
+  double mutation_rate = 0.05;
+  bool pure_strategies = true;
+  std::uint64_t seed = 99;
+  /// Serialized per-generation Nature-Agent bookkeeping/IO time (µs) on the
+  /// critical path. Default 0 (pure message-passing model). The paper's
+  /// Table VII numbers imply ~5,000 µs of such overhead (its Table VI
+  /// implies none — see EXPERIMENTS.md on this inconsistency); the Fig. 5 /
+  /// Table VII benches set it explicitly.
+  double nature_overhead_us = 0.0;
+  /// Model the Moran update rule instead of pairwise comparison: every
+  /// learning event gathers the *whole* fitness vector at the Nature
+  /// Agent — the communication blow-up the paper's PC rule avoids
+  /// (bench/ablation_update_rules).
+  bool moran_rule = false;
+
+  std::uint64_t resolved_games_per_sset() const noexcept {
+    return games_per_sset != 0 ? games_per_sset : ssets - 1;
+  }
+  /// Total games per generation across the population.
+  double games_per_generation() const noexcept {
+    return static_cast<double>(ssets) *
+           static_cast<double>(resolved_games_per_sset());
+  }
+};
+
+struct PerfReport {
+  std::uint64_t procs = 0;
+  double total_seconds = 0.0;
+  double compute_seconds = 0.0;   // critical-path game play
+  double comm_seconds = 0.0;      // broadcasts + p2p on the critical path
+  double overhead_seconds = 0.0;  // per-generation software overhead
+  std::uint64_t pc_events = 0;
+  std::uint64_t mutations = 0;
+  double bytes_broadcast = 0.0;
+  double bytes_p2p = 0.0;
+  double mapping_penalty = 1.0;
+  double memory_per_node_bytes = 0.0;
+  bool fits_in_memory = true;
+
+  double comm_fraction() const noexcept {
+    return total_seconds == 0.0 ? 0.0 : comm_seconds / total_seconds;
+  }
+};
+
+class PerfSimulator {
+ public:
+  explicit PerfSimulator(MachineSpec spec,
+                         RoundCostTable table = default_round_costs())
+      : spec_(std::move(spec)), cost_(table, spec_) {}
+
+  const MachineSpec& spec() const noexcept { return spec_; }
+
+  PerfReport simulate(const Workload& work, std::uint64_t procs,
+                      game::LookupMode mode = game::LookupMode::Indexed) const;
+
+  /// Time for a binomial/tree broadcast of `bytes` to `procs` nodes.
+  double bcast_seconds(double bytes, std::uint64_t procs) const;
+
+  /// Time for one point-to-point message of `bytes` across an average
+  /// distance in the given torus.
+  double p2p_seconds(double bytes, const Torus3D& torus) const;
+
+ private:
+  MachineSpec spec_;
+  CostModel cost_;
+};
+
+/// Strong-scaling efficiency of `report` versus a baseline run of the same
+/// workload on `base` processors: (T_base * p_base) / (T * p).
+double strong_scaling_efficiency(const PerfReport& base,
+                                 const PerfReport& report);
+
+}  // namespace egt::machine

@@ -1,0 +1,106 @@
+#include "machine/topology.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace egt::machine {
+
+namespace {
+
+/// Average distance between two uniformly random points on a ring of n
+/// nodes (shortest way around).
+double avg_ring_distance(std::uint64_t n) {
+  if (n <= 1) return 0.0;
+  // Sum of min(d, n-d) over d=0..n-1, divided by n.
+  double sum = 0.0;
+  for (std::uint64_t d = 0; d < n; ++d) {
+    sum += static_cast<double>(std::min(d, n - d));
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::array<std::uint64_t, 3> near_cubic_dims(std::uint64_t procs) {
+  EGT_REQUIRE_MSG(procs >= 1, "torus needs at least one node");
+  // Prefer the smallest power-of-two box covering `procs` with near-equal
+  // power-of-two dims, as the machine's midplane stacking does; fall back
+  // to an exact (possibly non-power-of-two) factorisation when procs is
+  // itself not a power of two but factors nicely.
+  if (std::has_single_bit(procs)) {
+    const int bits = std::countr_zero(procs);
+    const int bx = (bits + 2) / 3;
+    const int by = (bits - bx + 1) / 2;
+    const int bz = bits - bx - by;
+    return {std::uint64_t{1} << bx, std::uint64_t{1} << by,
+            std::uint64_t{1} << bz};
+  }
+  // Greedy factorisation into three near-equal factors.
+  std::uint64_t best[3] = {procs, 1, 1};
+  double best_score = static_cast<double>(procs);  // max dim, smaller better
+  for (std::uint64_t x = 1; x * x * x <= procs; ++x) {
+    if (procs % x != 0) continue;
+    const std::uint64_t rest = procs / x;
+    for (std::uint64_t y = x; y * y <= rest; ++y) {
+      if (rest % y != 0) continue;
+      const std::uint64_t z = rest / y;
+      const double score = static_cast<double>(z);
+      if (score < best_score) {
+        best_score = score;
+        best[0] = x;
+        best[1] = y;
+        best[2] = z;
+      }
+    }
+  }
+  return {best[0], best[1], best[2]};
+}
+
+}  // namespace
+
+Torus3D::Torus3D(std::uint64_t procs) : dims_(near_cubic_dims(procs)) {}
+
+Torus3D::Torus3D(std::uint64_t x, std::uint64_t y, std::uint64_t z)
+    : dims_{x, y, z} {
+  EGT_REQUIRE(x >= 1 && y >= 1 && z >= 1);
+}
+
+double Torus3D::average_hops() const noexcept {
+  return avg_ring_distance(dims_[0]) + avg_ring_distance(dims_[1]) +
+         avg_ring_distance(dims_[2]);
+}
+
+std::uint64_t Torus3D::diameter() const noexcept {
+  return dims_[0] / 2 + dims_[1] / 2 + dims_[2] / 2;
+}
+
+double Torus3D::bisection_links() const noexcept {
+  // Cut across the largest dimension: 2 * (product of the other two) links
+  // in each direction (torus wrap doubles the cut).
+  const auto mx = std::max({dims_[0], dims_[1], dims_[2]});
+  const double others = static_cast<double>(nodes()) / static_cast<double>(mx);
+  return 4.0 * others;
+}
+
+bool Torus3D::power_of_two_shape() const noexcept {
+  return std::has_single_bit(dims_[0]) && std::has_single_bit(dims_[1]) &&
+         std::has_single_bit(dims_[2]);
+}
+
+double Torus3D::mapping_penalty() const noexcept {
+  // Empirically the paper reports ~15 % total degradation for the 72-rack
+  // non-power-of-two partition; shapes that are merely slightly oblong get
+  // a smaller penalty.
+  if (power_of_two_shape()) return 1.0;
+  return 1.15;
+}
+
+std::string Torus3D::to_string() const {
+  std::ostringstream os;
+  os << dims_[0] << "x" << dims_[1] << "x" << dims_[2];
+  return os.str();
+}
+
+}  // namespace egt::machine

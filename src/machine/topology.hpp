@@ -1,0 +1,52 @@
+// 3-D torus topology model.
+//
+// Blue Gene arranges nodes in a 3-D torus; partition shapes are (roughly)
+// box-shaped sub-tori. We factor a processor count into three near-equal
+// dimensions (preferring powers of two, as the real machine's midplane
+// geometry does) and derive average hop distances and the mapping-quality
+// penalty the paper observes for non-power-of-two partitions (§VI-D: 15 %
+// efficiency degradation at 72 racks / 294,912 processors).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace egt::machine {
+
+class Torus3D {
+ public:
+  /// Choose dims whose product is >= procs (smallest such box), near-cubic.
+  explicit Torus3D(std::uint64_t procs);
+
+  Torus3D(std::uint64_t x, std::uint64_t y, std::uint64_t z);
+
+  std::array<std::uint64_t, 3> dims() const noexcept { return dims_; }
+  std::uint64_t nodes() const noexcept { return dims_[0] * dims_[1] * dims_[2]; }
+
+  /// Average shortest-path hop count between two uniformly random nodes
+  /// (closed form per dimension: avg ring distance).
+  double average_hops() const noexcept;
+
+  /// Network diameter in hops.
+  std::uint64_t diameter() const noexcept;
+
+  /// Bisection width in links (both directions), for bandwidth bounds.
+  double bisection_links() const noexcept;
+
+  /// True when every dimension is a power of two (the shapes the machine's
+  /// partitioning scheme maps perfectly).
+  bool power_of_two_shape() const noexcept;
+
+  /// Multiplicative runtime penalty for poor task-to-torus mappings.
+  /// 1.0 for power-of-two shapes; matches the paper's observed ~15 %
+  /// degradation for the 72-rack (non-power-of-two) partition.
+  double mapping_penalty() const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  std::array<std::uint64_t, 3> dims_;
+};
+
+}  // namespace egt::machine

@@ -1,0 +1,234 @@
+#include "par/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace egt::par {
+
+Context::Context(int nranks) {
+  EGT_REQUIRE_MSG(nranks > 0, "context needs at least one rank");
+  inboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    inboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+std::uint64_t Context::bytes_sent() const noexcept {
+  return bytes_sent_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Context::messages_sent() const noexcept {
+  return messages_sent_.load(std::memory_order_relaxed);
+}
+
+void Context::account_send(std::size_t bytes) noexcept {
+  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Comm::Comm(Context& ctx, int rank) : ctx_(&ctx), rank_(rank) {
+  EGT_REQUIRE(rank >= 0 && rank < ctx.size());
+}
+
+void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
+  EGT_REQUIRE(dest >= 0 && dest < size());
+  ctx_->account_send(payload.size());
+  ctx_->inbox(dest).deliver({rank_, tag, std::move(payload)});
+}
+
+Message Comm::recv(int source, int tag) {
+  return ctx_->inbox(rank_).receive(source, tag);
+}
+
+bool Comm::try_recv(int source, int tag, Message& out) {
+  return ctx_->inbox(rank_).try_receive(source, tag, out);
+}
+
+bool Comm::Request::test(Message& out) {
+  EGT_REQUIRE_MSG(!done_, "request already completed");
+  if (comm_->try_recv(source_, tag_, out)) {
+    done_ = true;
+    return true;
+  }
+  return false;
+}
+
+Message Comm::Request::wait() {
+  EGT_REQUIRE_MSG(!done_, "request already completed");
+  done_ = true;
+  return comm_->recv(source_, tag_);
+}
+
+int Comm::coll_tag() {
+  const int tag = kCollectiveTagBase + (coll_seq_ & 0x3fffff);
+  ++coll_seq_;
+  return tag;
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: log2(size) rounds of shifted token exchange.
+  const int tag = coll_tag();
+  for (int mask = 1; mask < size(); mask <<= 1) {
+    const int to = (rank_ + mask) % size();
+    const int from = (rank_ - mask % size() + size()) % size();
+    send(to, tag, {});
+    (void)recv(from, tag);
+  }
+}
+
+void Comm::bcast(std::vector<std::byte>& data, int root) {
+  EGT_REQUIRE(root >= 0 && root < size());
+  // Binomial tree rooted at `root`, the logical structure of a collective
+  // network broadcast (paper §V-B).
+  const int tag = coll_tag();
+  const int vrank = (rank_ - root + size()) % size();
+  auto real = [&](int v) { return (v + root) % size(); };
+
+  int mask = 1;
+  while (mask < size()) {
+    if (vrank & mask) {
+      Message m = recv(real(vrank ^ mask), tag);
+      data = std::move(m.payload);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if ((vrank | mask) != vrank && (vrank | mask) < size()) {
+      send(real(vrank | mask), tag, data);
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(std::vector<std::byte> mine,
+                                                 int root) {
+  EGT_REQUIRE(root >= 0 && root < size());
+  // Direct point-to-point collection at the root: the paper returns SSet
+  // fitness values to the Nature Agent with non-blocking torus p2p sends.
+  const int tag = coll_tag();
+  std::vector<std::vector<std::byte>> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(root)] = std::move(mine);
+    for (int i = 0; i < size() - 1; ++i) {
+      Message m = recv(kAnySource, tag);
+      out[static_cast<std::size_t>(m.source)] = std::move(m.payload);
+    }
+  } else {
+    send(root, tag, std::move(mine));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather(
+    std::vector<std::byte> mine) {
+  auto blocks = gather(std::move(mine), 0);
+  // Flatten, broadcast, re-split.
+  std::vector<std::byte> flat;
+  if (rank_ == 0) {
+    std::uint64_t n = blocks.size();
+    flat.resize(sizeof n);
+    std::memcpy(flat.data(), &n, sizeof n);
+    for (const auto& b : blocks) {
+      std::uint64_t len = b.size();
+      const auto off = flat.size();
+      flat.resize(off + sizeof len + b.size());
+      std::memcpy(flat.data() + off, &len, sizeof len);
+      std::memcpy(flat.data() + off + sizeof len, b.data(), b.size());
+    }
+  }
+  bcast(flat, 0);
+  std::vector<std::vector<std::byte>> out;
+  std::uint64_t n = 0;
+  std::size_t off = 0;
+  std::memcpy(&n, flat.data(), sizeof n);
+  off += sizeof n;
+  out.resize(n);
+  for (auto& b : out) {
+    std::uint64_t len = 0;
+    std::memcpy(&len, flat.data() + off, sizeof len);
+    off += sizeof len;
+    b.assign(flat.begin() + static_cast<std::ptrdiff_t>(off),
+             flat.begin() + static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+  }
+  return out;
+}
+
+namespace {
+void apply_op(std::vector<double>& acc, const std::vector<double>& other,
+              Comm::ReduceOp op) {
+  EGT_REQUIRE_MSG(acc.size() == other.size(), "reduce length mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    switch (op) {
+      case Comm::ReduceOp::Sum:
+        acc[i] += other[i];
+        break;
+      case Comm::ReduceOp::Min:
+        acc[i] = std::min(acc[i], other[i]);
+        break;
+      case Comm::ReduceOp::Max:
+        acc[i] = std::max(acc[i], other[i]);
+        break;
+    }
+  }
+}
+
+std::vector<std::byte> pack(const std::vector<double>& v) {
+  std::vector<std::byte> b(v.size() * sizeof(double));
+  std::memcpy(b.data(), v.data(), b.size());
+  return b;
+}
+
+std::vector<double> unpack(const std::vector<std::byte>& b) {
+  std::vector<double> v(b.size() / sizeof(double));
+  std::memcpy(v.data(), b.data(), b.size());
+  return v;
+}
+}  // namespace
+
+std::vector<double> Comm::reduce(std::vector<double> mine, ReduceOp op,
+                                 int root) {
+  // Binomial-tree combine toward the root (deterministic combine order:
+  // children merge in fixed vrank order, so floating-point sums are
+  // reproducible run to run).
+  const int tag = coll_tag();
+  const int vrank = (rank_ - root + size()) % size();
+  auto real = [&](int v) { return (v + root) % size(); };
+
+  for (int mask = 1; mask < size(); mask <<= 1) {
+    if (vrank & mask) {
+      send(real(vrank ^ mask), tag, pack(mine));
+      return rank_ == root ? mine : std::vector<double>{};
+    }
+    if (vrank + mask < size()) {
+      Message m = recv(real(vrank + mask), tag);
+      apply_op(mine, unpack(m.payload), op);
+    }
+  }
+  return rank_ == root ? mine : std::vector<double>{};
+}
+
+std::vector<double> Comm::allreduce(std::vector<double> mine, ReduceOp op) {
+  const std::size_t len = mine.size();
+  auto result = reduce(std::move(mine), op, 0);
+  std::vector<std::byte> bytes;
+  if (rank_ == 0) bytes = pack(result);
+  bcast(bytes, 0);
+  auto out = unpack(bytes);
+  EGT_REQUIRE(out.size() == len);
+  return out;
+}
+
+double Comm::reduce_scalar(double mine, ReduceOp op, int root) {
+  auto v = reduce({mine}, op, root);
+  return v.empty() ? 0.0 : v[0];
+}
+
+double Comm::allreduce_scalar(double mine, ReduceOp op) {
+  return allreduce({mine}, op)[0];
+}
+
+}  // namespace egt::par

@@ -1,0 +1,157 @@
+// Communicator of the mini message-passing runtime ("mini-MPI").
+//
+// The paper's implementation uses MPI on Blue Gene: MPI_Bcast over the
+// collective network for Nature-Agent announcements and non-blocking
+// point-to-point over the torus for fitness returns (§V-B). This runtime
+// reproduces that programming model in-process: each rank is a thread, each
+// rank has a Mailbox, and the collectives are built from point-to-point
+// messages over a binomial tree — the same logical structure a collective
+// network implements.
+//
+// Collective calls must be invoked by every rank of the context in the same
+// order; an internal sequence number keeps concurrent collectives from
+// interfering.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "par/mailbox.hpp"
+#include "util/check.hpp"
+
+namespace egt::par {
+
+/// Shared state of one group of ranks.
+class Context {
+ public:
+  explicit Context(int nranks);
+
+  int size() const noexcept { return static_cast<int>(inboxes_.size()); }
+  Mailbox& inbox(int rank) { return *inboxes_[static_cast<std::size_t>(rank)]; }
+
+  /// Bytes moved through point-to-point sends (traffic accounting).
+  std::uint64_t bytes_sent() const noexcept;
+  std::uint64_t messages_sent() const noexcept;
+  void account_send(std::size_t bytes) noexcept;
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> inboxes_;
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_sent_{0};
+};
+
+/// Per-rank handle. Not thread-safe: one rank thread uses one Comm.
+class Comm {
+ public:
+  Comm(Context& ctx, int rank);
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return ctx_->size(); }
+  bool is_root() const noexcept { return rank_ == 0; }
+
+  // -- point-to-point -------------------------------------------------------
+
+  /// Sends never block (the mailbox buffers) — the moral equivalent of the
+  /// paper's non-blocking torus sends.
+  void send(int dest, int tag, std::vector<std::byte> payload);
+  Message recv(int source = kAnySource, int tag = kAnyTag);
+  bool try_recv(int source, int tag, Message& out);
+
+  /// Non-blocking receive handle: post now, overlap work, complete later.
+  class Request {
+   public:
+    /// Completed yet? On true, `out` holds the message (once).
+    bool test(Message& out);
+    /// Block until the matching message arrives.
+    Message wait();
+    bool done() const noexcept { return done_; }
+
+   private:
+    friend class Comm;
+    Request(Comm& comm, int source, int tag)
+        : comm_(&comm), source_(source), tag_(tag) {}
+    Comm* comm_;
+    int source_;
+    int tag_;
+    bool done_ = false;
+  };
+
+  /// Post a receive for (source, tag) without blocking.
+  Request irecv(int source = kAnySource, int tag = kAnyTag) {
+    return Request(*this, source, tag);
+  }
+
+  /// Typed convenience for trivially copyable values.
+  template <class T>
+  void send_value(int dest, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(sizeof(T));
+    std::memcpy(bytes.data(), &value, sizeof(T));
+    send(dest, tag, std::move(bytes));
+  }
+
+  template <class T>
+  T recv_value(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const Message m = recv(source, tag);
+    EGT_REQUIRE_MSG(m.payload.size() == sizeof(T), "typed recv size mismatch");
+    T value;
+    std::memcpy(&value, m.payload.data(), sizeof(T));
+    return value;
+  }
+
+  // -- collectives (binomial tree / recursive structure) --------------------
+
+  void barrier();
+
+  /// Broadcast `data` from `root`; on non-root ranks `data` is replaced.
+  void bcast(std::vector<std::byte>& data, int root = 0);
+
+  template <class T>
+  void bcast_value(T& value, int root = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(sizeof(T));
+    if (rank_ == root) std::memcpy(bytes.data(), &value, sizeof(T));
+    bcast(bytes, root);
+    std::memcpy(&value, bytes.data(), sizeof(T));
+  }
+
+  /// Gather each rank's block at the root; result (root only) is indexed by
+  /// rank. Non-root ranks get an empty vector.
+  std::vector<std::vector<std::byte>> gather(std::vector<std::byte> mine,
+                                             int root = 0);
+
+  /// All ranks obtain every rank's block.
+  std::vector<std::vector<std::byte>> allgather(std::vector<std::byte> mine);
+
+  /// Element-wise reduction of equal-length double vectors at the root.
+  enum class ReduceOp { Sum, Min, Max };
+  std::vector<double> reduce(std::vector<double> mine, ReduceOp op,
+                             int root = 0);
+  std::vector<double> allreduce(std::vector<double> mine, ReduceOp op);
+
+  double reduce_scalar(double mine, ReduceOp op, int root = 0);
+  double allreduce_scalar(double mine, ReduceOp op);
+
+  // Traffic accounting passthrough.
+  std::uint64_t context_bytes_sent() const noexcept {
+    return ctx_->bytes_sent();
+  }
+
+ private:
+  int coll_tag();  ///< fresh reserved tag for the next collective
+
+  Context* ctx_;
+  int rank_;
+  int coll_seq_ = 0;
+};
+
+/// Tags >= kCollectiveTagBase are reserved for collectives.
+inline constexpr int kCollectiveTagBase = 1 << 24;
+
+}  // namespace egt::par

@@ -1,0 +1,43 @@
+#include "par/mailbox.hpp"
+
+namespace egt::par {
+
+void Mailbox::deliver(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::match_locked(int source, int tag, Message& out) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    const bool src_ok = source == kAnySource || it->source == source;
+    const bool tag_ok = tag == kAnyTag || it->tag == tag;
+    if (src_ok && tag_ok) {
+      out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Message Mailbox::receive(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Message out;
+  cv_.wait(lock, [&] { return match_locked(source, tag, out); });
+  return out;
+}
+
+bool Mailbox::try_receive(int source, int tag, Message& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return match_locked(source, tag, out);
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace egt::par

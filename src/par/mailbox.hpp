@@ -1,0 +1,49 @@
+// Per-rank inbox of the mini message-passing runtime.
+//
+// Mirrors the matching semantics of MPI point-to-point: a receive names a
+// source rank and a tag (or wildcards) and blocks until a matching message
+// arrives. Message order between one (source, tag) pair is preserved.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace egt::par {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  /// Deliver a message (called by the sending rank's thread).
+  void deliver(Message msg);
+
+  /// Block until a message matching (source, tag) is available and remove
+  /// it. kAnySource / kAnyTag act as wildcards.
+  Message receive(int source, int tag);
+
+  /// Non-blocking variant; returns false if nothing matches right now.
+  bool try_receive(int source, int tag, Message& out);
+
+  /// Messages currently queued (diagnostics / tests).
+  std::size_t pending() const;
+
+ private:
+  bool match_locked(int source, int tag, Message& out);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace egt::par

@@ -1,0 +1,63 @@
+// Block partitioning of SSets (and of the game matrix) over ranks.
+//
+// The paper assigns each node a contiguous block of SSets and lets every
+// node derive ownership locally from "system size and processor rank data"
+// (§V) — no ownership table is communicated. BlockPartition is exactly that
+// arithmetic. GamePartition additionally splits the s*(s-1) ordered games
+// evenly when there are more processors than SSets (the paper's "each
+// processor handles between 1/2 and 8 full SSets" regime, Fig. 3).
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace egt::par {
+
+/// Distributes `items` items over `parts` parts in contiguous blocks whose
+/// sizes differ by at most one (the first `items % parts` blocks get the
+/// extra item).
+class BlockPartition {
+ public:
+  BlockPartition(std::uint64_t items, std::uint64_t parts)
+      : items_(items), parts_(parts) {
+    EGT_REQUIRE_MSG(parts > 0, "partition needs at least one part");
+  }
+
+  std::uint64_t items() const noexcept { return items_; }
+  std::uint64_t parts() const noexcept { return parts_; }
+
+  std::uint64_t begin(std::uint64_t part) const noexcept {
+    const std::uint64_t q = items_ / parts_;
+    const std::uint64_t r = items_ % parts_;
+    return part * q + (part < r ? part : r);
+  }
+  std::uint64_t end(std::uint64_t part) const noexcept {
+    return begin(part + 1);
+  }
+  std::uint64_t count(std::uint64_t part) const noexcept {
+    return end(part) - begin(part);
+  }
+
+  /// The part owning item `i`.
+  std::uint64_t owner(std::uint64_t i) const noexcept {
+    const std::uint64_t q = items_ / parts_;
+    const std::uint64_t r = items_ % parts_;
+    const std::uint64_t big = r * (q + 1);  // items covered by the big blocks
+    if (q == 0 || i < big) return q == 0 ? i : i / (q + 1);
+    return r + (i - big) / q;
+  }
+
+ private:
+  std::uint64_t items_;
+  std::uint64_t parts_;
+};
+
+/// Agents per processor for the paper's configuration where each SSet holds
+/// one agent per opponent SSet: population = ssets^2 agents (Table VIII).
+constexpr std::uint64_t agents_per_processor(std::uint64_t ssets,
+                                             std::uint64_t procs) noexcept {
+  return ssets * ssets / procs;
+}
+
+}  // namespace egt::par

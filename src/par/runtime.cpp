@@ -1,0 +1,45 @@
+#include "par/runtime.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace egt::par {
+
+namespace {
+TrafficReport run_impl(int nranks,
+                       const std::function<void(Comm&)>& rank_main) {
+  EGT_REQUIRE_MSG(nranks > 0, "need at least one rank");
+  Context ctx(nranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(ctx, r);
+        rank_main(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return {ctx.bytes_sent(), ctx.messages_sent()};
+}
+}  // namespace
+
+void run_ranks(int nranks, const std::function<void(Comm&)>& rank_main) {
+  (void)run_impl(nranks, rank_main);
+}
+
+TrafficReport run_ranks_traced(int nranks,
+                               const std::function<void(Comm&)>& rank_main) {
+  return run_impl(nranks, rank_main);
+}
+
+}  // namespace egt::par

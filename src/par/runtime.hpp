@@ -1,0 +1,25 @@
+// Launch a rank program on N ranks (one thread per rank), the moral
+// equivalent of `mpirun -np N`.
+#pragma once
+
+#include <functional>
+
+#include "par/comm.hpp"
+
+namespace egt::par {
+
+/// Runs `rank_main(comm)` on `nranks` threads sharing one Context. Blocks
+/// until every rank returns. If any rank throws, the first exception (by
+/// rank order) is rethrown after all ranks have been joined.
+void run_ranks(int nranks, const std::function<void(Comm&)>& rank_main);
+
+/// As run_ranks, but also returns the total point-to-point traffic the run
+/// generated (bytes, messages) for communication-volume assertions.
+struct TrafficReport {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+TrafficReport run_ranks_traced(int nranks,
+                               const std::function<void(Comm&)>& rank_main);
+
+}  // namespace egt::par

@@ -1,0 +1,110 @@
+#include "par/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace egt::par {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  for (;;) {
+    const std::uint64_t begin =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (begin >= job.n) break;
+    const std::uint64_t end = std::min(begin + job.chunk, job.n);
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*job.body)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.failed.exchange(true)) job.error = std::current_exception();
+      }
+    }
+    job.done.fetch_add(end - begin, std::memory_order_release);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+      if (job != nullptr) ++job->grabbed;
+    }
+    if (job != nullptr) {
+      run_chunks(*job);
+      job->exited.fetch_add(1, std::memory_order_release);
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::uint64_t n,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    body(0, n);
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.n = n;
+  // ~4 chunks per participant amortises scheduling while limiting imbalance.
+  const std::uint64_t participants = threads_.size() + 1;
+  job.chunk = std::max<std::uint64_t>(1, n / (participants * 4));
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++epoch_;
+  }
+  cv_.notify_all();
+  run_chunks(job);
+  // Wait for stragglers still inside their final chunk.
+  while (job.done.load(std::memory_order_acquire) < n) {
+    std::this_thread::yield();
+  }
+  std::uint64_t grabbed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = nullptr;  // late wakers will see no job
+    grabbed = job.grabbed;
+  }
+  // The job lives on this stack frame: wait until every worker that took
+  // the pointer has fully let go of it.
+  while (job.exited.load(std::memory_order_acquire) < grabbed) {
+    std::this_thread::yield();
+  }
+  if (job.failed.load()) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) -
+                         1u);
+  return pool;
+}
+
+}  // namespace egt::par

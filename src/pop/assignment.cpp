@@ -1,0 +1,55 @@
+#include "pop/assignment.hpp"
+
+#include "util/check.hpp"
+
+namespace egt::pop {
+
+OpponentAssignment::OpponentAssignment(SSetId ssets,
+                                       std::uint32_t agents_per_sset)
+    : ssets_(ssets), agents_(agents_per_sset) {
+  EGT_REQUIRE_MSG(ssets >= 2, "need at least two SSets");
+  EGT_REQUIRE_MSG(agents_per_sset >= 1, "need at least one agent per SSet");
+}
+
+std::uint32_t OpponentAssignment::games_for_agent(std::uint32_t agent) const {
+  EGT_REQUIRE(agent < agents_);
+  const std::uint32_t n = opponents_per_sset();
+  const std::uint32_t q = n / agents_;
+  const std::uint32_t r = n % agents_;
+  return q + (agent < r ? 1 : 0);
+}
+
+std::vector<SSetId> OpponentAssignment::opponents_of(
+    SSetId sset, std::uint32_t agent) const {
+  EGT_REQUIRE(sset < ssets_);
+  EGT_REQUIRE(agent < agents_);
+  const std::uint32_t n = opponents_per_sset();
+  const std::uint32_t q = n / agents_;
+  const std::uint32_t r = n % agents_;
+  // Contiguous block of the opponent list, same arithmetic as
+  // par::BlockPartition (early agents absorb the remainder).
+  const std::uint32_t begin = agent * q + (agent < r ? agent : r);
+  const std::uint32_t count = q + (agent < r ? 1 : 0);
+  std::vector<SSetId> out;
+  out.reserve(count);
+  for (std::uint32_t k = begin; k < begin + count; ++k) {
+    out.push_back(kth_opponent(sset, k));
+  }
+  return out;
+}
+
+std::uint32_t OpponentAssignment::agent_for_opponent(SSetId sset,
+                                                     SSetId opponent) const {
+  EGT_REQUIRE(sset < ssets_ && opponent < ssets_);
+  EGT_REQUIRE_MSG(sset != opponent, "SSets do not play themselves");
+  const std::uint32_t k = opponent < sset ? opponent : opponent - 1;
+  const std::uint32_t n = opponents_per_sset();
+  const std::uint32_t q = n / agents_;
+  const std::uint32_t r = n % agents_;
+  if (q == 0) return k;  // more agents than opponents: one game each
+  const std::uint32_t big = r * (q + 1);
+  if (k < big) return k / (q + 1);
+  return r + (k - big) / q;
+}
+
+}  // namespace egt::pop

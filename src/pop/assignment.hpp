@@ -1,0 +1,61 @@
+// Opponent assignment inside an SSet (paper §IV-A, §V-A).
+//
+// Within each SSet the fitness of the assigned strategy must be measured
+// against every other SSet's strategy. The SSet's `a` agents split that
+// opponent list among themselves — "each agent is assigned s/a opposing
+// SSets to play against" — purely from arithmetic on (rank, agent index),
+// with no communicated tables ("each node can calculate its position
+// within an SSet and its subsequent opponent strategies individually",
+// §V). The paper's production setting is a = s, one game per agent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pop/population.hpp"
+
+namespace egt::pop {
+
+class OpponentAssignment {
+ public:
+  /// `ssets` SSets, `agents_per_sset` agents in each.
+  OpponentAssignment(SSetId ssets, std::uint32_t agents_per_sset);
+
+  SSetId ssets() const noexcept { return ssets_; }
+  std::uint32_t agents_per_sset() const noexcept { return agents_; }
+
+  /// Opponents the whole SSet must cover: every other SSet, ordered by id.
+  std::uint32_t opponents_per_sset() const noexcept { return ssets_ - 1; }
+
+  /// Number of games agent `agent` of any SSet plays per generation
+  /// (either floor or ceil of (s-1)/a; early agents take the remainder).
+  std::uint32_t games_for_agent(std::uint32_t agent) const;
+
+  /// The opponent SSets agent `agent` of SSet `sset` plays, in play order.
+  std::vector<SSetId> opponents_of(SSetId sset, std::uint32_t agent) const;
+
+  /// Which of `sset`'s agents plays opponent `opponent`.
+  std::uint32_t agent_for_opponent(SSetId sset, SSetId opponent) const;
+
+  /// Total two-player games per generation across the population:
+  /// ssets * (ssets - 1) ordered games.
+  std::uint64_t games_per_generation() const noexcept {
+    return static_cast<std::uint64_t>(ssets_) * opponents_per_sset();
+  }
+
+  /// Agents in the whole population (Table VIII's numerator when a = s).
+  std::uint64_t total_agents() const noexcept {
+    return static_cast<std::uint64_t>(ssets_) * agents_;
+  }
+
+ private:
+  // The k-th opponent (0-based) of SSet `sset`: all other ids in order.
+  SSetId kth_opponent(SSetId sset, std::uint32_t k) const noexcept {
+    return k < sset ? k : k + 1;
+  }
+
+  SSetId ssets_;
+  std::uint32_t agents_;
+};
+
+}  // namespace egt::pop

@@ -1,0 +1,22 @@
+#include "pop/fermi.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace egt::pop {
+
+double fermi_probability(double teacher_payoff, double learner_payoff,
+                         double beta) {
+  EGT_REQUIRE_MSG(beta >= 0.0, "selection intensity must be non-negative");
+  const double x = beta * (teacher_payoff - learner_payoff);
+  // Numerically stable logistic: avoid exp overflow for large |x|.
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace egt::pop

@@ -1,0 +1,15 @@
+// The pairwise-comparison (Fermi) imitation rule (paper Eq. 1):
+//
+//   p = 1 / (1 + exp(-beta * (pi_T - pi_L)))
+//
+// beta is the intensity of selection: beta -> 0 gives random imitation
+// (p -> 1/2), beta -> infinity always adopts the better strategy.
+#pragma once
+
+namespace egt::pop {
+
+/// Probability that the learner adopts the teacher's strategy.
+double fermi_probability(double teacher_payoff, double learner_payoff,
+                         double beta);
+
+}  // namespace egt::pop

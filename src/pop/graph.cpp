@@ -1,0 +1,119 @@
+#include "pop/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace egt::pop {
+
+InteractionGraph InteractionGraph::complete(SSetId n) {
+  EGT_REQUIRE_MSG(n >= 2, "need at least two SSets");
+  InteractionGraph g;
+  g.complete_ = true;
+  g.nodes_ = n;
+  g.label_ = "complete(" + std::to_string(n) + ")";
+  return g;
+}
+
+InteractionGraph InteractionGraph::ring(SSetId n, std::uint32_t k) {
+  EGT_REQUIRE_MSG(n >= 3, "ring needs at least three nodes");
+  EGT_REQUIRE_MSG(k >= 1 && 2 * k < n,
+                  "ring neighbourhood must satisfy 1 <= k and 2k < n");
+  std::vector<std::vector<SSetId>> adj(n);
+  for (SSetId i = 0; i < n; ++i) {
+    for (std::uint32_t d = 1; d <= k; ++d) {
+      adj[i].push_back((i + d) % n);
+      adj[i].push_back((i + n - d) % n);
+    }
+  }
+  InteractionGraph g;
+  g.nodes_ = n;
+  g.label_ = "ring(" + std::to_string(n) + ", k=" + std::to_string(k) + ")";
+  g.build_from_lists(adj);
+  return g;
+}
+
+InteractionGraph InteractionGraph::lattice(SSetId width, SSetId height,
+                                           bool moore) {
+  EGT_REQUIRE_MSG(width >= 3 && height >= 3,
+                  "lattice dimensions must be at least 3");
+  const SSetId n = width * height;
+  std::vector<std::vector<SSetId>> adj(n);
+  auto id = [&](SSetId x, SSetId y) { return y * width + x; };
+  for (SSetId y = 0; y < height; ++y) {
+    for (SSetId x = 0; x < width; ++x) {
+      const SSetId xm = (x + width - 1) % width;
+      const SSetId xp = (x + 1) % width;
+      const SSetId ym = (y + height - 1) % height;
+      const SSetId yp = (y + 1) % height;
+      auto& list = adj[id(x, y)];
+      list = {id(xm, y), id(xp, y), id(x, ym), id(x, yp)};
+      if (moore) {
+        list.push_back(id(xm, ym));
+        list.push_back(id(xp, ym));
+        list.push_back(id(xm, yp));
+        list.push_back(id(xp, yp));
+      }
+    }
+  }
+  InteractionGraph g;
+  g.nodes_ = n;
+  std::ostringstream os;
+  os << "lattice(" << width << "x" << height << ", "
+     << (moore ? "moore" : "von-neumann") << ")";
+  g.label_ = os.str();
+  g.build_from_lists(adj);
+  return g;
+}
+
+void InteractionGraph::build_from_lists(
+    const std::vector<std::vector<SSetId>>& adj) {
+  offsets_.assign(adj.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    total += adj[i].size();
+    offsets_[i + 1] = total;
+  }
+  adjacency_.reserve(total);
+  for (const auto& list : adj) {
+    auto sorted = list;
+    std::sort(sorted.begin(), sorted.end());
+    EGT_ASSERT(std::adjacent_find(sorted.begin(), sorted.end()) ==
+               sorted.end());
+    adjacency_.insert(adjacency_.end(), sorted.begin(), sorted.end());
+  }
+}
+
+std::uint32_t InteractionGraph::degree(SSetId i) const {
+  EGT_REQUIRE(i < nodes_);
+  if (complete_) return nodes_ - 1;
+  return static_cast<std::uint32_t>(offsets_[i + 1] - offsets_[i]);
+}
+
+std::span<const SSetId> InteractionGraph::neighbors(SSetId i) const {
+  EGT_REQUIRE(i < nodes_);
+  EGT_REQUIRE_MSG(!complete_,
+                  "complete graphs have implicit neighbours; use "
+                  "is_complete()/degree()");
+  return {adjacency_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+}
+
+bool InteractionGraph::are_neighbors(SSetId a, SSetId b) const {
+  EGT_REQUIRE(a < nodes_ && b < nodes_);
+  if (a == b) return false;
+  if (complete_) return true;
+  const auto ns = neighbors(a);
+  return std::binary_search(ns.begin(), ns.end(), b);
+}
+
+std::uint64_t InteractionGraph::edges() const noexcept {
+  if (complete_) {
+    return static_cast<std::uint64_t>(nodes_) * (nodes_ - 1) / 2;
+  }
+  return adjacency_.size() / 2;
+}
+
+std::string InteractionGraph::to_string() const { return label_; }
+
+}  // namespace egt::pop

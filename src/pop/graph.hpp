@@ -1,0 +1,70 @@
+// Interaction structure of the population.
+//
+// The paper's population is well-mixed: every SSet plays every other and
+// Nature compares uniformly random pairs. Structured populations — where
+// agents only interact with graph neighbours — are the classic extension
+// (Nowak & May's spatial games; the paper cites a spatialised-PD code [30]
+// and motivates broader scopes). InteractionGraph abstracts that choice:
+// game play sums over neighbours, and pairwise-comparison learning picks
+// the teacher among the learner's neighbours.
+//
+// Graphs are built deterministically from (kind, parameters), so every
+// rank of the parallel engine reconstructs the identical structure from
+// the SimConfig alone — no topology needs to be communicated.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pop/population.hpp"
+
+namespace egt::pop {
+
+class InteractionGraph {
+ public:
+  /// Well-mixed population: everyone neighbours everyone (the paper).
+  static InteractionGraph complete(SSetId n);
+
+  /// Ring of n nodes, each linked to the k nearest neighbours per side
+  /// (degree 2k). k >= 1, 2k < n.
+  static InteractionGraph ring(SSetId n, std::uint32_t k);
+
+  /// Width x height torus lattice. `moore` selects the 8-neighbourhood;
+  /// otherwise von Neumann (4-neighbourhood). Both dimensions >= 3 so
+  /// neighbours are distinct.
+  static InteractionGraph lattice(SSetId width, SSetId height, bool moore);
+
+  SSetId nodes() const noexcept { return nodes_; }
+
+  /// Complete graphs are represented implicitly (no adjacency storage):
+  /// callers take the everyone-but-self fast path, which is also what
+  /// keeps well-mixed trajectories identical to the unstructured engine.
+  bool is_complete() const noexcept { return complete_; }
+
+  std::uint32_t degree(SSetId i) const;
+
+  /// Neighbours of node i, ascending ids. Only for structured graphs;
+  /// complete graphs answer via is_complete()/degree().
+  std::span<const SSetId> neighbors(SSetId i) const;
+
+  bool are_neighbors(SSetId a, SSetId b) const;
+
+  /// Total undirected edges.
+  std::uint64_t edges() const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  InteractionGraph() = default;
+  void build_from_lists(const std::vector<std::vector<SSetId>>& adj);
+
+  bool complete_ = false;
+  SSetId nodes_ = 0;
+  std::string label_;
+  std::vector<std::uint64_t> offsets_;  // CSR offsets (structured graphs)
+  std::vector<SSetId> adjacency_;       // CSR neighbour lists (sorted)
+};
+
+}  // namespace egt::pop

@@ -1,0 +1,140 @@
+#include "pop/nature.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace egt::pop {
+
+NatureAgent::NatureAgent(const NatureConfig& config)
+    : config_(config), rng_(util::mix64(config.seed ^ 0xa076bd6a4f0e5e2bULL)) {
+  EGT_REQUIRE_MSG(config.ssets >= 2, "need at least two SSets");
+  EGT_REQUIRE(config.memory >= 0 && config.memory <= game::kMaxMemory);
+  EGT_REQUIRE(config.pc_rate >= 0.0 && config.pc_rate <= 1.0);
+  EGT_REQUIRE(config.mutation_rate >= 0.0 && config.mutation_rate <= 1.0);
+  EGT_REQUIRE(config.beta >= 0.0);
+}
+
+game::Strategy NatureAgent::random_strategy(SSetId target,
+                                            const Population* population) {
+  switch (config_.kernel) {
+    case MutationKernel::UniformProbs:
+      if (config_.space == StrategySpace::Pure) {
+        return game::PureStrategy::random(config_.memory, rng_);
+      }
+      return game::MixedStrategy::random(config_.memory, rng_);
+
+    case MutationKernel::UShapedProbs: {
+      EGT_REQUIRE_MSG(config_.space == StrategySpace::Mixed,
+                      "UShapedProbs is a mixed-space kernel");
+      // Arcsine inverse CDF: p = sin^2(pi * u / 2).
+      game::MixedStrategy m(config_.memory, 0.0);
+      for (game::State s = 0; s < m.states(); ++s) {
+        const double u = util::uniform01(rng_);
+        const double x = std::sin(0.5 * 3.14159265358979323846 * u);
+        m.set_coop_prob(s, x * x);
+      }
+      return m;
+    }
+
+    case MutationKernel::PureBitFlip: {
+      EGT_REQUIRE_MSG(population != nullptr,
+                      "PureBitFlip needs the population (local kernel)");
+      const game::Strategy& current = population->strategy(target);
+      EGT_REQUIRE_MSG(current.is_pure(),
+                      "PureBitFlip requires a pure-strategy population");
+      game::PureStrategy mutant = current.as_pure();
+      for (std::uint32_t k = 0; k < config_.bitflip_bits; ++k) {
+        mutant.table().flip(static_cast<std::size_t>(
+            util::uniform_below(rng_, mutant.states())));
+      }
+      return mutant;
+    }
+
+    case MutationKernel::MixedGaussian: {
+      EGT_REQUIRE_MSG(population != nullptr,
+                      "MixedGaussian needs the population (local kernel)");
+      game::MixedStrategy mutant = population->strategy(target).to_mixed();
+      for (game::State s = 0; s < mutant.states(); ++s) {
+        const double p = mutant.coop_prob(s) +
+                         config_.gaussian_sigma * util::normal(rng_);
+        mutant.set_coop_prob(s, std::clamp(p, 0.0, 1.0));
+      }
+      return mutant;
+    }
+  }
+  EGT_REQUIRE_MSG(false, "unknown mutation kernel");
+  return game::Strategy{};
+}
+
+GenerationPlan NatureAgent::plan_generation(const Population* population) {
+  GenerationPlan plan;
+  ++planned_;
+
+  if (config_.update_rule == UpdateRule::Moran) {
+    plan.moran = util::bernoulli(rng_, config_.pc_rate);
+  } else if (util::bernoulli(rng_, config_.pc_rate)) {
+    GenerationPlan::Pc pc;
+    if (config_.graph != nullptr && !config_.graph->is_complete()) {
+      // Structured population: imitate a neighbour.
+      pc.learner =
+          static_cast<SSetId>(util::uniform_below(rng_, config_.ssets));
+      const auto ns = config_.graph->neighbors(pc.learner);
+      pc.teacher = ns[util::uniform_below(rng_, ns.size())];
+    } else {
+      pc.teacher =
+          static_cast<SSetId>(util::uniform_below(rng_, config_.ssets));
+      do {
+        pc.learner =
+            static_cast<SSetId>(util::uniform_below(rng_, config_.ssets));
+      } while (pc.learner == pc.teacher);
+    }
+    plan.pc = pc;
+  }
+
+  if (util::bernoulli(rng_, config_.mutation_rate)) {
+    GenerationPlan::Mutation mut;
+    mut.target = static_cast<SSetId>(util::uniform_below(rng_, config_.ssets));
+    mut.strategy = random_strategy(mut.target, population);
+    plan.mutation = std::move(mut);
+  }
+  return plan;
+}
+
+MoranPick NatureAgent::select_moran(std::span<const double> fitness) {
+  EGT_REQUIRE_MSG(fitness.size() == config_.ssets,
+                  "Moran selection needs the full fitness vector");
+  // Softmax weights, stabilised by the maximum.
+  double max_f = fitness[0];
+  for (double f : fitness) max_f = std::max(max_f, f);
+  double total = 0.0;
+  for (double f : fitness) total += std::exp(config_.beta * (f - max_f));
+
+  MoranPick pick;
+  const double target = util::uniform01(rng_) * total;
+  double acc = 0.0;
+  pick.reproducer = config_.ssets - 1;  // numeric safety net
+  for (SSetId i = 0; i < config_.ssets; ++i) {
+    acc += std::exp(config_.beta * (fitness[i] - max_f));
+    if (acc >= target) {
+      pick.reproducer = i;
+      break;
+    }
+  }
+  pick.dying = static_cast<SSetId>(util::uniform_below(rng_, config_.ssets));
+  return pick;
+}
+
+bool NatureAgent::decide_adoption(double teacher_fitness,
+                                  double learner_fitness) {
+  const double p =
+      fermi_probability(teacher_fitness, learner_fitness, config_.beta);
+  const bool roll = util::bernoulli(rng_, p);
+  if (config_.require_teacher_better && !(teacher_fitness > learner_fitness)) {
+    return false;  // the RNG draw above is still consumed, keeping streams aligned
+  }
+  return roll;
+}
+
+}  // namespace egt::pop

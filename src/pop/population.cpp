@@ -1,0 +1,51 @@
+#include "pop/population.hpp"
+
+#include "util/check.hpp"
+
+namespace egt::pop {
+
+Population::Population(std::vector<game::Strategy> strategies)
+    : strategies_(std::move(strategies)),
+      fitness_(strategies_.size(), 0.0) {
+  EGT_REQUIRE_MSG(!strategies_.empty(), "population cannot be empty");
+  const int memory = strategies_.front().memory();
+  for (const auto& s : strategies_) {
+    EGT_REQUIRE_MSG(s.memory() == memory,
+                    "all SSets must share one memory depth");
+  }
+}
+
+Population Population::random_pure(SSetId size, int memory,
+                                   util::Xoshiro256& rng) {
+  std::vector<game::Strategy> strategies;
+  strategies.reserve(size);
+  for (SSetId i = 0; i < size; ++i) {
+    strategies.emplace_back(game::PureStrategy::random(memory, rng));
+  }
+  return Population(std::move(strategies));
+}
+
+Population Population::random_mixed(SSetId size, int memory,
+                                    util::Xoshiro256& rng) {
+  std::vector<game::Strategy> strategies;
+  strategies.reserve(size);
+  for (SSetId i = 0; i < size; ++i) {
+    strategies.emplace_back(game::MixedStrategy::random(memory, rng));
+  }
+  return Population(std::move(strategies));
+}
+
+void Population::set_strategy(SSetId i, game::Strategy s) {
+  EGT_REQUIRE(i < size());
+  EGT_REQUIRE_MSG(s.memory() == memory(),
+                  "strategy memory depth must match the population");
+  strategies_[i] = std::move(s);
+}
+
+std::uint64_t Population::table_hash() const noexcept {
+  std::uint64_t h = util::mix64(size());
+  for (const auto& s : strategies_) h = util::mix64(h ^ s.hash());
+  return h;
+}
+
+}  // namespace egt::pop

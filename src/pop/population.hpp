@@ -1,0 +1,59 @@
+// The population: the replicated global table of SSet strategies plus the
+// per-SSet fitness of the current generation.
+//
+// An SSet (Strategy Set, paper §IV-D) is a group of agents all playing one
+// strategy; with the paper's configuration (one agent per opponent SSet)
+// an SSet's identity is fully captured by its strategy and fitness, so the
+// population stores exactly what every compute node replicates: the
+// strategy table and the fitness vector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "game/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace egt::pop {
+
+using SSetId = std::uint32_t;
+
+class Population {
+ public:
+  explicit Population(std::vector<game::Strategy> strategies);
+
+  /// `size` SSets with uniformly random pure memory-n strategies.
+  static Population random_pure(SSetId size, int memory, util::Xoshiro256& rng);
+
+  /// `size` SSets with uniformly random mixed strategies (each per-state
+  /// cooperation probability uniform in [0,1]), the paper's Fig. 2 setup.
+  static Population random_mixed(SSetId size, int memory,
+                                 util::Xoshiro256& rng);
+
+  SSetId size() const noexcept {
+    return static_cast<SSetId>(strategies_.size());
+  }
+  int memory() const noexcept { return strategies_.front().memory(); }
+
+  const game::Strategy& strategy(SSetId i) const { return strategies_[i]; }
+  void set_strategy(SSetId i, game::Strategy s);
+
+  double fitness(SSetId i) const { return fitness_[i]; }
+  void set_fitness(SSetId i, double f) { fitness_[i] = f; }
+  std::span<const double> fitness() const noexcept { return fitness_; }
+  std::span<double> mutable_fitness() noexcept { return fitness_; }
+
+  const std::vector<game::Strategy>& strategies() const noexcept {
+    return strategies_;
+  }
+
+  /// Content hash of the whole strategy table (integration-test equality).
+  std::uint64_t table_hash() const noexcept;
+
+ private:
+  std::vector<game::Strategy> strategies_;
+  std::vector<double> fitness_;
+};
+
+}  // namespace egt::pop

@@ -1,0 +1,60 @@
+#include "pop/population_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace egt::pop {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x454754504f503031ULL;  // "EGTPOP01"
+}
+
+void save_population(const Population& pop, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  EGT_REQUIRE_MSG(out.good(), "cannot open population file " + path);
+  auto put = [&](const void* p, std::size_t n) {
+    out.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  };
+  put(&kMagic, sizeof kMagic);
+  const std::uint32_t count = pop.size();
+  put(&count, sizeof count);
+  for (SSetId i = 0; i < pop.size(); ++i) {
+    const auto bytes = pop.strategy(i).serialize();
+    const std::uint32_t len = static_cast<std::uint32_t>(bytes.size());
+    put(&len, sizeof len);
+    put(bytes.data(), bytes.size());
+  }
+  EGT_REQUIRE_MSG(out.good(), "failed writing population file " + path);
+}
+
+Population load_population(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EGT_REQUIRE_MSG(in.good(), "cannot open population file " + path);
+  auto get = [&](void* p, std::size_t n) {
+    in.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    EGT_REQUIRE_MSG(in.good(), "truncated population file " + path);
+  };
+  std::uint64_t magic = 0;
+  get(&magic, sizeof magic);
+  EGT_REQUIRE_MSG(magic == kMagic, "not an egtsim population file");
+  std::uint32_t count = 0;
+  get(&count, sizeof count);
+  EGT_REQUIRE_MSG(count >= 1, "empty population file");
+  std::vector<game::Strategy> strategies;
+  strategies.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t len = 0;
+    get(&len, sizeof len);
+    EGT_REQUIRE_MSG(len >= 2 && len <= (1u << 20),
+                    "implausible strategy record length");
+    std::vector<std::byte> bytes(len);
+    get(bytes.data(), len);
+    strategies.push_back(game::Strategy::deserialize(bytes));
+  }
+  return Population(std::move(strategies));
+}
+
+}  // namespace egt::pop

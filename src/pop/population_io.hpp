@@ -1,0 +1,18 @@
+// Population snapshots on disk: the strategy table in the same wire format
+// the runtime broadcasts, so saved populations can seed new runs, feed the
+// analysis tools offline, or archive the end state of a long study.
+#pragma once
+
+#include <string>
+
+#include "pop/population.hpp"
+
+namespace egt::pop {
+
+/// Binary format: magic, count, then length-prefixed serialized strategies.
+/// Fitness values are not persisted (they are derived state).
+void save_population(const Population& pop, const std::string& path);
+
+Population load_population(const std::string& path);
+
+}  // namespace egt::pop

@@ -1,0 +1,68 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace egt::util {
+
+BitVec::BitVec(std::size_t nbits)
+    : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EGT_REQUIRE_MSG(bits[i] == '0' || bits[i] == '1',
+                    "BitVec::from_string expects only '0'/'1'");
+    v.set(i, bits[i] == '1');
+  }
+  return v;
+}
+
+std::size_t BitVec::popcount() const noexcept {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const {
+  EGT_REQUIRE(nbits_ == other.nbits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return n;
+}
+
+void BitVec::clear_all() noexcept {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVec::set_all() noexcept {
+  for (auto& w : words_) w = ~0ULL;
+  mask_tail();
+}
+
+std::uint64_t BitVec::hash() const noexcept {
+  std::uint64_t h = mix64(nbits_ + 0x9e3779b97f4a7c15ULL);
+  for (auto w : words_) h = mix64(h ^ w);
+  return h;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(nbits_, '0');
+  for (std::size_t i = 0; i < nbits_; ++i) {
+    if (get(i)) s[i] = '1';
+  }
+  return s;
+}
+
+void BitVec::mask_tail() noexcept {
+  const std::size_t rem = nbits_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << rem) - 1;
+  }
+}
+
+}  // namespace egt::util

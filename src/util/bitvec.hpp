@@ -1,0 +1,79 @@
+// Dynamic bit vector sized at runtime.
+//
+// A pure memory-n strategy is a table of 4^n binary moves — up to 4,096 bits
+// for memory-six. std::bitset needs a compile-time size and std::vector<bool>
+// has no word-level access, so we keep our own minimal vector with the
+// operations the simulation needs: bit get/set, word access (for hashing and
+// fast compare), population count, and random fill.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace egt::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Construct with `nbits` bits, all zero.
+  explicit BitVec(std::size_t nbits);
+
+  /// Construct from a string of '0'/'1' characters, index 0 first.
+  static BitVec from_string(const std::string& bits);
+
+  std::size_t size() const noexcept { return nbits_; }
+  bool empty() const noexcept { return nbits_ == 0; }
+
+  bool get(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::size_t i, bool v) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+  void flip(std::size_t i) noexcept { words_[i >> 6] ^= 1ULL << (i & 63); }
+
+  /// Number of set bits.
+  std::size_t popcount() const noexcept;
+
+  /// Number of positions where *this and other differ. Sizes must match.
+  std::size_t hamming_distance(const BitVec& other) const;
+
+  /// Fill with uniform random bits drawn from `rng`.
+  template <class Rng>
+  void randomize(Rng& rng) {
+    for (auto& w : words_) w = rng();
+    mask_tail();
+  }
+
+  void clear_all() noexcept;
+  void set_all() noexcept;
+
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  /// 64-bit content hash (order-sensitive).
+  std::uint64_t hash() const noexcept;
+
+  /// '0'/'1' string, index 0 first.
+  std::string to_string() const;
+
+  friend bool operator==(const BitVec& a, const BitVec& b) noexcept {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+
+ private:
+  void mask_tail() noexcept;
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace egt::util

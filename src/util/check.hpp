@@ -1,0 +1,45 @@
+// Lightweight precondition / invariant checking.
+//
+// EGT_REQUIRE is always on (argument validation on public API boundaries,
+// throws std::invalid_argument). EGT_ASSERT is an internal invariant check
+// that throws std::logic_error; it compiles away under NDEBUG+EGT_NO_ASSERT.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace egt::util {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("requirement failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void assert_failed(const char* expr, const char* file,
+                                       int line) {
+  throw std::logic_error(std::string("invariant violated: ") + expr + " at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace egt::util
+
+#define EGT_REQUIRE(expr)                                            \
+  do {                                                               \
+    if (!(expr)) ::egt::util::require_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define EGT_REQUIRE_MSG(expr, msg)                                    \
+  do {                                                                \
+    if (!(expr)) ::egt::util::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#if defined(NDEBUG) && defined(EGT_NO_ASSERT)
+#define EGT_ASSERT(expr) ((void)0)
+#else
+#define EGT_ASSERT(expr)                                            \
+  do {                                                              \
+    if (!(expr)) ::egt::util::assert_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+#endif

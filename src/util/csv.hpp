@@ -1,0 +1,39 @@
+// Minimal CSV writer used by benches and recorders to dump series/tables
+// that external plotting tools can consume.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace egt::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits `header` as the first row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Append a row; the cell count must match the header width.
+  void row(const std::vector<std::string>& cells);
+  void row(std::initializer_list<double> cells);
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Quote/escape a single cell per RFC 4180.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::string path_;
+  std::size_t width_;
+  std::ofstream out_;
+};
+
+/// Format a double compactly ("3", "0.25", "1.7e+09").
+std::string fmt_num(double v);
+
+}  // namespace egt::util

@@ -1,0 +1,175 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace egt::util {
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {
+  EGT_REQUIRE(indent >= 0);
+}
+
+void JsonWriter::newline() {
+  if (indent_ == 0) return;
+  os_ << '\n'
+      << std::string(indent_ * stack_.size(), ' ');
+}
+
+void JsonWriter::before_value() {
+  EGT_REQUIRE_MSG(!root_done_, "JSON document already complete");
+  if (expecting_value_) {
+    expecting_value_ = false;
+    return;
+  }
+  EGT_REQUIRE_MSG(stack_.empty() || stack_.back() == Scope::Array,
+                  "object members need a key first");
+  if (!stack_.empty()) {
+    if (has_items_.back()) os_ << ',';
+    has_items_.back() = true;
+    newline();
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Scope::Object);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  EGT_REQUIRE_MSG(!stack_.empty() && stack_.back() == Scope::Object,
+                  "end_object without matching begin_object");
+  EGT_REQUIRE_MSG(!expecting_value_, "dangling key");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) newline();
+  os_ << '}';
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Scope::Array);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  EGT_REQUIRE_MSG(!stack_.empty() && stack_.back() == Scope::Array,
+                  "end_array without matching begin_array");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) newline();
+  os_ << ']';
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  EGT_REQUIRE_MSG(!stack_.empty() && stack_.back() == Scope::Object,
+                  "keys only belong in objects");
+  EGT_REQUIRE_MSG(!expecting_value_, "two keys in a row");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  newline();
+  os_ << '"' << escape(name) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  os_ << '"' << escape(v) << '"';
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os_ << buf;
+  } else {
+    os_ << "null";  // JSON has no Inf/NaN
+  }
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  if (stack_.empty()) root_done_ = true;
+  return *this;
+}
+
+bool JsonWriter::complete() const noexcept { return root_done_; }
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace egt::util

@@ -1,0 +1,64 @@
+// Minimal streaming JSON writer — enough for run manifests (configuration +
+// result summaries) that downstream tooling can parse. Handles nesting,
+// comma placement, pretty-printing and string escaping; no reading.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace egt::util {
+
+class JsonWriter {
+ public:
+  /// Writes to `os`; `indent` spaces per level (0 = compact single line).
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  /// Root or nested containers.
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member name; must be followed by a value or container.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key + value in one call.
+  template <class T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once the root container is closed.
+  bool complete() const noexcept;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Scope { Object, Array };
+  void before_value();
+  void newline();
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool expecting_value_ = false;  // a key was just written
+  bool root_done_ = false;
+};
+
+}  // namespace egt::util

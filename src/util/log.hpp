@@ -1,0 +1,44 @@
+// Leveled logging to stderr. Quiet by default (Warn); benches/examples
+// raise the level via --verbose or set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace egt::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line at `level` (no-op when below the current threshold).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  template <class T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() {
+  return detail::LogStream(LogLevel::Debug);
+}
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::Info); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::Warn); }
+inline detail::LogStream log_error() {
+  return detail::LogStream(LogLevel::Error);
+}
+
+}  // namespace egt::util

@@ -1,0 +1,35 @@
+// Small statistics helpers used by analysis and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace egt::util {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  ///< population variance
+double stddev(std::span<const double> xs);
+double median(std::vector<double> xs);  ///< by value: sorts a copy
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Shannon entropy (nats) of a discrete distribution given by counts.
+double entropy_from_counts(std::span<const std::size_t> counts);
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;  ///< population variance
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace egt::util

@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace egt::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : width_(header.size()), header_(std::move(header)) {
+  EGT_REQUIRE(width_ > 0);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  EGT_REQUIRE_MSG(cells.size() == width_, "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+    cells.emplace_back(buf);
+  }
+  add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> w(width_, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < width_; ++i) {
+      w[i] = std::max(w[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < width_; ++i) {
+      os << (i == 0 ? "" : "  ");
+      os << row[i];
+      os << std::string(w[i] - row[i].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = width_ > 0 ? 2 * (width_ - 1) : 0;
+  for (auto x : w) total += x;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace egt::util

@@ -1,0 +1,31 @@
+// Aligned plain-text table printer: benches use it to print rows in the
+// same layout as the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace egt::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format numeric cells with %.4g, first cell is a label.
+  void add_row(const std::string& label, const std::vector<double>& values);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::size_t width_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace egt::util

@@ -1,0 +1,105 @@
+#include "analysis/coop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/markov.hpp"
+#include "game/named.hpp"
+
+namespace egt::analysis {
+namespace {
+
+using game::named::all_c;
+using game::named::all_d;
+using game::named::tit_for_tat;
+using game::named::win_stay_lose_shift;
+
+pop::Population make_pop(std::vector<game::Strategy> ss) {
+  return pop::Population(std::move(ss));
+}
+
+TEST(Coop, AllCooperatorsPlayFullCooperation) {
+  const auto pop = make_pop({all_c(1), all_c(1), all_c(1)});
+  const auto rep = expected_play_cooperation(pop, {});
+  EXPECT_DOUBLE_EQ(rep.mean_coop_rate, 1.0);
+  EXPECT_DOUBLE_EQ(rep.mean_payoff, 3.0);  // R every round
+  for (double c : rep.per_sset_coop) ASSERT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(Coop, AllDefectorsPlayZeroCooperation) {
+  const auto pop = make_pop({all_d(1), all_d(1)});
+  const auto rep = expected_play_cooperation(pop, {});
+  EXPECT_DOUBLE_EQ(rep.mean_coop_rate, 0.0);
+  EXPECT_DOUBLE_EQ(rep.mean_payoff, 1.0);  // P every round
+}
+
+TEST(Coop, TableAverageAndPlayRateDisagreeForWsls) {
+  // WSLS's table averages 0.5 but WSLS pairs actually cooperate (almost)
+  // every round — the reason this module exists.
+  const auto pop = make_pop({win_stay_lose_shift(1), win_stay_lose_shift(1)});
+  const auto rep = expected_play_cooperation(pop, {});
+  EXPECT_DOUBLE_EQ(rep.mean_coop_rate, 1.0);
+}
+
+TEST(Coop, MixedFieldIsBetweenExtremes) {
+  const auto pop = make_pop({all_c(1), all_d(1), tit_for_tat(1)});
+  const auto rep = expected_play_cooperation(pop, {});
+  EXPECT_GT(rep.mean_coop_rate, 0.0);
+  EXPECT_LT(rep.mean_coop_rate, 1.0);
+  // ALLD (index 1) never cooperates.
+  EXPECT_DOUBLE_EQ(rep.per_sset_coop[1], 0.0);
+}
+
+TEST(Coop, PairCooperationMatchesKnownGames) {
+  game::IpdParams params;
+  // TFT vs ALLD: one cooperative move out of 200.
+  EXPECT_NEAR(pair_cooperation(game::Strategy(tit_for_tat(1)),
+                               game::Strategy(all_d(1)), params),
+              1.0 / 200.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pair_cooperation(game::Strategy(all_d(1)),
+                                    game::Strategy(tit_for_tat(1)), params),
+                   0.0);
+}
+
+TEST(Coop, NoiseLowersWslsPairCooperationSlightly) {
+  game::IpdParams noisy;
+  noisy.noise = 0.02;
+  const double c = pair_cooperation(
+      game::Strategy(win_stay_lose_shift(1)),
+      game::Strategy(win_stay_lose_shift(1)), noisy);
+  EXPECT_LT(c, 1.0);
+  EXPECT_GT(c, 0.9);  // WSLS re-coordinates after errors
+}
+
+TEST(Coop, AnalyticMem1AgreesWithExactPurePath) {
+  // The memory-one chain and the cycle-detection path must agree on
+  // deterministic pairs (they are exercised by different noise settings).
+  game::IpdParams params;
+  const game::Strategy a = tit_for_tat(1);
+  const game::Strategy b = win_stay_lose_shift(1);
+  const double exact = pair_cooperation(a, b, params);        // pure path
+  game::IpdParams tiny;
+  tiny.noise = 0.0;
+  const auto chain = game::markov::finite_outcome_mem1(
+      a, b, params.payoff, params.rounds, 0.0);
+  EXPECT_NEAR(exact, chain.coop_a, 1e-12);
+}
+
+TEST(Coop, StochasticMemory2FallbackIsDeterministicPerSeed) {
+  game::IpdParams params;
+  params.noise = 0.05;
+  util::Xoshiro256 rng(4);
+  const game::Strategy a = game::MixedStrategy::random(2, rng);
+  const game::Strategy b = game::MixedStrategy::random(2, rng);
+  const double c1 = pair_cooperation(a, b, params, 7);
+  const double c2 = pair_cooperation(a, b, params, 7);
+  EXPECT_DOUBLE_EQ(c1, c2);
+}
+
+TEST(Coop, RequiresAtLeastTwoSSets) {
+  const auto pop = make_pop({all_c(1)});
+  EXPECT_THROW((void)expected_play_cooperation(pop, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::analysis

@@ -1,0 +1,107 @@
+#include "analysis/ess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/named.hpp"
+
+namespace egt::analysis {
+namespace {
+
+using game::named::all_c;
+using game::named::all_d;
+using game::named::tit_for_tat;
+using game::named::win_stay_lose_shift;
+
+const game::IpdParams kClean{};  // paper payoffs, 200 rounds, no noise
+
+TEST(Ess, AlldResistsAllcInvasion) {
+  const auto a = analyze_invasion(game::Strategy(all_d(1)),
+                                  game::Strategy(all_c(1)), 16, kClean);
+  EXPECT_EQ(a.outcome, InvasionOutcome::Resists);
+  EXPECT_LT(a.mutant_fitness, a.resident_fitness);
+}
+
+TEST(Ess, AllcIsInvadedByAlld) {
+  const auto a = analyze_invasion(game::Strategy(all_c(1)),
+                                  game::Strategy(all_d(1)), 16, kClean);
+  EXPECT_EQ(a.outcome, InvasionOutcome::Invadable);
+  // The lone defector feasts on cooperators: T = 4 every round.
+  EXPECT_NEAR(a.mutant_fitness, 4.0, 1e-9);
+  EXPECT_LT(a.resident_fitness, 3.0 + 1e-9);
+}
+
+TEST(Ess, WslsResistsAlldUnderPaperPayoffs) {
+  // The (T+P)/2 = 2.5 < R = 3 condition §V-C's payoff choice creates.
+  const auto a =
+      analyze_invasion(game::Strategy(win_stay_lose_shift(1)),
+                       game::Strategy(all_d(1)), 64, kClean);
+  EXPECT_EQ(a.outcome, InvasionOutcome::Resists);
+}
+
+TEST(Ess, WslsIsOnlyMarginalAgainstAlldUnderAxelrodPayoffs) {
+  // With T = 5: (T+P)/2 = 3 = R — the resistance evaporates (small
+  // populations: the mutant even gains an edge from not playing itself).
+  game::IpdParams axelrod = kClean;
+  axelrod.payoff = game::axelrod_payoff();
+  const auto paper =
+      analyze_invasion(game::Strategy(win_stay_lose_shift(1)),
+                       game::Strategy(all_d(1)), 64, kClean);
+  const auto ax =
+      analyze_invasion(game::Strategy(win_stay_lose_shift(1)),
+                       game::Strategy(all_d(1)), 64, axelrod);
+  const double margin_paper = paper.resident_fitness - paper.mutant_fitness;
+  const double margin_ax = ax.resident_fitness - ax.mutant_fitness;
+  EXPECT_GT(margin_paper, margin_ax);
+  EXPECT_NE(ax.outcome, InvasionOutcome::Resists);
+}
+
+TEST(Ess, TftIsNeutrallyInvadableByAllc) {
+  // TFT and ALLC behave identically among cooperators (no noise): drift.
+  const auto a = analyze_invasion(game::Strategy(tit_for_tat(1)),
+                                  game::Strategy(all_c(1)), 20, kClean);
+  EXPECT_EQ(a.outcome, InvasionOutcome::Neutral);
+}
+
+TEST(Ess, NoiseBreaksTftAllcNeutrality) {
+  // With errors, ALLC among TFTs is exploited-by-echo differently than
+  // TFT-vs-TFT feuds; neutrality disappears one way or the other.
+  game::IpdParams noisy = kClean;
+  noisy.noise = 0.05;
+  const auto a = analyze_invasion(game::Strategy(tit_for_tat(1)),
+                                  game::Strategy(all_c(1)), 20, noisy);
+  EXPECT_NE(a.outcome, InvasionOutcome::Neutral);
+}
+
+TEST(Ess, ExhaustiveSweepFindsAlldUninvadableOneShotStyle) {
+  // Among the 16 memory-one pure strategies, ALLD must always be in the
+  // uninvadable set (nothing strictly beats a defector sea).
+  const auto winners = uninvadable_pure_mem1(32, kClean);
+  ASSERT_FALSE(winners.empty());
+  bool has_alld = false;
+  for (const auto& s : winners) {
+    if (s == all_d(1)) has_alld = true;
+    // ALLC can never be in the set: ALLD invades it.
+    ASSERT_FALSE(s == all_c(1));
+  }
+  EXPECT_TRUE(has_alld);
+}
+
+TEST(Ess, GrimIsUninvadableWithoutNoise) {
+  EXPECT_TRUE(is_uninvadable_pure_mem1(game::named::grim(1), 32, kClean));
+}
+
+TEST(Ess, ValidatesArguments) {
+  EXPECT_THROW((void)analyze_invasion(game::Strategy(all_c(1)),
+                                      game::Strategy(all_d(1)), 2, kClean),
+               std::invalid_argument);
+  // Stochastic memory-two strategies have no analytic evaluator.
+  game::IpdParams noisy = kClean;
+  noisy.noise = 0.1;
+  EXPECT_THROW((void)analyze_invasion(game::Strategy(game::named::all_c(2)),
+                                      game::Strategy(game::named::all_d(2)),
+                                      8, noisy),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::analysis

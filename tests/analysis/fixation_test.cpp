@@ -1,0 +1,109 @@
+#include "analysis/fixation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/named.hpp"
+
+namespace egt::analysis {
+namespace {
+
+core::SimConfig base_config() {
+  core::SimConfig cfg;
+  cfg.memory = 1;
+  cfg.ssets = 8;
+  cfg.pc_rate = 1.0;
+  cfg.mutation_rate = 0.0;
+  cfg.beta = 10.0;
+  cfg.seed = 99;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  return cfg;
+}
+
+TEST(Fixation, PureImitationEventuallyFixates) {
+  auto cfg = base_config();
+  cfg.generations = 1;  // run_until_fixation drives the engine itself
+  core::Engine engine(cfg);
+  const auto result = run_until_fixation(engine, 100000, 1.0);
+  ASSERT_TRUE(result.fixated);
+  EXPECT_DOUBLE_EQ(result.final_dominant_fraction, 1.0);
+  ASSERT_TRUE(result.strategy.has_value());
+}
+
+TEST(Fixation, AlreadyFixatedPopulationReturnsImmediately) {
+  auto cfg = base_config();
+  cfg.mutation_rate = 0.0;
+  pop::NatureAgent nature(cfg.nature_config());
+  std::vector<game::Strategy> ss(cfg.ssets, game::named::all_c(1));
+  core::Engine engine(cfg, core::Engine::RestoredState{
+                               0, nature.save_state(),
+                               pop::Population(std::move(ss))});
+  const auto result = run_until_fixation(engine, 1000, 1.0);
+  ASSERT_TRUE(result.fixated);
+  EXPECT_EQ(result.generation, 0u);
+  EXPECT_EQ(engine.generation(), 0u);  // no work was done
+}
+
+TEST(Fixation, ThresholdBelowOneTriggersEarlier) {
+  auto cfg = base_config();
+  cfg.mutation_rate = 0.05;  // churn keeps full fixation away
+  core::Engine engine(cfg);
+  const auto result = run_until_fixation(engine, 50000, 0.6);
+  // With ongoing mutation the 60% threshold is reachable; 100% rarely is.
+  EXPECT_TRUE(result.fixated);
+  EXPECT_GE(result.final_dominant_fraction, 0.6);
+}
+
+TEST(Fixation, GivesUpAfterBudget) {
+  auto cfg = base_config();
+  cfg.pc_rate = 0.0;  // nothing ever changes: fixation impossible
+  core::Engine engine(cfg);
+  const auto result = run_until_fixation(engine, 200, 1.0);
+  EXPECT_FALSE(result.fixated);
+  EXPECT_EQ(engine.generation(), 200u);
+}
+
+TEST(Fixation, ValidatesArguments) {
+  auto cfg = base_config();
+  core::Engine engine(cfg);
+  EXPECT_THROW((void)run_until_fixation(engine, 10, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_until_fixation(engine, 10, 1.0, 0),
+               std::invalid_argument);
+}
+
+TEST(FixationProbability, StrongSelectionFavoursDominantStrategy) {
+  // ALLD mutant in an ALLC sea: strictly better against every opponent the
+  // population offers — under strong selection it should usually win.
+  const auto cfg = base_config();
+  const double p = fixation_probability(cfg, game::named::all_c(1),
+                                        game::named::all_d(1), 20, 20000);
+  EXPECT_GT(p, 0.8);
+  // The reverse invasion should essentially never succeed.
+  const double q = fixation_probability(cfg, game::named::all_d(1),
+                                        game::named::all_c(1), 20, 20000);
+  EXPECT_LT(q, 0.1);
+}
+
+TEST(FixationProbability, NeutralDriftIsRoughlyOneOverN) {
+  // beta = 0: every imitation is a coin flip, so a single mutant fixates
+  // with probability ~1/N (Moran neutral drift).
+  auto cfg = base_config();
+  cfg.beta = 0.0;
+  cfg.ssets = 6;
+  const double p =
+      fixation_probability(cfg, game::named::all_c(1),
+                           game::named::tit_for_tat(1), 120, 100000);
+  EXPECT_NEAR(p, 1.0 / 6.0, 0.09);
+}
+
+TEST(FixationProbability, WslsResistsAlldInvasion) {
+  // The paper's payoffs make WSLS strictly stable against ALLD
+  // ((T+P)/2 = 2.5 < R = 3), so ALLD invasions of WSLS must mostly fail.
+  const auto cfg = base_config();
+  const double p = fixation_probability(cfg, game::named::win_stay_lose_shift(1),
+                                        game::named::all_d(1), 20, 20000);
+  EXPECT_LT(p, 0.2);
+}
+
+}  // namespace
+}  // namespace egt::analysis

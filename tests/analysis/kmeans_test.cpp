@@ -1,0 +1,101 @@
+#include "analysis/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/named.hpp"
+
+namespace egt::analysis {
+namespace {
+
+TEST(KMeans, SeparatesObviousClusters) {
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 10; ++i) points.push_back({0.0, 0.0});
+  for (int i = 0; i < 10; ++i) points.push_back({10.0, 10.0});
+  const auto res = kmeans(points, 2);
+  ASSERT_EQ(res.centroids.size(), 2u);
+  EXPECT_EQ(res.cluster_sizes[0] + res.cluster_sizes[1], 20u);
+  EXPECT_EQ(res.cluster_sizes[0], 10u);
+  EXPECT_LT(res.inertia, 1e-9);
+  // All points of one blob share a cluster.
+  for (int i = 1; i < 10; ++i) {
+    ASSERT_EQ(res.assignment[static_cast<std::size_t>(i)], res.assignment[0]);
+  }
+  EXPECT_NE(res.assignment[0], res.assignment[10]);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({static_cast<double>(i % 7), static_cast<double>(i % 3)});
+  }
+  const auto a = kmeans(points, 3, 42);
+  const auto b = kmeans(points, 3, 42);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, KClampedToPointCount) {
+  std::vector<std::vector<double>> points{{1.0}, {2.0}};
+  const auto res = kmeans(points, 10);
+  EXPECT_LE(res.centroids.size(), 2u);
+}
+
+TEST(KMeans, SinglePointSingleCluster) {
+  const auto res = kmeans({{3.0, 4.0}}, 1);
+  ASSERT_EQ(res.centroids.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.centroids[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(res.inertia, 0.0);
+}
+
+TEST(KMeans, DuplicatePointsDoNotBreakSeeding) {
+  std::vector<std::vector<double>> points(20, {1.0, 1.0});
+  const auto res = kmeans(points, 4);
+  EXPECT_DOUBLE_EQ(res.inertia, 0.0);
+}
+
+TEST(KMeans, RejectsBadInput) {
+  EXPECT_THROW((void)kmeans({}, 2), std::invalid_argument);
+  EXPECT_THROW((void)kmeans({{1.0}, {1.0, 2.0}}, 2), std::invalid_argument);
+  EXPECT_THROW((void)kmeans({{1.0}}, 0), std::invalid_argument);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({static_cast<double>(i % 8), static_cast<double>(i / 8)});
+  }
+  const double i2 = kmeans(points, 2).inertia;
+  const double i8 = kmeans(points, 8).inertia;
+  EXPECT_LE(i8, i2);
+}
+
+TEST(StrategyMatrix, ReflectsCooperationProbabilities) {
+  std::vector<game::Strategy> ss;
+  ss.emplace_back(game::named::all_c(1));
+  ss.emplace_back(game::named::all_d(1));
+  ss.emplace_back(game::MixedStrategy::from_probs({0.5, 0.25, 0.75, 1.0}));
+  const pop::Population p(std::move(ss));
+  const auto m = strategy_matrix(p);
+  ASSERT_EQ(m.size(), 3u);
+  ASSERT_EQ(m[0].size(), 4u);
+  EXPECT_DOUBLE_EQ(m[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(m[1][0], 0.0);
+  EXPECT_DOUBLE_EQ(m[2][1], 0.25);
+}
+
+TEST(ClusterSortedOrder, GroupsLargestClusterFirst) {
+  std::vector<std::vector<double>> points;
+  points.push_back({10.0});                              // small cluster
+  for (int i = 0; i < 5; ++i) points.push_back({0.0});   // big cluster
+  const auto res = kmeans(points, 2);
+  const auto order = cluster_sorted_order(res);
+  ASSERT_EQ(order.size(), 6u);
+  // The first five positions are the big (0.0) cluster.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_NE(order[static_cast<std::size_t>(i)], 0u);
+  }
+  EXPECT_EQ(order[5], 0u);
+}
+
+}  // namespace
+}  // namespace egt::analysis

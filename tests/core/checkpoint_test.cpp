@@ -1,0 +1,165 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/engine.hpp"
+
+namespace egt::core {
+namespace {
+
+SimConfig config(FitnessMode mode) {
+  SimConfig cfg;
+  cfg.ssets = 16;
+  cfg.memory = 1;
+  cfg.generations = 120;
+  cfg.pc_rate = 0.4;
+  cfg.mutation_rate = 0.2;
+  cfg.seed = 808;
+  cfg.fitness_mode = mode;
+  return cfg;
+}
+
+void expect_same_trajectory(FitnessMode mode) {
+  const auto cfg = config(mode);
+  Engine uninterrupted(cfg);
+  uninterrupted.run(120);
+
+  Engine first_half(cfg);
+  first_half.run(60);
+  const auto blob = save_checkpoint(first_half);
+  Engine resumed = restore_checkpoint(cfg, blob);
+  EXPECT_EQ(resumed.generation(), 60u);
+  resumed.run(60);
+
+  EXPECT_EQ(resumed.population().table_hash(),
+            uninterrupted.population().table_hash());
+  for (pop::SSetId i = 0; i < cfg.ssets; ++i) {
+    ASSERT_DOUBLE_EQ(resumed.population().fitness(i),
+                     uninterrupted.population().fitness(i))
+        << i;
+  }
+}
+
+TEST(Checkpoint, ResumeIsBitExactForAnalyticMode) {
+  expect_same_trajectory(FitnessMode::Analytic);
+}
+
+TEST(Checkpoint, ResumeIsBitExactForSampledMode) {
+  expect_same_trajectory(FitnessMode::Sampled);
+}
+
+TEST(Checkpoint, ResumeWorksForMixedStrategies) {
+  auto cfg = config(FitnessMode::Analytic);
+  cfg.space = pop::StrategySpace::Mixed;
+  cfg.game.noise = 0.05;
+  Engine whole(cfg);
+  whole.run(100);
+  Engine half(cfg);
+  half.run(50);
+  Engine resumed = restore_checkpoint(cfg, save_checkpoint(half));
+  resumed.run(50);
+  EXPECT_EQ(resumed.population().table_hash(), whole.population().table_hash());
+}
+
+TEST(Checkpoint, RejectsDifferentConfig) {
+  const auto cfg = config(FitnessMode::Analytic);
+  Engine engine(cfg);
+  engine.run(10);
+  const auto blob = save_checkpoint(engine);
+  auto other = cfg;
+  other.beta = 2.0;
+  EXPECT_THROW((void)restore_checkpoint(other, blob), std::invalid_argument);
+  other = cfg;
+  other.seed = 1;
+  EXPECT_THROW((void)restore_checkpoint(other, blob), std::invalid_argument);
+}
+
+TEST(Checkpoint, RejectsCorruptBlobs) {
+  const auto cfg = config(FitnessMode::Analytic);
+  Engine engine(cfg);
+  engine.run(5);
+  auto blob = save_checkpoint(engine);
+  auto truncated = blob;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)restore_checkpoint(cfg, truncated),
+               std::invalid_argument);
+  auto garbage = blob;
+  garbage[0] = std::byte{0xff};
+  EXPECT_THROW((void)restore_checkpoint(cfg, garbage), std::invalid_argument);
+  auto trailing = blob;
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW((void)restore_checkpoint(cfg, trailing),
+               std::invalid_argument);
+}
+
+TEST(Checkpoint, ResumeWorksOnStructuredPopulations) {
+  auto cfg = config(FitnessMode::Analytic);
+  cfg.ssets = 18;
+  cfg.interaction.kind = InteractionSpec::Kind::Ring;
+  cfg.interaction.ring_k = 2;
+  Engine whole(cfg);
+  whole.run(100);
+  Engine half(cfg);
+  half.run(50);
+  Engine resumed = restore_checkpoint(cfg, save_checkpoint(half));
+  resumed.run(50);
+  EXPECT_EQ(resumed.population().table_hash(),
+            whole.population().table_hash());
+}
+
+TEST(Checkpoint, ResumeWorksUnderMoranRule) {
+  auto cfg = config(FitnessMode::Analytic);
+  cfg.update_rule = pop::UpdateRule::Moran;
+  Engine whole(cfg);
+  whole.run(100);
+  Engine half(cfg);
+  half.run(50);
+  Engine resumed = restore_checkpoint(cfg, save_checkpoint(half));
+  resumed.run(50);
+  EXPECT_EQ(resumed.population().table_hash(),
+            whole.population().table_hash());
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const auto cfg = config(FitnessMode::Analytic);
+  Engine engine(cfg);
+  engine.run(40);
+  const std::string path = ::testing::TempDir() + "egt_ckpt.bin";
+  write_checkpoint_file(engine, path);
+  Engine restored = read_checkpoint_file(cfg, path);
+  EXPECT_EQ(restored.generation(), 40u);
+  EXPECT_EQ(restored.population().table_hash(),
+            engine.population().table_hash());
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FingerprintSensitivity) {
+  auto cfg = config(FitnessMode::Analytic);
+  const auto base = config_fingerprint(cfg);
+  cfg.pc_rate += 0.01;
+  EXPECT_NE(config_fingerprint(cfg), base);
+  cfg = config(FitnessMode::Analytic);
+  cfg.memory = 2;
+  EXPECT_NE(config_fingerprint(cfg), base);
+  cfg = config(FitnessMode::Analytic);
+  cfg.game.payoff.temptation = 5.0;
+  EXPECT_NE(config_fingerprint(cfg), base);
+  // The fitness *mode* is an implementation choice, not dynamics: for
+  // deterministic games trajectories agree across modes, so the
+  // fingerprint deliberately excludes it.
+  EXPECT_EQ(config_fingerprint(config(FitnessMode::Sampled)),
+            config_fingerprint(config(FitnessMode::Analytic)));
+  // Structure and update rule ARE dynamics.
+  cfg = config(FitnessMode::Analytic);
+  cfg.interaction.kind = InteractionSpec::Kind::Ring;
+  cfg.interaction.ring_k = 2;
+  EXPECT_NE(config_fingerprint(cfg), base);
+  cfg = config(FitnessMode::Analytic);
+  cfg.update_rule = pop::UpdateRule::Moran;
+  EXPECT_NE(config_fingerprint(cfg), base);
+}
+
+}  // namespace
+}  // namespace egt::core

@@ -1,0 +1,67 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egt::core {
+namespace {
+
+TEST(SimConfig, DefaultsAreValidAndPaperLike) {
+  SimConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.game.rounds, 200u);  // paper §V-C
+  EXPECT_DOUBLE_EQ(cfg.pc_rate, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.mutation_rate, 0.05);
+  EXPECT_TRUE(cfg.game.payoff.is_prisoners_dilemma());
+}
+
+TEST(SimConfig, ValidateCatchesBadValues) {
+  SimConfig cfg;
+  cfg.memory = 7;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.ssets = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.pc_rate = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.game.noise = 2.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.fitness_mode = FitnessMode::Analytic;
+  cfg.ssets = 20000;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SimConfig, NatureConfigMirrorsFields) {
+  SimConfig cfg;
+  cfg.ssets = 99;
+  cfg.memory = 3;
+  cfg.pc_rate = 0.2;
+  cfg.mutation_rate = 0.01;
+  cfg.beta = 2.5;
+  cfg.require_teacher_better = true;
+  cfg.space = pop::StrategySpace::Mixed;
+  cfg.seed = 4242;
+  const auto nc = cfg.nature_config();
+  EXPECT_EQ(nc.ssets, 99u);
+  EXPECT_EQ(nc.memory, 3);
+  EXPECT_DOUBLE_EQ(nc.pc_rate, 0.2);
+  EXPECT_DOUBLE_EQ(nc.mutation_rate, 0.01);
+  EXPECT_DOUBLE_EQ(nc.beta, 2.5);
+  EXPECT_TRUE(nc.require_teacher_better);
+  EXPECT_EQ(nc.space, pop::StrategySpace::Mixed);
+  EXPECT_EQ(nc.seed, 4242u);
+}
+
+TEST(SimConfig, SummaryMentionsKeyParameters) {
+  SimConfig cfg;
+  cfg.memory = 4;
+  cfg.ssets = 77;
+  const std::string s = cfg.summary();
+  EXPECT_NE(s.find("memory-4"), std::string::npos);
+  EXPECT_NE(s.find("77 SSets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace egt::core

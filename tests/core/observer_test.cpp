@@ -1,0 +1,131 @@
+#include "core/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/engine.hpp"
+#include "game/named.hpp"
+
+namespace egt::core {
+namespace {
+
+SimConfig config() {
+  SimConfig cfg;
+  cfg.ssets = 8;
+  cfg.memory = 1;
+  cfg.generations = 20;
+  cfg.fitness_mode = FitnessMode::Analytic;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(CallbackObserver, SeesEveryGeneration) {
+  Engine engine(config());
+  std::vector<std::uint64_t> gens;
+  CallbackObserver obs([&](const pop::Population&, const GenerationRecord& r) {
+    gens.push_back(r.generation);
+  });
+  engine.run(20, &obs);
+  ASSERT_EQ(gens.size(), 20u);
+  EXPECT_EQ(gens.front(), 0u);
+  EXPECT_EQ(gens.back(), 19u);
+}
+
+TEST(TimeSeriesRecorder, SamplesAtInterval) {
+  Engine engine(config());
+  TimeSeriesRecorder rec(5);
+  engine.run(20, &rec);
+  ASSERT_EQ(rec.samples().size(), 4u);  // generations 0, 5, 10, 15
+  EXPECT_EQ(rec.samples()[1].generation, 5u);
+  for (const auto& s : rec.samples()) {
+    EXPECT_GE(s.dominant_fraction, 1.0 / 8.0);
+    EXPECT_LE(s.dominant_fraction, 1.0);
+    EXPECT_GE(s.mean_coop_probability, 0.0);
+    EXPECT_LE(s.mean_coop_probability, 1.0);
+    EXPECT_GE(s.distinct, 1u);
+  }
+}
+
+TEST(TimeSeriesRecorder, WritesCsv) {
+  Engine engine(config());
+  TimeSeriesRecorder rec(10);
+  engine.run(20, &rec);
+  const std::string path = ::testing::TempDir() + "egt_series.csv";
+  rec.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("generation"), std::string::npos);
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 2);
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesRecorder, TracksReferenceStrategyShare) {
+  auto cfg = config();
+  cfg.pc_rate = 0.0;
+  cfg.mutation_rate = 0.0;  // frozen population: share is constant
+  Engine engine(cfg);
+  // Count how many initial SSets are exactly ALLD, then verify the
+  // recorder reports that share every sample.
+  const game::Strategy alld = game::named::all_d(1);
+  double expected = 0.0;
+  for (pop::SSetId i = 0; i < engine.population().size(); ++i) {
+    if (engine.population().strategy(i) == alld) expected += 1.0;
+  }
+  expected /= engine.population().size();
+
+  TimeSeriesRecorder rec(5, alld, 1e-9);
+  engine.run(20, &rec);
+  ASSERT_FALSE(rec.samples().empty());
+  for (const auto& s : rec.samples()) {
+    ASSERT_DOUBLE_EQ(s.tracked_fraction, expected);
+  }
+}
+
+TEST(TimeSeriesRecorder, CsvIncludesTrackedColumn) {
+  Engine engine(config());
+  TimeSeriesRecorder rec(10, game::named::win_stay_lose_shift(1), 0.5);
+  engine.run(20, &rec);
+  const std::string path = ::testing::TempDir() + "egt_series_tracked.csv";
+  rec.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("tracked_fraction"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRecorder, CapturesRequestedGenerations) {
+  Engine engine(config());
+  SnapshotRecorder rec({0, 10});
+  engine.run(20, &rec);
+  ASSERT_EQ(rec.snapshots().size(), 2u);
+  EXPECT_EQ(rec.snapshots()[0].first, 0u);
+  EXPECT_EQ(rec.snapshots()[1].first, 10u);
+  EXPECT_EQ(rec.snapshots()[0].second.size(), 8u);
+}
+
+TEST(MultiObserver, FansOut) {
+  Engine engine(config());
+  int calls_a = 0, calls_b = 0;
+  CallbackObserver a([&](const pop::Population&, const GenerationRecord&) {
+    ++calls_a;
+  });
+  CallbackObserver b([&](const pop::Population&, const GenerationRecord&) {
+    ++calls_b;
+  });
+  MultiObserver multi;
+  multi.add(a);
+  multi.add(b);
+  engine.run(5, &multi);
+  EXPECT_EQ(calls_a, 5);
+  EXPECT_EQ(calls_b, 5);
+}
+
+}  // namespace
+}  // namespace egt::core

@@ -1,0 +1,74 @@
+// Communication-behaviour tests of the parallel engine: *what* is sent, not
+// just that results match.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/parallel_engine.hpp"
+
+namespace egt::core {
+namespace {
+
+SimConfig quiet_config() {
+  SimConfig cfg;
+  cfg.ssets = 16;
+  cfg.memory = 1;
+  cfg.generations = 50;
+  cfg.pc_rate = 0.0;  // no events at all
+  cfg.mutation_rate = 0.0;
+  cfg.seed = 7;
+  cfg.fitness_mode = FitnessMode::Analytic;
+  return cfg;
+}
+
+TEST(ParallelTraffic, PaperBcastPaysPerGenerationEvenWhenQuiet) {
+  auto cfg = quiet_config();
+  cfg.comm_pattern = CommPattern::PaperBcast;
+  const auto res = run_parallel(cfg, 4);
+  // One plan broadcast per generation (3 tree messages on 4 ranks) plus
+  // the final fitness gather — so at least generations * (ranks - 1) ...
+  // the precise floor: 50 generations of bcast reach 3 receivers each.
+  EXPECT_GE(res.traffic.messages, 50u * 3u);
+}
+
+TEST(ParallelTraffic, ReplicatedNatureIsSilentOnQuietGenerations) {
+  auto cfg = quiet_config();
+  cfg.comm_pattern = CommPattern::ReplicatedNature;
+  const auto res = run_parallel(cfg, 4);
+  // Only the final fitness gather communicates: 3 block messages.
+  EXPECT_EQ(res.traffic.messages, 3u);
+}
+
+TEST(ParallelTraffic, SingleRankRunsSendAlmostNothing) {
+  auto cfg = quiet_config();
+  cfg.pc_rate = 0.5;
+  cfg.mutation_rate = 0.2;
+  const auto res = run_parallel(cfg, 1);
+  EXPECT_EQ(res.traffic.messages, 0u);  // bcast/gather degenerate on 1 rank
+}
+
+TEST(ParallelTraffic, MutationPayloadScalesWithMemoryDepth) {
+  auto cfg = quiet_config();
+  cfg.mutation_rate = 1.0;  // strategy payload every generation
+  cfg.comm_pattern = CommPattern::PaperBcast;
+  cfg.memory = 1;
+  const auto small = run_parallel(cfg, 4);
+  cfg.memory = 6;  // 512-byte pure strategies
+  const auto big = run_parallel(cfg, 4);
+  EXPECT_GT(big.traffic.bytes, small.traffic.bytes + 50u * 3u * 400u);
+}
+
+TEST(ParallelTraffic, FitnessReturnsOnlyWhenPcFires) {
+  // With pc_rate 1 and ReplicatedNature, every generation runs a
+  // 2-element allreduce; traffic must scale with generations.
+  auto cfg = quiet_config();
+  cfg.pc_rate = 1.0;
+  cfg.comm_pattern = CommPattern::ReplicatedNature;
+  cfg.generations = 10;
+  const auto ten = run_parallel(cfg, 4);
+  cfg.generations = 40;
+  const auto forty = run_parallel(cfg, 4);
+  EXPECT_GT(forty.traffic.messages, 3u * ten.traffic.messages);
+}
+
+}  // namespace
+}  // namespace egt::core

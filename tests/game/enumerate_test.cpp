@@ -1,0 +1,87 @@
+#include "game/enumerate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "game/markov.hpp"
+#include "game/named.hpp"
+
+namespace egt::game {
+namespace {
+
+TEST(Enumerate, CountsMatchPaperTableIV) {
+  EXPECT_EQ(pure_strategy_count(0), 2u);
+  EXPECT_EQ(pure_strategy_count(1), 16u);     // Table III: 16 strategies
+  EXPECT_EQ(pure_strategy_count(2), 65536u);  // Table IV row 2
+  EXPECT_THROW((void)pure_strategy_count(3), std::invalid_argument);
+}
+
+TEST(Enumerate, MemoryOneEnumerationIsCompleteAndDistinct) {
+  const auto all = all_pure_strategies(1);
+  ASSERT_EQ(all.size(), 16u);
+  std::set<std::string> tables;
+  for (const auto& s : all) {
+    tables.insert(s.to_string());
+  }
+  EXPECT_EQ(tables.size(), 16u);
+}
+
+TEST(Enumerate, NamedStrategiesAppearInTheEnumeration) {
+  const auto all = all_pure_strategies(1);
+  for (const auto& entry : named::pure_catalog(1)) {
+    const bool found =
+        std::any_of(all.begin(), all.end(), [&](const PureStrategy& s) {
+          return s == entry.strategy.as_pure();
+        });
+    EXPECT_TRUE(found) << entry.name;
+  }
+}
+
+TEST(Enumerate, IndexRoundTrip) {
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto s = pure_strategy_from_index(1, i);
+    std::uint64_t back = 0;
+    for (State st = 0; st < 4; ++st) {
+      back |= static_cast<std::uint64_t>(to_bit(s.move(st))) << st;
+    }
+    ASSERT_EQ(back, i);
+  }
+  EXPECT_THROW((void)pure_strategy_from_index(1, 16), std::invalid_argument);
+}
+
+TEST(Enumerate, ExhaustiveMemoryOneAnalyticSampledAgreement) {
+  // Every one of the 16x16 memory-one pure pairs: the cycle-detection
+  // evaluator must equal the round-by-round engine exactly (the exhaustive
+  // version of the random sweep in markov_test).
+  const auto all = all_pure_strategies(1);
+  const IpdEngine engine(1);
+  for (const auto& a : all) {
+    for (const auto& b : all) {
+      const auto exact =
+          markov::exact_pure_game(a, b, paper_payoff(), 200);
+      const auto sampled = engine.play(a, b, util::StreamRng(0, 0));
+      ASSERT_DOUBLE_EQ(exact.payoff_a, sampled.payoff_a)
+          << a.to_string() << " vs " << b.to_string();
+      ASSERT_EQ(exact.coop_a, sampled.coop_a);
+    }
+  }
+}
+
+TEST(Enumerate, AlldIsTheUniqueDominantOneShotStrategy) {
+  // Exhaustive check of the §III-A story at memory-zero: among the two
+  // strategies, ALLD weakly dominates in every one-shot matchup.
+  const auto all = all_pure_strategies(0);
+  ASSERT_EQ(all.size(), 2u);
+  const auto& payoff = paper_payoff();
+  for (const auto& opp : all) {
+    const double d = payoff.payoff(Move::Defect,
+                                   opp.move(StateCodec::initial()));
+    const double c = payoff.payoff(Move::Cooperate,
+                                   opp.move(StateCodec::initial()));
+    EXPECT_GT(d, c);
+  }
+}
+
+}  // namespace
+}  // namespace egt::game

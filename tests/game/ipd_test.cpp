@@ -1,0 +1,191 @@
+#include "game/ipd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/named.hpp"
+
+namespace egt::game {
+namespace {
+
+util::StreamRng rng_for(std::uint64_t key) { return util::StreamRng(1, key); }
+
+TEST(Ipd, MutualCooperationScoresReward) {
+  const IpdEngine engine(1);
+  const auto r =
+      engine.play(named::all_c(1), named::all_c(1), rng_for(0));
+  EXPECT_EQ(r.rounds, 200u);
+  EXPECT_DOUBLE_EQ(r.payoff_a, 200.0 * 3.0);
+  EXPECT_DOUBLE_EQ(r.payoff_b, 200.0 * 3.0);
+  EXPECT_EQ(r.coop_a, 200u);
+  EXPECT_EQ(r.coop_b, 200u);
+  EXPECT_DOUBLE_EQ(r.coop_rate(), 1.0);
+}
+
+TEST(Ipd, DefectorExploitsCooperator) {
+  const IpdEngine engine(1);
+  const auto r = engine.play(named::all_d(1), named::all_c(1), rng_for(0));
+  EXPECT_DOUBLE_EQ(r.payoff_a, 200.0 * 4.0);  // temptation every round
+  EXPECT_DOUBLE_EQ(r.payoff_b, 0.0);          // sucker every round
+  EXPECT_EQ(r.coop_a, 0u);
+}
+
+TEST(Ipd, TftVersusAllDLosesOnlyFirstRound) {
+  const IpdEngine engine(1);
+  const auto r =
+      engine.play(named::tit_for_tat(1), named::all_d(1), rng_for(0));
+  // TFT opens with C (all-cooperate initial view), gets suckered once, then
+  // mutual defection.
+  EXPECT_DOUBLE_EQ(r.payoff_a, 0.0 + 199.0 * 1.0);
+  EXPECT_DOUBLE_EQ(r.payoff_b, 4.0 + 199.0 * 1.0);
+}
+
+TEST(Ipd, TftVersusTftCooperatesForever) {
+  const IpdEngine engine(1);
+  const auto r =
+      engine.play(named::tit_for_tat(1), named::tit_for_tat(1), rng_for(0));
+  EXPECT_DOUBLE_EQ(r.payoff_a, 600.0);
+  EXPECT_DOUBLE_EQ(r.payoff_b, 600.0);
+}
+
+TEST(Ipd, AlternatorVersusAllCAlternates) {
+  const IpdEngine engine(1);
+  const auto r =
+      engine.play(named::alternator(1), named::all_c(1), rng_for(0));
+  // Opens D (own previous move reads C), then alternates C/D: 100 T + 100 R.
+  EXPECT_DOUBLE_EQ(r.payoff_a, 100.0 * 4.0 + 100.0 * 3.0);
+  EXPECT_EQ(r.coop_a, 100u);
+}
+
+TEST(Ipd, PayoffsAreSymmetricInRoleSwap) {
+  const IpdEngine engine(2);
+  const auto ab = engine.play(named::tit_for_two_tats(2), named::grim(2),
+                              rng_for(7));
+  const auto ba = engine.play(named::grim(2), named::tit_for_two_tats(2),
+                              rng_for(7));
+  EXPECT_DOUBLE_EQ(ab.payoff_a, ba.payoff_b);
+  EXPECT_DOUBLE_EQ(ab.payoff_b, ba.payoff_a);
+}
+
+TEST(Ipd, DeterministicForPureStrategiesRegardlessOfRngKey) {
+  const IpdEngine engine(1);
+  const auto r1 = engine.play(named::tit_for_tat(1), named::all_d(1),
+                              rng_for(1));
+  const auto r2 = engine.play(named::tit_for_tat(1), named::all_d(1),
+                              rng_for(999));
+  EXPECT_DOUBLE_EQ(r1.payoff_a, r2.payoff_a);
+}
+
+TEST(Ipd, MixedGamesAreReproduciblePerStream) {
+  const IpdEngine engine(1);
+  const Strategy a = named::generous_tit_for_tat(1, 0.3);
+  const Strategy b = named::random_strategy(1, 0.5);
+  const auto r1 = engine.play(a, b, rng_for(11));
+  const auto r2 = engine.play(a, b, rng_for(11));
+  EXPECT_DOUBLE_EQ(r1.payoff_a, r2.payoff_a);
+  const auto r3 = engine.play(a, b, rng_for(12));
+  EXPECT_NE(r1.payoff_a, r3.payoff_a);  // different stream, different game
+}
+
+TEST(Ipd, NoiseBreaksPermanentCooperation) {
+  IpdParams params;
+  params.noise = 0.05;
+  const IpdEngine engine(1, params);
+  const auto r =
+      engine.play(named::all_c(1), named::all_c(1), rng_for(3));
+  EXPECT_LT(r.coop_a + r.coop_b, 400u);  // some moves flipped
+  EXPECT_GT(r.coop_a + r.coop_b, 300u);  // but only ~5% of them
+}
+
+TEST(Ipd, NoiseIsFatalForTftPairs) {
+  // §III-E: an error shifts a TFT pair into (alternating or mutual)
+  // defection, so cooperation collapses well below the noise-free level.
+  IpdParams params;
+  params.rounds = 2000;
+  params.noise = 0.02;
+  const IpdEngine engine(1, params);
+  const auto r = engine.play(named::tit_for_tat(1), named::tit_for_tat(1),
+                             rng_for(4));
+  EXPECT_LT(r.coop_rate(), 0.9);
+}
+
+TEST(Ipd, WslsRecoversFromNoiseBetterThanTft) {
+  IpdParams params;
+  params.rounds = 4000;
+  params.noise = 0.02;
+  const IpdEngine engine(1, params);
+  const auto wsls = engine.play(named::win_stay_lose_shift(1),
+                                named::win_stay_lose_shift(1), rng_for(5));
+  const auto tft = engine.play(named::tit_for_tat(1), named::tit_for_tat(1),
+                               rng_for(5));
+  // The WSLS pair re-coordinates two rounds after an error; TFT echoes it
+  // forever (Nowak & Sigmund 1993).
+  EXPECT_GT(wsls.payoff_a + wsls.payoff_b, tft.payoff_a + tft.payoff_b);
+}
+
+TEST(Ipd, LinearSearchModeGivesIdenticalResults) {
+  for (int memory : {1, 2, 3}) {
+    const IpdEngine fast(memory, {}, LookupMode::Indexed);
+    const IpdEngine slow(memory, {}, LookupMode::LinearSearch);
+    util::Xoshiro256 rng(memory);
+    for (int g = 0; g < 10; ++g) {
+      const auto a = PureStrategy::random(memory, rng);
+      const auto b = PureStrategy::random(memory, rng);
+      const auto r1 = fast.play(a, b, rng_for(g));
+      const auto r2 = slow.play(a, b, rng_for(g));
+      ASSERT_DOUBLE_EQ(r1.payoff_a, r2.payoff_a);
+      ASSERT_DOUBLE_EQ(r1.payoff_b, r2.payoff_b);
+    }
+  }
+}
+
+TEST(Ipd, RejectsMemoryMismatch) {
+  const IpdEngine engine(2);
+  EXPECT_THROW(
+      (void)engine.play(Strategy(named::all_c(1)), Strategy(named::all_c(2)),
+                        rng_for(0)),
+      std::invalid_argument);
+}
+
+TEST(Ipd, RejectsBadParams) {
+  IpdParams zero_rounds;
+  zero_rounds.rounds = 0;
+  EXPECT_THROW(IpdEngine(1, zero_rounds), std::invalid_argument);
+  IpdParams bad_noise;
+  bad_noise.noise = 1.5;
+  EXPECT_THROW(IpdEngine(1, bad_noise), std::invalid_argument);
+}
+
+TEST(Ipd, MemoryZeroStrategiesIgnoreHistory) {
+  const IpdEngine engine(0);
+  PureStrategy d(0);
+  d.set_move(0, Move::Defect);
+  const auto r = engine.play(PureStrategy(0), d, rng_for(0));
+  EXPECT_DOUBLE_EQ(r.payoff_a, 0.0);
+  EXPECT_DOUBLE_EQ(r.payoff_b, 200.0 * 4.0);
+}
+
+// Payoff conservation sweep: for the paper's matrix every round pays the
+// pair jointly 6 (CC), 4 (CD/DC) or 2 (DD) — so totals are bounded.
+class IpdPairSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IpdPairSweep, JointPayoffStaysWithinMatrixBounds) {
+  const int memory = GetParam();
+  const IpdEngine engine(memory);
+  util::Xoshiro256 rng(42 + memory);
+  for (int g = 0; g < 20; ++g) {
+    const auto a = PureStrategy::random(memory, rng);
+    const auto b = PureStrategy::random(memory, rng);
+    const auto r = engine.play(a, b, rng_for(g));
+    const double joint = r.payoff_a + r.payoff_b;
+    ASSERT_GE(joint, 200.0 * 2.0);
+    ASSERT_LE(joint, 200.0 * 6.0);
+    ASSERT_LE(r.coop_a, r.rounds);
+    ASSERT_LE(r.coop_b, r.rounds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Memory1To6, IpdPairSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace egt::game

@@ -1,0 +1,271 @@
+#include "game/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/named.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace egt::game::markov {
+namespace {
+
+const PayoffMatrix kPayoff = paper_payoff();
+
+TEST(ExactPure, MatchesSampledEngineForNamedPairs) {
+  const IpdEngine engine(1);
+  const auto cat = named::pure_catalog(1);
+  for (const auto& a : cat) {
+    for (const auto& b : cat) {
+      const auto exact =
+          exact_pure_game(a.strategy.as_pure(), b.strategy.as_pure(), kPayoff,
+                          200);
+      const auto sampled = engine.play(a.strategy.as_pure(),
+                                       b.strategy.as_pure(),
+                                       util::StreamRng(0, 0));
+      ASSERT_DOUBLE_EQ(exact.payoff_a, sampled.payoff_a)
+          << a.name << " vs " << b.name;
+      ASSERT_DOUBLE_EQ(exact.payoff_b, sampled.payoff_b)
+          << a.name << " vs " << b.name;
+      ASSERT_EQ(exact.coop_a, sampled.coop_a);
+      ASSERT_EQ(exact.coop_b, sampled.coop_b);
+    }
+  }
+}
+
+class ExactPureSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactPureSweep, MatchesSampledEngineOnRandomPairs) {
+  const int memory = GetParam();
+  const IpdEngine engine(memory);
+  util::Xoshiro256 rng(1000 + memory);
+  for (int g = 0; g < 25; ++g) {
+    const auto a = PureStrategy::random(memory, rng);
+    const auto b = PureStrategy::random(memory, rng);
+    const auto exact = exact_pure_game(a, b, kPayoff, 200);
+    const auto sampled = engine.play(a, b, util::StreamRng(0, 0));
+    ASSERT_DOUBLE_EQ(exact.payoff_a, sampled.payoff_a);
+    ASSERT_DOUBLE_EQ(exact.payoff_b, sampled.payoff_b);
+    ASSERT_EQ(exact.coop_a, sampled.coop_a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Memory1To6, ExactPureSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(ExactPure, ShortGamesInsideTransient) {
+  // rounds smaller than the transient must still be exact.
+  const auto grim = named::grim(2);
+  const auto alt = named::alternator(2);
+  for (std::uint32_t rounds : {1u, 2u, 3u, 5u, 17u}) {
+    IpdParams params;
+    params.rounds = rounds;
+    const IpdEngine engine(2, params);
+    const auto exact = exact_pure_game(grim, alt, kPayoff, rounds);
+    const auto sampled = engine.play(grim, alt, util::StreamRng(0, 0));
+    ASSERT_DOUBLE_EQ(exact.payoff_a, sampled.payoff_a) << rounds;
+  }
+}
+
+TEST(ExpectedGameMem1, MatchesDeterministicPairsExactly) {
+  const Strategy tft = named::tit_for_tat(1);
+  const Strategy alld = named::all_d(1);
+  const auto e = expected_game_mem1(tft, alld, kPayoff, 200, 0.0);
+  EXPECT_NEAR(e.payoff_a, 199.0, 1e-9);
+  EXPECT_NEAR(e.payoff_b, 4.0 + 199.0, 1e-9);
+}
+
+TEST(ExpectedGameMem1, MatchesMonteCarloForStochasticPair) {
+  const Strategy gtft = named::generous_tit_for_tat(1, 1.0 / 3.0);
+  const Strategy rnd = named::random_strategy(1, 0.5);
+  const auto expected = expected_game_mem1(gtft, rnd, kPayoff, 200, 0.0);
+
+  const IpdEngine engine(1);
+  util::RunningStats pa;
+  for (int g = 0; g < 3000; ++g) {
+    pa.add(engine.play(gtft, rnd, util::StreamRng(5, g)).payoff_a);
+  }
+  // Monte-Carlo mean within ~5 sigma of the analytic expectation.
+  const double sem = pa.stddev() / std::sqrt(3000.0);
+  EXPECT_NEAR(pa.mean(), expected.payoff_a, 5.0 * sem + 1e-9);
+}
+
+TEST(ExpectedGameMem1, NoiseMatchesMonteCarlo) {
+  const Strategy wsls = named::win_stay_lose_shift(1);
+  const auto expected = expected_game_mem1(wsls, wsls, kPayoff, 200, 0.05);
+
+  IpdParams params;
+  params.noise = 0.05;
+  const IpdEngine engine(1, params);
+  util::RunningStats pa;
+  for (int g = 0; g < 3000; ++g) {
+    pa.add(engine.play(wsls, wsls, util::StreamRng(6, g)).payoff_a);
+  }
+  const double sem = pa.stddev() / std::sqrt(3000.0);
+  EXPECT_NEAR(pa.mean(), expected.payoff_a, 5.0 * sem + 1e-9);
+}
+
+TEST(Stationary, AllCPairSitsInMutualCooperation) {
+  const Strategy allc = named::all_c(1);
+  const auto pi = stationary_distribution_mem1(allc, allc, 0.0);
+  EXPECT_NEAR(pi[0], 1.0, 1e-9);
+}
+
+TEST(Stationary, DistributionSumsToOne) {
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Strategy a = MixedStrategy::random(1, rng);
+    const Strategy b = MixedStrategy::random(1, rng);
+    const auto pi = stationary_distribution_mem1(a, b, 0.01);
+    const double sum = pi[0] + pi[1] + pi[2] + pi[3];
+    ASSERT_NEAR(sum, 1.0, 1e-9);
+    for (double p : pi) ASSERT_GE(p, -1e-12);
+  }
+}
+
+TEST(Stationary, WslsPairUnderNoiseIsMostlyCooperative) {
+  const Strategy wsls = named::win_stay_lose_shift(1);
+  const auto out = stationary_mem1(wsls, wsls, kPayoff, 0.01);
+  EXPECT_GT(out.coop_a, 0.9);
+  EXPECT_GT(out.payoff_a, 2.8);
+}
+
+TEST(Stationary, TftPairUnderNoiseDropsToHalfCooperation) {
+  // Classic result: noisy TFT-vs-TFT spends equal time in all four outcome
+  // states, i.e. ~50% cooperation — far below WSLS.
+  const Strategy tft = named::tit_for_tat(1);
+  const auto out = stationary_mem1(tft, tft, kPayoff, 0.01);
+  EXPECT_NEAR(out.coop_a, 0.5, 0.05);
+}
+
+TEST(Stationary, MatchesLongExpectedGameAverage) {
+  const Strategy a = MixedStrategy::mem1({0.9, 0.2, 0.7, 0.4});
+  const Strategy b = MixedStrategy::mem1({0.6, 0.1, 0.8, 0.3});
+  const auto st = stationary_mem1(a, b, kPayoff, 0.0);
+  const auto game = expected_game_mem1(a, b, kPayoff, 20000, 0.0);
+  EXPECT_NEAR(game.payoff_a / 20000.0, st.payoff_a, 1e-3);
+  EXPECT_NEAR(game.payoff_b / 20000.0, st.payoff_b, 1e-3);
+}
+
+TEST(Stationary, PeriodicChainFallsBackToCesaroAverage) {
+  // Two alternators in anti-phase never reach a fixed point; the long-run
+  // average still exists.
+  const Strategy alt = named::alternator(1);
+  const auto out = stationary_mem1(alt, alt, kPayoff, 0.0);
+  EXPECT_NEAR(out.coop_a, 0.5, 1e-6);
+}
+
+TEST(PureOrbit, TftPairSitsOnMutualCooperation) {
+  const auto o = pure_orbit(named::tit_for_tat(1), named::tit_for_tat(1),
+                            kPayoff);
+  EXPECT_EQ(o.cycle, 1u);
+  EXPECT_EQ(o.transient, 0u);
+  EXPECT_DOUBLE_EQ(o.cycle_payoff_a, 3.0);
+  EXPECT_DOUBLE_EQ(o.cycle_coop_a, 1.0);
+}
+
+TEST(PureOrbit, AlternatorPairLocksIntoTwoCycle) {
+  const auto o =
+      pure_orbit(named::alternator(1), named::alternator(1), kPayoff);
+  EXPECT_EQ(o.cycle, 2u);
+  // Both alternate in phase: DD then CC -> average payoff (1+3)/2.
+  EXPECT_DOUBLE_EQ(o.cycle_payoff_a, 2.0);
+  EXPECT_DOUBLE_EQ(o.cycle_coop_a, 0.5);
+}
+
+TEST(PureOrbit, WslsAgainstAlldAlternates) {
+  const auto o =
+      pure_orbit(named::win_stay_lose_shift(1), named::all_d(1), kPayoff);
+  // WSLS: C (suckered), D (punished), C, D, ... cycle length 2.
+  EXPECT_EQ(o.cycle, 2u);
+  EXPECT_DOUBLE_EQ(o.cycle_payoff_a, 0.5);   // (S + P) / 2
+  EXPECT_DOUBLE_EQ(o.cycle_payoff_b, 2.5);   // (T + P) / 2 < R = 3
+  EXPECT_DOUBLE_EQ(o.cycle_coop_a, 0.5);
+  EXPECT_DOUBLE_EQ(o.cycle_coop_b, 0.0);
+}
+
+TEST(PureOrbit, GrimVersusAlternatorHasTransient) {
+  const auto o = pure_orbit(named::grim(1), named::alternator(1), kPayoff);
+  // GRIM cooperates until the alternator's opening defection arrives, then
+  // locks into defection; a short transient precedes the absorbing cycle.
+  EXPECT_GE(o.transient, 1u);
+  EXPECT_LE(o.cycle_coop_a, 0.5);
+}
+
+class PureOrbitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PureOrbitSweep, OrbitLengthsRespectStateSpaceBound) {
+  const int memory = GetParam();
+  util::Xoshiro256 rng(77 + memory);
+  for (int g = 0; g < 30; ++g) {
+    const auto a = PureStrategy::random(memory, rng);
+    const auto b = PureStrategy::random(memory, rng);
+    const auto o = pure_orbit(a, b, kPayoff);
+    ASSERT_GE(o.cycle, 1u);
+    ASSERT_LE(o.transient + o.cycle, num_states(memory));
+    // The orbit averages must agree with a long exact game.
+    const auto long_game = exact_pure_game(a, b, kPayoff, 100000);
+    ASSERT_NEAR(long_game.payoff_a / 100000.0, o.cycle_payoff_a, 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Memory1To4, PureOrbitSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+// Cross-engine agreement swept over payoff matrices and noise levels: the
+// analytic expectation must match Monte-Carlo regardless of the game.
+struct CrossCheckCase {
+  const char* name;
+  PayoffMatrix payoff;
+  double noise;
+};
+
+class AnalyticCrossCheck : public ::testing::TestWithParam<CrossCheckCase> {};
+
+TEST_P(AnalyticCrossCheck, ExpectationMatchesMonteCarlo) {
+  const auto& param = GetParam();
+  util::Xoshiro256 rng(2024);
+  const Strategy a = MixedStrategy::random(1, rng);
+  const Strategy b = MixedStrategy::random(1, rng);
+  const auto expected =
+      expected_game_mem1(a, b, param.payoff, 100, param.noise);
+
+  IpdParams params;
+  params.payoff = param.payoff;
+  params.rounds = 100;
+  params.noise = param.noise;
+  const IpdEngine engine(1, params);
+  util::RunningStats pa, pb;
+  for (int g = 0; g < 4000; ++g) {
+    const auto r = engine.play(a, b, util::StreamRng(55, g));
+    pa.add(r.payoff_a);
+    pb.add(r.payoff_b);
+  }
+  const double sem_a = pa.stddev() / std::sqrt(4000.0);
+  const double sem_b = pb.stddev() / std::sqrt(4000.0);
+  EXPECT_NEAR(pa.mean(), expected.payoff_a, 5.0 * sem_a + 1e-9) << param.name;
+  EXPECT_NEAR(pb.mean(), expected.payoff_b, 5.0 * sem_b + 1e-9) << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GamesAndNoise, AnalyticCrossCheck,
+    ::testing::Values(
+        CrossCheckCase{"paper_clean", paper_payoff(), 0.0},
+        CrossCheckCase{"paper_noisy", paper_payoff(), 0.05},
+        CrossCheckCase{"axelrod", axelrod_payoff(), 0.02},
+        CrossCheckCase{"donation", donation_payoff(3.0, 1.0), 0.01},
+        CrossCheckCase{"snowdrift", snowdrift_payoff(4.0, 2.0), 0.05},
+        CrossCheckCase{"stag_hunt", stag_hunt_payoff(), 0.1}),
+    [](const ::testing::TestParamInfo<CrossCheckCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ExpectedGameMem1, RejectsWrongMemory) {
+  const Strategy a = named::all_c(2);
+  EXPECT_THROW((void)expected_game_mem1(a, a, kPayoff, 10, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::game::markov

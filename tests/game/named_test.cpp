@@ -1,0 +1,165 @@
+#include "game/named.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egt::game::named {
+namespace {
+
+TEST(Named, AllCAndAllD) {
+  const auto c = all_c(2);
+  const auto d = all_d(2);
+  for (State s = 0; s < c.states(); ++s) {
+    ASSERT_EQ(c.move(s), Move::Cooperate);
+    ASSERT_EQ(d.move(s), Move::Defect);
+  }
+}
+
+TEST(Named, TftMemoryOneIsPaperPattern) {
+  // States (my, opp): CC=0, CD=1, DC=2, DD=3; TFT copies opp.
+  const auto t = tit_for_tat(1);
+  EXPECT_EQ(t.move(0), Move::Cooperate);
+  EXPECT_EQ(t.move(1), Move::Defect);
+  EXPECT_EQ(t.move(2), Move::Cooperate);
+  EXPECT_EQ(t.move(3), Move::Defect);
+}
+
+TEST(Named, TftLiftsToHigherMemoryConsistently) {
+  const StateCodec c(3);
+  const auto t = tit_for_tat(3);
+  for (State s = 0; s < c.states(); ++s) {
+    ASSERT_EQ(t.move(s), c.opp_move(s, 0));
+  }
+}
+
+TEST(Named, WslsMatchesPaperTableV) {
+  // Paper Table V (0 = cooperate): state CC -> 0, CD -> 1, DD -> 0, DC -> 1.
+  const auto w = win_stay_lose_shift(1);
+  EXPECT_EQ(w.move(0), Move::Cooperate);  // (C,C): won, stay C
+  EXPECT_EQ(w.move(1), Move::Defect);     // (C,D): lost, shift to D
+  EXPECT_EQ(w.move(3), Move::Cooperate);  // (D,D): lost, shift to C
+  EXPECT_EQ(w.move(2), Move::Defect);     // (D,C): won, stay D
+}
+
+TEST(Named, WslsBitStringIsStateOrder0110) {
+  // In our state order (CC, CD, DC, DD) WSLS reads "0110".
+  EXPECT_EQ(win_stay_lose_shift(1).to_string(), "0110");
+}
+
+TEST(Named, GrimCooperatesOnlyOnCleanHistory) {
+  const auto g = grim(2);
+  EXPECT_EQ(g.move(0), Move::Cooperate);
+  for (State s = 1; s < g.states(); ++s) {
+    ASSERT_EQ(g.move(s), Move::Defect);
+  }
+}
+
+TEST(Named, Tf2tNeedsTwoDefections) {
+  const auto t = tit_for_two_tats(2);
+  const StateCodec c(2);
+  for (State s = 0; s < c.states(); ++s) {
+    const bool two = c.opp_move(s, 0) == Move::Defect &&
+                     c.opp_move(s, 1) == Move::Defect;
+    ASSERT_EQ(t.move(s), two ? Move::Defect : Move::Cooperate);
+  }
+}
+
+TEST(Named, Tf2tRejectsMemoryOne) {
+  EXPECT_THROW(tit_for_two_tats(1), std::invalid_argument);
+}
+
+TEST(Named, GtftGenerosityOnlyAfterDefection) {
+  const auto g = generous_tit_for_tat(1, 0.3);
+  EXPECT_DOUBLE_EQ(g.coop_prob(0), 1.0);  // opp cooperated
+  EXPECT_DOUBLE_EQ(g.coop_prob(1), 0.3);  // opp defected
+  EXPECT_DOUBLE_EQ(g.coop_prob(2), 1.0);
+  EXPECT_DOUBLE_EQ(g.coop_prob(3), 0.3);
+}
+
+TEST(Named, GtftValidatesGenerosity) {
+  EXPECT_THROW(generous_tit_for_tat(1, 1.5), std::invalid_argument);
+}
+
+TEST(Named, ContriteAcceptsPunishment) {
+  const auto c = contrite_tit_for_tat(1);
+  EXPECT_EQ(c.move(0), Move::Cooperate);  // (C,C)
+  EXPECT_EQ(c.move(1), Move::Defect);     // (C,D): provoked
+  EXPECT_EQ(c.move(2), Move::Cooperate);  // (D,C): apologise
+  EXPECT_EQ(c.move(3), Move::Cooperate);  // (D,D): accept punishment
+}
+
+TEST(Named, FirmButFairForgivesSucker) {
+  const auto f = firm_but_fair(1);
+  EXPECT_EQ(f.move(0), Move::Cooperate);  // like WSLS
+  EXPECT_EQ(f.move(1), Move::Cooperate);  // suckered but keeps cooperating
+  EXPECT_EQ(f.move(2), Move::Defect);     // like WSLS
+  EXPECT_EQ(f.move(3), Move::Cooperate);  // like WSLS
+}
+
+TEST(Named, AlternatorFlipsOwnMove) {
+  const auto a = alternator(1);
+  EXPECT_EQ(a.move(0), Move::Defect);     // was C -> D
+  EXPECT_EQ(a.move(2), Move::Cooperate);  // was D -> C
+}
+
+TEST(Named, PureCatalogHasDistinctEntries) {
+  const auto cat = pure_catalog(2);
+  EXPECT_GE(cat.size(), 8u);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    for (std::size_t j = i + 1; j < cat.size(); ++j) {
+      ASSERT_FALSE(cat[i].strategy == cat[j].strategy)
+          << cat[i].name << " == " << cat[j].name;
+    }
+  }
+}
+
+TEST(Named, FullCatalogIncludesStochasticEntries) {
+  const auto cat = full_catalog(1);
+  bool has_gtft = false, has_random = false;
+  for (const auto& e : cat) {
+    if (e.name == "GTFT") has_gtft = true;
+    if (e.name == "RANDOM") has_random = true;
+  }
+  EXPECT_TRUE(has_gtft);
+  EXPECT_TRUE(has_random);
+}
+
+TEST(Named, NearestNamedIdentifiesExactMatches) {
+  for (const auto& e : pure_catalog(1)) {
+    const auto [name, dist] = nearest_named(e.strategy);
+    EXPECT_EQ(name, e.name);
+    EXPECT_DOUBLE_EQ(dist, 0.0);
+  }
+}
+
+TEST(Named, NearestNamedFindsCloseNeighbour) {
+  // WSLS with slight noise on one state probability.
+  const auto probe =
+      game::MixedStrategy::from_probs({0.95, 0.02, 0.05, 0.9});
+  const auto [name, dist] = nearest_named(game::Strategy(probe));
+  EXPECT_EQ(name, "WSLS");
+  EXPECT_LT(dist, 0.2);
+}
+
+// Parameterised: every pure named strategy lifts to every legal memory
+// depth with in-range moves only determined by recent rounds.
+class NamedLiftSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NamedLiftSweep, LiftedStrategiesDependOnlyOnRecentRounds) {
+  const int memory = GetParam();
+  const StateCodec c(memory);
+  const auto t = tit_for_tat(memory);
+  const auto w = win_stay_lose_shift(memory);
+  // TFT/WSLS are memory-one rules: two states agreeing on round 0 must get
+  // the same move.
+  for (State s = 0; s < std::min<State>(c.states(), 1024); ++s) {
+    const State recent = s & 3u;
+    ASSERT_EQ(t.move(s), t.move(recent));
+    ASSERT_EQ(w.move(s), w.move(recent));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Memory1To6, NamedLiftSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace egt::game::named

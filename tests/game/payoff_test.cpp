@@ -1,0 +1,71 @@
+#include "game/payoff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egt::game {
+namespace {
+
+TEST(Payoff, PaperValuesMatchTableI) {
+  // f[R,S,T,P] = [3,0,4,1] (paper §III-A / §V-C).
+  const PayoffMatrix m = paper_payoff();
+  EXPECT_DOUBLE_EQ(m.payoff(Move::Cooperate, Move::Cooperate), 3.0);  // R
+  EXPECT_DOUBLE_EQ(m.payoff(Move::Cooperate, Move::Defect), 0.0);     // S
+  EXPECT_DOUBLE_EQ(m.payoff(Move::Defect, Move::Cooperate), 4.0);     // T
+  EXPECT_DOUBLE_EQ(m.payoff(Move::Defect, Move::Defect), 1.0);        // P
+}
+
+TEST(Payoff, PaperGameIsAPrisonersDilemma) {
+  EXPECT_TRUE(paper_payoff().is_prisoners_dilemma());
+  EXPECT_TRUE(paper_payoff().rewards_mutual_cooperation());
+}
+
+TEST(Payoff, AxelrodValues) {
+  const PayoffMatrix m = axelrod_payoff();
+  EXPECT_DOUBLE_EQ(m.temptation, 5.0);
+  EXPECT_TRUE(m.is_prisoners_dilemma());
+  // 2R = T + S + 1 > T + S.
+  EXPECT_TRUE(m.rewards_mutual_cooperation());
+}
+
+TEST(Payoff, DonationGameStructure) {
+  const PayoffMatrix m = donation_payoff(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.reward, 2.0);
+  EXPECT_DOUBLE_EQ(m.sucker, -1.0);
+  EXPECT_DOUBLE_EQ(m.temptation, 3.0);
+  EXPECT_DOUBLE_EQ(m.punishment, 0.0);
+  EXPECT_TRUE(m.is_prisoners_dilemma());
+}
+
+TEST(Payoff, DonationGameValidatesArguments) {
+  EXPECT_THROW(donation_payoff(1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(donation_payoff(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Payoff, SnowdriftIsNotAPrisonersDilemma) {
+  const PayoffMatrix m = snowdrift_payoff(4.0, 2.0);
+  // In snowdrift S > P: cooperating against a defector beats mutual defection.
+  EXPECT_GT(m.sucker, m.punishment);
+  EXPECT_FALSE(m.is_prisoners_dilemma());
+}
+
+TEST(Payoff, StagHuntIsCoordination) {
+  const PayoffMatrix m = stag_hunt_payoff();
+  EXPECT_GT(m.reward, m.temptation);  // R > T: coordination, not PD
+  EXPECT_FALSE(m.is_prisoners_dilemma());
+}
+
+TEST(Payoff, ToStringMentionsAllEntries) {
+  const std::string s = paper_payoff().to_string();
+  EXPECT_NE(s.find("R=3"), std::string::npos);
+  EXPECT_NE(s.find("T=4"), std::string::npos);
+}
+
+TEST(Payoff, OppositeMoveHelper) {
+  EXPECT_EQ(opposite(Move::Cooperate), Move::Defect);
+  EXPECT_EQ(opposite(Move::Defect), Move::Cooperate);
+  EXPECT_EQ(to_char(Move::Cooperate), 'C');
+  EXPECT_EQ(from_bit(1), Move::Defect);
+}
+
+}  // namespace
+}  // namespace egt::game

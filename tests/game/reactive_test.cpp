@@ -1,0 +1,93 @@
+#include "game/reactive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/markov.hpp"
+#include "util/rng.hpp"
+
+namespace egt::game::reactive {
+namespace {
+
+const PayoffMatrix kPayoff = paper_payoff();
+
+TEST(Reactive, Validity) {
+  EXPECT_TRUE(is_valid({1.0, 0.5, 0.0}));
+  EXPECT_FALSE(is_valid({1.0, 1.5, 0.0}));
+  EXPECT_FALSE(is_valid({-0.1, 0.5, 0.0}));
+}
+
+TEST(Reactive, ToMemoryOneIgnoresOwnMove) {
+  const auto m = to_memory_one({1.0, 0.8, 0.3});
+  EXPECT_DOUBLE_EQ(m.coop_prob(0), 0.8);  // (C,C): opp cooperated
+  EXPECT_DOUBLE_EQ(m.coop_prob(2), 0.8);  // (D,C): same
+  EXPECT_DOUBLE_EQ(m.coop_prob(1), 0.3);  // (C,D): opp defected
+  EXPECT_DOUBLE_EQ(m.coop_prob(3), 0.3);  // (D,D): same
+}
+
+TEST(Reactive, AllCAndAllDFixedPoints) {
+  const auto cc = stationary_cooperation(all_c(), all_c());
+  EXPECT_DOUBLE_EQ(cc.c1, 1.0);
+  EXPECT_DOUBLE_EQ(cc.c2, 1.0);
+  const auto dd = stationary_cooperation(all_d(), all_d());
+  EXPECT_DOUBLE_EQ(dd.c1, 0.0);
+  EXPECT_DOUBLE_EQ(dd.c2, 0.0);
+  EXPECT_DOUBLE_EQ(stationary_payoff(all_c(), all_c(), kPayoff), 3.0);
+  EXPECT_DOUBLE_EQ(stationary_payoff(all_d(), all_d(), kPayoff), 1.0);
+}
+
+TEST(Reactive, ExploitationPair) {
+  const auto c = stationary_cooperation(all_d(), all_c());
+  EXPECT_DOUBLE_EQ(c.c1, 0.0);
+  EXPECT_DOUBLE_EQ(c.c2, 1.0);
+  EXPECT_DOUBLE_EQ(stationary_payoff(all_d(), all_c(), kPayoff), 4.0);
+  EXPECT_DOUBLE_EQ(stationary_payoff(all_c(), all_d(), kPayoff), 0.0);
+}
+
+TEST(Reactive, TftVersusTftIsDegenerate) {
+  // Two deterministic echoes: the closed form's denominator vanishes.
+  EXPECT_THROW((void)stationary_cooperation(tft(), tft()),
+               std::invalid_argument);
+}
+
+TEST(Reactive, GtftOptimalGenerosityIsOneThirdForPaperPayoffs) {
+  // min(1 - (4-3)/(3-0), (3-1)/(4-1)) = min(2/3, 2/3) = 2/3?  No:
+  // 1 - 1/3 = 2/3 and 2/3 — the paper payoffs give 2/3 for both terms.
+  EXPECT_NEAR(gtft_optimal_generosity(paper_payoff()), 2.0 / 3.0, 1e-12);
+  // Axelrod's [3,0,5,1]: min(1 - 2/3, 2/4) = 1/3 — the familiar GTFT 1/3.
+  EXPECT_NEAR(gtft_optimal_generosity(axelrod_payoff()), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Reactive, ClosedFormMatchesMarkovStationary) {
+  // The closed form must agree with the general 4-state chain analysis.
+  util::Xoshiro256 rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const ReactiveStrategy a{1.0, 0.05 + 0.9 * util::uniform01(rng),
+                             0.05 + 0.9 * util::uniform01(rng)};
+    const ReactiveStrategy b{1.0, 0.05 + 0.9 * util::uniform01(rng),
+                             0.05 + 0.9 * util::uniform01(rng)};
+    const auto closed = stationary_cooperation(a, b);
+    const auto chain = markov::stationary_mem1(
+        Strategy(to_memory_one(a)), Strategy(to_memory_one(b)), kPayoff, 0.0);
+    ASSERT_NEAR(closed.c1, chain.coop_a, 1e-9);
+    ASSERT_NEAR(closed.c2, chain.coop_b, 1e-9);
+    ASSERT_NEAR(stationary_payoff(a, b, kPayoff), chain.payoff_a, 1e-9);
+  }
+}
+
+TEST(Reactive, GtftForgivenessSustainsCooperationAgainstItself) {
+  const auto g = gtft(kPayoff);
+  const auto c = stationary_cooperation(g, g);
+  EXPECT_DOUBLE_EQ(c.c1, 1.0);  // p = 1 makes full cooperation absorbing
+  EXPECT_DOUBLE_EQ(stationary_payoff(g, g, kPayoff), 3.0);
+}
+
+TEST(Reactive, GenerosityTradesExploitationForStability) {
+  // Against ALLD, generosity is costly: GTFT earns less than TFT would.
+  const auto g = gtft(kPayoff);
+  const double vs_alld = stationary_payoff(g, all_d(), kPayoff);
+  EXPECT_LT(vs_alld, 1.0);  // pays the sucker cost q* of the time
+  EXPECT_GT(vs_alld, 0.0);
+}
+
+}  // namespace
+}  // namespace egt::game::reactive

@@ -1,0 +1,149 @@
+#include "game/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace egt::game {
+namespace {
+
+TEST(StateCodec, StateCountsMatchPaperTableIV) {
+  // 4^n states for memory-n (paper §III-D).
+  EXPECT_EQ(num_states(0), 1u);
+  EXPECT_EQ(num_states(1), 4u);
+  EXPECT_EQ(num_states(2), 16u);
+  EXPECT_EQ(num_states(3), 64u);
+  EXPECT_EQ(num_states(6), 4096u);
+}
+
+TEST(StateCodec, RejectsOutOfRangeMemory) {
+  EXPECT_THROW(StateCodec(-1), std::invalid_argument);
+  EXPECT_THROW(StateCodec(7), std::invalid_argument);
+  EXPECT_NO_THROW(StateCodec(6));
+}
+
+TEST(StateCodec, InitialStateIsAllCooperate) {
+  EXPECT_EQ(StateCodec::initial(), 0u);
+}
+
+TEST(StateCodec, PushMemoryOne) {
+  const StateCodec c(1);
+  // state = 2*my + opp
+  EXPECT_EQ(c.push(0, Move::Cooperate, Move::Cooperate), 0u);
+  EXPECT_EQ(c.push(0, Move::Cooperate, Move::Defect), 1u);
+  EXPECT_EQ(c.push(0, Move::Defect, Move::Cooperate), 2u);
+  EXPECT_EQ(c.push(0, Move::Defect, Move::Defect), 3u);
+  // memory-one forgets everything older than one round
+  EXPECT_EQ(c.push(3, Move::Cooperate, Move::Cooperate), 0u);
+}
+
+TEST(StateCodec, PushMemoryTwoKeepsOneOldRound) {
+  const StateCodec c(2);
+  State s = StateCodec::initial();
+  s = c.push(s, Move::Defect, Move::Cooperate);  // round 1: (D, C)
+  EXPECT_EQ(s, 2u);
+  s = c.push(s, Move::Cooperate, Move::Defect);  // round 2: (C, D)
+  // most recent round in the low bits: (C,D)=1, older (D,C)=2 << 2.
+  EXPECT_EQ(s, (2u << 2) | 1u);
+  s = c.push(s, Move::Defect, Move::Defect);  // (D,D)=3; (C,D) shifts up
+  EXPECT_EQ(s, (1u << 2) | 3u);
+}
+
+TEST(StateCodec, MoveAccessors) {
+  const StateCodec c(3);
+  State s = StateCodec::initial();
+  s = c.push(s, Move::Defect, Move::Cooperate);   // k=2 after more pushes
+  s = c.push(s, Move::Cooperate, Move::Defect);   // k=1
+  s = c.push(s, Move::Defect, Move::Defect);      // k=0 (most recent)
+  EXPECT_EQ(c.my_move(s, 0), Move::Defect);
+  EXPECT_EQ(c.opp_move(s, 0), Move::Defect);
+  EXPECT_EQ(c.my_move(s, 1), Move::Cooperate);
+  EXPECT_EQ(c.opp_move(s, 1), Move::Defect);
+  EXPECT_EQ(c.my_move(s, 2), Move::Defect);
+  EXPECT_EQ(c.opp_move(s, 2), Move::Cooperate);
+}
+
+TEST(StateCodec, SwapPerspectiveIsAnInvolution) {
+  for (int memory = 1; memory <= 4; ++memory) {
+    const StateCodec c(memory);
+    for (State s = 0; s < c.states(); ++s) {
+      ASSERT_EQ(c.swap_perspective(c.swap_perspective(s)), s);
+    }
+  }
+}
+
+TEST(StateCodec, SwapPerspectiveSwapsRoles) {
+  const StateCodec c(2);
+  State mine = StateCodec::initial();
+  State theirs = StateCodec::initial();
+  mine = c.push(mine, Move::Defect, Move::Cooperate);
+  theirs = c.push(theirs, Move::Cooperate, Move::Defect);
+  EXPECT_EQ(c.swap_perspective(mine), theirs);
+  mine = c.push(mine, Move::Cooperate, Move::Defect);
+  theirs = c.push(theirs, Move::Defect, Move::Cooperate);
+  EXPECT_EQ(c.swap_perspective(mine), theirs);
+}
+
+TEST(StateCodec, EncodeMatchesPushSequence) {
+  const StateCodec c(2);
+  // History vectors: index 0 = most recent round.
+  const State s = c.encode({Move::Defect, Move::Cooperate},
+                           {Move::Cooperate, Move::Defect});
+  State t = StateCodec::initial();
+  t = c.push(t, Move::Cooperate, Move::Defect);  // older round
+  t = c.push(t, Move::Defect, Move::Cooperate);  // most recent
+  EXPECT_EQ(s, t);
+}
+
+TEST(StateCodec, EncodeValidatesLengths) {
+  const StateCodec c(2);
+  EXPECT_THROW((void)c.encode({Move::Cooperate}, {Move::Cooperate}),
+               std::invalid_argument);
+}
+
+TEST(StateCodec, MemoryZeroHasOneState) {
+  const StateCodec c(0);
+  EXPECT_EQ(c.states(), 1u);
+  EXPECT_EQ(c.push(0, Move::Defect, Move::Defect), 0u);
+}
+
+// Property sweep: push keeps states within range for all memory depths.
+class StateCodecSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StateCodecSweep, PushStaysInRange) {
+  const StateCodec c(GetParam());
+  State s = StateCodec::initial();
+  util::SplitMix64 rng(99);
+  for (int r = 0; r < 1000; ++r) {
+    const Move a = from_bit(static_cast<int>(rng() & 1));
+    const Move b = from_bit(static_cast<int>(rng() & 1));
+    s = c.push(s, a, b);
+    ASSERT_LT(s, c.states());
+    if (c.memory() >= 1) {
+      // Memory-zero keeps no history; otherwise the newest round is
+      // readable back.
+      ASSERT_EQ(c.my_move(s, 0), a);
+      ASSERT_EQ(c.opp_move(s, 0), b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMemories, StateCodecSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+TEST(LinearStateTable, FindStateIsIdentityOnValidViews) {
+  for (int memory : {1, 2, 3}) {
+    const LinearStateTable t(memory);
+    for (State v = 0; v < t.states(); ++v) {
+      ASSERT_EQ(t.find_state(v), v);
+    }
+  }
+}
+
+TEST(LinearStateTable, MatchesPaperMemoryOneEnumeration) {
+  const LinearStateTable t(1);
+  EXPECT_EQ(t.states(), 4u);  // paper Table II: 2^2 = 4 states
+}
+
+}  // namespace
+}  // namespace egt::game

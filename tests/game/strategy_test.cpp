@@ -1,0 +1,199 @@
+#include "game/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace egt::game {
+namespace {
+
+TEST(PureStrategy, DefaultsToAllCooperate) {
+  const PureStrategy s(2);
+  EXPECT_EQ(s.states(), 16u);
+  for (State st = 0; st < s.states(); ++st) {
+    ASSERT_EQ(s.move(st), Move::Cooperate);
+  }
+}
+
+TEST(PureStrategy, FromBitsInfersMemory) {
+  const PureStrategy s = PureStrategy::from_bits("0110");
+  EXPECT_EQ(s.memory(), 1);
+  EXPECT_EQ(s.move(0), Move::Cooperate);
+  EXPECT_EQ(s.move(1), Move::Defect);
+  EXPECT_EQ(s.move(2), Move::Defect);
+  EXPECT_EQ(s.move(3), Move::Cooperate);
+  EXPECT_EQ(s.to_string(), "0110");
+}
+
+TEST(PureStrategy, FromBitsRejectsNonPowerLengths) {
+  EXPECT_THROW(PureStrategy::from_bits("01101"), std::invalid_argument);
+  EXPECT_THROW(PureStrategy::from_bits(""), std::invalid_argument);
+}
+
+TEST(PureStrategy, SetMoveAndEquality) {
+  PureStrategy a(1), b(1);
+  EXPECT_EQ(a, b);
+  a.set_move(2, Move::Defect);
+  EXPECT_FALSE(a == b);
+  b.set_move(2, Move::Defect);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.hash(), PureStrategy(1).hash());
+}
+
+TEST(PureStrategy, RandomIsReproducible) {
+  util::Xoshiro256 r1(5), r2(5);
+  const auto a = PureStrategy::random(3, r1);
+  const auto b = PureStrategy::random(3, r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(PureStrategy, MemorySixHas4096States) {
+  util::Xoshiro256 rng(1);
+  const auto s = PureStrategy::random(6, rng);
+  EXPECT_EQ(s.states(), 4096u);
+}
+
+TEST(MixedStrategy, ConstantProbabilityConstructor) {
+  const MixedStrategy s(1, 0.7);
+  for (State st = 0; st < 4; ++st) {
+    ASSERT_DOUBLE_EQ(s.coop_prob(st), 0.7);
+  }
+}
+
+TEST(MixedStrategy, RejectsBadProbabilities) {
+  EXPECT_THROW(MixedStrategy(1, 1.5), std::invalid_argument);
+  EXPECT_THROW(MixedStrategy::from_probs({0.5, -0.1, 0.5, 0.5}),
+               std::invalid_argument);
+  MixedStrategy s(1);
+  EXPECT_THROW(s.set_coop_prob(0, 2.0), std::invalid_argument);
+}
+
+TEST(MixedStrategy, Mem1Helper) {
+  const auto s = MixedStrategy::mem1({1.0, 0.25, 0.5, 0.0});
+  EXPECT_EQ(s.memory(), 1);
+  EXPECT_DOUBLE_EQ(s.coop_prob(1), 0.25);
+}
+
+TEST(MixedStrategy, MoveSamplesProbability) {
+  const auto s = MixedStrategy::mem1({0.8, 0.8, 0.8, 0.8});
+  util::StreamRng rng(1, 2);
+  int coop = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (s.move(0, rng) == Move::Cooperate) ++coop;
+  }
+  EXPECT_NEAR(static_cast<double>(coop) / kN, 0.8, 0.02);
+}
+
+TEST(MixedStrategy, DegenerateDetection) {
+  EXPECT_TRUE(MixedStrategy::from_probs({1, 0, 0, 1}).is_degenerate());
+  EXPECT_FALSE(MixedStrategy::from_probs({1, 0.5, 0, 1}).is_degenerate());
+}
+
+TEST(MixedStrategy, FromPureRoundTrip) {
+  const PureStrategy p = PureStrategy::from_bits("0101");
+  const MixedStrategy m = MixedStrategy::from_pure(p);
+  EXPECT_DOUBLE_EQ(m.coop_prob(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.coop_prob(1), 0.0);
+  EXPECT_TRUE(m.is_degenerate());
+}
+
+TEST(MixedStrategy, DistanceIsEuclidean) {
+  const auto a = MixedStrategy::from_probs({1, 0, 0, 0});
+  const auto b = MixedStrategy::from_probs({0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(a.distance(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.distance(a), 0.0);
+}
+
+TEST(Strategy, WrapsBothKinds) {
+  const Strategy p = PureStrategy::from_bits("0101");
+  const Strategy m = MixedStrategy::mem1({0.5, 0.5, 0.5, 0.5});
+  EXPECT_TRUE(p.is_pure());
+  EXPECT_FALSE(m.is_pure());
+  EXPECT_EQ(p.memory(), 1);
+  EXPECT_EQ(m.states(), 4u);
+  EXPECT_DOUBLE_EQ(p.coop_prob(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.coop_prob(1), 0.5);
+}
+
+TEST(Strategy, PureAndMixedWithSameTableDifferInHash) {
+  const Strategy p = PureStrategy::from_bits("0101");
+  const Strategy m = p.to_mixed();
+  EXPECT_NE(p.hash(), m.hash());
+  EXPECT_FALSE(p == m);
+}
+
+TEST(Strategy, SerializeRoundTripsPure) {
+  util::Xoshiro256 rng(3);
+  for (int memory : {0, 1, 3, 6}) {
+    const Strategy s = PureStrategy::random(memory, rng);
+    const Strategy back = Strategy::deserialize(s.serialize());
+    ASSERT_TRUE(back == s) << "memory=" << memory;
+  }
+}
+
+TEST(Strategy, SerializeRoundTripsMixed) {
+  util::Xoshiro256 rng(4);
+  for (int memory : {1, 2}) {
+    const Strategy s = MixedStrategy::random(memory, rng);
+    const Strategy back = Strategy::deserialize(s.serialize());
+    ASSERT_TRUE(back == s) << "memory=" << memory;
+  }
+}
+
+TEST(Strategy, DeserializeRejectsCorruptPayloads) {
+  EXPECT_THROW(Strategy::deserialize({}), std::invalid_argument);
+  auto bytes = Strategy(PureStrategy(1)).serialize();
+  bytes.pop_back();
+  EXPECT_THROW(Strategy::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(Strategy, DeserializeFuzzNeverCrashes) {
+  // Random byte soup must either produce a valid strategy or throw —
+  // never crash or read out of bounds (the payload arrives off the wire).
+  util::Xoshiro256 rng(0xf22);
+  int accepted = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t len = util::uniform_below(rng, 64);
+    std::vector<std::byte> bytes(len);
+    for (auto& b : bytes) {
+      b = static_cast<std::byte>(rng() & 0xff);
+    }
+    try {
+      const Strategy s = Strategy::deserialize(bytes);
+      ASSERT_LE(s.memory(), kMaxMemory);
+      ++accepted;
+    } catch (const std::invalid_argument&) {
+      // expected for malformed payloads
+    }
+  }
+  // Mostly garbage; a few short pure payloads can be coincidentally valid.
+  EXPECT_LT(accepted, 200);
+}
+
+TEST(Strategy, DeserializeFlippedBitsRoundTripOrThrow) {
+  util::Xoshiro256 rng(404);
+  const Strategy original = MixedStrategy::random(1, rng);
+  auto bytes = original.serialize();
+  for (int trial = 0; trial < 200; ++trial) {
+    auto corrupted = bytes;
+    const auto pos = util::uniform_below(rng, corrupted.size());
+    corrupted[pos] ^= static_cast<std::byte>(1u << (rng() & 7));
+    try {
+      (void)Strategy::deserialize(corrupted);
+    } catch (const std::invalid_argument&) {
+      // fine: header corruption detected
+    }
+  }
+  // The pristine payload still works after all that.
+  EXPECT_TRUE(Strategy::deserialize(bytes) == original);
+}
+
+TEST(Strategy, PureSerializationIsCompact) {
+  // A memory-six pure strategy is 4096 bits = 512 bytes (+2 header).
+  const Strategy s = PureStrategy(6);
+  EXPECT_EQ(s.serialize().size(), 2u + 512u);
+}
+
+}  // namespace
+}  // namespace egt::game

@@ -1,0 +1,103 @@
+#include "game/tournament.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace egt::game {
+namespace {
+
+TEST(Tournament, ScoresMatchManualPairings) {
+  std::vector<named::NamedStrategy> entries{
+      {"ALLC", named::all_c(1)},
+      {"ALLD", named::all_d(1)},
+  };
+  TournamentConfig cfg;
+  const auto res = run_tournament(entries, 1, cfg);
+  // One game: ALLC suckered every round, ALLD tempted every round.
+  EXPECT_DOUBLE_EQ(res.score[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(res.score[1][0], 200.0 * 4.0);
+  EXPECT_EQ(res.ranking.front(), 1u);  // ALLD wins a 2-entry field
+}
+
+TEST(Tournament, RetaliatorsBeatAlldWithoutEasyPrey) {
+  // Axelrod's qualitative result: in a field of retaliators (no
+  // unconditional cooperators to exploit), ALLD cannot win — nice,
+  // provocable strategies top the table.
+  std::vector<named::NamedStrategy> entries{
+      {"ALLD", named::all_d(1)},      {"TFT", named::tit_for_tat(1)},
+      {"GRIM", named::grim(1)},       {"WSLS", named::win_stay_lose_shift(1)},
+      {"CTFT", named::contrite_tit_for_tat(1)},
+  };
+  TournamentConfig cfg;
+  cfg.game.payoff = axelrod_payoff();
+  const auto res = run_tournament(entries, 1, cfg);
+  const std::string& winner = res.names[res.ranking.front()];
+  EXPECT_NE(winner, "ALLD");
+  // ... and ALLD's exploitation of ALLC can flip the field: adding one
+  // unconditional cooperator hands ALLD a 1000-point meal.
+  entries.push_back({"ALLC", named::all_c(1)});
+  const auto res2 = run_tournament(entries, 1, cfg);
+  const std::size_t alld_pos_before =
+      static_cast<std::size_t>(std::find(res.names.begin(), res.names.end(),
+                                         "ALLD") -
+                               res.names.begin());
+  EXPECT_GT(res2.total[alld_pos_before], res.total[alld_pos_before]);
+}
+
+TEST(Tournament, SelfPlayOptionAddsDiagonal) {
+  std::vector<named::NamedStrategy> entries{
+      {"ALLC", named::all_c(1)},
+      {"TFT", named::tit_for_tat(1)},
+  };
+  TournamentConfig with_self;
+  with_self.include_self_play = true;
+  const auto res = run_tournament(entries, 1, with_self);
+  EXPECT_DOUBLE_EQ(res.score[0][0], 600.0);  // ALLC vs itself
+  TournamentConfig without;
+  const auto res2 = run_tournament(entries, 1, without);
+  EXPECT_DOUBLE_EQ(res2.score[0][0], 0.0);
+}
+
+TEST(Tournament, RepetitionsScaleDeterministicScores) {
+  std::vector<named::NamedStrategy> entries{
+      {"ALLC", named::all_c(1)},
+      {"ALLD", named::all_d(1)},
+  };
+  TournamentConfig cfg;
+  cfg.repetitions = 3;
+  const auto res = run_tournament(entries, 1, cfg);
+  EXPECT_DOUBLE_EQ(res.score[1][0], 3.0 * 800.0);
+}
+
+TEST(Tournament, CooperationRatesAreSane) {
+  const auto entries = named::pure_catalog(1);
+  const auto res = run_tournament(entries, 1);
+  for (std::size_t i = 0; i < res.names.size(); ++i) {
+    ASSERT_GE(res.coop_rate[i], 0.0);
+    ASSERT_LE(res.coop_rate[i], 1.0);
+    if (res.names[i] == "ALLC") EXPECT_DOUBLE_EQ(res.coop_rate[i], 1.0);
+    if (res.names[i] == "ALLD") EXPECT_DOUBLE_EQ(res.coop_rate[i], 0.0);
+  }
+}
+
+TEST(Tournament, FormatRankingListsAllEntries) {
+  const auto entries = named::pure_catalog(1);
+  const auto res = run_tournament(entries, 1);
+  const std::string text = format_ranking(res);
+  for (const auto& e : entries) {
+    EXPECT_NE(text.find(e.name), std::string::npos) << e.name;
+  }
+}
+
+TEST(Tournament, RejectsMemoryMismatch) {
+  std::vector<named::NamedStrategy> entries{{"ALLC", named::all_c(2)}};
+  EXPECT_THROW((void)run_tournament(entries, 1), std::invalid_argument);
+}
+
+TEST(Tournament, EmptyFieldRejected) {
+  EXPECT_THROW((void)run_tournament({}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::game

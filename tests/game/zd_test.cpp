@@ -1,0 +1,123 @@
+#include "game/zd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/markov.hpp"
+#include "game/named.hpp"
+#include "util/rng.hpp"
+
+namespace egt::game::zd {
+namespace {
+
+const PayoffMatrix kPayoff = paper_payoff();
+
+TEST(Zd, ExtortionateProbabilitiesAreValidUpToMaxPhi) {
+  for (double chi : {1.0, 1.5, 2.0, 5.0}) {
+    const double phi_max = max_phi_extortionate(kPayoff, chi);
+    ASSERT_GT(phi_max, 0.0);
+    const auto p = extortionate(kPayoff, chi, phi_max);
+    ASSERT_TRUE(p.has_value()) << chi;
+    EXPECT_TRUE(p->valid());
+    // Above the bound the construction must fail.
+    EXPECT_FALSE(extortionate(kPayoff, chi, phi_max * 1.5).has_value());
+  }
+}
+
+TEST(Zd, ExtortionEnforcesItsLinearRelation) {
+  // pi_self - P = chi (pi_opp - P)  <=>  pi_self - chi pi_opp + (chi-1) P = 0.
+  for (double chi : {1.5, 2.0, 4.0}) {
+    const auto p =
+        extortionate(kPayoff, chi, 0.8 * max_phi_extortionate(kPayoff, chi));
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(enforces_linear_relation(
+        *p, kPayoff, 1.0, -chi, (chi - 1.0) * kPayoff.punishment))
+        << "chi=" << chi;
+  }
+}
+
+TEST(Zd, ExtortionerAlwaysOutscoresItsVictim) {
+  // Against any opponent, the extortioner's surplus over P is chi times
+  // the opponent's — so whenever the opponent does better than P, the
+  // extortioner does strictly better still.
+  const double chi = 3.0;
+  const auto p =
+      extortionate(kPayoff, chi, 0.5 * max_phi_extortionate(kPayoff, chi));
+  ASSERT_TRUE(p.has_value());
+  const Strategy ext = to_memory_one(*p);
+  util::Xoshiro256 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Strategy q = MixedStrategy::random(1, rng);
+    const auto out = markov::stationary_mem1(ext, q, kPayoff, 0.0);
+    EXPECT_GE(out.payoff_a, out.payoff_b - 1e-9);
+  }
+}
+
+TEST(Zd, ExtortionerExploitsAllc) {
+  const double chi = 2.0;
+  const auto p =
+      extortionate(kPayoff, chi, 0.5 * max_phi_extortionate(kPayoff, chi));
+  const Strategy ext = to_memory_one(*p);
+  const auto out = markov::stationary_mem1(
+      ext, Strategy(named::all_c(1)), kPayoff, 0.0);
+  // ALLC earns above P, so the extortioner earns chi-fold above P.
+  EXPECT_GT(out.payoff_b, kPayoff.punishment);
+  EXPECT_NEAR(out.payoff_a - kPayoff.punishment,
+              chi * (out.payoff_b - kPayoff.punishment), 1e-9);
+  EXPECT_GT(out.payoff_a, out.payoff_b);
+}
+
+TEST(Zd, WslsRefusesToBeExtorted) {
+  // WSLS-vs-extortion settles near mutual punishment: the extortioner
+  // gains (almost) nothing — consistent with WSLS's evolutionary success.
+  const double chi = 3.0;
+  const auto p =
+      extortionate(kPayoff, chi, 0.5 * max_phi_extortionate(kPayoff, chi));
+  const Strategy ext = to_memory_one(*p);
+  const auto out = markov::stationary_mem1(
+      ext, Strategy(named::win_stay_lose_shift(1)), kPayoff, 0.0);
+  EXPECT_LT(out.payoff_a, 2.0);  // far below the R = 3 of cooperation
+}
+
+TEST(Zd, GenerousProbabilitiesValidAndRelationHolds) {
+  for (double chi : {0.3, 0.5, 0.9}) {
+    const auto p = generous(kPayoff, chi, 0.1);
+    ASSERT_TRUE(p.has_value()) << chi;
+    // pi_opp - R = chi (pi_self - R)  <=>  -chi pi_self + pi_opp + (chi-1) R = 0
+    EXPECT_TRUE(enforces_linear_relation(
+        *p, kPayoff, -chi, 1.0, (chi - 1.0) * kPayoff.reward))
+        << "chi=" << chi;
+  }
+}
+
+TEST(Zd, GenerousFullyCooperatesWithItself) {
+  const auto p = generous(kPayoff, 0.5, 0.1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->p_cc, 1.0);
+  const Strategy g = to_memory_one(*p);
+  const auto out = markov::stationary_mem1(g, g, kPayoff, 0.0);
+  EXPECT_NEAR(out.payoff_a, kPayoff.reward, 1e-9);
+}
+
+TEST(Zd, GenerousNeverOutscoresItsPartner) {
+  const auto p = generous(kPayoff, 0.4, 0.08);
+  ASSERT_TRUE(p.has_value());
+  const Strategy g = to_memory_one(*p);
+  util::Xoshiro256 rng(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Strategy q = MixedStrategy::random(1, rng);
+    const auto out = markov::stationary_mem1(g, q, kPayoff, 0.0);
+    EXPECT_LE(out.payoff_a, out.payoff_b + 1e-9);
+  }
+}
+
+TEST(Zd, ArgumentValidation) {
+  EXPECT_THROW((void)extortionate(kPayoff, 0.5, 0.1), std::invalid_argument);
+  EXPECT_THROW((void)extortionate(kPayoff, 2.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)generous(kPayoff, 1.5, 0.1), std::invalid_argument);
+  ZdProbs bad;
+  bad.p_cc = 1.2;
+  EXPECT_THROW((void)to_memory_one(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::game::zd

@@ -1,0 +1,134 @@
+// Scientific sanity of the evolutionary dynamics: known results from the
+// cooperation literature must emerge from the full pipeline.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "game/named.hpp"
+#include "pop/stats.hpp"
+
+namespace egt::core {
+namespace {
+
+TEST(Dynamics, DefectionDominatesOneShotGames) {
+  // Memory-zero = repeated one-shot PD: ALLD is the unbeatable strategy
+  // (paper §III-A), so the population must converge towards defection.
+  SimConfig cfg;
+  cfg.memory = 0;
+  cfg.ssets = 24;
+  cfg.generations = 4000;
+  cfg.pc_rate = 0.5;
+  cfg.mutation_rate = 0.02;
+  cfg.beta = 10.0;
+  cfg.seed = 7;
+  cfg.fitness_mode = FitnessMode::Analytic;
+  Engine engine(cfg);
+  engine.run_all();
+  EXPECT_LT(pop::mean_coop_probability(engine.population()), 0.25);
+}
+
+TEST(Dynamics, NoisyMixedMemoryOneEvolvesCooperationViaWsls) {
+  // Scaled-down Fig. 2 / Nowak & Sigmund 1993: mixed memory-one strategies
+  // with execution errors. The population should discover a cooperative
+  // regime whose dominant rule is WSLS-like.
+  SimConfig cfg;
+  cfg.memory = 1;
+  cfg.ssets = 40;
+  cfg.generations = 60000;
+  cfg.space = pop::StrategySpace::Mixed;
+  cfg.game.noise = 0.05;
+  cfg.pc_rate = 0.5;
+  cfg.mutation_rate = 0.05;
+  cfg.beta = 10.0;
+  cfg.seed = 12345;
+  cfg.fitness_mode = FitnessMode::Analytic;
+  Engine engine(cfg);
+  engine.run_all();
+
+  // The qualitative claims: cooperation well above the random baseline and
+  // the dominant strategy closer to WSLS than to ALLD.
+  const auto& pop = engine.population();
+  const auto c = pop::census(pop);
+  const auto& dominant = pop.strategy(c.front().example);
+  const auto wsls =
+      game::Strategy(game::named::win_stay_lose_shift(1)).to_mixed();
+  const auto alld = game::Strategy(game::named::all_d(1)).to_mixed();
+  const double d_wsls = dominant.to_mixed().distance(wsls);
+  const double d_alld = dominant.to_mixed().distance(alld);
+  EXPECT_LT(d_wsls, d_alld)
+      << "dominant strategy " << dominant.to_mixed().to_string();
+}
+
+TEST(Dynamics, StrongSelectionReducesDiversityFasterThanWeak) {
+  auto run_entropy = [](double beta) {
+    SimConfig cfg;
+    cfg.memory = 1;
+    cfg.ssets = 32;
+    cfg.generations = 3000;
+    cfg.pc_rate = 0.8;
+    cfg.mutation_rate = 0.0;
+    cfg.beta = beta;
+    cfg.seed = 99;
+    cfg.fitness_mode = FitnessMode::Analytic;
+    Engine engine(cfg);
+    engine.run_all();
+    return pop::distinct_strategies(engine.population());
+  };
+  // With zero mutation, imitation is pure coarsening; strong selection
+  // must not preserve more diversity than (near-)neutral drift.
+  EXPECT_LE(run_entropy(50.0), run_entropy(0.01) + 2);
+}
+
+TEST(Dynamics, MutationMaintainsDiversity) {
+  SimConfig cfg;
+  cfg.memory = 1;
+  cfg.ssets = 32;
+  cfg.generations = 5000;
+  cfg.pc_rate = 0.5;
+  cfg.beta = 5.0;
+  cfg.seed = 21;
+  cfg.fitness_mode = FitnessMode::Analytic;
+
+  cfg.mutation_rate = 0.0;
+  Engine frozen(cfg);
+  frozen.run_all();
+  cfg.mutation_rate = 0.3;
+  Engine churning(cfg);
+  churning.run_all();
+  EXPECT_GT(pop::distinct_strategies(churning.population()),
+            pop::distinct_strategies(frozen.population()));
+}
+
+TEST(Dynamics, MoranRuleAlsoSelectsForFitness) {
+  // Memory-zero PD under Moran dynamics: defection must still win.
+  SimConfig cfg;
+  cfg.memory = 0;
+  cfg.ssets = 16;
+  cfg.generations = 4000;
+  cfg.update_rule = pop::UpdateRule::Moran;
+  cfg.pc_rate = 0.8;
+  cfg.mutation_rate = 0.02;
+  cfg.beta = 10.0;
+  cfg.seed = 4;
+  cfg.fitness_mode = FitnessMode::Analytic;
+  Engine engine(cfg);
+  engine.run_all();
+  EXPECT_LT(pop::mean_coop_probability(engine.population()), 0.3);
+}
+
+TEST(Dynamics, PopulationSizeIsConstantThroughoutTheRun) {
+  // Paper §IV-A: the overall population size stays constant.
+  SimConfig cfg;
+  cfg.ssets = 16;
+  cfg.generations = 200;
+  cfg.pc_rate = 0.5;
+  cfg.mutation_rate = 0.3;
+  cfg.fitness_mode = FitnessMode::Analytic;
+  Engine engine(cfg);
+  CallbackObserver obs([&](const pop::Population& p, const GenerationRecord&) {
+    ASSERT_EQ(p.size(), 16u);
+  });
+  engine.run(200, &obs);
+}
+
+}  // namespace
+}  // namespace egt::core

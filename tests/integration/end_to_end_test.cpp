@@ -1,0 +1,91 @@
+// Whole-pipeline smoke tests: engine -> analysis -> artefacts, and the
+// machine simulator consuming real calibration output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/heatmap.hpp"
+#include "analysis/kmeans.hpp"
+#include "core/engine.hpp"
+#include "core/observer.hpp"
+#include "machine/perfsim.hpp"
+#include "pop/stats.hpp"
+
+namespace egt {
+namespace {
+
+TEST(EndToEnd, Fig2PipelineProducesSnapshotsClustersAndHeatmaps) {
+  core::SimConfig cfg;
+  cfg.memory = 1;
+  cfg.ssets = 32;
+  cfg.generations = 2000;
+  cfg.space = pop::StrategySpace::Mixed;
+  cfg.game.noise = 0.05;
+  cfg.pc_rate = 0.3;
+  cfg.mutation_rate = 0.05;
+  cfg.beta = 5.0;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.seed = 8;
+
+  core::Engine engine(cfg);
+  core::SnapshotRecorder snaps({0, cfg.generations - 1});
+  engine.run_all(&snaps);
+  ASSERT_EQ(snaps.snapshots().size(), 2u);
+
+  const auto& final_pop = snaps.snapshots()[1].second;
+  const auto points = analysis::strategy_matrix(final_pop);
+  const auto clusters = analysis::kmeans(points, 8, 17);
+  EXPECT_EQ(clusters.assignment.size(), 32u);
+
+  const std::string path = ::testing::TempDir() + "egt_e2e_fig2.ppm";
+  analysis::HeatmapOptions opt;
+  opt.row_order = analysis::cluster_sorted_order(clusters);
+  analysis::write_heatmap_ppm(path, points, opt);
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+TEST(EndToEnd, CalibrationFeedsSimulatorWithSaneScalingShape) {
+  // A tiny real calibration drives the BG/L model; Table VI's qualitative
+  // shape (monotone drop in time with processors) must hold.
+  const auto table = machine::calibrate_host(/*sample_rounds=*/30000);
+  const machine::PerfSimulator sim(machine::bluegene_l(), table);
+  machine::Workload w;
+  w.memory = 2;
+  w.ssets = 1024;
+  w.generations = 1000;
+  w.pc_rate = 0.01;
+  double prev = 1e100;
+  for (std::uint64_t p : {128u, 256u, 512u, 1024u, 2048u}) {
+    const double t = sim.simulate(w, p).total_seconds;
+    ASSERT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(EndToEnd, TimeSeriesObserverTracksTakeover) {
+  // Zero mutation + aggressive imitation: dominant fraction must be
+  // monotone-ish up and end higher than it started.
+  core::SimConfig cfg;
+  cfg.memory = 1;
+  cfg.ssets = 24;
+  cfg.generations = 4000;
+  cfg.pc_rate = 0.8;
+  cfg.mutation_rate = 0.0;
+  cfg.beta = 10.0;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.seed = 31;
+
+  core::Engine engine(cfg);
+  core::TimeSeriesRecorder rec(500);
+  engine.run_all(&rec);
+  ASSERT_GE(rec.samples().size(), 2u);
+  EXPECT_GE(rec.samples().back().dominant_fraction,
+            rec.samples().front().dominant_fraction);
+  EXPECT_LE(rec.samples().back().distinct, rec.samples().front().distinct);
+}
+
+}  // namespace
+}  // namespace egt

@@ -1,0 +1,163 @@
+#include "machine/perfsim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egt::machine {
+namespace {
+
+Workload small_study() {
+  // Table VI setting: 1,024 SSets, 1,000 generations, pc_rate 0.01.
+  Workload w;
+  w.memory = 1;
+  w.ssets = 1024;
+  w.generations = 1000;
+  w.pc_rate = 0.01;
+  w.mutation_rate = 0.05;
+  return w;
+}
+
+TEST(PerfSim, MoreProcessorsNeverSlowerOnComputeBoundRuns) {
+  const PerfSimulator sim(bluegene_l());
+  double prev = 1e30;
+  for (std::uint64_t p : {128u, 256u, 512u, 1024u, 2048u}) {
+    const auto r = sim.simulate(small_study(), p);
+    EXPECT_LT(r.total_seconds, prev) << p;
+    prev = r.total_seconds;
+  }
+}
+
+TEST(PerfSim, ComputeDominatesAtSmallScaleCommAtHuge) {
+  const PerfSimulator sim(bluegene_p());
+  Workload w = small_study();
+  w.memory = 6;
+  const auto small = sim.simulate(w, 128);
+  EXPECT_GT(small.compute_seconds, small.comm_seconds);
+  // Strong-scaled to vastly more processors than work, communication and
+  // overhead take over.
+  const auto huge = sim.simulate(w, 262144);
+  EXPECT_LT(huge.compute_seconds / huge.total_seconds, 0.7);
+}
+
+TEST(PerfSim, StrongScalingEfficiencyDegradesGracefully) {
+  const PerfSimulator sim(bluegene_l());
+  const auto base = sim.simulate(small_study(), 128);
+  const auto r512 = sim.simulate(small_study(), 512);
+  const auto r2048 = sim.simulate(small_study(), 2048);
+  const double e512 = strong_scaling_efficiency(base, r512);
+  const double e2048 = strong_scaling_efficiency(base, r2048);
+  EXPECT_LE(e512, 1.02);
+  EXPECT_GT(e512, 0.5);
+  EXPECT_LT(e2048, e512);  // efficiency decreases with processor count
+}
+
+TEST(PerfSim, WeakScalingIsNearlyFlat) {
+  // Fig. 6: constant work per processor, runtime ~constant from 1k to 262k.
+  const PerfSimulator sim(bluegene_p());
+  Workload w;
+  w.memory = 6;
+  w.generations = 100;
+  w.pc_rate = 0.01;
+  w.games_per_sset = 256;  // fixed per-SSet game count (see EXPERIMENTS.md)
+  std::vector<double> times;
+  for (std::uint64_t p : {1024u, 8192u, 65536u, 262144u}) {
+    w.ssets = 4096 * p;  // 4,096 SSets per processor
+    times.push_back(sim.simulate(w, p).total_seconds);
+  }
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_NEAR(times[i] / times[0], 1.0, 0.05) << i;
+  }
+}
+
+TEST(PerfSim, EventCountsFollowRates) {
+  const PerfSimulator sim(bluegene_l());
+  Workload w = small_study();
+  w.generations = 20000;
+  w.pc_rate = 0.1;
+  w.mutation_rate = 0.05;
+  const auto r = sim.simulate(w, 256);
+  EXPECT_NEAR(static_cast<double>(r.pc_events) / 20000.0, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(r.mutations) / 20000.0, 0.05, 0.007);
+}
+
+TEST(PerfSim, MutationPayloadGrowsWithMemory) {
+  const PerfSimulator sim(bluegene_l());
+  Workload w1 = small_study();
+  w1.mutation_rate = 1.0;  // every generation ships a strategy
+  Workload w6 = w1;
+  w6.memory = 6;
+  const auto r1 = sim.simulate(w1, 256);
+  const auto r6 = sim.simulate(w6, 256);
+  EXPECT_GT(r6.bytes_broadcast, r1.bytes_broadcast);
+}
+
+TEST(PerfSim, NonPowerOfTwoPaysMappingPenalty) {
+  const PerfSimulator sim(bluegene_p());
+  Workload w = small_study();
+  const auto good = sim.simulate(w, 262144);
+  const auto bad = sim.simulate(w, 294912);  // 72 racks
+  EXPECT_DOUBLE_EQ(good.mapping_penalty, 1.0);
+  EXPECT_NEAR(bad.mapping_penalty, 1.15, 1e-12);
+}
+
+TEST(PerfSim, LinearLookupCostsMoreThanIndexed) {
+  const PerfSimulator sim(bluegene_l());
+  Workload w = small_study();
+  w.memory = 4;
+  const auto fast = sim.simulate(w, 256, game::LookupMode::Indexed);
+  const auto slow = sim.simulate(w, 256, game::LookupMode::LinearSearch);
+  EXPECT_GT(slow.compute_seconds, 2.0 * fast.compute_seconds);
+}
+
+TEST(PerfSim, MemoryFeasibilityCheck) {
+  const PerfSimulator sim(bluegene_l());
+  Workload w = small_study();
+  w.memory = 6;
+  EXPECT_TRUE(sim.simulate(w, 256).fits_in_memory);
+  // Mixed memory-six strategies: 32 KB each; a million SSets on few nodes
+  // would blow the 512 MB of a BG/L node.
+  w.pure_strategies = false;
+  w.ssets = 1u << 20;
+  EXPECT_FALSE(sim.simulate(w, 16).fits_in_memory);
+}
+
+TEST(PerfSim, MoranRuleCostsFarMoreCommAtScale) {
+  const PerfSimulator sim(bluegene_p());
+  Workload w = small_study();
+  w.ssets = 1u << 22;
+  w.games_per_sset = 1;
+  w.memory = 6;
+  const auto pc = sim.simulate(w, 262144);
+  w.moran_rule = true;
+  const auto moran = sim.simulate(w, 262144);
+  EXPECT_GT(moran.comm_seconds, 10.0 * pc.comm_seconds);
+  EXPECT_GT(moran.bytes_p2p, pc.bytes_p2p);
+}
+
+TEST(PerfSim, NatureOverheadExtendsRuntimeLinearly) {
+  const PerfSimulator sim(bluegene_l());
+  Workload w = small_study();
+  const auto base = sim.simulate(w, 512);
+  w.nature_overhead_us = 5000.0;
+  const auto slow = sim.simulate(w, 512);
+  EXPECT_NEAR(slow.total_seconds - base.total_seconds,
+              5e-3 * static_cast<double>(w.generations), 1e-6);
+}
+
+TEST(PerfSim, ReportIsDeterministic) {
+  const PerfSimulator sim(bluegene_l());
+  const auto a = sim.simulate(small_study(), 512);
+  const auto b = sim.simulate(small_study(), 512);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.pc_events, b.pc_events);
+}
+
+TEST(PerfSim, RejectsBadArguments) {
+  const PerfSimulator sim(bluegene_l());
+  EXPECT_THROW((void)sim.simulate(small_study(), 0), std::invalid_argument);
+  Workload w = small_study();
+  w.generations = 0;
+  EXPECT_THROW((void)sim.simulate(w, 16), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::machine

@@ -1,0 +1,68 @@
+#include "machine/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egt::machine {
+namespace {
+
+TEST(Torus, PowerOfTwoCountsGetPowerOfTwoBoxes) {
+  for (std::uint64_t p : {1u, 2u, 8u, 128u, 1024u, 262144u}) {
+    const Torus3D t(p);
+    EXPECT_EQ(t.nodes(), p) << p;
+    EXPECT_TRUE(t.power_of_two_shape()) << t.to_string();
+    EXPECT_DOUBLE_EQ(t.mapping_penalty(), 1.0);
+  }
+}
+
+TEST(Torus, DimsAreNearCubic) {
+  const Torus3D t(262144);  // 2^18 -> 64 x 64 x 64
+  const auto d = t.dims();
+  EXPECT_EQ(d[0], 64u);
+  EXPECT_EQ(d[1], 64u);
+  EXPECT_EQ(d[2], 64u);
+}
+
+TEST(Torus, NonPowerOfTwoPartitionGetsPenalty) {
+  // The paper's 72-rack case: 294,912 = 2^15 * 9 processors.
+  const Torus3D t(294912);
+  EXPECT_EQ(t.nodes(), 294912u);
+  EXPECT_FALSE(t.power_of_two_shape());
+  EXPECT_NEAR(t.mapping_penalty(), 1.15, 1e-12);
+}
+
+TEST(Torus, ExplicitDims) {
+  const Torus3D t(4, 2, 8);
+  EXPECT_EQ(t.nodes(), 64u);
+  EXPECT_EQ(t.to_string(), "4x2x8");
+}
+
+TEST(Torus, SingleNodeHasZeroDistance) {
+  const Torus3D t(1);
+  EXPECT_DOUBLE_EQ(t.average_hops(), 0.0);
+  EXPECT_EQ(t.diameter(), 0u);
+}
+
+TEST(Torus, AverageHopsOfSmallRing) {
+  // Ring of 4 per dimension: distances {0,1,2,1}, mean 1 per dimension.
+  const Torus3D t(4, 4, 4);
+  EXPECT_DOUBLE_EQ(t.average_hops(), 3.0);
+  EXPECT_EQ(t.diameter(), 6u);
+}
+
+TEST(Torus, AverageHopsGrowsWithMachineSize) {
+  EXPECT_LT(Torus3D(64).average_hops(), Torus3D(4096).average_hops());
+  EXPECT_LT(Torus3D(4096).average_hops(), Torus3D(262144).average_hops());
+}
+
+TEST(Torus, BisectionLinksScaleWithCrossSection) {
+  const Torus3D t(8, 8, 8);
+  EXPECT_DOUBLE_EQ(t.bisection_links(), 4.0 * 64.0);
+}
+
+TEST(Torus, RejectsZeroNodes) {
+  EXPECT_THROW(Torus3D(0), std::invalid_argument);
+  EXPECT_THROW(Torus3D(0, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::machine

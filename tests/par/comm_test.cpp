@@ -1,0 +1,217 @@
+#include "par/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "par/runtime.hpp"
+
+namespace egt::par {
+namespace {
+
+TEST(Comm, RankAndSize) {
+  run_ranks(4, [](Comm& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), 4);
+    EXPECT_EQ(comm.is_root(), comm.rank() == 0);
+  });
+}
+
+TEST(Comm, PointToPointRoundTrip) {
+  run_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<int>(1, 7, 123);
+      EXPECT_EQ(comm.recv_value<int>(1, 8), 321);
+    } else {
+      EXPECT_EQ(comm.recv_value<int>(0, 7), 123);
+      comm.send_value<int>(0, 8, 321);
+    }
+  });
+}
+
+TEST(Comm, BcastFromRoot) {
+  for (int nranks : {1, 2, 3, 4, 7, 8}) {
+    run_ranks(nranks, [](Comm& comm) {
+      std::uint64_t value = comm.rank() == 0 ? 0xdeadbeefULL : 0;
+      comm.bcast_value(value, 0);
+      EXPECT_EQ(value, 0xdeadbeefULL);
+    });
+  }
+}
+
+TEST(Comm, BcastFromNonZeroRoot) {
+  run_ranks(5, [](Comm& comm) {
+    std::vector<std::byte> data;
+    if (comm.rank() == 3) {
+      data = {std::byte{1}, std::byte{2}, std::byte{3}};
+    }
+    comm.bcast(data, 3);
+    ASSERT_EQ(data.size(), 3u);
+    EXPECT_EQ(std::to_integer<int>(data[2]), 3);
+  });
+}
+
+TEST(Comm, SequentialBcastsDoNotCrossTalk) {
+  run_ranks(4, [](Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      int v = comm.rank() == 0 ? round : -1;
+      comm.bcast_value(v, 0);
+      ASSERT_EQ(v, round);
+    }
+  });
+}
+
+TEST(Comm, GatherCollectsByRank) {
+  run_ranks(4, [](Comm& comm) {
+    std::vector<std::byte> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                                std::byte{static_cast<unsigned char>(comm.rank())});
+    auto all = comm.gather(std::move(mine), 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(all.size(), 4u);
+      for (int r = 0; r < 4; ++r) {
+        ASSERT_EQ(all[static_cast<std::size_t>(r)].size(),
+                  static_cast<std::size_t>(r) + 1);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Comm, AllgatherGivesEveryoneEverything) {
+  run_ranks(3, [](Comm& comm) {
+    std::vector<std::byte> mine{std::byte{static_cast<unsigned char>(
+        comm.rank() * 10)}};
+    const auto all = comm.allgather(std::move(mine));
+    ASSERT_EQ(all.size(), 3u);
+    for (int r = 0; r < 3; ++r) {
+      ASSERT_EQ(std::to_integer<int>(all[static_cast<std::size_t>(r)][0]),
+                r * 10);
+    }
+  });
+}
+
+TEST(Comm, ReduceSumAtRoot) {
+  run_ranks(6, [](Comm& comm) {
+    const std::vector<double> mine{static_cast<double>(comm.rank()), 1.0};
+    const auto out = comm.reduce(mine, Comm::ReduceOp::Sum, 0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(out.size(), 2u);
+      EXPECT_DOUBLE_EQ(out[0], 0 + 1 + 2 + 3 + 4 + 5);
+      EXPECT_DOUBLE_EQ(out[1], 6.0);
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST(Comm, ReduceMinMax) {
+  run_ranks(4, [](Comm& comm) {
+    const double r = static_cast<double>(comm.rank());
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(r, Comm::ReduceOp::Max), 3.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(r, Comm::ReduceOp::Min), 0.0);
+  });
+}
+
+TEST(Comm, AllreduceMatchesOnAllRanks) {
+  for (int nranks : {1, 2, 5, 8}) {
+    run_ranks(nranks, [nranks](Comm& comm) {
+      const auto out = comm.allreduce({1.0}, Comm::ReduceOp::Sum);
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_DOUBLE_EQ(out[0], static_cast<double>(nranks));
+    });
+  }
+}
+
+TEST(Comm, BarrierSynchronises) {
+  // Every rank increments a shared counter before the barrier; after it,
+  // all ranks must observe the full count.
+  std::atomic<int> counter{0};
+  run_ranks(6, [&](Comm& comm) {
+    counter.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(counter.load(), 6);
+  });
+}
+
+TEST(Comm, TrafficAccountingIsNonZero) {
+  const auto report = run_ranks_traced(4, [](Comm& comm) {
+    std::uint64_t v = 7;
+    comm.bcast_value(v, 0);
+  });
+  EXPECT_GT(report.messages, 0u);
+  EXPECT_GE(report.bytes, 3 * sizeof(std::uint64_t));
+}
+
+TEST(Comm, NonBlockingRequestCompletesLate) {
+  run_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = comm.irecv(1, 5);
+      Message out;
+      // The sender stalls behind a barrier-ish exchange; the request is
+      // open but not yet satisfiable.
+      EXPECT_FALSE(req.test(out));
+      comm.send_value<int>(1, 1, 0);  // release the sender
+      const Message m = req.wait();
+      EXPECT_EQ(std::to_integer<int>(m.payload[0]), 77);
+    } else {
+      (void)comm.recv_value<int>(0, 1);  // wait for the green light
+      comm.send(0, 5, {std::byte{77}});
+    }
+  });
+}
+
+TEST(Comm, NonBlockingRequestTestEventuallySucceeds) {
+  run_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = comm.irecv(1, 9);
+      Message out;
+      while (!req.test(out)) {
+        std::this_thread::yield();
+      }
+      EXPECT_TRUE(req.done());
+      EXPECT_EQ(out.tag, 9);
+    } else {
+      comm.send(0, 9, {std::byte{1}});
+    }
+  });
+}
+
+TEST(Comm, CompletedRequestRejectsReuse) {
+  run_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      auto req = comm.irecv(1, 3);
+      (void)req.wait();
+      EXPECT_THROW((void)req.wait(), std::invalid_argument);
+      Message m;
+      EXPECT_THROW((void)req.test(m), std::invalid_argument);
+    } else {
+      comm.send(0, 3, {});
+    }
+  });
+}
+
+TEST(Comm, ExceptionInOneRankPropagates) {
+  EXPECT_THROW(run_ranks(3,
+                         [](Comm& comm) {
+                           if (comm.rank() == 2) {
+                             throw std::runtime_error("rank 2 failed");
+                           }
+                         }),
+               std::runtime_error);
+}
+
+TEST(Comm, SingleRankCollectivesAreNoOps) {
+  run_ranks(1, [](Comm& comm) {
+    comm.barrier();
+    int v = 9;
+    comm.bcast_value(v, 0);
+    EXPECT_EQ(v, 9);
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(2.5, Comm::ReduceOp::Sum), 2.5);
+  });
+}
+
+}  // namespace
+}  // namespace egt::par

@@ -1,0 +1,98 @@
+#include "par/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace egt::par {
+namespace {
+
+Message make_msg(int src, int tag, int value) {
+  Message m;
+  m.source = src;
+  m.tag = tag;
+  m.payload.resize(1);
+  m.payload[0] = static_cast<std::byte>(value);
+  return m;
+}
+
+TEST(Mailbox, DeliverThenReceive) {
+  Mailbox box;
+  box.deliver(make_msg(1, 5, 42));
+  const Message m = box.receive(1, 5);
+  EXPECT_EQ(m.source, 1);
+  EXPECT_EQ(m.tag, 5);
+  EXPECT_EQ(std::to_integer<int>(m.payload[0]), 42);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Mailbox, WildcardsMatchAnything) {
+  Mailbox box;
+  box.deliver(make_msg(3, 9, 1));
+  const Message m = box.receive(kAnySource, kAnyTag);
+  EXPECT_EQ(m.source, 3);
+  EXPECT_EQ(m.tag, 9);
+}
+
+TEST(Mailbox, SelectiveReceiveSkipsNonMatching) {
+  Mailbox box;
+  box.deliver(make_msg(1, 1, 10));
+  box.deliver(make_msg(2, 2, 20));
+  const Message m = box.receive(2, 2);
+  EXPECT_EQ(std::to_integer<int>(m.payload[0]), 20);
+  EXPECT_EQ(box.pending(), 1u);  // the (1,1) message is still queued
+}
+
+TEST(Mailbox, OrderPreservedPerSourceTag) {
+  Mailbox box;
+  box.deliver(make_msg(1, 1, 10));
+  box.deliver(make_msg(1, 1, 11));
+  EXPECT_EQ(std::to_integer<int>(box.receive(1, 1).payload[0]), 10);
+  EXPECT_EQ(std::to_integer<int>(box.receive(1, 1).payload[0]), 11);
+}
+
+TEST(Mailbox, TryReceiveDoesNotBlock) {
+  Mailbox box;
+  Message m;
+  EXPECT_FALSE(box.try_receive(kAnySource, kAnyTag, m));
+  box.deliver(make_msg(1, 1, 5));
+  EXPECT_FALSE(box.try_receive(1, 2, m));  // wrong tag
+  EXPECT_TRUE(box.try_receive(1, 1, m));
+  EXPECT_EQ(std::to_integer<int>(m.payload[0]), 5);
+}
+
+TEST(Mailbox, BlockingReceiveWakesOnDelivery) {
+  Mailbox box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.deliver(make_msg(7, 3, 99));
+  });
+  const Message m = box.receive(7, 3);  // blocks until the producer runs
+  EXPECT_EQ(std::to_integer<int>(m.payload[0]), 99);
+  producer.join();
+}
+
+TEST(Mailbox, ManyProducersAllDelivered) {
+  Mailbox box;
+  constexpr int kPerThread = 100;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        box.deliver(make_msg(t, 0, i % 256));
+      }
+    });
+  }
+  int received = 0;
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    (void)box.receive(kAnySource, kAnyTag);
+    ++received;
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(received, kThreads * kPerThread);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace egt::par

@@ -1,0 +1,81 @@
+#include "par/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace egt::par {
+namespace {
+
+TEST(BlockPartition, EvenSplit) {
+  const BlockPartition p(12, 4);
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(p.count(r), 3u);
+    EXPECT_EQ(p.begin(r), r * 3);
+    EXPECT_EQ(p.end(r), r * 3 + 3);
+  }
+}
+
+TEST(BlockPartition, RemainderGoesToFirstParts) {
+  const BlockPartition p(10, 3);
+  EXPECT_EQ(p.count(0), 4u);
+  EXPECT_EQ(p.count(1), 3u);
+  EXPECT_EQ(p.count(2), 3u);
+  EXPECT_EQ(p.end(2), 10u);
+}
+
+TEST(BlockPartition, BlocksAreContiguousAndCoverEverything) {
+  for (std::uint64_t items : {1u, 7u, 64u, 1000u}) {
+    for (std::uint64_t parts : {1u, 2u, 3u, 7u, 64u}) {
+      const BlockPartition p(items, parts);
+      std::uint64_t covered = 0;
+      for (std::uint64_t r = 0; r < parts; ++r) {
+        ASSERT_EQ(p.begin(r), covered);
+        covered = p.end(r);
+      }
+      ASSERT_EQ(covered, items);
+    }
+  }
+}
+
+TEST(BlockPartition, SizesDifferByAtMostOne) {
+  const BlockPartition p(1023, 64);
+  std::uint64_t lo = ~0ULL, hi = 0;
+  for (std::uint64_t r = 0; r < 64; ++r) {
+    lo = std::min(lo, p.count(r));
+    hi = std::max(hi, p.count(r));
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(BlockPartition, OwnerIsConsistentWithBlocks) {
+  for (std::uint64_t items : {5u, 17u, 100u}) {
+    for (std::uint64_t parts : {1u, 3u, 4u, 9u}) {
+      const BlockPartition p(items, parts);
+      for (std::uint64_t i = 0; i < items; ++i) {
+        const std::uint64_t o = p.owner(i);
+        ASSERT_GE(i, p.begin(o));
+        ASSERT_LT(i, p.end(o));
+      }
+    }
+  }
+}
+
+TEST(BlockPartition, MorePartsThanItems) {
+  const BlockPartition p(3, 5);
+  EXPECT_EQ(p.count(0), 1u);
+  EXPECT_EQ(p.count(2), 1u);
+  EXPECT_EQ(p.count(3), 0u);
+  EXPECT_EQ(p.owner(2), 2u);
+}
+
+TEST(AgentsPerProcessor, MatchesPaperTableVIIIFormula) {
+  // Table VIII: population = ssets^2 agents spread over the processors.
+  EXPECT_EQ(agents_per_processor(1024, 256), 4096u);
+  EXPECT_EQ(agents_per_processor(2048, 256), 16384u);
+  EXPECT_EQ(agents_per_processor(4096, 256), 65536u);
+  EXPECT_EQ(agents_per_processor(8192, 512), 131072u);
+  EXPECT_EQ(agents_per_processor(16384, 256), 1048576u);
+  EXPECT_EQ(agents_per_processor(32768, 2048), 524288u);
+}
+
+}  // namespace
+}  // namespace egt::par

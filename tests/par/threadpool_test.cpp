@@ -1,0 +1,88 @@
+#include "par/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace egt::par {
+namespace {
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  for (std::uint64_t n : {1u, 2u, 17u, 1000u, 4096u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t i = b; i < e; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::uint64_t, std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SumReductionMatchesSerial) {
+  ThreadPool pool(4);
+  constexpr std::uint64_t kN = 100000;
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(kN, [&](std::uint64_t b, std::uint64_t e) {
+    std::uint64_t local = 0;
+    for (std::uint64_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::uint64_t> count{0};
+    pool.parallel_for(64, [&](std::uint64_t b, std::uint64_t e) {
+      count.fetch_add(e - b, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 64u);
+  }
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::uint64_t b, std::uint64_t) {
+                          if (b == 0) throw std::runtime_error("chunk failed");
+                        }),
+      std::runtime_error);
+  // Pool still usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(10, [&](std::uint64_t b, std::uint64_t e) {
+    ok.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, SharedPoolSingleton) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace egt::par

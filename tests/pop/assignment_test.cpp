@@ -1,0 +1,98 @@
+#include "pop/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace egt::pop {
+namespace {
+
+TEST(Assignment, PaperSettingOneGamePerAgent) {
+  // §V-C: agents per SSet = number of SSets, "so that each agent would
+  // handle one game per generation" (one agent idles: no self-play).
+  const OpponentAssignment a(8, 8);
+  for (std::uint32_t agent = 0; agent < 7; ++agent) {
+    EXPECT_EQ(a.games_for_agent(agent), 1u);
+  }
+  EXPECT_EQ(a.games_for_agent(7), 0u);
+  EXPECT_EQ(a.games_per_generation(), 8u * 7u);
+  EXPECT_EQ(a.total_agents(), 64u);
+}
+
+TEST(Assignment, OpponentsExcludeSelf) {
+  const OpponentAssignment a(6, 2);
+  for (SSetId s = 0; s < 6; ++s) {
+    for (std::uint32_t agent = 0; agent < 2; ++agent) {
+      for (SSetId opp : a.opponents_of(s, agent)) {
+        ASSERT_NE(opp, s);
+        ASSERT_LT(opp, 6u);
+      }
+    }
+  }
+}
+
+TEST(Assignment, AgentsPartitionTheOpponentList) {
+  for (SSetId ssets : {2u, 5u, 16u, 33u}) {
+    for (std::uint32_t agents : {1u, 2u, 3u, 7u, 40u}) {
+      const OpponentAssignment a(ssets, agents);
+      for (SSetId s = 0; s < ssets; s += 3) {
+        std::set<SSetId> covered;
+        std::uint32_t total = 0;
+        for (std::uint32_t agent = 0; agent < agents; ++agent) {
+          const auto opps = a.opponents_of(s, agent);
+          ASSERT_EQ(opps.size(), a.games_for_agent(agent));
+          total += static_cast<std::uint32_t>(opps.size());
+          for (SSetId o : opps) {
+            ASSERT_TRUE(covered.insert(o).second)
+                << "opponent " << o << " assigned twice";
+          }
+        }
+        ASSERT_EQ(total, ssets - 1) << "not all opponents covered";
+        ASSERT_EQ(covered.size(), ssets - 1);
+      }
+    }
+  }
+}
+
+TEST(Assignment, LoadIsBalancedWithinOne) {
+  const OpponentAssignment a(100, 7);
+  std::uint32_t lo = ~0u, hi = 0;
+  for (std::uint32_t agent = 0; agent < 7; ++agent) {
+    lo = std::min(lo, a.games_for_agent(agent));
+    hi = std::max(hi, a.games_for_agent(agent));
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(Assignment, AgentForOpponentInvertsOpponentsOf) {
+  for (std::uint32_t agents : {1u, 3u, 9u, 10u}) {
+    const OpponentAssignment a(10, agents);
+    for (SSetId s = 0; s < 10; ++s) {
+      for (std::uint32_t agent = 0; agent < agents; ++agent) {
+        for (SSetId opp : a.opponents_of(s, agent)) {
+          ASSERT_EQ(a.agent_for_opponent(s, opp), agent)
+              << "sset=" << s << " opp=" << opp;
+        }
+      }
+    }
+  }
+}
+
+TEST(Assignment, Validation) {
+  EXPECT_THROW(OpponentAssignment(1, 4), std::invalid_argument);
+  EXPECT_THROW(OpponentAssignment(4, 0), std::invalid_argument);
+  const OpponentAssignment a(4, 2);
+  EXPECT_THROW((void)a.games_for_agent(2), std::invalid_argument);
+  EXPECT_THROW((void)a.opponents_of(4, 0), std::invalid_argument);
+  EXPECT_THROW((void)a.agent_for_opponent(1, 1), std::invalid_argument);
+}
+
+TEST(Assignment, TableVIIIAgentCounts) {
+  // Table VIII numerators: a = s gives s^2 agents in the population.
+  EXPECT_EQ(OpponentAssignment(1024, 1024).total_agents(), 1048576u);
+  EXPECT_EQ(OpponentAssignment(32768, 32768).total_agents(),
+            1073741824u);
+}
+
+}  // namespace
+}  // namespace egt::pop

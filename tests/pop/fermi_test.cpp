@@ -1,0 +1,60 @@
+#include "pop/fermi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace egt::pop {
+namespace {
+
+TEST(Fermi, EqualPayoffsGiveCoinFlip) {
+  EXPECT_DOUBLE_EQ(fermi_probability(2.0, 2.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(fermi_probability(0.0, 0.0, 100.0), 0.5);
+}
+
+TEST(Fermi, BetterTeacherMoreLikelyAdopted) {
+  EXPECT_GT(fermi_probability(3.0, 1.0, 1.0), 0.5);
+  EXPECT_LT(fermi_probability(1.0, 3.0, 1.0), 0.5);
+}
+
+TEST(Fermi, ZeroBetaIsRandomImitation) {
+  // Paper: "a small beta leads to almost random strategy selection".
+  EXPECT_DOUBLE_EQ(fermi_probability(100.0, 0.0, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(fermi_probability(0.0, 100.0, 0.0), 0.5);
+}
+
+TEST(Fermi, LargeBetaApproachesDeterministicSelection) {
+  // Paper: "as beta approaches infinity the better strategy will always be
+  // adopted".
+  EXPECT_NEAR(fermi_probability(2.0, 1.0, 100.0), 1.0, 1e-12);
+  EXPECT_NEAR(fermi_probability(1.0, 2.0, 100.0), 0.0, 1e-12);
+}
+
+TEST(Fermi, MatchesClosedFormEquation1) {
+  // p = 1 / (1 + exp(-beta (pi_T - pi_L)))
+  const double beta = 0.7;
+  const double t = 2.3, l = 1.1;
+  EXPECT_NEAR(fermi_probability(t, l, beta),
+              1.0 / (1.0 + std::exp(-beta * (t - l))), 1e-15);
+}
+
+TEST(Fermi, SymmetryIdentity) {
+  // p(T,L) + p(L,T) == 1 for any payoffs.
+  for (double d : {-5.0, -0.3, 0.0, 0.4, 7.0}) {
+    EXPECT_NEAR(fermi_probability(d, 0.0, 1.3) + fermi_probability(0.0, d, 1.3),
+                1.0, 1e-12);
+  }
+}
+
+TEST(Fermi, NumericallyStableForHugeDifferences) {
+  EXPECT_DOUBLE_EQ(fermi_probability(1e6, -1e6, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(fermi_probability(-1e6, 1e6, 10.0), 0.0);
+}
+
+TEST(Fermi, RejectsNegativeBeta) {
+  EXPECT_THROW((void)fermi_probability(1.0, 0.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::pop

@@ -1,0 +1,102 @@
+#include "pop/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace egt::pop {
+namespace {
+
+TEST(Graph, CompleteIsImplicit) {
+  const auto g = InteractionGraph::complete(10);
+  EXPECT_TRUE(g.is_complete());
+  EXPECT_EQ(g.nodes(), 10u);
+  EXPECT_EQ(g.degree(3), 9u);
+  EXPECT_EQ(g.edges(), 45u);
+  EXPECT_TRUE(g.are_neighbors(0, 9));
+  EXPECT_FALSE(g.are_neighbors(4, 4));
+  EXPECT_THROW((void)g.neighbors(0), std::invalid_argument);
+}
+
+TEST(Graph, RingDegreeAndSymmetry) {
+  const auto g = InteractionGraph::ring(10, 2);
+  EXPECT_FALSE(g.is_complete());
+  EXPECT_EQ(g.edges(), 20u);
+  for (SSetId i = 0; i < 10; ++i) {
+    ASSERT_EQ(g.degree(i), 4u);
+    for (SSetId j : g.neighbors(i)) {
+      ASSERT_TRUE(g.are_neighbors(j, i)) << i << "-" << j;
+    }
+  }
+}
+
+TEST(Graph, RingNeighboursAreNearest) {
+  const auto g = InteractionGraph::ring(8, 1);
+  const auto n0 = g.neighbors(0);
+  EXPECT_EQ(std::vector<SSetId>(n0.begin(), n0.end()),
+            (std::vector<SSetId>{1, 7}));
+  EXPECT_TRUE(g.are_neighbors(0, 1));
+  EXPECT_FALSE(g.are_neighbors(0, 2));
+}
+
+TEST(Graph, RingValidation) {
+  EXPECT_THROW(InteractionGraph::ring(2, 1), std::invalid_argument);
+  EXPECT_THROW(InteractionGraph::ring(8, 4), std::invalid_argument);
+  EXPECT_THROW(InteractionGraph::ring(8, 0), std::invalid_argument);
+}
+
+TEST(Graph, VonNeumannLattice) {
+  const auto g = InteractionGraph::lattice(4, 3, /*moore=*/false);
+  EXPECT_EQ(g.nodes(), 12u);
+  for (SSetId i = 0; i < 12; ++i) {
+    ASSERT_EQ(g.degree(i), 4u);
+  }
+  // Node (1,1) = id 5: neighbours (0,1)=4, (2,1)=6, (1,0)=1, (1,2)=9.
+  const auto ns = g.neighbors(5);
+  EXPECT_EQ(std::vector<SSetId>(ns.begin(), ns.end()),
+            (std::vector<SSetId>{1, 4, 6, 9}));
+}
+
+TEST(Graph, MooreLatticeHasEightNeighbours) {
+  const auto g = InteractionGraph::lattice(5, 5, /*moore=*/true);
+  for (SSetId i = 0; i < 25; ++i) {
+    ASSERT_EQ(g.degree(i), 8u);
+  }
+  EXPECT_EQ(g.edges(), 25u * 8u / 2u);
+}
+
+TEST(Graph, LatticeWrapsAround) {
+  const auto g = InteractionGraph::lattice(4, 4, false);
+  // Corner (0,0) = 0 wraps to (3,0)=3 and (0,3)=12.
+  EXPECT_TRUE(g.are_neighbors(0, 3));
+  EXPECT_TRUE(g.are_neighbors(0, 12));
+  EXPECT_FALSE(g.are_neighbors(0, 5));
+}
+
+TEST(Graph, LatticeValidation) {
+  EXPECT_THROW(InteractionGraph::lattice(2, 5, false), std::invalid_argument);
+  EXPECT_THROW(InteractionGraph::lattice(5, 2, false), std::invalid_argument);
+}
+
+TEST(Graph, NeighbourListsAreSortedAndSelfFree) {
+  for (const auto& g :
+       {InteractionGraph::ring(12, 3), InteractionGraph::lattice(4, 4, true)}) {
+    for (SSetId i = 0; i < g.nodes(); ++i) {
+      const auto ns = g.neighbors(i);
+      std::set<SSetId> unique(ns.begin(), ns.end());
+      ASSERT_EQ(unique.size(), ns.size()) << "duplicates at " << i;
+      ASSERT_FALSE(unique.count(i)) << "self-loop at " << i;
+      ASSERT_TRUE(std::is_sorted(ns.begin(), ns.end()));
+    }
+  }
+}
+
+TEST(Graph, Labels) {
+  EXPECT_EQ(InteractionGraph::complete(5).to_string(), "complete(5)");
+  EXPECT_EQ(InteractionGraph::ring(9, 2).to_string(), "ring(9, k=2)");
+  EXPECT_NE(InteractionGraph::lattice(3, 4, true).to_string().find("moore"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace egt::pop

@@ -1,0 +1,306 @@
+#include "pop/nature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace egt::pop {
+namespace {
+
+NatureConfig base_config() {
+  NatureConfig c;
+  c.ssets = 32;
+  c.memory = 1;
+  c.pc_rate = 0.5;
+  c.mutation_rate = 0.25;
+  c.beta = 1.0;
+  c.seed = 77;
+  return c;
+}
+
+TEST(Nature, SameSeedSamePlans) {
+  NatureAgent a(base_config()), b(base_config());
+  for (int g = 0; g < 200; ++g) {
+    const auto pa = a.plan_generation();
+    const auto pb = b.plan_generation();
+    ASSERT_EQ(pa.pc.has_value(), pb.pc.has_value());
+    if (pa.pc) {
+      ASSERT_EQ(pa.pc->teacher, pb.pc->teacher);
+      ASSERT_EQ(pa.pc->learner, pb.pc->learner);
+    }
+    ASSERT_EQ(pa.mutation.has_value(), pb.mutation.has_value());
+    if (pa.mutation) {
+      ASSERT_EQ(pa.mutation->target, pb.mutation->target);
+      ASSERT_TRUE(pa.mutation->strategy == pb.mutation->strategy);
+    }
+    // Keep the adoption draw aligned on both agents.
+    if (pa.pc) {
+      ASSERT_EQ(a.decide_adoption(1.0, 0.0), b.decide_adoption(1.0, 0.0));
+    }
+  }
+}
+
+TEST(Nature, EventRatesMatchConfiguration) {
+  auto cfg = base_config();
+  cfg.pc_rate = 0.1;       // the paper's production rate
+  cfg.mutation_rate = 0.05;  // the paper's mu
+  NatureAgent agent(cfg);
+  int pcs = 0, muts = 0;
+  constexpr int kGens = 20000;
+  for (int g = 0; g < kGens; ++g) {
+    const auto plan = agent.plan_generation();
+    if (plan.pc) {
+      ++pcs;
+      (void)agent.decide_adoption(0.0, 0.0);
+    }
+    if (plan.mutation) ++muts;
+  }
+  EXPECT_NEAR(static_cast<double>(pcs) / kGens, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(muts) / kGens, 0.05, 0.007);
+}
+
+TEST(Nature, TeacherAndLearnerAreAlwaysDistinct) {
+  NatureAgent agent(base_config());
+  for (int g = 0; g < 2000; ++g) {
+    const auto plan = agent.plan_generation();
+    if (plan.pc) {
+      ASSERT_NE(plan.pc->teacher, plan.pc->learner);
+      ASSERT_LT(plan.pc->teacher, 32u);
+      ASSERT_LT(plan.pc->learner, 32u);
+      (void)agent.decide_adoption(0.0, 0.0);
+    }
+  }
+}
+
+TEST(Nature, MutationRespectsStrategySpace) {
+  auto cfg = base_config();
+  cfg.mutation_rate = 1.0;
+  cfg.space = StrategySpace::Pure;
+  NatureAgent pure_agent(cfg);
+  cfg.space = StrategySpace::Mixed;
+  cfg.seed += 1;
+  NatureAgent mixed_agent(cfg);
+  for (int g = 0; g < 20; ++g) {
+    auto pp = pure_agent.plan_generation();
+    if (pp.pc) (void)pure_agent.decide_adoption(0, 0);
+    ASSERT_TRUE(pp.mutation);
+    ASSERT_TRUE(pp.mutation->strategy.is_pure());
+    auto pm = mixed_agent.plan_generation();
+    if (pm.pc) (void)mixed_agent.decide_adoption(0, 0);
+    ASSERT_TRUE(pm.mutation);
+    ASSERT_FALSE(pm.mutation->strategy.is_pure());
+  }
+}
+
+TEST(Nature, MutationTargetsCoverThePopulation) {
+  auto cfg = base_config();
+  cfg.ssets = 8;
+  cfg.mutation_rate = 1.0;
+  cfg.pc_rate = 0.0;
+  NatureAgent agent(cfg);
+  std::set<SSetId> seen;
+  for (int g = 0; g < 500; ++g) {
+    seen.insert(agent.plan_generation().mutation->target);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Nature, AdoptionFollowsFermiStatistics) {
+  auto cfg = base_config();
+  cfg.pc_rate = 1.0;
+  cfg.mutation_rate = 0.0;
+  cfg.beta = 1.0;
+  NatureAgent agent(cfg);
+  int adopted = 0;
+  constexpr int kGens = 20000;
+  for (int g = 0; g < kGens; ++g) {
+    (void)agent.plan_generation();
+    if (agent.decide_adoption(2.0, 1.0)) ++adopted;
+  }
+  const double expected = fermi_probability(2.0, 1.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(adopted) / kGens, expected, 0.01);
+}
+
+TEST(Nature, TeacherBetterGateBlocksWorseTeachers) {
+  auto cfg = base_config();
+  cfg.pc_rate = 1.0;
+  cfg.mutation_rate = 0.0;
+  cfg.require_teacher_better = true;
+  NatureAgent agent(cfg);
+  for (int g = 0; g < 200; ++g) {
+    (void)agent.plan_generation();
+    // Equal or worse teacher can never be adopted under the paper's gate.
+    ASSERT_FALSE(agent.decide_adoption(1.0, 1.0));
+  }
+}
+
+TEST(Nature, QuietGenerationsWhenRatesAreZero) {
+  auto cfg = base_config();
+  cfg.pc_rate = 0.0;
+  cfg.mutation_rate = 0.0;
+  NatureAgent agent(cfg);
+  for (int g = 0; g < 100; ++g) {
+    ASSERT_TRUE(agent.plan_generation().quiet());
+  }
+  EXPECT_EQ(agent.generations_planned(), 100u);
+}
+
+TEST(Nature, UShapedKernelConcentratesNearCorners) {
+  auto cfg = base_config();
+  cfg.space = StrategySpace::Mixed;
+  cfg.kernel = MutationKernel::UShapedProbs;
+  cfg.mutation_rate = 1.0;
+  cfg.pc_rate = 0.0;
+  NatureAgent agent(cfg);
+  int near_corner = 0, total = 0;
+  for (int g = 0; g < 300; ++g) {
+    const auto plan = agent.plan_generation();
+    const auto& m = plan.mutation->strategy.as_mixed();
+    for (game::State s = 0; s < m.states(); ++s) {
+      const double p = m.coop_prob(s);
+      ASSERT_GE(p, 0.0);
+      ASSERT_LE(p, 1.0);
+      if (p < 0.15 || p > 0.85) ++near_corner;
+      ++total;
+    }
+  }
+  // Arcsine density puts ~51% of mass outside [0.15, 0.85] (uniform: 30%).
+  EXPECT_GT(static_cast<double>(near_corner) / total, 0.42);
+}
+
+TEST(Nature, BitFlipKernelStaysNearCurrentStrategy) {
+  auto cfg = base_config();
+  cfg.space = StrategySpace::Pure;
+  cfg.kernel = MutationKernel::PureBitFlip;
+  cfg.bitflip_bits = 2;
+  cfg.mutation_rate = 1.0;
+  cfg.pc_rate = 0.0;
+  cfg.memory = 2;
+  NatureAgent agent(cfg);
+  util::Xoshiro256 rng(3);
+  const Population pop = Population::random_pure(cfg.ssets, 2, rng);
+  for (int g = 0; g < 100; ++g) {
+    const auto plan = agent.plan_generation(&pop);
+    ASSERT_TRUE(plan.mutation);
+    const auto& mutant = plan.mutation->strategy.as_pure();
+    const auto& original = pop.strategy(plan.mutation->target).as_pure();
+    const auto dist = mutant.table().hamming_distance(original.table());
+    // Two flips: Hamming distance 2, or 0 if both hit the same bit.
+    ASSERT_LE(dist, 2u);
+  }
+}
+
+TEST(Nature, GaussianKernelPerturbsWithinBounds) {
+  auto cfg = base_config();
+  cfg.space = StrategySpace::Mixed;
+  cfg.kernel = MutationKernel::MixedGaussian;
+  cfg.gaussian_sigma = 0.05;
+  cfg.mutation_rate = 1.0;
+  cfg.pc_rate = 0.0;
+  NatureAgent agent(cfg);
+  util::Xoshiro256 rng(4);
+  const Population pop = Population::random_mixed(cfg.ssets, 1, rng);
+  for (int g = 0; g < 100; ++g) {
+    const auto plan = agent.plan_generation(&pop);
+    ASSERT_TRUE(plan.mutation);
+    const auto& mutant = plan.mutation->strategy.as_mixed();
+    const auto original = pop.strategy(plan.mutation->target).to_mixed();
+    for (game::State s = 0; s < 4; ++s) {
+      ASSERT_GE(mutant.coop_prob(s), 0.0);
+      ASSERT_LE(mutant.coop_prob(s), 1.0);
+    }
+    // Perturbations are local: typically well under 4 sigma per state.
+    ASSERT_LT(mutant.distance(original), 0.05 * 10);
+  }
+}
+
+TEST(Nature, LocalKernelsRequireThePopulation) {
+  auto cfg = base_config();
+  cfg.space = StrategySpace::Pure;
+  cfg.kernel = MutationKernel::PureBitFlip;
+  cfg.mutation_rate = 1.0;
+  cfg.pc_rate = 0.0;
+  NatureAgent agent(cfg);
+  EXPECT_THROW((void)agent.plan_generation(nullptr), std::invalid_argument);
+}
+
+TEST(Nature, KernelLocalityPredicate) {
+  EXPECT_FALSE(kernel_is_local(MutationKernel::UniformProbs));
+  EXPECT_FALSE(kernel_is_local(MutationKernel::UShapedProbs));
+  EXPECT_TRUE(kernel_is_local(MutationKernel::PureBitFlip));
+  EXPECT_TRUE(kernel_is_local(MutationKernel::MixedGaussian));
+}
+
+TEST(Nature, MoranPlansEventsAtTheConfiguredRate) {
+  auto cfg = base_config();
+  cfg.update_rule = UpdateRule::Moran;
+  cfg.pc_rate = 0.25;
+  cfg.mutation_rate = 0.0;
+  NatureAgent agent(cfg);
+  int events = 0;
+  constexpr int kGens = 20000;
+  for (int g = 0; g < kGens; ++g) {
+    const auto plan = agent.plan_generation();
+    ASSERT_FALSE(plan.pc.has_value());  // Moran replaces PC entirely
+    if (plan.moran) {
+      ++events;
+      std::vector<double> fitness(cfg.ssets, 1.0);
+      (void)agent.select_moran(fitness);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(events) / kGens, 0.25, 0.01);
+}
+
+TEST(Nature, MoranStrongSelectionPicksTheFittest) {
+  auto cfg = base_config();
+  cfg.update_rule = UpdateRule::Moran;
+  cfg.beta = 200.0;
+  NatureAgent agent(cfg);
+  std::vector<double> fitness(cfg.ssets, 1.0);
+  fitness[13] = 2.0;  // clear winner
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pick = agent.select_moran(fitness);
+    ASSERT_EQ(pick.reproducer, 13u);
+    ASSERT_LT(pick.dying, cfg.ssets);
+  }
+}
+
+TEST(Nature, MoranNeutralSelectionIsUniform) {
+  auto cfg = base_config();
+  cfg.update_rule = UpdateRule::Moran;
+  cfg.beta = 0.0;
+  cfg.ssets = 4;
+  NatureAgent agent(cfg);
+  const std::vector<double> fitness{9.0, 0.0, 5.0, 1.0};  // ignored at beta=0
+  std::vector<int> counts(4, 0);
+  constexpr int kTrials = 40000;
+  for (int t = 0; t < kTrials; ++t) {
+    ++counts[agent.select_moran(fitness).reproducer];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.25, 0.02);
+  }
+}
+
+TEST(Nature, MoranSelectionValidatesVectorLength) {
+  auto cfg = base_config();
+  cfg.update_rule = UpdateRule::Moran;
+  NatureAgent agent(cfg);
+  std::vector<double> wrong(cfg.ssets - 1, 1.0);
+  EXPECT_THROW((void)agent.select_moran(wrong), std::invalid_argument);
+}
+
+TEST(Nature, ConfigValidation) {
+  auto cfg = base_config();
+  cfg.ssets = 1;
+  EXPECT_THROW(NatureAgent{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.pc_rate = 1.5;
+  EXPECT_THROW(NatureAgent{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.beta = -1.0;
+  EXPECT_THROW(NatureAgent{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::pop

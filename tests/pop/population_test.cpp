@@ -1,0 +1,77 @@
+#include "pop/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include "game/named.hpp"
+
+namespace egt::pop {
+namespace {
+
+TEST(Population, RandomPureIsReproducible) {
+  util::Xoshiro256 r1(9), r2(9);
+  const auto a = Population::random_pure(16, 2, r1);
+  const auto b = Population::random_pure(16, 2, r2);
+  EXPECT_EQ(a.table_hash(), b.table_hash());
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a.memory(), 2);
+}
+
+TEST(Population, RandomMixedProducesStochasticStrategies) {
+  util::Xoshiro256 rng(1);
+  const auto p = Population::random_mixed(8, 1, rng);
+  bool any_nondegenerate = false;
+  for (SSetId i = 0; i < p.size(); ++i) {
+    EXPECT_FALSE(p.strategy(i).is_pure());
+    if (!p.strategy(i).as_mixed().is_degenerate()) any_nondegenerate = true;
+  }
+  EXPECT_TRUE(any_nondegenerate);
+}
+
+TEST(Population, SetStrategyReplaces) {
+  util::Xoshiro256 rng(2);
+  auto p = Population::random_pure(4, 1, rng);
+  const game::Strategy wsls = game::named::win_stay_lose_shift(1);
+  p.set_strategy(2, wsls);
+  EXPECT_TRUE(p.strategy(2) == wsls);
+}
+
+TEST(Population, SetStrategyValidates) {
+  util::Xoshiro256 rng(3);
+  auto p = Population::random_pure(4, 1, rng);
+  EXPECT_THROW(p.set_strategy(9, game::named::all_c(1)),
+               std::invalid_argument);
+  EXPECT_THROW(p.set_strategy(0, game::named::all_c(2)),
+               std::invalid_argument);
+}
+
+TEST(Population, FitnessStorage) {
+  util::Xoshiro256 rng(4);
+  auto p = Population::random_pure(4, 1, rng);
+  p.set_fitness(1, 3.5);
+  EXPECT_DOUBLE_EQ(p.fitness(1), 3.5);
+  EXPECT_DOUBLE_EQ(p.fitness(0), 0.0);
+  EXPECT_EQ(p.fitness().size(), 4u);
+}
+
+TEST(Population, TableHashTracksContent) {
+  util::Xoshiro256 rng(5);
+  auto p = Population::random_pure(8, 1, rng);
+  const auto h0 = p.table_hash();
+  p.set_strategy(3, game::named::all_d(1));
+  EXPECT_NE(p.table_hash(), h0);
+}
+
+TEST(Population, MixedMemoryDepthsRejected) {
+  std::vector<game::Strategy> strategies;
+  strategies.emplace_back(game::named::all_c(1));
+  strategies.emplace_back(game::named::all_c(2));
+  EXPECT_THROW(Population{std::move(strategies)}, std::invalid_argument);
+}
+
+TEST(Population, EmptyRejected) {
+  EXPECT_THROW(Population{std::vector<game::Strategy>{}},
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::pop

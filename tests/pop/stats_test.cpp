@@ -1,0 +1,104 @@
+#include "pop/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/named.hpp"
+
+namespace egt::pop {
+namespace {
+
+Population uniform_population(std::size_t n, const game::Strategy& s) {
+  return Population(std::vector<game::Strategy>(n, s));
+}
+
+TEST(Stats, CensusOfUniformPopulation) {
+  const auto p = uniform_population(10, game::named::win_stay_lose_shift(1));
+  const auto c = census(p);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.front().count, 10u);
+  EXPECT_DOUBLE_EQ(dominant_fraction(p), 1.0);
+  EXPECT_DOUBLE_EQ(strategy_entropy(p), 0.0);
+  EXPECT_EQ(distinct_strategies(p), 1u);
+}
+
+TEST(Stats, CensusSortsByCount) {
+  std::vector<game::Strategy> ss;
+  for (int i = 0; i < 6; ++i) ss.emplace_back(game::named::all_c(1));
+  for (int i = 0; i < 3; ++i) ss.emplace_back(game::named::all_d(1));
+  ss.emplace_back(game::named::tit_for_tat(1));
+  const Population p(std::move(ss));
+  const auto c = census(p);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0].count, 6u);
+  EXPECT_EQ(c[1].count, 3u);
+  EXPECT_EQ(c[2].count, 1u);
+  EXPECT_DOUBLE_EQ(dominant_fraction(p), 0.6);
+}
+
+TEST(Stats, EntropyOfBalancedSplit) {
+  std::vector<game::Strategy> ss;
+  for (int i = 0; i < 5; ++i) ss.emplace_back(game::named::all_c(1));
+  for (int i = 0; i < 5; ++i) ss.emplace_back(game::named::all_d(1));
+  const Population p(std::move(ss));
+  EXPECT_NEAR(strategy_entropy(p), std::log(2.0), 1e-12);
+}
+
+TEST(Stats, MeanCoopProbability) {
+  EXPECT_DOUBLE_EQ(
+      mean_coop_probability(uniform_population(4, game::named::all_c(1))),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      mean_coop_probability(uniform_population(4, game::named::all_d(1))),
+      0.0);
+  // TFT cooperates in half its states.
+  EXPECT_DOUBLE_EQ(
+      mean_coop_probability(uniform_population(4, game::named::tit_for_tat(1))),
+      0.5);
+}
+
+TEST(Stats, FractionNearExactAndFuzzy) {
+  std::vector<game::Strategy> ss;
+  for (int i = 0; i < 8; ++i) {
+    ss.emplace_back(game::named::win_stay_lose_shift(1));
+  }
+  ss.emplace_back(game::named::all_d(1));
+  ss.emplace_back(game::MixedStrategy::from_probs({0.95, 0.05, 0.05, 0.95}));
+  const Population p(std::move(ss));
+  const game::Strategy wsls = game::named::win_stay_lose_shift(1);
+  EXPECT_DOUBLE_EQ(fraction_near(p, wsls, 1e-9), 0.8);
+  EXPECT_DOUBLE_EQ(fraction_near(p, wsls, 0.25), 0.9);  // picks up the fuzzy one
+}
+
+TEST(Stats, MeanPairwiseDistanceOfMonomorphicPopulationIsZero) {
+  EXPECT_DOUBLE_EQ(
+      mean_pairwise_distance(uniform_population(6, game::named::all_c(1))),
+      0.0);
+}
+
+TEST(Stats, MeanPairwiseDistanceOfKnownMix) {
+  // ALLC vs ALLD differ by 1 in each of 4 states: L2 distance 2. One pair.
+  std::vector<game::Strategy> ss{game::named::all_c(1),
+                                 game::named::all_d(1)};
+  EXPECT_DOUBLE_EQ(mean_pairwise_distance(Population(std::move(ss))), 2.0);
+}
+
+TEST(Stats, MeanPairwiseDistanceAveragesOverPairs) {
+  // Two ALLC and one ALLD: pairs (C,C)=0, (C,D)=2, (C,D)=2 -> mean 4/3.
+  std::vector<game::Strategy> ss{game::named::all_c(1),
+                                 game::named::all_c(1),
+                                 game::named::all_d(1)};
+  EXPECT_NEAR(mean_pairwise_distance(Population(std::move(ss))), 4.0 / 3.0,
+              1e-12);
+}
+
+TEST(Stats, FormatCensusNamesDominantStrategy) {
+  const auto p = uniform_population(5, game::named::win_stay_lose_shift(1));
+  const std::string text = format_census(p, 3);
+  EXPECT_NE(text.find("WSLS"), std::string::npos);
+  EXPECT_NE(text.find("100%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace egt::pop

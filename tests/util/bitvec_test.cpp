@@ -1,0 +1,117 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace egt::util {
+namespace {
+
+TEST(BitVec, StartsAllZero) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_FALSE(v.get(i));
+  }
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(70);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(69, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(69));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.flip(0);
+  EXPECT_FALSE(v.get(0));
+  v.flip(1);
+  EXPECT_TRUE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVec, FromStringRoundTrips) {
+  const std::string bits = "0110100101";
+  const BitVec v = BitVec::from_string(bits);
+  EXPECT_EQ(v.to_string(), bits);
+  EXPECT_EQ(v.popcount(), 5u);
+}
+
+TEST(BitVec, FromStringRejectsGarbage) {
+  EXPECT_THROW(BitVec::from_string("01x0"), std::invalid_argument);
+}
+
+TEST(BitVec, SetAllRespectsTail) {
+  BitVec v(67);
+  v.set_all();
+  EXPECT_EQ(v.popcount(), 67u);
+  v.clear_all();
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, HammingDistance) {
+  const BitVec a = BitVec::from_string("0011");
+  const BitVec b = BitVec::from_string("0101");
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(BitVec, HammingDistanceRequiresEqualSizes) {
+  const BitVec a(4);
+  const BitVec b(5);
+  EXPECT_THROW((void)a.hamming_distance(b), std::invalid_argument);
+}
+
+TEST(BitVec, EqualityIsContentBased) {
+  BitVec a(100), b(100);
+  EXPECT_EQ(a, b);
+  a.set(55, true);
+  EXPECT_FALSE(a == b);
+  b.set(55, true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, HashDiffersForDifferentContent) {
+  BitVec a(4096), b(4096);
+  b.set(4095, true);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitVec, HashDiffersForDifferentSizes) {
+  EXPECT_NE(BitVec(64).hash(), BitVec(65).hash());
+}
+
+TEST(BitVec, RandomizeMasksTail) {
+  BitVec v(67);
+  Xoshiro256 rng(1);
+  v.randomize(rng);
+  // The tail (bits 67..127 of the backing words) must stay clear, so the
+  // popcount can never exceed the logical size.
+  EXPECT_LE(v.popcount(), 67u);
+  // and to_string round-trips exactly 67 chars.
+  EXPECT_EQ(v.to_string().size(), 67u);
+}
+
+TEST(BitVec, RandomizeIsRoughlyBalanced) {
+  BitVec v(4096);
+  Xoshiro256 rng(2);
+  v.randomize(rng);
+  EXPECT_GT(v.popcount(), 1800u);
+  EXPECT_LT(v.popcount(), 2300u);
+}
+
+TEST(BitVec, MemorySixStrategySize) {
+  // 4^6 = 4096 bits = the paper's memory-six pure strategy.
+  BitVec v(4096);
+  EXPECT_EQ(v.words().size(), 64u);
+}
+
+}  // namespace
+}  // namespace egt::util

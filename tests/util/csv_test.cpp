@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace egt::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "egt_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"a", "b"});
+    csv.row({std::string("1"), std::string("x")});
+    csv.row({2.0, 3.5});
+  }
+  EXPECT_EQ(slurp(path_), "a,b\n1,x\n2,3.5\n");
+}
+
+TEST_F(CsvTest, RejectsWidthMismatch) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.row({std::string("only-one")}), std::invalid_argument);
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(FmtNum, IntegersAreBare) {
+  EXPECT_EQ(fmt_num(3.0), "3");
+  EXPECT_EQ(fmt_num(-17.0), "-17");
+  EXPECT_EQ(fmt_num(1048576.0), "1048576");
+}
+
+TEST(FmtNum, FractionsKeepPrecision) {
+  EXPECT_EQ(fmt_num(0.25), "0.25");
+  EXPECT_EQ(fmt_num(2.5e-07), "2.5e-07");
+}
+
+}  // namespace
+}  // namespace egt::util

@@ -1,0 +1,128 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+namespace egt::util {
+namespace {
+
+std::string compact(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  body(w);
+  return os.str();
+}
+
+TEST(Json, EmptyObjectAndArray) {
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_object().end_object(); }),
+            "{}");
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_array().end_array(); }),
+            "[]");
+}
+
+TEST(Json, ScalarFields) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object()
+        .field("name", "egtsim")
+        .field("ssets", 64)
+        .field("rate", 0.5)
+        .field("ok", true)
+        .key("nothing")
+        .null()
+        .end_object();
+  });
+  EXPECT_EQ(out,
+            "{\"name\":\"egtsim\",\"ssets\":64,\"rate\":0.5,\"ok\":true,"
+            "\"nothing\":null}");
+}
+
+TEST(Json, NestedContainers) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object().key("xs").begin_array();
+    w.value(1).value(2);
+    w.begin_object().field("deep", false).end_object();
+    w.end_array().end_object();
+  });
+  EXPECT_EQ(out, "{\"xs\":[1,2,{\"deep\":false}]}");
+}
+
+TEST(Json, PrettyPrintingIndents) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  w.begin_object().field("a", 1).end_object();
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("say \"hi\"\n"), "say \\\"hi\\\"\\n");
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(compact([](JsonWriter& w) {
+              w.begin_array()
+                  .value(std::numeric_limits<double>::infinity())
+                  .value(std::nan(""))
+                  .end_array();
+            }),
+            "[null,null]");
+}
+
+TEST(Json, CompletionTracking) {
+  std::ostringstream os;
+  JsonWriter w(os, 0);
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(Json, MisuseIsRejected) {
+  {
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::invalid_argument);  // member without key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::invalid_argument);  // key inside array
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.begin_object().key("k");
+    EXPECT_THROW(w.key("again"), std::invalid_argument);  // two keys
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.begin_object().end_object();
+    EXPECT_THROW(w.begin_object(), std::invalid_argument);  // second root
+  }
+  {
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::invalid_argument);  // mismatch
+  }
+}
+
+TEST(Json, Uint64RoundTripsExactly) {
+  const std::uint64_t big = 0xffffffffffffffffULL;
+  EXPECT_EQ(compact([&](JsonWriter& w) {
+              w.begin_array().value(big).end_array();
+            }),
+            "[18446744073709551615]");
+}
+
+}  // namespace
+}  // namespace egt::util

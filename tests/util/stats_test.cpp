@@ -1,0 +1,62 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace egt::util {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, MeanOfEmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW((void)mean(xs), std::invalid_argument);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7}), 7.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3, -1, 2};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+}
+
+TEST(Stats, EntropyUniformAndDegenerate) {
+  const std::vector<std::size_t> uniform{10, 10, 10, 10};
+  EXPECT_NEAR(entropy_from_counts(uniform), std::log(4.0), 1e-12);
+  const std::vector<std::size_t> degenerate{40, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(entropy_from_counts(degenerate), 0.0);
+  const std::vector<std::size_t> empty{0, 0};
+  EXPECT_DOUBLE_EQ(entropy_from_counts(empty), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  RunningStats rs;
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace egt::util

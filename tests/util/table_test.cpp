@@ -1,0 +1,45 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace egt::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "x"});
+  t.add_row({std::string("a"), std::string("1")});
+  t.add_row({std::string("longer"), std::string("22")});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::istringstream lines(out);
+  std::string line;
+  std::getline(lines, line);
+  const auto w = line.size();
+  while (std::getline(lines, line)) {
+    EXPECT_LE(line.size(), w + 1);
+  }
+}
+
+TEST(TextTable, NumericRowHelper) {
+  TextTable t({"label", "v1", "v2"});
+  t.add_row("r", {1.0, 2.5});
+  EXPECT_EQ(t.rows(), 1u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("2.5"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only")}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::util

@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 
 #include "util/csv.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace egt;
@@ -20,6 +21,11 @@ int main(int argc, char** argv) {
 
   const auto costs = bench::resolve_costs(*calibrate);
   const machine::PerfSimulator sim(machine::bluegene_l(), costs);
+
+  util::Timer wall;
+  obs::MetricsRegistry metrics;
+  obs::Histogram& sweep_point = metrics.histogram("bench.sweep_point");
+  obs::Counter& rows = metrics.counter("bench.rows");
 
   machine::Workload w;
   w.ssets = 1024;
@@ -50,6 +56,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> row{"memory-" + std::to_string(memory)};
     double last_eff = 1.0;
     for (auto procs : kProcs) {
+      const obs::ScopedTimer t(sweep_point);
+      rows.inc();
       const auto rep = sim.simulate(w, procs, game::LookupMode::LinearSearch);
       last_eff = machine::strong_scaling_efficiency(base, rep);
       row.push_back(bench::pct_str(last_eff));
@@ -68,5 +76,9 @@ int main(int argc, char** argv) {
   std::cout << "\npaper claim: memory steps barely change efficiency.\n"
             << "model spread of 2,048-proc efficiency across memory-1..6: "
             << bench::pct_str(eff_max - eff_min) << "\n";
+  bench::write_bench_manifest(
+      *csv_path, "egtsim/fig3_strong_scaling_memory",
+      "1024 SSets, 1000 generations, memory 1..6, 128..2048 procs",
+      wall.seconds(), metrics);
   return 0;
 }

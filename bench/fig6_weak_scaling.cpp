@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 
 #include "util/csv.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace egt;
@@ -23,6 +24,11 @@ int main(int argc, char** argv) {
 
   const auto costs = bench::resolve_costs(*calibrate);
   const machine::PerfSimulator sim(machine::bluegene_p(), costs);
+
+  util::Timer wall;
+  obs::MetricsRegistry metrics;
+  obs::Histogram& sweep_point = metrics.histogram("bench.sweep_point");
+  obs::Counter& rows = metrics.counter("bench.rows");
 
   machine::Workload w;
   w.memory = 6;
@@ -51,6 +57,8 @@ int main(int argc, char** argv) {
   double base = 0.0;
   double worst_delta = 0.0;
   for (auto procs : kProcs) {
+    const obs::ScopedTimer t(sweep_point);
+    rows.inc();
     w.ssets = 4096 * procs;
     const auto rep = sim.simulate(w, procs);
     if (procs == kProcs[0]) base = rep.total_seconds;
@@ -73,5 +81,9 @@ int main(int argc, char** argv) {
   std::cout << "\npaper claim: runtime fluctuates by at most ~1 s across the "
                "sweep.\nmodel worst-case drift from the 1,024-proc baseline: "
             << bench::seconds_str(worst_delta) << " s\n";
+  bench::write_bench_manifest(
+      *csv_path, "egtsim/fig6_weak_scaling",
+      "4096 SSets/proc, memory-6, 1024..262144 procs", wall.seconds(),
+      metrics);
   return 0;
 }

@@ -41,6 +41,11 @@ int main(int argc, char** argv) {
   const auto costs = bench::resolve_costs(*calibrate);
   const machine::PerfSimulator sim(machine::bluegene_l(), costs);
 
+  util::Timer wall;
+  obs::MetricsRegistry metrics;
+  obs::Histogram& sweep_point = metrics.histogram("bench.sweep_point");
+  obs::Counter& rows = metrics.counter("bench.rows");
+
   machine::Workload w;
   w.ssets = 1024;
   w.generations = 1000;
@@ -65,6 +70,8 @@ int main(int argc, char** argv) {
     w.memory = memory;
     std::vector<std::string> row{"memory-" + std::to_string(memory)};
     for (int c = 0; c < 5; ++c) {
+      const obs::ScopedTimer t(sweep_point);
+      rows.inc();
       const auto rep =
           sim.simulate(w, kProcs[c], game::LookupMode::LinearSearch);
       row.push_back(bench::seconds_str(rep.total_seconds));
@@ -106,5 +113,9 @@ int main(int argc, char** argv) {
   std::cout << "\nreading: absolute seconds are a machine model; the "
                "reproduction targets are the growth with memory steps and "
                "the per-row drop with processor count (see EXPERIMENTS.md).\n";
+  bench::write_bench_manifest(
+      *csv_path, "egtsim/table6_memory_runtime",
+      "1024 SSets, 1000 generations, memory 1..6, 128..2048 procs",
+      wall.seconds(), metrics);
   return 0;
 }

@@ -1,12 +1,18 @@
 // Production front door: run any simulation the library supports from the
 // command line — serial or parallel, any memory depth, any fitness engine —
-// with time-series CSV output, heat maps and checkpoint/restart. This is
-// the binary a domain scientist drives from a job script.
+// with time-series CSV output, heat maps, checkpoint/restart and full
+// observability (per-phase timing manifests, metrics CSV, progress
+// heartbeats). This is the binary a domain scientist drives from a job
+// script.
 //
 //   ./run_simulation --ssets 64 --memory 2 --generations 1e5 \
 //       --space mixed --noise 0.02 --series run.csv --checkpoint run.ckpt
 //   ./run_simulation ... --resume run.ckpt       # continue after a kill
+//   ./run_simulation ... --metrics-out m.json    # egt.run_manifest/v1
+//   ./run_simulation ... --ranks 8 --metrics-out m.json   # + per-rank traffic
+//   ./run_simulation ... --progress              # gen/s + ETA heartbeat
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <iostream>
 
@@ -17,6 +23,9 @@
 #include "core/engine.hpp"
 #include "core/observer.hpp"
 #include "core/parallel_engine.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_observer.hpp"
 #include "pop/stats.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -25,11 +34,21 @@
 
 namespace {
 
+struct OutputPaths {
+  std::string series;
+  std::string heatmap;
+  std::string checkpoint;
+  std::string resume;
+  std::string manifest;     // legacy summary manifest (--manifest)
+  std::string metrics_out;  // egt.run_manifest/v1 (--metrics-out)
+  std::string metrics_csv;  // per-phase time-series CSV (--metrics-csv)
+  std::int64_t checkpoint_every = 0;
+  int ranks = 0;
+  bool progress = false;
+};
+
 egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
-                                  std::string& series, std::string& heatmap,
-                                  std::string& checkpoint, std::string& resume,
-                                  std::string& manifest,
-                                  std::int64_t& checkpoint_every, int& ranks) {
+                                  OutputPaths& out) {
   using namespace egt;
   auto memory = cli.opt<int>("memory", 1, "memory steps (0..6)");
   auto ssets = cli.opt<int>("ssets", 64, "number of SSets");
@@ -61,10 +80,19 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   auto resume_opt =
       cli.opt<std::string>("resume", "", "checkpoint file to resume from");
   auto manifest_opt = cli.opt<std::string>(
-      "manifest", "", "write a JSON run manifest (config + results) here");
+      "manifest", "", "write a legacy JSON summary manifest here");
+  auto metrics_out_opt = cli.opt<std::string>(
+      "metrics-out", "",
+      "write an egt.run_manifest/v1 JSON (per-phase times, counters, "
+      "traffic) here");
+  auto metrics_csv_opt = cli.opt<std::string>(
+      "metrics-csv", "",
+      "write the per-phase metrics time series (CSV) here");
+  auto progress = cli.flag(
+      "progress", "heartbeat log with gen/s and ETA (implies --verbose)");
   auto verbose = cli.flag("verbose", "info-level logging");
   cli.parse(argc, argv);
-  if (*verbose) util::set_log_level(util::LogLevel::Info);
+  if (*verbose || *progress) util::set_log_level(util::LogLevel::Info);
 
   core::SimConfig cfg;
   cfg.memory = *memory;
@@ -94,19 +122,24 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   } else {
     cfg.fitness_mode = core::FitnessMode::Analytic;
   }
-  series = *series_opt;
-  heatmap = *heatmap_opt;
-  checkpoint = *ckpt_opt;
-  resume = *resume_opt;
-  manifest = *manifest_opt;
-  checkpoint_every = *ckpt_every;
-  ranks = *ranks_opt;
+  out.series = *series_opt;
+  out.heatmap = *heatmap_opt;
+  out.checkpoint = *ckpt_opt;
+  out.resume = *resume_opt;
+  out.manifest = *manifest_opt;
+  out.metrics_out = *metrics_out_opt;
+  out.metrics_csv = *metrics_csv_opt;
+  out.checkpoint_every = *ckpt_every;
+  out.ranks = *ranks_opt;
+  out.progress = *progress;
   return cfg;
 }
 
-void write_manifest(const std::string& path, const egt::core::SimConfig& cfg,
-                    const egt::pop::Population& pop, double wall_seconds,
-                    std::uint64_t pair_evaluations) {
+void write_legacy_manifest(const std::string& path,
+                           const egt::core::SimConfig& cfg,
+                           const egt::pop::Population& pop,
+                           double wall_seconds,
+                           std::uint64_t pair_evaluations) {
   using namespace egt;
   std::ofstream out(path);
   util::JsonWriter w(out);
@@ -141,6 +174,43 @@ void write_manifest(const std::string& path, const egt::core::SimConfig& cfg,
   out << "\n";
 }
 
+/// Shared config block of the egt.run_manifest/v1 output.
+egt::obs::ManifestInfo manifest_info(const egt::core::SimConfig& cfg,
+                                     int ranks, double wall_seconds) {
+  using namespace egt;
+  obs::ManifestInfo info;
+  info.tool = "egtsim/run_simulation";
+  info.config_summary = cfg.summary();
+  info.config_fingerprint = core::config_fingerprint(cfg);
+  info.config_fields = [cfg](util::JsonWriter& w) {
+    w.field("memory", cfg.memory);
+    w.field("ssets", static_cast<std::uint64_t>(cfg.ssets));
+    w.field("generations", cfg.generations);
+    w.field("rounds", static_cast<std::uint64_t>(cfg.game.rounds));
+    w.field("noise", cfg.game.noise);
+    w.field("pc_rate", cfg.pc_rate);
+    w.field("mutation_rate", cfg.mutation_rate);
+    w.field("beta", cfg.beta);
+    w.field("seed", cfg.seed);
+  };
+  info.ranks = ranks;
+  info.generations = cfg.generations;
+  info.wall_seconds = wall_seconds;
+  return info;
+}
+
+/// The manifest is written after the simulation has finished; a bad path
+/// must not abort and discard an otherwise-complete run.
+void try_write_metrics_manifest(const std::string& path,
+                                const egt::obs::ManifestInfo& info) {
+  try {
+    egt::obs::write_run_manifest_file(path, info);
+    std::printf("metrics manifest written: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: %s\n", e.what());
+  }
+}
+
 void report(const egt::pop::Population& pop, const egt::core::SimConfig& cfg) {
   using namespace egt;
   std::printf("\nfinal population:\n%s", pop::format_census(pop, 5).c_str());
@@ -151,55 +221,84 @@ void report(const egt::pop::Population& pop, const egt::core::SimConfig& cfg) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_cli(int argc, char** argv) {
   using namespace egt;
   util::Cli cli("run_simulation", "configurable evolutionary-dynamics run");
-  std::string series, heatmap, checkpoint, resume, manifest;
-  std::int64_t checkpoint_every = 0;
-  int ranks = 0;
-  const core::SimConfig cfg =
-      build_config(cli, argc, argv, series, heatmap, checkpoint, resume,
-                   manifest, checkpoint_every, ranks);
+  OutputPaths out;
+  const core::SimConfig cfg = build_config(cli, argc, argv, out);
 
   std::printf("running: %s\n", cfg.summary().c_str());
   util::Timer timer;
+  obs::MetricsRegistry metrics;
 
-  if (ranks > 0) {
+  if (out.ranks > 0) {
     // Parallel engine: same trajectory, message-passing execution.
-    const auto result = core::run_parallel(cfg, ranks);
-    std::printf("parallel run on %d ranks: %llu p2p messages, %llu bytes\n",
-                ranks,
-                static_cast<unsigned long long>(result.traffic.messages),
-                static_cast<unsigned long long>(result.traffic.bytes));
+    core::ParallelRunOptions popts;
+    popts.metrics = &metrics;
+    popts.progress = out.progress;
+    const auto result = core::run_parallel(cfg, out.ranks, popts);
+    const auto& t = result.traffic;
+    std::printf(
+        "parallel run on %d ranks: %llu msgs / %llu bytes "
+        "(bcast %llu/%llu, p2p %llu/%llu)\n",
+        out.ranks, static_cast<unsigned long long>(t.messages),
+        static_cast<unsigned long long>(t.bytes),
+        static_cast<unsigned long long>(t.bcast_messages),
+        static_cast<unsigned long long>(t.bcast_bytes),
+        static_cast<unsigned long long>(t.p2p_messages),
+        static_cast<unsigned long long>(t.p2p_bytes));
     report(result.population, cfg);
-    std::printf("wall time: %.2f s\n", timer.seconds());
+    const double wall = timer.seconds();
+    if (!out.metrics_out.empty()) {
+      obs::ManifestInfo info = manifest_info(cfg, out.ranks, wall);
+      info.metrics = &result.metrics;
+      info.traffic = &result.traffic;
+      try_write_metrics_manifest(out.metrics_out, info);
+    }
+    if (!out.manifest.empty()) {
+      write_legacy_manifest(out.manifest, cfg, result.population, wall,
+                            result.metrics.counter_value(
+                                "engine.pairs_evaluated"));
+      std::printf("manifest written: %s\n", out.manifest.c_str());
+    }
+    std::printf("wall time: %.2f s\n", wall);
     return 0;
   }
 
   core::Engine engine =
-      resume.empty() ? core::Engine(cfg)
-                     : core::read_checkpoint_file(cfg, resume);
-  if (!resume.empty()) {
-    std::printf("resumed from %s at generation %llu\n", resume.c_str(),
+      out.resume.empty()
+          ? core::Engine(cfg, &metrics)
+          : core::read_checkpoint_file(cfg, out.resume, &metrics);
+  if (!out.resume.empty()) {
+    std::printf("resumed from %s at generation %llu\n", out.resume.c_str(),
                 static_cast<unsigned long long>(engine.generation()));
   }
 
   core::MultiObserver obs;
-  core::TimeSeriesRecorder recorder(
+  auto recorder = std::make_unique<core::TimeSeriesRecorder>(
       std::max<std::uint64_t>(1, cfg.generations / 200));
-  obs.add(recorder);
-  std::unique_ptr<core::CallbackObserver> ckpt_obs;
-  if (!checkpoint.empty() && checkpoint_every > 0) {
-    ckpt_obs = std::make_unique<core::CallbackObserver>(
+  const core::TimeSeriesRecorder& recorder_ref = *recorder;
+  obs.add(std::move(recorder));
+
+  if (!out.metrics_csv.empty() || out.progress) {
+    obs::MetricsObserverOptions mopts;
+    mopts.csv_path = out.metrics_csv;
+    mopts.sample_interval = std::max<std::uint64_t>(1, cfg.generations / 200);
+    mopts.progress = out.progress;
+    mopts.total_generations = cfg.generations;
+    obs.add(std::make_unique<obs::MetricsObserver>(metrics, mopts));
+  }
+
+  if (!out.checkpoint.empty() && out.checkpoint_every > 0) {
+    obs.add(std::make_unique<core::CallbackObserver>(
         [&](const pop::Population&, const core::GenerationRecord& r) {
           if (r.generation != 0 &&
               r.generation %
-                      static_cast<std::uint64_t>(checkpoint_every) ==
+                      static_cast<std::uint64_t>(out.checkpoint_every) ==
                   0) {
-            core::write_checkpoint_file(engine, checkpoint);
+            core::write_checkpoint_file(engine, out.checkpoint);
           }
-        });
-    obs.add(*ckpt_obs);
+        }));
   }
 
   const std::uint64_t remaining =
@@ -208,33 +307,52 @@ int main(int argc, char** argv) {
           : 0;
   engine.run(remaining, &obs);
 
-  if (!checkpoint.empty()) {
-    core::write_checkpoint_file(engine, checkpoint);
-    std::printf("checkpoint written: %s\n", checkpoint.c_str());
+  if (!out.checkpoint.empty()) {
+    core::write_checkpoint_file(engine, out.checkpoint);
+    std::printf("checkpoint written: %s\n", out.checkpoint.c_str());
   }
-  if (!series.empty()) {
-    recorder.write_csv(series);
-    std::printf("time series written: %s (%zu samples)\n", series.c_str(),
-                recorder.samples().size());
+  if (!out.series.empty()) {
+    recorder_ref.write_csv(out.series);
+    std::printf("time series written: %s (%zu samples)\n", out.series.c_str(),
+                recorder_ref.samples().size());
   }
-  if (!heatmap.empty()) {
+  if (!out.metrics_csv.empty()) {
+    std::printf("metrics time series written: %s\n", out.metrics_csv.c_str());
+  }
+  if (!out.heatmap.empty()) {
     const auto rows = analysis::strategy_matrix(engine.population());
     const auto clusters = analysis::kmeans(rows, 8);
     analysis::HeatmapOptions opt;
     opt.cell_width = 24;
     opt.cell_height = 2;
     opt.row_order = analysis::cluster_sorted_order(clusters);
-    analysis::write_heatmap_ppm(heatmap + "_final.ppm", rows, opt);
-    std::printf("heat map written: %s_final.ppm\n", heatmap.c_str());
+    analysis::write_heatmap_ppm(out.heatmap + "_final.ppm", rows, opt);
+    std::printf("heat map written: %s_final.ppm\n", out.heatmap.c_str());
   }
 
   report(engine.population(), cfg);
-  if (!manifest.empty()) {
-    write_manifest(manifest, cfg, engine.population(), timer.seconds(),
-                   engine.pairs_evaluated());
-    std::printf("manifest written: %s\n", manifest.c_str());
+  const double wall = timer.seconds();
+  if (!out.metrics_out.empty()) {
+    const obs::MetricsSnapshot snap = metrics.snapshot();
+    obs::ManifestInfo info = manifest_info(cfg, /*ranks=*/0, wall);
+    info.metrics = &snap;
+    try_write_metrics_manifest(out.metrics_out, info);
   }
-  std::printf("wall time: %.2f s (%llu pair evaluations)\n", timer.seconds(),
+  if (!out.manifest.empty()) {
+    write_legacy_manifest(out.manifest, cfg, engine.population(), wall,
+                          engine.pairs_evaluated());
+    std::printf("manifest written: %s\n", out.manifest.c_str());
+  }
+  std::printf("wall time: %.2f s (%llu pair evaluations)\n", wall,
               static_cast<unsigned long long>(engine.pairs_evaluated()));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -121,7 +121,8 @@ std::vector<std::byte> save_checkpoint(const Engine& engine) {
 }
 
 Engine restore_checkpoint(const SimConfig& config,
-                          const std::vector<std::byte>& blob) {
+                          const std::vector<std::byte>& blob,
+                          obs::MetricsRegistry* metrics) {
   Reader r(blob);
   EGT_REQUIRE_MSG(r.u64() == kMagic, "not an egtsim checkpoint");
   EGT_REQUIRE_MSG(r.u64() == config_fingerprint(config),
@@ -139,9 +140,10 @@ Engine restore_checkpoint(const SimConfig& config,
     strategies.push_back(game::Strategy::deserialize(r.bytes()));
   }
   EGT_REQUIRE_MSG(r.exhausted(), "trailing bytes in checkpoint");
-  return Engine(config, Engine::RestoredState{
-                            generation, nature,
-                            pop::Population(std::move(strategies))});
+  return Engine(config,
+                Engine::RestoredState{generation, nature,
+                                      pop::Population(std::move(strategies))},
+                metrics);
 }
 
 void write_checkpoint_file(const Engine& engine, const std::string& path) {
@@ -153,7 +155,8 @@ void write_checkpoint_file(const Engine& engine, const std::string& path) {
   EGT_REQUIRE_MSG(out.good(), "failed writing checkpoint file " + path);
 }
 
-Engine read_checkpoint_file(const SimConfig& config, const std::string& path) {
+Engine read_checkpoint_file(const SimConfig& config, const std::string& path,
+                            obs::MetricsRegistry* metrics) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   EGT_REQUIRE_MSG(in.good(), "cannot open checkpoint file " + path);
   const auto size = static_cast<std::size_t>(in.tellg());
@@ -162,7 +165,7 @@ Engine read_checkpoint_file(const SimConfig& config, const std::string& path) {
   in.read(reinterpret_cast<char*>(blob.data()),
           static_cast<std::streamsize>(size));
   EGT_REQUIRE_MSG(in.good(), "failed reading checkpoint file " + path);
-  return restore_checkpoint(config, blob);
+  return restore_checkpoint(config, blob, metrics);
 }
 
 }  // namespace egt::core

@@ -14,8 +14,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+namespace egt::obs {
+class MetricsRegistry;
+}
 
 namespace egt::core {
 
@@ -27,13 +32,16 @@ struct SimConfig;
 std::vector<std::byte> save_checkpoint(const Engine& engine);
 
 /// Reconstruct an engine mid-run. `config` must match the saving run's
-/// configuration (validated via the embedded fingerprint).
+/// configuration (validated via the embedded fingerprint). `metrics`
+/// optionally instruments the restored engine (see Engine's constructor).
 Engine restore_checkpoint(const SimConfig& config,
-                          const std::vector<std::byte>& blob);
+                          const std::vector<std::byte>& blob,
+                          obs::MetricsRegistry* metrics = nullptr);
 
 /// File convenience wrappers.
 void write_checkpoint_file(const Engine& engine, const std::string& path);
-Engine read_checkpoint_file(const SimConfig& config, const std::string& path);
+Engine read_checkpoint_file(const SimConfig& config, const std::string& path,
+                            obs::MetricsRegistry* metrics = nullptr);
 
 /// Stable fingerprint of the dynamics-relevant configuration fields.
 std::uint64_t config_fingerprint(const SimConfig& config);

@@ -29,16 +29,45 @@ pop::NatureConfig nature_config_with_graph(
 }
 }  // namespace
 
-Engine::Engine(const SimConfig& config)
+void Engine::bind_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  ph_game_play_ = &metrics->histogram(obs::phase::kGamePlay);
+  ph_plan_ = &metrics->histogram(obs::phase::kPlanBcast);
+  ph_fitness_return_ = &metrics->histogram(obs::phase::kFitnessReturn);
+  ph_decision_ = &metrics->histogram(obs::phase::kDecisionBcast);
+  ph_apply_ = &metrics->histogram(obs::phase::kApplyUpdate);
+  ct_generations_ = &metrics->counter("engine.generations");
+  ct_pc_events_ = &metrics->counter("engine.pc_events");
+  ct_adoptions_ = &metrics->counter("engine.adoptions");
+  ct_moran_events_ = &metrics->counter("engine.moran_events");
+  ct_mutations_ = &metrics->counter("engine.mutations");
+  ct_pairs_ = &metrics->counter("engine.pairs_evaluated");
+}
+
+void Engine::account_pairs() {
+  if (ct_pairs_ == nullptr) return;
+  const std::uint64_t total = fitness_.pairs_evaluated();
+  ct_pairs_->inc(total - pairs_accounted_);
+  pairs_accounted_ = total;
+}
+
+Engine::Engine(const SimConfig& config, obs::MetricsRegistry* metrics)
     : config_((config.validate(), config)),
       pop_(make_initial_population(config)),
       graph_(make_shared_graph(config)),
       nature_(nature_config_with_graph(config, graph_)),
       fitness_(config, 0, config.ssets, graph_) {
-  fitness_.initialize(pop_);
+  bind_metrics(metrics);
+  {
+    // The initial all-pairs evaluation is game-dynamics work.
+    obs::ScopedTimer t(ph_game_play_);
+    fitness_.initialize(pop_);
+  }
+  account_pairs();
 }
 
-Engine::Engine(const SimConfig& config, RestoredState state)
+Engine::Engine(const SimConfig& config, RestoredState state,
+               obs::MetricsRegistry* metrics)
     : config_((config.validate(), config)),
       pop_(std::move(state.population)),
       graph_(make_shared_graph(config)),
@@ -50,28 +79,54 @@ Engine::Engine(const SimConfig& config, RestoredState state)
   EGT_REQUIRE_MSG(pop_.memory() == config.memory,
                   "checkpoint memory depth does not match the config");
   nature_.restore_state(state.nature);
-  fitness_.initialize(pop_);
+  bind_metrics(metrics);
+  {
+    obs::ScopedTimer t(ph_game_play_);
+    fitness_.initialize(pop_);
+  }
+  account_pairs();
 }
 
 void Engine::step() {
   // 1. Game dynamics: this generation's fitness.
-  fitness_.begin_generation(pop_, generation_);
-  for (pop::SSetId i = 0; i < config_.ssets; ++i) {
-    pop_.set_fitness(i, fitness_.fitness(i));
+  {
+    obs::ScopedTimer t(ph_game_play_);
+    fitness_.begin_generation(pop_, generation_);
+    for (pop::SSetId i = 0; i < config_.ssets; ++i) {
+      pop_.set_fitness(i, fitness_.fitness(i));
+    }
   }
 
   // 2. Population dynamics.
   record_ = GenerationRecord{};
   record_.generation = generation_;
-  const pop::GenerationPlan plan = nature_.plan_generation(&pop_);
+  pop::GenerationPlan plan;
+  {
+    // Serial twin of the parallel engine's plan broadcast: Nature decides
+    // what happens this generation.
+    obs::ScopedTimer t(ph_plan_);
+    plan = nature_.plan_generation(&pop_);
+  }
 
   if (plan.pc) {
+    if (ct_pc_events_ != nullptr) ct_pc_events_->inc();
     GenerationRecord::PcOutcome out;
     out.teacher = plan.pc->teacher;
     out.learner = plan.pc->learner;
-    out.adopted = nature_.decide_adoption(fitness_.fitness(out.teacher),
-                                          fitness_.fitness(out.learner));
+    double teacher_fitness, learner_fitness;
+    {
+      // Serial twin of the owners' fitness return.
+      obs::ScopedTimer t(ph_fitness_return_);
+      teacher_fitness = fitness_.fitness(out.teacher);
+      learner_fitness = fitness_.fitness(out.learner);
+    }
+    {
+      obs::ScopedTimer t(ph_decision_);
+      out.adopted = nature_.decide_adoption(teacher_fitness, learner_fitness);
+    }
     if (out.adopted) {
+      if (ct_adoptions_ != nullptr) ct_adoptions_->inc();
+      obs::ScopedTimer t(ph_apply_);
       pop_.set_strategy(out.learner, pop_.strategy(out.teacher));
       fitness_.strategy_changed(out.learner, pop_, generation_);
     }
@@ -79,12 +134,19 @@ void Engine::step() {
   }
 
   if (plan.moran) {
-    const pop::MoranPick pick = nature_.select_moran(fitness_.block());
+    if (ct_moran_events_ != nullptr) ct_moran_events_->inc();
+    pop::MoranPick pick;
+    {
+      // The Moran rule's whole-vector selection is the decision step.
+      obs::ScopedTimer t(ph_decision_);
+      pick = nature_.select_moran(fitness_.block());
+    }
     GenerationRecord::PcOutcome out;
     out.teacher = pick.reproducer;
     out.learner = pick.dying;
     out.adopted = pick.is_change();
     if (pick.is_change()) {
+      obs::ScopedTimer t(ph_apply_);
       pop_.set_strategy(pick.dying, pop_.strategy(pick.reproducer));
       fitness_.strategy_changed(pick.dying, pop_, generation_);
     }
@@ -93,12 +155,16 @@ void Engine::step() {
   }
 
   if (plan.mutation) {
+    if (ct_mutations_ != nullptr) ct_mutations_->inc();
+    obs::ScopedTimer t(ph_apply_);
     pop_.set_strategy(plan.mutation->target, plan.mutation->strategy);
     fitness_.strategy_changed(plan.mutation->target, pop_, generation_);
     record_.mutation = plan.mutation->target;
   }
 
   ++generation_;
+  if (ct_generations_ != nullptr) ct_generations_->inc();
+  account_pairs();
 }
 
 void Engine::run(std::uint64_t generations, Observer* observer) {

@@ -17,6 +17,7 @@
 #include "pop/graph.hpp"
 #include "core/fitness.hpp"
 #include "core/observer.hpp"
+#include "obs/metrics.hpp"
 #include "pop/nature.hpp"
 #include "pop/population.hpp"
 
@@ -28,7 +29,11 @@ pop::Population make_initial_population(const SimConfig& config);
 
 class Engine {
  public:
-  explicit Engine(const SimConfig& config);
+  /// `metrics`, when given, receives per-phase timers (obs::phase) and
+  /// event counters ("engine.*"); it must outlive the engine. Null runs
+  /// without instrumentation (no timing overhead on the hot path).
+  explicit Engine(const SimConfig& config,
+                  obs::MetricsRegistry* metrics = nullptr);
 
   /// Mid-run state as captured by a checkpoint (core/checkpoint.hpp).
   struct RestoredState {
@@ -38,7 +43,8 @@ class Engine {
   };
 
   /// Resume from a checkpointed state.
-  Engine(const SimConfig& config, RestoredState state);
+  Engine(const SimConfig& config, RestoredState state,
+         obs::MetricsRegistry* metrics = nullptr);
 
   /// The Nature Agent (checkpointing, inspection).
   const pop::NatureAgent& nature_agent() const noexcept { return nature_; }
@@ -70,6 +76,11 @@ class Engine {
   }
 
  private:
+  /// Resolve phase histograms / event counters once (lock-free afterwards).
+  void bind_metrics(obs::MetricsRegistry* metrics);
+  /// Add fitness_.pairs_evaluated() growth to the pairs counter.
+  void account_pairs();
+
   SimConfig config_;
   pop::Population pop_;
   std::shared_ptr<const pop::InteractionGraph> graph_;  // before nature_
@@ -77,6 +88,20 @@ class Engine {
   BlockFitness fitness_;
   std::uint64_t generation_ = 0;
   GenerationRecord record_;
+
+  // Instrumentation (all null when the engine runs unobserved).
+  obs::Histogram* ph_game_play_ = nullptr;
+  obs::Histogram* ph_plan_ = nullptr;
+  obs::Histogram* ph_fitness_return_ = nullptr;
+  obs::Histogram* ph_decision_ = nullptr;
+  obs::Histogram* ph_apply_ = nullptr;
+  obs::Counter* ct_generations_ = nullptr;
+  obs::Counter* ct_pc_events_ = nullptr;
+  obs::Counter* ct_adoptions_ = nullptr;
+  obs::Counter* ct_moran_events_ = nullptr;
+  obs::Counter* ct_mutations_ = nullptr;
+  obs::Counter* ct_pairs_ = nullptr;
+  std::uint64_t pairs_accounted_ = 0;
 };
 
 /// Null for well-mixed configs; the shared graph otherwise.

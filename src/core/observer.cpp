@@ -3,10 +3,25 @@
 #include <algorithm>
 
 #include "pop/stats.hpp"
+#include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
 namespace egt::core {
+
+void MultiObserver::add(Observer& obs) {
+  EGT_REQUIRE_MSG(std::find(children_.begin(), children_.end(), &obs) ==
+                      children_.end(),
+                  "observer already added to this MultiObserver");
+  children_.push_back(&obs);
+}
+
+Observer& MultiObserver::add(std::unique_ptr<Observer> obs) {
+  EGT_REQUIRE_MSG(obs != nullptr, "cannot add a null observer");
+  add(*obs);  // duplicate guard + dispatch registration
+  owned_.push_back(std::move(obs));
+  return *owned_.back();
+}
 
 void TimeSeriesRecorder::on_generation(const pop::Population& pop,
                                        const GenerationRecord& record) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -107,17 +108,28 @@ class SnapshotRecorder final : public Observer {
   std::vector<std::pair<std::uint64_t, pop::Population>> snapshots_;
 };
 
-/// Fans one engine callback out to several observers.
+/// Fans one engine callback out to several observers, in add() order.
 class MultiObserver final : public Observer {
  public:
-  void add(Observer& obs) { children_.push_back(&obs); }
+  /// Non-owning: the caller must keep `obs` alive while this MultiObserver
+  /// is in use. Adding the same observer twice is rejected.
+  void add(Observer& obs);
+
+  /// Owning: the MultiObserver keeps `obs` alive itself. Rejects null and
+  /// duplicates. Returns a reference to the adopted observer for callers
+  /// that still need to talk to it (e.g. to read recorded samples).
+  Observer& add(std::unique_ptr<Observer> obs);
+
+  std::size_t size() const noexcept { return children_.size(); }
+
   void on_generation(const pop::Population& pop,
                      const GenerationRecord& record) override {
     for (auto* c : children_) c->on_generation(pop, record);
   }
 
  private:
-  std::vector<Observer*> children_;
+  std::vector<Observer*> children_;               // dispatch order
+  std::vector<std::unique_ptr<Observer>> owned_;  // lifetime for add(ptr)
 };
 
 }  // namespace egt::core

@@ -1,6 +1,8 @@
 #include "core/parallel_engine.hpp"
 
+#include <cstdio>
 #include <cstring>
+#include <deque>
 #include <optional>
 
 #include "core/engine.hpp"
@@ -8,6 +10,8 @@
 #include "par/partition.hpp"
 #include "pop/nature.hpp"
 #include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace egt::core {
 
@@ -73,12 +77,55 @@ pop::GenerationPlan decode_plan(const std::vector<std::byte>& in) {
   return plan;
 }
 
+// -- per-rank instrumentation -------------------------------------------------
+
+// Phase histograms are resolved once per rank and then updated lock-free.
+// Event counters live on rank 0 only so the merged totals match the serial
+// engine's; "engine.pairs_evaluated" is per-rank (block sums add up to the
+// serial all-pairs count).
+struct RankInstruments {
+  obs::Histogram* game_play = nullptr;
+  obs::Histogram* plan = nullptr;
+  obs::Histogram* fitness_return = nullptr;
+  obs::Histogram* decision = nullptr;
+  obs::Histogram* apply = nullptr;
+  obs::Counter* pairs = nullptr;
+  obs::Counter* generations = nullptr;
+  obs::Counter* pc_events = nullptr;
+  obs::Counter* adoptions = nullptr;
+  obs::Counter* moran_events = nullptr;
+  obs::Counter* mutations = nullptr;
+
+  RankInstruments(obs::MetricsRegistry& reg, int rank) {
+    game_play = &reg.histogram(obs::phase::kGamePlay);
+    plan = &reg.histogram(obs::phase::kPlanBcast);
+    fitness_return = &reg.histogram(obs::phase::kFitnessReturn);
+    decision = &reg.histogram(obs::phase::kDecisionBcast);
+    apply = &reg.histogram(obs::phase::kApplyUpdate);
+    pairs = &reg.counter("engine.pairs_evaluated");
+    if (rank == 0) {
+      generations = &reg.counter("engine.generations");
+      pc_events = &reg.counter("engine.pc_events");
+      adoptions = &reg.counter("engine.adoptions");
+      moran_events = &reg.counter("engine.moran_events");
+      mutations = &reg.counter("engine.mutations");
+    }
+  }
+
+  static void inc(obs::Counter* c) {
+    if (c != nullptr) c->inc();
+  }
+};
+
 // -- per-rank program ---------------------------------------------------------
 
 void rank_main(par::Comm& comm, const SimConfig& config,
-               std::optional<pop::Population>& result_slot) {
+               std::optional<pop::Population>& result_slot,
+               obs::MetricsRegistry& registry,
+               const ParallelRunOptions& options) {
   const int rank = comm.rank();
   const auto nranks = static_cast<std::uint64_t>(comm.size());
+  RankInstruments ins(registry, rank);
 
   // Every rank derives the identical initial state from the seed alone —
   // the paper's "each node can calculate its position ... individually".
@@ -91,7 +138,12 @@ void rank_main(par::Comm& comm, const SimConfig& config,
   const auto row_end =
       static_cast<pop::SSetId>(part.end(static_cast<std::uint64_t>(rank)));
   BlockFitness fit(config, row_begin, row_end, graph);
-  fit.initialize(pop);
+  {
+    obs::ScopedTimer t(ins.game_play);
+    fit.initialize(pop);
+  }
+  std::uint64_t pairs_accounted = fit.pairs_evaluated();
+  ins.pairs->inc(pairs_accounted);
 
   const bool replay_nature =
       config.comm_pattern == CommPattern::ReplicatedNature;
@@ -109,69 +161,96 @@ void rank_main(par::Comm& comm, const SimConfig& config,
   // Matches the serial engine: zero until the first generation runs.
   std::vector<double> fitness_snapshot(fit.block().size(), 0.0);
 
+  util::Timer progress_timer;
+  double last_heartbeat_s = 0.0;
+  std::uint64_t last_heartbeat_gen = 0;
+
   for (std::uint64_t gen = 0; gen < config.generations; ++gen) {
     // 1. Game dynamics: local, communication-free.
-    fit.begin_generation(pop, gen);
-    fitness_snapshot.assign(fit.block().begin(), fit.block().end());
+    {
+      obs::ScopedTimer t(ins.game_play);
+      fit.begin_generation(pop, gen);
+      fitness_snapshot.assign(fit.block().begin(), fit.block().end());
+    }
 
     // 2. Population dynamics.
     pop::GenerationPlan plan;
-    if (replay_nature) {
-      plan = nature->plan_generation(&pop);
-    } else {
-      std::vector<std::byte> wire;
-      if (rank == 0) {
+    {
+      obs::ScopedTimer t(ins.plan);
+      if (replay_nature) {
         plan = nature->plan_generation(&pop);
-        wire = encode_plan(plan);
+      } else {
+        std::vector<std::byte> wire;
+        if (rank == 0) {
+          plan = nature->plan_generation(&pop);
+          wire = encode_plan(plan);
+        }
+        comm.bcast(wire, 0);
+        if (rank != 0) plan = decode_plan(wire);
       }
-      comm.bcast(wire, 0);
-      if (rank != 0) plan = decode_plan(wire);
     }
 
     if (plan.pc) {
+      RankInstruments::inc(ins.pc_events);
       const pop::SSetId teacher = plan.pc->teacher;
       const pop::SSetId learner = plan.pc->learner;
       bool adopted = false;
 
       if (replay_nature) {
         std::vector<double> pair_fitness(2, 0.0);
-        if (owner_of(teacher) == rank) pair_fitness[0] = fit.fitness(teacher);
-        if (owner_of(learner) == rank) pair_fitness[1] = fit.fitness(learner);
-        pair_fitness =
-            comm.allreduce(std::move(pair_fitness), par::Comm::ReduceOp::Sum);
-        adopted = nature->decide_adoption(pair_fitness[0], pair_fitness[1]);
+        {
+          obs::ScopedTimer t(ins.fitness_return);
+          if (owner_of(teacher) == rank) pair_fitness[0] = fit.fitness(teacher);
+          if (owner_of(learner) == rank) pair_fitness[1] = fit.fitness(learner);
+          pair_fitness = comm.allreduce(std::move(pair_fitness),
+                                        par::Comm::ReduceOp::Sum);
+        }
+        {
+          obs::ScopedTimer t(ins.decision);
+          adopted = nature->decide_adoption(pair_fitness[0], pair_fitness[1]);
+        }
       } else {
         // Owners return fitness to the Nature Agent point-to-point
         // (the paper's torus sends), rank 0 decides, decision broadcast.
-        if (rank != 0 && owner_of(teacher) == rank) {
-          comm.send_value(0, kTagFitTeacher, fit.fitness(teacher));
+        double tf = 0.0, lf = 0.0;
+        {
+          obs::ScopedTimer t(ins.fitness_return);
+          if (rank != 0 && owner_of(teacher) == rank) {
+            comm.send_value(0, kTagFitTeacher, fit.fitness(teacher));
+          }
+          if (rank != 0 && owner_of(learner) == rank) {
+            comm.send_value(0, kTagFitLearner, fit.fitness(learner));
+          }
+          if (rank == 0) {
+            tf = owner_of(teacher) == 0
+                     ? fit.fitness(teacher)
+                     : comm.recv_value<double>(owner_of(teacher),
+                                               kTagFitTeacher);
+            lf = owner_of(learner) == 0
+                     ? fit.fitness(learner)
+                     : comm.recv_value<double>(owner_of(learner),
+                                               kTagFitLearner);
+          }
         }
-        if (rank != 0 && owner_of(learner) == rank) {
-          comm.send_value(0, kTagFitLearner, fit.fitness(learner));
+        {
+          obs::ScopedTimer t(ins.decision);
+          std::uint8_t adopted_wire = 0;
+          if (rank == 0) adopted_wire = nature->decide_adoption(tf, lf) ? 1 : 0;
+          comm.bcast_value(adopted_wire, 0);
+          adopted = adopted_wire != 0;
         }
-        std::uint8_t adopted_wire = 0;
-        if (rank == 0) {
-          const double tf = owner_of(teacher) == 0
-                                ? fit.fitness(teacher)
-                                : comm.recv_value<double>(owner_of(teacher),
-                                                          kTagFitTeacher);
-          const double lf = owner_of(learner) == 0
-                                ? fit.fitness(learner)
-                                : comm.recv_value<double>(owner_of(learner),
-                                                          kTagFitLearner);
-          adopted_wire = nature->decide_adoption(tf, lf) ? 1 : 0;
-        }
-        comm.bcast_value(adopted_wire, 0);
-        adopted = adopted_wire != 0;
       }
 
       if (adopted) {
+        RankInstruments::inc(ins.adoptions);
+        obs::ScopedTimer t(ins.apply);
         pop.set_strategy(learner, pop.strategy(teacher));
         fit.strategy_changed(learner, pop, gen);
       }
     }
 
     if (plan.moran) {
+      RankInstruments::inc(ins.moran_events);
       // The Moran rule needs the whole fitness vector at the selector —
       // the communication pattern the paper's pairwise rule avoids.
       pop::MoranPick pick;
@@ -189,10 +268,20 @@ void rank_main(par::Comm& comm, const SimConfig& config,
         return full;
       };
       if (replay_nature) {
-        const auto full = assemble(comm.allgather(pack_block()));
+        std::vector<double> full;
+        {
+          obs::ScopedTimer t(ins.fitness_return);
+          full = assemble(comm.allgather(pack_block()));
+        }
+        obs::ScopedTimer t(ins.decision);
         pick = nature->select_moran(full);
       } else {
-        auto blocks = comm.gather(pack_block(), 0);
+        std::vector<std::vector<std::byte>> blocks;
+        {
+          obs::ScopedTimer t(ins.fitness_return);
+          blocks = comm.gather(pack_block(), 0);
+        }
+        obs::ScopedTimer t(ins.decision);
         std::uint64_t wire = 0;
         if (rank == 0) {
           const auto full = assemble(blocks);
@@ -205,14 +294,47 @@ void rank_main(par::Comm& comm, const SimConfig& config,
         pick.dying = static_cast<pop::SSetId>(wire & 0xffffffffu);
       }
       if (pick.is_change()) {
+        obs::ScopedTimer t(ins.apply);
         pop.set_strategy(pick.dying, pop.strategy(pick.reproducer));
         fit.strategy_changed(pick.dying, pop, gen);
       }
     }
 
     if (plan.mutation) {
+      RankInstruments::inc(ins.mutations);
+      obs::ScopedTimer t(ins.apply);
       pop.set_strategy(plan.mutation->target, plan.mutation->strategy);
       fit.strategy_changed(plan.mutation->target, pop, gen);
+    }
+
+    RankInstruments::inc(ins.generations);
+    const std::uint64_t pairs_now = fit.pairs_evaluated();
+    ins.pairs->inc(pairs_now - pairs_accounted);
+    pairs_accounted = pairs_now;
+
+    if (options.progress && rank == 0) {
+      const double now = progress_timer.seconds();
+      if (now - last_heartbeat_s >= options.progress_interval_seconds) {
+        const double rate =
+            static_cast<double>(gen + 1 - last_heartbeat_gen) /
+            (now - last_heartbeat_s);
+        const double eta =
+            rate > 0.0
+                ? static_cast<double>(config.generations - gen - 1) / rate
+                : 0.0;
+        // Same line format as the serial MetricsObserver heartbeat.
+        char line[160];
+        std::snprintf(line, sizeof line,
+                      "gen %llu/%llu (%.1f%%) | %.0f gen/s | ETA %.0f s",
+                      static_cast<unsigned long long>(gen + 1),
+                      static_cast<unsigned long long>(config.generations),
+                      100.0 * static_cast<double>(gen + 1) /
+                          static_cast<double>(config.generations),
+                      rate, eta);
+        util::log_info() << line;
+        last_heartbeat_s = now;
+        last_heartbeat_gen = gen + 1;
+      }
     }
   }
 
@@ -239,6 +361,11 @@ void rank_main(par::Comm& comm, const SimConfig& config,
 }  // namespace
 
 ParallelResult run_parallel(const SimConfig& config, int nranks) {
+  return run_parallel(config, nranks, ParallelRunOptions{});
+}
+
+ParallelResult run_parallel(const SimConfig& config, int nranks,
+                            const ParallelRunOptions& options) {
   config.validate();
   EGT_REQUIRE_MSG(nranks >= 1, "need at least one rank");
   EGT_REQUIRE_MSG(static_cast<pop::SSetId>(nranks) <= config.ssets,
@@ -246,11 +373,25 @@ ParallelResult run_parallel(const SimConfig& config, int nranks) {
                   "partition (use the performance simulator for that regime)");
 
   std::optional<pop::Population> final_pop;
+  // One registry per rank: no cross-rank contention inside the timed run.
+  std::deque<obs::MetricsRegistry> rank_registries(
+      static_cast<std::size_t>(nranks));
   const par::TrafficReport traffic = par::run_ranks_traced(
-      nranks,
-      [&](par::Comm& comm) { rank_main(comm, config, final_pop); });
+      nranks, [&](par::Comm& comm) {
+        rank_main(comm, config, final_pop,
+                  rank_registries[static_cast<std::size_t>(comm.rank())],
+                  options);
+      });
   EGT_ASSERT(final_pop.has_value());
-  return ParallelResult{std::move(*final_pop), traffic, config.generations};
+
+  obs::MetricsRegistry merged;
+  for (const auto& reg : rank_registries) merged.merge(reg);
+  merged.gauge("engine.ranks").set(static_cast<double>(nranks));
+  if (options.metrics != nullptr) options.metrics->merge(merged);
+
+  ParallelResult result{std::move(*final_pop), traffic, config.generations,
+                        merged.snapshot()};
+  return result;
 }
 
 }  // namespace egt::core

@@ -18,9 +18,15 @@
 //
 // For any rank count the trajectory is bit-identical to the serial Engine —
 // the central integration-test invariant.
+//
+// Observability: every rank times the same five per-generation phases the
+// serial engine reports (obs::phase) into its own registry; the registries
+// are merged after the run into ParallelResult::metrics. Traffic is
+// reported per rank, split broadcast-tree vs point-to-point.
 #pragma once
 
 #include "core/config.hpp"
+#include "obs/metrics.hpp"
 #include "par/runtime.hpp"
 #include "pop/population.hpp"
 
@@ -28,11 +34,28 @@ namespace egt::core {
 
 struct ParallelResult {
   pop::Population population;  ///< final strategy table + final fitness
-  par::TrafficReport traffic;  ///< total p2p traffic of the whole run
+  par::TrafficReport traffic;  ///< whole-run traffic, split by class + rank
   std::uint64_t generations = 0;
+  /// Merged per-rank metrics: phase timers (obs::phase) and "engine.*"
+  /// counters. Event counters are counted once (at rank 0);
+  /// "engine.pairs_evaluated" sums every rank's block and therefore
+  /// matches the serial engine's count for the same config.
+  obs::MetricsSnapshot metrics;
+};
+
+struct ParallelRunOptions {
+  /// Also merge the per-rank registries into this registry (e.g. the
+  /// caller's process-wide one). May be null.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Rank 0 logs a heartbeat (gen/s, ETA) through util::log_info.
+  bool progress = false;
+  /// Seconds between heartbeats.
+  double progress_interval_seconds = 2.0;
 };
 
 /// Run the full simulation on `nranks` ranks. Blocks until done.
 ParallelResult run_parallel(const SimConfig& config, int nranks);
+ParallelResult run_parallel(const SimConfig& config, int nranks,
+                            const ParallelRunOptions& options);
 
 }  // namespace egt::core

@@ -1,0 +1,76 @@
+// Run manifest: one JSON document per run recording what was executed
+// (config, build), what it cost (wall time, per-phase times, counters) and
+// what it moved (broadcast vs point-to-point traffic, per rank).
+//
+// Schema "egt.run_manifest/v1" (validated by tests/obs/manifest_test.cpp;
+// documented for external consumers in DESIGN.md §Observability):
+//
+//   {
+//     "schema": "egt.run_manifest/v1",
+//     "tool": "<producing binary>",
+//     "git_describe": "<git describe --always --dirty, or 'unknown'>",
+//     "config": { "summary": "...", "fingerprint": u64, ...tool extras },
+//     "run": { "ranks": int (0 = serial), "generations": u64,
+//              "wall_seconds": double },
+//     "phases": { "<name>": { "seconds": double, "count": u64,
+//                             "min_seconds": double, "max_seconds": double },
+//                 ... },                     // "phase." prefix stripped
+//     "timers": { "<full name>": { ...same shape... }, ... },
+//                                            // every non-"phase." histogram
+//     "counters": { "<name>": u64, ... },
+//     "gauges": { "<name>": double, ... },
+//     "traffic": {                           // parallel runs only
+//       "bytes": u64, "messages": u64,
+//       "p2p": { "bytes": u64, "messages": u64 },
+//       "broadcast": { "bytes": u64, "messages": u64 },
+//       "per_rank": [ { "rank": int, "p2p_bytes": u64, "p2p_messages": u64,
+//                       "bcast_bytes": u64, "bcast_messages": u64 }, ... ]
+//     }
+//   }
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "par/runtime.hpp"
+
+namespace egt::util {
+class JsonWriter;
+}
+
+namespace egt::obs {
+
+inline constexpr const char* kManifestSchema = "egt.run_manifest/v1";
+
+/// Build identity baked in by CMake ("unknown" outside a git checkout).
+std::string git_describe();
+
+/// Everything a manifest records. `metrics` and `traffic` are optional;
+/// `config_fields` (when set) is invoked inside the "config" object to add
+/// tool-specific fields beyond summary + fingerprint.
+struct ManifestInfo {
+  std::string tool;
+  std::string config_summary;
+  std::uint64_t config_fingerprint = 0;
+  std::function<void(util::JsonWriter&)> config_fields;
+
+  int ranks = 0;  ///< 0 = serial engine
+  std::uint64_t generations = 0;
+  double wall_seconds = 0.0;
+
+  const MetricsSnapshot* metrics = nullptr;
+  const par::TrafficReport* traffic = nullptr;
+};
+
+/// Emit the manifest JSON (schema above) to `os`.
+void write_run_manifest(std::ostream& os, const ManifestInfo& info);
+
+/// Emit to `path`; throws std::runtime_error when the file cannot be
+/// opened.
+void write_run_manifest_file(const std::string& path,
+                             const ManifestInfo& info);
+
+}  // namespace egt::obs

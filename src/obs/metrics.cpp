@@ -1,0 +1,194 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace egt::obs {
+
+namespace {
+
+std::uint64_t to_nanos(double seconds) noexcept {
+  if (!(seconds > 0.0)) return 0;
+  const double ns = seconds * 1e9;
+  if (ns >= 9e18) return ~0ull >> 1;
+  return static_cast<std::uint64_t>(ns);
+}
+
+std::size_t bucket_of(std::uint64_t nanos) noexcept {
+  if (nanos == 0) return 0;
+  const auto b = static_cast<std::size_t>(std::bit_width(nanos) - 1);
+  return std::min(b, Histogram::kBuckets - 1);
+}
+
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_add(std::atomic<double>& slot, double v) noexcept {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::record_seconds(double seconds) noexcept {
+  if (std::isnan(seconds) || seconds < 0.0) seconds = 0.0;
+  const std::uint64_t ns = to_nanos(seconds);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(total_, seconds);
+  atomic_min(min_ns_, ns);
+  atomic_max(max_ns_, ns);
+  buckets_[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min_seconds() const noexcept {
+  const auto ns = min_ns_.load(std::memory_order_relaxed);
+  return ns == ~0ull ? 0.0 : static_cast<double>(ns) * 1e-9;
+}
+
+double Histogram::max_seconds() const noexcept {
+  return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets()
+    const noexcept {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  atomic_add(total_, other.total_seconds());
+  const auto omin = other.min_ns_.load(std::memory_order_relaxed);
+  if (omin != ~0ull) atomic_min(min_ns_, omin);
+  atomic_max(max_ns_, other.max_ns_.load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+}
+
+void Histogram::merge(const HistogramSample& other) noexcept {
+  if (other.count == 0) return;
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  atomic_add(total_, other.total_seconds);
+  atomic_min(min_ns_, to_nanos(other.min_seconds));
+  atomic_max(max_ns_, to_nanos(other.max_seconds));
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets_[i].fetch_add(other.buckets[i], std::memory_order_relaxed);
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Snapshot first so the two registry locks are never held together.
+  const MetricsSnapshot snap = other.snapshot();
+  for (const auto& c : snap.counters) counter(c.name).inc(c.value);
+  for (const auto& g : snap.gauges) gauge(g.name).set(g.value);
+  for (const auto& h : snap.histograms) histogram(h.name).merge(h);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g.value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramSample s;
+    s.name = name;
+    s.count = h.count();
+    s.total_seconds = h.total_seconds();
+    s.min_seconds = h.min_seconds();
+    s.max_seconds = h.max_seconds();
+    s.buckets = h.buckets();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+const MetricsSnapshot::CounterSample* MetricsSnapshot::find_counter(
+    std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramSample* MetricsSnapshot::find_histogram(
+    std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(
+    std::string_view name) const noexcept {
+  const auto* c = find_counter(name);
+  return c == nullptr ? 0 : c->value;
+}
+
+double MetricsSnapshot::histogram_seconds(
+    std::string_view name) const noexcept {
+  const auto* h = find_histogram(name);
+  return h == nullptr ? 0.0 : h->total_seconds;
+}
+
+double MetricsSnapshot::phase_total_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& h : histograms) {
+    if (h.name.rfind("phase.", 0) == 0) total += h.total_seconds;
+  }
+  return total;
+}
+
+}  // namespace egt::obs

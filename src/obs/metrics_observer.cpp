@@ -1,0 +1,89 @@
+#include "obs/metrics_observer.hpp"
+
+#include <cstdio>
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace egt::obs {
+
+MetricsObserver::MetricsObserver(MetricsRegistry& registry,
+                                 MetricsObserverOptions options)
+    : registry_(&registry), options_(std::move(options)) {
+  if (!options_.csv_path.empty()) {
+    csv_ = std::make_unique<util::CsvWriter>(options_.csv_path, csv_header());
+  }
+}
+
+std::vector<std::string> MetricsObserver::csv_header() {
+  return {"generation",       "wall_seconds",
+          "gens_per_sec",     "mean_fitness",
+          "pairs_evaluated",  "pc_events",
+          "adoptions",        "mutations",
+          "phase_game_play_s",
+          "phase_plan_bcast_s",
+          "phase_fitness_return_s",
+          "phase_decision_bcast_s",
+          "phase_apply_update_s"};
+}
+
+void MetricsObserver::on_generation(const pop::Population& pop,
+                                    const core::GenerationRecord& record) {
+  ++seen_;
+  if (csv_ != nullptr &&
+      (options_.sample_interval == 0 ||
+       record.generation % options_.sample_interval == 0)) {
+    sample(pop, record.generation);
+  }
+  if (options_.progress) heartbeat(record.generation);
+}
+
+void MetricsObserver::sample(const pop::Population& pop,
+                             std::uint64_t generation) {
+  const double wall = wall_.seconds();
+  const MetricsSnapshot snap = registry_->snapshot();
+  csv_->row({static_cast<double>(generation), wall,
+             wall > 0.0 ? static_cast<double>(seen_) / wall : 0.0,
+             util::mean(pop.fitness()),
+             static_cast<double>(snap.counter_value("engine.pairs_evaluated")),
+             static_cast<double>(snap.counter_value("engine.pc_events")),
+             static_cast<double>(snap.counter_value("engine.adoptions")),
+             static_cast<double>(snap.counter_value("engine.mutations")),
+             snap.histogram_seconds(phase::kGamePlay),
+             snap.histogram_seconds(phase::kPlanBcast),
+             snap.histogram_seconds(phase::kFitnessReturn),
+             snap.histogram_seconds(phase::kDecisionBcast),
+             snap.histogram_seconds(phase::kApplyUpdate)});
+  ++samples_;
+}
+
+void MetricsObserver::heartbeat(std::uint64_t generation) {
+  const double now = wall_.seconds();
+  if (now - last_heartbeat_s_ < options_.progress_interval_seconds) return;
+  const double window = now - last_heartbeat_s_;
+  const double rate =
+      window > 0.0
+          ? static_cast<double>(generation - last_heartbeat_gen_) / window
+          : 0.0;
+  char line[160];
+  if (options_.total_generations > 0 && rate > 0.0) {
+    const std::uint64_t total = options_.total_generations;
+    const std::uint64_t done = generation < total ? generation : total;
+    const double eta = static_cast<double>(total - done) / rate;
+    std::snprintf(line, sizeof line,
+                  "gen %llu/%llu (%.1f%%) | %.0f gen/s | ETA %.0f s",
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total),
+                  100.0 * static_cast<double>(done) /
+                      static_cast<double>(total),
+                  rate, eta);
+  } else {
+    std::snprintf(line, sizeof line, "gen %llu | %.0f gen/s",
+                  static_cast<unsigned long long>(generation), rate);
+  }
+  util::log_info() << line;
+  last_heartbeat_s_ = now;
+  last_heartbeat_gen_ = generation;
+}
+
+}  // namespace egt::obs

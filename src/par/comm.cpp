@@ -5,7 +5,8 @@
 
 namespace egt::par {
 
-Context::Context(int nranks) {
+Context::Context(int nranks)
+    : traffic_(nranks > 0 ? static_cast<std::size_t>(nranks) : 0) {
   EGT_REQUIRE_MSG(nranks > 0, "context needs at least one rank");
   inboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
@@ -14,16 +15,37 @@ Context::Context(int nranks) {
 }
 
 std::uint64_t Context::bytes_sent() const noexcept {
-  return bytes_sent_.load(std::memory_order_relaxed);
+  std::uint64_t total = 0;
+  for (int r = 0; r < size(); ++r) total += rank_traffic(r).bytes();
+  return total;
 }
 
 std::uint64_t Context::messages_sent() const noexcept {
-  return messages_sent_.load(std::memory_order_relaxed);
+  std::uint64_t total = 0;
+  for (int r = 0; r < size(); ++r) total += rank_traffic(r).messages();
+  return total;
 }
 
-void Context::account_send(std::size_t bytes) noexcept {
-  bytes_sent_.fetch_add(bytes, std::memory_order_relaxed);
-  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+void Context::account_send(int rank, std::size_t bytes,
+                           TrafficClass cls) noexcept {
+  auto& slot = traffic_[static_cast<std::size_t>(rank)];
+  if (cls == TrafficClass::Broadcast) {
+    slot.bcast_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    slot.bcast_messages.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slot.p2p_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    slot.p2p_messages.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+RankTraffic Context::rank_traffic(int rank) const noexcept {
+  const auto& slot = traffic_[static_cast<std::size_t>(rank)];
+  RankTraffic out;
+  out.p2p_bytes = slot.p2p_bytes.load(std::memory_order_relaxed);
+  out.p2p_messages = slot.p2p_messages.load(std::memory_order_relaxed);
+  out.bcast_bytes = slot.bcast_bytes.load(std::memory_order_relaxed);
+  out.bcast_messages = slot.bcast_messages.load(std::memory_order_relaxed);
+  return out;
 }
 
 Comm::Comm(Context& ctx, int rank) : ctx_(&ctx), rank_(rank) {
@@ -32,7 +54,7 @@ Comm::Comm(Context& ctx, int rank) : ctx_(&ctx), rank_(rank) {
 
 void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
   EGT_REQUIRE(dest >= 0 && dest < size());
-  ctx_->account_send(payload.size());
+  ctx_->account_send(rank_, payload.size(), send_class_);
   ctx_->inbox(dest).deliver({rank_, tag, std::move(payload)});
 }
 
@@ -79,7 +101,8 @@ void Comm::barrier() {
 void Comm::bcast(std::vector<std::byte>& data, int root) {
   EGT_REQUIRE(root >= 0 && root < size());
   // Binomial tree rooted at `root`, the logical structure of a collective
-  // network broadcast (paper §V-B).
+  // network broadcast (paper §V-B). Relay sends count as Broadcast traffic.
+  const ClassScope scope(*this, TrafficClass::Broadcast);
   const int tag = coll_tag();
   const int vrank = (rank_ - root + size()) % size();
   auto real = [&](int v) { return (v + root) % size(); };

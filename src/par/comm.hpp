@@ -26,6 +26,26 @@
 
 namespace egt::par {
 
+/// Which network a message logically travelled on. The paper's machine has
+/// two: the collective (tree) network for Nature-Agent broadcasts and the
+/// 3-D torus for point-to-point fitness returns (§V-B). Sends issued from
+/// inside a broadcast are Broadcast traffic; everything else — user p2p,
+/// gathers, reductions, barriers — is PointToPoint.
+enum class TrafficClass { PointToPoint, Broadcast };
+
+/// One rank's send-side traffic, split by class.
+struct RankTraffic {
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t p2p_messages = 0;
+  std::uint64_t bcast_bytes = 0;
+  std::uint64_t bcast_messages = 0;
+
+  std::uint64_t bytes() const noexcept { return p2p_bytes + bcast_bytes; }
+  std::uint64_t messages() const noexcept {
+    return p2p_messages + bcast_messages;
+  }
+};
+
 /// Shared state of one group of ranks.
 class Context {
  public:
@@ -34,15 +54,28 @@ class Context {
   int size() const noexcept { return static_cast<int>(inboxes_.size()); }
   Mailbox& inbox(int rank) { return *inboxes_[static_cast<std::size_t>(rank)]; }
 
-  /// Bytes moved through point-to-point sends (traffic accounting).
+  /// Totals over all ranks and both traffic classes.
   std::uint64_t bytes_sent() const noexcept;
   std::uint64_t messages_sent() const noexcept;
-  void account_send(std::size_t bytes) noexcept;
+
+  /// Record one send issued by `rank` (attributed to the sender).
+  void account_send(int rank, std::size_t bytes, TrafficClass cls) noexcept;
+
+  /// Send-side traffic of one rank, split broadcast vs point-to-point.
+  RankTraffic rank_traffic(int rank) const noexcept;
 
  private:
+  // Cache-line sized per-rank slots: traffic accounting on the hot send
+  // path must not make rank threads ping-pong a shared counter line.
+  struct alignas(64) RankCounters {
+    std::atomic<std::uint64_t> p2p_bytes{0};
+    std::atomic<std::uint64_t> p2p_messages{0};
+    std::atomic<std::uint64_t> bcast_bytes{0};
+    std::atomic<std::uint64_t> bcast_messages{0};
+  };
+
   std::vector<std::unique_ptr<Mailbox>> inboxes_;
-  std::atomic<std::uint64_t> bytes_sent_{0};
-  std::atomic<std::uint64_t> messages_sent_{0};
+  std::vector<RankCounters> traffic_;
 };
 
 /// Per-rank handle. Not thread-safe: one rank thread uses one Comm.
@@ -142,13 +175,30 @@ class Comm {
   std::uint64_t context_bytes_sent() const noexcept {
     return ctx_->bytes_sent();
   }
+  /// This rank's own send-side traffic so far.
+  RankTraffic traffic() const noexcept { return ctx_->rank_traffic(rank_); }
 
  private:
   int coll_tag();  ///< fresh reserved tag for the next collective
 
+  /// Scope guard classifying every send issued inside a broadcast.
+  class ClassScope {
+   public:
+    ClassScope(Comm& comm, TrafficClass cls)
+        : comm_(comm), prev_(comm.send_class_) {
+      comm_.send_class_ = cls;
+    }
+    ~ClassScope() { comm_.send_class_ = prev_; }
+
+   private:
+    Comm& comm_;
+    TrafficClass prev_;
+  };
+
   Context* ctx_;
   int rank_;
   int coll_seq_ = 0;
+  TrafficClass send_class_ = TrafficClass::PointToPoint;
 };
 
 /// Tags >= kCollectiveTagBase are reserved for collectives.

@@ -29,7 +29,20 @@ TrafficReport run_impl(int nranks,
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
-  return {ctx.bytes_sent(), ctx.messages_sent()};
+
+  TrafficReport report;
+  report.per_rank.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const RankTraffic t = ctx.rank_traffic(r);
+    report.per_rank.push_back(t);
+    report.p2p_bytes += t.p2p_bytes;
+    report.p2p_messages += t.p2p_messages;
+    report.bcast_bytes += t.bcast_bytes;
+    report.bcast_messages += t.bcast_messages;
+  }
+  report.bytes = report.p2p_bytes + report.bcast_bytes;
+  report.messages = report.p2p_messages + report.bcast_messages;
+  return report;
 }
 }  // namespace
 

@@ -13,11 +13,21 @@ namespace egt::par {
 /// rank order) is rethrown after all ranks have been joined.
 void run_ranks(int nranks, const std::function<void(Comm&)>& rank_main);
 
-/// As run_ranks, but also returns the total point-to-point traffic the run
-/// generated (bytes, messages) for communication-volume assertions.
+/// As run_ranks, but also returns the traffic the run generated, split by
+/// class (broadcast-tree vs point-to-point) and by sending rank — the
+/// paper's collective-network vs torus distinction. `bytes`/`messages` are
+/// the grand totals across both classes (historical field names).
 struct TrafficReport {
-  std::uint64_t bytes = 0;
-  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;     ///< total, both classes
+  std::uint64_t messages = 0;  ///< total, both classes
+
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t p2p_messages = 0;
+  std::uint64_t bcast_bytes = 0;
+  std::uint64_t bcast_messages = 0;
+
+  /// Send-side traffic per rank (index = rank).
+  std::vector<RankTraffic> per_rank;
 };
 TrafficReport run_ranks_traced(int nranks,
                                const std::function<void(Comm&)>& rank_main);

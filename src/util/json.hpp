@@ -1,11 +1,14 @@
-// Minimal streaming JSON writer — enough for run manifests (configuration +
-// result summaries) that downstream tooling can parse. Handles nesting,
-// comma placement, pretty-printing and string escaping; no reading.
+// Minimal JSON support: a streaming writer (run manifests, result
+// summaries) and a small recursive-descent parser (JsonValue) used to
+// validate manifests in tests and read tool output back. Not a general
+// JSON library — no streaming reads, object keys kept in document order.
 #pragma once
 
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace egt::util {
@@ -59,6 +62,54 @@ class JsonWriter {
   std::vector<bool> has_items_;
   bool expecting_value_ = false;  // a key was just written
   bool root_done_ = false;
+};
+
+/// Parsed JSON document node. Numbers are doubles (JSON has one number
+/// type); u64 counters written by JsonWriter round-trip exactly up to
+/// 2^53. Throws std::runtime_error on malformed input.
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  /// Parse one complete document (trailing whitespace allowed).
+  static JsonValue parse(std::string_view text);
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+  bool is_number() const noexcept { return type_ == Type::Number; }
+  bool is_string() const noexcept { return type_ == Type::String; }
+  bool is_bool() const noexcept { return type_ == Type::Bool; }
+
+  /// Typed accessors; throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::uint64_t as_u64() const;  ///< number, rounded to nearest integer
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;  ///< object members, document order
+
+  /// Object lookup: null when missing (or not an object).
+  const JsonValue* find(const std::string& key) const noexcept;
+  /// Object lookup; throws std::runtime_error when missing.
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  std::size_t size() const noexcept;  ///< array/object element count
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
 };
 
 }  // namespace egt::util

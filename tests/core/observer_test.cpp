@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <stdexcept>
 
 #include "core/engine.hpp"
 #include "game/named.hpp"
@@ -125,6 +127,53 @@ TEST(MultiObserver, FansOut) {
   engine.run(5, &multi);
   EXPECT_EQ(calls_a, 5);
   EXPECT_EQ(calls_b, 5);
+}
+
+TEST(MultiObserver, OwnsObserversAddedByUniquePtr) {
+  Engine engine(config());
+  int calls = 0;
+  MultiObserver multi;
+  // The unique_ptr is moved in; MultiObserver keeps the observer alive.
+  Observer& ref = multi.add(std::make_unique<CallbackObserver>(
+      [&](const pop::Population&, const GenerationRecord&) { ++calls; }));
+  (void)ref;
+  EXPECT_EQ(multi.size(), 1u);
+  engine.run(5, &multi);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(MultiObserver, MixesOwnedAndBorrowedChildren) {
+  Engine engine(config());
+  int borrowed_calls = 0, owned_calls = 0;
+  CallbackObserver borrowed(
+      [&](const pop::Population&, const GenerationRecord&) {
+        ++borrowed_calls;
+      });
+  MultiObserver multi;
+  multi.add(borrowed);
+  multi.add(std::make_unique<CallbackObserver>(
+      [&](const pop::Population&, const GenerationRecord&) {
+        ++owned_calls;
+      }));
+  EXPECT_EQ(multi.size(), 2u);
+  engine.run(3, &multi);
+  EXPECT_EQ(borrowed_calls, 3);
+  EXPECT_EQ(owned_calls, 3);
+}
+
+TEST(MultiObserver, RejectsNullObserver) {
+  MultiObserver multi;
+  EXPECT_THROW(multi.add(std::unique_ptr<Observer>{}), std::invalid_argument);
+  EXPECT_EQ(multi.size(), 0u);
+}
+
+TEST(MultiObserver, RejectsDuplicateObserver) {
+  CallbackObserver obs(
+      [](const pop::Population&, const GenerationRecord&) {});
+  MultiObserver multi;
+  multi.add(obs);
+  EXPECT_THROW(multi.add(obs), std::invalid_argument);
+  EXPECT_EQ(multi.size(), 1u);
 }
 
 }  // namespace

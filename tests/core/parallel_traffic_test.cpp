@@ -30,12 +30,48 @@ TEST(ParallelTraffic, PaperBcastPaysPerGenerationEvenWhenQuiet) {
   EXPECT_GE(res.traffic.messages, 50u * 3u);
 }
 
+TEST(ParallelTraffic, PaperBcastSplitsBroadcastFromPointToPoint) {
+  auto cfg = quiet_config();
+  cfg.comm_pattern = CommPattern::PaperBcast;
+  const auto res = run_parallel(cfg, 4);
+  // The per-generation plan travels over the broadcast tree; the only p2p
+  // traffic in a quiet run is the final fitness gather (3 block messages).
+  EXPECT_GE(res.traffic.bcast_messages, 50u * 3u);
+  EXPECT_EQ(res.traffic.p2p_messages, 3u);
+  // The two classes partition the historical totals exactly.
+  EXPECT_EQ(res.traffic.bcast_messages + res.traffic.p2p_messages,
+            res.traffic.messages);
+  EXPECT_EQ(res.traffic.bcast_bytes + res.traffic.p2p_bytes,
+            res.traffic.bytes);
+}
+
+TEST(ParallelTraffic, PerRankTrafficSumsToTotals) {
+  auto cfg = quiet_config();
+  cfg.pc_rate = 0.5;
+  cfg.mutation_rate = 0.2;
+  cfg.comm_pattern = CommPattern::PaperBcast;
+  const auto res = run_parallel(cfg, 4);
+  ASSERT_EQ(res.traffic.per_rank.size(), 4u);
+  std::uint64_t msgs = 0, bytes = 0;
+  for (const auto& r : res.traffic.per_rank) {
+    msgs += r.messages();
+    bytes += r.bytes();
+  }
+  EXPECT_EQ(msgs, res.traffic.messages);
+  EXPECT_EQ(bytes, res.traffic.bytes);
+  // Rank 0 originates every plan broadcast, so it must carry bcast traffic.
+  EXPECT_GT(res.traffic.per_rank[0].bcast_messages, 0u);
+}
+
 TEST(ParallelTraffic, ReplicatedNatureIsSilentOnQuietGenerations) {
   auto cfg = quiet_config();
   cfg.comm_pattern = CommPattern::ReplicatedNature;
   const auto res = run_parallel(cfg, 4);
   // Only the final fitness gather communicates: 3 block messages.
   EXPECT_EQ(res.traffic.messages, 3u);
+  // ...and a gather is point-to-point: no broadcast-tree traffic at all.
+  EXPECT_EQ(res.traffic.bcast_messages, 0u);
+  EXPECT_EQ(res.traffic.p2p_messages, 3u);
 }
 
 TEST(ParallelTraffic, SingleRankRunsSendAlmostNothing) {

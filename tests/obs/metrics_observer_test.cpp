@@ -1,0 +1,126 @@
+// MetricsObserver: CSV time-series schema, sampling interval and the
+// serial engine producing the same per-phase columns the manifests report.
+#include "obs/metrics_observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace egt::obs {
+namespace {
+
+core::SimConfig config() {
+  core::SimConfig cfg;
+  cfg.ssets = 8;
+  cfg.memory = 1;
+  cfg.generations = 20;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.seed = 3;
+  return cfg;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+TEST(MetricsObserver, WritesHeaderAndSampledRows) {
+  const std::string path = ::testing::TempDir() + "egt_metrics_ts.csv";
+  MetricsRegistry reg;
+  core::Engine engine(config(), &reg);
+  {
+    MetricsObserverOptions opts;
+    opts.csv_path = path;
+    opts.sample_interval = 5;
+    MetricsObserver obs(reg, opts);
+    engine.run(20, &obs);
+    EXPECT_EQ(obs.samples_written(), 4u);  // generations 0, 5, 10, 15
+  }  // destructor closes the CSV
+
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  const auto cols = split_csv_line(header);
+  const auto expected = MetricsObserver::csv_header();
+  ASSERT_EQ(cols.size(), expected.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    EXPECT_EQ(cols[i], expected[i]) << "column " << i;
+  }
+
+  std::string line;
+  int rows = 0;
+  std::vector<std::string> last;
+  while (std::getline(in, line)) {
+    last = split_csv_line(line);
+    ASSERT_EQ(last.size(), expected.size());
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4);
+  // The final row reflects a live registry: pairs_evaluated of the
+  // 8-SSet all-pairs evaluation is at least C(8,2) = 28 already.
+  EXPECT_GE(std::stod(last[4]), 28.0);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsObserver, SamplesEveryGenerationWhenIntervalIsZero) {
+  const std::string path = ::testing::TempDir() + "egt_metrics_ts_all.csv";
+  MetricsRegistry reg;
+  core::Engine engine(config(), &reg);
+  {
+    MetricsObserverOptions opts;
+    opts.csv_path = path;
+    opts.sample_interval = 0;
+    MetricsObserver obs(reg, opts);
+    engine.run(20, &obs);
+    EXPECT_EQ(obs.samples_written(), 20u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MetricsObserver, NoCsvPathMeansNoRows) {
+  MetricsRegistry reg;
+  core::Engine engine(config(), &reg);
+  MetricsObserverOptions opts;  // csv_path empty, progress off
+  MetricsObserver obs(reg, opts);
+  engine.run(20, &obs);
+  EXPECT_EQ(obs.samples_written(), 0u);
+}
+
+TEST(MetricsObserver, PhaseColumnsAreMonotonicallyNonDecreasing) {
+  const std::string path = ::testing::TempDir() + "egt_metrics_mono.csv";
+  MetricsRegistry reg;
+  core::Engine engine(config(), &reg);
+  {
+    MetricsObserverOptions opts;
+    opts.csv_path = path;
+    opts.sample_interval = 2;
+    MetricsObserver obs(reg, opts);
+    engine.run(20, &obs);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  double prev_game = -1.0, prev_wall = -1.0;
+  while (std::getline(in, line)) {
+    const auto cells = split_csv_line(line);
+    const double wall = std::stod(cells[1]);
+    const double game = std::stod(cells[8]);  // phase_game_play_s
+    EXPECT_GE(wall, prev_wall);
+    EXPECT_GE(game, prev_game);
+    prev_wall = wall;
+    prev_game = game;
+  }
+  EXPECT_GE(prev_game, 0.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace egt::obs

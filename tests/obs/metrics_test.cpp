@@ -1,0 +1,190 @@
+// Instrument semantics: counters, gauges, histogram timers, the RAII
+// ScopedTimer and cross-rank registry merging.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace egt::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, KeepsLastWrittenValue) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(Histogram, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.total_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_seconds(), 0.0);
+}
+
+TEST(Histogram, TracksCountTotalAndExtremes) {
+  Histogram h;
+  h.record_seconds(0.002);
+  h.record_seconds(0.010);
+  h.record_seconds(0.004);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.total_seconds(), 0.016, 1e-12);
+  EXPECT_NEAR(h.min_seconds(), 0.002, 1e-9);
+  EXPECT_NEAR(h.max_seconds(), 0.010, 1e-9);
+}
+
+TEST(Histogram, BucketCountsSumToSampleCount) {
+  Histogram h;
+  // Spread over several decades so multiple buckets fill.
+  for (double s : {1e-9, 1e-7, 1e-5, 1e-3, 1e-3, 0.1}) h.record_seconds(s);
+  const auto buckets = h.buckets();
+  const std::uint64_t total =
+      std::accumulate(buckets.begin(), buckets.end(), std::uint64_t{0});
+  EXPECT_EQ(total, h.count());
+  // 1 ms and 0.1 s land six bit-positions apart: distinct buckets.
+  std::size_t nonempty = 0;
+  for (auto b : buckets) nonempty += b != 0;
+  EXPECT_GE(nonempty, 4u);
+}
+
+TEST(Histogram, MergeAddsSamples) {
+  Histogram a, b;
+  a.record_seconds(0.001);
+  b.record_seconds(0.003);
+  b.record_seconds(0.0005);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.total_seconds(), 0.0045, 1e-12);
+  EXPECT_NEAR(a.min_seconds(), 0.0005, 1e-9);
+  EXPECT_NEAR(a.max_seconds(), 0.003, 1e-9);
+}
+
+TEST(Histogram, MergingAnEmptyHistogramChangesNothing) {
+  Histogram a, empty;
+  a.record_seconds(0.002);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_NEAR(a.min_seconds(), 0.002, 1e-9);
+}
+
+TEST(ScopedTimer, RecordsOneSampleOnScopeExit) {
+  Histogram h;
+  {
+    ScopedTimer t(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max_seconds(), 0.001);
+}
+
+TEST(ScopedTimer, StopIsIdempotent) {
+  Histogram h;
+  ScopedTimer t(h);
+  t.stop();
+  t.stop();
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ScopedTimer, NullHistogramIsANoOp) {
+  ScopedTimer t(static_cast<Histogram*>(nullptr));
+  t.stop();  // must not crash
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("engine.generations");
+  Counter& b = reg.counter("engine.generations");
+  EXPECT_EQ(&a, &b);
+  a.inc(5);
+  EXPECT_EQ(reg.counter("engine.generations").value(), 5u);
+  // Different names, different instruments.
+  EXPECT_NE(&reg.histogram("x"), &reg.histogram("y"));
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("b").inc(2);
+  reg.counter("a").inc(1);
+  reg.gauge("g").set(7.0);
+  reg.histogram("phase.game_play").record_seconds(0.5);
+  reg.histogram("phase.apply_update").record_seconds(0.25);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a");
+  EXPECT_EQ(snap.counters[1].name, "b");
+  EXPECT_EQ(snap.counter_value("b"), 2u);
+  EXPECT_EQ(snap.counter_value("missing"), 0u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 7.0);
+  EXPECT_NE(snap.find_histogram("phase.game_play"), nullptr);
+  EXPECT_EQ(snap.find_counter("zzz"), nullptr);
+  EXPECT_NEAR(snap.histogram_seconds("phase.game_play"), 0.5, 1e-9);
+  // phase_total_seconds sums only the "phase." histograms.
+  reg.histogram("other.timer").record_seconds(10.0);
+  EXPECT_NEAR(reg.snapshot().phase_total_seconds(), 0.75, 1e-9);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndHistograms) {
+  MetricsRegistry a, b;
+  a.counter("engine.pairs_evaluated").inc(10);
+  b.counter("engine.pairs_evaluated").inc(32);
+  b.counter("only_in_b").inc(1);
+  a.histogram("phase.game_play").record_seconds(0.25);
+  b.histogram("phase.game_play").record_seconds(0.75);
+  b.gauge("engine.ranks").set(4.0);
+  a.merge(b);
+  const auto snap = a.snapshot();
+  EXPECT_EQ(snap.counter_value("engine.pairs_evaluated"), 42u);
+  EXPECT_EQ(snap.counter_value("only_in_b"), 1u);
+  const auto* h = snap.find_histogram("phase.game_play");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_NEAR(h->total_seconds, 1.0, 1e-9);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 4.0);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreNotLost) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  Histogram& h = reg.histogram("spans");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record_seconds(1e-6);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(PhaseNames, CoverTheFiveGenerationPhases) {
+  ASSERT_EQ(std::size(phase::kAll), 5u);
+  for (const char* name : phase::kAll) {
+    EXPECT_EQ(std::string_view(name).substr(0, 6), "phase.");
+  }
+}
+
+}  // namespace
+}  // namespace egt::obs

@@ -1,0 +1,92 @@
+// Shared validator for the egt.run_manifest/v1 schema (manifest.hpp).
+// Used by the unit round-trip test and the serial/parallel integration
+// test, so the documented schema is enforced in one place.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/manifest.hpp"
+#include "util/json.hpp"
+
+namespace egt::obs::testing {
+
+inline void expect_section_object(const util::JsonValue& doc,
+                                  const std::string& key) {
+  ASSERT_TRUE(doc.has(key)) << "missing section: " << key;
+  EXPECT_TRUE(doc.at(key).is_object()) << key << " must be an object";
+}
+
+/// Assert `doc` is a well-formed egt.run_manifest/v1 document.
+/// `expect_traffic` demands the parallel-only "traffic" section too.
+inline void expect_valid_manifest(const util::JsonValue& doc,
+                                  bool expect_traffic) {
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").as_string(), kManifestSchema);
+  EXPECT_TRUE(doc.at("tool").is_string());
+  EXPECT_TRUE(doc.at("git_describe").is_string());
+  EXPECT_FALSE(doc.at("git_describe").as_string().empty());
+
+  expect_section_object(doc, "config");
+  EXPECT_TRUE(doc.at("config").at("summary").is_string());
+  EXPECT_TRUE(doc.at("config").at("fingerprint").is_number());
+
+  expect_section_object(doc, "run");
+  const auto& run = doc.at("run");
+  EXPECT_TRUE(run.at("ranks").is_number());
+  EXPECT_TRUE(run.at("generations").is_number());
+  EXPECT_GE(run.at("wall_seconds").as_number(), 0.0);
+
+  expect_section_object(doc, "phases");
+  for (const auto& [name, ph] : doc.at("phases").members()) {
+    ASSERT_TRUE(ph.is_object()) << "phase " << name;
+    // Phase keys have the "phase." prefix stripped.
+    EXPECT_EQ(name.find("phase."), std::string::npos);
+    EXPECT_GE(ph.at("seconds").as_number(), 0.0);
+    EXPECT_GE(ph.at("count").as_number(), 0.0);
+    EXPECT_GE(ph.at("min_seconds").as_number(), 0.0);
+    EXPECT_GE(ph.at("max_seconds").as_number(),
+              ph.at("min_seconds").as_number());
+  }
+
+  expect_section_object(doc, "timers");
+  for (const auto& [name, tm] : doc.at("timers").members()) {
+    ASSERT_TRUE(tm.is_object()) << "timer " << name;
+    // Timers keep their full dotted name (only "phase." is special-cased).
+    EXPECT_NE(name.rfind("phase.", 0), 0u) << name;
+    EXPECT_GE(tm.at("seconds").as_number(), 0.0);
+    EXPECT_GE(tm.at("count").as_number(), 0.0);
+  }
+
+  expect_section_object(doc, "counters");
+  for (const auto& [name, v] : doc.at("counters").members()) {
+    EXPECT_TRUE(v.is_number()) << "counter " << name;
+  }
+  expect_section_object(doc, "gauges");
+
+  if (!expect_traffic) return;
+  expect_section_object(doc, "traffic");
+  const auto& t = doc.at("traffic");
+  EXPECT_TRUE(t.at("bytes").is_number());
+  EXPECT_TRUE(t.at("messages").is_number());
+  expect_section_object(t, "p2p");
+  expect_section_object(t, "broadcast");
+  // The two classes partition the totals.
+  EXPECT_EQ(t.at("p2p").at("messages").as_u64() +
+                t.at("broadcast").at("messages").as_u64(),
+            t.at("messages").as_u64());
+  EXPECT_EQ(t.at("p2p").at("bytes").as_u64() +
+                t.at("broadcast").at("bytes").as_u64(),
+            t.at("bytes").as_u64());
+  ASSERT_TRUE(t.at("per_rank").is_array());
+  for (const auto& r : t.at("per_rank").items()) {
+    EXPECT_TRUE(r.at("rank").is_number());
+    EXPECT_TRUE(r.at("p2p_bytes").is_number());
+    EXPECT_TRUE(r.at("p2p_messages").is_number());
+    EXPECT_TRUE(r.at("bcast_bytes").is_number());
+    EXPECT_TRUE(r.at("bcast_messages").is_number());
+  }
+}
+
+}  // namespace egt::obs::testing

@@ -124,5 +124,89 @@ TEST(Json, Uint64RoundTripsExactly) {
             "[18446744073709551615]");
 }
 
+TEST(JsonValue, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(JsonValue::parse("42").as_u64(), 42u);
+}
+
+TEST(JsonValue, ParsesNestedContainers) {
+  const auto doc = JsonValue::parse(
+      R"({"xs": [1, 2, {"deep": false}], "name": "egtsim"})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.size(), 2u);
+  const auto& xs = doc.at("xs");
+  ASSERT_TRUE(xs.is_array());
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs.items()[1].as_number(), 2.0);
+  EXPECT_EQ(xs.items()[2].at("deep").as_bool(), false);
+  EXPECT_EQ(doc.at("name").as_string(), "egtsim");
+  EXPECT_TRUE(doc.has("name"));
+  EXPECT_FALSE(doc.has("missing"));
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonValue, KeepsMembersInDocumentOrder) {
+  const auto doc = JsonValue::parse(R"({"z": 1, "a": 2})");
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+}
+
+TEST(JsonValue, DecodesStringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\nd\te")").as_string(),
+            "a\"b\\c\nd\te");
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"").as_string(), "A");
+  // Non-ASCII \u escapes come back as UTF-8.
+  EXPECT_EQ(JsonValue::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonValue, RoundTripsWriterOutput) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object()
+        .field("name", "egtsim")
+        .field("ssets", 64)
+        .field("rate", 0.5)
+        .field("ok", true)
+        .key("nothing")
+        .null()
+        .key("xs")
+        .begin_array()
+        .value(1)
+        .value(2)
+        .end_array()
+        .end_object();
+  });
+  const auto doc = JsonValue::parse(out);
+  EXPECT_EQ(doc.at("name").as_string(), "egtsim");
+  EXPECT_EQ(doc.at("ssets").as_u64(), 64u);
+  EXPECT_DOUBLE_EQ(doc.at("rate").as_number(), 0.5);
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_TRUE(doc.at("nothing").is_null());
+  EXPECT_EQ(doc.at("xs").size(), 2u);
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("tru"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{} extra"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("nan"), std::runtime_error);
+}
+
+TEST(JsonValue, TypeMismatchThrows) {
+  const auto doc = JsonValue::parse("{\"a\": 1}");
+  EXPECT_THROW(doc.at("a").as_string(), std::runtime_error);
+  EXPECT_THROW(doc.at("a").as_bool(), std::runtime_error);
+  EXPECT_THROW(doc.at("missing"), std::runtime_error);
+  EXPECT_THROW(doc.at("a").items(), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace egt::util

@@ -8,13 +8,17 @@
 //   ./run_simulation --ssets 64 --memory 2 --generations 1e5 \
 //       --space mixed --noise 0.02 --series run.csv --checkpoint run.ckpt
 //   ./run_simulation ... --resume run.ckpt       # continue after a kill
+//   ./run_simulation ... --checkpoint-dir ckpts --checkpoint-every 1000
+//   ./run_simulation ... --restore ckpts/checkpoint_latest.bin
 //   ./run_simulation ... --metrics-out m.json    # egt.run_manifest/v1
 //   ./run_simulation ... --ranks 8 --metrics-out m.json   # + per-rank traffic
+//   ./run_simulation ... --ranks 8 --fault-plan faults.json  # ft engine
 //   ./run_simulation ... --progress              # gen/s + ETA heartbeat
 #include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 
 #include "analysis/coop.hpp"
 #include "analysis/heatmap.hpp"
@@ -23,6 +27,7 @@
 #include "core/engine.hpp"
 #include "core/observer.hpp"
 #include "core/parallel_engine.hpp"
+#include "ft/ft_engine.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_observer.hpp"
@@ -38,11 +43,16 @@ struct OutputPaths {
   std::string series;
   std::string heatmap;
   std::string checkpoint;
+  std::string checkpoint_dir;  // rolling checkpoints (warn-and-continue)
   std::string resume;
   std::string manifest;     // legacy summary manifest (--manifest)
   std::string metrics_out;  // egt.run_manifest/v1 (--metrics-out)
   std::string metrics_csv;  // per-phase time-series CSV (--metrics-csv)
+  std::string fault_plan;   // egt.fault_plan/v1 JSON (--fault-plan)
   std::int64_t checkpoint_every = 0;
+  double ft_detect_ms = 500.0;
+  double ft_ping_ms = 250.0;
+  int ft_max_pings = 3;
   int ranks = 0;
   bool progress = false;
 };
@@ -77,8 +87,25 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
                                        "checkpoint file to write");
   auto ckpt_every = cli.opt<std::int64_t>(
       "checkpoint-every", 0, "also checkpoint every N generations");
+  auto ckpt_dir = cli.opt<std::string>(
+      "checkpoint-dir", "",
+      "directory for rolling checkpoints (checkpoint_latest.bin every "
+      "--checkpoint-every generations + checkpoint_final.bin; unwritable "
+      "paths warn instead of aborting the run)");
   auto resume_opt =
       cli.opt<std::string>("resume", "", "checkpoint file to resume from");
+  auto restore_opt = cli.opt<std::string>(
+      "restore", "", "synonym of --resume (restore a checkpoint file)");
+  auto fault_plan_opt = cli.opt<std::string>(
+      "fault-plan", "",
+      "egt.fault_plan/v1 JSON of failures to inject; runs the "
+      "fault-tolerant engine (requires --ranks)");
+  auto ft_detect = cli.opt<double>(
+      "ft-detect-ms", 500.0, "ft failure-detection reply deadline (ms)");
+  auto ft_ping = cli.opt<double>(
+      "ft-ping-ms", 250.0, "ft ping/pong probe deadline (ms)");
+  auto ft_pings = cli.opt<int>(
+      "ft-max-pings", 3, "ft probes before a suspected rank is declared dead");
   auto manifest_opt = cli.opt<std::string>(
       "manifest", "", "write a legacy JSON summary manifest here");
   auto metrics_out_opt = cli.opt<std::string>(
@@ -125,7 +152,19 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   out.series = *series_opt;
   out.heatmap = *heatmap_opt;
   out.checkpoint = *ckpt_opt;
+  out.checkpoint_dir = *ckpt_dir;
   out.resume = *resume_opt;
+  if (!restore_opt->empty()) {
+    if (!out.resume.empty() && *restore_opt != out.resume) {
+      throw std::invalid_argument(
+          "--resume and --restore name different checkpoints; pass one");
+    }
+    out.resume = *restore_opt;
+  }
+  out.fault_plan = *fault_plan_opt;
+  out.ft_detect_ms = *ft_detect;
+  out.ft_ping_ms = *ft_ping;
+  out.ft_max_pings = *ft_pings;
   out.manifest = *manifest_opt;
   out.metrics_out = *metrics_out_opt;
   out.metrics_csv = *metrics_csv_opt;
@@ -211,6 +250,18 @@ void try_write_metrics_manifest(const std::string& path,
   }
 }
 
+/// Rolling checkpoints must not kill a long run over a bad path: warn and
+/// keep simulating (same contract as --metrics-out).
+void try_write_checkpoint_file(const egt::core::Engine& engine,
+                               const std::string& path, bool announce) {
+  try {
+    egt::core::write_checkpoint_file(engine, path);
+    if (announce) std::printf("checkpoint written: %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: %s\n", e.what());
+  }
+}
+
 void report(const egt::pop::Population& pop, const egt::core::SimConfig& cfg) {
   using namespace egt;
   std::printf("\nfinal population:\n%s", pop::format_census(pop, 5).c_str());
@@ -230,6 +281,56 @@ int run_cli(int argc, char** argv) {
   std::printf("running: %s\n", cfg.summary().c_str());
   util::Timer timer;
   obs::MetricsRegistry metrics;
+
+  if (!out.fault_plan.empty() && out.ranks <= 0) {
+    throw std::invalid_argument("--fault-plan requires --ranks N (N >= 1)");
+  }
+  if (out.ranks > 0 && !out.resume.empty()) {
+    throw std::invalid_argument(
+        "--resume/--restore is a serial-engine feature; the parallel "
+        "engines replay from generation 0");
+  }
+
+  if (!out.fault_plan.empty()) {
+    // Fault-tolerant engine: injected failures, detection and recovery.
+    ft::FtRunOptions fopts;
+    fopts.plan = ft::FaultPlan::from_file(out.fault_plan);
+    fopts.checkpoint_every =
+        out.checkpoint_every > 0
+            ? static_cast<std::uint64_t>(out.checkpoint_every)
+            : 0;
+    fopts.detect_timeout_ms = out.ft_detect_ms;
+    fopts.ping_timeout_ms = out.ft_ping_ms;
+    fopts.max_pings = out.ft_max_pings;
+    fopts.metrics = &metrics;
+    const auto result = ft::run_parallel_ft(cfg, out.ranks, fopts);
+    std::printf(
+        "fault-tolerant run on %d ranks: %d rank(s) lost, %llu "
+        "recover(ies), %llu block(s) restored, %llu recomputed\n",
+        out.ranks, result.ranks_lost,
+        static_cast<unsigned long long>(
+            result.metrics.counter_value("ft.recoveries")),
+        static_cast<unsigned long long>(
+            result.metrics.counter_value("ft.recovery.blocks_restored")),
+        static_cast<unsigned long long>(
+            result.metrics.counter_value("ft.recovery.blocks_recomputed")));
+    report(result.population, cfg);
+    const double wall = timer.seconds();
+    if (!out.metrics_out.empty()) {
+      obs::ManifestInfo info = manifest_info(cfg, out.ranks, wall);
+      info.metrics = &result.metrics;  // includes the ft.* family
+      info.traffic = &result.traffic;
+      try_write_metrics_manifest(out.metrics_out, info);
+    }
+    if (!out.manifest.empty()) {
+      write_legacy_manifest(out.manifest, cfg, result.population, wall,
+                            result.metrics.counter_value(
+                                "engine.pairs_evaluated"));
+      std::printf("manifest written: %s\n", out.manifest.c_str());
+    }
+    std::printf("wall time: %.2f s\n", wall);
+    return 0;
+  }
 
   if (out.ranks > 0) {
     // Parallel engine: same trajectory, message-passing execution.
@@ -300,6 +401,19 @@ int run_cli(int argc, char** argv) {
           }
         }));
   }
+  if (!out.checkpoint_dir.empty() && out.checkpoint_every > 0) {
+    obs.add(std::make_unique<core::CallbackObserver>(
+        [&](const pop::Population&, const core::GenerationRecord& r) {
+          if (r.generation != 0 &&
+              r.generation %
+                      static_cast<std::uint64_t>(out.checkpoint_every) ==
+                  0) {
+            try_write_checkpoint_file(
+                engine, out.checkpoint_dir + "/checkpoint_latest.bin",
+                /*announce=*/false);
+          }
+        }));
+  }
 
   const std::uint64_t remaining =
       cfg.generations > engine.generation()
@@ -310,6 +424,11 @@ int run_cli(int argc, char** argv) {
   if (!out.checkpoint.empty()) {
     core::write_checkpoint_file(engine, out.checkpoint);
     std::printf("checkpoint written: %s\n", out.checkpoint.c_str());
+  }
+  if (!out.checkpoint_dir.empty()) {
+    try_write_checkpoint_file(engine,
+                              out.checkpoint_dir + "/checkpoint_final.bin",
+                              /*announce=*/true);
   }
   if (!out.series.empty()) {
     recorder_ref.write_csv(out.series);

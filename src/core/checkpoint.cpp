@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "core/engine.hpp"
+#include "core/wire.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -12,62 +13,6 @@ namespace egt::core {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x4547544353494d31ULL;  // "EGTCSIM1"
-
-class Writer {
- public:
-  void u32(std::uint32_t v) { raw(&v, sizeof v); }
-  void u64(std::uint64_t v) { raw(&v, sizeof v); }
-  void bytes(const std::vector<std::byte>& b) {
-    u32(static_cast<std::uint32_t>(b.size()));
-    if (!b.empty()) {
-      const auto off = out_.size();
-      out_.resize(off + b.size());
-      std::memcpy(out_.data() + off, b.data(), b.size());
-    }
-  }
-  std::vector<std::byte> take() { return std::move(out_); }
-
- private:
-  void raw(const void* p, std::size_t n) {
-    const auto off = out_.size();
-    out_.resize(off + n);
-    std::memcpy(out_.data() + off, p, n);
-  }
-  std::vector<std::byte> out_;
-};
-
-class Reader {
- public:
-  explicit Reader(const std::vector<std::byte>& in) : in_(in) {}
-  std::uint32_t u32() {
-    std::uint32_t v;
-    raw(&v, sizeof v);
-    return v;
-  }
-  std::uint64_t u64() {
-    std::uint64_t v;
-    raw(&v, sizeof v);
-    return v;
-  }
-  std::vector<std::byte> bytes() {
-    const std::uint32_t n = u32();
-    EGT_REQUIRE_MSG(off_ + n <= in_.size(), "truncated checkpoint");
-    std::vector<std::byte> b(in_.begin() + static_cast<std::ptrdiff_t>(off_),
-                             in_.begin() + static_cast<std::ptrdiff_t>(off_ + n));
-    off_ += n;
-    return b;
-  }
-  bool exhausted() const noexcept { return off_ == in_.size(); }
-
- private:
-  void raw(void* p, std::size_t n) {
-    EGT_REQUIRE_MSG(off_ + n <= in_.size(), "truncated checkpoint");
-    std::memcpy(p, in_.data() + off_, n);
-    off_ += n;
-  }
-  const std::vector<std::byte>& in_;
-  std::size_t off_ = 0;
-};
 
 }  // namespace
 
@@ -105,8 +50,9 @@ std::uint64_t config_fingerprint(const SimConfig& config) {
 }
 
 std::vector<std::byte> save_checkpoint(const Engine& engine) {
-  Writer w;
+  wire::Writer w;
   w.u64(kMagic);
+  w.u32(kCheckpointVersion);
   w.u64(config_fingerprint(engine.config()));
   w.u64(engine.generation());
   const auto nature = engine.nature_agent().save_state();
@@ -123,23 +69,42 @@ std::vector<std::byte> save_checkpoint(const Engine& engine) {
 Engine restore_checkpoint(const SimConfig& config,
                           const std::vector<std::byte>& blob,
                           obs::MetricsRegistry* metrics) {
-  Reader r(blob);
-  EGT_REQUIRE_MSG(r.u64() == kMagic, "not an egtsim checkpoint");
-  EGT_REQUIRE_MSG(r.u64() == config_fingerprint(config),
-                  "checkpoint was written under a different configuration");
-  const std::uint64_t generation = r.u64();
+  wire::Reader r(blob, "checkpoint");
+  if (r.u64("magic") != kMagic) r.fail("not an egtsim checkpoint");
+  const std::uint32_t version = r.u32("version");
+  if (version != kCheckpointVersion) {
+    r.fail("unsupported checkpoint version " + std::to_string(version) +
+           " (this build reads version " +
+           std::to_string(kCheckpointVersion) + ")");
+  }
+  if (r.u64("config fingerprint") != config_fingerprint(config)) {
+    throw CheckpointError(
+        "checkpoint was written under a different configuration");
+  }
+  const std::uint64_t generation = r.u64("generation");
   pop::NatureAgent::State nature;
-  for (auto& word : nature.rng) word = r.u64();
-  nature.planned = r.u64();
-  const std::uint32_t ssets = r.u32();
-  EGT_REQUIRE_MSG(ssets == config.ssets,
-                  "checkpoint population size mismatch");
+  for (auto& word : nature.rng) word = r.u64("nature rng state");
+  nature.planned = r.u64("nature planned count");
+  const std::uint32_t ssets = r.u32("population size");
+  if (ssets != config.ssets) {
+    throw CheckpointError("checkpoint population size mismatch (blob has " +
+                          std::to_string(ssets) + " SSets, config wants " +
+                          std::to_string(config.ssets) + ")");
+  }
   std::vector<game::Strategy> strategies;
   strategies.reserve(ssets);
   for (std::uint32_t i = 0; i < ssets; ++i) {
-    strategies.push_back(game::Strategy::deserialize(r.bytes()));
+    try {
+      strategies.push_back(game::Strategy::deserialize(r.bytes("strategy")));
+    } catch (const CheckpointError&) {
+      throw;
+    } catch (const std::exception& e) {
+      // Strategy::deserialize validates its own layout; surface its
+      // complaint as a checkpoint decode failure.
+      r.fail(std::string("strategy ") + std::to_string(i) + ": " + e.what());
+    }
   }
-  EGT_REQUIRE_MSG(r.exhausted(), "trailing bytes in checkpoint");
+  r.expect_exhausted();
   return Engine(config,
                 Engine::RestoredState{generation, nature,
                                       pop::Population(std::move(strategies))},

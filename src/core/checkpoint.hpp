@@ -11,12 +11,21 @@
 // recover; restored frozen-mode runs are statistically equivalent but not
 // bit-identical. Sampled and Analytic modes restart bit-exactly (asserted
 // in tests/core/checkpoint_test.cpp).
+//
+// Format: magic + explicit version field (kCheckpointVersion), then the
+// payload. Truncated, corrupt or version-mismatched blobs throw
+// CheckpointError (a std::runtime_error, see core/wire.hpp) — never UB.
+// The fault-tolerance layer's per-rank block checkpoints
+// (ft/block_checkpoint.hpp) share the same wire helpers and versioning
+// convention.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "core/wire.hpp"
 
 namespace egt::obs {
 class MetricsRegistry;
@@ -26,6 +35,10 @@ namespace egt::core {
 
 class Engine;
 struct SimConfig;
+
+/// Bumped whenever the checkpoint payload layout changes; readers reject
+/// any other value with a clear CheckpointError.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Serialize the engine's state. The blob embeds a fingerprint of the
 /// configuration; restoring under a different config is rejected.

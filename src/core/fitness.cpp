@@ -137,6 +137,19 @@ void BlockFitness::strategy_changed(pop::SSetId k, const pop::Population& pop,
   }
 }
 
+void BlockFitness::restore_state(std::vector<double> fitness,
+                                 std::vector<double> matrix) {
+  EGT_REQUIRE_MSG(cached(),
+                  "restore_state only applies to cached fitness modes "
+                  "(Sampled mode recomputes from the population)");
+  EGT_REQUIRE_MSG(fitness.size() == fitness_.size(),
+                  "restored fitness size mismatch");
+  EGT_REQUIRE_MSG(matrix.size() == matrix_.size(),
+                  "restored payoff matrix size mismatch");
+  fitness_ = std::move(fitness);
+  matrix_ = std::move(matrix);
+}
+
 double BlockFitness::fitness(pop::SSetId i) const {
   EGT_REQUIRE_MSG(i >= begin_ && i < end_, "fitness query outside block");
   return fitness_[i - begin_];

@@ -74,6 +74,18 @@ class BlockFitness {
   /// Fitness of the whole block, indexed by (i - row_begin).
   std::span<const double> block() const noexcept { return fitness_; }
 
+  /// Cached payoff matrix (rows x ssets, cached modes only; empty for
+  /// Sampled). Exposed so the ft layer can checkpoint a block's full
+  /// evaluation state.
+  std::span<const double> payoff_matrix() const noexcept { return matrix_; }
+
+  /// Recovery fast path (cached modes only): adopt a previously computed
+  /// block state instead of re-evaluating. `fitness` must have one entry
+  /// per owned row and `matrix` rows x ssets entries. The values must come
+  /// from a block computed over the same population — the ft layer
+  /// guarantees this with a population hash check.
+  void restore_state(std::vector<double> fitness, std::vector<double> matrix);
+
   /// Games played (sampled) or pairs evaluated (analytic) so far — work
   /// accounting used by tests and the ablation bench.
   std::uint64_t pairs_evaluated() const noexcept { return pairs_; }

@@ -35,7 +35,9 @@ std::uint32_t get_u32(const std::vector<std::byte>& in, std::size_t& off) {
   return v;
 }
 
-std::vector<std::byte> encode_plan(const pop::GenerationPlan& plan) {
+}  // namespace
+
+std::vector<std::byte> encode_generation_plan(const pop::GenerationPlan& plan) {
   std::vector<std::byte> out;
   out.push_back(static_cast<std::byte>(plan.pc ? 1 : 0));
   if (plan.pc) {
@@ -53,7 +55,7 @@ std::vector<std::byte> encode_plan(const pop::GenerationPlan& plan) {
   return out;
 }
 
-pop::GenerationPlan decode_plan(const std::vector<std::byte>& in) {
+pop::GenerationPlan decode_generation_plan(const std::vector<std::byte>& in) {
   pop::GenerationPlan plan;
   std::size_t off = 0;
   EGT_REQUIRE_MSG(in.size() >= 3, "plan payload too short");
@@ -76,6 +78,8 @@ pop::GenerationPlan decode_plan(const std::vector<std::byte>& in) {
   }
   return plan;
 }
+
+namespace {
 
 // -- per-rank instrumentation -------------------------------------------------
 
@@ -183,10 +187,10 @@ void rank_main(par::Comm& comm, const SimConfig& config,
         std::vector<std::byte> wire;
         if (rank == 0) {
           plan = nature->plan_generation(&pop);
-          wire = encode_plan(plan);
+          wire = encode_generation_plan(plan);
         }
         comm.bcast(wire, 0);
-        if (rank != 0) plan = decode_plan(wire);
+        if (rank != 0) plan = decode_generation_plan(wire);
       }
     }
 

@@ -25,12 +25,22 @@
 // reported per rank, split broadcast-tree vs point-to-point.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "core/config.hpp"
 #include "obs/metrics.hpp"
 #include "par/runtime.hpp"
+#include "pop/nature.hpp"
 #include "pop/population.hpp"
 
 namespace egt::core {
+
+/// Wire codec of the per-generation event plan (the PaperBcast broadcast
+/// payload). Exposed so the fault-tolerant engine (src/ft/) ships the
+/// identical plan over its master-driven point-to-point protocol.
+std::vector<std::byte> encode_generation_plan(const pop::GenerationPlan& plan);
+pop::GenerationPlan decode_generation_plan(const std::vector<std::byte>& in);
 
 struct ParallelResult {
   pop::Population population;  ///< final strategy table + final fitness

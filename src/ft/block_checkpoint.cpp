@@ -1,0 +1,117 @@
+#include "ft/block_checkpoint.hpp"
+
+#include "util/check.hpp"
+
+namespace egt::ft {
+
+namespace {
+// "EGTFTBLK" — distinct from the engine checkpoint's magic, so feeding one
+// blob kind to the other reader fails immediately with a clear error.
+constexpr std::uint64_t kMagic = 0x4547544654424c4bull;
+}  // namespace
+
+std::vector<std::byte> BlockCheckpoint::encode() const {
+  EGT_REQUIRE(begin <= end);
+  EGT_REQUIRE(fitness.size() == static_cast<std::size_t>(end - begin));
+  EGT_REQUIRE(matrix.size() ==
+              static_cast<std::size_t>(end - begin) * matrix_cols);
+  core::wire::Writer w;
+  w.u64(kMagic);
+  w.u32(kBlockCheckpointVersion);
+  w.u64(config_fingerprint);
+  w.u64(generation);
+  w.u64(table_hash);
+  w.u32(begin);
+  w.u32(end);
+  w.u32(matrix_cols);
+  w.doubles(fitness.data(), fitness.size());
+  w.doubles(matrix.data(), matrix.size());
+  return w.take();
+}
+
+BlockCheckpoint BlockCheckpoint::decode(const std::vector<std::byte>& blob) {
+  core::wire::Reader r(blob, "block checkpoint");
+  if (r.u64("magic") != kMagic) {
+    r.fail("not a block checkpoint (bad magic)");
+  }
+  const std::uint32_t version = r.u32("version");
+  if (version != kBlockCheckpointVersion) {
+    r.fail("unsupported block checkpoint version " + std::to_string(version) +
+           " (this build reads version " +
+           std::to_string(kBlockCheckpointVersion) + ")");
+  }
+  BlockCheckpoint c;
+  c.config_fingerprint = r.u64("config fingerprint");
+  c.generation = r.u64("generation");
+  c.table_hash = r.u64("table hash");
+  c.begin = r.u32("row begin");
+  c.end = r.u32("row end");
+  c.matrix_cols = r.u32("matrix cols");
+  if (c.end < c.begin) {
+    r.fail("row range is inverted");
+  }
+  const std::size_t rows = c.end - c.begin;
+  c.fitness = r.doubles(rows, "fitness vector");
+  c.matrix = r.doubles(rows * c.matrix_cols, "payoff matrix");
+  r.expect_exhausted();
+  return c;
+}
+
+std::vector<double> BlockCheckpoint::fitness_slice(pop::SSetId b,
+                                                   pop::SSetId e) const {
+  EGT_REQUIRE_MSG(covers(b, e), "fitness slice outside checkpointed block");
+  return std::vector<double>(fitness.begin() + (b - begin),
+                             fitness.begin() + (e - begin));
+}
+
+std::vector<double> BlockCheckpoint::matrix_slice(pop::SSetId b,
+                                                  pop::SSetId e) const {
+  EGT_REQUIRE_MSG(covers(b, e), "matrix slice outside checkpointed block");
+  const std::size_t cols = matrix_cols;
+  return std::vector<double>(matrix.begin() + (b - begin) * cols,
+                             matrix.begin() + (e - begin) * cols);
+}
+
+void CheckpointStore::put(int rank, pop::SSetId begin, pop::SSetId end,
+                          std::vector<std::byte> blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.rank == rank && e.begin == begin && e.end == end) {
+      e.blob = std::move(blob);
+      return;
+    }
+  }
+  entries_.push_back({rank, begin, end, std::move(blob)});
+}
+
+std::optional<BlockCheckpoint> CheckpointStore::find_covering(
+    pop::SSetId begin, pop::SSetId end, std::uint64_t generation,
+    std::uint64_t table_hash) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    if (!(e.begin <= begin && end <= e.end)) continue;
+    try {
+      BlockCheckpoint c = BlockCheckpoint::decode(e.blob);
+      if (c.generation == generation && c.table_hash == table_hash) {
+        return c;
+      }
+    } catch (const core::CheckpointError&) {
+      // A damaged entry must not fail recovery — the recompute path covers.
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t CheckpointStore::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t CheckpointStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const Entry& e : entries_) n += e.blob.size();
+  return n;
+}
+
+}  // namespace egt::ft

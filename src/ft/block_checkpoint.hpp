@@ -1,0 +1,92 @@
+// Per-rank block checkpoints: the recovery substrate of the ft engine.
+//
+// Every checkpoint interval each rank serializes the evaluation state of
+// its owned fitness blocks — fitness vector plus, in the cached modes, the
+// full payoff matrix — into a versioned blob (same wire helpers and
+// versioning convention as core/checkpoint.hpp) and publishes it to a
+// CheckpointStore. When a rank dies, the rank adopting one of its ranges
+// first looks for a *fresh* covering blob (same generation, same strategy
+// table hash): a hit restores the block without replaying a single game; a
+// miss falls back to recomputation from the replicated strategy table —
+// recovery is then slower but still bit-exact, because fitness is a pure
+// function of (population, generation).
+//
+// The store is in-memory (the runtime's ranks are threads in one process —
+// a surviving "node" can read a dead one's last published state, playing
+// the role of the parallel file system a production MPI code would write
+// to). The blob format itself is location-independent and hardened:
+// truncated, corrupt or version-mismatched blobs throw CheckpointError.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "pop/population.hpp"
+
+namespace egt::ft {
+
+/// Bumped whenever the block-checkpoint layout changes; readers reject any
+/// other value with a clear CheckpointError.
+inline constexpr std::uint32_t kBlockCheckpointVersion = 1;
+
+/// Evaluation state of one fitness block at one instant.
+struct BlockCheckpoint {
+  std::uint64_t config_fingerprint = 0;
+  std::uint64_t generation = 0;  ///< next generation to run when captured
+  std::uint64_t table_hash = 0;  ///< pop::Population::table_hash at capture
+  pop::SSetId begin = 0;
+  pop::SSetId end = 0;
+  std::uint32_t matrix_cols = 0;  ///< ssets for cached modes, 0 for Sampled
+  std::vector<double> fitness;    ///< end - begin entries
+  std::vector<double> matrix;     ///< (end - begin) * matrix_cols entries
+
+  std::vector<std::byte> encode() const;
+  /// Throws CheckpointError on truncation, bad magic, unsupported version
+  /// or inconsistent dimensions.
+  static BlockCheckpoint decode(const std::vector<std::byte>& blob);
+
+  bool covers(pop::SSetId b, pop::SSetId e) const noexcept {
+    return begin <= b && e <= end;
+  }
+
+  /// Extract the rows of sub-range [b, e) (must be covered).
+  std::vector<double> fitness_slice(pop::SSetId b, pop::SSetId e) const;
+  std::vector<double> matrix_slice(pop::SSetId b, pop::SSetId e) const;
+};
+
+/// Thread-safe latest-blob store, keyed by (publishing rank, range). The
+/// master reads a dead rank's entries while survivors keep publishing —
+/// hence the lock.
+class CheckpointStore {
+ public:
+  /// Publish (replacing any previous blob of the same rank and range).
+  /// The blob is decoded lazily by readers; put() keeps bytes only.
+  void put(int rank, pop::SSetId begin, pop::SSetId end,
+           std::vector<std::byte> blob);
+
+  /// Latest blob covering [begin, end) that decodes cleanly and matches
+  /// (generation, table_hash) — the freshness check that makes the fast
+  /// path safe. Corrupt entries are skipped (recovery falls back to
+  /// recompute rather than failing the run).
+  std::optional<BlockCheckpoint> find_covering(pop::SSetId begin,
+                                               pop::SSetId end,
+                                               std::uint64_t generation,
+                                               std::uint64_t table_hash) const;
+
+  std::size_t entries() const;
+  std::uint64_t total_bytes() const;
+
+ private:
+  struct Entry {
+    int rank;
+    pop::SSetId begin, end;
+    std::vector<std::byte> blob;
+  };
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace egt::ft

@@ -1,0 +1,1004 @@
+#include "ft/ft_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/engine.hpp"
+#include "core/fitness.hpp"
+#include "core/parallel_engine.hpp"
+#include "core/wire.hpp"
+#include "ft/block_checkpoint.hpp"
+#include "ft/injector.hpp"
+#include "ft/ownership.hpp"
+#include "ft/protocol.hpp"
+#include "par/comm.hpp"
+#include "pop/nature.hpp"
+#include "util/check.hpp"
+
+namespace egt::ft {
+
+namespace {
+
+using core::wire::Reader;
+using core::wire::Writer;
+
+// -- instruments --------------------------------------------------------------
+
+// Same phase timers and "engine.*" counters as the base engines (so serial,
+// parallel and ft manifests are directly comparable), plus the "ft.*"
+// family. The master-side ft counters are pre-registered at rank 0 so a
+// fault-free run's manifest still reports ft.recoveries = 0 explicitly.
+struct FtInstruments {
+  obs::Histogram* game_play = nullptr;
+  obs::Histogram* plan = nullptr;
+  obs::Histogram* fitness_return = nullptr;
+  obs::Histogram* decision = nullptr;
+  obs::Histogram* apply = nullptr;
+  obs::Histogram* ckpt = nullptr;
+  obs::Histogram* recovery = nullptr;
+  obs::Counter* pairs = nullptr;           // engine.pairs_evaluated
+  obs::Counter* recovery_pairs = nullptr;  // ft.recovery.pairs_evaluated
+  obs::Counter* ckpt_writes = nullptr;
+  obs::Counter* ckpt_bytes = nullptr;
+  obs::Counter* blocks_restored = nullptr;
+  obs::Counter* blocks_recomputed = nullptr;
+  obs::Counter* heals = nullptr;
+  obs::Counter* kills = nullptr;
+  // Master only (null on workers).
+  obs::Counter* generations = nullptr;
+  obs::Counter* pc_events = nullptr;
+  obs::Counter* adoptions = nullptr;
+  obs::Counter* moran_events = nullptr;
+  obs::Counter* mutations = nullptr;
+  obs::Counter* failures = nullptr;
+  obs::Counter* recoveries = nullptr;
+  obs::Counter* suspects = nullptr;
+  obs::Counter* false_alarms = nullptr;
+  obs::Counter* resends = nullptr;
+  obs::Counter* stale = nullptr;
+
+  FtInstruments(obs::MetricsRegistry& reg, int rank) {
+    game_play = &reg.histogram(obs::phase::kGamePlay);
+    plan = &reg.histogram(obs::phase::kPlanBcast);
+    fitness_return = &reg.histogram(obs::phase::kFitnessReturn);
+    decision = &reg.histogram(obs::phase::kDecisionBcast);
+    apply = &reg.histogram(obs::phase::kApplyUpdate);
+    ckpt = &reg.histogram("phase.ft_checkpoint");
+    recovery = &reg.histogram("phase.ft_recovery");
+    pairs = &reg.counter("engine.pairs_evaluated");
+    recovery_pairs = &reg.counter("ft.recovery.pairs_evaluated");
+    ckpt_writes = &reg.counter("ft.checkpoint.writes");
+    ckpt_bytes = &reg.counter("ft.checkpoint.bytes");
+    blocks_restored = &reg.counter("ft.recovery.blocks_restored");
+    blocks_recomputed = &reg.counter("ft.recovery.blocks_recomputed");
+    heals = &reg.counter("ft.heals");
+    kills = &reg.counter("ft.faults.kills");
+    if (rank == 0) {
+      generations = &reg.counter("engine.generations");
+      pc_events = &reg.counter("engine.pc_events");
+      adoptions = &reg.counter("engine.adoptions");
+      moran_events = &reg.counter("engine.moran_events");
+      mutations = &reg.counter("engine.mutations");
+      failures = &reg.counter("ft.failures_detected");
+      recoveries = &reg.counter("ft.recoveries");
+      suspects = &reg.counter("ft.suspected_ranks");
+      false_alarms = &reg.counter("ft.false_alarms");
+      resends = &reg.counter("ft.resends");
+      stale = &reg.counter("ft.stale_messages");
+    }
+  }
+
+  static void inc(obs::Counter* c, std::uint64_t n = 1) {
+    if (c != nullptr) c->inc(n);
+  }
+};
+
+// -- owned fitness blocks -----------------------------------------------------
+
+// A rank's set of owned fitness blocks. Starts as the single fault-free
+// BlockPartition range; grows when ranges are adopted from dead ranks.
+// Pairs accounting follows the fault-free ledger: startup initialization
+// and per-generation work count to "engine.pairs_evaluated" (so the merged
+// total matches a fault-free run under kill-only plans); work that only
+// exists because of recovery counts to "ft.recovery.pairs_evaluated".
+class BlockSet {
+ public:
+  BlockSet(const core::SimConfig& config,
+           std::shared_ptr<const pop::InteractionGraph> graph,
+           FtInstruments& ins)
+      : config_(config), graph_(std::move(graph)), ins_(ins) {}
+
+  bool cached_mode() const noexcept {
+    return config_.fitness_mode != core::FitnessMode::Sampled;
+  }
+
+  /// Fault-free startup block: initialization counts to engine.pairs, as
+  /// in the base engines.
+  void add_initial(pop::SSetId begin, pop::SSetId end,
+                   const pop::Population& pop) {
+    Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0};
+    {
+      obs::ScopedTimer t(ins_.game_play);
+      blk.fit.initialize(pop);
+    }
+    blk.accounted = blk.fit.pairs_evaluated();
+    ins_.pairs->inc(blk.accounted);
+    blk.snapshot.assign(blk.fit.block().size(), 0.0);
+    blocks_.push_back(std::move(blk));
+  }
+
+  void begin_generation(const pop::Population& pop, std::uint64_t gen) {
+    obs::ScopedTimer t(ins_.game_play);
+    for (Block& b : blocks_) {
+      b.fit.begin_generation(pop, gen);
+      b.snapshot.assign(b.fit.block().begin(), b.fit.block().end());
+    }
+    changed_this_gen_.clear();
+    account_engine_pairs();
+  }
+
+  void strategy_changed(pop::SSetId k, const pop::Population& pop,
+                        std::uint64_t gen) {
+    for (Block& b : blocks_) b.fit.strategy_changed(k, pop, gen);
+    changed_this_gen_.push_back(k);
+  }
+
+  bool owns(pop::SSetId i) const noexcept {
+    for (const Block& b : blocks_) {
+      if (i >= b.fit.row_begin() && i < b.fit.row_end()) return true;
+    }
+    return false;
+  }
+
+  bool owns_range(pop::SSetId begin, pop::SSetId end) const noexcept {
+    for (const Block& b : blocks_) {
+      if (b.fit.row_begin() == begin && b.fit.row_end() == end) return true;
+    }
+    return false;
+  }
+
+  double fitness(pop::SSetId i) const {
+    for (const Block& b : blocks_) {
+      if (i >= b.fit.row_begin() && i < b.fit.row_end()) return b.fit.fitness(i);
+    }
+    EGT_REQUIRE_MSG(false, "fitness query on unowned SSet");
+    return 0.0;
+  }
+
+  /// Current fitness of every owned block into `full` (indexed by SSet).
+  void fill_current(std::vector<double>& full) const {
+    for (const Block& b : blocks_) {
+      std::copy(b.fit.block().begin(), b.fit.block().end(),
+                full.begin() + b.fit.row_begin());
+    }
+  }
+
+  /// Top-of-generation snapshot of every owned block into `full`.
+  void fill_snapshot(std::vector<double>& full) const {
+    for (const Block& b : blocks_) {
+      std::copy(b.snapshot.begin(), b.snapshot.end(),
+                full.begin() + b.fit.row_begin());
+    }
+  }
+
+  /// Append every owned block as (begin, end, doubles) using `snapshot` or
+  /// current values — the BLOCKS / FINAL reply payload.
+  void encode_ranges(Writer& w, bool snapshot) const {
+    w.u32(static_cast<std::uint32_t>(blocks_.size()));
+    for (const Block& b : blocks_) {
+      w.u32(b.fit.row_begin());
+      w.u32(b.fit.row_end());
+      if (snapshot) {
+        w.doubles(b.snapshot.data(), b.snapshot.size());
+      } else {
+        w.doubles(b.fit.block().data(), b.fit.block().size());
+      }
+    }
+  }
+
+  /// Adopt range [begin, end) from a dead rank, mid-generation `gen`.
+  /// `pop` is the current population replica; `pop_gen_start` its state at
+  /// the top of `gen` (before this generation's updates).
+  ///
+  /// Fast path: a fresh covering block checkpoint restores the exact
+  /// doubles (bit-exact, zero games). Recompute path: Sampled re-plays the
+  /// block with this generation's streams from the top-of-generation
+  /// population (bit-exact by purity; counts to engine.pairs exactly as
+  /// the dead rank's evaluation would have); cached modes re-initialize
+  /// from scratch and replay this generation's strategy changes (recovery
+  /// work, counts to ft.recovery.pairs_evaluated).
+  void adopt(pop::SSetId begin, pop::SSetId end, const pop::Population& pop,
+             const pop::Population& pop_gen_start, std::uint64_t gen,
+             const CheckpointStore& store, std::uint64_t fingerprint) {
+    obs::ScopedTimer t(ins_.recovery);
+    Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0};
+    std::optional<BlockCheckpoint> hit;
+    if (cached_mode()) {
+      hit = store.find_covering(begin, end, gen, pop.table_hash());
+    }
+    if (hit && hit->matrix_cols == config_.ssets &&
+        hit->config_fingerprint == fingerprint) {
+      blk.fit.restore_state(hit->fitness_slice(begin, end),
+                            hit->matrix_slice(begin, end));
+      blk.snapshot.assign(blk.fit.block().begin(), blk.fit.block().end());
+      FtInstruments::inc(ins_.blocks_restored);
+    } else {
+      if (cached_mode()) {
+        blk.fit.initialize(pop_gen_start);
+        FtInstruments::inc(ins_.recovery_pairs, blk.fit.pairs_evaluated());
+        blk.accounted = blk.fit.pairs_evaluated();
+      }
+      blk.fit.begin_generation(pop_gen_start, gen);
+      ins_.pairs->inc(blk.fit.pairs_evaluated() - blk.accounted);
+      blk.accounted = blk.fit.pairs_evaluated();
+      // Snapshot = top-of-generation values, before this generation's
+      // updates (which are replayed on top for the cached modes below).
+      blk.snapshot.assign(blk.fit.block().begin(), blk.fit.block().end());
+      for (pop::SSetId k : changed_this_gen_) {
+        blk.fit.strategy_changed(k, pop, gen);
+      }
+      FtInstruments::inc(ins_.recovery_pairs,
+                         blk.fit.pairs_evaluated() - blk.accounted);
+      FtInstruments::inc(ins_.blocks_recomputed);
+    }
+    blk.accounted = blk.fit.pairs_evaluated();
+    blocks_.push_back(std::move(blk));
+  }
+
+  /// Publish one checkpoint blob per owned block. `next_gen` labels the
+  /// generation the captured values are valid for (gen + 1 at end-of-gen).
+  void checkpoint_to(CheckpointStore& store, int rank, std::uint64_t next_gen,
+                     std::uint64_t table_hash,
+                     std::uint64_t fingerprint) const {
+    obs::ScopedTimer t(ins_.ckpt);
+    for (const Block& b : blocks_) {
+      BlockCheckpoint c;
+      c.config_fingerprint = fingerprint;
+      c.generation = next_gen;
+      c.table_hash = table_hash;
+      c.begin = b.fit.row_begin();
+      c.end = b.fit.row_end();
+      const auto matrix = b.fit.payoff_matrix();
+      c.matrix_cols = matrix.empty() ? 0 : config_.ssets;
+      c.fitness.assign(b.fit.block().begin(), b.fit.block().end());
+      c.matrix.assign(matrix.begin(), matrix.end());
+      auto blob = c.encode();
+      FtInstruments::inc(ins_.ckpt_writes);
+      FtInstruments::inc(ins_.ckpt_bytes, blob.size());
+      store.put(rank, c.begin, c.end, std::move(blob));
+    }
+  }
+
+  /// Move the growth of the pairs counters since the last accounting into
+  /// engine.pairs_evaluated (per-generation work: begin_generation and
+  /// strategy_changed deltas, both of which a fault-free run also pays).
+  void account_engine_pairs() {
+    for (Block& b : blocks_) {
+      const std::uint64_t now = b.fit.pairs_evaluated();
+      ins_.pairs->inc(now - b.accounted);
+      b.accounted = now;
+    }
+  }
+
+ private:
+  struct Block {
+    core::BlockFitness fit;
+    std::vector<double> snapshot;  // top-of-generation values
+    std::uint64_t accounted = 0;   // pairs already flushed to a counter
+  };
+
+  core::SimConfig config_;
+  std::shared_ptr<const pop::InteractionGraph> graph_;
+  FtInstruments& ins_;
+  std::vector<Block> blocks_;
+  // Strategy changes applied in the current generation, in order —
+  // replayed onto blocks adopted mid-generation.
+  std::vector<pop::SSetId> changed_this_gen_;
+};
+
+// -- message codecs -----------------------------------------------------------
+
+constexpr const char* kWhat = "ft protocol message";
+
+// The decision(s) of one generation, as carried by DECIDE messages and by
+// the next PLAN's heal fields.
+struct Decision {
+  std::uint64_t gen = 0;
+  bool adopted = false;
+  bool has_moran = false;
+  pop::MoranPick pick;
+};
+
+void put_decision_body(Writer& w, const Decision& d) {
+  w.u8(d.adopted ? 1 : 0);
+  w.u8(d.has_moran ? 1 : 0);
+  w.u32(d.pick.reproducer);
+  w.u32(d.pick.dying);
+}
+
+Decision get_decision_body(Reader& r, std::uint64_t gen) {
+  Decision d;
+  d.gen = gen;
+  d.adopted = r.u8("adopted") != 0;
+  d.has_moran = r.u8("has moran") != 0;
+  d.pick.reproducer = r.u32("moran reproducer");
+  d.pick.dying = r.u32("moran dying");
+  return d;
+}
+
+std::vector<std::byte> encode_plan_msg(std::uint64_t gen,
+                                       const std::optional<Decision>& prev,
+                                       const std::vector<std::byte>& plan) {
+  Writer w;
+  w.u64(gen);
+  w.u8(prev ? 1 : 0);
+  if (prev) {
+    w.u64(prev->gen);
+    put_decision_body(w, *prev);
+  }
+  w.bytes(plan);
+  return w.take();
+}
+
+std::vector<std::byte> encode_u64(std::uint64_t v) {
+  Writer w;
+  w.u64(v);
+  return w.take();
+}
+
+std::uint64_t decode_u64(const par::Message& m, const char* field) {
+  Reader r(m.payload, kWhat);
+  const std::uint64_t v = r.u64(field);
+  r.expect_exhausted();
+  return v;
+}
+
+// PC-stage decide (adoption only) vs final-stage decide (moran + done).
+enum class DecideStage : std::uint8_t { Pc = 0, Final = 1 };
+
+std::vector<std::byte> encode_decide(DecideStage stage, const Decision& d) {
+  Writer w;
+  w.u64(d.gen);
+  w.u8(static_cast<std::uint8_t>(stage));
+  put_decision_body(w, d);
+  return w.take();
+}
+
+// -- rank programs ------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+struct Shared {
+  const core::SimConfig& config;
+  const FtRunOptions& options;
+  CheckpointStore store;
+  std::uint64_t fingerprint = 0;
+  std::chrono::nanoseconds detect{0};
+  std::chrono::nanoseconds ping{0};
+};
+
+// Applies one generation's scheduled updates in the fault-free order:
+// PC adoption, Moran replacement, mutation. `apply_pc` / `apply_rest`
+// split the two decision stages (the Moran gather must see post-adoption
+// fitness, exactly as in the base engines).
+void apply_pc_stage(BlockSet& blocks, pop::Population& pop,
+                    const pop::GenerationPlan& plan, const Decision& d,
+                    std::uint64_t gen, FtInstruments& ins) {
+  if (plan.pc && d.adopted) {
+    FtInstruments::inc(ins.adoptions);
+    obs::ScopedTimer t(ins.apply);
+    pop.set_strategy(plan.pc->learner, pop.strategy(plan.pc->teacher));
+    blocks.strategy_changed(plan.pc->learner, pop, gen);
+  }
+}
+
+void apply_final_stage(BlockSet& blocks, pop::Population& pop,
+                       const pop::GenerationPlan& plan, const Decision& d,
+                       std::uint64_t gen, FtInstruments& ins) {
+  if (plan.moran && d.pick.is_change()) {
+    obs::ScopedTimer t(ins.apply);
+    pop.set_strategy(d.pick.dying, pop.strategy(d.pick.reproducer));
+    blocks.strategy_changed(d.pick.dying, pop, gen);
+  }
+  if (plan.mutation) {
+    FtInstruments::inc(ins.mutations);
+    obs::ScopedTimer t(ins.apply);
+    pop.set_strategy(plan.mutation->target, plan.mutation->strategy);
+    blocks.strategy_changed(plan.mutation->target, pop, gen);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker: an event loop over messages from the master (rank 0, immortal —
+// a worker never blocks on a rank that can die). All the state a worker
+// needs to act on a message is local; duplicated messages (resends after a
+// dropped reply) are detected by generation / epoch / request id and
+// re-acknowledged without redoing work.
+// ---------------------------------------------------------------------------
+
+void worker_main(par::Comm& comm, Shared& shared,
+                 obs::MetricsRegistry& registry) {
+  const core::SimConfig& config = shared.config;
+  const int rank = comm.rank();
+  FtInstruments ins(registry, rank);
+
+  pop::Population pop = core::make_initial_population(config);
+  pop::Population pop_gen_start = pop;
+  const auto graph = core::make_shared_graph(config);
+  OwnershipTable table = OwnershipTable::initial(config.ssets, comm.size());
+  BlockSet blocks(config, graph, ins);
+  for (const auto& [b, e] : table.ranges_of(rank)) {
+    blocks.add_initial(b, e, pop);
+  }
+
+  const std::optional<std::uint64_t> kill_gen =
+      shared.options.plan.kill_generation(rank);
+  std::int64_t last_gen = -1;
+  std::uint32_t applied_epoch = 0;
+  // The generation plan currently awaiting its decision message(s).
+  struct Pending {
+    std::uint64_t gen;
+    pop::GenerationPlan plan;
+    bool pc_applied = false;
+  };
+  std::optional<Pending> pending;
+
+  auto finish_generation = [&](std::uint64_t gen) {
+    blocks.account_engine_pairs();
+    const std::uint64_t every = shared.options.checkpoint_every;
+    if (every > 0 && (gen + 1) % every == 0) {
+      blocks.checkpoint_to(shared.store, rank, gen + 1, pop.table_hash(),
+                           shared.fingerprint);
+    }
+  };
+
+  for (;;) {
+    const par::Message m = comm.recv(0, par::kAnyTag);
+    switch (m.tag) {
+      case tag::kPlan: {
+        Reader r(m.payload, kWhat);
+        const std::uint64_t gen = r.u64("generation");
+        std::optional<Decision> prev;
+        if (r.u8("has prev decision") != 0) {
+          const std::uint64_t pgen = r.u64("prev generation");
+          prev = get_decision_body(r, pgen);
+        }
+        const auto plan_wire = r.bytes("plan payload");
+        r.expect_exhausted();
+        if (kill_gen && *kill_gen == gen) {
+          // The injected crash: stop participating, silently. The plan for
+          // this generation dies with us and must be recovered.
+          FtInstruments::inc(ins.kills);
+          return;
+        }
+        if (static_cast<std::int64_t>(gen) < last_gen) break;  // ancient dup
+        if (static_cast<std::int64_t>(gen) == last_gen) {
+          // Resend after a dropped ack: re-acknowledge, don't redo.
+          comm.send(0, tag::kPlanAck, encode_u64(gen));
+          break;
+        }
+        // Heal: if the previous generation's decision never arrived, the
+        // plan carries it (FIFO order from rank 0 makes this safe).
+        if (pending && prev && prev->gen == pending->gen) {
+          FtInstruments::inc(ins.heals);
+          if (!pending->pc_applied) {
+            apply_pc_stage(blocks, pop, pending->plan, *prev, pending->gen,
+                           ins);
+          }
+          apply_final_stage(blocks, pop, pending->plan, *prev, pending->gen,
+                            ins);
+          pending.reset();
+          finish_generation(prev->gen);
+        }
+        EGT_ASSERT(!pending);
+        blocks.begin_generation(pop, gen);
+        pop_gen_start = pop;
+        pop::GenerationPlan plan = core::decode_generation_plan(plan_wire);
+        if (plan.pc || plan.moran) {
+          pending = Pending{gen, std::move(plan), false};
+        } else {
+          apply_final_stage(blocks, pop, plan, Decision{}, gen, ins);
+          finish_generation(gen);
+        }
+        last_gen = static_cast<std::int64_t>(gen);
+        comm.send(0, tag::kPlanAck, encode_u64(gen));
+        break;
+      }
+      case tag::kDecide: {
+        Reader r(m.payload, kWhat);
+        const std::uint64_t gen = r.u64("generation");
+        const auto stage = static_cast<DecideStage>(r.u8("stage"));
+        const Decision d = get_decision_body(r, gen);
+        r.expect_exhausted();
+        if (!pending || pending->gen != gen) break;  // stale duplicate
+        if (stage == DecideStage::Pc) {
+          if (!pending->pc_applied) {
+            apply_pc_stage(blocks, pop, pending->plan, d, gen, ins);
+            pending->pc_applied = true;
+          }
+          if (!pending->plan.moran) {
+            apply_final_stage(blocks, pop, pending->plan, d, gen, ins);
+            pending.reset();
+            finish_generation(gen);
+          }
+        } else {
+          if (!pending->pc_applied) {
+            apply_pc_stage(blocks, pop, pending->plan, d, gen, ins);
+          }
+          apply_final_stage(blocks, pop, pending->plan, d, gen, ins);
+          pending.reset();
+          finish_generation(gen);
+        }
+        break;
+      }
+      case tag::kReqFit: {
+        Reader r(m.payload, kWhat);
+        const std::uint64_t req = r.u64("request id");
+        const pop::SSetId k = r.u32("sset");
+        r.expect_exhausted();
+        EGT_REQUIRE_MSG(blocks.owns(k),
+                        "ft protocol: fitness request for unowned SSet");
+        Writer w;
+        w.u64(req);
+        w.f64(blocks.fitness(k));
+        comm.send(0, tag::kFit, w.take());
+        break;
+      }
+      case tag::kReqBlocks: {
+        Reader r(m.payload, kWhat);
+        const std::uint64_t req = r.u64("request id");
+        const std::uint64_t gen = r.u64("generation");
+        const bool adopted = r.u8("adopted") != 0;
+        r.expect_exhausted();
+        // The gather must see post-adoption fitness (fault-free ordering
+        // guarantees it via FIFO; a dropped PC decide would break it), so
+        // the request carries the PC decision and heals a missed one.
+        if (pending && pending->gen == gen && !pending->pc_applied &&
+            pending->plan.pc) {
+          Decision d;
+          d.gen = gen;
+          d.adopted = adopted;
+          FtInstruments::inc(ins.heals);
+          apply_pc_stage(blocks, pop, pending->plan, d, gen, ins);
+          pending->pc_applied = true;
+        }
+        Writer w;
+        w.u64(req);
+        blocks.encode_ranges(w, /*snapshot=*/false);
+        comm.send(0, tag::kBlocks, w.take());
+        break;
+      }
+      case tag::kPing: {
+        comm.send(0, tag::kPong, encode_u64(decode_u64(m, "ping seq")));
+        break;
+      }
+      case tag::kReconfig: {
+        Reader r(m.payload, kWhat);
+        const std::uint64_t gen = r.u64("generation");
+        const std::uint32_t epoch = r.u32("epoch");
+        OwnershipTable next = OwnershipTable::decode(r);
+        r.expect_exhausted();
+        if (epoch > applied_epoch) {
+          table = std::move(next);
+          applied_epoch = epoch;
+          for (const auto& [b, e] : table.ranges_of(rank)) {
+            if (!blocks.owns_range(b, e)) {
+              blocks.adopt(b, e, pop, pop_gen_start, gen, shared.store,
+                           shared.fingerprint);
+            }
+          }
+        }
+        // Ack with the newest applied epoch (acks are cumulative).
+        Writer w;
+        w.u32(applied_epoch);
+        comm.send(0, tag::kReconfigAck, w.take());
+        break;
+      }
+      case tag::kStop: {
+        // Reply with the final snapshot but keep serving (the reply may be
+        // dropped and re-requested); kBye releases the thread.
+        const std::uint64_t req = decode_u64(m, "request id");
+        Writer w;
+        w.u64(req);
+        blocks.encode_ranges(w, /*snapshot=*/true);
+        comm.send(0, tag::kFinal, w.take());
+        break;
+      }
+      case tag::kBye:
+        return;
+      default:
+        EGT_REQUIRE_MSG(false, "ft protocol: unexpected message tag");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Master (rank 0): Nature Agent + failure detector + recovery coordinator.
+// ---------------------------------------------------------------------------
+
+void master_main(par::Comm& comm, Shared& shared,
+                 std::optional<pop::Population>& result_slot,
+                 int& ranks_lost, obs::MetricsRegistry& registry) {
+  const core::SimConfig& config = shared.config;
+  FtInstruments ins(registry, 0);
+
+  pop::Population pop = core::make_initial_population(config);
+  pop::Population pop_gen_start = pop;
+  const auto graph = core::make_shared_graph(config);
+  OwnershipTable table = OwnershipTable::initial(config.ssets, comm.size());
+  BlockSet blocks(config, graph, ins);
+  for (const auto& [b, e] : table.ranges_of(0)) {
+    blocks.add_initial(b, e, pop);
+  }
+
+  auto nc = config.nature_config();
+  nc.graph = graph;
+  pop::NatureAgent nature(nc);
+
+  std::vector<int> alive;  // live workers, ascending
+  for (int w = 1; w < comm.size(); ++w) alive.push_back(w);
+  std::uint32_t epoch = 0;
+  std::uint64_t ping_seq = 0;
+  std::uint64_t req_seq = 0;
+  std::uint64_t current_gen = 0;
+
+  auto is_alive = [&](int w) {
+    return std::find(alive.begin(), alive.end(), w) != alive.end();
+  };
+
+  // Probe a suspected rank: true = it answered (false alarm).
+  auto probe = [&](int w) {
+    for (int attempt = 0; attempt < shared.options.max_pings; ++attempt) {
+      const std::uint64_t seq = ++ping_seq;
+      comm.send(w, tag::kPing, encode_u64(seq));
+      const auto deadline = Clock::now() + shared.ping;
+      for (;;) {
+        const auto left = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline - Clock::now());
+        if (left <= std::chrono::nanoseconds::zero()) break;
+        auto reply = comm.recv_for(w, tag::kPong, left);
+        if (!reply) break;
+        if (decode_u64(*reply, "pong seq") == seq) return true;
+        FtInstruments::inc(ins.stale);  // a pong from an earlier probe
+      }
+    }
+    return false;
+  };
+
+  // Deadline-wait for a reply from `w`. `accept` consumes a matching
+  // message (false = stale, keep waiting); on timeout the rank is probed —
+  // alive reruns `resend` and keeps waiting, silence returns false (dead).
+  auto await_from = [&](int w, int tagv, auto&& accept, auto&& resend) {
+    for (;;) {
+      auto m = comm.recv_for(w, tagv, shared.detect);
+      if (m) {
+        if (accept(*m)) return true;
+        FtInstruments::inc(ins.stale);
+        continue;
+      }
+      FtInstruments::inc(ins.suspects);
+      if (!probe(w)) return false;
+      FtInstruments::inc(ins.false_alarms);
+      FtInstruments::inc(ins.resends);
+      resend();
+    }
+  };
+
+  // Declares `w` dead and re-establishes the invariants: ownership table
+  // re-partitioned, locally-owed ranges adopted, RECONFIG acknowledged by
+  // every survivor. Recursion on a nested death (only reachable through
+  // false-positive evictions) is bounded by the rank count.
+  std::function<void(int)> handle_death = [&](int dead) {
+    FtInstruments::inc(ins.failures);
+    FtInstruments::inc(ins.recoveries);
+    ++ranks_lost;
+    alive.erase(std::remove(alive.begin(), alive.end(), dead), alive.end());
+    std::vector<int> survivors{0};
+    survivors.insert(survivors.end(), alive.begin(), alive.end());
+    table.reassign(dead, survivors);
+    const std::uint32_t target_epoch = ++epoch;
+    for (const auto& [b, e] : table.ranges_of(0)) {
+      if (!blocks.owns_range(b, e)) {
+        blocks.adopt(b, e, pop, pop_gen_start, current_gen, shared.store,
+                     shared.fingerprint);
+      }
+    }
+    Writer w;
+    w.u64(current_gen);
+    w.u32(target_epoch);
+    table.encode(w);
+    const auto wire = w.take();
+    for (int r : alive) comm.send(r, tag::kReconfig, wire);
+    const std::vector<int> expected = alive;
+    for (int r : expected) {
+      if (!is_alive(r)) continue;  // lost to a nested death
+      const bool ok = await_from(
+          r, tag::kReconfigAck,
+          [&](const par::Message& m) {
+            Reader rd(m.payload, kWhat);
+            const std::uint32_t acked = rd.u32("acked epoch");
+            rd.expect_exhausted();
+            return acked >= target_epoch;
+          },
+          [&] { comm.send(r, tag::kReconfig, wire); });
+      if (!ok) handle_death(r);
+    }
+  };
+
+  // Current fitness of one SSet, wherever it lives.
+  auto fitness_of = [&](pop::SSetId k) {
+    for (;;) {
+      const int owner = table.owner_of(k);
+      if (owner == 0) return blocks.fitness(k);
+      const std::uint64_t req = ++req_seq;
+      Writer w;
+      w.u64(req);
+      w.u32(k);
+      const auto wire = w.take();
+      comm.send(owner, tag::kReqFit, wire);
+      double value = 0.0;
+      const bool ok = await_from(
+          owner, tag::kFit,
+          [&](const par::Message& m) {
+            Reader r(m.payload, kWhat);
+            const std::uint64_t id = r.u64("request id");
+            const double v = r.f64("fitness");
+            r.expect_exhausted();
+            if (id != req) return false;
+            value = v;
+            return true;
+          },
+          [&] { comm.send(owner, tag::kReqFit, wire); });
+      if (ok) return value;
+      handle_death(owner);  // retry against the new owner
+    }
+  };
+
+  // The whole population's current fitness (the Moran gather). The request
+  // restates this generation's PC decision so a worker whose DECIDE was
+  // dropped can heal before replying — the gather must see post-adoption
+  // fitness to match the fault-free trajectory.
+  auto collect_full = [&](std::uint64_t gen, bool adopted) {
+    for (;;) {
+      std::vector<double> full(config.ssets, 0.0);
+      blocks.fill_current(full);
+      const std::uint64_t req = ++req_seq;
+      Writer rw;
+      rw.u64(req);
+      rw.u64(gen);
+      rw.u8(adopted ? 1 : 0);
+      const auto wire = rw.take();
+      for (int w : alive) comm.send(w, tag::kReqBlocks, wire);
+      bool lost = false;
+      const std::vector<int> expected = alive;
+      for (int w : expected) {
+        if (!is_alive(w)) continue;
+        const bool ok = await_from(
+            w, tag::kBlocks,
+            [&](const par::Message& m) {
+              Reader r(m.payload, kWhat);
+              if (r.u64("request id") != req) return false;
+              const std::uint32_t n = r.u32("range count");
+              for (std::uint32_t i = 0; i < n; ++i) {
+                const pop::SSetId b = r.u32("range begin");
+                const pop::SSetId e = r.u32("range end");
+                if (e < b || e > config.ssets) r.fail("range out of bounds");
+                const auto vals = r.doubles(e - b, "range fitness");
+                std::copy(vals.begin(), vals.end(), full.begin() + b);
+              }
+              r.expect_exhausted();
+              return true;
+            },
+            [&] { comm.send(w, tag::kReqBlocks, wire); });
+        if (!ok) {
+          handle_death(w);
+          lost = true;
+          break;
+        }
+      }
+      // A death mid-gather invalidates the round (the new owner's values
+      // were not requested) — rerun it with a fresh request id; late
+      // replies to the old id are discarded as stale.
+      if (!lost) return full;
+    }
+  };
+
+  std::optional<Decision> prev_decision;
+
+  for (std::uint64_t gen = 0; gen < config.generations; ++gen) {
+    current_gen = gen;
+    blocks.begin_generation(pop, gen);
+    pop_gen_start = pop;
+
+    pop::GenerationPlan plan;
+    {
+      obs::ScopedTimer t(ins.plan);
+      plan = nature.plan_generation(&pop);
+      const auto wire = encode_plan_msg(
+          gen, prev_decision, core::encode_generation_plan(plan));
+      for (int w : alive) comm.send(w, tag::kPlan, wire);
+      // Collect acks — the per-generation heartbeat. A killed rank is
+      // detected here, before any of this generation's decisions.
+      const std::vector<int> expected = alive;
+      for (int w : expected) {
+        if (!is_alive(w)) continue;
+        const bool ok = await_from(
+            w, tag::kPlanAck,
+            [&](const par::Message& m) {
+              return decode_u64(m, "acked generation") == gen;
+            },
+            [&] {
+              comm.send(w, tag::kPlan,
+                        encode_plan_msg(gen, prev_decision,
+                                        core::encode_generation_plan(plan)));
+            });
+        if (!ok) handle_death(w);
+      }
+    }
+    prev_decision.reset();
+
+    Decision decision;
+    decision.gen = gen;
+    if (plan.pc) {
+      FtInstruments::inc(ins.pc_events);
+      double tf = 0.0, lf = 0.0;
+      {
+        obs::ScopedTimer t(ins.fitness_return);
+        tf = fitness_of(plan.pc->teacher);
+        lf = fitness_of(plan.pc->learner);
+      }
+      {
+        obs::ScopedTimer t(ins.decision);
+        decision.adopted = nature.decide_adoption(tf, lf);
+        const auto wire = encode_decide(DecideStage::Pc, decision);
+        for (int w : alive) comm.send(w, tag::kDecide, wire);
+      }
+      apply_pc_stage(blocks, pop, plan, decision, gen, ins);
+    }
+    if (plan.moran) {
+      FtInstruments::inc(ins.moran_events);
+      decision.has_moran = true;
+      std::vector<double> full;
+      {
+        obs::ScopedTimer t(ins.fitness_return);
+        full = collect_full(gen, decision.adopted);
+      }
+      {
+        obs::ScopedTimer t(ins.decision);
+        decision.pick = nature.select_moran(full);
+        const auto wire = encode_decide(DecideStage::Final, decision);
+        for (int w : alive) comm.send(w, tag::kDecide, wire);
+      }
+    }
+    apply_final_stage(blocks, pop, plan, decision, gen, ins);
+    blocks.account_engine_pairs();
+    if (plan.pc || plan.moran) prev_decision = decision;
+    FtInstruments::inc(ins.generations);
+
+    const std::uint64_t every = shared.options.checkpoint_every;
+    if (every > 0 && (gen + 1) % every == 0) {
+      blocks.checkpoint_to(shared.store, 0, gen + 1, pop.table_hash(),
+                           shared.fingerprint);
+    }
+  }
+
+  // Final snapshot gather (top-of-last-generation fitness, matching the
+  // base engines). Workers keep serving until the explicit release, so a
+  // dropped FINAL reply is simply re-requested.
+  current_gen = config.generations > 0 ? config.generations - 1 : 0;
+  for (;;) {
+    std::vector<double> final_fit(config.ssets, 0.0);
+    blocks.fill_snapshot(final_fit);
+    const std::uint64_t req = ++req_seq;
+    const auto wire = encode_u64(req);
+    for (int w : alive) comm.send(w, tag::kStop, wire);
+    bool lost = false;
+    const std::vector<int> expected = alive;
+    for (int w : expected) {
+      if (!is_alive(w)) continue;
+      const bool ok = await_from(
+          w, tag::kFinal,
+          [&](const par::Message& m) {
+            Reader r(m.payload, kWhat);
+            if (r.u64("request id") != req) return false;
+            const std::uint32_t n = r.u32("range count");
+            for (std::uint32_t i = 0; i < n; ++i) {
+              const pop::SSetId b = r.u32("range begin");
+              const pop::SSetId e = r.u32("range end");
+              if (e < b || e > config.ssets) r.fail("range out of bounds");
+              const auto vals = r.doubles(e - b, "range fitness");
+              std::copy(vals.begin(), vals.end(), final_fit.begin() + b);
+            }
+            r.expect_exhausted();
+            return true;
+          },
+          [&] { comm.send(w, tag::kStop, wire); });
+      if (!ok) {
+        handle_death(w);
+        lost = true;
+        break;
+      }
+    }
+    if (lost) continue;  // re-gather with the post-recovery ownership
+    for (pop::SSetId i = 0; i < config.ssets; ++i) {
+      pop.set_fitness(i, final_fit[i]);
+    }
+    break;
+  }
+
+  // Release every worker thread — including declared-dead ones that are
+  // actually alive (false-positive evictions keep running as "zombies"
+  // until here so run_ranks can join them).
+  for (int w = 1; w < comm.size(); ++w) {
+    comm.send(w, tag::kBye, {});
+  }
+  result_slot = std::move(pop);
+}
+
+}  // namespace
+
+FtResult run_parallel_ft(const core::SimConfig& config, int nranks) {
+  return run_parallel_ft(config, nranks, FtRunOptions{});
+}
+
+FtResult run_parallel_ft(const core::SimConfig& config, int nranks,
+                         const FtRunOptions& options) {
+  config.validate();
+  EGT_REQUIRE_MSG(nranks >= 1, "need at least one rank");
+  EGT_REQUIRE_MSG(static_cast<pop::SSetId>(nranks) <= config.ssets,
+                  "more ranks than SSets is not supported by the block "
+                  "partition");
+  options.plan.validate(nranks);
+  EGT_REQUIRE_MSG(options.detect_timeout_ms > 0 && options.ping_timeout_ms > 0,
+                  "detection timeouts must be positive");
+  EGT_REQUIRE_MSG(options.max_pings >= 1, "need at least one ping probe");
+
+  Shared shared{config, options, {}, core::config_fingerprint(config),
+                std::chrono::nanoseconds(
+                    static_cast<std::int64_t>(options.detect_timeout_ms * 1e6)),
+                std::chrono::nanoseconds(
+                    static_cast<std::int64_t>(options.ping_timeout_ms * 1e6))};
+
+  std::optional<pop::Population> final_pop;
+  int ranks_lost = 0;
+  std::deque<obs::MetricsRegistry> rank_registries(
+      static_cast<std::size_t>(nranks));
+  // The injector reports into rank 0's registry (merged below), so
+  // ft.faults.* appear beside ft.recoveries in the manifest.
+  par::RunOptions run_options;
+  run_options.fault_injector =
+      std::make_shared<PlanFaultInjector>(options.plan, &rank_registries[0]);
+
+  const par::TrafficReport traffic = par::run_ranks_traced(
+      nranks,
+      [&](par::Comm& comm) {
+        auto& registry =
+            rank_registries[static_cast<std::size_t>(comm.rank())];
+        if (comm.rank() == 0) {
+          master_main(comm, shared, final_pop, ranks_lost, registry);
+        } else {
+          worker_main(comm, shared, registry);
+        }
+      },
+      run_options);
+  EGT_ASSERT(final_pop.has_value());
+
+  obs::MetricsRegistry merged;
+  for (const auto& reg : rank_registries) merged.merge(reg);
+  merged.gauge("engine.ranks").set(static_cast<double>(nranks));
+  merged.gauge("ft.ranks_lost").set(static_cast<double>(ranks_lost));
+  if (options.metrics != nullptr) options.metrics->merge(merged);
+
+  return FtResult{std::move(*final_pop), traffic, config.generations,
+                  ranks_lost, merged.snapshot()};
+}
+
+}  // namespace egt::ft

@@ -1,0 +1,94 @@
+// The fault-tolerant parallel engine.
+//
+// Same simulation as core::run_parallel — rank 0 is the Nature Agent,
+// every rank owns contiguous fitness blocks over the replicated strategy
+// table — but coordinated over a master-driven point-to-point protocol
+// (ft/protocol.hpp) that survives worker failures injected by a FaultPlan:
+//
+//   detection   Every generation plan is acknowledged (the ack doubles as
+//               a heartbeat, so detection latency is one generation). A
+//               missed ack or fitness return makes the master *suspect*
+//               the rank; up to max_pings ping/pong probes guard against
+//               false positives before it is declared dead.
+//   recovery    The dead rank's SSet ranges are re-partitioned across the
+//               survivors (ft/ownership.hpp). An adopting rank first tries
+//               the dead rank's last published block checkpoint
+//               (ft/block_checkpoint.hpp; bit-exact restore when fresh)
+//               and otherwise recomputes the block from the replicated
+//               strategy table. The new table is broadcast point-to-point
+//               (RECONFIG, epoch-numbered) and acknowledged.
+//   resilience  Dropped or delayed protocol messages are healed by
+//               deduplicated resends; a dropped decision broadcast is
+//               carried by the next generation's plan.
+//
+// Determinism: Nature's RNG lives on rank 0, which is never killed, so it
+// consumes draws exactly as in a fault-free run. Fitness is a pure
+// function of (population, generation) for Sampled and pure-Analytic
+// configurations, so a recovered run's strategy trajectory — and, for
+// kill-only fault plans, its merged "engine.*" counters — are bit-identical
+// to the fault-free run with the same seed. Caveats (see DESIGN.md):
+// Analytic recovery is bit-exact when a fresh block checkpoint covers the
+// failure generation and exact-up-to-FP-summation-order otherwise;
+// SampledFrozen recovery is statistically equivalent only (mirroring the
+// engine-checkpoint caveat); drop-induced false-positive evictions keep
+// the trajectory exact but can over-count pairs (the evicted zombie and
+// its replacement both work).
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "ft/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "par/runtime.hpp"
+#include "pop/population.hpp"
+
+namespace egt::ft {
+
+struct FtRunOptions {
+  /// Deterministic failures to inject (validated against nranks). Empty =
+  /// fault-free; the run then produces the same trajectory and counters as
+  /// core::run_parallel / the serial engine.
+  FaultPlan plan;
+
+  /// Publish block checkpoints every N generations (0 = never). Recovery
+  /// works without them — it just recomputes instead of restoring.
+  std::uint64_t checkpoint_every = 0;
+
+  /// How long the master waits for an expected reply (plan ack, fitness
+  /// return, reconfig ack) before suspecting the sender. Must be generous
+  /// relative to one generation's compute time: a busy worker that misses
+  /// the deadline is evicted as a false positive — the run stays correct
+  /// (eviction is trajectory-preserving) but does redundant work.
+  double detect_timeout_ms = 500.0;
+
+  /// Deadline of each ping/pong probe of a suspected rank.
+  double ping_timeout_ms = 250.0;
+
+  /// Probes before a suspected rank is declared dead.
+  int max_pings = 3;
+
+  /// Also merge the per-rank registries into this registry. May be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct FtResult {
+  pop::Population population;  ///< final strategy table + final fitness
+  par::TrafficReport traffic;
+  std::uint64_t generations = 0;
+  /// Workers declared dead (injected kills + false-positive evictions).
+  int ranks_lost = 0;
+  /// Merged per-rank metrics: the base engine's phase timers and
+  /// "engine.*" counters plus the "ft.*" family (ft.recoveries,
+  /// ft.failures_detected, ft.checkpoint.*, ft.recovery.*, ...).
+  obs::MetricsSnapshot metrics;
+};
+
+/// Run the full simulation on `nranks` ranks, surviving the plan's faults.
+/// Blocks until done. Throws std::invalid_argument on an inexecutable
+/// plan (rank 0 killed, ranks out of range).
+FtResult run_parallel_ft(const core::SimConfig& config, int nranks);
+FtResult run_parallel_ft(const core::SimConfig& config, int nranks,
+                         const FtRunOptions& options);
+
+}  // namespace egt::ft

@@ -1,0 +1,72 @@
+#include "ft/injector.hpp"
+
+#include "ft/protocol.hpp"
+
+namespace egt::ft {
+
+PlanFaultInjector::PlanFaultInjector(const FaultPlan& plan,
+                                     obs::MetricsRegistry* metrics) {
+  for (const MessageFault& r : plan.drops()) {
+    rules_.push_back({r, /*is_delay=*/false, 0, 0});
+  }
+  for (const MessageFault& r : plan.delays()) {
+    rules_.push_back({r, /*is_delay=*/true, 0, 0});
+  }
+  if (metrics != nullptr) {
+    dropped_ = &metrics->counter("ft.faults.messages_dropped");
+    delayed_ = &metrics->counter("ft.faults.messages_delayed");
+  }
+}
+
+par::FaultDecision PlanFaultInjector::on_send(int source, int dest, int tag,
+                                              std::size_t /*bytes*/) {
+  // The release message is exempt from drops: it is what lets worker
+  // threads (including falsely-evicted "zombies") exit so the run can
+  // join. Losing it would hang the harness, not model a network fault.
+  if (tag == egt::ft::tag::kBye) return par::FaultDecision::deliver();
+  std::lock_guard<std::mutex> lock(mu_);
+  par::FaultDecision decision = par::FaultDecision::deliver();
+  bool decided = false;
+  // Every matching rule advances its counter even when another rule already
+  // claimed the message — rule positions ("the 3rd fit reply") stay
+  // well-defined regardless of rule order. The first rule with budget wins.
+  for (Rule& rule : rules_) {
+    if (!rule.spec.matches(source, dest, tag)) continue;
+    const std::uint64_t position = rule.seen++;
+    if (decided || position < rule.spec.skip ||
+        rule.fired >= rule.spec.count) {
+      continue;
+    }
+    ++rule.fired;
+    decided = true;
+    if (rule.is_delay) {
+      if (delayed_ != nullptr) delayed_->inc();
+      decision = par::FaultDecision::delayed(
+          std::chrono::milliseconds(rule.spec.delay_ms));
+    } else {
+      if (dropped_ != nullptr) dropped_->inc();
+      decision = par::FaultDecision::drop();
+    }
+  }
+  return decision;
+}
+
+std::uint64_t PlanFaultInjector::drops_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const Rule& r : rules_) {
+    if (!r.is_delay) n += r.fired;
+  }
+  return n;
+}
+
+std::uint64_t PlanFaultInjector::delays_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const Rule& r : rules_) {
+    if (r.is_delay) n += r.fired;
+  }
+  return n;
+}
+
+}  // namespace egt::ft

@@ -1,0 +1,49 @@
+// Plan-driven implementation of the runtime's fault-injection hook.
+//
+// PlanFaultInjector evaluates a FaultPlan's drop/delay rules against every
+// send in the Context. Matching is deterministic: each rule keeps its own
+// match counter (how many sends it has seen, how many it has affected), so
+// "drop the 3rd fitness reply from rank 1" means exactly that on every
+// run. Kill faults are not handled here — a killed rank falls silent at
+// the engine level (ft_engine), which is what its peers would observe.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "ft/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "par/fault.hpp"
+
+namespace egt::ft {
+
+class PlanFaultInjector : public par::FaultInjector {
+ public:
+  /// `metrics` (optional) receives "ft.faults.messages_dropped" /
+  /// "ft.faults.messages_delayed"; it must outlive the injector.
+  explicit PlanFaultInjector(const FaultPlan& plan,
+                             obs::MetricsRegistry* metrics = nullptr);
+
+  par::FaultDecision on_send(int source, int dest, int tag,
+                             std::size_t bytes) override;
+
+  std::uint64_t drops_fired() const;
+  std::uint64_t delays_fired() const;
+
+ private:
+  struct Rule {
+    MessageFault spec;
+    bool is_delay = false;
+    std::uint64_t seen = 0;   ///< matching sends observed
+    std::uint64_t fired = 0;  ///< matching sends affected
+  };
+
+  // Sends race in from every rank thread; the counters need the lock. The
+  // fault-injection path is not a measured one, so a mutex is fine.
+  mutable std::mutex mu_;
+  std::vector<Rule> rules_;
+  obs::Counter* dropped_ = nullptr;
+  obs::Counter* delayed_ = nullptr;
+};
+
+}  // namespace egt::ft

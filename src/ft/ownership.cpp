@@ -1,0 +1,102 @@
+#include "ft/ownership.hpp"
+
+#include <algorithm>
+
+#include "par/partition.hpp"
+#include "util/check.hpp"
+
+namespace egt::ft {
+
+OwnershipTable OwnershipTable::initial(pop::SSetId ssets, int nranks) {
+  EGT_REQUIRE_MSG(nranks >= 1, "ownership table needs at least one rank");
+  OwnershipTable table;
+  table.ssets_ = ssets;
+  const par::BlockPartition part(ssets, static_cast<std::uint64_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const auto b = static_cast<pop::SSetId>(
+        part.begin(static_cast<std::uint64_t>(r)));
+    const auto e =
+        static_cast<pop::SSetId>(part.end(static_cast<std::uint64_t>(r)));
+    if (b < e) table.ranges_.push_back({b, e, r});
+  }
+  return table;
+}
+
+int OwnershipTable::owner_of(pop::SSetId i) const {
+  EGT_REQUIRE_MSG(i < ssets_, "ownership query out of range");
+  // Last range with begin <= i (ranges are sorted and cover [0, ssets)).
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), i,
+      [](pop::SSetId v, const OwnedRange& r) { return v < r.begin; });
+  EGT_ASSERT(it != ranges_.begin());
+  --it;
+  EGT_ASSERT(i >= it->begin && i < it->end);
+  return it->owner;
+}
+
+std::vector<std::pair<pop::SSetId, pop::SSetId>> OwnershipTable::ranges_of(
+    int rank) const {
+  std::vector<std::pair<pop::SSetId, pop::SSetId>> out;
+  for (const OwnedRange& r : ranges_) {
+    if (r.owner == rank) out.emplace_back(r.begin, r.end);
+  }
+  return out;
+}
+
+void OwnershipTable::reassign(int dead, const std::vector<int>& survivors) {
+  EGT_REQUIRE_MSG(!survivors.empty(), "reassign needs at least one survivor");
+  std::vector<OwnedRange> next;
+  next.reserve(ranges_.size() + survivors.size());
+  for (const OwnedRange& r : ranges_) {
+    if (r.owner != dead) {
+      next.push_back(r);
+      continue;
+    }
+    const par::BlockPartition split(r.end - r.begin, survivors.size());
+    for (std::size_t k = 0; k < survivors.size(); ++k) {
+      const auto b = static_cast<pop::SSetId>(r.begin + split.begin(k));
+      const auto e = static_cast<pop::SSetId>(r.begin + split.end(k));
+      if (b < e) next.push_back({b, e, survivors[k]});
+    }
+  }
+  std::sort(next.begin(), next.end(),
+            [](const OwnedRange& a, const OwnedRange& b) {
+              return a.begin < b.begin;
+            });
+  ranges_ = std::move(next);
+}
+
+void OwnershipTable::encode(core::wire::Writer& w) const {
+  w.u32(ssets_);
+  w.u32(static_cast<std::uint32_t>(ranges_.size()));
+  for (const OwnedRange& r : ranges_) {
+    w.u32(r.begin);
+    w.u32(r.end);
+    w.u32(static_cast<std::uint32_t>(r.owner));
+  }
+}
+
+OwnershipTable OwnershipTable::decode(core::wire::Reader& r) {
+  OwnershipTable table;
+  table.ssets_ = r.u32("ownership ssets");
+  const std::uint32_t n = r.u32("ownership range count");
+  pop::SSetId expect = 0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    OwnedRange range;
+    range.begin = r.u32("range begin");
+    range.end = r.u32("range end");
+    range.owner = static_cast<int>(r.u32("range owner"));
+    if (range.begin != expect || range.end <= range.begin ||
+        range.end > table.ssets_) {
+      r.fail("ownership ranges do not tile the population");
+    }
+    expect = range.end;
+    table.ranges_.push_back(range);
+  }
+  if (expect != table.ssets_) {
+    r.fail("ownership ranges do not cover the population");
+  }
+  return table;
+}
+
+}  // namespace egt::ft

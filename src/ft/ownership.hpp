@@ -1,0 +1,62 @@
+// Explicit SSet-ownership table.
+//
+// The fault-free engines derive ownership arithmetically ("system size and
+// processor rank data", paper §V) — every rank computes the same
+// BlockPartition and no table is ever communicated. That stops working the
+// moment a rank dies: ownership is no longer a pure function of (ssets,
+// nranks). The ft engine therefore carries an explicit table, seeded from
+// the same BlockPartition arithmetic, and *re-partitions only the dead
+// rank's ranges* on a failure — survivors keep the blocks (and cached
+// payoff matrices) they already paid for, which is also what keeps the
+// merged pairs-evaluated counter identical to a fault-free run.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "pop/population.hpp"
+
+namespace egt::ft {
+
+/// One contiguous range [begin, end) of SSets and the rank that owns it.
+struct OwnedRange {
+  pop::SSetId begin = 0;
+  pop::SSetId end = 0;
+  int owner = -1;
+};
+
+class OwnershipTable {
+ public:
+  OwnershipTable() = default;
+
+  /// The fault-free assignment: par::BlockPartition(ssets, nranks), one
+  /// range per rank. Identical to what the base parallel engine derives.
+  static OwnershipTable initial(pop::SSetId ssets, int nranks);
+
+  int owner_of(pop::SSetId i) const;
+
+  /// The ranges `rank` owns, in SSet order.
+  std::vector<std::pair<pop::SSetId, pop::SSetId>> ranges_of(int rank) const;
+
+  /// Reassign every range owned by `dead` across `survivors` (must be
+  /// non-empty, sorted): each range is split with the same BlockPartition
+  /// arithmetic used for the initial assignment, so the result is a pure
+  /// function of the inputs — every rank that applies the same
+  /// reassignment reaches the same table.
+  void reassign(int dead, const std::vector<int>& survivors);
+
+  const std::vector<OwnedRange>& ranges() const noexcept { return ranges_; }
+  pop::SSetId ssets() const noexcept { return ssets_; }
+
+  /// Wire format for the RECONFIG broadcast.
+  void encode(core::wire::Writer& w) const;
+  static OwnershipTable decode(core::wire::Reader& r);
+
+ private:
+  std::vector<OwnedRange> ranges_;  // sorted by begin, covering [0, ssets_)
+  pop::SSetId ssets_ = 0;
+};
+
+}  // namespace egt::ft

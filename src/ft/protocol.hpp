@@ -1,0 +1,39 @@
+// Message tags of the fault-tolerant engine's master-driven protocol.
+//
+// The ft engine deliberately avoids tree collectives: a binomial broadcast
+// or dissemination barrier routed through a dead rank hangs forever. All
+// coordination is point-to-point between the Nature Agent (rank 0, which
+// is never killed — it is "the job" from the scheduler's point of view)
+// and each worker, so a silent rank stalls only the master's deadline
+// receive, never a relay chain. The cost is O(P) messages per generation
+// instead of O(log P); DESIGN.md §Fault tolerance discusses the tradeoff.
+#pragma once
+
+#include <string_view>
+
+namespace egt::ft::tag {
+
+// Master -> worker.
+inline constexpr int kPlan = 0x1001;      ///< generation plan (+ prev decision)
+inline constexpr int kReqFit = 0x1003;    ///< request one SSet's fitness
+inline constexpr int kDecide = 0x1005;    ///< adoption / Moran outcome
+inline constexpr int kPing = 0x1006;      ///< heartbeat probe
+inline constexpr int kReconfig = 0x1008;  ///< new ownership table after a death
+inline constexpr int kReqBlocks = 0x100a; ///< request all owned fitness blocks
+inline constexpr int kStop = 0x100c;      ///< run over: send final snapshot
+inline constexpr int kBye = 0x100e;       ///< release: worker thread may exit
+
+// Worker -> master.
+inline constexpr int kPlanAck = 0x1002;   ///< plan processed (doubles as heartbeat)
+inline constexpr int kFit = 0x1004;       ///< fitness reply
+inline constexpr int kPong = 0x1007;      ///< heartbeat reply
+inline constexpr int kReconfigAck = 0x1009;
+inline constexpr int kBlocks = 0x100b;    ///< owned fitness blocks reply
+inline constexpr int kFinal = 0x100d;     ///< final snapshot reply
+
+/// Fault-plan JSON names a tag symbolically ("fit", "plan_ack", ...).
+/// Returns -1 ("any") for "any"; throws std::runtime_error on unknown
+/// names (defined in fault_plan.cpp).
+int from_name(std::string_view name);
+
+}  // namespace egt::ft::tag

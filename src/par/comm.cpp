@@ -14,6 +14,53 @@ Context::Context(int nranks)
   }
 }
 
+Context::~Context() {
+  {
+    std::lock_guard<std::mutex> lock(courier_mu_);
+    courier_stop_ = true;
+  }
+  courier_cv_.notify_all();
+  if (courier_.joinable()) courier_.join();
+}
+
+void Context::deliver_later(int dest, Message msg,
+                            std::chrono::milliseconds delay) {
+  EGT_REQUIRE(dest >= 0 && dest < size());
+  std::lock_guard<std::mutex> lock(courier_mu_);
+  delayed_.push_back(
+      {std::chrono::steady_clock::now() + delay, dest, std::move(msg)});
+  if (!courier_.joinable()) {
+    courier_ = std::thread([this] { courier_main(); });
+  }
+  courier_cv_.notify_all();
+}
+
+void Context::courier_main() {
+  std::unique_lock<std::mutex> lock(courier_mu_);
+  while (true) {
+    if (courier_stop_) return;  // pending messages die with the run
+    if (delayed_.empty()) {
+      courier_cv_.wait(lock);
+      continue;
+    }
+    auto next = std::min_element(
+        delayed_.begin(), delayed_.end(),
+        [](const DelayedMessage& a, const DelayedMessage& b) {
+          return a.due < b.due;
+        });
+    const auto now = std::chrono::steady_clock::now();
+    if (next->due > now) {
+      courier_cv_.wait_until(lock, next->due);
+      continue;  // re-evaluate: stop flag or an earlier message may exist
+    }
+    DelayedMessage ready = std::move(*next);
+    delayed_.erase(next);
+    lock.unlock();
+    inbox(ready.dest).deliver(std::move(ready.msg));
+    lock.lock();
+  }
+}
+
 std::uint64_t Context::bytes_sent() const noexcept {
   std::uint64_t total = 0;
   for (int r = 0; r < size(); ++r) total += rank_traffic(r).bytes();
@@ -54,7 +101,23 @@ Comm::Comm(Context& ctx, int rank) : ctx_(&ctx), rank_(rank) {
 
 void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
   EGT_REQUIRE(dest >= 0 && dest < size());
+  // Traffic is accounted at the sender regardless of the message's fate:
+  // a dropped packet was still injected into the network.
   ctx_->account_send(rank_, payload.size(), send_class_);
+  if (FaultInjector* injector = ctx_->fault_injector()) {
+    const FaultDecision decision =
+        injector->on_send(rank_, dest, tag, payload.size());
+    switch (decision.kind) {
+      case FaultDecision::Kind::Drop:
+        return;
+      case FaultDecision::Kind::Delay:
+        ctx_->deliver_later(dest, {rank_, tag, std::move(payload)},
+                            decision.delay);
+        return;
+      case FaultDecision::Kind::Deliver:
+        break;
+    }
+  }
   ctx_->inbox(dest).deliver({rank_, tag, std::move(payload)});
 }
 

@@ -14,13 +14,18 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
+#include "par/fault.hpp"
 #include "par/mailbox.hpp"
 #include "util/check.hpp"
 
@@ -50,9 +55,23 @@ struct RankTraffic {
 class Context {
  public:
   explicit Context(int nranks);
+  ~Context();
 
   int size() const noexcept { return static_cast<int>(inboxes_.size()); }
   Mailbox& inbox(int rank) { return *inboxes_[static_cast<std::size_t>(rank)]; }
+
+  /// Install a fault injector consulted on every send (null = none). Must
+  /// be called before rank threads start sending.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+  FaultInjector* fault_injector() const noexcept { return injector_.get(); }
+
+  /// Deliver `msg` to `dest`'s inbox after `delay` (fault injection's
+  /// Delay action). The courier thread is spawned lazily on the first
+  /// delayed send; messages still pending when the context is destroyed
+  /// are dropped (the run is over, nobody is listening).
+  void deliver_later(int dest, Message msg, std::chrono::milliseconds delay);
 
   /// Totals over all ranks and both traffic classes.
   std::uint64_t bytes_sent() const noexcept;
@@ -74,8 +93,23 @@ class Context {
     std::atomic<std::uint64_t> bcast_messages{0};
   };
 
+  // Courier state for deliver_later (guarded by courier_mu_).
+  struct DelayedMessage {
+    std::chrono::steady_clock::time_point due;
+    int dest;
+    Message msg;
+  };
+  void courier_main();
+
   std::vector<std::unique_ptr<Mailbox>> inboxes_;
   std::vector<RankCounters> traffic_;
+  std::shared_ptr<FaultInjector> injector_;
+
+  std::mutex courier_mu_;
+  std::condition_variable courier_cv_;
+  std::vector<DelayedMessage> delayed_;
+  std::thread courier_;
+  bool courier_stop_ = false;
 };
 
 /// Per-rank handle. Not thread-safe: one rank thread uses one Comm.
@@ -94,6 +128,13 @@ class Comm {
   void send(int dest, int tag, std::vector<std::byte> payload);
   Message recv(int source = kAnySource, int tag = kAnyTag);
   bool try_recv(int source, int tag, Message& out);
+
+  /// Deadline receive (Mailbox::receive_for): nullopt on timeout. The ft
+  /// layer's failure-detection primitive.
+  std::optional<Message> recv_for(int source, int tag,
+                                  std::chrono::nanoseconds timeout) {
+    return ctx_->inbox(rank_).receive_for(source, tag, timeout);
+  }
 
   /// Non-blocking receive handle: post now, overlap work, complete later.
   class Request {

@@ -1,0 +1,42 @@
+// Message-level fault injection hook of the mini message-passing runtime.
+//
+// A FaultInjector installed on a Context sees every point-to-point send
+// and decides its fate: deliver normally, drop it (the torus ate the
+// packet), or deliver it after a delay (congestion). Rank deaths are NOT
+// modelled here — a "killed" rank is a rank program that stops
+// participating (the ft engine exits the rank's loop), which is what a
+// crashed process looks like to its peers: silence.
+//
+// The interface lives in par so the runtime has no dependency on the ft
+// subsystem; the deterministic plan-driven implementation is
+// ft::PlanFaultInjector.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace egt::par {
+
+/// What to do with one send.
+struct FaultDecision {
+  enum class Kind { Deliver, Drop, Delay };
+  Kind kind = Kind::Deliver;
+  std::chrono::milliseconds delay{0};  ///< Kind::Delay only
+
+  static FaultDecision deliver() { return {}; }
+  static FaultDecision drop() { return {Kind::Drop, {}}; }
+  static FaultDecision delayed(std::chrono::milliseconds d) {
+    return {Kind::Delay, d};
+  }
+};
+
+/// Consulted on every Comm::send. Called concurrently from all rank
+/// threads; implementations must be thread-safe.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultDecision on_send(int source, int dest, int tag,
+                                std::size_t bytes) = 0;
+};
+
+}  // namespace egt::par

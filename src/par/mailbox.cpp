@@ -30,6 +30,17 @@ Message Mailbox::receive(int source, int tag) {
   return out;
 }
 
+std::optional<Message> Mailbox::receive_for(int source, int tag,
+                                            std::chrono::nanoseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Message out;
+  if (cv_.wait_for(lock, timeout,
+                   [&] { return match_locked(source, tag, out); })) {
+    return out;
+  }
+  return std::nullopt;
+}
+
 bool Mailbox::try_receive(int source, int tag, Message& out) {
   std::lock_guard<std::mutex> lock(mutex_);
   return match_locked(source, tag, out);

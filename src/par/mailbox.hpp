@@ -5,11 +5,13 @@
 // arrives. Message order between one (source, tag) pair is preserved.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 namespace egt::par {
@@ -31,6 +33,14 @@ class Mailbox {
   /// Block until a message matching (source, tag) is available and remove
   /// it. kAnySource / kAnyTag act as wildcards.
   Message receive(int source, int tag);
+
+  /// Deadline variant: wait at most `timeout` for a matching message.
+  /// Returns std::nullopt on timeout. Built on the same condition variable
+  /// as receive() — no polling, the waiter sleeps until a delivery or the
+  /// deadline. The failure-detection primitive of the ft layer: a Nature
+  /// Agent that stops hearing from a rank uses the timeout to suspect it.
+  std::optional<Message> receive_for(int source, int tag,
+                                     std::chrono::nanoseconds timeout);
 
   /// Non-blocking variant; returns false if nothing matches right now.
   bool try_receive(int source, int tag, Message& out);

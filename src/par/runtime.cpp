@@ -8,9 +8,11 @@ namespace egt::par {
 
 namespace {
 TrafficReport run_impl(int nranks,
-                       const std::function<void(Comm&)>& rank_main) {
+                       const std::function<void(Comm&)>& rank_main,
+                       const RunOptions& options = {}) {
   EGT_REQUIRE_MSG(nranks > 0, "need at least one rank");
   Context ctx(nranks);
+  ctx.set_fault_injector(options.fault_injector);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
@@ -53,6 +55,12 @@ void run_ranks(int nranks, const std::function<void(Comm&)>& rank_main) {
 TrafficReport run_ranks_traced(int nranks,
                                const std::function<void(Comm&)>& rank_main) {
   return run_impl(nranks, rank_main);
+}
+
+TrafficReport run_ranks_traced(int nranks,
+                               const std::function<void(Comm&)>& rank_main,
+                               const RunOptions& options) {
+  return run_impl(nranks, rank_main, options);
 }
 
 }  // namespace egt::par

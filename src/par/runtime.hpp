@@ -3,10 +3,17 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "par/comm.hpp"
 
 namespace egt::par {
+
+/// Launch-time knobs shared by all run_ranks variants.
+struct RunOptions {
+  /// Consulted on every send (drop / delay injection). Null = no faults.
+  std::shared_ptr<FaultInjector> fault_injector;
+};
 
 /// Runs `rank_main(comm)` on `nranks` threads sharing one Context. Blocks
 /// until every rank returns. If any rank throws, the first exception (by
@@ -31,5 +38,8 @@ struct TrafficReport {
 };
 TrafficReport run_ranks_traced(int nranks,
                                const std::function<void(Comm&)>& rank_main);
+TrafficReport run_ranks_traced(int nranks,
+                               const std::function<void(Comm&)>& rank_main,
+                               const RunOptions& options);
 
 }  // namespace egt::par

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/engine.hpp"
 
@@ -70,10 +71,10 @@ TEST(Checkpoint, RejectsDifferentConfig) {
   const auto blob = save_checkpoint(engine);
   auto other = cfg;
   other.beta = 2.0;
-  EXPECT_THROW((void)restore_checkpoint(other, blob), std::invalid_argument);
+  EXPECT_THROW((void)restore_checkpoint(other, blob), CheckpointError);
   other = cfg;
   other.seed = 1;
-  EXPECT_THROW((void)restore_checkpoint(other, blob), std::invalid_argument);
+  EXPECT_THROW((void)restore_checkpoint(other, blob), CheckpointError);
 }
 
 TEST(Checkpoint, RejectsCorruptBlobs) {
@@ -83,15 +84,62 @@ TEST(Checkpoint, RejectsCorruptBlobs) {
   auto blob = save_checkpoint(engine);
   auto truncated = blob;
   truncated.resize(truncated.size() / 2);
-  EXPECT_THROW((void)restore_checkpoint(cfg, truncated),
-               std::invalid_argument);
+  EXPECT_THROW((void)restore_checkpoint(cfg, truncated), CheckpointError);
   auto garbage = blob;
   garbage[0] = std::byte{0xff};
-  EXPECT_THROW((void)restore_checkpoint(cfg, garbage), std::invalid_argument);
+  EXPECT_THROW((void)restore_checkpoint(cfg, garbage), CheckpointError);
   auto trailing = blob;
   trailing.push_back(std::byte{0});
-  EXPECT_THROW((void)restore_checkpoint(cfg, trailing),
-               std::invalid_argument);
+  EXPECT_THROW((void)restore_checkpoint(cfg, trailing), CheckpointError);
+}
+
+TEST(Checkpoint, RejectsTruncationAtEveryLength) {
+  // The ASan/UBSan canary: no truncation point may read out of bounds or
+  // raise anything but the typed decode error.
+  auto cfg = config(FitnessMode::Analytic);
+  cfg.ssets = 6;
+  cfg.generations = 10;
+  Engine engine(cfg);
+  engine.run(3);
+  const auto blob = save_checkpoint(engine);
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    std::vector<std::byte> cut(blob.begin(),
+                               blob.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)restore_checkpoint(cfg, cut), CheckpointError)
+        << "truncated to " << len << " of " << blob.size() << " bytes";
+  }
+}
+
+TEST(Checkpoint, RejectsUnsupportedVersionWithClearMessage) {
+  const auto cfg = config(FitnessMode::Analytic);
+  Engine engine(cfg);
+  engine.run(5);
+  auto blob = save_checkpoint(engine);
+  const std::uint32_t bogus = kCheckpointVersion + 7;
+  std::memcpy(blob.data() + 8, &bogus, sizeof bogus);  // after the u64 magic
+  try {
+    (void)restore_checkpoint(cfg, blob);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+  }
+}
+
+TEST(Checkpoint, CorruptStrategyLengthDoesNotOverAllocate) {
+  // A hostile strategy length field must fail bounds-first, not attempt a
+  // multi-gigabyte allocation.
+  const auto cfg = config(FitnessMode::Analytic);
+  Engine engine(cfg);
+  engine.run(5);
+  auto blob = save_checkpoint(engine);
+  const std::uint32_t huge = 0x7fffffff;
+  // The first strategy's length prefix sits right after the fixed header:
+  // magic + version + fingerprint + generation + nature rng + planned +
+  // population size.
+  const std::size_t header = 8 + 4 + 8 + 8 + 4 * 8 + 8 + 4;
+  std::memcpy(blob.data() + header, &huge, sizeof huge);
+  EXPECT_THROW((void)restore_checkpoint(cfg, blob), CheckpointError);
 }
 
 TEST(Checkpoint, ResumeWorksOnStructuredPopulations) {

@@ -1,0 +1,99 @@
+// PlanFaultInjector determinism: rules fire at exact match positions, the
+// release message (bye) is never droppable, and fired faults show up in
+// the metrics registry.
+#include <gtest/gtest.h>
+
+#include "ft/fault_plan.hpp"
+#include "ft/injector.hpp"
+#include "ft/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "par/fault.hpp"
+
+namespace egt::ft {
+namespace {
+
+using par::FaultDecision;
+
+TEST(PlanFaultInjector, SkipAndCountSelectExactSends) {
+  FaultPlan plan;
+  plan.drop({/*source=*/1, /*dest=*/0, /*tag=*/tag::kFit,
+             /*skip=*/2, /*count=*/2, /*delay_ms=*/0});
+  PlanFaultInjector inj(plan);
+  // Sends 0 and 1 pass (skip), 2 and 3 drop (count), 4+ pass (budget spent).
+  for (int i = 0; i < 6; ++i) {
+    const auto d = inj.on_send(1, 0, tag::kFit, 16);
+    const bool should_drop = (i == 2 || i == 3);
+    EXPECT_EQ(d.kind == FaultDecision::Kind::Drop, should_drop)
+        << "send #" << i;
+  }
+  EXPECT_EQ(inj.drops_fired(), 2u);
+}
+
+TEST(PlanFaultInjector, NonMatchingSendsDoNotAdvanceTheRule) {
+  FaultPlan plan;
+  plan.drop({1, 0, tag::kFit, /*skip=*/1, /*count=*/1, 0});
+  PlanFaultInjector inj(plan);
+  // A storm of unrelated traffic must not consume the skip budget.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(inj.on_send(2, 0, tag::kFit, 8).kind,
+              FaultDecision::Kind::Deliver);
+    EXPECT_EQ(inj.on_send(1, 0, tag::kBlocks, 8).kind,
+              FaultDecision::Kind::Deliver);
+  }
+  EXPECT_EQ(inj.on_send(1, 0, tag::kFit, 8).kind,
+            FaultDecision::Kind::Deliver);  // position 0: skipped
+  EXPECT_EQ(inj.on_send(1, 0, tag::kFit, 8).kind,
+            FaultDecision::Kind::Drop);  // position 1: fired
+}
+
+TEST(PlanFaultInjector, DelayRuleCarriesItsDuration) {
+  FaultPlan plan;
+  plan.delay({kAny, kAny, kAny, 0, 1, /*delay_ms=*/25});
+  PlanFaultInjector inj(plan);
+  const auto d = inj.on_send(3, 0, tag::kPong, 4);
+  EXPECT_EQ(d.kind, FaultDecision::Kind::Delay);
+  EXPECT_EQ(d.delay.count(), 25);
+  EXPECT_EQ(inj.delays_fired(), 1u);
+}
+
+TEST(PlanFaultInjector, ByeIsExemptFromWildcardDrops) {
+  FaultPlan plan;
+  plan.drop({kAny, kAny, kAny, 0, /*count=*/1000, 0});
+  PlanFaultInjector inj(plan);
+  EXPECT_EQ(inj.on_send(0, 1, tag::kBye, 0).kind,
+            FaultDecision::Kind::Deliver)
+      << "dropping the release message would hang the join, not model a "
+         "network fault";
+  EXPECT_EQ(inj.on_send(0, 1, tag::kPlan, 64).kind, FaultDecision::Kind::Drop);
+}
+
+TEST(PlanFaultInjector, EveryMatchingRuleAdvancesItsPosition) {
+  // Rule A claims the first matching send; rule B must still see it, so
+  // B's "2nd matching send" stays the 2nd send overall.
+  FaultPlan plan;
+  plan.drop({1, 0, kAny, /*skip=*/0, /*count=*/1, 0});   // A: drop 1st
+  plan.drop({1, 0, kAny, /*skip=*/1, /*count=*/1, 0});   // B: drop 2nd
+  PlanFaultInjector inj(plan);
+  EXPECT_EQ(inj.on_send(1, 0, tag::kFit, 8).kind, FaultDecision::Kind::Drop);
+  EXPECT_EQ(inj.on_send(1, 0, tag::kFit, 8).kind, FaultDecision::Kind::Drop);
+  EXPECT_EQ(inj.on_send(1, 0, tag::kFit, 8).kind,
+            FaultDecision::Kind::Deliver);
+  EXPECT_EQ(inj.drops_fired(), 2u);
+}
+
+TEST(PlanFaultInjector, FiredFaultsReachTheMetricsRegistry) {
+  obs::MetricsRegistry reg;
+  FaultPlan plan;
+  plan.drop({kAny, kAny, tag::kFit, 0, 2, 0});
+  plan.delay({kAny, kAny, tag::kPong, 0, 1, 15});
+  PlanFaultInjector inj(plan, &reg);
+  (void)inj.on_send(1, 0, tag::kFit, 8);
+  (void)inj.on_send(2, 0, tag::kFit, 8);
+  (void)inj.on_send(1, 0, tag::kPong, 4);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("ft.faults.messages_dropped"), 2u);
+  EXPECT_EQ(snap.counter_value("ft.faults.messages_delayed"), 1u);
+}
+
+}  // namespace
+}  // namespace egt::ft

@@ -1,0 +1,158 @@
+// The explicit SSet-ownership table: initial assignment must match the
+// fault-free BlockPartition arithmetic, reassignment must move ONLY the
+// dead rank's ranges, and the wire round trip must reject tables that do
+// not tile the population.
+#include <gtest/gtest.h>
+
+#include "core/wire.hpp"
+#include "ft/ownership.hpp"
+#include "par/partition.hpp"
+
+namespace egt::ft {
+namespace {
+
+using core::wire::Reader;
+using core::wire::Writer;
+
+TEST(OwnershipTable, InitialMatchesBlockPartition) {
+  const pop::SSetId ssets = 24;
+  const int nranks = 5;
+  const auto table = OwnershipTable::initial(ssets, nranks);
+  const par::BlockPartition part(ssets, nranks);
+  ASSERT_EQ(table.ranges().size(), static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const auto& range = table.ranges()[static_cast<std::size_t>(r)];
+    EXPECT_EQ(range.begin, part.begin(static_cast<std::uint64_t>(r)));
+    EXPECT_EQ(range.end, part.end(static_cast<std::uint64_t>(r)));
+    EXPECT_EQ(range.owner, r);
+  }
+  for (pop::SSetId i = 0; i < ssets; ++i) {
+    EXPECT_EQ(table.owner_of(i),
+              static_cast<int>(part.owner(i)));
+  }
+}
+
+TEST(OwnershipTable, RangesOfCollectsARanksRanges) {
+  auto table = OwnershipTable::initial(10, 3);
+  const auto ranges = table.ranges_of(1);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 4u);
+  EXPECT_EQ(ranges[0].second, 7u);
+  EXPECT_TRUE(table.ranges_of(99).empty());
+}
+
+TEST(OwnershipTable, ReassignMovesOnlyTheDeadRanksRanges) {
+  auto table = OwnershipTable::initial(24, 4);  // 6 SSets per rank
+  const auto before_r1 = table.ranges_of(1);
+  const auto before_r3 = table.ranges_of(3);
+  table.reassign(2, {0, 1, 3});
+
+  // Survivors keep exactly what they had, plus a share of [12, 18).
+  EXPECT_TRUE(table.ranges_of(2).empty());
+  for (const auto& r : before_r1) {
+    EXPECT_EQ(table.owner_of(r.first), 1);
+  }
+  for (const auto& r : before_r3) {
+    EXPECT_EQ(table.owner_of(r.first), 3);
+  }
+  // The dead range [12, 18) is split 2/2/2 across {0, 1, 3}.
+  EXPECT_EQ(table.owner_of(12), 0);
+  EXPECT_EQ(table.owner_of(13), 0);
+  EXPECT_EQ(table.owner_of(14), 1);
+  EXPECT_EQ(table.owner_of(15), 1);
+  EXPECT_EQ(table.owner_of(16), 3);
+  EXPECT_EQ(table.owner_of(17), 3);
+
+  // Still a tiling of [0, 24).
+  pop::SSetId expect = 0;
+  for (const auto& r : table.ranges()) {
+    EXPECT_EQ(r.begin, expect);
+    expect = r.end;
+  }
+  EXPECT_EQ(expect, 24u);
+}
+
+TEST(OwnershipTable, ReassignIsDeterministic) {
+  auto a = OwnershipTable::initial(23, 5);
+  auto b = OwnershipTable::initial(23, 5);
+  a.reassign(3, {0, 1, 2, 4});
+  b.reassign(3, {0, 1, 2, 4});
+  ASSERT_EQ(a.ranges().size(), b.ranges().size());
+  for (std::size_t i = 0; i < a.ranges().size(); ++i) {
+    EXPECT_EQ(a.ranges()[i].begin, b.ranges()[i].begin);
+    EXPECT_EQ(a.ranges()[i].end, b.ranges()[i].end);
+    EXPECT_EQ(a.ranges()[i].owner, b.ranges()[i].owner);
+  }
+}
+
+TEST(OwnershipTable, NestedReassignStillTiles) {
+  auto table = OwnershipTable::initial(17, 5);
+  table.reassign(2, {0, 1, 3, 4});
+  table.reassign(4, {0, 1, 3});
+  pop::SSetId expect = 0;
+  for (const auto& r : table.ranges()) {
+    ASSERT_EQ(r.begin, expect);
+    ASSERT_NE(r.owner, 2);
+    ASSERT_NE(r.owner, 4);
+    expect = r.end;
+  }
+  EXPECT_EQ(expect, 17u);
+}
+
+TEST(OwnershipTable, EncodeDecodeRoundTrip) {
+  auto table = OwnershipTable::initial(24, 4);
+  table.reassign(1, {0, 2, 3});
+  Writer w;
+  table.encode(w);
+  const auto blob = w.take();
+  Reader r(blob, "ownership table");
+  const auto back = OwnershipTable::decode(r);
+  r.expect_exhausted();
+  ASSERT_EQ(back.ranges().size(), table.ranges().size());
+  for (std::size_t i = 0; i < table.ranges().size(); ++i) {
+    EXPECT_EQ(back.ranges()[i].begin, table.ranges()[i].begin);
+    EXPECT_EQ(back.ranges()[i].end, table.ranges()[i].end);
+    EXPECT_EQ(back.ranges()[i].owner, table.ranges()[i].owner);
+  }
+}
+
+TEST(OwnershipTable, DecodeRejectsNonTilingRanges) {
+  // Two ranges with a hole: [0, 4) then [6, 10).
+  Writer w;
+  w.u32(10);  // ssets
+  w.u32(2);   // range count
+  w.u32(0);
+  w.u32(4);
+  w.u32(0);
+  w.u32(6);
+  w.u32(10);
+  w.u32(1);
+  const auto blob = w.take();
+  Reader r(blob, "ownership table");
+  EXPECT_THROW((void)OwnershipTable::decode(r), core::CheckpointError);
+}
+
+TEST(OwnershipTable, DecodeRejectsShortCoverage) {
+  Writer w;
+  w.u32(10);  // ssets
+  w.u32(1);   // range count
+  w.u32(0);
+  w.u32(8);  // stops short of 10
+  w.u32(0);
+  const auto blob = w.take();
+  Reader r(blob, "ownership table");
+  EXPECT_THROW((void)OwnershipTable::decode(r), core::CheckpointError);
+}
+
+TEST(OwnershipTable, DecodeRejectsTruncation) {
+  auto table = OwnershipTable::initial(12, 3);
+  Writer w;
+  table.encode(w);
+  auto blob = w.take();
+  blob.resize(blob.size() - 5);
+  Reader r(blob, "ownership table");
+  EXPECT_THROW((void)OwnershipTable::decode(r), core::CheckpointError);
+}
+
+}  // namespace
+}  // namespace egt::ft

@@ -5,6 +5,7 @@
 
 #include "core/engine.hpp"
 #include "core/parallel_engine.hpp"
+#include "ft/ft_engine.hpp"
 
 namespace egt::core {
 namespace {
@@ -144,6 +145,31 @@ TEST(SerialParallel, MoranCostsMoreTrafficThanPairwiseComparison) {
   cfg.update_rule = pop::UpdateRule::Moran;
   const auto moran = run_parallel(cfg, 6);
   EXPECT_GT(moran.traffic.bytes, pc.traffic.bytes);
+}
+
+TEST(SerialParallel, FaultTolerantEngineMatchesSerialThroughARankFailure) {
+  // The ft claim, end to end: losing a worker mid-run (recovered from its
+  // last block checkpoint) leaves the trajectory indistinguishable from
+  // the serial reference.
+  const auto cfg = base_config();
+  Engine serial(cfg);
+  serial.run_all();
+
+  ft::FtRunOptions opt;
+  opt.plan.kill(2, 30);
+  opt.checkpoint_every = 10;  // 30 % 10 == 0: recovery hits the fast path
+  const auto ft = ft::run_parallel_ft(cfg, 4, opt);
+
+  EXPECT_EQ(ft.ranks_lost, 1);
+  EXPECT_GE(ft.metrics.counter_value("ft.recoveries"), 1u);
+  ASSERT_EQ(ft.population.size(), serial.population().size());
+  EXPECT_EQ(ft.population.table_hash(), serial.population().table_hash());
+  for (pop::SSetId i = 0; i < serial.population().size(); ++i) {
+    ASSERT_DOUBLE_EQ(ft.population.fitness(i), serial.population().fitness(i))
+        << "fitness diverged at SSet " << i;
+    ASSERT_TRUE(ft.population.strategy(i) == serial.population().strategy(i))
+        << "strategy diverged at SSet " << i;
+  }
 }
 
 TEST(SerialParallel, RejectsMoreRanksThanSSets) {

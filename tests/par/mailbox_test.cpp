@@ -72,6 +72,50 @@ TEST(Mailbox, BlockingReceiveWakesOnDelivery) {
   producer.join();
 }
 
+TEST(Mailbox, ReceiveForReturnsImmediatelyWhenQueued) {
+  Mailbox box;
+  box.deliver(make_msg(1, 5, 42));
+  const auto m = box.receive_for(1, 5, std::chrono::nanoseconds(0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(std::to_integer<int>(m->payload[0]), 42);
+}
+
+TEST(Mailbox, ReceiveForTimesOutOnSilence) {
+  Mailbox box;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto m = box.receive_for(1, 5, std::chrono::milliseconds(30));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(m.has_value());
+  EXPECT_GE(waited, std::chrono::milliseconds(30));
+}
+
+TEST(Mailbox, ReceiveForIgnoresNonMatchingTraffic) {
+  // A message for another (source, tag) must neither satisfy the wait nor
+  // get consumed by it.
+  Mailbox box;
+  box.deliver(make_msg(2, 9, 7));
+  const auto m = box.receive_for(1, 5, std::chrono::milliseconds(20));
+  EXPECT_FALSE(m.has_value());
+  EXPECT_EQ(box.pending(), 1u);
+}
+
+TEST(Mailbox, ReceiveForWakesOnDelivery) {
+  Mailbox box;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.deliver(make_msg(7, 3, 99));
+  });
+  // Deadline far beyond the delivery: the waiter must wake when the
+  // message lands, not when the clock runs out.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto m = box.receive_for(7, 3, std::chrono::seconds(30));
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(std::to_integer<int>(m->payload[0]), 99);
+  EXPECT_LT(waited, std::chrono::seconds(5));
+  producer.join();
+}
+
 TEST(Mailbox, ManyProducersAllDelivered) {
   Mailbox box;
   constexpr int kPerThread = 100;

@@ -9,21 +9,24 @@
 //       --space mixed --noise 0.02 --series run.csv --checkpoint run.ckpt
 //   ./run_simulation ... --resume run.ckpt       # continue after a kill
 //   ./run_simulation ... --checkpoint-dir ckpts --checkpoint-every 1000
-//   ./run_simulation ... --restore ckpts/checkpoint_latest.bin
+//   ./run_simulation ... --restore ckpts         # newest intact checkpoint
 //   ./run_simulation ... --metrics-out m.json    # egt.run_manifest/v1
 //   ./run_simulation ... --ranks 8 --metrics-out m.json   # + per-rank traffic
 //   ./run_simulation ... --ranks 8 --fault-plan faults.json  # ft engine
 //   ./run_simulation ... --progress              # gen/s + ETA heartbeat
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <stdexcept>
 
 #include "analysis/coop.hpp"
 #include "analysis/heatmap.hpp"
 #include "analysis/kmeans.hpp"
 #include "core/checkpoint.hpp"
+#include "core/checkpoint_store.hpp"
 #include "core/engine.hpp"
 #include "core/observer.hpp"
 #include "core/parallel_engine.hpp"
@@ -50,9 +53,11 @@ struct OutputPaths {
   std::string metrics_csv;  // per-phase time-series CSV (--metrics-csv)
   std::string fault_plan;   // egt.fault_plan/v1 JSON (--fault-plan)
   std::int64_t checkpoint_every = 0;
+  int checkpoint_keep = 3;
   double ft_detect_ms = 500.0;
   double ft_ping_ms = 250.0;
   int ft_max_pings = 3;
+  int ft_standby = 1;
   int ranks = 0;
   bool progress = false;
 };
@@ -89,13 +94,20 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
       "checkpoint-every", 0, "also checkpoint every N generations");
   auto ckpt_dir = cli.opt<std::string>(
       "checkpoint-dir", "",
-      "directory for rolling checkpoints (checkpoint_latest.bin every "
-      "--checkpoint-every generations + checkpoint_final.bin; unwritable "
-      "paths warn instead of aborting the run)");
-  auto resume_opt =
-      cli.opt<std::string>("resume", "", "checkpoint file to resume from");
+      "directory for rolling checkpoints (atomically committed "
+      "checkpoint_g<gen>.bin every --checkpoint-every generations, newest "
+      "--checkpoint-keep retained; unwritable paths warn instead of "
+      "aborting the run)");
+  auto ckpt_keep = cli.opt<int>(
+      "checkpoint-keep", 3,
+      "checkpoint generations retained (--checkpoint-dir pruning and the "
+      "ft engine's block-checkpoint store)");
+  auto resume_opt = cli.opt<std::string>(
+      "resume", "",
+      "checkpoint to resume from: a file, or a --checkpoint-dir directory "
+      "(restores the newest intact generation, skipping corrupt files)");
   auto restore_opt = cli.opt<std::string>(
-      "restore", "", "synonym of --resume (restore a checkpoint file)");
+      "restore", "", "synonym of --resume (restore a checkpoint)");
   auto fault_plan_opt = cli.opt<std::string>(
       "fault-plan", "",
       "egt.fault_plan/v1 JSON of failures to inject; runs the "
@@ -106,6 +118,10 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
       "ft-ping-ms", 250.0, "ft ping/pong probe deadline (ms)");
   auto ft_pings = cli.opt<int>(
       "ft-max-pings", 3, "ft probes before a suspected rank is declared dead");
+  auto ft_standby = cli.opt<int>(
+      "ft-standby", 1,
+      "warm standby ranks replicating the ft decision log (Nature Agent "
+      "failover; 0 makes the master a single point of failure again)");
   auto manifest_opt = cli.opt<std::string>(
       "manifest", "", "write a legacy JSON summary manifest here");
   auto metrics_out_opt = cli.opt<std::string>(
@@ -165,10 +181,12 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   out.ft_detect_ms = *ft_detect;
   out.ft_ping_ms = *ft_ping;
   out.ft_max_pings = *ft_pings;
+  out.ft_standby = *ft_standby;
   out.manifest = *manifest_opt;
   out.metrics_out = *metrics_out_opt;
   out.metrics_csv = *metrics_csv_opt;
   out.checkpoint_every = *ckpt_every;
+  out.checkpoint_keep = *ckpt_keep;
   out.ranks = *ranks_opt;
   out.progress = *progress;
   return cfg;
@@ -250,16 +268,46 @@ void try_write_metrics_manifest(const std::string& path,
   }
 }
 
-/// Rolling checkpoints must not kill a long run over a bad path: warn and
-/// keep simulating (same contract as --metrics-out).
-void try_write_checkpoint_file(const egt::core::Engine& engine,
-                               const std::string& path, bool announce) {
+/// Rolling checkpoints must not kill a long run over a bad path: warn,
+/// count (ft.checkpoint_write_errors) and keep simulating — same contract
+/// as --metrics-out.
+void try_commit_checkpoint(egt::core::CheckpointDir& dir, std::uint64_t gen,
+                           const egt::core::Engine& engine,
+                           egt::obs::MetricsRegistry& metrics, bool announce) {
   try {
-    egt::core::write_checkpoint_file(engine, path);
-    if (announce) std::printf("checkpoint written: %s\n", path.c_str());
+    dir.commit(gen, egt::core::save_checkpoint(engine));
+    if (announce) {
+      std::printf("checkpoint written: %s/%s\n", dir.dir().c_str(),
+                  egt::core::CheckpointDir::file_name(gen).c_str());
+    }
   } catch (const std::exception& e) {
+    metrics.counter("ft.checkpoint_write_errors").inc();
     std::fprintf(stderr, "warning: %s\n", e.what());
   }
+}
+
+/// Restore from a file or (newest intact generation of) a checkpoint
+/// directory. Corrupt directory entries are skipped with a warning — the
+/// CRC fallback path.
+egt::core::Engine restore_engine(const egt::core::SimConfig& cfg,
+                                 const std::string& from, int keep,
+                                 egt::obs::MetricsRegistry* metrics) {
+  using namespace egt;
+  if (!std::filesystem::is_directory(from)) {
+    return core::read_checkpoint_file(cfg, from, metrics);
+  }
+  core::CheckpointDir dir(from, keep);
+  const auto loaded = dir.newest_intact(
+      [](std::uint64_t gen, const std::string& why) {
+        std::fprintf(stderr,
+                     "warning: skipping corrupt checkpoint generation %llu "
+                     "(%s); falling back to an older one\n",
+                     static_cast<unsigned long long>(gen), why.c_str());
+      });
+  if (!loaded) {
+    throw std::runtime_error("no intact checkpoint in directory: " + from);
+  }
+  return core::restore_checkpoint(cfg, loaded->payload, metrics);
 }
 
 void report(const egt::pop::Population& pop, const egt::core::SimConfig& cfg) {
@@ -302,12 +350,14 @@ int run_cli(int argc, char** argv) {
     fopts.detect_timeout_ms = out.ft_detect_ms;
     fopts.ping_timeout_ms = out.ft_ping_ms;
     fopts.max_pings = out.ft_max_pings;
+    fopts.standby_replicas = out.ft_standby;
+    fopts.checkpoint_keep = out.checkpoint_keep;
     fopts.metrics = &metrics;
     const auto result = ft::run_parallel_ft(cfg, out.ranks, fopts);
     std::printf(
-        "fault-tolerant run on %d ranks: %d rank(s) lost, %llu "
-        "recover(ies), %llu block(s) restored, %llu recomputed\n",
-        out.ranks, result.ranks_lost,
+        "fault-tolerant run on %d ranks: %d rank(s) lost, %d failover(s), "
+        "%llu recover(ies), %llu block(s) restored, %llu recomputed\n",
+        out.ranks, result.ranks_lost, result.failovers,
         static_cast<unsigned long long>(
             result.metrics.counter_value("ft.recoveries")),
         static_cast<unsigned long long>(
@@ -369,10 +419,19 @@ int run_cli(int argc, char** argv) {
   core::Engine engine =
       out.resume.empty()
           ? core::Engine(cfg, &metrics)
-          : core::read_checkpoint_file(cfg, out.resume, &metrics);
+          : restore_engine(cfg, out.resume, out.checkpoint_keep, &metrics);
   if (!out.resume.empty()) {
     std::printf("resumed from %s at generation %llu\n", out.resume.c_str(),
                 static_cast<unsigned long long>(engine.generation()));
+  }
+
+  // Rolling crash-consistent checkpoints (construction sweeps .tmp orphans
+  // left by a crash mid-commit). Pre-register the write-error counter so a
+  // clean run's manifest reports it as 0 explicitly.
+  std::optional<core::CheckpointDir> rolling;
+  if (!out.checkpoint_dir.empty()) {
+    rolling.emplace(out.checkpoint_dir, out.checkpoint_keep);
+    metrics.counter("ft.checkpoint_write_errors");
   }
 
   core::MultiObserver obs;
@@ -401,16 +460,15 @@ int run_cli(int argc, char** argv) {
           }
         }));
   }
-  if (!out.checkpoint_dir.empty() && out.checkpoint_every > 0) {
+  if (rolling && out.checkpoint_every > 0) {
     obs.add(std::make_unique<core::CallbackObserver>(
         [&](const pop::Population&, const core::GenerationRecord& r) {
           if (r.generation != 0 &&
               r.generation %
                       static_cast<std::uint64_t>(out.checkpoint_every) ==
                   0) {
-            try_write_checkpoint_file(
-                engine, out.checkpoint_dir + "/checkpoint_latest.bin",
-                /*announce=*/false);
+            try_commit_checkpoint(*rolling, r.generation, engine, metrics,
+                                  /*announce=*/false);
           }
         }));
   }
@@ -425,10 +483,9 @@ int run_cli(int argc, char** argv) {
     core::write_checkpoint_file(engine, out.checkpoint);
     std::printf("checkpoint written: %s\n", out.checkpoint.c_str());
   }
-  if (!out.checkpoint_dir.empty()) {
-    try_write_checkpoint_file(engine,
-                              out.checkpoint_dir + "/checkpoint_final.bin",
-                              /*announce=*/true);
+  if (rolling) {
+    try_commit_checkpoint(*rolling, engine.generation(), engine, metrics,
+                          /*announce=*/true);
   }
   if (!out.series.empty()) {
     recorder_ref.write_csv(out.series);

@@ -1,8 +1,8 @@
 #include "core/checkpoint.hpp"
 
 #include <cstring>
-#include <fstream>
 
+#include "core/checkpoint_store.hpp"
 #include "core/engine.hpp"
 #include "core/wire.hpp"
 #include "util/check.hpp"
@@ -112,25 +112,15 @@ Engine restore_checkpoint(const SimConfig& config,
 }
 
 void write_checkpoint_file(const Engine& engine, const std::string& path) {
-  const auto blob = save_checkpoint(engine);
-  std::ofstream out(path, std::ios::binary);
-  EGT_REQUIRE_MSG(out.good(), "cannot open checkpoint file " + path);
-  out.write(reinterpret_cast<const char*>(blob.data()),
-            static_cast<std::streamsize>(blob.size()));
-  EGT_REQUIRE_MSG(out.good(), "failed writing checkpoint file " + path);
+  auto blob = save_checkpoint(engine);
+  append_crc_footer(blob);
+  atomic_write_file(path, blob);
 }
 
 Engine read_checkpoint_file(const SimConfig& config, const std::string& path,
                             obs::MetricsRegistry* metrics) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  EGT_REQUIRE_MSG(in.good(), "cannot open checkpoint file " + path);
-  const auto size = static_cast<std::size_t>(in.tellg());
-  in.seekg(0);
-  std::vector<std::byte> blob(size);
-  in.read(reinterpret_cast<char*>(blob.data()),
-          static_cast<std::streamsize>(size));
-  EGT_REQUIRE_MSG(in.good(), "failed reading checkpoint file " + path);
-  return restore_checkpoint(config, blob, metrics);
+  return restore_checkpoint(config, checked_payload(read_file_bytes(path)),
+                            metrics);
 }
 
 }  // namespace egt::core

@@ -1,0 +1,176 @@
+#include "core/checkpoint_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+
+namespace egt::core {
+
+namespace fs = std::filesystem;
+
+void append_crc_footer(std::vector<std::byte>& payload) {
+  const std::uint64_t length = payload.size();
+  const std::uint32_t crc = util::crc32(payload.data(), payload.size());
+  wire::Writer w;
+  w.u64(kCrcFooterMagic);
+  w.u64(length);
+  w.u32(crc);
+  const auto footer = w.take();
+  payload.insert(payload.end(), footer.begin(), footer.end());
+}
+
+std::vector<std::byte> checked_payload(const std::vector<std::byte>& blob) {
+  if (blob.size() < kCrcFooterBytes) {
+    throw CheckpointError("corrupt checkpoint blob: shorter than the "
+                          "integrity footer (torn write?)");
+  }
+  const std::size_t payload_size = blob.size() - kCrcFooterBytes;
+  const std::vector<std::byte> footer(blob.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              payload_size),
+                                      blob.end());
+  wire::Reader r(footer, "checkpoint integrity footer");
+  if (r.u64("footer magic") != kCrcFooterMagic) {
+    r.fail("missing CRC footer (torn or foreign blob)");
+  }
+  const std::uint64_t length = r.u64("payload length");
+  const std::uint32_t crc = r.u32("payload crc");
+  r.expect_exhausted();
+  if (length != payload_size) {
+    throw CheckpointError(
+        "corrupt checkpoint blob: footer says " + std::to_string(length) +
+        " payload byte(s), file has " + std::to_string(payload_size) +
+        " (torn write)");
+  }
+  if (util::crc32(blob.data(), payload_size) != crc) {
+    throw CheckpointError(
+        "corrupt checkpoint blob: CRC mismatch (bit flip or torn write)");
+  }
+  return std::vector<std::byte>(blob.begin(),
+                                blob.begin() +
+                                    static_cast<std::ptrdiff_t>(payload_size));
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::vector<std::byte>& blob) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw std::runtime_error("cannot open checkpoint temp file " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out.good()) {
+      std::error_code ignored;
+      fs::remove(tmp, ignored);
+      throw std::runtime_error("failed writing checkpoint temp file " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    throw std::runtime_error("failed committing checkpoint file " + path +
+                             ": " + ec.message());
+  }
+}
+
+std::vector<std::byte> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) {
+    throw std::runtime_error("cannot open checkpoint file " + path);
+  }
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::byte> blob(size);
+  in.read(reinterpret_cast<char*>(blob.data()),
+          static_cast<std::streamsize>(size));
+  if (!in.good()) {
+    throw std::runtime_error("failed reading checkpoint file " + path);
+  }
+  return blob;
+}
+
+std::size_t sweep_tmp_files(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  std::size_t swept = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() == ".tmp") {
+      std::error_code ignored;
+      if (fs::remove(entry.path(), ignored)) ++swept;
+    }
+  }
+  return swept;
+}
+
+CheckpointDir::CheckpointDir(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(keep) {
+  EGT_REQUIRE_MSG(keep_ >= 1, "checkpoint retention must keep >= 1");
+  sweep_tmp_files(dir_);
+}
+
+std::string CheckpointDir::file_name(std::uint64_t gen) {
+  return "checkpoint_g" + std::to_string(gen) + ".bin";
+}
+
+std::string CheckpointDir::path_of(std::uint64_t gen) const {
+  return dir_ + "/" + file_name(gen);
+}
+
+void CheckpointDir::commit(std::uint64_t gen, std::vector<std::byte> payload) {
+  append_crc_footer(payload);
+  atomic_write_file(path_of(gen), payload);
+  const auto gens = generations();
+  if (gens.size() > static_cast<std::size_t>(keep_)) {
+    for (std::size_t i = 0; i + static_cast<std::size_t>(keep_) < gens.size();
+         ++i) {
+      std::error_code ignored;
+      fs::remove(path_of(gens[i]), ignored);
+    }
+  }
+}
+
+std::vector<std::uint64_t> CheckpointDir::generations() const {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return gens;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t gen = 0;
+    if (std::sscanf(name.c_str(), "checkpoint_g%llu.bin",
+                    reinterpret_cast<unsigned long long*>(&gen)) == 1 &&
+        name == file_name(gen)) {
+      gens.push_back(gen);
+    }
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+std::optional<CheckpointDir::Loaded> CheckpointDir::newest_intact(
+    const std::function<void(std::uint64_t, const std::string&)>& on_corrupt)
+    const {
+  const auto gens = generations();
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    try {
+      return Loaded{*it, checked_payload(read_file_bytes(path_of(*it)))};
+    } catch (const std::exception& e) {
+      if (on_corrupt) on_corrupt(*it, e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace egt::core

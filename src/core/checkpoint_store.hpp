@@ -1,0 +1,116 @@
+// Crash-consistent checkpoint storage, shared by the serial engine's
+// rolling checkpoints and the fault-tolerance layer's block checkpoints.
+//
+// PR 2 wrote checkpoints in place: a crash (or injected torn write) in the
+// middle of the write corrupts the very file recovery depends on, and the
+// reader cannot tell a truncated blob from a short one. This component
+// fixes both failure modes:
+//
+//   commit      write-to-temp + atomic rename. A crash mid-write leaves a
+//               `.tmp` orphan, never a half-written committed file; readers
+//               only ever see complete commits. Orphans are swept on
+//               startup (sweep_tmp_files).
+//   integrity   every committed blob carries a CRC-32 footer
+//               (append_crc_footer / checked_payload). Torn or bit-flipped
+//               content fails the checksum and throws CheckpointError —
+//               it can never be mistaken for valid state.
+//   retention   CheckpointDir keeps generation-numbered files
+//               (checkpoint_g<gen>.bin), prunes to the newest N, and on
+//               load falls back to the newest *intact* older generation
+//               when the newest is corrupt — a damaged checkpoint degrades
+//               the restart point by one interval instead of killing it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/wire.hpp"
+
+namespace egt::core {
+
+// -- CRC footer ---------------------------------------------------------------
+
+/// Trailer magic ("EGTCRC32") marking a footer-carrying blob.
+inline constexpr std::uint64_t kCrcFooterMagic = 0x4547544352433332ull;
+
+/// Footer layout appended to the payload: u64 magic, u64 payload length,
+/// u32 CRC-32 of the payload. 20 bytes total.
+inline constexpr std::size_t kCrcFooterBytes = 8 + 8 + 4;
+
+/// Append the integrity footer to `payload` (in place).
+void append_crc_footer(std::vector<std::byte>& payload);
+
+/// Verify the footer and return the payload without it. Throws
+/// CheckpointError on a missing footer, a length mismatch (truncation /
+/// torn write) or a checksum mismatch (bit flip).
+std::vector<std::byte> checked_payload(const std::vector<std::byte>& blob);
+
+// -- atomic files -------------------------------------------------------------
+
+/// Write `blob` to `path` crash-consistently: the bytes go to
+/// `path + ".tmp"` first and are renamed over `path` only once completely
+/// written, so a concurrent crash can never leave a half-written `path`.
+/// Throws std::runtime_error (not CheckpointError — this is an I/O
+/// failure, not a corrupt blob) when the directory is unwritable.
+void atomic_write_file(const std::string& path,
+                       const std::vector<std::byte>& blob);
+
+/// Read a whole file; throws std::runtime_error when unreadable.
+std::vector<std::byte> read_file_bytes(const std::string& path);
+
+/// Delete orphaned `*.tmp` files left by a crash mid-commit. Returns how
+/// many were removed; a missing or unreadable directory sweeps nothing.
+std::size_t sweep_tmp_files(const std::string& dir);
+
+// -- retained checkpoint directory -------------------------------------------
+
+/// A directory of generation-numbered, CRC-footed, atomically committed
+/// checkpoints with bounded retention. Used by `run_simulation
+/// --checkpoint-dir` (serial rolling checkpoints) and by the ft engine's
+/// on-disk block-checkpoint mirror.
+class CheckpointDir {
+ public:
+  /// `keep` newest generations are retained (>= 1). Construction sweeps
+  /// `.tmp` orphans from a previous crash; the directory itself must
+  /// already exist (an unwritable path surfaces on commit, not here).
+  explicit CheckpointDir(std::string dir, int keep = 3);
+
+  /// Commit `payload` (footer added here) as generation `gen`, then prune
+  /// older generations beyond the retention count. Throws
+  /// std::runtime_error on I/O failure — callers that must survive a bad
+  /// --checkpoint-dir catch and count (ft.checkpoint_write_errors).
+  void commit(std::uint64_t gen, std::vector<std::byte> payload);
+
+  /// Newest intact checkpoint: scans generations newest-first, skipping
+  /// files whose footer fails verification (each skip reported through
+  /// `on_corrupt`, e.g. to bump a fallback counter). Returns nullopt when
+  /// no intact checkpoint exists.
+  struct Loaded {
+    std::uint64_t generation = 0;
+    std::vector<std::byte> payload;
+  };
+  std::optional<Loaded> newest_intact(
+      const std::function<void(std::uint64_t gen, const std::string& why)>&
+          on_corrupt = nullptr) const;
+
+  /// Generations currently on disk, ascending (committed files only).
+  std::vector<std::uint64_t> generations() const;
+
+  const std::string& dir() const noexcept { return dir_; }
+  int keep() const noexcept { return keep_; }
+
+  /// The committed filename of one generation ("checkpoint_g<gen>.bin").
+  static std::string file_name(std::uint64_t gen);
+
+ private:
+  std::string path_of(std::uint64_t gen) const;
+
+  std::string dir_;
+  int keep_;
+};
+
+}  // namespace egt::core

@@ -16,11 +16,21 @@
 // the role of the parallel file system a production MPI code would write
 // to). The blob format itself is location-independent and hardened:
 // truncated, corrupt or version-mismatched blobs throw CheckpointError.
+//
+// Crash consistency (PR 3): every stored blob carries the shared CRC-32
+// footer from core/checkpoint_store.hpp, and the store retains the newest
+// `keep` generations per (rank, range) instead of only the latest. A torn
+// write (injected via FaultPlan torn_checkpoints, or a real crash on a
+// non-atomic PFS) fails the CRC on load and recovery falls back to the
+// newest *intact* older entry — or to recomputation — rather than feeding
+// garbage into the bit-exact restore path.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/wire.hpp"
@@ -57,25 +67,40 @@ struct BlockCheckpoint {
   std::vector<double> matrix_slice(pop::SSetId b, pop::SSetId e) const;
 };
 
-/// Thread-safe latest-blob store, keyed by (publishing rank, range). The
-/// master reads a dead rank's entries while survivors keep publishing —
-/// hence the lock.
+/// Thread-safe blob store, keyed by (publishing rank, range, generation),
+/// retaining the newest `keep` generations per (rank, range). The master
+/// reads a dead rank's entries while survivors keep publishing — hence the
+/// lock.
 class CheckpointStore {
  public:
-  /// Publish (replacing any previous blob of the same rank and range).
+  explicit CheckpointStore(int keep = 3);
+
+  /// Publish as generation `generation` (replacing any previous blob of
+  /// the same rank, range and generation; pruning older generations of the
+  /// same rank+range beyond the retention count). A CRC footer is appended
+  /// here; when `torn` is set the stored bytes are truncated mid-payload,
+  /// modelling a crash in the middle of a non-atomic checkpoint write.
   /// The blob is decoded lazily by readers; put() keeps bytes only.
   void put(int rank, pop::SSetId begin, pop::SSetId end,
-           std::vector<std::byte> blob);
+           std::uint64_t generation, std::vector<std::byte> blob,
+           bool torn = false);
 
-  /// Latest blob covering [begin, end) that decodes cleanly and matches
-  /// (generation, table_hash) — the freshness check that makes the fast
-  /// path safe. Corrupt entries are skipped (recovery falls back to
-  /// recompute rather than failing the run).
-  std::optional<BlockCheckpoint> find_covering(pop::SSetId begin,
-                                               pop::SSetId end,
-                                               std::uint64_t generation,
-                                               std::uint64_t table_hash) const;
+  /// Newest usable blob covering [begin, end): CRC-verified, cleanly
+  /// decoded, and passing the freshness gate that makes the restore fast
+  /// path bit-exact — `table_hash` must match, and the generation must
+  /// either equal `generation` or, for cached modes (matrix_cols > 0,
+  /// where fitness and matrix are pure functions of the strategy table),
+  /// may be older: a torn newest entry then falls back to the newest
+  /// intact older generation instead of forcing a recompute. Corrupt
+  /// entries are skipped (reported through `on_corrupt`, e.g. to bump
+  /// ft.checkpoint_fallback) — recovery never fails on a damaged entry.
+  std::optional<BlockCheckpoint> find_covering(
+      pop::SSetId begin, pop::SSetId end, std::uint64_t generation,
+      std::uint64_t table_hash,
+      const std::function<void(const std::string& why)>& on_corrupt =
+          nullptr) const;
 
+  int keep() const noexcept { return keep_; }
   std::size_t entries() const;
   std::uint64_t total_bytes() const;
 
@@ -83,10 +108,12 @@ class CheckpointStore {
   struct Entry {
     int rank;
     pop::SSetId begin, end;
-    std::vector<std::byte> blob;
+    std::uint64_t generation;
+    std::vector<std::byte> blob;  ///< CRC-footed (possibly torn) bytes
   };
   mutable std::mutex mu_;
   std::vector<Entry> entries_;
+  int keep_;
 };
 
 }  // namespace egt::ft

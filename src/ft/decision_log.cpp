@@ -1,0 +1,97 @@
+#include "ft/decision_log.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace egt::ft {
+
+namespace {
+// "EGTDECLG" — the egt.ft_declog/v1 record magic, distinct from every
+// other checkpoint-family blob.
+constexpr std::uint64_t kMagic = 0x4547544445434c47ull;
+}  // namespace
+
+void DecisionLogRecord::encode(core::wire::Writer& w) const {
+  w.u64(kMagic);
+  w.u32(kDecisionLogVersion);
+  w.u64(view);
+  w.u64(generation);
+  for (auto word : nature.rng) w.u64(word);
+  w.u64(nature.planned);
+  w.u8(adopted ? 1 : 0);
+  w.u8(has_moran ? 1 : 0);
+  w.u32(pick.reproducer);
+  w.u32(pick.dying);
+  w.u64(epoch);
+  table.encode(w);
+  w.u32(static_cast<std::uint32_t>(alive.size()));
+  for (int r : alive) w.u32(static_cast<std::uint32_t>(r));
+  w.u64(table_hash);
+}
+
+DecisionLogRecord DecisionLogRecord::decode(core::wire::Reader& r) {
+  if (r.u64("magic") != kMagic) {
+    r.fail("not a decision-log record (bad magic)");
+  }
+  const std::uint32_t version = r.u32("version");
+  if (version != kDecisionLogVersion) {
+    r.fail("unsupported decision-log version " + std::to_string(version) +
+           " (this build reads version " +
+           std::to_string(kDecisionLogVersion) + ")");
+  }
+  DecisionLogRecord rec;
+  rec.view = r.u64("view");
+  rec.generation = r.u64("generation");
+  for (auto& word : rec.nature.rng) word = r.u64("nature rng state");
+  rec.nature.planned = r.u64("nature planned count");
+  rec.adopted = r.u8("adopted flag") != 0;
+  rec.has_moran = r.u8("moran flag") != 0;
+  rec.pick.reproducer = r.u32("moran reproducer");
+  rec.pick.dying = r.u32("moran dying");
+  rec.epoch = r.u64("ownership epoch");
+  rec.table = OwnershipTable::decode(r);
+  const std::uint32_t nalive = r.u32("alive count");
+  rec.alive.reserve(nalive);
+  for (std::uint32_t i = 0; i < nalive; ++i) {
+    rec.alive.push_back(static_cast<int>(r.u32("alive rank")));
+  }
+  rec.table_hash = r.u64("table hash");
+  return rec;
+}
+
+std::vector<std::byte> DecisionLogRecord::encode_blob() const {
+  core::wire::Writer w;
+  encode(w);
+  return w.take();
+}
+
+DecisionLogRecord DecisionLogRecord::decode_blob(
+    const std::vector<std::byte>& blob) {
+  core::wire::Reader r(blob, "decision-log record");
+  DecisionLogRecord rec = decode(r);
+  r.expect_exhausted();
+  return rec;
+}
+
+void DecisionLog::append(DecisionLogRecord rec) {
+  // Idempotent per generation: a resend after a lost ack replaces its twin.
+  for (DecisionLogRecord& existing : records_) {
+    if (existing.generation == rec.generation) {
+      existing = std::move(rec);
+      return;
+    }
+  }
+  EGT_REQUIRE_MSG(records_.empty() ||
+                      rec.generation > records_.back().generation,
+                  "decision log: records must arrive in generation order");
+  records_.push_back(std::move(rec));
+  if (records_.size() > kRetained) {
+    records_.erase(records_.begin(),
+                   records_.begin() +
+                       static_cast<std::ptrdiff_t>(records_.size() -
+                                                   kRetained));
+  }
+}
+
+}  // namespace egt::ft

@@ -28,6 +28,13 @@ int from_name(std::string_view name) {
   if (name == "stop") return kStop;
   if (name == "final") return kFinal;
   if (name == "bye") return kBye;
+  if (name == "log_append") return kLogAppend;
+  if (name == "log_ack") return kLogAck;
+  if (name == "elect") return kElect;
+  if (name == "takeover") return kTakeover;
+  if (name == "takeover_ack") return kTakeoverAck;
+  if (name == "evicted") return kEvicted;
+  if (name == "abort") return kAbort;
   throw std::runtime_error("fault plan: unknown message tag \"" +
                            std::string(name) + "\"");
 }
@@ -114,6 +121,17 @@ FaultPlan FaultPlan::parse(std::string_view json_text) {
       plan.delay(parse_rule(d, /*is_delay=*/true));
     }
   }
+  if (const util::JsonValue* torn = doc.find("torn_checkpoints")) {
+    for (const util::JsonValue& t : torn->items()) {
+      if (!t.is_object() || !t.has("rank") || !t.has("generation")) {
+        throw std::runtime_error(
+            "fault plan: each torn checkpoint needs \"rank\" and "
+            "\"generation\"");
+      }
+      plan.torn_checkpoint(static_cast<int>(t.at("rank").as_u64()),
+                           t.at("generation").as_u64());
+    }
+  }
   return plan;
 }
 
@@ -147,6 +165,19 @@ FaultPlan& FaultPlan::delay(MessageFault rule) {
   return *this;
 }
 
+FaultPlan& FaultPlan::torn_checkpoint(int rank, std::uint64_t generation) {
+  torn_checkpoints_.push_back({rank, generation});
+  return *this;
+}
+
+bool FaultPlan::torn_checkpoint_at(int rank,
+                                   std::uint64_t generation) const noexcept {
+  for (const TornCheckpointFault& t : torn_checkpoints_) {
+    if (t.rank == rank && t.generation == generation) return true;
+  }
+  return false;
+}
+
 std::optional<std::uint64_t> FaultPlan::kill_generation(
     int rank) const noexcept {
   for (const KillFault& k : kills_) {
@@ -156,16 +187,19 @@ std::optional<std::uint64_t> FaultPlan::kill_generation(
 }
 
 void FaultPlan::validate(int nranks) const {
+  EGT_REQUIRE_MSG(kills_.size() < static_cast<std::size_t>(nranks),
+                  "fault plan: at least one rank must survive the plan");
   for (const KillFault& k : kills_) {
-    EGT_REQUIRE_MSG(k.rank != 0,
-                    "fault plan: rank 0 hosts the Nature Agent and cannot be "
-                    "killed (it is the job, not a worker)");
-    EGT_REQUIRE_MSG(k.rank > 0 && k.rank < nranks,
+    EGT_REQUIRE_MSG(k.rank >= 0 && k.rank < nranks,
                     "fault plan: kill rank out of range");
     for (const KillFault& other : kills_) {
       EGT_REQUIRE_MSG(&k == &other || k.rank != other.rank,
                       "fault plan: rank killed twice");
     }
+  }
+  for (const TornCheckpointFault& t : torn_checkpoints_) {
+    EGT_REQUIRE_MSG(t.rank >= 0 && t.rank < nranks,
+                    "fault plan: torn checkpoint rank out of range");
   }
   auto check_rule = [&](const MessageFault& r) {
     EGT_REQUIRE_MSG(r.source == kAny || (r.source >= 0 && r.source < nranks),

@@ -2,11 +2,19 @@
 //
 // The ft engine deliberately avoids tree collectives: a binomial broadcast
 // or dissemination barrier routed through a dead rank hangs forever. All
-// coordination is point-to-point between the Nature Agent (rank 0, which
-// is never killed — it is "the job" from the scheduler's point of view)
-// and each worker, so a silent rank stalls only the master's deadline
-// receive, never a relay chain. The cost is O(P) messages per generation
-// instead of O(log P); DESIGN.md §Fault tolerance discusses the tradeoff.
+// coordination is point-to-point between the Nature Agent (the *master* —
+// rank 0 at launch, but any rank after a failover) and each worker, so a
+// silent rank stalls only the master's deadline receive, never a relay
+// chain. The cost is O(P) messages per generation instead of O(log P);
+// DESIGN.md §Fault tolerance discusses the tradeoff.
+//
+// Failover (PR 3) adds a second tag family: the master streams each
+// generation's decision record to warm standbys (kLogAppend/kLogAck)
+// before broadcasting the decisions, and when the master falls silent the
+// survivors elect a replacement (kElect), which announces itself with
+// kTakeover and collects kTakeoverAck. kEvicted turns a falsely-declared-
+// dead rank passive; kAbort is the unrecoverable-state broadcast that
+// makes every rank throw instead of deadlocking.
 #pragma once
 
 #include <string_view>
@@ -30,6 +38,15 @@ inline constexpr int kPong = 0x1007;      ///< heartbeat reply
 inline constexpr int kReconfigAck = 0x1009;
 inline constexpr int kBlocks = 0x100b;    ///< owned fitness blocks reply
 inline constexpr int kFinal = 0x100d;     ///< final snapshot reply
+
+// Failover: decision-log replication and master election.
+inline constexpr int kLogAppend = 0x100f;    ///< master -> standby: log record
+inline constexpr int kLogAck = 0x1010;       ///< standby -> master: record ack
+inline constexpr int kElect = 0x1011;        ///< any -> all: vote (view, log head)
+inline constexpr int kTakeover = 0x1012;     ///< new master -> all: I am master
+inline constexpr int kTakeoverAck = 0x1013;  ///< worker -> new master
+inline constexpr int kEvicted = 0x1014;      ///< master -> zombie: go passive
+inline constexpr int kAbort = 0x1015;        ///< any -> all: unrecoverable, throw
 
 /// Fault-plan JSON names a tag symbolically ("fit", "plan_ack", ...).
 /// Returns -1 ("any") for "any"; throws std::runtime_error on unknown

@@ -1,0 +1,45 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+//
+// The integrity primitive of the crash-consistent checkpoint store
+// (core/checkpoint_store.hpp): every committed blob carries a CRC footer so
+// a torn or bit-flipped write is *detected* on load instead of silently
+// feeding garbage state into recovery. Software table implementation — the
+// checkpoint path is not a hot path, and a dependency-free kernel keeps the
+// container constraint (no new libraries) trivially satisfied.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace egt::util {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+/// Incremental form: pass the previous return value as `seed` to extend a
+/// checksum over multiple spans. The default seed starts a fresh CRC.
+inline std::uint32_t crc32(const void* data, std::size_t size,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace egt::util

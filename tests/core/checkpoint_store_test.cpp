@@ -1,0 +1,197 @@
+// The crash-consistency layer under every checkpoint: CRC-32 footers,
+// write-temp+rename commits, `.tmp` orphan sweeping, retention pruning and
+// the newest-intact fallback. Filesystem tests run in a per-test temp
+// directory and clean up after themselves.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_store.hpp"
+#include "core/wire.hpp"
+
+namespace egt::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::byte> payload_of(const std::string& text) {
+  std::vector<std::byte> out;
+  for (char c : text) out.push_back(static_cast<std::byte>(c));
+  return out;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("egt_ckpt_test_" + tag + "_" +
+               std::to_string(::testing::UnitTest::GetInstance()->random_seed()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const fs::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+TEST(CrcFooter, RoundTripsPayload) {
+  auto blob = payload_of("the quick brown fox");
+  const auto original = blob;
+  append_crc_footer(blob);
+  EXPECT_EQ(blob.size(), original.size() + kCrcFooterBytes);
+  EXPECT_EQ(checked_payload(blob), original);
+}
+
+TEST(CrcFooter, EmptyPayloadRoundTrips) {
+  std::vector<std::byte> blob;
+  append_crc_footer(blob);
+  EXPECT_EQ(blob.size(), kCrcFooterBytes);
+  EXPECT_TRUE(checked_payload(blob).empty());
+}
+
+TEST(CrcFooter, DetectsTruncationAtEveryLength) {
+  auto blob = payload_of("checkpoint body");
+  append_crc_footer(blob);
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    std::vector<std::byte> cut(blob.begin(),
+                               blob.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)checked_payload(cut), CheckpointError)
+        << "torn write of " << len << " of " << blob.size() << " bytes";
+  }
+}
+
+TEST(CrcFooter, DetectsEveryBitFlip) {
+  auto blob = payload_of("bits");
+  append_crc_footer(blob);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = blob;
+      flipped[i] ^= std::byte{static_cast<unsigned char>(1u << bit)};
+      EXPECT_THROW((void)checked_payload(flipped), CheckpointError)
+          << "flip of bit " << bit << " in byte " << i << " went undetected";
+    }
+  }
+}
+
+TEST(AtomicWrite, WritesAndLeavesNoTemp) {
+  TempDir tmp("atomic");
+  const auto path = (tmp.path() / "blob.bin").string();
+  const auto blob = payload_of("content");
+  atomic_write_file(path, blob);
+  EXPECT_EQ(read_file_bytes(path), blob);
+  EXPECT_FALSE(fs::exists(path + ".tmp"))
+      << "temp file must be renamed away on success";
+}
+
+TEST(AtomicWrite, ThrowsOnUnwritableDirectory) {
+  TempDir tmp("unwritable");
+  const auto path = (tmp.path() / "no_such_subdir" / "blob.bin").string();
+  EXPECT_THROW(atomic_write_file(path, payload_of("x")), std::runtime_error);
+}
+
+TEST(SweepTmpFiles, RemovesOnlyOrphans) {
+  TempDir tmp("sweep");
+  std::ofstream(tmp.path() / "checkpoint_g4.bin") << "committed";
+  std::ofstream(tmp.path() / "checkpoint_g8.bin.tmp") << "orphan";
+  std::ofstream(tmp.path() / "other.tmp") << "orphan too";
+  EXPECT_EQ(sweep_tmp_files(tmp.str()), 2u);
+  EXPECT_TRUE(fs::exists(tmp.path() / "checkpoint_g4.bin"));
+  EXPECT_FALSE(fs::exists(tmp.path() / "checkpoint_g8.bin.tmp"));
+  EXPECT_FALSE(fs::exists(tmp.path() / "other.tmp"));
+  EXPECT_EQ(sweep_tmp_files((tmp.path() / "missing").string()), 0u)
+      << "a missing directory sweeps nothing";
+}
+
+TEST(CheckpointDir, CommitLoadRoundTrip) {
+  TempDir tmp("roundtrip");
+  CheckpointDir dir(tmp.str());
+  dir.commit(12, payload_of("generation twelve"));
+  EXPECT_TRUE(fs::exists(tmp.path() / CheckpointDir::file_name(12)));
+  const auto loaded = dir.newest_intact();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->generation, 12u);
+  EXPECT_EQ(loaded->payload, payload_of("generation twelve"));
+}
+
+TEST(CheckpointDir, ConstructionSweepsTmpOrphans) {
+  TempDir tmp("ctor_sweep");
+  std::ofstream(tmp.path() / "checkpoint_g3.bin.tmp") << "crashed mid-commit";
+  CheckpointDir dir(tmp.str());
+  EXPECT_FALSE(fs::exists(tmp.path() / "checkpoint_g3.bin.tmp"));
+}
+
+TEST(CheckpointDir, PrunesToRetention) {
+  TempDir tmp("retention");
+  CheckpointDir dir(tmp.str(), /*keep=*/2);
+  for (std::uint64_t gen : {4u, 8u, 12u, 16u}) {
+    dir.commit(gen, payload_of("g" + std::to_string(gen)));
+  }
+  EXPECT_EQ(dir.generations(), (std::vector<std::uint64_t>{12, 16}));
+  EXPECT_FALSE(fs::exists(tmp.path() / CheckpointDir::file_name(4)));
+  EXPECT_FALSE(fs::exists(tmp.path() / CheckpointDir::file_name(8)));
+}
+
+TEST(CheckpointDir, FallsBackPastCorruptNewest) {
+  TempDir tmp("fallback");
+  CheckpointDir dir(tmp.str());
+  dir.commit(4, payload_of("old but intact"));
+  dir.commit(8, payload_of("newest"));
+  // Tear the newest file the way a crashed non-atomic writer would.
+  const auto newest = tmp.path() / CheckpointDir::file_name(8);
+  const auto size = fs::file_size(newest);
+  fs::resize_file(newest, size / 2);
+
+  int corrupt_calls = 0;
+  std::uint64_t corrupt_gen = 0;
+  const auto loaded = dir.newest_intact(
+      [&](std::uint64_t gen, const std::string& why) {
+        ++corrupt_calls;
+        corrupt_gen = gen;
+        EXPECT_FALSE(why.empty());
+      });
+  ASSERT_TRUE(loaded.has_value()) << "torn newest must degrade, not fail";
+  EXPECT_EQ(loaded->generation, 4u);
+  EXPECT_EQ(loaded->payload, payload_of("old but intact"));
+  EXPECT_EQ(corrupt_calls, 1);
+  EXPECT_EQ(corrupt_gen, 8u);
+}
+
+TEST(CheckpointDir, DetectsBitFlippedCheckpoint) {
+  TempDir tmp("bitflip");
+  CheckpointDir dir(tmp.str());
+  dir.commit(4, payload_of("only copy"));
+  // Flip one payload bit on disk.
+  const auto path = (tmp.path() / CheckpointDir::file_name(4)).string();
+  auto bytes = read_file_bytes(path);
+  bytes[0] ^= std::byte{0x01};
+  atomic_write_file(path, bytes);
+  int corrupt_calls = 0;
+  const auto loaded = dir.newest_intact(
+      [&](std::uint64_t, const std::string&) { ++corrupt_calls; });
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_EQ(corrupt_calls, 1);
+}
+
+TEST(CheckpointDir, NewestIntactOnEmptyOrMissingDirectory) {
+  TempDir tmp("empty");
+  CheckpointDir dir(tmp.str());
+  EXPECT_FALSE(dir.newest_intact().has_value());
+  CheckpointDir missing((tmp.path() / "never_created").string());
+  EXPECT_FALSE(missing.newest_intact().has_value());
+  EXPECT_TRUE(missing.generations().empty());
+}
+
+TEST(CheckpointDir, RejectsZeroRetention) {
+  TempDir tmp("keep0");
+  EXPECT_THROW(CheckpointDir(tmp.str(), /*keep=*/0), std::exception);
+}
+
+}  // namespace
+}  // namespace egt::core

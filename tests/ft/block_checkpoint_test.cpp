@@ -5,6 +5,7 @@
 
 #include <cstring>
 
+#include "core/checkpoint_store.hpp"
 #include "core/wire.hpp"
 #include "ft/block_checkpoint.hpp"
 
@@ -114,7 +115,7 @@ TEST(BlockCheckpoint, SlicesExtractSubRanges) {
 TEST(CheckpointStore, FindCoveringChecksFreshness) {
   CheckpointStore store;
   const auto c = sample(4, 8, 6);
-  store.put(2, c.begin, c.end, c.encode());
+  store.put(2, c.begin, c.end, c.generation, c.encode());
   EXPECT_EQ(store.entries(), 1u);
 
   // Exact generation + table hash: hit.
@@ -122,9 +123,14 @@ TEST(CheckpointStore, FindCoveringChecksFreshness) {
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->begin, 4u);
 
-  // Stale generation or foreign table: miss.
-  EXPECT_FALSE(
-      store.find_covering(5, 7, c.generation + 1, c.table_hash).has_value());
+  // Cached fitness (matrix_cols > 0) is a pure function of the strategy
+  // table: an older generation with the same table hash is still bit-exact,
+  // so it hits — that is what makes torn-newest fallback possible.
+  auto older = store.find_covering(5, 7, c.generation + 3, c.table_hash);
+  ASSERT_TRUE(older.has_value());
+  EXPECT_EQ(older->generation, c.generation);
+
+  // Foreign table: miss.
   EXPECT_FALSE(
       store.find_covering(5, 7, c.generation, c.table_hash ^ 1).has_value());
   // Range not covered: miss.
@@ -132,16 +138,31 @@ TEST(CheckpointStore, FindCoveringChecksFreshness) {
       store.find_covering(2, 7, c.generation, c.table_hash).has_value());
 }
 
-TEST(CheckpointStore, PutReplacesSameRankAndRange) {
+TEST(CheckpointStore, SampledBlobsRequireExactGeneration) {
   CheckpointStore store;
-  auto c = sample(0, 4, 2);
-  c.generation = 5;
-  store.put(1, 0, 4, c.encode());
-  c.generation = 10;
-  store.put(1, 0, 4, c.encode());
-  EXPECT_EQ(store.entries(), 1u);
+  const auto c = sample(0, 5, /*cols=*/0);
+  store.put(1, 0, 5, c.generation, c.encode());
+  // Sampled fitness depends on the generation's RNG draws: only the exact
+  // generation restores bit-exactly.
+  EXPECT_TRUE(store.find_covering(0, 5, c.generation, c.table_hash));
+  EXPECT_FALSE(store.find_covering(0, 5, c.generation + 1, c.table_hash));
+}
+
+TEST(CheckpointStore, RetainsNewestGenerationsPerRange) {
+  CheckpointStore store(/*keep=*/2);
+  auto c = sample(0, 4, /*cols=*/0);
+  for (std::uint64_t gen : {5u, 10u, 15u}) {
+    c.generation = gen;
+    store.put(1, 0, 4, gen, c.encode());
+  }
+  EXPECT_EQ(store.entries(), 2u);
   EXPECT_FALSE(store.find_covering(0, 4, 5, c.table_hash).has_value());
   EXPECT_TRUE(store.find_covering(0, 4, 10, c.table_hash).has_value());
+  EXPECT_TRUE(store.find_covering(0, 4, 15, c.table_hash).has_value());
+
+  // A resend of the same generation replaces its twin, never duplicates.
+  store.put(1, 0, 4, 15, c.encode());
+  EXPECT_EQ(store.entries(), 2u);
 }
 
 TEST(CheckpointStore, CorruptEntriesAreSkippedNotFatal) {
@@ -149,21 +170,42 @@ TEST(CheckpointStore, CorruptEntriesAreSkippedNotFatal) {
   const auto good = sample(0, 8, 4);
   auto corrupt = good.encode();
   corrupt.resize(corrupt.size() / 2);
-  store.put(1, 0, 8, corrupt);                // rank 1's blob is damaged
-  store.put(2, 0, 8, good.encode());          // rank 2's is fine
+  store.put(1, 0, 8, good.generation, corrupt);  // rank 1's blob is damaged
+  store.put(2, 0, 8, good.generation, good.encode());  // rank 2's is fine
   const auto hit =
       store.find_covering(0, 8, good.generation, good.table_hash);
   ASSERT_TRUE(hit.has_value()) << "damaged entry must not mask the good one";
   EXPECT_EQ(hit->fitness, good.fitness);
 }
 
-TEST(CheckpointStore, TracksTotalBytes) {
+TEST(CheckpointStore, TornNewestFallsBackToOlderIntactGeneration) {
+  CheckpointStore store;
+  auto c = sample(0, 8, 4);
+  c.generation = 10;
+  store.put(1, 0, 8, 10, c.encode());
+  c.generation = 20;
+  store.put(1, 0, 8, 20, c.encode(), /*torn=*/true);
+
+  int corrupt_calls = 0;
+  const auto hit = store.find_covering(
+      0, 8, 20, c.table_hash,
+      [&](const std::string& why) {
+        ++corrupt_calls;
+        EXPECT_FALSE(why.empty());
+      });
+  ASSERT_TRUE(hit.has_value()) << "torn newest must degrade, not fail";
+  EXPECT_EQ(hit->generation, 10u);
+  EXPECT_EQ(corrupt_calls, 1);
+}
+
+TEST(CheckpointStore, TracksTotalBytesIncludingCrcFooters) {
   CheckpointStore store;
   const auto blob = sample().encode();
-  store.put(1, 4, 8, blob);
-  EXPECT_EQ(store.total_bytes(), blob.size());
-  store.put(2, 8, 12, blob);
-  EXPECT_EQ(store.total_bytes(), 2 * blob.size());
+  const std::uint64_t stored = blob.size() + core::kCrcFooterBytes;
+  store.put(1, 4, 8, 12, blob);
+  EXPECT_EQ(store.total_bytes(), stored);
+  store.put(2, 8, 12, 12, blob);
+  EXPECT_EQ(store.total_bytes(), 2 * stored);
 }
 
 }  // namespace

@@ -102,9 +102,17 @@ TEST(FaultPlan, ValidateAcceptsExecutablePlans) {
   EXPECT_NO_THROW(plan.validate(4));
 }
 
-TEST(FaultPlan, ValidateRejectsKillingNature) {
+TEST(FaultPlan, ValidateAcceptsKillingNature) {
+  // Killing rank 0 became a legal plan with master failover; whether a
+  // standby exists to survive it is the engine's check, not the plan's.
   FaultPlan plan;
   plan.kill(0, 5);
+  EXPECT_NO_THROW(plan.validate(4));
+}
+
+TEST(FaultPlan, ValidateRejectsKillingEveryRank) {
+  FaultPlan plan;
+  for (int r = 0; r < 4; ++r) plan.kill(r, 5);
   EXPECT_THROW(plan.validate(4), std::invalid_argument);
 }
 

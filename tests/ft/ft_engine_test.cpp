@@ -305,13 +305,31 @@ TEST(FtEngine, MergesIntoCallerRegistry) {
 TEST(FtEngine, RejectsInexecutablePlansAndOptions) {
   const auto cfg = sampled_config();
   {
+    // Killing the Nature Agent is only recoverable with a warm standby
+    // holding the decision log.
     FtRunOptions opt;
-    opt.plan.kill(0, 3);  // Nature is the job; killing it is not recoverable
+    opt.standby_replicas = 0;
+    opt.plan.kill(0, 3);
     EXPECT_THROW((void)run_parallel_ft(cfg, 3, opt), std::invalid_argument);
   }
   {
     FtRunOptions opt;
     opt.plan.kill(7, 3);  // no such rank
+    EXPECT_THROW((void)run_parallel_ft(cfg, 3, opt), std::invalid_argument);
+  }
+  {
+    FtRunOptions opt;
+    opt.standby_replicas = -1;
+    EXPECT_THROW((void)run_parallel_ft(cfg, 3, opt), std::invalid_argument);
+  }
+  {
+    FtRunOptions opt;
+    opt.checkpoint_keep = 0;
+    EXPECT_THROW((void)run_parallel_ft(cfg, 3, opt), std::invalid_argument);
+  }
+  {
+    FtRunOptions opt;
+    opt.master_silence_ms = -1.0;
     EXPECT_THROW((void)run_parallel_ft(cfg, 3, opt), std::invalid_argument);
   }
   {

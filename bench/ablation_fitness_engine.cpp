@@ -4,22 +4,34 @@
 //                    generation (O(ssets^2 * rounds) per generation).
 //   SampledFrozen  — play each pair once, refresh on strategy change.
 //   Analytic       — exact expected payoffs (cycle detection / Markov).
+//   Analytic rows additionally run with the strategy-interned dedup cache
+//   on and off — the pairs vs games columns show what interning saves on a
+//   population that PC imitation has driven toward few unique strategies.
 //
-// All three produce the identical trajectory for deterministic games
-// (asserted in tests); this bench shows what each costs.
+// All variants produce the identical trajectory for deterministic games
+// (asserted in tests); this bench shows what each costs. --json writes an
+// egt.bench_fitness/v1 document (consumed by tools/bench_check in the CI
+// perf-smoke job).
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace egt;
   util::Cli cli("ablation_fitness_engine",
-                "sampled vs frozen vs analytic fitness evaluation");
+                "sampled vs frozen vs analytic fitness evaluation, with and "
+                "without strategy-interned dedup");
   auto ssets = cli.opt<int>("ssets", 48, "number of SSets");
   auto gens = cli.opt<std::int64_t>("generations", 300, "generations");
+  auto json_out = cli.opt<std::string>(
+      "json", "", "write an egt.bench_fitness/v1 JSON document here");
   cli.parse(argc, argv);
 
   core::SimConfig base;
@@ -32,34 +44,100 @@ int main(int argc, char** argv) {
 
   std::cout << "fitness-engine ablation — " << base.summary() << "\n\n";
 
-  struct Row {
-    const char* name;
-    core::FitnessMode mode;
+  struct Variant {
+    std::string name;
+    core::SimConfig cfg;
   };
-  const Row rows[] = {
-      {"sampled (paper)", core::FitnessMode::Sampled},
-      {"sampled-frozen", core::FitnessMode::SampledFrozen},
-      {"analytic", core::FitnessMode::Analytic},
-  };
-
-  util::TextTable table({"engine", "wall time (s)", "pair evaluations",
-                         "final table hash"});
-  for (const auto& row : rows) {
+  std::vector<Variant> variants;
+  {
     auto cfg = base;
-    cfg.fitness_mode = row.mode;
-    core::Engine engine(cfg);
+    cfg.fitness_mode = core::FitnessMode::Sampled;
+    variants.push_back({"sampled (paper)", cfg});
+    cfg.fitness_mode = core::FitnessMode::SampledFrozen;
+    variants.push_back({"sampled-frozen", cfg});
+    cfg.fitness_mode = core::FitnessMode::Analytic;
+    cfg.dedup = false;
+    variants.push_back({"analytic (no dedup)", cfg});
+    cfg.dedup = true;
+    variants.push_back({"analytic + dedup", cfg});
+    // The dedup showcase: memory-one pure strategies converge onto a few
+    // classes under imitation, so almost every pair is a cache hit.
+    auto conv = base;
+    conv.fitness_mode = core::FitnessMode::Analytic;
+    conv.memory = 1;
+    conv.ssets = 256;
+    conv.pc_rate = 0.6;
+    conv.mutation_rate = 0.01;
+    conv.dedup = false;
+    variants.push_back({"converged-256 (no dedup)", conv});
+    conv.dedup = true;
+    variants.push_back({"converged-256 + dedup", conv});
+  }
+
+  struct Result {
+    std::string name;
+    double wall_s = 0.0;
+    std::uint64_t pairs = 0;
+    std::uint64_t games = 0;
+    std::string hash;
+  };
+  std::vector<Result> results;
+  util::TextTable table({"engine", "wall time (s)", "pair evaluations",
+                         "games played", "final table hash"});
+  for (const auto& v : variants) {
+    core::Engine engine(v.cfg);
     util::Timer t;
     engine.run_all();
+    Result r;
+    r.name = v.name;
+    r.wall_s = t.seconds();
+    r.pairs = engine.pairs_evaluated();
+    r.games = engine.games_played();
     char hash[32];
     std::snprintf(hash, sizeof hash, "%016llx",
                   static_cast<unsigned long long>(
                       engine.population().table_hash()));
-    table.add_row({row.name, std::to_string(t.seconds()),
-                   std::to_string(engine.pairs_evaluated()), hash});
+    r.hash = hash;
+    table.add_row({r.name, std::to_string(r.wall_s), std::to_string(r.pairs),
+                   std::to_string(r.games), r.hash});
+    results.push_back(std::move(r));
   }
   table.print(std::cout);
-  std::cout << "\nall hashes must match: the engines differ only in cost. "
-               "The analytic/frozen engines are what make the 10^5..10^7-"
-               "generation Fig. 2 validation runs feasible on one core.\n";
+  std::cout << "\nhashes must match within each config: the engines differ "
+               "only in cost. Dedup leaves pair evaluations (and the "
+               "trajectory) untouched and collapses games played to "
+               "O(classes^2) per full pass.\n";
+
+  if (!json_out->empty()) {
+    std::ofstream os(*json_out);
+    if (!os) {
+      std::cerr << "cannot write " << *json_out << "\n";
+      return 1;
+    }
+    util::JsonWriter w(os);
+    w.begin_object();
+    w.field("schema", "egt.bench_fitness/v1");
+    w.key("config");
+    w.begin_object();
+    w.field("ssets", static_cast<std::uint64_t>(base.ssets));
+    w.field("generations", base.generations);
+    w.field("seed", base.seed);
+    w.end_object();
+    w.key("rows");
+    w.begin_array();
+    for (const auto& r : results) {
+      w.begin_object();
+      w.field("name", r.name);
+      w.field("wall_s", r.wall_s);
+      w.field("pairs_evaluated", r.pairs);
+      w.field("games_played", r.games);
+      w.field("table_hash", r.hash);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << "\n";
+    std::cout << "wrote " << *json_out << "\n";
+  }
   return 0;
 }

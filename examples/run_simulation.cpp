@@ -83,6 +83,13 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
                        "paper's gate: only adopt strictly better teachers");
   auto threads = cli.opt<int>("agent-threads", 0,
                               "agent-tier worker threads (0 = serial)");
+  auto sset_threads = cli.opt<int>(
+      "sset-threads", 0,
+      "SSet-tier worker threads for whole-block fitness passes (0 = serial)");
+  auto no_dedup = cli.flag(
+      "no-dedup",
+      "disable the strategy-interned class-pair payoff cache (analytic "
+      "fitness then replays every pair's game)");
   auto ranks_opt = cli.opt<int>(
       "ranks", 0, "run the parallel engine on N ranks (0 = serial engine)");
   auto series_opt = cli.opt<std::string>("series", "", "time-series CSV path");
@@ -149,6 +156,8 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   cfg.seed = *seed;
   cfg.require_teacher_better = *gate;
   cfg.agent_threads = static_cast<unsigned>(*threads);
+  cfg.sset_threads = static_cast<unsigned>(*sset_threads);
+  cfg.dedup = !*no_dedup;
   cfg.space = *space == "mixed" ? egt::pop::StrategySpace::Mixed
                                 : egt::pop::StrategySpace::Pure;
   if (*kernel == "ushaped") {

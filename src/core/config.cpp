@@ -54,9 +54,6 @@ void SimConfig::validate() const {
     }
   }
   if (interaction.structured()) {
-    EGT_REQUIRE_MSG(agent_threads == 0,
-                    "the agent-thread tier currently supports only the "
-                    "well-mixed population");
     EGT_REQUIRE_MSG(update_rule == pop::UpdateRule::PairwiseComparison,
                     "the Moran rule is defined for the well-mixed "
                     "population only");

@@ -92,8 +92,25 @@ struct SimConfig {
   /// concurrent game play of the agents within a strategy group): extra
   /// worker threads evaluating one SSet's games. 0 = serial. Results are
   /// bit-identical for any value (games are keyed streams; row sums are
-  /// accumulated in a fixed order).
+  /// accumulated in a fixed order). Works for both the well-mixed and the
+  /// structured populations (neighbour lists reduce in fixed order too).
   unsigned agent_threads = 0;
+
+  /// SSet-row tier: extra worker threads evaluating whole fitness rows of
+  /// a block concurrently during BlockFitness::initialize /
+  /// begin_generation (rows are independent; each row's sum keeps its
+  /// fixed j order). 0 = serial. Bit-identical for any value, in every
+  /// engine (serial, run_parallel, run_parallel_ft).
+  unsigned sset_threads = 0;
+
+  /// Strategy-interned fitness dedup: whenever the pairwise payoff is a
+  /// pure function of the strategy pair (Analytic mode where an exact
+  /// method applies — see core/fitness.hpp), play one game per unique
+  /// (class_i, class_j) pair and reuse the value for every SSet pair in
+  /// those classes: O(u^2) games for u unique strategies instead of
+  /// O(ssets^2). Fitness values and trajectories are bit-identical either
+  /// way; only engine.games_played changes. Sampled mode is unaffected.
+  bool dedup = true;
 
   /// Throws std::invalid_argument on inconsistent settings.
   void validate() const;

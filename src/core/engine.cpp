@@ -42,6 +42,7 @@ void Engine::bind_metrics(obs::MetricsRegistry* metrics) {
   ct_moran_events_ = &metrics->counter("engine.moran_events");
   ct_mutations_ = &metrics->counter("engine.mutations");
   ct_pairs_ = &metrics->counter("engine.pairs_evaluated");
+  ct_games_ = &metrics->counter("engine.games_played");
 }
 
 void Engine::account_pairs() {
@@ -49,6 +50,9 @@ void Engine::account_pairs() {
   const std::uint64_t total = fitness_.pairs_evaluated();
   ct_pairs_->inc(total - pairs_accounted_);
   pairs_accounted_ = total;
+  const std::uint64_t games = fitness_.games_played();
+  ct_games_->inc(games - games_accounted_);
+  games_accounted_ = games;
 }
 
 Engine::Engine(const SimConfig& config, obs::MetricsRegistry* metrics)

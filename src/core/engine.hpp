@@ -70,6 +70,12 @@ class Engine {
     return fitness_.pairs_evaluated();
   }
 
+  /// Games actually played so far — <= pairs_evaluated(); the gap is the
+  /// strategy-interned dedup saving (config.dedup, Analytic mode).
+  std::uint64_t games_played() const noexcept {
+    return fitness_.games_played();
+  }
+
   /// The interaction graph (null for the well-mixed population).
   const pop::InteractionGraph* interaction_graph() const noexcept {
     return graph_.get();
@@ -78,7 +84,8 @@ class Engine {
  private:
   /// Resolve phase histograms / event counters once (lock-free afterwards).
   void bind_metrics(obs::MetricsRegistry* metrics);
-  /// Add fitness_.pairs_evaluated() growth to the pairs counter.
+  /// Add fitness_.pairs_evaluated() / games_played() growth to the
+  /// engine.pairs_evaluated and engine.games_played counters.
   void account_pairs();
 
   SimConfig config_;
@@ -101,7 +108,9 @@ class Engine {
   obs::Counter* ct_moran_events_ = nullptr;
   obs::Counter* ct_mutations_ = nullptr;
   obs::Counter* ct_pairs_ = nullptr;
+  obs::Counter* ct_games_ = nullptr;
   std::uint64_t pairs_accounted_ = 0;
+  std::uint64_t games_accounted_ = 0;
 };
 
 /// Null for well-mixed configs; the shared graph otherwise.

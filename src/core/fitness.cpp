@@ -1,5 +1,9 @@
 #include "core/fitness.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+
 #include "util/check.hpp"
 
 namespace egt::core {
@@ -8,26 +12,38 @@ PairEvaluator::PairEvaluator(const SimConfig& config)
     : config_(config),
       engine_(config.memory, config.game, config.lookup) {}
 
+bool PairEvaluator::strategy_pure(const game::Strategy& si,
+                                  const game::Strategy& sj) const noexcept {
+  if (config_.fitness_mode != FitnessMode::Analytic) return false;
+  if (si.is_pure() && sj.is_pure() && config_.game.noise == 0.0) return true;
+  return config_.memory == 1;
+}
+
+double PairEvaluator::pair_payoff(const game::Strategy& si,
+                                  const game::Strategy& sj) const {
+  if (si.is_pure() && sj.is_pure() && config_.game.noise == 0.0) {
+    return game::markov::exact_pure_game(si.as_pure(), sj.as_pure(),
+                                         config_.game.payoff,
+                                         config_.game.rounds)
+        .payoff_a;
+  }
+  return game::markov::expected_game_mem1(si, sj, config_.game.payoff,
+                                          config_.game.rounds,
+                                          config_.game.noise)
+      .payoff_a;
+}
+
 double PairEvaluator::payoff(const pop::Population& pop, pop::SSetId i,
                              pop::SSetId j, std::uint64_t gen_key) const {
   const game::Strategy& si = pop.strategy(i);
   const game::Strategy& sj = pop.strategy(j);
-  if (config_.fitness_mode == FitnessMode::Analytic) {
-    if (si.is_pure() && sj.is_pure() && config_.game.noise == 0.0) {
-      return game::markov::exact_pure_game(si.as_pure(), sj.as_pure(),
-                                           config_.game.payoff,
-                                           config_.game.rounds)
-          .payoff_a;
-    }
-    if (config_.memory == 1) {
-      return game::markov::expected_game_mem1(si, sj, config_.game.payoff,
-                                              config_.game.rounds,
-                                              config_.game.noise)
-          .payoff_a;
-    }
-    // No closed form for stochastic memory>=2 pairs: fall through to a
-    // (frozen) sampled game.
+  if (strategy_pure(si, sj)) {
+    // Exact methods: the value is a pure function of the strategy pair
+    // (the dedup-eligibility rule) and gen_key is ignored.
+    return pair_payoff(si, sj);
   }
+  // No closed form (Sampled streams, or stochastic memory>=2 under
+  // Analytic): play a game on the (gen_key, i, j)-keyed stream.
   util::StreamRng rng(config_.seed, util::stream_key(gen_key, i, j));
   return engine_.play(si, sj, rng).payoff_a;
 }
@@ -39,7 +55,8 @@ BlockFitness::BlockFitness(const SimConfig& config, pop::SSetId row_begin,
       eval_(config),
       graph_(std::move(graph)),
       begin_(row_begin),
-      end_(row_end) {
+      end_(row_end),
+      dedup_(config.dedup && config.fitness_mode == FitnessMode::Analytic) {
   EGT_REQUIRE(row_begin <= row_end && row_end <= config.ssets);
   fitness_.assign(end_ - begin_, 0.0);
   if (cached()) {
@@ -49,6 +66,9 @@ BlockFitness::BlockFitness(const SimConfig& config, pop::SSetId row_begin,
   if (config.agent_threads > 0) {
     row_scratch_.assign(config_.ssets, 0.0);
     agent_pool_ = std::make_unique<par::ThreadPool>(config.agent_threads);
+  }
+  if (config.sset_threads > 0 && end_ > begin_) {
+    sset_pool_ = std::make_unique<par::ThreadPool>(config.sset_threads);
   }
 }
 
@@ -60,34 +80,128 @@ double BlockFitness::row_scale(pop::SSetId i) const noexcept {
   return 1.0 / (opponents * config_.game.rounds);
 }
 
+double BlockFitness::pair_value(const pop::Population& pop, pop::SSetId i,
+                                pop::SSetId j, std::uint64_t gen_key,
+                                std::uint64_t& games, bool allow_insert) {
+  if (dedup_) {
+    const auto& classes = pop.classes();
+    const pop::StrategyClass& ci = classes[pop.strategy_class(i)];
+    const pop::StrategyClass& cj = classes[pop.strategy_class(j)];
+    if (eval_.strategy_pure(ci.strategy, cj.strategy)) {
+      const std::uint64_t key = game::Strategy::pair_key(ci.hash, cj.hash);
+      const auto it = class_pay_.find(key);
+      if (it != class_pay_.end()) return it->second.payoff;
+      const double v = eval_.pair_payoff(ci.strategy, cj.strategy);
+      ++games;
+      // Pool workers run behind a prefill and must not mutate the cache;
+      // recomputing a rare miss is correct either way (pure function).
+      if (allow_insert) class_pay_.emplace(key, ClassPay{v, ci.hash, cj.hash});
+      return v;
+    }
+  }
+  ++games;
+  return eval_.payoff(pop, i, j, gen_key);
+}
+
+void BlockFitness::prefill_pair(const pop::Population& pop, pop::ClassId cr,
+                                pop::ClassId cc) {
+  const auto& classes = pop.classes();
+  const pop::StrategyClass& row = classes[cr];
+  const pop::StrategyClass& col = classes[cc];
+  if (!eval_.strategy_pure(row.strategy, col.strategy)) return;
+  const std::uint64_t key = game::Strategy::pair_key(row.hash, col.hash);
+  if (class_pay_.find(key) != class_pay_.end()) return;
+  class_pay_.emplace(
+      key, ClassPay{eval_.pair_payoff(row.strategy, col.strategy), row.hash,
+                    col.hash});
+  ++games_;
+}
+
+void BlockFitness::prefill_class(const pop::Population& pop, pop::ClassId cr) {
+  // Cover exactly the keys a well-mixed row of class `cr` can touch, so
+  // games_played stays identical to the serial lazy path for any thread
+  // count: every live column class — except the self pair of a singleton
+  // class, which no (i, j != i) ever realizes.
+  const auto& classes = pop.classes();
+  for (pop::ClassId cc = 0; cc < classes.size(); ++cc) {
+    if (classes[cc].members == 0) continue;
+    if (cc == cr && classes[cc].members < 2) continue;
+    prefill_pair(pop, cr, cc);
+  }
+}
+
 void BlockFitness::recompute_row(pop::SSetId i, const pop::Population& pop,
-                                 std::uint64_t gen_key) {
+                                 std::uint64_t gen_key, Counts& counts,
+                                 bool nested) {
   const std::size_t row = i - begin_;
+  const bool use_agent_pool = agent_pool_ != nullptr && !nested;
+  if (dedup_ && use_agent_pool) {
+    // The agent tier reads the cache from several threads: make every
+    // strategy-pure pair of this row a guaranteed hit first. Structured
+    // rows only ever touch their neighbours' classes.
+    const pop::ClassId ci = pop.strategy_class(i);
+    if (structured()) {
+      for (pop::SSetId j : graph_->neighbors(i)) {
+        prefill_pair(pop, ci, pop.strategy_class(j));
+      }
+    } else {
+      prefill_class(pop, ci);
+    }
+  }
   double sum = 0.0;
   if (structured()) {
     // Structured population: only neighbours play.
-    for (pop::SSetId j : graph_->neighbors(i)) {
-      const double v = eval_.payoff(pop, i, j, gen_key);
-      ++pairs_;
-      if (cached()) matrix_[row * config_.ssets + j] = v;
-      sum += v;
+    const std::span<const pop::SSetId> nbrs = graph_->neighbors(i);
+    if (use_agent_pool) {
+      // Agent tier for structured rows: the neighbour games run
+      // concurrently into the scratch buffer (indexed by neighbour
+      // position); the reduction then walks the neighbour list in its
+      // fixed order — bit-identical to the serial loop.
+      std::atomic<std::uint64_t> games{0};
+      agent_pool_->parallel_for(
+          nbrs.size(), [&](std::uint64_t b, std::uint64_t e) {
+            std::uint64_t g = 0;
+            for (std::uint64_t t = b; t < e; ++t) {
+              row_scratch_[t] =
+                  pair_value(pop, i, nbrs[t], gen_key, g, false);
+            }
+            games.fetch_add(g, std::memory_order_relaxed);
+          });
+      counts.games += games.load(std::memory_order_relaxed);
+      counts.pairs += nbrs.size();
+      for (std::size_t t = 0; t < nbrs.size(); ++t) {
+        const double v = row_scratch_[t];
+        if (cached()) matrix_[row * config_.ssets + nbrs[t]] = v;
+        sum += v;
+      }
+    } else {
+      for (pop::SSetId j : nbrs) {
+        const double v = pair_value(pop, i, j, gen_key, counts.games, !nested);
+        ++counts.pairs;
+        if (cached()) matrix_[row * config_.ssets + j] = v;
+        sum += v;
+      }
     }
     fitness_[row] = sum * row_scale(i);
     return;
   }
-  if (agent_pool_ != nullptr) {
+  if (use_agent_pool) {
     // Agent tier: the row's games run concurrently into a buffer; the sum
     // is then taken in fixed j order, so the result is bit-identical to
     // the serial path.
+    std::atomic<std::uint64_t> games{0};
     agent_pool_->parallel_for(
         config_.ssets, [&](std::uint64_t b, std::uint64_t e) {
+          std::uint64_t g = 0;
           for (std::uint64_t j = b; j < e; ++j) {
             if (j == i) continue;
-            row_scratch_[j] = eval_.payoff(pop, i, static_cast<pop::SSetId>(j),
-                                           gen_key);
+            row_scratch_[j] = pair_value(pop, i, static_cast<pop::SSetId>(j),
+                                         gen_key, g, false);
           }
+          games.fetch_add(g, std::memory_order_relaxed);
         });
-    pairs_ += config_.ssets - 1;
+    counts.games += games.load(std::memory_order_relaxed);
+    counts.pairs += config_.ssets - 1;
     for (pop::SSetId j = 0; j < config_.ssets; ++j) {
       if (j == i) continue;
       if (cached()) matrix_[row * config_.ssets + j] = row_scratch_[j];
@@ -96,8 +210,8 @@ void BlockFitness::recompute_row(pop::SSetId i, const pop::Population& pop,
   } else {
     for (pop::SSetId j = 0; j < config_.ssets; ++j) {
       if (j == i) continue;
-      const double v = eval_.payoff(pop, i, j, gen_key);
-      ++pairs_;
+      const double v = pair_value(pop, i, j, gen_key, counts.games, !nested);
+      ++counts.pairs;
       if (cached()) matrix_[row * config_.ssets + j] = v;
       sum += v;
     }
@@ -105,40 +219,115 @@ void BlockFitness::recompute_row(pop::SSetId i, const pop::Population& pop,
   fitness_[row] = sum * row_scale(i);
 }
 
-void BlockFitness::initialize(const pop::Population& pop) {
-  for (pop::SSetId i = begin_; i < end_; ++i) {
-    recompute_row(i, pop, 0);
+void BlockFitness::evaluate_rows(const pop::Population& pop,
+                                 std::uint64_t gen_key) {
+  const std::uint64_t rows = end_ - begin_;
+  if (sset_pool_ == nullptr) {
+    Counts counts;
+    for (pop::SSetId i = begin_; i < end_; ++i) {
+      recompute_row(i, pop, gen_key, counts, false);
+    }
+    pairs_ += counts.pairs;
+    games_ += counts.games;
+    return;
   }
+  if (dedup_) {
+    // Pool workers only read the cache: cover exactly the strategy-pure
+    // pairs the rows below will touch, so the hit set is guaranteed and
+    // games_played stays thread-count-invariant.
+    if (structured()) {
+      for (pop::SSetId i = begin_; i < end_; ++i) {
+        const pop::ClassId ci = pop.strategy_class(i);
+        for (pop::SSetId j : graph_->neighbors(i)) {
+          prefill_pair(pop, ci, pop.strategy_class(j));
+        }
+      }
+    } else {
+      std::vector<pop::ClassId> row_classes;
+      row_classes.reserve(rows);
+      for (pop::SSetId i = begin_; i < end_; ++i) {
+        row_classes.push_back(pop.strategy_class(i));
+      }
+      std::sort(row_classes.begin(), row_classes.end());
+      row_classes.erase(std::unique(row_classes.begin(), row_classes.end()),
+                        row_classes.end());
+      for (pop::ClassId cr : row_classes) prefill_class(pop, cr);
+    }
+  }
+  // SSet-row tier: rows are independent (each writes only its fitness and
+  // matrix entries and its own Counts slot); every row keeps its fixed
+  // j-order sum, so any thread count is bit-identical to serial.
+  std::vector<Counts> per_row(rows);
+  sset_pool_->parallel_for(rows, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t r = b; r < e; ++r) {
+      recompute_row(begin_ + static_cast<pop::SSetId>(r), pop, gen_key,
+                    per_row[r], true);
+    }
+  });
+  for (const Counts& c : per_row) {
+    pairs_ += c.pairs;
+    games_ += c.games;
+  }
+}
+
+void BlockFitness::initialize(const pop::Population& pop) {
+  evaluate_rows(pop, 0);
 }
 
 void BlockFitness::begin_generation(const pop::Population& pop,
                                     std::uint64_t generation) {
   if (cached()) return;  // values only move when a strategy changes
-  for (pop::SSetId i = begin_; i < end_; ++i) {
-    recompute_row(i, pop, generation);
-  }
+  evaluate_rows(pop, generation);
 }
 
 void BlockFitness::strategy_changed(pop::SSetId k, const pop::Population& pop,
                                     std::uint64_t generation) {
   if (!cached()) return;  // next begin_generation re-plays everything anyway
+  Counts counts;
   if (k >= begin_ && k < end_) {
-    recompute_row(k, pop, generation);
+    recompute_row(k, pop, generation, counts, false);
   }
   for (pop::SSetId i = begin_; i < end_; ++i) {
     if (i == k) continue;
     if (structured() && !graph_->are_neighbors(i, k)) continue;
     const std::size_t idx =
         static_cast<std::size_t>(i - begin_) * config_.ssets + k;
-    const double fresh = eval_.payoff(pop, i, k, generation);
-    ++pairs_;
+    // Incremental class-delta update: the fresh value comes from the
+    // class-pair cache when the pair is strategy-pure (one game per new
+    // class pair), and matrix_ still holds the pre-change value, so the
+    // fitness delta needs no old-class bookkeeping.
+    const double fresh = pair_value(pop, i, k, generation, counts.games, true);
+    ++counts.pairs;
     fitness_[i - begin_] += (fresh - matrix_[idx]) * row_scale(i);
     matrix_[idx] = fresh;
+  }
+  pairs_ += counts.pairs;
+  games_ += counts.games;
+  maybe_prune_cache(pop);
+}
+
+void BlockFitness::maybe_prune_cache(const pop::Population& pop) {
+  if (!dedup_) return;
+  const std::uint64_t live = pop.class_count();
+  if (class_pay_.size() <= 256 + 8 * live * live) return;
+  std::unordered_set<std::uint64_t> live_hashes;
+  live_hashes.reserve(live);
+  for (const pop::StrategyClass& c : pop.classes()) {
+    if (c.members > 0) live_hashes.insert(c.hash);
+  }
+  for (auto it = class_pay_.begin(); it != class_pay_.end();) {
+    if (live_hashes.count(it->second.a) == 0 ||
+        live_hashes.count(it->second.b) == 0) {
+      it = class_pay_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
 void BlockFitness::restore_state(std::vector<double> fitness,
-                                 std::vector<double> matrix) {
+                                 std::vector<double> matrix,
+                                 std::vector<DedupEntry> cache) {
   EGT_REQUIRE_MSG(cached(),
                   "restore_state only applies to cached fitness modes "
                   "(Sampled mode recomputes from the population)");
@@ -148,6 +337,27 @@ void BlockFitness::restore_state(std::vector<double> fitness,
                   "restored payoff matrix size mismatch");
   fitness_ = std::move(fitness);
   matrix_ = std::move(matrix);
+  if (dedup_) {
+    class_pay_.clear();
+    class_pay_.reserve(cache.size());
+    for (const DedupEntry& e : cache) {
+      class_pay_.emplace(game::Strategy::pair_key(e.a, e.b),
+                         ClassPay{e.payoff, e.a, e.b});
+    }
+  }
+}
+
+std::vector<BlockFitness::DedupEntry> BlockFitness::dedup_cache() const {
+  std::vector<DedupEntry> out;
+  out.reserve(class_pay_.size());
+  for (const auto& [key, entry] : class_pay_) {
+    out.push_back(DedupEntry{entry.a, entry.b, entry.payoff});
+  }
+  // Deterministic blob bytes regardless of hash-map iteration order.
+  std::sort(out.begin(), out.end(), [](const DedupEntry& x, const DedupEntry& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  return out;
 }
 
 double BlockFitness::fitness(pop::SSetId i) const {

@@ -11,11 +11,33 @@
 // of SSets. The serial engine uses one block covering everything; each
 // parallel rank owns one block (memory then scales as rows/rank * ssets,
 // mirroring the paper's per-node strategy-space storage).
+//
+// Two orthogonal accelerations sit on top of the brute-force block:
+//
+//  * Strategy-interned dedup (config.dedup, Analytic mode): whenever the
+//    pairwise payoff is a *pure function of the strategy pair* — the
+//    dedup-eligibility rule, satisfied exactly where an exact method
+//    applies (deterministic pure pair via exact_pure_game, or memory-one
+//    via expected_game_mem1) — the engine plays one game per unique
+//    (class_i, class_j) from the population's interned class table and
+//    reuses the value for every SSet pair in those classes: O(u^2) games
+//    for u unique strategies instead of O(ssets^2). Row sums still walk
+//    every j in fixed order over the cached values, so fitness, matrix and
+//    trajectories are bit-identical to brute force; only games_played
+//    drops. Pairs whose payoff is (i, j)-keyed (Sampled/SampledFrozen
+//    streams, the Analytic fall-through for stochastic memory>=2) are
+//    never deduplicated.
+//
+//  * SSet-row tier (config.sset_threads): initialize / begin_generation
+//    evaluate independent rows concurrently on a par::ThreadPool; each
+//    row's sum keeps its fixed j order, so results stay bit-identical for
+//    any thread count.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/config.hpp"
@@ -36,6 +58,18 @@ class PairEvaluator {
   double payoff(const pop::Population& pop, pop::SSetId i, pop::SSetId j,
                 std::uint64_t gen_key) const;
 
+  /// Dedup-eligibility rule: true when payoff(·) for this strategy pair is
+  /// a pure function of (si, sj) — an exact method applies in Analytic
+  /// mode. Sampled streams (and the Analytic fall-through for stochastic
+  /// memory>=2 pairs) are keyed by (gen_key, i, j) and are never eligible.
+  bool strategy_pure(const game::Strategy& si,
+                     const game::Strategy& sj) const noexcept;
+
+  /// Payoff of a strategy-pure pair (si's side). Must only be called when
+  /// strategy_pure(si, sj); returns exactly the value payoff() computes
+  /// for any (i, j, gen_key) mapping to these strategies.
+  double pair_payoff(const game::Strategy& si, const game::Strategy& sj) const;
+
   const game::IpdEngine& engine() const noexcept { return engine_; }
 
  private:
@@ -45,6 +79,16 @@ class PairEvaluator {
 
 class BlockFitness {
  public:
+  /// One entry of the exported dedup cache: payoff of content-hash pair
+  /// (a, b), ready to be carried by a block checkpoint and re-interned on
+  /// restore. Keys are strategy *content* hashes, never class ids — ids
+  /// are recycled, content is forever.
+  struct DedupEntry {
+    std::uint64_t a = 0;  ///< Strategy::hash() of the row strategy
+    std::uint64_t b = 0;  ///< Strategy::hash() of the column strategy
+    double payoff = 0.0;
+  };
+
   /// `graph` restricts game play to neighbours (null = well-mixed, the
   /// paper's population; the engines pass make_interaction_graph output).
   BlockFitness(const SimConfig& config, pop::SSetId row_begin,
@@ -83,14 +127,38 @@ class BlockFitness {
   /// block state instead of re-evaluating. `fitness` must have one entry
   /// per owned row and `matrix` rows x ssets entries. The values must come
   /// from a block computed over the same population — the ft layer
-  /// guarantees this with a population hash check.
-  void restore_state(std::vector<double> fitness, std::vector<double> matrix);
+  /// guarantees this with a population hash check. `cache` re-seeds the
+  /// dedup class-pair table (ignored when dedup is off) so the restored
+  /// block keeps answering strategy changes without replaying class games.
+  void restore_state(std::vector<double> fitness, std::vector<double> matrix,
+                     std::vector<DedupEntry> cache = {});
 
-  /// Games played (sampled) or pairs evaluated (analytic) so far — work
-  /// accounting used by tests and the ablation bench.
+  /// The dedup class-pair cache in a deterministic (sorted) order — the
+  /// part of a block checkpoint that travels alongside the matrix. Empty
+  /// when dedup is off.
+  std::vector<DedupEntry> dedup_cache() const;
+
+  /// True when this block deduplicates strategy-pure pairs.
+  bool dedup_active() const noexcept { return dedup_; }
+
+  /// Logical ordered pairs evaluated so far — each (i, j) an owned row
+  /// sums over counts once, whether its value came from a fresh game or
+  /// the dedup cache. This is the counter the serial/parallel equality
+  /// tests rely on.
   std::uint64_t pairs_evaluated() const noexcept { return pairs_; }
 
+  /// Games actually played (expected-payoff computations included) —
+  /// <= pairs_evaluated(); the gap is the dedup saving.
+  std::uint64_t games_played() const noexcept { return games_; }
+
  private:
+  /// Work done by one row evaluation, accumulated thread-locally so the
+  /// SSet-row tier never races on the block counters.
+  struct Counts {
+    std::uint64_t pairs = 0;
+    std::uint64_t games = 0;
+  };
+
   bool cached() const noexcept {
     return config_.fitness_mode != FitnessMode::Sampled;
   }
@@ -98,19 +166,60 @@ class BlockFitness {
     return graph_ != nullptr && !graph_->is_complete();
   }
   double row_scale(pop::SSetId i) const noexcept;
+
+  /// Value of ordered pair (i, j), bit-identical to eval_.payoff. In
+  /// dedup mode, strategy-pure pairs are answered from the class-pair
+  /// cache (a miss plays the one game and, when `allow_insert`, caches
+  /// it — insertion is forbidden from pool workers, which run behind a
+  /// prefill instead). `games` counts actual evaluations.
+  double pair_value(const pop::Population& pop, pop::SSetId i, pop::SSetId j,
+                    std::uint64_t gen_key, std::uint64_t& games,
+                    bool allow_insert);
+
+  /// Cache the (cr, cc) payoff if the pair is strategy-pure and missing
+  /// (serial; run before handing rows to a pool).
+  void prefill_pair(const pop::Population& pop, pop::ClassId cr,
+                    pop::ClassId cc);
+
+  /// Prefill every (cr, live class) pair a well-mixed row of class `cr`
+  /// can touch (skips a singleton class's unreachable self pair).
+  void prefill_class(const pop::Population& pop, pop::ClassId cr);
+
+  /// recompute_row with `nested` set runs inside the SSet-row pool: it
+  /// must not touch shared scratch (agent tier) or mutate the cache.
   void recompute_row(pop::SSetId i, const pop::Population& pop,
-                     std::uint64_t gen_key);
+                     std::uint64_t gen_key, Counts& counts, bool nested);
+
+  /// initialize / begin_generation body: all owned rows, through the
+  /// SSet-row pool when configured.
+  void evaluate_rows(const pop::Population& pop, std::uint64_t gen_key);
+
+  /// Drop cache entries whose strategies died once the cache outgrows the
+  /// live class-pair count (values are pure content functions, so pruning
+  /// only ever trades a replay, never correctness).
+  void maybe_prune_cache(const pop::Population& pop);
+
+  struct ClassPay {
+    double payoff = 0.0;
+    std::uint64_t a = 0;  // content hashes kept for pruning / export
+    std::uint64_t b = 0;
+  };
 
   SimConfig config_;
   PairEvaluator eval_;
   std::shared_ptr<const pop::InteractionGraph> graph_;
   pop::SSetId begin_;
   pop::SSetId end_;
+  bool dedup_ = false;
   std::vector<double> fitness_;         // per owned row (scaled sums)
   std::vector<double> matrix_;          // cached modes: rows x ssets payoffs
   std::vector<double> row_scratch_;     // agent-tier evaluation buffer
   std::unique_ptr<par::ThreadPool> agent_pool_;  // paper's second tier
-  mutable std::uint64_t pairs_ = 0;
+  std::unique_ptr<par::ThreadPool> sset_pool_;   // SSet-row tier
+  // Dedup class-pair cache: Strategy::pair_key(a, b) → payoff.
+  std::unordered_map<std::uint64_t, ClassPay> class_pay_;
+  std::uint64_t pairs_ = 0;
+  std::uint64_t games_ = 0;
 };
 
 }  // namespace egt::core

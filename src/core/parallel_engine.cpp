@@ -94,6 +94,7 @@ struct RankInstruments {
   obs::Histogram* decision = nullptr;
   obs::Histogram* apply = nullptr;
   obs::Counter* pairs = nullptr;
+  obs::Counter* games = nullptr;
   obs::Counter* generations = nullptr;
   obs::Counter* pc_events = nullptr;
   obs::Counter* adoptions = nullptr;
@@ -107,6 +108,7 @@ struct RankInstruments {
     decision = &reg.histogram(obs::phase::kDecisionBcast);
     apply = &reg.histogram(obs::phase::kApplyUpdate);
     pairs = &reg.counter("engine.pairs_evaluated");
+    games = &reg.counter("engine.games_played");
     if (rank == 0) {
       generations = &reg.counter("engine.generations");
       pc_events = &reg.counter("engine.pc_events");
@@ -148,6 +150,8 @@ void rank_main(par::Comm& comm, const SimConfig& config,
   }
   std::uint64_t pairs_accounted = fit.pairs_evaluated();
   ins.pairs->inc(pairs_accounted);
+  std::uint64_t games_accounted = fit.games_played();
+  ins.games->inc(games_accounted);
 
   const bool replay_nature =
       config.comm_pattern == CommPattern::ReplicatedNature;
@@ -315,6 +319,9 @@ void rank_main(par::Comm& comm, const SimConfig& config,
     const std::uint64_t pairs_now = fit.pairs_evaluated();
     ins.pairs->inc(pairs_now - pairs_accounted);
     pairs_accounted = pairs_now;
+    const std::uint64_t games_now = fit.games_played();
+    ins.games->inc(games_now - games_accounted);
+    games_accounted = games_now;
 
     if (options.progress && rank == 0) {
       const double now = progress_timer.seconds();

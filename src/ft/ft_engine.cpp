@@ -57,7 +57,9 @@ struct FtInstruments {
   obs::Histogram* recovery = nullptr;
   obs::Histogram* election = nullptr;
   obs::Counter* pairs = nullptr;           // engine.pairs_evaluated
+  obs::Counter* games = nullptr;           // engine.games_played
   obs::Counter* recovery_pairs = nullptr;  // ft.recovery.pairs_evaluated
+  obs::Counter* recovery_games = nullptr;  // ft.recovery.games_played
   obs::Counter* ckpt_writes = nullptr;
   obs::Counter* ckpt_bytes = nullptr;
   obs::Counter* ckpt_fallback = nullptr;
@@ -94,7 +96,9 @@ struct FtInstruments {
     recovery = &reg.histogram("phase.ft_recovery");
     election = &reg.histogram("phase.ft_election");
     pairs = &reg.counter("engine.pairs_evaluated");
+    games = &reg.counter("engine.games_played");
     recovery_pairs = &reg.counter("ft.recovery.pairs_evaluated");
+    recovery_games = &reg.counter("ft.recovery.games_played");
     ckpt_writes = &reg.counter("ft.checkpoint.writes");
     ckpt_bytes = &reg.counter("ft.checkpoint.bytes");
     ckpt_fallback = &reg.counter("ft.checkpoint.fallbacks");
@@ -157,13 +161,15 @@ class BlockSet {
   /// in the base engines.
   void add_initial(pop::SSetId begin, pop::SSetId end,
                    const pop::Population& pop) {
-    Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0};
+    Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0, 0};
     {
       obs::ScopedTimer t(ins_.game_play);
       blk.fit.initialize(pop);
     }
     blk.accounted = blk.fit.pairs_evaluated();
     ins_.pairs->inc(blk.accounted);
+    blk.games_accounted = blk.fit.games_played();
+    ins_.games->inc(blk.games_accounted);
     blk.snapshot.assign(blk.fit.block().size(), 0.0);
     blocks_.push_back(std::move(blk));
   }
@@ -254,24 +260,28 @@ class BlockSet {
              const pop::Population& pop_gen_start, std::uint64_t gen,
              const CheckpointStore& store, std::uint64_t fingerprint) {
     obs::ScopedTimer t(ins_.recovery);
-    Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0};
+    Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0, 0};
     const std::optional<BlockCheckpoint> hit =
         lookup(store, begin, end, gen, pop);
     if (hit && hit->matrix_cols == config_.ssets &&
         hit->config_fingerprint == fingerprint) {
       blk.fit.restore_state(hit->fitness_slice(begin, end),
-                            hit->matrix_slice(begin, end));
+                            hit->matrix_slice(begin, end), hit->dedup);
       blk.snapshot.assign(blk.fit.block().begin(), blk.fit.block().end());
       FtInstruments::inc(ins_.blocks_restored);
     } else {
       if (cached_mode()) {
         blk.fit.initialize(pop_gen_start);
         FtInstruments::inc(ins_.recovery_pairs, blk.fit.pairs_evaluated());
+        FtInstruments::inc(ins_.recovery_games, blk.fit.games_played());
         blk.accounted = blk.fit.pairs_evaluated();
+        blk.games_accounted = blk.fit.games_played();
       }
       blk.fit.begin_generation(pop_gen_start, gen);
       ins_.pairs->inc(blk.fit.pairs_evaluated() - blk.accounted);
       blk.accounted = blk.fit.pairs_evaluated();
+      ins_.games->inc(blk.fit.games_played() - blk.games_accounted);
+      blk.games_accounted = blk.fit.games_played();
       // Snapshot = top-of-generation values, before this generation's
       // updates (which are replayed on top for the cached modes below).
       blk.snapshot.assign(blk.fit.block().begin(), blk.fit.block().end());
@@ -280,9 +290,12 @@ class BlockSet {
       }
       FtInstruments::inc(ins_.recovery_pairs,
                          blk.fit.pairs_evaluated() - blk.accounted);
+      FtInstruments::inc(ins_.recovery_games,
+                         blk.fit.games_played() - blk.games_accounted);
       FtInstruments::inc(ins_.blocks_recomputed);
     }
     blk.accounted = blk.fit.pairs_evaluated();
+    blk.games_accounted = blk.fit.games_played();
     blocks_.push_back(std::move(blk));
   }
 
@@ -298,22 +311,24 @@ class BlockSet {
                          const CheckpointStore& store,
                          std::uint64_t fingerprint) {
     obs::ScopedTimer t(ins_.recovery);
-    Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0};
+    Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0, 0};
     const std::optional<BlockCheckpoint> hit =
         lookup(store, begin, end, gen, pop);
     if (hit && hit->matrix_cols == config_.ssets &&
         hit->config_fingerprint == fingerprint) {
       blk.fit.restore_state(hit->fitness_slice(begin, end),
-                            hit->matrix_slice(begin, end));
+                            hit->matrix_slice(begin, end), hit->dedup);
       FtInstruments::inc(ins_.blocks_restored);
     } else {
       if (cached_mode()) {
         blk.fit.initialize(pop);
         FtInstruments::inc(ins_.recovery_pairs, blk.fit.pairs_evaluated());
+        FtInstruments::inc(ins_.recovery_games, blk.fit.games_played());
       }
       FtInstruments::inc(ins_.blocks_recomputed);
     }
     blk.accounted = blk.fit.pairs_evaluated();
+    blk.games_accounted = blk.fit.games_played();
     blk.snapshot.assign(blk.fit.block().size(), 0.0);
     blocks_.push_back(std::move(blk));
   }
@@ -336,6 +351,7 @@ class BlockSet {
       c.matrix_cols = matrix.empty() ? 0 : config_.ssets;
       c.fitness.assign(b.fit.block().begin(), b.fit.block().end());
       c.matrix.assign(matrix.begin(), matrix.end());
+      c.dedup = b.fit.dedup_cache();
       auto blob = c.encode();
       FtInstruments::inc(ins_.ckpt_writes);
       FtInstruments::inc(ins_.ckpt_bytes, blob.size());
@@ -352,6 +368,9 @@ class BlockSet {
       const std::uint64_t now = b.fit.pairs_evaluated();
       ins_.pairs->inc(now - b.accounted);
       b.accounted = now;
+      const std::uint64_t games_now = b.fit.games_played();
+      ins_.games->inc(games_now - b.games_accounted);
+      b.games_accounted = games_now;
     }
   }
 
@@ -360,6 +379,7 @@ class BlockSet {
     core::BlockFitness fit;
     std::vector<double> snapshot;  // top-of-generation values
     std::uint64_t accounted = 0;   // pairs already flushed to a counter
+    std::uint64_t games_accounted = 0;  // games already flushed to a counter
   };
 
   /// CRC-verified checkpoint lookup; a corrupt entry skipped on the way to

@@ -55,7 +55,11 @@ void ThreadPool::worker_loop() {
     }
     if (job != nullptr) {
       run_chunks(*job);
+      // Last touch of the job: signal under its mutex so the caller cannot
+      // destroy the stack frame between our increment and the notify.
+      std::lock_guard<std::mutex> done_lock(job->m);
       job->exited.fetch_add(1, std::memory_order_release);
+      job->finished.notify_one();
     }
   }
 }
@@ -83,20 +87,25 @@ void ThreadPool::parallel_for(
   }
   cv_.notify_all();
   run_chunks(job);
-  // Wait for stragglers still inside their final chunk.
-  while (job.done.load(std::memory_order_acquire) < n) {
-    std::this_thread::yield();
-  }
+  // run_chunks returned, so every chunk is claimed; workers may still be
+  // inside their final one. Unpublish the job first (late wakers must not
+  // grab it), then sleep on the job's condition variable until the last
+  // claimed chunk is done and every worker that took the pointer has let
+  // go of it — the job lives on this stack frame. Sleeping (rather than
+  // the old yield() spin) matters on oversubscribed hosts, where the spin
+  // was stealing the very core the straggler needed.
   std::uint64_t grabbed = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_ = nullptr;  // late wakers will see no job
+    job_ = nullptr;
     grabbed = job.grabbed;
   }
-  // The job lives on this stack frame: wait until every worker that took
-  // the pointer has fully let go of it.
-  while (job.exited.load(std::memory_order_acquire) < grabbed) {
-    std::this_thread::yield();
+  {
+    std::unique_lock<std::mutex> lock(job.m);
+    job.finished.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) >= n &&
+             job.exited.load(std::memory_order_acquire) >= grabbed;
+    });
   }
   if (job.failed.load()) std::rethrow_exception(job.error);
 }

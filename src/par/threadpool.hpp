@@ -50,6 +50,11 @@ class ThreadPool {
     std::atomic<bool> failed{false};
     std::exception_ptr error;
     std::mutex error_mutex;
+    // Completion signalling: each worker bumps `exited` under `m` and
+    // notifies; the caller sleeps on `finished` instead of spinning, so an
+    // oversubscribed host gives the core to the straggler.
+    std::mutex m;
+    std::condition_variable finished;
   };
 
   void worker_loop();

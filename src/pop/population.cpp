@@ -1,5 +1,7 @@
 #include "pop/population.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace egt::pop {
@@ -13,6 +15,8 @@ Population::Population(std::vector<game::Strategy> strategies)
     EGT_REQUIRE_MSG(s.memory() == memory,
                     "all SSets must share one memory depth");
   }
+  class_of_.reserve(strategies_.size());
+  for (const auto& s : strategies_) class_of_.push_back(intern(s));
 }
 
 Population Population::random_pure(SSetId size, int memory,
@@ -39,7 +43,49 @@ void Population::set_strategy(SSetId i, game::Strategy s) {
   EGT_REQUIRE(i < size());
   EGT_REQUIRE_MSG(s.memory() == memory(),
                   "strategy memory depth must match the population");
+  // Intern before releasing: re-assigning an SSet its current strategy
+  // must not free and immediately re-allocate the class slot.
+  const ClassId fresh = intern(s);
+  release(class_of_[i]);
+  class_of_[i] = fresh;
   strategies_[i] = std::move(s);
+}
+
+ClassId Population::intern(game::Strategy s) {
+  const std::uint64_t h = s.hash();
+  auto& chain = by_hash_[h];
+  for (ClassId c : chain) {
+    if (classes_[c].strategy == s) {
+      ++classes_[c].members;
+      return c;
+    }
+  }
+  ClassId c;
+  if (!free_slots_.empty()) {
+    c = free_slots_.back();
+    free_slots_.pop_back();
+    classes_[c] = StrategyClass{std::move(s), h, 1};
+  } else {
+    c = static_cast<ClassId>(classes_.size());
+    classes_.push_back(StrategyClass{std::move(s), h, 1});
+  }
+  chain.push_back(c);
+  ++live_classes_;
+  return c;
+}
+
+void Population::release(ClassId c) {
+  StrategyClass& slot = classes_[c];
+  EGT_REQUIRE(slot.members > 0);
+  if (--slot.members > 0) return;
+  auto it = by_hash_.find(slot.hash);
+  auto& chain = it->second;
+  chain.erase(std::find(chain.begin(), chain.end(), c));
+  if (chain.empty()) by_hash_.erase(it);
+  slot.strategy = game::Strategy();  // drop the payload of a free slot
+  slot.hash = 0;
+  free_slots_.push_back(c);
+  --live_classes_;
 }
 
 std::uint64_t Population::table_hash() const noexcept {

@@ -6,10 +6,21 @@
 // an SSet's identity is fully captured by its strategy and fitness, so the
 // population stores exactly what every compute node replicates: the
 // strategy table and the fitness vector.
+//
+// Interning layer: PC imitation drives the population toward a handful of
+// dominant strategies, so the table usually holds few *unique* strategies.
+// The population therefore interns every strategy into a canonical class
+// table — content-hashed, refcounted slots — and maintains the SSet → class
+// mapping incrementally under set_strategy. The class table is what lets
+// the fitness tier play one game per unique strategy pair instead of one
+// per SSet pair (core::BlockFitness dedup mode). Class ids are transient
+// labels (freed slots are recycled); everything bit-exact is keyed by the
+// class *content hash*, never by the id.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "game/strategy.hpp"
@@ -18,6 +29,15 @@
 namespace egt::pop {
 
 using SSetId = std::uint32_t;
+using ClassId = std::uint32_t;
+
+/// One slot of the interned class table. Slots with members == 0 are free
+/// (their strategy payload is released) and are recycled by later interns.
+struct StrategyClass {
+  game::Strategy strategy;
+  std::uint64_t hash = 0;     ///< Strategy::hash() of `strategy`
+  std::uint32_t members = 0;  ///< SSets currently interned to this class
+};
 
 class Population {
  public:
@@ -48,12 +68,36 @@ class Population {
     return strategies_;
   }
 
+  /// Class of SSet `i` in the interned table. Two SSets share a class id
+  /// exactly when their strategies compare equal.
+  ClassId strategy_class(SSetId i) const { return class_of_[i]; }
+
+  /// The class slot table (indexed by ClassId). Slots with members == 0
+  /// are free and must be skipped.
+  const std::vector<StrategyClass>& classes() const noexcept {
+    return classes_;
+  }
+
+  /// Number of live (members > 0) classes — the population's strategy
+  /// diversity u; the dedup fitness engine plays O(u^2) games.
+  std::uint32_t class_count() const noexcept { return live_classes_; }
+
   /// Content hash of the whole strategy table (integration-test equality).
   std::uint64_t table_hash() const noexcept;
 
  private:
+  ClassId intern(game::Strategy s);
+  void release(ClassId c);
+
   std::vector<game::Strategy> strategies_;
   std::vector<double> fitness_;
+  std::vector<ClassId> class_of_;       // per SSet
+  std::vector<StrategyClass> classes_;  // slot table
+  std::vector<ClassId> free_slots_;     // recycled LIFO
+  // hash → slots with that content hash (a chain only on a 64-bit hash
+  // collision; equality is always verified before sharing a class).
+  std::unordered_map<std::uint64_t, std::vector<ClassId>> by_hash_;
+  std::uint32_t live_classes_ = 0;
 };
 
 }  // namespace egt::pop

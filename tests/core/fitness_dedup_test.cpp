@@ -1,0 +1,280 @@
+// Strategy-interned dedup and SSet-row tier: bit-identity against brute
+// force is the whole contract, so every comparison here is exact (==), not
+// approximate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/fitness.hpp"
+#include "game/named.hpp"
+#include "pop/population.hpp"
+#include "util/rng.hpp"
+
+namespace egt::core {
+namespace {
+
+SimConfig analytic_config(pop::SSetId ssets, int memory) {
+  SimConfig cfg;
+  cfg.ssets = ssets;
+  cfg.memory = memory;
+  cfg.seed = 99;
+  cfg.fitness_mode = FitnessMode::Analytic;
+  return cfg;
+}
+
+pop::Population random_population(const SimConfig& cfg, bool mixed,
+                                  std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  return mixed ? pop::Population::random_mixed(cfg.ssets, cfg.memory, rng)
+               : pop::Population::random_pure(cfg.ssets, cfg.memory, rng);
+}
+
+/// Exact (bitwise) equality of two fitness blocks.
+void expect_blocks_identical(const BlockFitness& a, const BlockFitness& b) {
+  ASSERT_EQ(a.block().size(), b.block().size());
+  for (std::size_t i = 0; i < a.block().size(); ++i) {
+    ASSERT_EQ(a.block()[i], b.block()[i]) << "row " << i;
+  }
+  ASSERT_EQ(a.payoff_matrix().size(), b.payoff_matrix().size());
+  for (std::size_t i = 0; i < a.payoff_matrix().size(); ++i) {
+    ASSERT_EQ(a.payoff_matrix()[i], b.payoff_matrix()[i]) << "cell " << i;
+  }
+}
+
+/// Replay the same randomized adoption/mutation sequence through a dedup
+/// block and a brute-force block and demand bitwise agreement throughout.
+void run_property_sequence(int memory, bool mixed) {
+  SimConfig dedup_cfg = analytic_config(24, memory);
+  SimConfig brute_cfg = dedup_cfg;
+  brute_cfg.dedup = false;
+
+  auto pop = random_population(dedup_cfg, mixed, 1000 + memory);
+  // Seed some duplicates so dedup has classes to merge from the start.
+  for (pop::SSetId i = 0; i < pop.size(); i += 3) {
+    pop.set_strategy(i, pop.strategy(0));
+  }
+
+  BlockFitness with(dedup_cfg, 0, dedup_cfg.ssets);
+  BlockFitness without(brute_cfg, 0, brute_cfg.ssets);
+  ASSERT_TRUE(with.dedup_active());
+  ASSERT_FALSE(without.dedup_active());
+  with.initialize(pop);
+  without.initialize(pop);
+  expect_blocks_identical(with, without);
+  // Same logical pair count; never more games than brute force.
+  ASSERT_EQ(with.pairs_evaluated(), without.pairs_evaluated());
+  ASSERT_LE(with.games_played(), without.games_played());
+
+  util::Xoshiro256 rng(77 + memory);
+  for (std::uint64_t gen = 1; gen <= 40; ++gen) {
+    with.begin_generation(pop, gen);
+    without.begin_generation(pop, gen);
+    const pop::SSetId target =
+        static_cast<pop::SSetId>(util::uniform_below(rng, pop.size()));
+    if (util::uniform_below(rng, 2) == 0) {
+      // Adoption: copy another SSet's strategy (drives convergence).
+      const pop::SSetId teacher =
+          static_cast<pop::SSetId>(util::uniform_below(rng, pop.size()));
+      pop.set_strategy(target, pop.strategy(teacher));
+    } else {
+      // Mutation: fresh random strategy (drives divergence).
+      pop.set_strategy(target, random_population(dedup_cfg, mixed,
+                                                 5000 + gen)
+                                   .strategy(target));
+    }
+    with.strategy_changed(target, pop, gen);
+    without.strategy_changed(target, pop, gen);
+    expect_blocks_identical(with, without);
+    ASSERT_EQ(with.pairs_evaluated(), without.pairs_evaluated());
+  }
+}
+
+TEST(FitnessDedup, PropertyPureMemory1) { run_property_sequence(1, false); }
+TEST(FitnessDedup, PropertyPureMemory2) { run_property_sequence(2, false); }
+TEST(FitnessDedup, PropertyPureMemory3) { run_property_sequence(3, false); }
+TEST(FitnessDedup, PropertyMixedMemory1) { run_property_sequence(1, true); }
+TEST(FitnessDedup, PropertyMixedMemory2) { run_property_sequence(2, true); }
+TEST(FitnessDedup, PropertyMixedMemory3) { run_property_sequence(3, true); }
+
+TEST(FitnessDedup, ConvergedPopulationPlaysTenXFewerGames) {
+  // The ISSUE acceptance scenario: 256 SSets collapsed onto <= 8 unique
+  // strategies. Dedup must reproduce brute-force fitness bit-for-bit while
+  // playing at least 10x fewer games.
+  SimConfig dedup_cfg = analytic_config(256, 1);
+  SimConfig brute_cfg = dedup_cfg;
+  brute_cfg.dedup = false;
+
+  std::vector<game::Strategy> reps;
+  reps.push_back(game::named::all_c(1));
+  reps.push_back(game::named::all_d(1));
+  reps.push_back(game::named::tit_for_tat(1));
+  reps.push_back(game::named::win_stay_lose_shift(1));
+  util::Xoshiro256 rng(31);
+  while (reps.size() < 8) {
+    reps.push_back(
+        pop::Population::random_pure(1, 1, rng).strategy(0));
+  }
+  std::vector<game::Strategy> table;
+  table.reserve(256);
+  for (pop::SSetId i = 0; i < 256; ++i) table.push_back(reps[i % 8]);
+  const pop::Population pop(std::move(table));
+  ASSERT_LE(pop.class_count(), 8u);
+
+  BlockFitness with(dedup_cfg, 0, dedup_cfg.ssets);
+  BlockFitness without(brute_cfg, 0, brute_cfg.ssets);
+  with.initialize(pop);
+  without.initialize(pop);
+  expect_blocks_identical(with, without);
+  ASSERT_EQ(with.pairs_evaluated(), without.pairs_evaluated());
+  ASSERT_GT(without.games_played(), 0u);
+  ASSERT_GE(without.games_played(), 10 * with.games_played())
+      << "dedup played " << with.games_played() << " of "
+      << without.games_played() << " brute-force games";
+}
+
+TEST(FitnessDedup, SampledModeNeverDedups) {
+  SimConfig cfg = analytic_config(8, 1);
+  cfg.fitness_mode = FitnessMode::Sampled;
+  BlockFitness fit(cfg, 0, cfg.ssets);
+  EXPECT_FALSE(fit.dedup_active());
+  const auto pop = random_population(cfg, false, 3);
+  fit.initialize(pop);
+  // Every logical pair is an actual game.
+  EXPECT_EQ(fit.games_played(), fit.pairs_evaluated());
+}
+
+TEST(FitnessDedup, StochasticMemory2PairsAreNotCached) {
+  // Mixed memory-2 strategies miss both exact methods, so their payoff is
+  // (gen_key, i, j)-keyed — dedup must leave them alone. Bit-identity with
+  // brute force (checked via the property tests) plus games == pairs here
+  // pins that down.
+  SimConfig cfg = analytic_config(6, 2);
+  const auto pop = random_population(cfg, true, 17);
+  BlockFitness fit(cfg, 0, cfg.ssets);
+  ASSERT_TRUE(fit.dedup_active());
+  fit.initialize(pop);
+  EXPECT_EQ(fit.games_played(), fit.pairs_evaluated());
+}
+
+TEST(FitnessDedup, SsetThreadsBitIdenticalToSerial) {
+  for (const unsigned threads : {1u, 2u, 5u}) {
+    SimConfig par_cfg = analytic_config(48, 1);
+    par_cfg.sset_threads = threads;
+    SimConfig ser_cfg = par_cfg;
+    ser_cfg.sset_threads = 0;
+
+    auto pop = random_population(par_cfg, true, 400);
+    for (pop::SSetId i = 0; i < pop.size(); i += 2) {
+      pop.set_strategy(i, pop.strategy(1));
+    }
+    BlockFitness par(par_cfg, 0, par_cfg.ssets);
+    BlockFitness ser(ser_cfg, 0, ser_cfg.ssets);
+    par.initialize(pop);
+    ser.initialize(pop);
+    expect_blocks_identical(par, ser);
+    ASSERT_EQ(par.pairs_evaluated(), ser.pairs_evaluated());
+    ASSERT_EQ(par.games_played(), ser.games_played());
+  }
+}
+
+TEST(FitnessDedup, SsetThreadsBitIdenticalForSampledReplay) {
+  SimConfig par_cfg = analytic_config(32, 1);
+  par_cfg.fitness_mode = FitnessMode::Sampled;
+  par_cfg.space = pop::StrategySpace::Mixed;
+  par_cfg.sset_threads = 3;
+  SimConfig ser_cfg = par_cfg;
+  ser_cfg.sset_threads = 0;
+
+  const auto pop = random_population(par_cfg, true, 88);
+  BlockFitness par(par_cfg, 0, par_cfg.ssets);
+  BlockFitness ser(ser_cfg, 0, ser_cfg.ssets);
+  par.initialize(pop);
+  ser.initialize(pop);
+  for (std::uint64_t gen = 1; gen < 5; ++gen) {
+    par.begin_generation(pop, gen);
+    ser.begin_generation(pop, gen);
+    expect_blocks_identical(par, ser);
+  }
+}
+
+TEST(FitnessDedup, RestoreStateRoundTripsCache) {
+  SimConfig cfg = analytic_config(16, 1);
+  auto pop = random_population(cfg, false, 12);
+  for (pop::SSetId i = 0; i < pop.size(); i += 2) {
+    pop.set_strategy(i, pop.strategy(0));
+  }
+  BlockFitness source(cfg, 0, cfg.ssets);
+  source.initialize(pop);
+  const auto cache = source.dedup_cache();
+  ASSERT_FALSE(cache.empty());
+  // Exported cache is sorted — deterministic checkpoint bytes.
+  ASSERT_TRUE(std::is_sorted(cache.begin(), cache.end(),
+                             [](const BlockFitness::DedupEntry& x,
+                                const BlockFitness::DedupEntry& y) {
+                               return x.a != y.a ? x.a < y.a : x.b < y.b;
+                             }));
+
+  BlockFitness restored(cfg, 0, cfg.ssets);
+  restored.restore_state(
+      std::vector<double>(source.block().begin(), source.block().end()),
+      std::vector<double>(source.payoff_matrix().begin(),
+                          source.payoff_matrix().end()),
+      cache);
+  expect_blocks_identical(restored, source);
+  // The restored block answers a strategy change without replaying the
+  // class games the cache already holds: a change to an existing class
+  // costs zero fresh games.
+  const std::uint64_t games_before = restored.games_played();
+  pop.set_strategy(3, pop.strategy(0));
+  restored.strategy_changed(3, pop, 7);
+  source.strategy_changed(3, pop, 7);
+  expect_blocks_identical(restored, source);
+  EXPECT_EQ(restored.games_played(), games_before);
+}
+
+TEST(FitnessDedup, SerialEngineTrajectoryUnchangedByDedup) {
+  // Whole-engine bit-identity: generations of PC/Moran/mutation dynamics
+  // produce the same population with and without dedup.
+  SimConfig cfg = analytic_config(32, 1);
+  cfg.generations = 80;
+  cfg.pc_rate = 0.4;
+  cfg.mutation_rate = 0.05;
+  SimConfig brute = cfg;
+  brute.dedup = false;
+
+  Engine a(cfg);
+  Engine b(brute);
+  a.run(cfg.generations);
+  b.run(cfg.generations);
+  EXPECT_EQ(a.population().table_hash(), b.population().table_hash());
+  for (pop::SSetId i = 0; i < cfg.ssets; ++i) {
+    ASSERT_EQ(a.population().fitness(i), b.population().fitness(i)) << i;
+  }
+  EXPECT_EQ(a.pairs_evaluated(), b.pairs_evaluated());
+  EXPECT_LE(a.games_played(), b.games_played());
+}
+
+TEST(FitnessDedup, SerialEngineTrajectoryUnchangedBySsetThreads) {
+  SimConfig cfg = analytic_config(32, 1);
+  cfg.generations = 60;
+  cfg.pc_rate = 0.4;
+  cfg.mutation_rate = 0.05;
+  SimConfig threaded = cfg;
+  threaded.sset_threads = 4;
+
+  Engine a(cfg);
+  Engine b(threaded);
+  a.run(cfg.generations);
+  b.run(cfg.generations);
+  EXPECT_EQ(a.population().table_hash(), b.population().table_hash());
+  for (pop::SSetId i = 0; i < cfg.ssets; ++i) {
+    ASSERT_EQ(a.population().fitness(i), b.population().fitness(i)) << i;
+  }
+  EXPECT_EQ(a.games_played(), b.games_played());
+}
+
+}  // namespace
+}  // namespace egt::core

@@ -28,6 +28,8 @@ BlockCheckpoint sample(pop::SSetId begin = 4, pop::SSetId end = 8,
   for (std::size_t i = 0; i < c.matrix.size(); ++i) {
     c.matrix[i] = 0.25 * static_cast<double>(i) - 3.0;
   }
+  c.dedup.push_back({0x1111, 0x2222, 2.5});
+  c.dedup.push_back({0x1111, 0x3333, -0.75});
   return c;
 }
 
@@ -42,6 +44,23 @@ TEST(BlockCheckpoint, EncodeDecodeRoundTrip) {
   EXPECT_EQ(back.matrix_cols, c.matrix_cols);
   EXPECT_EQ(back.fitness, c.fitness);
   EXPECT_EQ(back.matrix, c.matrix);
+  ASSERT_EQ(back.dedup.size(), c.dedup.size());
+  for (std::size_t i = 0; i < c.dedup.size(); ++i) {
+    EXPECT_EQ(back.dedup[i].a, c.dedup[i].a);
+    EXPECT_EQ(back.dedup[i].b, c.dedup[i].b);
+    EXPECT_EQ(back.dedup[i].payoff, c.dedup[i].payoff);
+  }
+}
+
+TEST(BlockCheckpoint, RejectsOversizedDedupCount) {
+  // Forge a dedup entry count far larger than the blob: the decoder must
+  // reject it before reserving or looping.
+  auto c = sample();
+  c.dedup.clear();
+  auto blob = c.encode();
+  const std::uint64_t huge = ~0ull;
+  std::memcpy(blob.data() + blob.size() - 8, &huge, sizeof huge);
+  EXPECT_THROW((void)BlockCheckpoint::decode(blob), core::CheckpointError);
 }
 
 TEST(BlockCheckpoint, SampledModeHasNoMatrix) {

@@ -172,6 +172,52 @@ TEST(SerialParallel, FaultTolerantEngineMatchesSerialThroughARankFailure) {
   }
 }
 
+TEST(SerialParallel, SsetThreadTierMatchesSerialOnAllEngines) {
+  // The SSet-row tier must be invisible to the trajectory on every engine:
+  // serial reference (threads off) vs serial, rank-parallel and
+  // fault-tolerant runs with --sset-threads on, all bit-identical.
+  auto cfg = base_config();
+  Engine reference(cfg);
+  reference.run_all();
+
+  cfg.sset_threads = 3;
+  Engine serial(cfg);
+  serial.run_all();
+  EXPECT_EQ(serial.population().table_hash(),
+            reference.population().table_hash());
+
+  const auto par = run_parallel(cfg, 4);
+  EXPECT_EQ(par.population.table_hash(), reference.population().table_hash());
+
+  ft::FtRunOptions opt;
+  opt.plan.kill(2, 30);
+  opt.checkpoint_every = 10;
+  const auto ft = ft::run_parallel_ft(cfg, 4, opt);
+  EXPECT_EQ(ft.ranks_lost, 1);
+  EXPECT_EQ(ft.population.table_hash(), reference.population().table_hash());
+  for (pop::SSetId i = 0; i < reference.population().size(); ++i) {
+    ASSERT_DOUBLE_EQ(ft.population.fitness(i),
+                     reference.population().fitness(i))
+        << "fitness diverged at SSet " << i;
+  }
+}
+
+TEST(SerialParallel, DedupOffMatchesDedupOn) {
+  // The dedup cache must be a pure evaluation-count optimization: turning
+  // it off changes games_played and nothing else.
+  auto cfg = base_config();
+  Engine with(cfg);
+  with.run_all();
+  cfg.dedup = false;
+  Engine without(cfg);
+  without.run_all();
+  EXPECT_EQ(with.population().table_hash(), without.population().table_hash());
+  EXPECT_EQ(with.pairs_evaluated(), without.pairs_evaluated());
+  EXPECT_LE(with.games_played(), without.games_played());
+  const auto par = run_parallel(cfg, 3);  // dedup off in parallel too
+  EXPECT_EQ(par.population.table_hash(), with.population().table_hash());
+}
+
 TEST(SerialParallel, RejectsMoreRanksThanSSets) {
   auto cfg = base_config();
   cfg.ssets = 4;

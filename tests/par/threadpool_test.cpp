@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace egt::par {
@@ -82,6 +84,36 @@ TEST(ThreadPool, SharedPoolSingleton) {
   ThreadPool& a = ThreadPool::shared();
   ThreadPool& b = ThreadPool::shared();
   EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, OversubscribedPoolsCompleteWithoutSpinning) {
+  // More workers than cores, several pools at once, many small jobs: with
+  // the old busy-spin completion wait this configuration burned every core
+  // on yield loops; with condition-variable signalling it must simply
+  // finish, with every index covered exactly once per job.
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  for (int p = 0; p < 3; ++p) {
+    pools.push_back(std::make_unique<ThreadPool>(2 * hw));
+  }
+  std::vector<std::thread> drivers;
+  std::atomic<std::uint64_t> total{0};
+  for (auto& pool : pools) {
+    drivers.emplace_back([&pool, &total] {
+      for (int round = 0; round < 20; ++round) {
+        std::vector<std::atomic<int>> hits(257);
+        pool->parallel_for(hits.size(), [&](std::uint64_t b, std::uint64_t e) {
+          for (std::uint64_t i = b; i < e; ++i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+        for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+        total.fetch_add(hits.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& d : drivers) d.join();
+  EXPECT_EQ(total.load(), 3u * 20u * 257u);
 }
 
 }  // namespace

@@ -61,6 +61,72 @@ TEST(Population, TableHashTracksContent) {
   EXPECT_NE(p.table_hash(), h0);
 }
 
+TEST(Population, InterningSharesClassesAcrossEqualStrategies) {
+  std::vector<game::Strategy> ss;
+  for (int rep = 0; rep < 3; ++rep) {
+    ss.emplace_back(game::named::all_c(1));
+    ss.emplace_back(game::named::all_d(1));
+  }
+  const Population p(std::move(ss));
+  EXPECT_EQ(p.class_count(), 2u);
+  // Equal strategies share a class id; different ones never do.
+  EXPECT_EQ(p.strategy_class(0), p.strategy_class(2));
+  EXPECT_EQ(p.strategy_class(0), p.strategy_class(4));
+  EXPECT_EQ(p.strategy_class(1), p.strategy_class(3));
+  EXPECT_NE(p.strategy_class(0), p.strategy_class(1));
+  // Refcounts cover every SSet.
+  std::uint32_t members = 0;
+  for (const StrategyClass& c : p.classes()) members += c.members;
+  EXPECT_EQ(members, p.size());
+}
+
+TEST(Population, InterningTracksSetStrategy) {
+  std::vector<game::Strategy> ss;
+  ss.emplace_back(game::named::all_c(1));
+  ss.emplace_back(game::named::all_d(1));
+  ss.emplace_back(game::named::all_d(1));
+  Population p(std::move(ss));
+  EXPECT_EQ(p.class_count(), 2u);
+
+  // Adoption: SSet 0 copies SSet 1's strategy — ALLC's class dies.
+  p.set_strategy(0, p.strategy(1));
+  EXPECT_EQ(p.class_count(), 1u);
+  EXPECT_EQ(p.strategy_class(0), p.strategy_class(1));
+
+  // Mutation to a brand-new strategy revives diversity; the freed slot is
+  // recycled, so the class table never grows past peak diversity.
+  const std::size_t slots = p.classes().size();
+  p.set_strategy(2, game::named::tit_for_tat(1));
+  EXPECT_EQ(p.class_count(), 2u);
+  EXPECT_EQ(p.classes().size(), slots);
+  EXPECT_NE(p.strategy_class(2), p.strategy_class(0));
+  EXPECT_TRUE(p.classes()[p.strategy_class(2)].strategy ==
+              game::named::tit_for_tat(1));
+}
+
+TEST(Population, InterningSurvivesSelfAssignment) {
+  std::vector<game::Strategy> ss;
+  ss.emplace_back(game::named::all_c(1));
+  ss.emplace_back(game::named::all_c(1));
+  Population p(std::move(ss));
+  // Rewriting an SSet with its own current strategy must not disturb the
+  // class table (intern happens before release).
+  p.set_strategy(0, p.strategy(0));
+  EXPECT_EQ(p.class_count(), 1u);
+  EXPECT_EQ(p.strategy_class(0), p.strategy_class(1));
+  EXPECT_EQ(p.classes()[p.strategy_class(0)].members, 2u);
+}
+
+TEST(Population, ClassHashMatchesStrategyHash) {
+  util::Xoshiro256 rng(7);
+  const auto p = Population::random_mixed(6, 2, rng);
+  for (SSetId i = 0; i < p.size(); ++i) {
+    const StrategyClass& c = p.classes()[p.strategy_class(i)];
+    EXPECT_TRUE(c.strategy == p.strategy(i));
+    EXPECT_EQ(c.hash, p.strategy(i).hash());
+  }
+}
+
 TEST(Population, MixedMemoryDepthsRejected) {
   std::vector<game::Strategy> strategies;
   strategies.emplace_back(game::named::all_c(1));

@@ -1,0 +1,110 @@
+// Perf-smoke gate: compare a fresh egt.bench_fitness/v1 document (written
+// by bench/ablation_fitness_engine --json) against the committed baseline.
+//
+//   * counters (pairs_evaluated, games_played) and the final table hash
+//     are deterministic — any difference is a correctness regression and
+//     fails exactly;
+//   * wall time is environment-dependent — only a relative slowdown beyond
+//     --max-regress (default 25%) fails, and only for rows slow enough for
+//     the ratio to mean anything (--min-seconds floor).
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+egt::util::JsonValue load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  auto doc = egt::util::JsonValue::parse(buf.str());
+  if (!doc.is_object() || !doc.has("schema") ||
+      doc.at("schema").as_string() != "egt.bench_fitness/v1") {
+    throw std::runtime_error(path + " is not an egt.bench_fitness/v1 doc");
+  }
+  return doc;
+}
+
+const egt::util::JsonValue* find_row(const egt::util::JsonValue& doc,
+                                     const std::string& name) {
+  for (const auto& row : doc.at("rows").items()) {
+    if (row.at("name").as_string() == name) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("bench_check",
+                "fail when a bench_fitness run regresses vs the baseline");
+  auto baseline_path = cli.opt<std::string>(
+      "baseline", "BENCH_fitness.json", "committed baseline document");
+  auto current_path =
+      cli.opt<std::string>("current", "", "freshly produced document");
+  auto max_regress = cli.opt<double>(
+      "max-regress", 0.25, "tolerated relative wall-time slowdown");
+  auto min_seconds = cli.opt<double>(
+      "min-seconds", 0.05,
+      "rows faster than this in the baseline skip the time gate");
+  cli.parse(argc, argv);
+  if (current_path->empty()) {
+    std::cerr << "--current is required\n";
+    return 2;
+  }
+
+  int failures = 0;
+  try {
+    const auto baseline = load(*baseline_path);
+    const auto current = load(*current_path);
+    for (const auto& base_row : baseline.at("rows").items()) {
+      const std::string name = base_row.at("name").as_string();
+      const auto* cur_row = find_row(current, name);
+      if (cur_row == nullptr) {
+        std::cerr << "FAIL [" << name << "]: missing from current run\n";
+        ++failures;
+        continue;
+      }
+      for (const char* counter : {"pairs_evaluated", "games_played"}) {
+        const auto base_v = base_row.at(counter).as_u64();
+        const auto cur_v = cur_row->at(counter).as_u64();
+        if (base_v != cur_v) {
+          std::cerr << "FAIL [" << name << "]: " << counter << " " << cur_v
+                    << " != baseline " << base_v << "\n";
+          ++failures;
+        }
+      }
+      if (base_row.at("table_hash").as_string() !=
+          cur_row->at("table_hash").as_string()) {
+        std::cerr << "FAIL [" << name << "]: final table hash diverged\n";
+        ++failures;
+      }
+      const double base_t = base_row.at("wall_s").as_number();
+      const double cur_t = cur_row->at("wall_s").as_number();
+      if (base_t >= *min_seconds && cur_t > base_t * (1.0 + *max_regress)) {
+        std::cerr << "FAIL [" << name << "]: wall time " << cur_t << "s > "
+                  << (1.0 + *max_regress) << "x baseline " << base_t << "s\n";
+        ++failures;
+      } else {
+        std::cout << "ok   [" << name << "]: " << cur_t << "s vs baseline "
+                  << base_t << "s\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bench_check: " << e.what() << "\n";
+    return 2;
+  }
+  if (failures > 0) {
+    std::cerr << failures << " regression(s)\n";
+    return 1;
+  }
+  std::cout << "bench_check: no regressions\n";
+  return 0;
+}

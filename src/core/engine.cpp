@@ -169,6 +169,26 @@ void Engine::step() {
   ++generation_;
   if (ct_generations_ != nullptr) ct_generations_->inc();
   account_pairs();
+
+  if (trace_ != nullptr) {
+    TracePoint point;
+    point.generation = record_.generation;
+    point.nature = nature_.save_state();
+    if (record_.pc) {
+      (record_.was_moran ? point.moran : point.pc) = true;
+      (record_.was_moran ? point.reproducer : point.teacher) =
+          record_.pc->teacher;
+      (record_.was_moran ? point.dying : point.learner) = record_.pc->learner;
+      point.adopted = record_.pc->adopted;
+    }
+    if (record_.mutation) {
+      point.mutated = true;
+      point.mutation_target = *record_.mutation;
+    }
+    point.table_hash = pop_.table_hash();
+    point.fitness_hash = hash_fitness(pop_.fitness());
+    trace_->on_point(point);
+  }
 }
 
 void Engine::run(std::uint64_t generations, Observer* observer) {

@@ -17,6 +17,7 @@
 #include "pop/graph.hpp"
 #include "core/fitness.hpp"
 #include "core/observer.hpp"
+#include "core/trace.hpp"
 #include "obs/metrics.hpp"
 #include "pop/nature.hpp"
 #include "pop/population.hpp"
@@ -65,6 +66,10 @@ class Engine {
     run(config_.generations, observer);
   }
 
+  /// Emit one TracePoint per generation to `sink` (null disables; no
+  /// overhead on the hot path when unset). `sink` must outlive the engine.
+  void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
+
   /// Total ordered pairs evaluated so far (work accounting).
   std::uint64_t pairs_evaluated() const noexcept {
     return fitness_.pairs_evaluated();
@@ -95,6 +100,7 @@ class Engine {
   BlockFitness fitness_;
   std::uint64_t generation_ = 0;
   GenerationRecord record_;
+  TraceSink* trace_ = nullptr;
 
   // Instrumentation (all null when the engine runs unobserved).
   obs::Histogram* ph_game_play_ = nullptr;

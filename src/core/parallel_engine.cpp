@@ -198,11 +198,14 @@ void rank_main(par::Comm& comm, const SimConfig& config,
       }
     }
 
+    // Decision outcomes, hoisted so the rank-0 trace hook below sees them.
+    bool adopted = false;
+    pop::MoranPick pick;
+
     if (plan.pc) {
       RankInstruments::inc(ins.pc_events);
       const pop::SSetId teacher = plan.pc->teacher;
       const pop::SSetId learner = plan.pc->learner;
-      bool adopted = false;
 
       if (replay_nature) {
         std::vector<double> pair_fitness(2, 0.0);
@@ -261,7 +264,6 @@ void rank_main(par::Comm& comm, const SimConfig& config,
       RankInstruments::inc(ins.moran_events);
       // The Moran rule needs the whole fitness vector at the selector —
       // the communication pattern the paper's pairwise rule avoids.
-      pop::MoranPick pick;
       auto pack_block = [&] {
         std::vector<std::byte> bytes(fit.block().size() * sizeof(double));
         std::memcpy(bytes.data(), fit.block().data(), bytes.size());
@@ -322,6 +324,32 @@ void rank_main(par::Comm& comm, const SimConfig& config,
     const std::uint64_t games_now = fit.games_played();
     ins.games->inc(games_now - games_accounted);
     games_accounted = games_now;
+
+    if (options.trace != nullptr && rank == 0) {
+      // Same capture point as the serial engine's hook: after this
+      // generation's events applied, before the next one plans.
+      TracePoint point;
+      point.generation = gen;
+      point.nature = nature->save_state();
+      if (plan.pc) {
+        point.pc = true;
+        point.teacher = plan.pc->teacher;
+        point.learner = plan.pc->learner;
+        point.adopted = adopted;
+      }
+      if (plan.moran) {
+        point.moran = true;
+        point.reproducer = pick.reproducer;
+        point.dying = pick.dying;
+        point.adopted = pick.is_change();
+      }
+      if (plan.mutation) {
+        point.mutated = true;
+        point.mutation_target = plan.mutation->target;
+      }
+      point.table_hash = pop.table_hash();
+      options.trace->on_point(point);
+    }
 
     if (options.progress && rank == 0) {
       const double now = progress_timer.seconds();

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/trace.hpp"
 #include "obs/metrics.hpp"
 #include "par/runtime.hpp"
 #include "pop/nature.hpp"
@@ -61,6 +62,9 @@ struct ParallelRunOptions {
   bool progress = false;
   /// Seconds between heartbeats.
   double progress_interval_seconds = 2.0;
+  /// Rank 0 emits one core::TracePoint per generation (see core/trace.hpp;
+  /// fitness_hash stays 0 — ranks only own a block). May be null.
+  TraceSink* trace = nullptr;
 };
 
 /// Run the full simulation on `nranks` ranks. Blocks until done.

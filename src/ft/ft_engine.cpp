@@ -1483,6 +1483,32 @@ class RankProgram {
       }
       finish_generation(gen);
       FtInstruments::inc(ins_.generations);
+
+      if (shared_.options.trace != nullptr) {
+        // Same capture point (and decision layout) as the base engines'
+        // hooks; `nature` is the post-decision state replicate() logged.
+        core::TracePoint point;
+        point.generation = gen;
+        point.nature = nature_->save_state();
+        if (plan.pc) {
+          point.pc = true;
+          point.teacher = plan.pc->teacher;
+          point.learner = plan.pc->learner;
+          point.adopted = decision.adopted;
+        }
+        if (plan.moran) {
+          point.moran = true;
+          point.reproducer = decision.pick.reproducer;
+          point.dying = decision.pick.dying;
+          point.adopted = decision.pick.is_change();
+        }
+        if (plan.mutation) {
+          point.mutated = true;
+          point.mutation_target = plan.mutation->target;
+        }
+        point.table_hash = pop_.table_hash();
+        shared_.options.trace->on_point(point);
+      }
     }
 
     // Final snapshot gather (top-of-last-generation fitness, matching the

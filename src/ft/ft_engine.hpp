@@ -54,6 +54,7 @@
 #include <cstdint>
 
 #include "core/config.hpp"
+#include "core/trace.hpp"
 #include "ft/fault_plan.hpp"
 #include "obs/metrics.hpp"
 #include "par/runtime.hpp"
@@ -111,6 +112,13 @@ struct FtRunOptions {
 
   /// Also merge the per-rank registries into this registry. May be null.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// The acting master emits one core::TracePoint per committed generation
+  /// (see core/trace.hpp; fitness_hash stays 0 — the master owns only a
+  /// block). On failover the successor resumes emitting from the
+  /// generation it replans, so a sink must key points by generation and
+  /// tolerate the master role migrating across rank threads. May be null.
+  core::TraceSink* trace = nullptr;
 };
 
 struct FtResult {

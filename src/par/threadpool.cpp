@@ -100,7 +100,10 @@ void ThreadPool::parallel_for(
     job_ = nullptr;
     grabbed = job.grabbed;
   }
-  {
+  // Fast path: no worker grabbed the job before the caller claimed every
+  // chunk, so nothing is outstanding — skip the lock + CV sleep (small n
+  // on a busy pool hits this constantly).
+  if (grabbed > 0 || job.done.load(std::memory_order_acquire) < n) {
     std::unique_lock<std::mutex> lock(job.m);
     job.finished.wait(lock, [&] {
       return job.done.load(std::memory_order_acquire) >= n &&

@@ -1,0 +1,110 @@
+// Differential test cases: one CaseSpec describes a config plus the set of
+// engine variants to run it through; run_case executes every variant and
+// compares each against the serial reference engine — strategy table,
+// final fitness vector, per-generation trace, and merged "engine.*"
+// counters must all agree bit-for-bit (where the variant makes them
+// comparable). sample_case draws a valid spec from a fuzz seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/trace.hpp"
+#include "ft/fault_plan.hpp"
+
+namespace egt::simcheck {
+
+/// The execution paths the harness can differentially compare.
+enum class EngineKind {
+  Serial,              ///< core::Engine — the reference
+  SerialThreads,       ///< serial engine with sset/agent thread tiers
+  SerialRestore,       ///< serial run split by a checkpoint/restore
+  Parallel,            ///< core::run_parallel, PaperBcast
+  ParallelReplicated,  ///< core::run_parallel, ReplicatedNature
+  ParallelFt,          ///< ft::run_parallel_ft, fault-free
+  ParallelFtFaulty,    ///< ft::run_parallel_ft with the spec's fault plan
+  SerialBrokenDedup,   ///< self-test fixture: deliberately broken dedup copy
+};
+
+const char* engine_kind_name(EngineKind kind);
+std::optional<EngineKind> engine_kind_from_name(const std::string& name);
+
+struct CaseSpec {
+  std::uint64_t case_seed = 0;  ///< the fuzz seed that produced this spec
+  core::SimConfig config;       ///< threads forced to 0 for the reference
+  int nranks = 2;               ///< rank count of the parallel variants
+  unsigned sset_threads = 0;    ///< SerialThreads overrides
+  unsigned agent_threads = 0;
+  std::uint64_t restore_at = 0;          ///< SerialRestore: split generation
+  std::uint64_t ft_checkpoint_every = 0;  ///< ft variants
+  std::vector<ft::KillFault> kills;       ///< ParallelFtFaulty
+  std::vector<ft::TornCheckpointFault> torn;
+  std::vector<EngineKind> engines;  ///< variants to compare (no Serial)
+};
+
+/// The merged per-run event/work counters every engine reports.
+struct EngineCounters {
+  std::uint64_t generations = 0;
+  std::uint64_t pc_events = 0;
+  std::uint64_t adoptions = 0;
+  std::uint64_t moran_events = 0;
+  std::uint64_t mutations = 0;
+  std::uint64_t pairs_evaluated = 0;
+  std::uint64_t games_played = 0;
+};
+
+struct EngineOutcome {
+  bool ok = false;    ///< ran to completion without throwing
+  std::string error;  ///< exception text when !ok
+  std::uint64_t table_hash = 0;
+  std::vector<double> fitness;  ///< final (top-of-last-generation) fitness
+  /// False relaxes the fitness diff to a few-ulp relative tolerance: an
+  /// Analytic restore recomputes full row sums where the uninterrupted run
+  /// applied incremental class-delta updates (core/fitness.cpp), so values
+  /// agree only to rounding (the trajectory stays table-exact; the serial
+  /// checkpoint test asserts the same DOUBLE_EQ tolerance).
+  bool fitness_exact = true;
+  EngineCounters counters;
+  /// Counters are only diffed when the variant makes them meaningful: a
+  /// checkpoint/restore re-initializes (extra pairs), and ft recovery off
+  /// the checkpoint fast path recomputes (extra games).
+  bool counters_comparable = true;
+  std::vector<core::TracePoint> trace;
+  bool trace_comparable = true;
+};
+
+struct CaseFailure {
+  EngineKind engine = EngineKind::Serial;
+  std::string what;  ///< human-readable mismatch description
+};
+
+struct CaseResult {
+  CaseSpec spec;
+  EngineOutcome reference;
+  std::vector<std::pair<EngineKind, EngineOutcome>> outcomes;
+  std::vector<CaseFailure> failures;
+  bool passed() const noexcept { return failures.empty(); }
+};
+
+/// True when a serial checkpoint restore of `config` is bit-exact (the
+/// precondition of the SerialRestore variant): Sampled always; Analytic
+/// when no pair can hit the frozen-sampling fall-through (memory one, or a
+/// noise-free pure space). SampledFrozen never (generation-keyed frozen
+/// samples are unrecoverable — see core/checkpoint.hpp).
+bool checkpoint_exact(const core::SimConfig& config);
+
+/// Draw a valid spec from a fuzz seed (deterministic).
+CaseSpec sample_case(std::uint64_t fuzz_seed);
+
+/// Clamp a (possibly shrunk) spec back onto the valid-config manifold:
+/// rank counts, restore points, fault generations and engine list are made
+/// consistent with the config. Returns false when no valid form exists.
+bool normalize_spec(CaseSpec& spec);
+
+/// Run the reference and every listed variant; compare.
+CaseResult run_case(const CaseSpec& spec);
+
+}  // namespace egt::simcheck

@@ -1,0 +1,30 @@
+// SimConfig <-> JSON ("egt.sim_config/v1"): the config payload embedded in
+// simcheck repro files, so a failing fuzz case replays from the JSON alone.
+//
+// Round-trip contract: config_from_json(config_to_json(c)) compares equal
+// field-by-field for every valid config whose integer fields fit in 2^53
+// (the JsonValue number limit — the fuzzer keeps seeds in 32 bits).
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "util/json.hpp"
+
+namespace egt::simcheck {
+
+inline constexpr const char* kConfigSchema = "egt.sim_config/v1";
+
+/// Write `config` as one JSON object (including the "schema" field).
+void write_config(util::JsonWriter& w, const core::SimConfig& config);
+
+/// The object write_config produces, as a compact string.
+std::string config_to_json(const core::SimConfig& config);
+
+/// Parse a config object (as produced by write_config). Unknown keys are
+/// ignored; missing keys keep the SimConfig default. Throws
+/// std::runtime_error on type errors or unknown enum names.
+core::SimConfig config_from_json(const util::JsonValue& v);
+core::SimConfig config_from_json_text(const std::string& text);
+
+}  // namespace egt::simcheck

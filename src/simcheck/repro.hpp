@@ -1,0 +1,42 @@
+// Repro files ("egt.simcheck_repro/v1"): a failing (usually shrunk)
+// CaseSpec serialized as runnable JSON, optionally carrying the reference
+// engine's recorded trace so the failure replays — and pinpoints its first
+// divergent generation — from the file alone.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "simcheck/case.hpp"
+#include "simcheck/trace.hpp"
+
+namespace egt::simcheck {
+
+inline constexpr const char* kReproSchema = "egt.simcheck_repro/v1";
+
+/// Serialize a case result as a repro document. The failure list is
+/// informational; the spec (+config) is the runnable part. When
+/// `include_trace`, the reference trace is embedded hex-encoded.
+std::string repro_to_json(const CaseResult& result, bool include_trace = true);
+
+struct ParsedRepro {
+  CaseSpec spec;
+  /// The recorded reference trace, when the file embeds one.
+  std::optional<std::vector<core::TracePoint>> trace;
+};
+
+/// Parse a repro document. Throws std::runtime_error on malformed input.
+ParsedRepro parse_repro(const std::string& json_text);
+
+struct ReplayResult {
+  CaseResult result;  ///< fresh differential run of the parsed spec
+  /// Recorded-vs-fresh reference divergence, when the repro embedded a
+  /// trace: non-null means this machine does not reproduce the recorded
+  /// trajectory (an environment-dependence bug of its own).
+  std::optional<TraceDivergence> recorded_divergence;
+};
+
+/// Re-run a repro file end to end.
+ReplayResult replay_repro(const std::string& json_text);
+
+}  // namespace egt::simcheck

@@ -1,0 +1,36 @@
+// Harness self-test: prove the differential fuzzer + shrinker actually
+// catch a realistic bug. run_broken_dedup drives a serial engine whose
+// fitness tier is a copy of the strategy-interned dedup row path with a
+// deliberately injected off-by-one (the row sum stops one opponent column
+// short). run_self_test asserts the harness (a) flags the divergence and
+// (b) delta-debugs the failing case down to a tiny (<= 4 SSet) repro.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simcheck/case.hpp"
+
+namespace egt::simcheck {
+
+/// EngineKind::SerialBrokenDedup implementation. `config` must be
+/// well-mixed; the bug only manifests where the dedup path is active
+/// (Analytic mode, dedup on, strategy-pure pairs).
+EngineOutcome run_broken_dedup(const core::SimConfig& config);
+
+struct SelfTestResult {
+  bool caught = false;     ///< the initial case failed as it must
+  bool shrunk = false;     ///< the shrinker kept it failing while reducing
+  std::uint64_t final_ssets = 0;  ///< population size of the minimal repro
+  std::uint64_t final_generations = 0;
+  CaseSpec repro;          ///< the shrunk failing spec
+  std::string detail;      ///< first failure line of the shrunk repro
+  bool passed() const noexcept {
+    return caught && shrunk && final_ssets <= 4;
+  }
+};
+
+/// Run the injected-bug scenario end to end (deterministic for a seed).
+SelfTestResult run_self_test(std::uint64_t seed);
+
+}  // namespace egt::simcheck

@@ -1,0 +1,24 @@
+// Delta-debugging shrink: greedily simplify a failing CaseSpec while the
+// failure persists, to a local minimum under a fixed transformation set
+// (halve generations/population, drop structure, drop faults, drop engine
+// variants, simplify the strategy space). Deterministic: same input spec,
+// same minimal repro.
+#pragma once
+
+#include "simcheck/case.hpp"
+
+namespace egt::simcheck {
+
+struct ShrinkResult {
+  CaseSpec spec;      ///< the minimal still-failing spec
+  CaseResult result;  ///< run_case of that spec (failing)
+  int accepted = 0;   ///< transformations that kept the failure
+  int attempts = 0;   ///< candidate runs tried
+};
+
+/// `spec` must fail (run_case(spec).passed() == false); returns it
+/// unchanged (attempts == 0) when it does not. `max_attempts` bounds the
+/// total candidate executions.
+ShrinkResult shrink_case(const CaseSpec& spec, int max_attempts = 400);
+
+}  // namespace egt::simcheck

@@ -1,0 +1,250 @@
+#include "simcheck/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "analysis/fixation.hpp"
+#include "core/engine.hpp"
+#include "game/ipd.hpp"
+#include "game/strategy.hpp"
+#include "pop/fermi.hpp"
+#include "pop/nature.hpp"
+#include "util/rng.hpp"
+
+namespace egt::simcheck {
+
+Interval wilson(std::uint64_t successes, std::uint64_t trials, double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z / denom * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  // Clamp away the ulp of rounding that can push the bounds outside [0,1]
+  // at degenerate counts.
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+double chi_square_quantile99(int df) {
+  const double d = static_cast<double>(df);
+  const double a = 2.0 / (9.0 * d);
+  const double c = 1.0 - a + kZ99OneSided * std::sqrt(a);
+  return d * c * c * c;
+}
+
+double fermi_fixation_probability(double delta, double beta, unsigned n) {
+  const double gamma = std::exp(-beta * delta);
+  if (std::abs(1.0 - gamma) < 1e-12) {
+    return 1.0 / static_cast<double>(n);
+  }
+  return (1.0 - gamma) / (1.0 - std::pow(gamma, static_cast<double>(n)));
+}
+
+namespace {
+
+std::string format_ratio(std::uint64_t successes, std::uint64_t trials) {
+  std::ostringstream os;
+  os << successes << "/" << trials;
+  return os.str();
+}
+
+// Observable 1: the empirical adoption frequency of the Nature Agent's
+// Fermi decision must match pop::fermi_probability. Exercises the exact
+// decide_adoption code path the engines run.
+ObservableCheck check_fermi_adoption(std::uint64_t seed, bool quick) {
+  const std::uint64_t trials = quick ? 20000 : 100000;
+  const double teacher = 1.0;
+  const double learner = 0.4;
+  const double beta = 0.8;
+
+  pop::NatureConfig nc;
+  nc.ssets = 2;
+  nc.memory = 1;
+  nc.beta = beta;
+  nc.seed = util::mix64(seed ^ 0x5157a7f0d8b2c3ULL);
+  pop::NatureAgent agent(nc);
+
+  std::uint64_t adopted = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    if (agent.decide_adoption(teacher, learner)) ++adopted;
+  }
+  const double expected = pop::fermi_probability(teacher, learner, beta);
+  const auto ci = wilson(adopted, trials, kZ99TwoSided);
+
+  ObservableCheck check;
+  check.name = "fermi_adoption_rate";
+  check.observed = static_cast<double>(adopted) / static_cast<double>(trials);
+  check.expected_lo = ci.lo;
+  check.expected_hi = ci.hi;
+  check.passed = ci.contains(expected);
+  std::ostringstream os;
+  os << "adoptions " << format_ratio(adopted, trials) << ", Fermi prediction "
+     << expected << " (beta " << beta << ", delta " << (teacher - learner)
+     << ")";
+  check.detail = os.str();
+  return check;
+}
+
+// Observable 2: Monte-Carlo fixation probability of one ALLD invading an
+// ALLC population, against the constant-ratio birth-death closed form.
+// Under PerRoundAverage scaling the paper payoff [R,S,T,P] = [3,0,4,1]
+// gives a defector-minus-cooperator fitness gap of (N+2)/(N-1) regardless
+// of how many defectors exist, so gamma = exp(-beta * (N+2)/(N-1)) exactly.
+ObservableCheck check_fixation_probability(std::uint64_t seed, bool quick) {
+  const std::uint32_t trials = quick ? 400 : 2000;
+  const unsigned n = 8;
+  const double beta = 1.0;
+
+  core::SimConfig cfg;
+  cfg.memory = 1;
+  cfg.ssets = n;
+  cfg.generations = 1;  // unused: fixation runs until absorption
+  cfg.game.rounds = 8;
+  cfg.game.noise = 0.0;
+  cfg.pc_rate = 1.0;
+  cfg.mutation_rate = 0.0;
+  cfg.beta = beta;
+  cfg.require_teacher_better = false;
+  cfg.space = pop::StrategySpace::Pure;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.fitness_scale = core::FitnessScale::PerRoundAverage;
+  cfg.seed = util::mix64(seed ^ 0xf1c3a7109b5d2eULL);
+
+  const game::Strategy resident{game::PureStrategy(1)};  // ALLC
+  const game::Strategy mutant{game::PureStrategy::from_bits("1111")};  // ALLD
+
+  const double observed =
+      analysis::fixation_probability(cfg, resident, mutant, trials, 100000);
+  const double delta = (static_cast<double>(n) + 2.0) /
+                       (static_cast<double>(n) - 1.0);
+  const double expected = fermi_fixation_probability(delta, beta, n);
+  const auto fixed =
+      static_cast<std::uint64_t>(std::llround(observed * trials));
+  const auto ci = wilson(fixed, trials, kZ99TwoSided);
+
+  ObservableCheck check;
+  check.name = "fixation_probability";
+  check.observed = observed;
+  check.expected_lo = ci.lo;
+  check.expected_hi = ci.hi;
+  check.passed = ci.contains(expected);
+  std::ostringstream os;
+  os << "fixations " << format_ratio(fixed, trials) << ", closed form "
+     << expected << " (gamma = exp(-" << beta << " * " << delta << "))";
+  check.detail = os.str();
+  return check;
+}
+
+// Observable 3: with imitation off (pc_rate 0) the dynamics reduce to
+// repeated uniform mutation, whose stationary marginal over the 16
+// memory-one pure tables is uniform. Chi-square over SSet 0's table
+// sampled at widely spaced generations (spacing >> 1/mutation hit rate,
+// so successive samples are effectively independent).
+ObservableCheck check_stationary_uniform(std::uint64_t seed, bool quick) {
+  const std::uint64_t samples = quick ? 800 : 3200;
+  const std::uint64_t spacing = 50;   // P(SSet 0 untouched) = 0.8^50 ~ 1e-5
+  const std::uint64_t burn_in = 100;
+
+  core::SimConfig cfg;
+  cfg.memory = 1;
+  cfg.ssets = 4;
+  cfg.generations = 1;  // stepped manually below
+  cfg.game.rounds = 4;
+  cfg.pc_rate = 0.0;
+  cfg.mutation_rate = 0.8;
+  cfg.space = pop::StrategySpace::Pure;
+  cfg.mutation_kernel = pop::MutationKernel::UniformProbs;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.seed = util::mix64(seed ^ 0x2b99d1f0835a47ULL);
+
+  core::Engine engine(cfg);
+  for (std::uint64_t g = 0; g < burn_in; ++g) engine.step();
+
+  std::array<std::uint64_t, 16> counts{};
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    for (std::uint64_t g = 0; g < spacing; ++g) engine.step();
+    const auto& table = engine.population().strategy(0).as_pure().table();
+    std::uint32_t index = 0;
+    for (std::uint32_t bit = 0; bit < 4; ++bit) {
+      if (table.get(bit)) index |= 1u << bit;
+    }
+    ++counts[index];
+  }
+
+  const double expected_count = static_cast<double>(samples) / 16.0;
+  double statistic = 0.0;
+  for (const auto c : counts) {
+    const double d = static_cast<double>(c) - expected_count;
+    statistic += d * d / expected_count;
+  }
+  const double quantile = chi_square_quantile99(15);
+
+  ObservableCheck check;
+  check.name = "stationary_uniform";
+  check.observed = statistic;
+  check.expected_lo = 0.0;
+  check.expected_hi = quantile;
+  check.passed = statistic <= quantile;
+  std::ostringstream os;
+  os << "chi-square " << statistic << " over " << samples
+     << " samples (df 15, 99% quantile " << quantile << ")";
+  check.detail = os.str();
+  return check;
+}
+
+// Observable 4: ALLC self-play under flip noise eps. The intended move is
+// always Cooperate, each execution flips independently with probability
+// eps, so every one of the 2 * rounds * games recorded moves is an
+// independent Bernoulli(1 - eps) cooperation.
+ObservableCheck check_cooperation_rate(std::uint64_t seed, bool quick) {
+  const std::uint64_t games = quick ? 200 : 1000;
+  const std::uint32_t rounds = 32;
+  const double eps = 0.1;
+
+  game::IpdParams params;
+  params.rounds = rounds;
+  params.noise = eps;
+  const game::IpdEngine ipd(1, params);
+  const game::PureStrategy allc(1);
+
+  std::uint64_t coop = 0;
+  const std::uint64_t moves = 2ULL * rounds * games;
+  for (std::uint64_t g = 0; g < games; ++g) {
+    const auto result = ipd.play(
+        allc, allc,
+        util::StreamRng(util::mix64(seed ^ 0x77c4be1f25a093ULL),
+                        util::stream_key(g, 0)));
+    coop += result.coop_a + result.coop_b;
+  }
+  const double expected = 1.0 - eps;
+  const auto ci = wilson(coop, moves, kZ99TwoSided);
+
+  ObservableCheck check;
+  check.name = "cooperation_rate_noise";
+  check.observed = static_cast<double>(coop) / static_cast<double>(moves);
+  check.expected_lo = ci.lo;
+  check.expected_hi = ci.hi;
+  check.passed = ci.contains(expected);
+  std::ostringstream os;
+  os << "cooperative moves " << format_ratio(coop, moves)
+     << ", prediction 1 - eps = " << expected;
+  check.detail = os.str();
+  return check;
+}
+
+}  // namespace
+
+StatsReport run_statistical_suite(std::uint64_t seed, bool quick) {
+  StatsReport report;
+  report.checks.push_back(check_fermi_adoption(seed, quick));
+  report.checks.push_back(check_fixation_probability(seed, quick));
+  report.checks.push_back(check_stationary_uniform(seed, quick));
+  report.checks.push_back(check_cooperation_rate(seed, quick));
+  return report;
+}
+
+}  // namespace egt::simcheck

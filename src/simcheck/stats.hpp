@@ -1,0 +1,72 @@
+// Paper-validation statistical suite: long Monte-Carlo runs of the real
+// engines checked against closed-form predictions at 99% confidence with
+// pinned seeds. Four observables:
+//   1. Fermi adoption rate — NatureAgent::decide_adoption frequency vs
+//      pop::fermi_probability (detailed balance of the imitation kernel).
+//   2. Fixation probability — a lone ALLD invading ALLC under pairwise
+//      comparison vs the constant-gamma birth-death closed form
+//      rho = (1 - gamma) / (1 - gamma^N), gamma = exp(-beta * delta)
+//      (Traulsen et al. 2007; delta = (N+2)/(N-1) for the paper payoff
+//      under per-round-average scaling, independent of the mutant count).
+//   3. Stationary strategy distribution — pure mutation dynamics
+//      (pc_rate 0) must leave the memory-one pure-strategy marginal
+//      uniform over all 16 tables (chi-square, df 15).
+//   4. Cooperation rate under noise — ALLC self-play with flip noise eps
+//      must cooperate at rate 1 - eps (binomial, Wilson interval).
+// Deterministic: same seed, same verdicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace egt::simcheck {
+
+/// Two-sided 99% standard-normal quantile (for Wilson intervals).
+inline constexpr double kZ99TwoSided = 2.5758293035489004;
+/// One-sided 99% standard-normal quantile (for chi-square tail tests).
+inline constexpr double kZ99OneSided = 2.3263478740408408;
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool contains(double x) const noexcept { return lo <= x && x <= hi; }
+};
+
+/// Wilson score interval for a binomial proportion at normal quantile `z`.
+Interval wilson(std::uint64_t successes, std::uint64_t trials, double z);
+
+/// Upper 99% chi-square quantile via the Wilson–Hilferty cube
+/// approximation (accurate to ~1e-3 relative for df >= 3).
+double chi_square_quantile99(int df);
+
+/// Closed-form fixation probability of one mutant in a birth-death chain
+/// whose backward/forward transition ratio is the constant
+/// gamma = exp(-beta * delta). delta ~ 0 degenerates to neutral 1/n.
+double fermi_fixation_probability(double delta, double beta, unsigned n);
+
+struct ObservableCheck {
+  std::string name;
+  double observed = 0.0;     ///< measured statistic
+  double expected_lo = 0.0;  ///< acceptance interval at 99% confidence
+  double expected_hi = 0.0;
+  bool passed = false;
+  std::string detail;  ///< human-readable summary (counts, prediction)
+};
+
+struct StatsReport {
+  std::vector<ObservableCheck> checks;
+  bool passed() const noexcept {
+    for (const auto& c : checks) {
+      if (!c.passed) return false;
+    }
+    return !checks.empty();
+  }
+};
+
+/// Run all four observables. `quick` shrinks the Monte-Carlo budgets about
+/// 5x for CI smoke use (the confidence machinery keeps the false-positive
+/// rate at the same 1%-per-observable either way).
+StatsReport run_statistical_suite(std::uint64_t seed, bool quick = false);
+
+}  // namespace egt::simcheck

@@ -1,0 +1,68 @@
+// Trace record/replay: capture the per-generation core::TracePoint stream
+// of an engine run, compare two streams pointwise, and serialize a stream
+// into a repro file ("egt.simcheck_trace/v1", core::wire conventions —
+// the same magic+version+payload shape as the ft decision log).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+
+namespace egt::simcheck {
+
+/// TraceSink keyed by generation: point g lands in slot g, last write
+/// wins. The overwrite semantics matter for the ft engine, where a
+/// failed-over master replans (and re-emits) the generation its
+/// predecessor died in — the replanned decision is identical by the
+/// failover invariant, and if it is not, the table hash it carries
+/// diverges and the comparison below reports it. Thread-safe: the ft
+/// master role migrates across rank threads.
+class TraceRecorder : public core::TraceSink {
+ public:
+  void on_point(const core::TracePoint& point) override;
+
+  /// Recorded points, index == generation. Generations the run never
+  /// reached (or a crashed master never re-emitted) keep `recorded` false.
+  struct Slot {
+    bool recorded = false;
+    core::TracePoint point;
+  };
+  const std::vector<Slot>& slots() const noexcept { return slots_; }
+
+  /// The recorded points of generations [0, n) where every slot is filled;
+  /// stops at the first gap.
+  std::vector<core::TracePoint> contiguous_points() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+};
+
+/// First pointwise divergence of two recorded streams.
+struct TraceDivergence {
+  std::uint64_t generation = 0;
+  std::string detail;  ///< human-readable field-level description
+};
+
+/// Compare two streams; nullopt when equal. Streams of different lengths
+/// diverge at the first missing generation. `fitness_hash` is compared
+/// only when both sides recorded it (parallel recorders leave it 0).
+std::optional<TraceDivergence> compare_traces(
+    std::span<const core::TracePoint> a, std::span<const core::TracePoint> b);
+
+/// Wire codec for a point stream (versioned; decode throws
+/// core::CheckpointError on truncation/corruption).
+std::vector<std::byte> encode_trace(std::span<const core::TracePoint> points);
+std::vector<core::TracePoint> decode_trace(const std::vector<std::byte>& bytes);
+
+/// Lower-case hex helpers for embedding the blob in a JSON repro.
+std::string to_hex(std::span<const std::byte> bytes);
+std::vector<std::byte> from_hex(const std::string& hex);
+
+}  // namespace egt::simcheck

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "game/named.hpp"
+#include "simcheck/stats.hpp"
 
 namespace egt::analysis {
 namespace {
@@ -94,6 +97,42 @@ TEST(FixationProbability, NeutralDriftIsRoughlyOneOverN) {
       fixation_probability(cfg, game::named::all_c(1),
                            game::named::tit_for_tat(1), 120, 100000);
   EXPECT_NEAR(p, 1.0 / 6.0, 0.09);
+}
+
+TEST(FixationProbability, MatchesClosedFormForConstantFitnessGap) {
+  // Closed-form pinning (Traulsen et al. 2007): under the paper payoff
+  // [R,S,T,P] = [3,0,4,1] with PerRoundAverage scaling, an ALLD mutant's
+  // fitness lead over the ALLC residents is delta = (N+2)/(N-1) no matter
+  // how many defectors exist, so the pairwise-comparison chain has the
+  // constant backward/forward ratio gamma = exp(-beta * delta) and
+  //   rho = (1 - gamma) / (1 - gamma^N).
+  auto cfg = base_config();
+  cfg.beta = 1.0;
+  cfg.ssets = 4;
+  cfg.game.rounds = 8;
+  const unsigned n = cfg.ssets;
+  const double delta = (n + 2.0) / (n - 1.0);
+  const double gamma = std::exp(-cfg.beta * delta);
+  const double rho = (1.0 - gamma) / (1.0 - std::pow(gamma, n));
+  const std::uint32_t trials = 600;
+  const double p = fixation_probability(cfg, game::named::all_c(1),
+                                        game::named::all_d(1), trials, 50000);
+  // 99.9% binomial band around the prediction (z = 3.29).
+  const double band = 3.29 * std::sqrt(rho * (1.0 - rho) / trials);
+  EXPECT_NEAR(p, rho, band) << "closed form " << rho;
+}
+
+TEST(FixationProbability, NeutralClosedFormIsExactlyOneOverN) {
+  // The same chain with beta = 0 has gamma = 1 and degenerates to the
+  // neutral-drift limit rho = 1/N; pin the formula itself at a few sizes.
+  for (const unsigned n : {2u, 4u, 8u, 64u}) {
+    EXPECT_DOUBLE_EQ(
+        simcheck::fermi_fixation_probability(0.0, /*beta=*/1.0, n),
+        1.0 / n);
+    EXPECT_DOUBLE_EQ(
+        simcheck::fermi_fixation_probability(1.0, /*beta=*/0.0, n),
+        1.0 / n);
+  }
 }
 
 TEST(FixationProbability, WslsResistsAlldInvasion) {

@@ -12,6 +12,7 @@
 
 #include "core/checkpoint_store.hpp"
 #include "core/wire.hpp"
+#include "util/rng.hpp"
 
 namespace egt::core {
 namespace {
@@ -191,6 +192,87 @@ TEST(CheckpointDir, NewestIntactOnEmptyOrMissingDirectory) {
 TEST(CheckpointDir, RejectsZeroRetention) {
   TempDir tmp("keep0");
   EXPECT_THROW(CheckpointDir(tmp.str(), /*keep=*/0), std::exception);
+}
+
+// -- property tests: corruption at seeded *random* positions ------------------
+// The exhaustive tests above cover every offset of one small blob; these
+// sweep random payload sizes with random truncation points and bit
+// positions, the shapes a torn parallel-filesystem write actually takes.
+
+std::vector<std::byte> random_payload(util::SplitMix64& rng,
+                                      std::size_t max_len) {
+  std::vector<std::byte> payload(util::uniform_below(rng, max_len + 1));
+  for (auto& b : payload) {
+    b = static_cast<std::byte>(util::uniform_below(rng, 256));
+  }
+  return payload;
+}
+
+void corrupt_file(const std::string& path, util::SplitMix64& rng) {
+  auto bytes = read_file_bytes(path);
+  ASSERT_FALSE(bytes.empty());
+  if (util::uniform_below(rng, 2) == 0) {
+    // Torn write: keep a strictly shorter random prefix.
+    bytes.resize(util::uniform_below(rng, bytes.size()));
+  } else {
+    // Bit rot: flip one random bit somewhere in the file.
+    const auto byte_at = util::uniform_below(rng, bytes.size());
+    const auto bit = util::uniform_below(rng, 8);
+    bytes[byte_at] ^= std::byte{static_cast<unsigned char>(1u << bit)};
+  }
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointDirProperty, RandomCorruptionIsNeverServedAsIntact) {
+  TempDir tmp("prop_corrupt");
+  util::SplitMix64 rng(0x5eedc0de);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    CheckpointDir dir(tmp.str(), /*keep=*/1);
+    const auto gen = static_cast<std::uint64_t>(iteration + 1);
+    const auto payload = random_payload(rng, 256);
+    dir.commit(gen, payload);
+
+    // Pristine round-trip first: the committed blob must come back intact.
+    const auto loaded = dir.newest_intact();
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->generation, gen);
+    ASSERT_EQ(loaded->payload, payload);
+
+    corrupt_file((tmp.path() / CheckpointDir::file_name(gen)).string(), rng);
+    int corrupt_reports = 0;
+    const auto after = dir.newest_intact(
+        [&](std::uint64_t, const std::string&) { ++corrupt_reports; });
+    ASSERT_FALSE(after.has_value())
+        << "iteration " << iteration << ": corrupted blob passed the CRC";
+    ASSERT_EQ(corrupt_reports, 1);
+    fs::remove(tmp.path() / CheckpointDir::file_name(gen));
+  }
+}
+
+TEST(CheckpointDirProperty, RandomCorruptionFallsBackToOlderIntact) {
+  TempDir tmp("prop_fallback");
+  util::SplitMix64 rng(0xfa11bac5);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    CheckpointDir dir(tmp.str(), /*keep=*/2);
+    const auto old_gen = static_cast<std::uint64_t>(2 * iteration + 1);
+    const auto new_gen = old_gen + 1;
+    const auto old_payload = random_payload(rng, 256);
+    dir.commit(old_gen, old_payload);
+    dir.commit(new_gen, random_payload(rng, 256));
+
+    corrupt_file((tmp.path() / CheckpointDir::file_name(new_gen)).string(),
+                 rng);
+    const auto loaded = dir.newest_intact();
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->generation, old_gen)
+        << "iteration " << iteration
+        << ": fallback skipped the intact older generation";
+    ASSERT_EQ(loaded->payload, old_payload);
+    fs::remove(tmp.path() / CheckpointDir::file_name(old_gen));
+    fs::remove(tmp.path() / CheckpointDir::file_name(new_gen));
+  }
 }
 
 }  // namespace

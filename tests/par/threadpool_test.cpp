@@ -41,6 +41,35 @@ TEST(ThreadPool, EmptyRangeIsNoOp) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPool, RepeatedEmptyRangesReturnImmediately) {
+  // Regression: n == 0 must short-circuit before the job is published (no
+  // lock, no CV round-trip) — a hot loop of empty ranges used to pay the
+  // full wait path.
+  ThreadPool pool(4);
+  for (int i = 0; i < 100000; ++i) {
+    pool.parallel_for(0, [](std::uint64_t, std::uint64_t) {
+      FAIL() << "body must never run for an empty range";
+    });
+  }
+}
+
+TEST(ThreadPool, TinyJobsClaimedByCallerSkipTheWait) {
+  // Regression for the completion wait: when the caller claims every chunk
+  // before any worker grabs the job, nothing is outstanding and
+  // parallel_for must skip the lock + CV sleep. A tight loop of
+  // single-index jobs on a busy pool hits this constantly; the loop being
+  // fast (and correct) is the observable.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  constexpr int kJobs = 50000;
+  for (int i = 0; i < kJobs; ++i) {
+    pool.parallel_for(1, [&](std::uint64_t b, std::uint64_t e) {
+      total.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), static_cast<std::uint64_t>(kJobs));
+}
+
 TEST(ThreadPool, SumReductionMatchesSerial) {
   ThreadPool pool(4);
   constexpr std::uint64_t kN = 100000;

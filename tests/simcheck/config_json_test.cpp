@@ -1,0 +1,101 @@
+#include "simcheck/config_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcheck/case.hpp"
+
+namespace egt::simcheck {
+namespace {
+
+void expect_round_trip(const core::SimConfig& c) {
+  const auto back = config_from_json_text(config_to_json(c));
+  EXPECT_EQ(back.memory, c.memory);
+  EXPECT_EQ(back.ssets, c.ssets);
+  EXPECT_EQ(back.generations, c.generations);
+  EXPECT_EQ(back.interaction.kind, c.interaction.kind);
+  EXPECT_EQ(back.interaction.ring_k, c.interaction.ring_k);
+  EXPECT_EQ(back.interaction.lattice_width, c.interaction.lattice_width);
+  EXPECT_EQ(back.interaction.moore, c.interaction.moore);
+  EXPECT_EQ(back.game.payoff.reward, c.game.payoff.reward);
+  EXPECT_EQ(back.game.payoff.sucker, c.game.payoff.sucker);
+  EXPECT_EQ(back.game.payoff.temptation, c.game.payoff.temptation);
+  EXPECT_EQ(back.game.payoff.punishment, c.game.payoff.punishment);
+  EXPECT_EQ(back.game.rounds, c.game.rounds);
+  EXPECT_EQ(back.game.noise, c.game.noise);
+  EXPECT_EQ(back.pc_rate, c.pc_rate);
+  EXPECT_EQ(back.mutation_rate, c.mutation_rate);
+  EXPECT_EQ(back.beta, c.beta);
+  EXPECT_EQ(back.require_teacher_better, c.require_teacher_better);
+  EXPECT_EQ(back.update_rule, c.update_rule);
+  EXPECT_EQ(back.space, c.space);
+  EXPECT_EQ(back.mutation_kernel, c.mutation_kernel);
+  EXPECT_EQ(back.mutation_bits, c.mutation_bits);
+  EXPECT_EQ(back.mutation_sigma, c.mutation_sigma);
+  EXPECT_EQ(back.fitness_mode, c.fitness_mode);
+  EXPECT_EQ(back.fitness_scale, c.fitness_scale);
+  EXPECT_EQ(back.lookup, c.lookup);
+  EXPECT_EQ(back.comm_pattern, c.comm_pattern);
+  EXPECT_EQ(back.seed, c.seed);
+  EXPECT_EQ(back.agent_threads, c.agent_threads);
+  EXPECT_EQ(back.sset_threads, c.sset_threads);
+  EXPECT_EQ(back.dedup, c.dedup);
+}
+
+TEST(ConfigJson, DefaultConfigRoundTrips) { expect_round_trip({}); }
+
+TEST(ConfigJson, NonDefaultFieldsRoundTrip) {
+  core::SimConfig c;
+  c.memory = 3;
+  c.ssets = 123;
+  c.generations = 98765;
+  c.interaction.kind = core::InteractionSpec::Kind::Lattice2D;
+  c.interaction.lattice_width = 4;
+  c.interaction.moore = true;
+  c.game.rounds = 17;
+  c.game.noise = 0.0625;
+  c.pc_rate = 0.75;
+  c.mutation_rate = 0.125;
+  c.beta = 2.5;
+  c.require_teacher_better = true;
+  c.space = pop::StrategySpace::Mixed;
+  c.mutation_kernel = pop::MutationKernel::MixedGaussian;
+  c.mutation_sigma = 0.2;
+  c.fitness_mode = core::FitnessMode::SampledFrozen;
+  c.fitness_scale = core::FitnessScale::Total;
+  c.lookup = game::LookupMode::LinearSearch;
+  c.comm_pattern = core::CommPattern::ReplicatedNature;
+  c.seed = 0xdeadbeefu;  // 32-bit: the documented JSON exactness range
+  c.agent_threads = 2;
+  c.sset_threads = 1;
+  c.dedup = false;
+  expect_round_trip(c);
+}
+
+TEST(ConfigJson, FuzzedConfigsRoundTrip) {
+  for (std::uint64_t fuzz_seed = 1; fuzz_seed <= 40; ++fuzz_seed) {
+    expect_round_trip(sample_case(fuzz_seed).config);
+  }
+}
+
+TEST(ConfigJson, MissingKeysKeepDefaults) {
+  const auto c =
+      config_from_json_text(R"({"schema":"egt.sim_config/v1","ssets":7})");
+  EXPECT_EQ(c.ssets, 7u);
+  const core::SimConfig defaults;
+  EXPECT_EQ(c.generations, defaults.generations);
+  EXPECT_EQ(c.fitness_mode, defaults.fitness_mode);
+}
+
+TEST(ConfigJson, RejectsUnknownEnumName) {
+  EXPECT_THROW(config_from_json_text(
+                   R"({"schema":"egt.sim_config/v1","fitness_mode":"bogus"})"),
+               std::runtime_error);
+}
+
+TEST(ConfigJson, RejectsWrongSchema) {
+  EXPECT_THROW(config_from_json_text(R"({"schema":"egt.other/v1"})"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace egt::simcheck

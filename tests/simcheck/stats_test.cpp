@@ -1,0 +1,83 @@
+#include "simcheck/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace egt::simcheck {
+namespace {
+
+TEST(Wilson, MatchesHandComputedInterval) {
+  // 40/100 at z = 1.96: classic textbook numbers.
+  const auto ci = wilson(40, 100, 1.96);
+  EXPECT_NEAR(ci.lo, 0.3094, 5e-4);
+  EXPECT_NEAR(ci.hi, 0.4980, 5e-4);
+  EXPECT_TRUE(ci.contains(0.4));
+}
+
+TEST(Wilson, DegenerateCountsStayInsideUnitInterval) {
+  const auto all = wilson(50, 50, kZ99TwoSided);
+  EXPECT_LE(all.hi, 1.0);
+  EXPECT_GT(all.lo, 0.8);
+  const auto none = wilson(0, 50, kZ99TwoSided);
+  EXPECT_GE(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.2);
+  const auto empty = wilson(0, 0, kZ99TwoSided);
+  EXPECT_EQ(empty.lo, 0.0);
+  EXPECT_EQ(empty.hi, 1.0);
+}
+
+TEST(Wilson, WiderConfidenceGivesWiderInterval) {
+  const auto narrow = wilson(30, 100, 1.96);
+  const auto wide = wilson(30, 100, kZ99TwoSided);
+  EXPECT_LT(wide.lo, narrow.lo);
+  EXPECT_GT(wide.hi, narrow.hi);
+}
+
+TEST(ChiSquareQuantile, ApproximatesTabulatedValues) {
+  // Tabulated upper-1% chi-square quantiles; Wilson–Hilferty is good to a
+  // few parts in a thousand at these df.
+  EXPECT_NEAR(chi_square_quantile99(10), 23.209, 0.15);
+  EXPECT_NEAR(chi_square_quantile99(15), 30.578, 0.15);
+  EXPECT_NEAR(chi_square_quantile99(30), 50.892, 0.2);
+}
+
+TEST(FermiFixation, NeutralLimitIsOneOverN) {
+  EXPECT_DOUBLE_EQ(fermi_fixation_probability(0.0, 1.0, 8), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(fermi_fixation_probability(2.0, 0.0, 5), 1.0 / 5.0);
+}
+
+TEST(FermiFixation, StrongSelectionApproachesOneMinusGamma) {
+  const double beta = 4.0, delta = 1.0;
+  const double gamma = std::exp(-beta * delta);
+  EXPECT_NEAR(fermi_fixation_probability(delta, beta, 32), 1.0 - gamma,
+              1e-12);
+}
+
+TEST(FermiFixation, DisadvantageousMutantRarelyFixes) {
+  EXPECT_LT(fermi_fixation_probability(-2.0, 1.0, 8), 0.01);
+}
+
+TEST(StatisticalSuite, QuickSuitePassesWithPinnedSeed) {
+  const auto report = run_statistical_suite(/*seed=*/20120427, /*quick=*/true);
+  ASSERT_EQ(report.checks.size(), 4u);
+  for (const auto& c : report.checks) {
+    EXPECT_TRUE(c.passed) << c.name << ": observed " << c.observed << " in ["
+                          << c.expected_lo << ", " << c.expected_hi << "] — "
+                          << c.detail;
+    EXPECT_FALSE(c.detail.empty());
+  }
+  EXPECT_TRUE(report.passed());
+}
+
+TEST(StatisticalSuite, ReportsAllFourObservables) {
+  const auto report = run_statistical_suite(/*seed=*/5, /*quick=*/true);
+  ASSERT_EQ(report.checks.size(), 4u);
+  EXPECT_EQ(report.checks[0].name, "fermi_adoption_rate");
+  EXPECT_EQ(report.checks[1].name, "fixation_probability");
+  EXPECT_EQ(report.checks[2].name, "stationary_uniform");
+  EXPECT_EQ(report.checks[3].name, "cooperation_rate_noise");
+}
+
+}  // namespace
+}  // namespace egt::simcheck

@@ -1,0 +1,128 @@
+#include "simcheck/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/wire.hpp"
+#include "util/rng.hpp"
+
+namespace egt::simcheck {
+namespace {
+
+core::TracePoint sample_point(std::uint64_t gen) {
+  core::TracePoint p;
+  p.generation = gen;
+  p.nature.rng = {util::mix64(gen + 1), util::mix64(gen + 2),
+                  util::mix64(gen + 3), util::mix64(gen + 4)};
+  p.nature.planned = gen + 1;
+  p.pc = (gen % 2) == 0;
+  p.teacher = static_cast<std::uint32_t>(gen % 7);
+  p.learner = static_cast<std::uint32_t>(gen % 5);
+  p.adopted = (gen % 3) == 0;
+  p.moran = (gen % 4) == 0;
+  p.reproducer = static_cast<std::uint32_t>(gen % 11);
+  p.dying = static_cast<std::uint32_t>(gen % 13);
+  p.mutated = (gen % 5) == 0;
+  p.mutation_target = static_cast<std::uint32_t>(gen % 17);
+  p.table_hash = util::mix64(gen + 99);
+  p.fitness_hash = util::mix64(gen + 123);
+  return p;
+}
+
+std::vector<core::TracePoint> sample_stream(std::uint64_t n) {
+  std::vector<core::TracePoint> points;
+  for (std::uint64_t g = 0; g < n; ++g) points.push_back(sample_point(g));
+  return points;
+}
+
+TEST(TraceCodec, RoundTripsAllFields) {
+  const auto points = sample_stream(9);
+  const auto decoded = decode_trace(encode_trace(points));
+  ASSERT_EQ(decoded.size(), points.size());
+  EXPECT_FALSE(compare_traces(points, decoded).has_value());
+}
+
+TEST(TraceCodec, EmptyStreamRoundTrips) {
+  const std::vector<core::TracePoint> empty;
+  EXPECT_TRUE(decode_trace(encode_trace(empty)).empty());
+}
+
+TEST(TraceCodec, RejectsTruncationAtEveryLength) {
+  const auto blob = encode_trace(sample_stream(3));
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    auto cut = blob;
+    cut.resize(len);
+    EXPECT_THROW((void)decode_trace(cut), core::CheckpointError)
+        << "truncated to " << len << " of " << blob.size() << " bytes";
+  }
+}
+
+TEST(TraceCodec, HexRoundTrips) {
+  const auto blob = encode_trace(sample_stream(4));
+  EXPECT_EQ(from_hex(to_hex(blob)), blob);
+  EXPECT_THROW((void)from_hex("abc"), std::runtime_error);   // odd length
+  EXPECT_THROW((void)from_hex("zz"), std::runtime_error);    // non-hex
+}
+
+TEST(TraceCompare, ReportsFirstDivergentField) {
+  const auto a = sample_stream(6);
+  auto b = a;
+  b[3].adopted = !b[3].adopted;
+  b[5].table_hash ^= 1;  // later divergence must not mask the first
+  const auto div = compare_traces(a, b);
+  ASSERT_TRUE(div.has_value());
+  EXPECT_EQ(div->generation, 3u);
+  EXPECT_NE(div->detail.find("adoption"), std::string::npos) << div->detail;
+}
+
+TEST(TraceCompare, LengthMismatchDivergesAtMissingGeneration) {
+  const auto a = sample_stream(5);
+  const auto b = sample_stream(3);
+  const auto div = compare_traces(a, b);
+  ASSERT_TRUE(div.has_value());
+  EXPECT_EQ(div->generation, 3u);
+}
+
+TEST(TraceCompare, UnrecordedFitnessHashIsNotCompared) {
+  const auto a = sample_stream(4);
+  auto b = a;
+  for (auto& p : b) p.fitness_hash = 0;  // block-owning recorder
+  EXPECT_FALSE(compare_traces(a, b).has_value());
+}
+
+TEST(TraceRecorderTest, KeysByGenerationLastWriteWins) {
+  TraceRecorder rec;
+  rec.on_point(sample_point(0));
+  rec.on_point(sample_point(2));  // gap at 1
+  EXPECT_EQ(rec.contiguous_points().size(), 1u);
+  rec.on_point(sample_point(1));
+  EXPECT_EQ(rec.contiguous_points().size(), 3u);
+  auto replanned = sample_point(2);
+  replanned.table_hash = 777;  // ft failover re-emits the crash generation
+  rec.on_point(replanned);
+  EXPECT_EQ(rec.contiguous_points()[2].table_hash, 777u);
+}
+
+TEST(TraceHook, SerialEngineEmitsOnePointPerGeneration) {
+  core::SimConfig cfg;
+  cfg.ssets = 6;
+  cfg.generations = 12;
+  cfg.game.rounds = 4;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.seed = 31;
+  TraceRecorder rec;
+  core::Engine engine(cfg);
+  engine.set_trace(&rec);
+  engine.run_all();
+  const auto points = rec.contiguous_points();
+  ASSERT_EQ(points.size(), cfg.generations);
+  for (std::uint64_t g = 0; g < points.size(); ++g) {
+    EXPECT_EQ(points[g].generation, g);
+    EXPECT_NE(points[g].table_hash, 0u);
+    EXPECT_NE(points[g].fitness_hash, 0u);
+  }
+  EXPECT_EQ(points.back().table_hash, engine.population().table_hash());
+}
+
+}  // namespace
+}  // namespace egt::simcheck

@@ -39,6 +39,73 @@ const egt::util::JsonValue* find_row(const egt::util::JsonValue& doc,
   return nullptr;
 }
 
+// --cross: an egt.simcheck_counters/v1 document (tools/simcheck
+// --counters-out) lists engine.pairs_evaluated / engine.games_played per
+// (case, engine). Every comparable variant must match its case's serial
+// reference exactly — the same work-accounting gate as the bench baseline,
+// but across engines within one run instead of across runs.
+int check_cross(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const auto doc = egt::util::JsonValue::parse(buf.str());
+  if (!doc.is_object() || !doc.has("schema") ||
+      doc.at("schema").as_string() != "egt.simcheck_counters/v1") {
+    throw std::runtime_error(path +
+                             " is not an egt.simcheck_counters/v1 doc");
+  }
+
+  // The serial reference of each case comes first in the entry stream.
+  std::uint64_t ref_case = 0, ref_pairs = 0, ref_games = 0;
+  bool have_ref = false;
+  int failures = 0, compared = 0;
+  for (const auto& entry : doc.at("entries").items()) {
+    const auto case_seed = entry.at("case_seed").as_u64();
+    const auto engine = entry.at("engine").as_string();
+    const auto pairs = entry.at("pairs_evaluated").as_u64();
+    const auto games = entry.at("games_played").as_u64();
+    if (engine == "serial") {
+      ref_case = case_seed;
+      ref_pairs = pairs;
+      ref_games = games;
+      have_ref = true;
+      continue;
+    }
+    if (!entry.at("comparable").as_bool()) continue;
+    if (!have_ref || ref_case != case_seed) {
+      std::cerr << "FAIL [case " << case_seed << "/" << engine
+                << "]: no serial reference entry precedes it\n";
+      ++failures;
+      continue;
+    }
+    ++compared;
+    if (pairs != ref_pairs) {
+      std::cerr << "FAIL [case " << case_seed << "/" << engine
+                << "]: pairs_evaluated " << pairs << " != serial "
+                << ref_pairs << "\n";
+      ++failures;
+    }
+    if (entry.has("games_comparable") &&
+        !entry.at("games_comparable").as_bool()) {
+      continue;  // per-rank dedup caches make games partition-dependent
+    }
+    if (games != ref_games) {
+      std::cerr << "FAIL [case " << case_seed << "/" << engine
+                << "]: games_played " << games << " != serial " << ref_games
+                << "\n";
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::cerr << failures << " cross-engine counter mismatch(es)\n";
+    return 1;
+  }
+  std::cout << "bench_check --cross: " << compared
+            << " engine entr(ies) match their serial reference\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,7 +121,19 @@ int main(int argc, char** argv) {
   auto min_seconds = cli.opt<double>(
       "min-seconds", 0.05,
       "rows faster than this in the baseline skip the time gate");
+  auto cross_path = cli.opt<std::string>(
+      "cross", "",
+      "diff cross-engine counters of an egt.simcheck_counters/v1 document "
+      "instead of a bench baseline");
   cli.parse(argc, argv);
+  if (!cross_path->empty()) {
+    try {
+      return check_cross(*cross_path);
+    } catch (const std::exception& e) {
+      std::cerr << "bench_check: " << e.what() << "\n";
+      return 2;
+    }
+  }
   if (current_path->empty()) {
     std::cerr << "--current is required\n";
     return 2;

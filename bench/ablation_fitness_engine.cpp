@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "obs/tracer.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -47,12 +48,17 @@ int main(int argc, char** argv) {
   struct Variant {
     std::string name;
     core::SimConfig cfg;
+    bool traced = false;  ///< run with the flight recorder enabled
   };
   std::vector<Variant> variants;
   {
     auto cfg = base;
     cfg.fitness_mode = core::FitnessMode::Sampled;
     variants.push_back({"sampled (paper)", cfg});
+    // The flight-recorder overhead row: identical run, tracer on. CI's
+    // bench_check --trace-overhead gates the wall-time delta vs the
+    // untraced row above; the counters and hash must not move at all.
+    variants.push_back({"sampled (paper) + trace", cfg, /*traced=*/true});
     cfg.fitness_mode = core::FitnessMode::SampledFrozen;
     variants.push_back({"sampled-frozen", cfg});
     cfg.fitness_mode = core::FitnessMode::Analytic;
@@ -85,12 +91,17 @@ int main(int argc, char** argv) {
   util::TextTable table({"engine", "wall time (s)", "pair evaluations",
                          "games played", "final table hash"});
   for (const auto& v : variants) {
+    if (v.traced) obs::Tracer::instance().start();
     core::Engine engine(v.cfg);
     util::Timer t;
     engine.run_all();
     Result r;
     r.name = v.name;
     r.wall_s = t.seconds();
+    if (v.traced) {
+      obs::Tracer::instance().stop();
+      obs::Tracer::instance().clear();  // measure recording, not serializing
+    }
     r.pairs = engine.pairs_evaluated();
     r.games = engine.games_played();
     char hash[32];

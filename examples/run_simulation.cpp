@@ -10,15 +10,19 @@
 //   ./run_simulation ... --resume run.ckpt       # continue after a kill
 //   ./run_simulation ... --checkpoint-dir ckpts --checkpoint-every 1000
 //   ./run_simulation ... --restore ckpts         # newest intact checkpoint
-//   ./run_simulation ... --metrics-out m.json    # egt.run_manifest/v1
+//   ./run_simulation ... --metrics-out m.json    # egt.run_manifest/v2
+//   ./run_simulation ... --trace-out run.trace.json  # Perfetto flight record
+//   ./run_simulation ... --metrics-stream live.ndjson  # per-gen telemetry
 //   ./run_simulation ... --ranks 8 --metrics-out m.json   # + per-rank traffic
 //   ./run_simulation ... --ranks 8 --fault-plan faults.json  # ft engine
 //   ./run_simulation ... --progress              # gen/s + ETA heartbeat
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
@@ -34,6 +38,8 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_observer.hpp"
+#include "obs/metrics_stream.hpp"
+#include "obs/tracer.hpp"
 #include "pop/stats.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -52,6 +58,10 @@ struct OutputPaths {
   std::string metrics_out;  // egt.run_manifest/v1 (--metrics-out)
   std::string metrics_csv;  // per-phase time-series CSV (--metrics-csv)
   std::string fault_plan;   // egt.fault_plan/v1 JSON (--fault-plan)
+  std::string trace_out;       // Chrome trace JSON (--trace-out)
+  std::string metrics_stream;  // live NDJSON telemetry (--metrics-stream)
+  std::int64_t metrics_stream_every = 1;
+  std::int64_t trace_capacity = 0;  // events per thread (0 = default)
   std::int64_t checkpoint_every = 0;
   int checkpoint_keep = 3;
   double ft_detect_ms = 500.0;
@@ -138,6 +148,22 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   auto metrics_csv_opt = cli.opt<std::string>(
       "metrics-csv", "",
       "write the per-phase metrics time series (CSV) here");
+  auto trace_out_opt = cli.opt<std::string>(
+      "trace-out", "",
+      "record a flight-recorder trace of the run and write Chrome "
+      "trace-event JSON (Perfetto-loadable) here; inspect with trace_report");
+  auto trace_capacity_opt = cli.opt<std::int64_t>(
+      "trace-capacity", 0,
+      "flight-recorder ring capacity in events per thread (0 = default "
+      "65536; the ring keeps the newest events and reports the dropped "
+      "count in the trace)");
+  auto metrics_stream_opt = cli.opt<std::string>(
+      "metrics-stream", "",
+      "stream one egt.metrics_stream/v1 NDJSON line per generation here "
+      "while the run is going (tail -f friendly)");
+  auto metrics_stream_every = cli.opt<std::int64_t>(
+      "metrics-stream-every", 1,
+      "generations between --metrics-stream lines");
   auto progress = cli.flag(
       "progress", "heartbeat log with gen/s and ETA (implies --verbose)");
   auto verbose = cli.flag("verbose", "info-level logging");
@@ -194,6 +220,10 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   out.manifest = *manifest_opt;
   out.metrics_out = *metrics_out_opt;
   out.metrics_csv = *metrics_csv_opt;
+  out.trace_out = *trace_out_opt;
+  out.trace_capacity = *trace_capacity_opt;
+  out.metrics_stream = *metrics_stream_opt;
+  out.metrics_stream_every = *metrics_stream_every;
   out.checkpoint_every = *ckpt_every;
   out.checkpoint_keep = *ckpt_keep;
   out.ranks = *ranks_opt;
@@ -266,15 +296,85 @@ egt::obs::ManifestInfo manifest_info(const egt::core::SimConfig& cfg,
 }
 
 /// The manifest is written after the simulation has finished; a bad path
-/// must not abort and discard an otherwise-complete run.
+/// must not abort and discard an otherwise-complete run. Failures count to
+/// obs.write_errors (every observability output shares that counter).
 void try_write_metrics_manifest(const std::string& path,
-                                const egt::obs::ManifestInfo& info) {
+                                const egt::obs::ManifestInfo& info,
+                                egt::obs::MetricsRegistry& metrics) {
   try {
     egt::obs::write_run_manifest_file(path, info);
     std::printf("metrics manifest written: %s\n", path.c_str());
   } catch (const std::exception& e) {
+    metrics.counter("obs.write_errors").inc();
     std::fprintf(stderr, "warning: %s\n", e.what());
   }
+}
+
+/// Start the flight recorder with run-identifying metadata baked into the
+/// trace's otherData (trace_report --calibrate reads these back).
+void start_tracer(const egt::core::SimConfig& cfg, int ranks,
+                  std::int64_t capacity) {
+  using namespace egt;
+  const char* mode = cfg.fitness_mode == core::FitnessMode::Sampled
+                         ? "sampled"
+                         : cfg.fitness_mode == core::FitnessMode::SampledFrozen
+                               ? "frozen"
+                               : "analytic";
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_meta("tool", "egtsim/run_simulation");
+  tracer.set_meta("config_summary", cfg.summary());
+  tracer.set_meta("memory", std::to_string(cfg.memory));
+  tracer.set_meta("ssets", std::to_string(cfg.ssets));
+  tracer.set_meta("rounds", std::to_string(cfg.game.rounds));
+  tracer.set_meta("generations", std::to_string(cfg.generations));
+  tracer.set_meta("ranks", std::to_string(ranks));
+  tracer.set_meta("fitness_mode", mode);
+  tracer.start(capacity > 0 ? static_cast<std::size_t>(capacity)
+                            : obs::Tracer::kDefaultCapacity);
+}
+
+/// Stop the recorder and serialize the session. Same warn-and-continue
+/// contract as --metrics-out: the simulation's results are already safe, a
+/// bad trace path must not turn the run into a failure.
+void try_write_trace(const std::string& path,
+                     egt::obs::MetricsRegistry& metrics) {
+  using namespace egt;
+  auto& tracer = obs::Tracer::instance();
+  tracer.stop();
+  std::ofstream f(path);
+  if (f) tracer.write_chrome_trace(f);
+  if (f) {
+    std::printf("trace written: %s (%llu events, %llu dropped)\n",
+                path.c_str(),
+                static_cast<unsigned long long>(tracer.recorded_events()),
+                static_cast<unsigned long long>(tracer.dropped_events()));
+  } else {
+    metrics.counter("obs.write_errors").inc();
+    std::fprintf(stderr, "warning: trace not written (cannot open %s)\n",
+                 path.c_str());
+  }
+}
+
+/// Open the live NDJSON stream; an unopenable path warns and streams
+/// nothing (the run itself is unaffected).
+std::unique_ptr<egt::obs::MetricsStreamWriter> open_metrics_stream(
+    const OutputPaths& out, egt::obs::MetricsRegistry& metrics) {
+  using namespace egt;
+  if (out.metrics_stream.empty()) return nullptr;
+  obs::MetricsStreamWriter::Options sopts;
+  sopts.path = out.metrics_stream;
+  sopts.every = out.metrics_stream_every > 0
+                    ? static_cast<std::uint64_t>(out.metrics_stream_every)
+                    : 1;
+  auto writer = std::make_unique<obs::MetricsStreamWriter>(sopts);
+  if (!writer->ok()) {
+    metrics.counter("obs.write_errors").inc();
+    std::fprintf(stderr,
+                 "warning: metrics stream disabled (cannot open %s)\n",
+                 out.metrics_stream.c_str());
+    return nullptr;
+  }
+  return writer;
 }
 
 /// Rolling checkpoints must not kill a long run over a bad path: warn,
@@ -338,6 +438,10 @@ int run_cli(int argc, char** argv) {
   std::printf("running: %s\n", cfg.summary().c_str());
   util::Timer timer;
   obs::MetricsRegistry metrics;
+  const auto stream = open_metrics_stream(out, metrics);
+  if (!out.trace_out.empty()) {
+    start_tracer(cfg, std::max(out.ranks, 1), out.trace_capacity);
+  }
 
   if (!out.fault_plan.empty() && out.ranks <= 0) {
     throw std::invalid_argument("--fault-plan requires --ranks N (N >= 1)");
@@ -362,7 +466,9 @@ int run_cli(int argc, char** argv) {
     fopts.standby_replicas = out.ft_standby;
     fopts.checkpoint_keep = out.checkpoint_keep;
     fopts.metrics = &metrics;
+    fopts.metrics_stream = stream.get();
     const auto result = ft::run_parallel_ft(cfg, out.ranks, fopts);
+    if (!out.trace_out.empty()) try_write_trace(out.trace_out, metrics);
     std::printf(
         "fault-tolerant run on %d ranks: %d rank(s) lost, %d failover(s), "
         "%llu recover(ies), %llu block(s) restored, %llu recomputed\n",
@@ -375,11 +481,16 @@ int run_cli(int argc, char** argv) {
             result.metrics.counter_value("ft.recovery.blocks_recomputed")));
     report(result.population, cfg);
     const double wall = timer.seconds();
+    if (stream) {
+      std::printf("metrics stream written: %s (%llu lines)\n",
+                  stream->path().c_str(),
+                  static_cast<unsigned long long>(stream->lines_written()));
+    }
     if (!out.metrics_out.empty()) {
       obs::ManifestInfo info = manifest_info(cfg, out.ranks, wall);
       info.metrics = &result.metrics;  // includes the ft.* family
       info.traffic = &result.traffic;
-      try_write_metrics_manifest(out.metrics_out, info);
+      try_write_metrics_manifest(out.metrics_out, info, metrics);
     }
     if (!out.manifest.empty()) {
       write_legacy_manifest(out.manifest, cfg, result.population, wall,
@@ -396,7 +507,9 @@ int run_cli(int argc, char** argv) {
     core::ParallelRunOptions popts;
     popts.metrics = &metrics;
     popts.progress = out.progress;
+    popts.metrics_stream = stream.get();
     const auto result = core::run_parallel(cfg, out.ranks, popts);
+    if (!out.trace_out.empty()) try_write_trace(out.trace_out, metrics);
     const auto& t = result.traffic;
     std::printf(
         "parallel run on %d ranks: %llu msgs / %llu bytes "
@@ -409,11 +522,16 @@ int run_cli(int argc, char** argv) {
         static_cast<unsigned long long>(t.p2p_bytes));
     report(result.population, cfg);
     const double wall = timer.seconds();
+    if (stream) {
+      std::printf("metrics stream written: %s (%llu lines)\n",
+                  stream->path().c_str(),
+                  static_cast<unsigned long long>(stream->lines_written()));
+    }
     if (!out.metrics_out.empty()) {
       obs::ManifestInfo info = manifest_info(cfg, out.ranks, wall);
       info.metrics = &result.metrics;
       info.traffic = &result.traffic;
-      try_write_metrics_manifest(out.metrics_out, info);
+      try_write_metrics_manifest(out.metrics_out, info, metrics);
     }
     if (!out.manifest.empty()) {
       write_legacy_manifest(out.manifest, cfg, result.population, wall,
@@ -448,6 +566,10 @@ int run_cli(int argc, char** argv) {
       std::max<std::uint64_t>(1, cfg.generations / 200));
   const core::TimeSeriesRecorder& recorder_ref = *recorder;
   obs.add(std::move(recorder));
+
+  if (stream) {
+    obs.add(std::make_unique<obs::MetricsStreamObserver>(*stream, metrics));
+  }
 
   if (!out.metrics_csv.empty() || out.progress) {
     obs::MetricsObserverOptions mopts;
@@ -487,6 +609,12 @@ int run_cli(int argc, char** argv) {
           ? cfg.generations - engine.generation()
           : 0;
   engine.run(remaining, &obs);
+  if (!out.trace_out.empty()) try_write_trace(out.trace_out, metrics);
+  if (stream) {
+    std::printf("metrics stream written: %s (%llu lines)\n",
+                stream->path().c_str(),
+                static_cast<unsigned long long>(stream->lines_written()));
+  }
 
   if (!out.checkpoint.empty()) {
     core::write_checkpoint_file(engine, out.checkpoint);
@@ -521,7 +649,7 @@ int run_cli(int argc, char** argv) {
     const obs::MetricsSnapshot snap = metrics.snapshot();
     obs::ManifestInfo info = manifest_info(cfg, /*ranks=*/0, wall);
     info.metrics = &snap;
-    try_write_metrics_manifest(out.metrics_out, info);
+    try_write_metrics_manifest(out.metrics_out, info, metrics);
   }
   if (!out.manifest.empty()) {
     write_legacy_manifest(out.manifest, cfg, engine.population(), wall,

@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include "obs/tracer.hpp"
 #include "util/check.hpp"
 
 namespace egt::core {
@@ -65,7 +66,9 @@ Engine::Engine(const SimConfig& config, obs::MetricsRegistry* metrics)
   {
     // The initial all-pairs evaluation is game-dynamics work.
     obs::ScopedTimer t(ph_game_play_);
+    obs::TraceSpan span(obs::phase::kGamePlay, obs::kCatPhase);
     fitness_.initialize(pop_);
+    span.set_arg("games", fitness_.games_played());
   }
   account_pairs();
 }
@@ -92,13 +95,18 @@ Engine::Engine(const SimConfig& config, RestoredState state,
 }
 
 void Engine::step() {
+  obs::TraceSpan gen_span(obs::kGenerationSpan, obs::kCatEngine, "gen",
+                          generation_);
   // 1. Game dynamics: this generation's fitness.
   {
     obs::ScopedTimer t(ph_game_play_);
+    obs::TraceSpan span(obs::phase::kGamePlay, obs::kCatPhase);
+    const std::uint64_t games_before = fitness_.games_played();
     fitness_.begin_generation(pop_, generation_);
     for (pop::SSetId i = 0; i < config_.ssets; ++i) {
       pop_.set_fitness(i, fitness_.fitness(i));
     }
+    span.set_arg("games", fitness_.games_played() - games_before);
   }
 
   // 2. Population dynamics.
@@ -109,6 +117,7 @@ void Engine::step() {
     // Serial twin of the parallel engine's plan broadcast: Nature decides
     // what happens this generation.
     obs::ScopedTimer t(ph_plan_);
+    obs::TraceSpan span(obs::phase::kPlanBcast, obs::kCatPhase);
     plan = nature_.plan_generation(&pop_);
   }
 
@@ -121,16 +130,19 @@ void Engine::step() {
     {
       // Serial twin of the owners' fitness return.
       obs::ScopedTimer t(ph_fitness_return_);
+      obs::TraceSpan span(obs::phase::kFitnessReturn, obs::kCatPhase);
       teacher_fitness = fitness_.fitness(out.teacher);
       learner_fitness = fitness_.fitness(out.learner);
     }
     {
       obs::ScopedTimer t(ph_decision_);
+      obs::TraceSpan span(obs::phase::kDecisionBcast, obs::kCatPhase);
       out.adopted = nature_.decide_adoption(teacher_fitness, learner_fitness);
     }
     if (out.adopted) {
       if (ct_adoptions_ != nullptr) ct_adoptions_->inc();
       obs::ScopedTimer t(ph_apply_);
+      obs::TraceSpan span(obs::phase::kApplyUpdate, obs::kCatPhase);
       pop_.set_strategy(out.learner, pop_.strategy(out.teacher));
       fitness_.strategy_changed(out.learner, pop_, generation_);
     }
@@ -143,6 +155,7 @@ void Engine::step() {
     {
       // The Moran rule's whole-vector selection is the decision step.
       obs::ScopedTimer t(ph_decision_);
+      obs::TraceSpan span(obs::phase::kDecisionBcast, obs::kCatPhase);
       pick = nature_.select_moran(fitness_.block());
     }
     GenerationRecord::PcOutcome out;
@@ -151,6 +164,7 @@ void Engine::step() {
     out.adopted = pick.is_change();
     if (pick.is_change()) {
       obs::ScopedTimer t(ph_apply_);
+      obs::TraceSpan span(obs::phase::kApplyUpdate, obs::kCatPhase);
       pop_.set_strategy(pick.dying, pop_.strategy(pick.reproducer));
       fitness_.strategy_changed(pick.dying, pop_, generation_);
     }
@@ -161,6 +175,7 @@ void Engine::step() {
   if (plan.mutation) {
     if (ct_mutations_ != nullptr) ct_mutations_->inc();
     obs::ScopedTimer t(ph_apply_);
+    obs::TraceSpan span(obs::phase::kApplyUpdate, obs::kCatPhase);
     pop_.set_strategy(plan.mutation->target, plan.mutation->strategy);
     fitness_.strategy_changed(plan.mutation->target, pop_, generation_);
     record_.mutation = plan.mutation->target;

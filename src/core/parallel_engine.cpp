@@ -7,6 +7,8 @@
 
 #include "core/engine.hpp"
 #include "core/fitness.hpp"
+#include "obs/metrics_stream.hpp"
+#include "obs/tracer.hpp"
 #include "par/partition.hpp"
 #include "pop/nature.hpp"
 #include "util/check.hpp"
@@ -132,6 +134,9 @@ void rank_main(par::Comm& comm, const SimConfig& config,
   const int rank = comm.rank();
   const auto nranks = static_cast<std::uint64_t>(comm.size());
   RankInstruments ins(registry, rank);
+  // Flight-recorder attribution: this thread's events land on pid = rank.
+  const obs::TraceRankScope trace_rank(rank);
+  obs::Tracer::set_thread_name("rank.main");
 
   // Every rank derives the identical initial state from the seed alone —
   // the paper's "each node can calculate its position ... individually".
@@ -146,7 +151,9 @@ void rank_main(par::Comm& comm, const SimConfig& config,
   BlockFitness fit(config, row_begin, row_end, graph);
   {
     obs::ScopedTimer t(ins.game_play);
+    obs::TraceSpan span(obs::phase::kGamePlay, obs::kCatPhase);
     fit.initialize(pop);
+    span.set_arg("games", fit.games_played());
   }
   std::uint64_t pairs_accounted = fit.pairs_evaluated();
   ins.pairs->inc(pairs_accounted);
@@ -174,17 +181,22 @@ void rank_main(par::Comm& comm, const SimConfig& config,
   std::uint64_t last_heartbeat_gen = 0;
 
   for (std::uint64_t gen = 0; gen < config.generations; ++gen) {
+    obs::TraceSpan gen_span(obs::kGenerationSpan, obs::kCatEngine, "gen", gen);
     // 1. Game dynamics: local, communication-free.
     {
       obs::ScopedTimer t(ins.game_play);
+      obs::TraceSpan span(obs::phase::kGamePlay, obs::kCatPhase);
+      const std::uint64_t games_before = fit.games_played();
       fit.begin_generation(pop, gen);
       fitness_snapshot.assign(fit.block().begin(), fit.block().end());
+      span.set_arg("games", fit.games_played() - games_before);
     }
 
     // 2. Population dynamics.
     pop::GenerationPlan plan;
     {
       obs::ScopedTimer t(ins.plan);
+      obs::TraceSpan span(obs::phase::kPlanBcast, obs::kCatPhase);
       if (replay_nature) {
         plan = nature->plan_generation(&pop);
       } else {
@@ -211,6 +223,7 @@ void rank_main(par::Comm& comm, const SimConfig& config,
         std::vector<double> pair_fitness(2, 0.0);
         {
           obs::ScopedTimer t(ins.fitness_return);
+          obs::TraceSpan span(obs::phase::kFitnessReturn, obs::kCatPhase);
           if (owner_of(teacher) == rank) pair_fitness[0] = fit.fitness(teacher);
           if (owner_of(learner) == rank) pair_fitness[1] = fit.fitness(learner);
           pair_fitness = comm.allreduce(std::move(pair_fitness),
@@ -218,6 +231,7 @@ void rank_main(par::Comm& comm, const SimConfig& config,
         }
         {
           obs::ScopedTimer t(ins.decision);
+          obs::TraceSpan span(obs::phase::kDecisionBcast, obs::kCatPhase);
           adopted = nature->decide_adoption(pair_fitness[0], pair_fitness[1]);
         }
       } else {
@@ -226,6 +240,7 @@ void rank_main(par::Comm& comm, const SimConfig& config,
         double tf = 0.0, lf = 0.0;
         {
           obs::ScopedTimer t(ins.fitness_return);
+          obs::TraceSpan span(obs::phase::kFitnessReturn, obs::kCatPhase);
           if (rank != 0 && owner_of(teacher) == rank) {
             comm.send_value(0, kTagFitTeacher, fit.fitness(teacher));
           }
@@ -245,6 +260,7 @@ void rank_main(par::Comm& comm, const SimConfig& config,
         }
         {
           obs::ScopedTimer t(ins.decision);
+          obs::TraceSpan span(obs::phase::kDecisionBcast, obs::kCatPhase);
           std::uint8_t adopted_wire = 0;
           if (rank == 0) adopted_wire = nature->decide_adoption(tf, lf) ? 1 : 0;
           comm.bcast_value(adopted_wire, 0);
@@ -255,6 +271,7 @@ void rank_main(par::Comm& comm, const SimConfig& config,
       if (adopted) {
         RankInstruments::inc(ins.adoptions);
         obs::ScopedTimer t(ins.apply);
+        obs::TraceSpan span(obs::phase::kApplyUpdate, obs::kCatPhase);
         pop.set_strategy(learner, pop.strategy(teacher));
         fit.strategy_changed(learner, pop, gen);
       }
@@ -281,17 +298,21 @@ void rank_main(par::Comm& comm, const SimConfig& config,
         std::vector<double> full;
         {
           obs::ScopedTimer t(ins.fitness_return);
+          obs::TraceSpan span(obs::phase::kFitnessReturn, obs::kCatPhase);
           full = assemble(comm.allgather(pack_block()));
         }
         obs::ScopedTimer t(ins.decision);
+        obs::TraceSpan span(obs::phase::kDecisionBcast, obs::kCatPhase);
         pick = nature->select_moran(full);
       } else {
         std::vector<std::vector<std::byte>> blocks;
         {
           obs::ScopedTimer t(ins.fitness_return);
+          obs::TraceSpan span(obs::phase::kFitnessReturn, obs::kCatPhase);
           blocks = comm.gather(pack_block(), 0);
         }
         obs::ScopedTimer t(ins.decision);
+        obs::TraceSpan span(obs::phase::kDecisionBcast, obs::kCatPhase);
         std::uint64_t wire = 0;
         if (rank == 0) {
           const auto full = assemble(blocks);
@@ -305,6 +326,7 @@ void rank_main(par::Comm& comm, const SimConfig& config,
       }
       if (pick.is_change()) {
         obs::ScopedTimer t(ins.apply);
+        obs::TraceSpan span(obs::phase::kApplyUpdate, obs::kCatPhase);
         pop.set_strategy(pick.dying, pop.strategy(pick.reproducer));
         fit.strategy_changed(pick.dying, pop, gen);
       }
@@ -313,6 +335,7 @@ void rank_main(par::Comm& comm, const SimConfig& config,
     if (plan.mutation) {
       RankInstruments::inc(ins.mutations);
       obs::ScopedTimer t(ins.apply);
+      obs::TraceSpan span(obs::phase::kApplyUpdate, obs::kCatPhase);
       pop.set_strategy(plan.mutation->target, plan.mutation->strategy);
       fit.strategy_changed(plan.mutation->target, pop, gen);
     }
@@ -349,6 +372,20 @@ void rank_main(par::Comm& comm, const SimConfig& config,
       }
       point.table_hash = pop.table_hash();
       options.trace->on_point(point);
+    }
+
+    if (options.metrics_stream != nullptr &&
+        options.metrics_stream->wants(gen)) {
+      // Every rank owns a block of the fitness vector; reduce the block
+      // sums so the streamed mean is the global one.
+      double local = 0.0;
+      for (const double f : fit.block()) local += f;
+      const double total =
+          comm.reduce_scalar(local, par::Comm::ReduceOp::Sum, 0);
+      if (rank == 0) {
+        options.metrics_stream->on_generation(
+            gen, pop, registry, total / static_cast<double>(config.ssets));
+      }
     }
 
     if (options.progress && rank == 0) {

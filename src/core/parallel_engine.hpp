@@ -35,6 +35,10 @@
 #include "pop/nature.hpp"
 #include "pop/population.hpp"
 
+namespace egt::obs {
+class MetricsStreamWriter;
+}
+
 namespace egt::core {
 
 /// Wire codec of the per-generation event plan (the PaperBcast broadcast
@@ -65,6 +69,10 @@ struct ParallelRunOptions {
   /// Rank 0 emits one core::TracePoint per generation (see core/trace.hpp;
   /// fitness_hash stays 0 — ranks only own a block). May be null.
   TraceSink* trace = nullptr;
+  /// Live NDJSON telemetry (obs/metrics_stream.hpp). When set, every rank
+  /// joins a per-emitted-generation fitness reduction and rank 0 streams
+  /// the line. May be null.
+  obs::MetricsStreamWriter* metrics_stream = nullptr;
 };
 
 /// Run the full simulation on `nranks` ranks. Blocks until done.

@@ -25,6 +25,8 @@
 #include "ft/injector.hpp"
 #include "ft/ownership.hpp"
 #include "ft/protocol.hpp"
+#include "obs/metrics_stream.hpp"
+#include "obs/tracer.hpp"
 #include "par/comm.hpp"
 #include "pop/nature.hpp"
 #include "util/check.hpp"
@@ -164,7 +166,9 @@ class BlockSet {
     Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0, 0};
     {
       obs::ScopedTimer t(ins_.game_play);
+      obs::TraceSpan span(obs::phase::kGamePlay, obs::kCatPhase);
       blk.fit.initialize(pop);
+      span.set_arg("games", blk.fit.games_played());
     }
     blk.accounted = blk.fit.pairs_evaluated();
     ins_.pairs->inc(blk.accounted);
@@ -176,6 +180,7 @@ class BlockSet {
 
   void begin_generation(const pop::Population& pop, std::uint64_t gen) {
     obs::ScopedTimer t(ins_.game_play);
+    obs::TraceSpan span(obs::phase::kGamePlay, obs::kCatPhase);
     for (Block& b : blocks_) {
       b.fit.begin_generation(pop, gen);
       b.snapshot.assign(b.fit.block().begin(), b.fit.block().end());
@@ -260,6 +265,7 @@ class BlockSet {
              const pop::Population& pop_gen_start, std::uint64_t gen,
              const CheckpointStore& store, std::uint64_t fingerprint) {
     obs::ScopedTimer t(ins_.recovery);
+    obs::TraceSpan span("phase.ft_recovery", obs::kCatFt, "begin", begin);
     Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0, 0};
     const std::optional<BlockCheckpoint> hit =
         lookup(store, begin, end, gen, pop);
@@ -311,6 +317,7 @@ class BlockSet {
                          const CheckpointStore& store,
                          std::uint64_t fingerprint) {
     obs::ScopedTimer t(ins_.recovery);
+    obs::TraceSpan span("phase.ft_recovery", obs::kCatFt, "begin", begin);
     Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0, 0};
     const std::optional<BlockCheckpoint> hit =
         lookup(store, begin, end, gen, pop);
@@ -340,6 +347,7 @@ class BlockSet {
                      std::uint64_t table_hash, std::uint64_t fingerprint,
                      bool torn) const {
     obs::ScopedTimer t(ins_.ckpt);
+    obs::TraceSpan span("phase.ft_checkpoint", obs::kCatFt);
     for (const Block& b : blocks_) {
       BlockCheckpoint c;
       c.config_fingerprint = fingerprint;
@@ -392,6 +400,8 @@ class BlockSet {
     return store.find_covering(begin, end, gen, pop.table_hash(),
                                [this](const std::string&) {
                                  FtInstruments::inc(ins_.ckpt_fallback);
+                                 obs::trace_instant("ft.checkpoint_fallback",
+                                                    obs::kCatFt);
                                });
   }
 
@@ -523,6 +533,7 @@ void apply_pc_stage(BlockSet& blocks, pop::Population& pop,
   if (plan.pc && d.adopted) {
     FtInstruments::inc(ins.adoptions);
     obs::ScopedTimer t(ins.apply);
+    obs::TraceSpan span(obs::phase::kApplyUpdate, obs::kCatPhase);
     pop.set_strategy(plan.pc->learner, pop.strategy(plan.pc->teacher));
     blocks.strategy_changed(plan.pc->learner, pop, gen);
   }
@@ -533,12 +544,14 @@ void apply_final_stage(BlockSet& blocks, pop::Population& pop,
                        std::uint64_t gen, FtInstruments& ins) {
   if (plan.moran && d.pick.is_change()) {
     obs::ScopedTimer t(ins.apply);
+    obs::TraceSpan span(obs::phase::kApplyUpdate, obs::kCatPhase);
     pop.set_strategy(d.pick.dying, pop.strategy(d.pick.reproducer));
     blocks.strategy_changed(d.pick.dying, pop, gen);
   }
   if (plan.mutation) {
     FtInstruments::inc(ins.mutations);
     obs::ScopedTimer t(ins.apply);
+    obs::TraceSpan span(obs::phase::kApplyUpdate, obs::kCatPhase);
     pop.set_strategy(plan.mutation->target, plan.mutation->strategy);
     blocks.strategy_changed(plan.mutation->target, pop, gen);
   }
@@ -656,6 +669,7 @@ class RankProgram {
   void heal_pending(const std::optional<Decision>& prev) {
     if (!pending_ || !prev || prev->gen != pending_->gen) return;
     FtInstruments::inc(ins_.heals);
+    obs::trace_instant("ft.heal", obs::kCatFt, "gen", pending_->gen);
     if (!pending_->pc_applied) {
       apply_pc_stage(blocks_, pop_, pending_->plan, *prev, pending_->gen,
                      ins_);
@@ -731,6 +745,7 @@ class RankProgram {
           // The injected crash: stop participating, silently. The plan for
           // this generation dies with us and must be recovered.
           FtInstruments::inc(ins_.kills);
+          obs::trace_instant("ft.kill", obs::kCatFt, "gen", gen);
           return Ev::Exit;
         }
         if (static_cast<std::int64_t>(gen) <= last_gen_) {
@@ -811,6 +826,7 @@ class RankProgram {
           d.gen = gen;
           d.adopted = adopted;
           FtInstruments::inc(ins_.heals);
+          obs::trace_instant("ft.heal", obs::kCatFt, "gen", gen);
           apply_pc_stage(blocks_, pop_, pending_->plan, d, gen, ins_);
           pending_->pc_applied = true;
         }
@@ -924,6 +940,7 @@ class RankProgram {
     voted_view_ = std::max(voted_view_, view);
     master_ = m.source;
     last_master_msg_ = Clock::now();
+    obs::trace_instant("ft.takeover", obs::kCatFt, "view", view);
     // Heal the generation still pending from the old master, if the new
     // one resumes past it.
     if (pending_ && pending_->gen + 1 == resume) heal_pending(prev);
@@ -982,9 +999,12 @@ class RankProgram {
   /// was evicted).
   bool run_election() {
     obs::ScopedTimer timer(ins_.election);
+    obs::TraceSpan span("phase.ft_election", obs::kCatFt);
     std::uint64_t min_view = view_ + 1;
     for (;;) {
       FtInstruments::inc(ins_.elections);
+      obs::trace_instant("ft.election", obs::kCatFt, "view",
+                         std::max(min_view, voted_view_));
       std::uint64_t view = std::max(min_view, voted_view_);
       if (voted_view_ < view) cast_vote(view);
       // Collect votes; the window extends while they keep arriving and
@@ -1077,6 +1097,7 @@ class RankProgram {
   void promote_and_run(std::uint64_t view) {
     ins_.promote(registry_);
     FtInstruments::inc(ins_.failovers);
+    obs::trace_instant("ft.failover", obs::kCatFt, "view", view);
     shared_.failovers.fetch_add(1, std::memory_order_relaxed);
     view_ = view;
     voted_view_ = std::max(voted_view_, view);
@@ -1216,6 +1237,8 @@ class RankProgram {
         continue;
       }
       FtInstruments::inc(ins_.suspects);
+      obs::trace_instant("ft.suspect", obs::kCatFt, "rank",
+                         static_cast<std::uint64_t>(w));
       if (!probe(w)) return false;
       FtInstruments::inc(ins_.false_alarms);
       if (++resends > kMaxResends) return false;  // alive but unresponsive
@@ -1231,6 +1254,8 @@ class RankProgram {
   void handle_death(int dead) {
     FtInstruments::inc(ins_.failures);
     FtInstruments::inc(ins_.recoveries);
+    obs::trace_instant("ft.death", obs::kCatFt, "rank",
+                       static_cast<std::uint64_t>(dead));
     shared_.ranks_lost.fetch_add(1, std::memory_order_relaxed);
     alive_.erase(std::remove(alive_.begin(), alive_.end(), dead),
                  alive_.end());
@@ -1400,8 +1425,11 @@ class RankProgram {
         // generation is fully replicated, this one was never planned — the
         // successor's restored RNG replans it identically.
         FtInstruments::inc(ins_.kills);
+        obs::trace_instant("ft.kill", obs::kCatFt, "gen", gen);
         return;
       }
+      obs::TraceSpan gen_span(obs::kGenerationSpan, obs::kCatEngine, "gen",
+                              gen);
       current_gen_ = gen;
       blocks_.begin_generation(pop_, gen);
       pop_gen_start_ = pop_;
@@ -1410,6 +1438,7 @@ class RankProgram {
       pop::GenerationPlan plan;
       {
         obs::ScopedTimer t(ins_.plan);
+        obs::TraceSpan span(obs::phase::kPlanBcast, obs::kCatPhase);
         plan = nature_->plan_generation(&pop_);
         const auto wire = encode_plan_msg(gen, prev_decision_,
                                           core::encode_generation_plan(plan));
@@ -1441,10 +1470,12 @@ class RankProgram {
         double tf = 0.0, lf = 0.0;
         {
           obs::ScopedTimer t(ins_.fitness_return);
+          obs::TraceSpan span(obs::phase::kFitnessReturn, obs::kCatPhase);
           tf = fitness_of(plan.pc->teacher);
           lf = fitness_of(plan.pc->learner);
         }
         obs::ScopedTimer t(ins_.decision);
+        obs::TraceSpan span(obs::phase::kDecisionBcast, obs::kCatPhase);
         decision.adopted = nature_->decide_adoption(tf, lf);
         if (plan.moran) {
           // The Moran gather needs post-adoption fitness on every rank, so
@@ -1461,9 +1492,11 @@ class RankProgram {
         std::vector<double> full;
         {
           obs::ScopedTimer t(ins_.fitness_return);
+          obs::TraceSpan span(obs::phase::kFitnessReturn, obs::kCatPhase);
           full = collect_full(gen, decision.adopted);
         }
         obs::ScopedTimer t(ins_.decision);
+        obs::TraceSpan span(obs::phase::kDecisionBcast, obs::kCatPhase);
         decision.pick = nature_->select_moran(full);
       }
       if (plan.pc && !plan.moran) {
@@ -1476,6 +1509,7 @@ class RankProgram {
       replicate(gen, decision);
       if (plan.pc || plan.moran) {
         obs::ScopedTimer t(ins_.decision);
+        obs::TraceSpan span(obs::phase::kDecisionBcast, obs::kCatPhase);
         const auto wire = encode_decide(
             plan.moran ? DecideStage::Final : DecideStage::Pc, decision);
         for (int w : alive_) comm_.send(w, tag::kDecide, wire);
@@ -1483,6 +1517,18 @@ class RankProgram {
       }
       finish_generation(gen);
       FtInstruments::inc(ins_.generations);
+
+      if (shared_.options.metrics_stream != nullptr &&
+          shared_.options.metrics_stream->wants(gen)) {
+        // Reuse the Moran-gather protocol op to assemble the full fitness
+        // vector for the streamed global mean (workers answer kReqBlocks at
+        // any point of their loop). Deaths mid-gather are handled as usual.
+        const std::vector<double> full = collect_full(gen, decision.adopted);
+        double sum = 0.0;
+        for (const double f : full) sum += f;
+        shared_.options.metrics_stream->on_generation(
+            gen, pop_, registry_, sum / static_cast<double>(config_.ssets));
+      }
 
       if (shared_.options.trace != nullptr) {
         // Same capture point (and decision layout) as the base engines'
@@ -1646,6 +1692,10 @@ FtResult run_parallel_ft(const core::SimConfig& config, int nranks,
   const par::TrafficReport traffic = par::run_ranks_traced(
       nranks,
       [&](par::Comm& comm) {
+        // Flight-recorder attribution: this thread's events land on
+        // pid = rank, wherever the master role currently lives.
+        const obs::TraceRankScope trace_rank(comm.rank());
+        obs::Tracer::set_thread_name("rank.main");
         RankProgram program(
             comm, shared,
             rank_registries[static_cast<std::size_t>(comm.rank())]);

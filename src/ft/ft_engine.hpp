@@ -60,6 +60,10 @@
 #include "par/runtime.hpp"
 #include "pop/population.hpp"
 
+namespace egt::obs {
+class MetricsStreamWriter;
+}
+
 namespace egt::ft {
 
 struct FtRunOptions {
@@ -119,6 +123,11 @@ struct FtRunOptions {
   /// generation it replans, so a sink must key points by generation and
   /// tolerate the master role migrating across rank threads. May be null.
   core::TraceSink* trace = nullptr;
+
+  /// Live NDJSON telemetry (obs/metrics_stream.hpp). The acting master
+  /// streams one line per committed generation; the writer deduplicates
+  /// generations, so failover replays are emitted once. May be null.
+  obs::MetricsStreamWriter* metrics_stream = nullptr;
 };
 
 struct FtResult {

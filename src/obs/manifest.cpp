@@ -41,6 +41,9 @@ void write_run_manifest(std::ostream& os, const ManifestInfo& info) {
     w.field("count", h.count);
     w.field("min_seconds", h.min_seconds);
     w.field("max_seconds", h.max_seconds);
+    w.field("p50_seconds", h.quantile_seconds(0.50));
+    w.field("p95_seconds", h.quantile_seconds(0.95));
+    w.field("p99_seconds", h.quantile_seconds(0.99));
     w.end_object();
   };
 

@@ -2,18 +2,22 @@
 // (config, build), what it cost (wall time, per-phase times, counters) and
 // what it moved (broadcast vs point-to-point traffic, per rank).
 //
-// Schema "egt.run_manifest/v1" (validated by tests/obs/manifest_test.cpp;
-// documented for external consumers in DESIGN.md §Observability):
+// Schema "egt.run_manifest/v2" (validated by tests/obs/manifest_test.cpp;
+// documented for external consumers in DESIGN.md §Observability). v2 adds
+// p50/p95/p99 latency quantiles (estimated from the power-of-two buckets)
+// to every histogram body:
 //
 //   {
-//     "schema": "egt.run_manifest/v1",
+//     "schema": "egt.run_manifest/v2",
 //     "tool": "<producing binary>",
 //     "git_describe": "<git describe --always --dirty, or 'unknown'>",
 //     "config": { "summary": "...", "fingerprint": u64, ...tool extras },
 //     "run": { "ranks": int (0 = serial), "generations": u64,
 //              "wall_seconds": double },
 //     "phases": { "<name>": { "seconds": double, "count": u64,
-//                             "min_seconds": double, "max_seconds": double },
+//                             "min_seconds": double, "max_seconds": double,
+//                             "p50_seconds": double, "p95_seconds": double,
+//                             "p99_seconds": double },
 //                 ... },                     // "phase." prefix stripped
 //     "timers": { "<full name>": { ...same shape... }, ... },
 //                                            // every non-"phase." histogram
@@ -43,7 +47,7 @@ class JsonWriter;
 
 namespace egt::obs {
 
-inline constexpr const char* kManifestSchema = "egt.run_manifest/v1";
+inline constexpr const char* kManifestSchema = "egt.run_manifest/v2";
 
 /// Build identity baked in by CMake ("unknown" outside a git checkout).
 std::string git_describe();

@@ -44,6 +44,28 @@ void atomic_add(std::atomic<double>& slot, double v) noexcept {
 
 }  // namespace
 
+double HistogramSample::quantile_seconds(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the wanted sample (1-based, nearest-rank with interpolation).
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += buckets[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Bucket i covers [2^i, 2^(i+1)) ns (bucket 0 additionally holds 0).
+    const double lo = i == 0 ? 0.0 : static_cast<double>(1ull << i);
+    const double hi = static_cast<double>(2ull << i);
+    const double frac =
+        (target - before) / static_cast<double>(buckets[i]);
+    const double ns = lo + frac * (hi - lo);
+    return std::clamp(ns * 1e-9, min_seconds, max_seconds);
+  }
+  return max_seconds;
+}
+
 void Histogram::record_seconds(double seconds) noexcept {
   if (std::isnan(seconds) || seconds < 0.0) seconds = 0.0;
   const std::uint64_t ns = to_nanos(seconds);

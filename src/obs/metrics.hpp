@@ -66,6 +66,11 @@ struct HistogramSample {
   double min_seconds = 0.0;
   double max_seconds = 0.0;
   std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// Estimate the q-quantile (q in [0, 1]) from the power-of-two buckets:
+  /// linear interpolation inside the covering bucket, clamped to the
+  /// recorded [min, max]. 0 when the histogram is empty.
+  double quantile_seconds(double q) const noexcept;
 };
 
 /// Duration histogram: count/total/min/max plus power-of-two latency

@@ -11,20 +11,35 @@ MetricsObserver::MetricsObserver(MetricsRegistry& registry,
                                  MetricsObserverOptions options)
     : registry_(&registry), options_(std::move(options)) {
   if (!options_.csv_path.empty()) {
-    csv_ = std::make_unique<util::CsvWriter>(options_.csv_path, csv_header());
+    try {
+      csv_ =
+          std::make_unique<util::CsvWriter>(options_.csv_path, csv_header());
+    } catch (const std::exception& e) {
+      // Warn-and-continue: losing the time series must not kill the run.
+      registry_->counter("obs.write_errors").inc();
+      util::log_warn() << "metrics CSV disabled: " << e.what();
+      csv_.reset();
+    }
   }
 }
 
 std::vector<std::string> MetricsObserver::csv_header() {
-  return {"generation",       "wall_seconds",
-          "gens_per_sec",     "mean_fitness",
-          "pairs_evaluated",  "pc_events",
-          "adoptions",        "mutations",
-          "phase_game_play_s",
-          "phase_plan_bcast_s",
-          "phase_fitness_return_s",
-          "phase_decision_bcast_s",
-          "phase_apply_update_s"};
+  std::vector<std::string> header = {"generation",       "wall_seconds",
+                                     "gens_per_sec",     "mean_fitness",
+                                     "pairs_evaluated",  "pc_events",
+                                     "adoptions",        "mutations",
+                                     "phase_game_play_s",
+                                     "phase_plan_bcast_s",
+                                     "phase_fitness_return_s",
+                                     "phase_decision_bcast_s",
+                                     "phase_apply_update_s"};
+  for (const char* name : phase::kAll) {
+    const std::string base = "phase_" + std::string(name).substr(6);
+    header.push_back(base + "_p50_s");
+    header.push_back(base + "_p95_s");
+    header.push_back(base + "_p99_s");
+  }
+  return header;
 }
 
 void MetricsObserver::on_generation(const pop::Population& pop,
@@ -42,18 +57,31 @@ void MetricsObserver::sample(const pop::Population& pop,
                              std::uint64_t generation) {
   const double wall = wall_.seconds();
   const MetricsSnapshot snap = registry_->snapshot();
-  csv_->row({static_cast<double>(generation), wall,
-             wall > 0.0 ? static_cast<double>(seen_) / wall : 0.0,
-             util::mean(pop.fitness()),
-             static_cast<double>(snap.counter_value("engine.pairs_evaluated")),
-             static_cast<double>(snap.counter_value("engine.pc_events")),
-             static_cast<double>(snap.counter_value("engine.adoptions")),
-             static_cast<double>(snap.counter_value("engine.mutations")),
-             snap.histogram_seconds(phase::kGamePlay),
-             snap.histogram_seconds(phase::kPlanBcast),
-             snap.histogram_seconds(phase::kFitnessReturn),
-             snap.histogram_seconds(phase::kDecisionBcast),
-             snap.histogram_seconds(phase::kApplyUpdate)});
+  std::vector<double> cells = {
+      static_cast<double>(generation), wall,
+      wall > 0.0 ? static_cast<double>(seen_) / wall : 0.0,
+      util::mean(pop.fitness()),
+      static_cast<double>(snap.counter_value("engine.pairs_evaluated")),
+      static_cast<double>(snap.counter_value("engine.pc_events")),
+      static_cast<double>(snap.counter_value("engine.adoptions")),
+      static_cast<double>(snap.counter_value("engine.mutations")),
+      snap.histogram_seconds(phase::kGamePlay),
+      snap.histogram_seconds(phase::kPlanBcast),
+      snap.histogram_seconds(phase::kFitnessReturn),
+      snap.histogram_seconds(phase::kDecisionBcast),
+      snap.histogram_seconds(phase::kApplyUpdate)};
+  for (const char* name : phase::kAll) {
+    static const HistogramSample kEmpty{};
+    const auto* h = snap.find_histogram(name);
+    if (h == nullptr) h = &kEmpty;
+    cells.push_back(h->quantile_seconds(0.50));
+    cells.push_back(h->quantile_seconds(0.95));
+    cells.push_back(h->quantile_seconds(0.99));
+  }
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(util::fmt_num(v));
+  csv_->row(row);
   ++samples_;
 }
 

@@ -6,7 +6,12 @@
 // CSV schema (one row per sample; also the header order):
 //   generation, wall_seconds, gens_per_sec, mean_fitness, pairs_evaluated,
 //   pc_events, adoptions, mutations, phase_game_play_s, phase_plan_bcast_s,
-//   phase_fitness_return_s, phase_decision_bcast_s, phase_apply_update_s
+//   phase_fitness_return_s, phase_decision_bcast_s, phase_apply_update_s,
+//   then per-sample latency quantiles for each of the five phases:
+//   phase_<name>_p50_s, phase_<name>_p95_s, phase_<name>_p99_s
+//
+// An unwritable csv_path is a warning, not an error: the run continues
+// without the CSV and the drop is counted in obs.write_errors.
 #pragma once
 
 #include <cstdint>

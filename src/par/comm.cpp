@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/tracer.hpp"
+
 namespace egt::par {
 
 Context::Context(int nranks)
@@ -101,6 +103,17 @@ Comm::Comm(Context& ctx, int rank) : ctx_(&ctx), rank_(rank) {
 
 void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
   EGT_REQUIRE(dest >= 0 && dest < size());
+  // Flight recorder: one span per send, named by traffic class (the same
+  // broadcast/p2p split the TrafficReport accounts), plus the tail of the
+  // flow arrow the receiver's "f" event completes. A dropped or delayed
+  // message keeps its flow id — a tail with no head is exactly what a
+  // lost packet looks like in the timeline.
+  obs::TraceSpan span(send_class_ == TrafficClass::Broadcast
+                          ? obs::kCommBcastSend
+                          : obs::kCommSend,
+                      obs::kCatComm, "bytes", payload.size());
+  const std::uint64_t flow = obs::Tracer::new_flow_id();
+  obs::trace_flow_start(flow);
   // Traffic is accounted at the sender regardless of the message's fate:
   // a dropped packet was still injected into the network.
   ctx_->account_send(rank_, payload.size(), send_class_);
@@ -111,22 +124,40 @@ void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
       case FaultDecision::Kind::Drop:
         return;
       case FaultDecision::Kind::Delay:
-        ctx_->deliver_later(dest, {rank_, tag, std::move(payload)},
+        ctx_->deliver_later(dest, {rank_, tag, std::move(payload), flow},
                             decision.delay);
         return;
       case FaultDecision::Kind::Deliver:
         break;
     }
   }
-  ctx_->inbox(dest).deliver({rank_, tag, std::move(payload)});
+  ctx_->inbox(dest).deliver({rank_, tag, std::move(payload), flow});
 }
 
 Message Comm::recv(int source, int tag) {
-  return ctx_->inbox(rank_).receive(source, tag);
+  // The span covers the wait: a long comm.recv is time this rank sat
+  // blocked on the network.
+  obs::TraceSpan span(obs::kCommRecv, obs::kCatComm);
+  Message m = ctx_->inbox(rank_).receive(source, tag);
+  obs::trace_flow_end(m.trace_id);
+  return m;
 }
 
 bool Comm::try_recv(int source, int tag, Message& out) {
-  return ctx_->inbox(rank_).try_receive(source, tag, out);
+  // No span: try_recv is a poll, not a wait.
+  if (!ctx_->inbox(rank_).try_receive(source, tag, out)) return false;
+  obs::trace_flow_end(out.trace_id);
+  return true;
+}
+
+std::optional<Message> Comm::recv_for(int source, int tag,
+                                      std::chrono::nanoseconds timeout) {
+  // Timed-out waits record too: heartbeat silences are the interesting
+  // gaps in an ft timeline.
+  obs::TraceSpan span(obs::kCommRecv, obs::kCatComm);
+  auto m = ctx_->inbox(rank_).receive_for(source, tag, timeout);
+  if (m) obs::trace_flow_end(m->trace_id);
+  return m;
 }
 
 bool Comm::Request::test(Message& out) {

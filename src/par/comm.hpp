@@ -132,9 +132,7 @@ class Comm {
   /// Deadline receive (Mailbox::receive_for): nullopt on timeout. The ft
   /// layer's failure-detection primitive.
   std::optional<Message> recv_for(int source, int tag,
-                                  std::chrono::nanoseconds timeout) {
-    return ctx_->inbox(rank_).receive_for(source, tag, timeout);
-  }
+                                  std::chrono::nanoseconds timeout);
 
   /// Non-blocking receive handle: post now, overlap work, complete later.
   class Request {

@@ -23,6 +23,10 @@ struct Message {
   int source = 0;
   int tag = 0;
   std::vector<std::byte> payload;
+  /// Flow-event id stamped by Comm::send when the flight recorder is on
+  /// (obs/tracer.hpp); 0 = untraced. Links the send's "s" event to the
+  /// receive's "f" event so Perfetto draws the message arrow.
+  std::uint64_t trace_id = 0;
 };
 
 class Mailbox {

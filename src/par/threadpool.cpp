@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/tracer.hpp"
 #include "util/check.hpp"
 
 namespace egt::par {
@@ -30,6 +31,11 @@ void ThreadPool::run_chunks(Job& job) {
     if (begin >= job.n) break;
     const std::uint64_t end = std::min(begin + job.chunk, job.n);
     if (!job.failed.load(std::memory_order_relaxed)) {
+      // One task span per chunk: the agent-tier work unit. On the caller
+      // thread it nests under the surrounding phase span; on pool workers
+      // it lands on the kPoolPid timeline.
+      obs::TraceSpan span(obs::kPoolChunk, obs::kCatPool, "items",
+                          end - begin);
       try {
         (*job.body)(begin, end);
       } catch (...) {
@@ -42,6 +48,10 @@ void ThreadPool::run_chunks(Job& job) {
 }
 
 void ThreadPool::worker_loop() {
+  // Pool workers serve whichever rank submitted the job; attribute their
+  // chunks to the shared-pool pseudo-rank instead of a wrong real rank.
+  obs::Tracer::set_thread_name("pool.worker");
+  const obs::TraceRankScope pool_scope(obs::kPoolPid);
   std::uint64_t seen_epoch = 0;
   for (;;) {
     Job* job = nullptr;

@@ -1,0 +1,146 @@
+// Live-telemetry stream tests (obs/metrics_stream.hpp): the NDJSON lines
+// must parse, carry the documented egt.metrics_stream/v1 fields in
+// generation order, respect the sampling gate, deduplicate failover
+// replays, and degrade to an inert writer on an unwritable path.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_stream.hpp"
+#include "util/json.hpp"
+
+namespace egt::obs {
+namespace {
+
+core::SimConfig small_config() {
+  core::SimConfig cfg;
+  cfg.ssets = 16;
+  cfg.memory = 1;
+  cfg.generations = 20;
+  cfg.seed = 42;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  return cfg;
+}
+
+std::vector<util::JsonValue> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<util::JsonValue> docs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) docs.push_back(util::JsonValue::parse(line));
+  }
+  return docs;
+}
+
+TEST(MetricsStream, WritesSchemaValidLinesInGenerationOrder) {
+  const std::string path = ::testing::TempDir() + "egt_stream.ndjson";
+  const core::SimConfig cfg = small_config();
+  MetricsRegistry registry;
+  core::Engine engine(cfg, &registry);
+
+  MetricsStreamWriter writer({path, /*every=*/1});
+  ASSERT_TRUE(writer.ok());
+  for (std::uint64_t gen = 0; gen < 5; ++gen) {
+    engine.step();
+    writer.on_generation(gen, engine.population(), registry);
+  }
+  EXPECT_EQ(writer.lines_written(), 5u);
+
+  const auto docs = read_lines(path);
+  ASSERT_EQ(docs.size(), 5u);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const auto& d = docs[i];
+    EXPECT_EQ(d.at("schema").as_string(), kMetricsStreamSchema);
+    const std::uint64_t gen = d.at("generation").as_u64();
+    if (i > 0) EXPECT_GT(gen, prev);
+    prev = gen;
+    EXPECT_GE(d.at("wall_seconds").as_number(), 0.0);
+    EXPECT_TRUE(d.at("mean_fitness").is_number());
+    // All five canonical phases, "phase." prefix stripped.
+    for (const char* name : phase::kAll) {
+      EXPECT_TRUE(d.at("phases").has(std::string(name).substr(6))) << name;
+    }
+    EXPECT_TRUE(d.at("counters").at("games_played").is_number());
+    EXPECT_TRUE(d.at("counters").at("pairs_evaluated").is_number());
+    EXPECT_GE(d.at("strategy_classes").as_u64(), 1u);
+    EXPECT_TRUE(d.at("top_class_counts").is_array());
+  }
+}
+
+TEST(MetricsStream, SamplingGateAndWants) {
+  const std::string path = ::testing::TempDir() + "egt_stream_every.ndjson";
+  const core::SimConfig cfg = small_config();
+  MetricsRegistry registry;
+  core::Engine engine(cfg, &registry);
+  engine.step();
+
+  MetricsStreamWriter writer({path, /*every=*/5});
+  ASSERT_TRUE(writer.ok());
+  for (std::uint64_t gen = 0; gen < 20; ++gen) {
+    EXPECT_EQ(writer.wants(gen), gen % 5 == 0) << gen;
+    writer.on_generation(gen, engine.population(), registry);
+  }
+  EXPECT_EQ(writer.lines_written(), 4u);  // gens 0, 5, 10, 15
+  const auto docs = read_lines(path);
+  ASSERT_EQ(docs.size(), 4u);
+  EXPECT_EQ(docs.back().at("generation").as_u64(), 15u);
+}
+
+TEST(MetricsStream, DeduplicatesReplayedGenerations) {
+  const std::string path = ::testing::TempDir() + "egt_stream_dedup.ndjson";
+  const core::SimConfig cfg = small_config();
+  MetricsRegistry registry;
+  core::Engine engine(cfg, &registry);
+  engine.step();
+
+  MetricsStreamWriter writer({path, 1});
+  ASSERT_TRUE(writer.ok());
+  writer.on_generation(3, engine.population(), registry);
+  // A failover replay re-commits generations the old master already
+  // streamed; the writer must drop them.
+  writer.on_generation(3, engine.population(), registry);
+  writer.on_generation(2, engine.population(), registry);
+  writer.on_generation(4, engine.population(), registry);
+  EXPECT_EQ(writer.lines_written(), 2u);
+  const auto docs = read_lines(path);
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].at("generation").as_u64(), 3u);
+  EXPECT_EQ(docs[1].at("generation").as_u64(), 4u);
+}
+
+TEST(MetricsStream, UnwritablePathStaysInert) {
+  const core::SimConfig cfg = small_config();
+  MetricsRegistry registry;
+  core::Engine engine(cfg, &registry);
+  engine.step();
+
+  MetricsStreamWriter writer(
+      {"/nonexistent-dir-egt/stream.ndjson", /*every=*/1});
+  EXPECT_FALSE(writer.ok());
+  EXPECT_FALSE(writer.wants(0));
+  // Emission on a failed writer must be a harmless no-op, not a throw —
+  // run_simulation warns once and continues the run.
+  writer.on_generation(0, engine.population(), registry);
+  EXPECT_EQ(writer.lines_written(), 0u);
+}
+
+TEST(MetricsStream, SerialObserverAdapterStreamsEveryGeneration) {
+  const std::string path = ::testing::TempDir() + "egt_stream_obs.ndjson";
+  core::SimConfig cfg = small_config();
+  cfg.generations = 10;
+  MetricsRegistry registry;
+  core::Engine engine(cfg, &registry);
+  MetricsStreamWriter writer({path, 1});
+  ASSERT_TRUE(writer.ok());
+  MetricsStreamObserver observer(writer, registry);
+  engine.run_all(&observer);
+  EXPECT_EQ(writer.lines_written(), cfg.generations);
+}
+
+}  // namespace
+}  // namespace egt::obs

@@ -179,6 +179,47 @@ TEST(MetricsRegistry, ConcurrentIncrementsAreNotLost) {
   EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+HistogramSample sample_of(const std::vector<double>& seconds) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("q");
+  for (const double s : seconds) h.record_seconds(s);
+  return *reg.snapshot().find_histogram("q");
+}
+
+TEST(HistogramQuantiles, EmptyHistogramReportsZero) {
+  const HistogramSample s = sample_of({});
+  EXPECT_EQ(s.quantile_seconds(0.50), 0.0);
+  EXPECT_EQ(s.quantile_seconds(0.99), 0.0);
+}
+
+TEST(HistogramQuantiles, SingleSampleClampsToItsValue) {
+  const HistogramSample s = sample_of({0.004});
+  // One sample: every quantile is clamped into [min, max] = {0.004}.
+  EXPECT_DOUBLE_EQ(s.quantile_seconds(0.0), 0.004);
+  EXPECT_DOUBLE_EQ(s.quantile_seconds(0.50), 0.004);
+  EXPECT_DOUBLE_EQ(s.quantile_seconds(1.0), 0.004);
+}
+
+TEST(HistogramQuantiles, OrderedAndBucketAccurate) {
+  // 90 fast samples (~1 us) and 10 slow ones (~1 ms): the median must
+  // stay in the fast bucket, p99 in the slow one. Power-of-two buckets
+  // bound the estimate within a factor of two of the true value.
+  std::vector<double> seconds;
+  for (int i = 0; i < 90; ++i) seconds.push_back(1e-6);
+  for (int i = 0; i < 10; ++i) seconds.push_back(1e-3);
+  const HistogramSample s = sample_of(seconds);
+
+  const double p50 = s.quantile_seconds(0.50);
+  const double p95 = s.quantile_seconds(0.95);
+  const double p99 = s.quantile_seconds(0.99);
+  EXPECT_GE(p50, s.min_seconds);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, s.max_seconds);
+  EXPECT_LT(p50, 4e-6);
+  EXPECT_GT(p99, 2.5e-4);
+}
+
 TEST(PhaseNames, CoverTheFiveGenerationPhases) {
   ASSERT_EQ(std::size(phase::kAll), 5u);
   for (const char* name : phase::kAll) {

@@ -1,4 +1,4 @@
-// Shared validator for the egt.run_manifest/v1 schema (manifest.hpp).
+// Shared validator for the egt.run_manifest/v2 schema (manifest.hpp).
 // Used by the unit round-trip test and the serial/parallel integration
 // test, so the documented schema is enforced in one place.
 #pragma once
@@ -18,7 +18,23 @@ inline void expect_section_object(const util::JsonValue& doc,
   EXPECT_TRUE(doc.at(key).is_object()) << key << " must be an object";
 }
 
-/// Assert `doc` is a well-formed egt.run_manifest/v1 document.
+/// Assert a histogram body carries ordered latency quantiles:
+/// min <= p50 <= p95 <= p99 <= max (v2 addition).
+inline void expect_quantiles(const util::JsonValue& h,
+                             const std::string& name) {
+  ASSERT_TRUE(h.has("p50_seconds")) << name;
+  ASSERT_TRUE(h.has("p95_seconds")) << name;
+  ASSERT_TRUE(h.has("p99_seconds")) << name;
+  const double p50 = h.at("p50_seconds").as_number();
+  const double p95 = h.at("p95_seconds").as_number();
+  const double p99 = h.at("p99_seconds").as_number();
+  EXPECT_GE(p50, h.at("min_seconds").as_number()) << name;
+  EXPECT_GE(p95, p50) << name;
+  EXPECT_GE(p99, p95) << name;
+  EXPECT_LE(p99, h.at("max_seconds").as_number()) << name;
+}
+
+/// Assert `doc` is a well-formed egt.run_manifest/v2 document.
 /// `expect_traffic` demands the parallel-only "traffic" section too.
 inline void expect_valid_manifest(const util::JsonValue& doc,
                                   bool expect_traffic) {
@@ -48,6 +64,7 @@ inline void expect_valid_manifest(const util::JsonValue& doc,
     EXPECT_GE(ph.at("min_seconds").as_number(), 0.0);
     EXPECT_GE(ph.at("max_seconds").as_number(),
               ph.at("min_seconds").as_number());
+    expect_quantiles(ph, name);
   }
 
   expect_section_object(doc, "timers");
@@ -57,6 +74,7 @@ inline void expect_valid_manifest(const util::JsonValue& doc,
     EXPECT_NE(name.rfind("phase.", 0), 0u) << name;
     EXPECT_GE(tm.at("seconds").as_number(), 0.0);
     EXPECT_GE(tm.at("count").as_number(), 0.0);
+    expect_quantiles(tm, name);
   }
 
   expect_section_object(doc, "counters");

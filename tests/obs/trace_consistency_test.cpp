@@ -1,0 +1,69 @@
+// Cross-validation of the two time sources: the flight recorder's phase
+// spans (obs/tracer.hpp) and the metrics registry's phase histograms
+// (obs/metrics.hpp) wrap the same scopes in the engine, so a traced run's
+// per-phase span totals must agree with the manifest timers. A divergence
+// means one of the instrumentation sites drifted from the other.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "util/json.hpp"
+
+namespace egt::obs {
+namespace {
+
+TEST(TraceConsistency, PhaseSpansMatchManifestTimers) {
+  core::SimConfig cfg;
+  cfg.ssets = 24;
+  cfg.memory = 1;
+  cfg.generations = 60;
+  cfg.seed = 7;
+  cfg.fitness_mode = core::FitnessMode::Sampled;
+  cfg.game.rounds = 50;
+
+  Tracer& tracer = Tracer::instance();
+  tracer.start();
+  MetricsRegistry registry;
+  core::Engine engine(cfg, &registry);
+  engine.run_all();
+  tracer.stop();
+
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  tracer.clear();
+  const util::JsonValue doc = util::JsonValue::parse(os.str());
+  ASSERT_EQ(doc.at("otherData").at("dropped_events").as_u64(), 0u)
+      << "raise the test capacity: a wrapped ring undercounts spans";
+
+  std::map<std::string, double> span_seconds;
+  std::uint64_t generation_spans = 0;
+  for (const auto& e : doc.at("traceEvents").items()) {
+    if (e.at("ph").as_string() != "X") continue;
+    const std::string name = e.at("name").as_string();
+    if (name == kGenerationSpan) ++generation_spans;
+    if (name.rfind("phase.", 0) == 0) {
+      span_seconds[name] += e.at("dur").as_number() * 1e-6;  // us -> s
+    }
+  }
+  // initialize() records one extra game_play span before generation 1.
+  EXPECT_EQ(generation_spans, cfg.generations);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  for (const char* name : phase::kAll) {
+    const double timer = snap.histogram_seconds(name);
+    const double spans = span_seconds[name];
+    // Same scopes, two clocks: allow scheduling noise and the constant
+    // per-scope cost difference, but catch a missing or double-counted
+    // instrumentation site (those diverge by whole phase totals).
+    const double tol = 0.25 * std::max(timer, spans) + 0.005;
+    EXPECT_NEAR(spans, timer, tol) << name;
+  }
+}
+
+}  // namespace
+}  // namespace egt::obs

@@ -1,0 +1,204 @@
+// Flight-recorder unit + concurrency tests (obs/tracer.hpp):
+//   * disabled recording is a no-op (the default state must cost nothing);
+//   * a session serializes to schema-valid Chrome trace-event JSON with
+//     rank/thread attribution, args and balanced flow arrows;
+//   * ring wrap-around reports dropped events instead of losing them
+//     silently;
+//   * concurrent recording from rank threads, pool workers and plain
+//     threads is race-free (this test is in the TSan CI job's net).
+//
+// The tracer is a process-wide singleton, so every test tears down with
+// stop() + clear() to leave no state for its neighbours.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/tracer.hpp"
+#include "par/runtime.hpp"
+#include "par/threadpool.hpp"
+#include "util/json.hpp"
+
+namespace egt::obs {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Tracer::instance().stop();
+    Tracer::instance().clear();
+  }
+};
+
+util::JsonValue serialize() {
+  std::ostringstream os;
+  Tracer::instance().write_chrome_trace(os);
+  return util::JsonValue::parse(os.str());
+}
+
+TEST_F(TracerTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(Tracer::enabled());
+  {
+    TraceSpan span("test.span", kCatEngine);
+    trace_instant("test.instant", kCatEngine);
+    trace_flow_start(Tracer::new_flow_id());  // id 0 while disabled
+  }
+  EXPECT_EQ(Tracer::instance().recorded_events(), 0u);
+  EXPECT_EQ(Tracer::new_flow_id(), 0u);
+}
+
+TEST_F(TracerTest, SerializesSchemaValidChromeTrace) {
+  Tracer& tracer = Tracer::instance();
+  tracer.start();
+  tracer.set_meta("config_summary", "unit-test");
+  {
+    TraceSpan span(kGenerationSpan, kCatEngine, "gen", 7);
+    trace_instant("ft.kill", kCatFt, "gen", 7);
+  }
+  const std::uint64_t flow = Tracer::new_flow_id();
+  ASSERT_NE(flow, 0u);
+  trace_flow_start(flow);
+  trace_flow_end(flow);
+  tracer.stop();
+
+  const util::JsonValue doc = serialize();
+  EXPECT_EQ(doc.at("otherData").at("schema").as_string(), "egt.trace/v1");
+  EXPECT_EQ(doc.at("otherData").at("config_summary").as_string(),
+            "unit-test");
+  EXPECT_EQ(doc.at("otherData").at("dropped_events").as_u64(), 0u);
+
+  bool saw_span = false, saw_instant = false;
+  bool saw_flow_s = false, saw_flow_f = false;
+  for (const auto& e : doc.at("traceEvents").items()) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "M") continue;  // thread/process name metadata
+    if (ph == "X") {
+      saw_span = true;
+      EXPECT_EQ(e.at("name").as_string(), kGenerationSpan);
+      EXPECT_EQ(e.at("cat").as_string(), kCatEngine);
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+      EXPECT_EQ(e.at("args").at("gen").as_u64(), 7u);
+    } else if (ph == "i") {
+      saw_instant = true;
+      EXPECT_EQ(e.at("name").as_string(), "ft.kill");
+    } else if (ph == "s") {
+      saw_flow_s = true;
+      EXPECT_EQ(e.at("id").as_u64(), flow);
+    } else if (ph == "f") {
+      saw_flow_f = true;
+      EXPECT_EQ(e.at("id").as_u64(), flow);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_flow_s);
+  EXPECT_TRUE(saw_flow_f);
+}
+
+TEST_F(TracerTest, RingWrapCountsDroppedEvents) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr std::size_t kRecorded = 1000;
+  Tracer& tracer = Tracer::instance();
+  tracer.start(kCapacity);
+  for (std::size_t i = 0; i < kRecorded; ++i) {
+    trace_instant("wrap.event", kCatEngine, "i", i);
+  }
+  tracer.stop();
+  EXPECT_LE(tracer.recorded_events(), kCapacity);
+  EXPECT_EQ(tracer.recorded_events() + tracer.dropped_events(), kRecorded);
+
+  const util::JsonValue doc = serialize();
+  EXPECT_EQ(doc.at("otherData").at("dropped_events").as_u64(),
+            tracer.dropped_events());
+  // The ring keeps the newest events: the final one must have survived.
+  bool saw_last = false;
+  for (const auto& e : doc.at("traceEvents").items()) {
+    if (e.at("ph").as_string() != "i") continue;
+    if (e.at("args").at("i").as_u64() == kRecorded - 1) saw_last = true;
+  }
+  EXPECT_TRUE(saw_last);
+}
+
+TEST_F(TracerTest, RankAttributionFollowsScope) {
+  Tracer& tracer = Tracer::instance();
+  tracer.start();
+  EXPECT_EQ(Tracer::current_pid(), 0);
+  {
+    TraceRankScope scope(3);
+    trace_instant("attr.inner", kCatEngine);
+  }
+  trace_instant("attr.outer", kCatEngine);
+  tracer.stop();
+
+  const util::JsonValue doc = serialize();
+  for (const auto& e : doc.at("traceEvents").items()) {
+    if (e.at("ph").as_string() == "M") continue;
+    const std::string name = e.at("name").as_string();
+    if (name == "attr.inner") EXPECT_EQ(e.at("pid").as_u64(), 3u);
+    if (name == "attr.outer") EXPECT_EQ(e.at("pid").as_u64(), 0u);
+  }
+}
+
+// Rank threads exchanging traced messages while pool workers and plain
+// threads record into their own slabs: the lock-free record path and the
+// slab registry must be race-free, and every comm flow must balance.
+TEST_F(TracerTest, ConcurrentRecordingFromRanksPoolAndThreads) {
+  constexpr int kRanks = 4;
+  constexpr int kMessages = 50;
+  Tracer& tracer = Tracer::instance();
+  tracer.start();
+
+  std::thread extra([] {
+    for (int i = 0; i < 500; ++i) {
+      TraceSpan span("extra.work", kCatEngine, "i",
+                     static_cast<std::uint64_t>(i));
+    }
+  });
+  par::ThreadPool pool(3);
+  pool.parallel_for(256, [](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) {
+      trace_instant("pool.body", kCatEngine, "i", i);
+    }
+  });
+  par::run_ranks(kRanks, [&](par::Comm& comm) {
+    const TraceRankScope rank_scope(comm.rank());
+    // Ring exchange: every rank sends kMessages to its right neighbour.
+    const int right = (comm.rank() + 1) % kRanks;
+    for (int i = 0; i < kMessages; ++i) {
+      comm.send(right, /*tag=*/1, std::vector<std::byte>(16));
+      (void)comm.recv(par::kAnySource, 1);
+    }
+  });
+  extra.join();
+  tracer.stop();
+
+  const util::JsonValue doc = serialize();
+  std::size_t flow_s = 0, flow_f = 0, spans = 0;
+  for (const auto& e : doc.at("traceEvents").items()) {
+    const std::string ph = e.at("ph").as_string();
+    if (ph == "s") ++flow_s;
+    if (ph == "f") ++flow_f;
+    if (ph == "X") ++spans;
+  }
+  EXPECT_EQ(flow_s, static_cast<std::size_t>(kRanks) * kMessages);
+  EXPECT_EQ(flow_f, flow_s);  // every sent message was received
+  EXPECT_GT(spans, 0u);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST_F(TracerTest, ClearForgetsEventsAndMeta) {
+  Tracer& tracer = Tracer::instance();
+  tracer.start();
+  trace_instant("gone", kCatEngine);
+  tracer.set_meta("gone_key", "gone_value");
+  tracer.stop();
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded_events(), 0u);
+  const util::JsonValue doc = serialize();
+  EXPECT_EQ(doc.at("traceEvents").items().size(), 0u);
+  EXPECT_FALSE(doc.at("otherData").has("gone_key"));
+}
+
+}  // namespace
+}  // namespace egt::obs

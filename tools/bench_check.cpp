@@ -106,6 +106,65 @@ int check_cross(const std::string& path) {
   return 0;
 }
 
+// --trace-overhead: within one document, every "<name> + trace" row is the
+// same run as "<name>" with the flight recorder on. The traced row must
+// keep the exact counters/hash (tracing must not perturb the trajectory)
+// and stay within `max_overhead` relative wall time — the ISSUE budget for
+// always-on-capable tracing. Rows faster than `min_seconds` untraced skip
+// the time gate (the ratio is noise there), never the exactness gate.
+int check_trace_overhead(const egt::util::JsonValue& doc, double max_overhead,
+                         double min_seconds) {
+  int failures = 0, compared = 0;
+  for (const auto& row : doc.at("rows").items()) {
+    const std::string name = row.at("name").as_string();
+    const std::string suffix = " + trace";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string base_name = name.substr(0, name.size() - suffix.size());
+    const auto* base = find_row(doc, base_name);
+    if (base == nullptr) {
+      std::cerr << "FAIL [" << name << "]: no untraced row '" << base_name
+                << "' to compare against\n";
+      ++failures;
+      continue;
+    }
+    ++compared;
+    for (const char* counter : {"pairs_evaluated", "games_played"}) {
+      if (row.at(counter).as_u64() != base->at(counter).as_u64()) {
+        std::cerr << "FAIL [" << name << "]: " << counter
+                  << " diverged from the untraced run\n";
+        ++failures;
+      }
+    }
+    if (row.at("table_hash").as_string() !=
+        base->at("table_hash").as_string()) {
+      std::cerr << "FAIL [" << name << "]: tracing changed the trajectory\n";
+      ++failures;
+    }
+    const double base_t = base->at("wall_s").as_number();
+    const double cur_t = row.at("wall_s").as_number();
+    if (base_t >= min_seconds && cur_t > base_t * (1.0 + max_overhead)) {
+      std::cerr << "FAIL [" << name << "]: traced wall time " << cur_t
+                << "s > " << (1.0 + max_overhead) << "x untraced " << base_t
+                << "s\n";
+      ++failures;
+    } else {
+      std::cout << "ok   [" << name << "]: " << cur_t << "s traced vs "
+                << base_t << "s untraced ("
+                << (base_t > 0 ? (cur_t / base_t - 1.0) * 100.0 : 0.0)
+                << "% overhead)\n";
+    }
+  }
+  if (compared == 0) {
+    std::cerr << "FAIL: no '<name> + trace' rows found\n";
+    ++failures;
+  }
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,6 +184,10 @@ int main(int argc, char** argv) {
       "cross", "",
       "diff cross-engine counters of an egt.simcheck_counters/v1 document "
       "instead of a bench baseline");
+  auto trace_overhead = cli.opt<double>(
+      "trace-overhead", -1.0,
+      "also gate '<name> + trace' rows of --current to this relative "
+      "overhead vs their untraced twin (negative = off)");
   cli.parse(argc, argv);
   if (!cross_path->empty()) {
     try {
@@ -143,6 +206,10 @@ int main(int argc, char** argv) {
   try {
     const auto baseline = load(*baseline_path);
     const auto current = load(*current_path);
+    if (*trace_overhead >= 0.0) {
+      failures +=
+          check_trace_overhead(current, *trace_overhead, *min_seconds);
+    }
     for (const auto& base_row : baseline.at("rows").items()) {
       const std::string name = base_row.at("name").as_string();
       const auto* cur_row = find_row(current, name);

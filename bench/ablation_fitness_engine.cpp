@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "game/spec/registry.hpp"
 #include "obs/tracer.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -78,6 +79,14 @@ int main(int argc, char** argv) {
     variants.push_back({"converged-256 (no dedup)", conv});
     conv.dedup = true;
     variants.push_back({"converged-256 + dedup", conv});
+    // The m-action analytic kernel (DESIGN.md §10): rock-paper-scissors
+    // played through the n-way stationary-distribution solve instead of
+    // the binary memory-n Markov engine.
+    auto rps = base;
+    rps.fitness_mode = core::FitnessMode::Analytic;
+    rps.memory = 0;
+    rps.game = *game::find_game("rps");
+    variants.push_back({"analytic rps (n-way)", rps});
   }
 
   struct Result {

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     util::Timer t;
     engine.run_all();
     const auto& pop = engine.population();
-    const auto coop = analysis::expected_play_cooperation(pop, cfg.game);
+    const auto coop = analysis::expected_play_cooperation(pop, cfg.game.ipd_params());
     const auto c = pop::census(pop);
     const auto [name, dist] =
         game::named::nearest_named(pop.strategy(c.front().example));

@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   engine.run(cfg.generations);
 
   const auto& pop = engine.population();
-  const auto coop = analysis::expected_play_cooperation(pop, cfg.game);
+  const auto coop = analysis::expected_play_cooperation(pop, cfg.game.ipd_params());
   const game::Strategy wsls = game::named::win_stay_lose_shift(1);
   std::printf("\nafter evolution:\n%s", pop::format_census(pop, 4).c_str());
   std::printf("extortioner share: %.1f%%   WSLS-like share: %.1f%%   play "

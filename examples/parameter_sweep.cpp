@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
         core::Engine engine(cfg);
         engine.run_all();
         const auto coop = analysis::expected_play_cooperation(
-            engine.population(), cfg.game);
+            engine.population(), cfg.game.ipd_params());
         coop_sum += coop.mean_coop_rate;
         csv.row({beta, mu, static_cast<double>(s), coop.mean_coop_rate,
                  pop::dominant_fraction(engine.population()),

@@ -10,12 +10,16 @@
 //   ./run_simulation ... --resume run.ckpt       # continue after a kill
 //   ./run_simulation ... --checkpoint-dir ckpts --checkpoint-every 1000
 //   ./run_simulation ... --restore ckpts         # newest intact checkpoint
-//   ./run_simulation ... --metrics-out m.json    # egt.run_manifest/v2
+//   ./run_simulation ... --metrics-out m.json    # egt.run_manifest/v3
 //   ./run_simulation ... --trace-out run.trace.json  # Perfetto flight record
 //   ./run_simulation ... --metrics-stream live.ndjson  # per-gen telemetry
 //   ./run_simulation ... --ranks 8 --metrics-out m.json   # + per-rank traffic
 //   ./run_simulation ... --ranks 8 --fault-plan faults.json  # ft engine
 //   ./run_simulation ... --progress              # gen/s + ETA heartbeat
+//   ./run_simulation --game hawk_dove ...        # preset matrix game
+//   ./run_simulation --game pgg ...              # public goods group play
+//   ./run_simulation --payoff "[[3,0],[5,1]]" ...  # custom 2x2 payoffs
+//   ./run_simulation --list-games                # registry listing
 #include <algorithm>
 #include <cstdio>
 #include <exception>
@@ -35,6 +39,7 @@
 #include "core/observer.hpp"
 #include "core/parallel_engine.hpp"
 #include "ft/ft_engine.hpp"
+#include "game/spec/registry.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/metrics_observer.hpp"
@@ -55,7 +60,7 @@ struct OutputPaths {
   std::string checkpoint_dir;  // rolling checkpoints (warn-and-continue)
   std::string resume;
   std::string manifest;     // legacy summary manifest (--manifest)
-  std::string metrics_out;  // egt.run_manifest/v1 (--metrics-out)
+  std::string metrics_out;  // egt.run_manifest/v3 (--metrics-out)
   std::string metrics_csv;  // per-phase time-series CSV (--metrics-csv)
   std::string fault_plan;   // egt.fault_plan/v1 JSON (--fault-plan)
   std::string trace_out;       // Chrome trace JSON (--trace-out)
@@ -70,7 +75,46 @@ struct OutputPaths {
   int ft_standby = 1;
   int ranks = 0;
   bool progress = false;
+  bool list_games = false;
 };
+
+/// --payoff: a square JSON matrix of row-player payoffs. 2x2 tables map
+/// onto the PayoffMatrix view (full memory-n iterated machinery); larger
+/// tables become one-shot n-way matrix games.
+[[noreturn]] void bad_payoff(const std::string& why) {
+  throw std::invalid_argument(
+      "--payoff expects a square JSON matrix of row-player payoffs, e.g. "
+      "[[3,0],[5,1]]: " +
+      why);
+}
+
+egt::game::GameSpec parse_payoff_matrix(const std::string& text) {
+  using namespace egt;
+  const util::JsonValue v = [&] {
+    try {
+      return util::JsonValue::parse(text);
+    } catch (const std::exception& e) {
+      bad_payoff(e.what());
+    }
+  }();
+  if (!v.is_array() || v.items().empty()) bad_payoff("not a JSON array");
+  const std::size_t m = v.items().size();
+  if (m < 2 || m > 255) bad_payoff("need between 2 and 255 actions");
+  std::vector<double> flat;
+  flat.reserve(m * m);
+  for (const auto& row : v.items()) {
+    if (!row.is_array() || row.items().size() != m) {
+      bad_payoff("every row must hold " + std::to_string(m) + " numbers");
+    }
+    for (const auto& e : row.items()) flat.push_back(e.as_number());
+  }
+  if (m == 2) {
+    return game::GameSpec::matrix2(
+        "custom", game::PayoffMatrix{flat[0], flat[1], flat[2], flat[3]});
+  }
+  return game::GameSpec::matrix_n("custom", static_cast<std::uint32_t>(m),
+                                  std::move(flat));
+}
 
 egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
                                   OutputPaths& out) {
@@ -80,6 +124,14 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   auto gens = cli.opt<std::int64_t>("generations", 10000, "generations");
   auto rounds = cli.opt<int>("rounds", 200, "IPD rounds per game");
   auto noise = cli.opt<double>("noise", 0.0, "execution error rate");
+  auto game_opt = cli.opt<std::string>(
+      "game", "", "game preset from the registry (see --list-games)");
+  auto payoff_opt = cli.opt<std::string>(
+      "payoff", "",
+      "custom row-player payoff matrix as square JSON rows, e.g. "
+      "[[3,0],[5,1]] (2x2 plays iterated; larger plays one-shot n-way)");
+  auto list_games =
+      cli.flag("list-games", "list the registered game presets and exit");
   auto pc = cli.opt<double>("pc-rate", 0.1, "pairwise comparison rate");
   auto mu = cli.opt<double>("mu", 0.05, "mutation rate");
   auto beta = cli.opt<double>("beta", 1.0, "Fermi selection intensity");
@@ -143,7 +195,7 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
       "manifest", "", "write a legacy JSON summary manifest here");
   auto metrics_out_opt = cli.opt<std::string>(
       "metrics-out", "",
-      "write an egt.run_manifest/v1 JSON (per-phase times, counters, "
+      "write an egt.run_manifest/v3 JSON (per-phase times, counters, "
       "traffic) here");
   auto metrics_csv_opt = cli.opt<std::string>(
       "metrics-csv", "",
@@ -171,11 +223,32 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   if (*verbose || *progress) util::set_log_level(util::LogLevel::Info);
 
   core::SimConfig cfg;
+  out.list_games = *list_games;
+  if (out.list_games) return cfg;
+  if (!game_opt->empty() && !payoff_opt->empty()) {
+    throw std::invalid_argument("--game and --payoff are mutually exclusive");
+  }
+  const bool custom_game = !game_opt->empty() || !payoff_opt->empty();
+  if (!game_opt->empty()) {
+    const game::GameSpec* preset = game::find_game(*game_opt);
+    if (!preset) {
+      throw std::invalid_argument("unknown game preset \"" + *game_opt +
+                                  "\"; registered presets:\n" +
+                                  game::registry_listing());
+    }
+    cfg.game = *preset;
+  } else if (!payoff_opt->empty()) {
+    cfg.game = parse_payoff_matrix(*payoff_opt);
+  }
   cfg.memory = *memory;
   cfg.ssets = static_cast<egt::pop::SSetId>(*ssets);
   cfg.generations = static_cast<std::uint64_t>(*gens);
-  cfg.game.rounds = static_cast<std::uint32_t>(*rounds);
-  cfg.game.noise = *noise;
+  // --rounds / --noise layer on top of a preset only when changed from
+  // their CLI defaults; the preset's own values rule otherwise.
+  if (!custom_game || *rounds != 200) {
+    cfg.game.rounds = static_cast<std::uint32_t>(*rounds);
+  }
+  if (!custom_game || *noise != 0.0) cfg.game.noise = *noise;
   cfg.pc_rate = *pc;
   cfg.mutation_rate = *mu;
   cfg.beta = *beta;
@@ -199,6 +272,19 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
     cfg.fitness_mode = core::FitnessMode::SampledFrozen;
   } else {
     cfg.fitness_mode = core::FitnessMode::Analytic;
+  }
+  if (cfg.game.requires_memory0() && cfg.memory != 0) {
+    std::printf("note: %s plays without history; overriding --memory %d to 0\n",
+                cfg.game.display_name.c_str(), *memory);
+    cfg.memory = 0;
+  }
+  if (cfg.game.uses_nway() &&
+      cfg.mutation_kernel != pop::MutationKernel::UniformProbs &&
+      cfg.mutation_kernel != pop::MutationKernel::PureBitFlip) {
+    std::printf(
+        "note: n-way games mutate via uniform or bitflip kernels; using "
+        "uniform\n");
+    cfg.mutation_kernel = pop::MutationKernel::UniformProbs;
   }
   out.series = *series_opt;
   out.heatmap = *heatmap_opt;
@@ -231,6 +317,28 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   return cfg;
 }
 
+/// Headline cooperation statistic for the legacy manifest: expected play
+/// cooperation for the 2-action iterated games, the mean action-0 /
+/// contribution share otherwise.
+double headline_cooperation(const egt::pop::Population& pop,
+                            const egt::core::SimConfig& cfg,
+                            double* mean_payoff) {
+  using namespace egt;
+  *mean_payoff = 0.0;
+  if (cfg.game.uses_nway() || cfg.game.kind == game::GameKind::PublicGoods) {
+    double share = 0.0;
+    for (pop::SSetId i = 0; i < pop.size(); ++i) {
+      const auto& s = pop.strategy(i);
+      share += s.is_nway() ? s.as_nway().action_prob(0) : s.coop_prob(0);
+    }
+    return share / pop.size();
+  }
+  const auto coop =
+      analysis::expected_play_cooperation(pop, cfg.game.ipd_params());
+  *mean_payoff = coop.mean_payoff;
+  return coop.mean_coop_rate;
+}
+
 void write_legacy_manifest(const std::string& path,
                            const egt::core::SimConfig& cfg,
                            const egt::pop::Population& pop,
@@ -254,14 +362,15 @@ void write_legacy_manifest(const std::string& path,
   w.field("seed", cfg.seed);
   w.field("config_fingerprint", core::config_fingerprint(cfg));
   w.end_object();
-  const auto coop = analysis::expected_play_cooperation(pop, cfg.game);
+  double mean_payoff = 0.0;
+  const double play_coop = headline_cooperation(pop, cfg, &mean_payoff);
   const auto census = pop::census(pop);
   w.key("results").begin_object();
   w.field("dominant_fraction",
           static_cast<double>(census.front().count) / pop.size());
   w.field("distinct_strategies", static_cast<std::uint64_t>(census.size()));
-  w.field("play_cooperation", coop.mean_coop_rate);
-  w.field("mean_payoff", coop.mean_payoff);
+  w.field("play_cooperation", play_coop);
+  w.field("mean_payoff", mean_payoff);
   w.field("strategy_table_hash", pop.table_hash());
   w.field("wall_seconds", wall_seconds);
   w.field("pair_evaluations", pair_evaluations);
@@ -270,7 +379,7 @@ void write_legacy_manifest(const std::string& path,
   out << "\n";
 }
 
-/// Shared config block of the egt.run_manifest/v1 output.
+/// Shared config block of the egt.run_manifest/v3 output.
 egt::obs::ManifestInfo manifest_info(const egt::core::SimConfig& cfg,
                                      int ranks, double wall_seconds) {
   using namespace egt;
@@ -278,6 +387,7 @@ egt::obs::ManifestInfo manifest_info(const egt::core::SimConfig& cfg,
   info.tool = "egtsim/run_simulation";
   info.config_summary = cfg.summary();
   info.config_fingerprint = core::config_fingerprint(cfg);
+  info.game = &cfg.game;  // cfg outlives every manifest write in run_cli
   info.config_fields = [cfg](util::JsonWriter& w) {
     w.field("memory", cfg.memory);
     w.field("ssets", static_cast<std::uint64_t>(cfg.ssets));
@@ -422,7 +532,31 @@ egt::core::Engine restore_engine(const egt::core::SimConfig& cfg,
 void report(const egt::pop::Population& pop, const egt::core::SimConfig& cfg) {
   using namespace egt;
   std::printf("\nfinal population:\n%s", pop::format_census(pop, 5).c_str());
-  const auto coop = analysis::expected_play_cooperation(pop, cfg.game);
+  if (cfg.game.uses_nway()) {
+    // Pairwise IPD cooperation is undefined for n-way games; report the
+    // population's mean action mix instead.
+    std::vector<double> mix(cfg.game.actions, 0.0);
+    for (pop::SSetId i = 0; i < pop.size(); ++i) {
+      for (std::uint32_t a = 0; a < cfg.game.actions; ++a) {
+        mix[a] += pop.strategy(i).as_nway().action_prob(a);
+      }
+    }
+    std::printf("mean action mix:");
+    for (std::uint32_t a = 0; a < cfg.game.actions; ++a) {
+      std::printf(" %s=%.3f", cfg.game.label(a).c_str(), mix[a] / pop.size());
+    }
+    std::printf("\n");
+    return;
+  }
+  if (cfg.game.kind == game::GameKind::PublicGoods) {
+    double contrib = 0.0;
+    for (pop::SSetId i = 0; i < pop.size(); ++i) {
+      contrib += pop.strategy(i).coop_prob(0);
+    }
+    std::printf("mean contribution propensity: %.3f\n", contrib / pop.size());
+    return;
+  }
+  const auto coop = analysis::expected_play_cooperation(pop, cfg.game.ipd_params());
   std::printf("expected play cooperation: %.3f (mean per-round payoff %.3f)\n",
               coop.mean_coop_rate, coop.mean_payoff);
 }
@@ -434,6 +568,10 @@ int run_cli(int argc, char** argv) {
   util::Cli cli("run_simulation", "configurable evolutionary-dynamics run");
   OutputPaths out;
   const core::SimConfig cfg = build_config(cli, argc, argv, out);
+  if (out.list_games) {
+    std::printf("%s", game::registry_listing().c_str());
+    return 0;
+  }
 
   std::printf("running: %s\n", cfg.summary().c_str());
   util::Timer timer;

@@ -32,6 +32,9 @@ std::uint64_t config_fingerprint(const SimConfig& config) {
   mixd(config.game.payoff.sucker);
   mixd(config.game.payoff.temptation);
   mixd(config.game.payoff.punishment);
+  // Wire v3: the full game spec (kind, action count, play mode, n-way /
+  // bimatrix tables, public-goods parameters) via its canonical hash.
+  mixin(config.game.matrix_hash());
   mixd(config.pc_rate);
   mixd(config.mutation_rate);
   mixd(config.beta);

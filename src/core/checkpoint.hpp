@@ -37,8 +37,11 @@ class Engine;
 struct SimConfig;
 
 /// Bumped whenever the checkpoint payload layout changes; readers reject
-/// any other value with a clear CheckpointError.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+/// any other value with a clear CheckpointError. v3: the config
+/// fingerprint covers the full GameSpec (matrix_hash — n-way tables,
+/// play mode, public-goods parameters) and strategy payloads may carry
+/// the n-way kind byte (game/strategy.hpp wire format).
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Serialize the engine's state. The blob embeds a fingerprint of the
 /// configuration; restoring under a different config is rejected.

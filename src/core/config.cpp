@@ -10,9 +10,26 @@ void SimConfig::validate() const {
   EGT_REQUIRE_MSG(memory >= 0 && memory <= game::kMaxMemory,
                   "memory steps must be in [0, 6]");
   EGT_REQUIRE_MSG(ssets >= 2, "need at least two SSets");
-  EGT_REQUIRE_MSG(game.rounds > 0, "need at least one round per game");
-  EGT_REQUIRE_MSG(game.noise >= 0.0 && game.noise <= 1.0,
-                  "noise out of [0,1]");
+  game.validate();
+  if (game.requires_memory0()) {
+    EGT_REQUIRE_MSG(memory == 0,
+                    "n-way, one-shot and public-goods games are memory-0");
+  }
+  if (game.uses_nway()) {
+    EGT_REQUIRE_MSG(mutation_kernel == pop::MutationKernel::UniformProbs ||
+                        mutation_kernel == pop::MutationKernel::PureBitFlip,
+                    "n-way games support the UniformProbs and PureBitFlip "
+                    "mutation kernels only");
+  }
+  if (game.kind == game::GameKind::PublicGoods) {
+    EGT_REQUIRE_MSG(game.pgg_k == 0 || game.pgg_k <= ssets,
+                    "pgg_k cannot exceed the SSet count");
+    if (interaction.structured()) {
+      EGT_REQUIRE_MSG(game.pgg_k == 0,
+                      "structured populations derive public-goods groups "
+                      "from the graph; leave pgg_k at 0");
+    }
+  }
   EGT_REQUIRE_MSG(pc_rate >= 0.0 && pc_rate <= 1.0, "pc_rate out of [0,1]");
   EGT_REQUIRE_MSG(mutation_rate >= 0.0 && mutation_rate <= 1.0,
                   "mutation_rate out of [0,1]");
@@ -64,6 +81,7 @@ pop::NatureConfig SimConfig::nature_config() const {
   pop::NatureConfig nc;
   nc.ssets = ssets;
   nc.memory = memory;
+  nc.actions = game.uses_nway() ? game.actions : 2;
   nc.pc_rate = pc_rate;
   nc.mutation_rate = mutation_rate;
   nc.beta = beta;
@@ -95,7 +113,8 @@ pop::InteractionGraph make_interaction_graph(const SimConfig& config) {
 
 std::string SimConfig::summary() const {
   std::ostringstream os;
-  os << "memory-" << memory << ", " << ssets << " SSets, " << generations
+  os << "game=" << game.display_name << ", memory-" << memory << ", " << ssets
+     << " SSets, " << generations
      << " generations, rounds=" << game.rounds << ", noise=" << game.noise
      << ", pc_rate=" << pc_rate << ", mu=" << mutation_rate
      << ", beta=" << beta << ", space="

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "game/ipd.hpp"
+#include "game/spec/gamespec.hpp"
 #include "pop/graph.hpp"
 #include "pop/nature.hpp"
 
@@ -69,7 +70,12 @@ struct SimConfig {
   std::uint64_t generations = 1000;
   InteractionSpec interaction;
 
-  game::IpdParams game{};  ///< payoff matrix, rounds (200), noise
+  /// The game the SSets play (DESIGN.md §10). Defaults to the paper's IPD;
+  /// `game.payoff`, `game.rounds` and `game.noise` keep their historical
+  /// IpdParams names so 2-action configs read the same as before. N-way
+  /// matrix games and the public goods kind require memory == 0 (see
+  /// GameSpec::requires_memory0).
+  game::GameSpec game{};
 
   double pc_rate = 0.1;  ///< event rate (PC or Moran, per update_rule)
   double mutation_rate = 0.05;

@@ -7,6 +7,11 @@ namespace egt::core {
 
 pop::Population make_initial_population(const SimConfig& config) {
   util::Xoshiro256 rng(util::mix64(config.seed ^ 0x5851f42d4c957f2dULL));
+  if (config.game.uses_nway()) {
+    return pop::Population::random_nway(
+        config.ssets, config.game.actions,
+        config.space == pop::StrategySpace::Pure, rng);
+  }
   if (config.space == pop::StrategySpace::Pure) {
     return pop::Population::random_pure(config.ssets, config.memory, rng);
   }

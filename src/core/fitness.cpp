@@ -10,17 +10,26 @@ namespace egt::core {
 
 PairEvaluator::PairEvaluator(const SimConfig& config)
     : config_(config),
-      engine_(config.memory, config.game, config.lookup) {}
+      engine_(config.memory, config.game.ipd_params(), config.lookup) {}
 
 bool PairEvaluator::strategy_pure(const game::Strategy& si,
                                   const game::Strategy& sj) const noexcept {
   if (config_.fitness_mode != FitnessMode::Analytic) return false;
+  // N-way matrix games: the memory-0 outcome chain is always exact.
+  if (config_.game.uses_nway()) return true;
   if (si.is_pure() && sj.is_pure() && config_.game.noise == 0.0) return true;
   return config_.memory == 1;
 }
 
 double PairEvaluator::pair_payoff(const game::Strategy& si,
                                   const game::Strategy& sj) const {
+  if (config_.game.uses_nway()) {
+    return game::spec::expected_game(
+               config_.game,
+               game::spec::Behavioral::from_strategy(config_.game, si),
+               game::spec::Behavioral::from_strategy(config_.game, sj))
+        .payoff_a;
+  }
   if (si.is_pure() && sj.is_pure() && config_.game.noise == 0.0) {
     return game::markov::exact_pure_game(si.as_pure(), sj.as_pure(),
                                          config_.game.payoff,
@@ -35,6 +44,8 @@ double PairEvaluator::pair_payoff(const game::Strategy& si,
 
 double PairEvaluator::payoff(const pop::Population& pop, pop::SSetId i,
                              pop::SSetId j, std::uint64_t gen_key) const {
+  EGT_REQUIRE_MSG(config_.game.kind != game::GameKind::PublicGoods,
+                  "public goods fitness is group-pooled, not pairwise");
   const game::Strategy& si = pop.strategy(i);
   const game::Strategy& sj = pop.strategy(j);
   if (strategy_pure(si, sj)) {
@@ -42,9 +53,13 @@ double PairEvaluator::payoff(const pop::Population& pop, pop::SSetId i,
     // (the dedup-eligibility rule) and gen_key is ignored.
     return pair_payoff(si, sj);
   }
-  // No closed form (Sampled streams, or stochastic memory>=2 under
-  // Analytic): play a game on the (gen_key, i, j)-keyed stream.
+  // No closed form: play a game on the (gen_key, i, j)-keyed stream.
   util::StreamRng rng(config_.seed, util::stream_key(gen_key, i, j));
+  if (config_.game.uses_nway()) {
+    // Sampled n-way play: spec.rounds independent one-shot stage games.
+    return game::spec::play_oneshot(config_.game, si, sj, rng).payoff_a;
+  }
+  // Sampled streams, or stochastic memory>=2 under Analytic.
   return engine_.play(si, sj, rng).payoff_a;
 }
 
@@ -56,10 +71,12 @@ BlockFitness::BlockFitness(const SimConfig& config, pop::SSetId row_begin,
       graph_(std::move(graph)),
       begin_(row_begin),
       end_(row_end),
-      dedup_(config.dedup && config.fitness_mode == FitnessMode::Analytic) {
+      dedup_(config.dedup && config.fitness_mode == FitnessMode::Analytic &&
+             config.game.kind != game::GameKind::PublicGoods),
+      pgg_(config.game.kind == game::GameKind::PublicGoods) {
   EGT_REQUIRE(row_begin <= row_end && row_end <= config.ssets);
   fitness_.assign(end_ - begin_, 0.0);
-  if (cached()) {
+  if (pairwise_cached()) {
     matrix_.assign(static_cast<std::size_t>(end_ - begin_) * config_.ssets,
                    0.0);
   }
@@ -74,10 +91,86 @@ BlockFitness::BlockFitness(const SimConfig& config, pop::SSetId row_begin,
 
 double BlockFitness::row_scale(pop::SSetId i) const noexcept {
   if (config_.fitness_scale == FitnessScale::Total) return 1.0;
+  if (pgg_) {
+    // Mean per-round, per-group payoff.
+    return 1.0 /
+           (static_cast<double>(pgg_group_count(i)) * config_.game.rounds);
+  }
   const double opponents =
       structured() ? graph_->degree(i)
                    : static_cast<double>(config_.ssets - 1);
   return 1.0 / (opponents * config_.game.rounds);
+}
+
+std::uint32_t BlockFitness::pgg_group_count(pop::SSetId i) const noexcept {
+  if (structured()) return 1 + static_cast<std::uint32_t>(graph_->degree(i));
+  return config_.game.pgg_k == 0 ? 1 : config_.game.pgg_k;
+}
+
+double BlockFitness::pgg_contrib(const pop::Population& pop, pop::SSetId j,
+                                 std::uint64_t gen_key) const {
+  const double p = pop.strategy(j).coop_prob(0);
+  const double eps = config_.game.noise;
+  const double pe = (1.0 - eps) * p + eps * (1.0 - p);
+  if (config_.fitness_mode == FitnessMode::Analytic) {
+    return pe * config_.game.rounds;
+  }
+  util::StreamRng rng(config_.seed, util::stream_key(gen_key, j, j));
+  double c = 0.0;
+  for (std::uint32_t t = 0; t < config_.game.rounds; ++t) {
+    if (util::bernoulli(rng, pe)) c += 1.0;
+  }
+  return c;
+}
+
+void BlockFitness::recompute_row_pgg(pop::SSetId i, const pop::Population& pop,
+                                     std::uint64_t gen_key, Counts& counts) {
+  const double r = config_.game.pgg_r;
+  const double cost = config_.game.pgg_cost;
+  const double own = pgg_contrib(pop, i, gen_key);
+  double sum = 0.0;
+  if (structured()) {
+    // One group per SSet t, {t} ∪ N(t): i plays in its own group and in
+    // every neighbour's.
+    const auto group_share = [&](pop::SSetId t) {
+      const auto nbrs = graph_->neighbors(t);
+      double pool = pgg_contrib(pop, t, gen_key);
+      for (pop::SSetId j : nbrs) pool += pgg_contrib(pop, j, gen_key);
+      counts.pairs += 1 + nbrs.size();
+      ++counts.games;
+      return r * cost * pool / static_cast<double>(1 + nbrs.size());
+    };
+    sum += group_share(i) - own * cost;
+    for (pop::SSetId t : graph_->neighbors(i)) {
+      sum += group_share(t) - own * cost;
+    }
+  } else if (config_.game.pgg_k == 0) {
+    // Well-mixed auto group: everyone shares one pool.
+    double pool = 0.0;
+    for (pop::SSetId j = 0; j < config_.ssets; ++j) {
+      pool += pgg_contrib(pop, j, gen_key);
+    }
+    counts.pairs += config_.ssets;
+    ++counts.games;
+    sum = r * cost * pool / config_.ssets - own * cost;
+  } else {
+    // Well-mixed k-windows: i is a member of the k ring windows starting
+    // at i-k+1 .. i (mod n). d(payoff_i)/d(own) = cost * (r - k): free
+    // riding dominates for r < k, contribution for r > k.
+    const std::uint32_t k = config_.game.pgg_k;
+    const std::uint32_t n = config_.ssets;
+    for (std::uint32_t o = 0; o < k; ++o) {
+      const std::uint32_t t = (i + n - o) % n;
+      double pool = 0.0;
+      for (std::uint32_t d = 0; d < k; ++d) {
+        pool += pgg_contrib(pop, (t + d) % n, gen_key);
+      }
+      counts.pairs += k;
+      ++counts.games;
+      sum += r * cost * pool / k - own * cost;
+    }
+  }
+  fitness_[i - begin_] = sum * row_scale(i);
 }
 
 double BlockFitness::pair_value(const pop::Population& pop, pop::SSetId i,
@@ -133,6 +226,10 @@ void BlockFitness::prefill_class(const pop::Population& pop, pop::ClassId cr) {
 void BlockFitness::recompute_row(pop::SSetId i, const pop::Population& pop,
                                  std::uint64_t gen_key, Counts& counts,
                                  bool nested) {
+  if (pgg_) {
+    recompute_row_pgg(i, pop, gen_key, counts);
+    return;
+  }
   const std::size_t row = i - begin_;
   const bool use_agent_pool = agent_pool_ != nullptr && !nested;
   if (dedup_ && use_agent_pool) {
@@ -284,6 +381,18 @@ void BlockFitness::strategy_changed(pop::SSetId k, const pop::Population& pop,
                                     std::uint64_t generation) {
   if (!cached()) return;  // next begin_generation re-plays everything anyway
   Counts counts;
+  if (pgg_) {
+    // A single strategy change moves every group pool the SSet touches
+    // (and, well-mixed, every row): recompute all owned rows. Row-local
+    // and deterministic, so serial and parallel partitions agree on both
+    // values and counters.
+    for (pop::SSetId i = begin_; i < end_; ++i) {
+      recompute_row(i, pop, generation, counts, false);
+    }
+    pairs_ += counts.pairs;
+    games_ += counts.games;
+    return;
+  }
   if (k >= begin_ && k < end_) {
     recompute_row(k, pop, generation, counts, false);
   }

@@ -42,6 +42,7 @@
 
 #include "core/config.hpp"
 #include "game/markov.hpp"
+#include "game/spec/chain.hpp"
 #include "par/threadpool.hpp"
 #include "pop/population.hpp"
 
@@ -162,10 +163,34 @@ class BlockFitness {
   bool cached() const noexcept {
     return config_.fitness_mode != FitnessMode::Sampled;
   }
+  /// Cached modes keep the rows x ssets payoff matrix — except public
+  /// goods, whose fitness is group-pooled, not pairwise (no matrix; a
+  /// strategy change recomputes every owned row instead of a column).
+  bool pairwise_cached() const noexcept { return cached() && !pgg_; }
   bool structured() const noexcept {
     return graph_ != nullptr && !graph_->is_complete();
   }
   double row_scale(pop::SSetId i) const noexcept;
+
+  /// Public goods group play (GameKind::PublicGoods, DESIGN.md §10).
+  /// Groups: structured populations play one group {t} ∪ N(t) per SSet t;
+  /// the well-mixed population plays one global group (pgg_k == 0) or the
+  /// ssets ring windows {t .. t+k-1 mod n}. Each group's pool earns
+  /// r * cost * (sum of member contributions) / |group|, and each member
+  /// pays cost per own contribution.
+  std::uint32_t pgg_group_count(pop::SSetId i) const noexcept;
+
+  /// Effective contribution rounds of SSet j this generation: the analytic
+  /// expectation rounds * p' under Analytic, a Bernoulli(p') sample per
+  /// round on the (gen_key, j, j)-keyed stream otherwise (the self-pair
+  /// key never collides with the i != j pair-game streams).
+  double pgg_contrib(const pop::Population& pop, pop::SSetId j,
+                     std::uint64_t gen_key) const;
+
+  /// Row evaluation for the public goods kind: row-local and deterministic
+  /// (safe from SSet-pool workers; never touches the pair cache or matrix).
+  void recompute_row_pgg(pop::SSetId i, const pop::Population& pop,
+                         std::uint64_t gen_key, Counts& counts);
 
   /// Value of ordered pair (i, j), bit-identical to eval_.payoff. In
   /// dedup mode, strategy-pure pairs are answered from the class-pair
@@ -211,6 +236,7 @@ class BlockFitness {
   pop::SSetId begin_;
   pop::SSetId end_;
   bool dedup_ = false;
+  bool pgg_ = false;  ///< GameKind::PublicGoods: group-pooled fitness
   std::vector<double> fitness_;         // per owned row (scaled sums)
   std::vector<double> matrix_;          // cached modes: rows x ssets payoffs
   std::vector<double> row_scratch_;     // agent-tier evaluation buffer

@@ -159,6 +159,17 @@ class BlockSet {
     return config_.fitness_mode != core::FitnessMode::Sampled;
   }
 
+  /// Matrix width a valid checkpoint of this config carries: ssets for the
+  /// pairwise cached modes, 0 for Sampled — and 0 for cached public-goods
+  /// blocks, whose fitness is group-pooled (no pairwise matrix; see
+  /// core::BlockFitness::pairwise_cached). The fast paths below must match
+  /// on this, not on ssets, or cached PGG checkpoints would never restore.
+  std::uint32_t expected_matrix_cols() const noexcept {
+    if (!cached_mode()) return 0;
+    if (config_.game.kind == game::GameKind::PublicGoods) return 0;
+    return config_.ssets;
+  }
+
   /// Fault-free startup block: initialization counts to engine.pairs, as
   /// in the base engines.
   void add_initial(pop::SSetId begin, pop::SSetId end,
@@ -269,7 +280,7 @@ class BlockSet {
     Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0, 0};
     const std::optional<BlockCheckpoint> hit =
         lookup(store, begin, end, gen, pop);
-    if (hit && hit->matrix_cols == config_.ssets &&
+    if (hit && cached_mode() && hit->matrix_cols == expected_matrix_cols() &&
         hit->config_fingerprint == fingerprint) {
       blk.fit.restore_state(hit->fitness_slice(begin, end),
                             hit->matrix_slice(begin, end), hit->dedup);
@@ -321,7 +332,7 @@ class BlockSet {
     Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0, 0};
     const std::optional<BlockCheckpoint> hit =
         lookup(store, begin, end, gen, pop);
-    if (hit && hit->matrix_cols == config_.ssets &&
+    if (hit && cached_mode() && hit->matrix_cols == expected_matrix_cols() &&
         hit->config_fingerprint == fingerprint) {
       blk.fit.restore_state(hit->fitness_slice(begin, end),
                             hit->matrix_slice(begin, end), hit->dedup);

@@ -143,6 +143,11 @@ std::vector<NamedStrategy> full_catalog(int memory) {
 }
 
 std::pair<std::string, double> nearest_named(const Strategy& s) {
+  // The catalog is binary; strategies on a larger action simplex have no
+  // meaningful neighbour in it.
+  if (s.is_nway() && s.as_nway().actions() != 2) {
+    return {"?", std::numeric_limits<double>::infinity()};
+  }
   const MixedStrategy probe = s.to_mixed();
   std::string best_name = "?";
   double best = std::numeric_limits<double>::infinity();

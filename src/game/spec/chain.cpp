@@ -1,0 +1,339 @@
+#include "game/spec/chain.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace egt::game::spec {
+
+namespace {
+
+/// Per-state action distributions with execution noise folded in: an
+/// intended action is executed with probability 1 - eps, otherwise one of
+/// the m - 1 other actions is executed uniformly. For m = 2 this is
+/// exactly the classic flip-with-probability-eps IPD noise.
+std::vector<double> noisy_probs(const Behavioral& s, double eps) {
+  std::vector<double> out(s.probs);
+  if (eps == 0.0) return out;
+  // p'(a) = (1 - eps) p(a) + (eps / (m - 1)) (1 - p(a)).
+  const double other = eps / (s.actions - 1);
+  for (double& p : out) p = (1.0 - eps) * p + other * (1.0 - p);
+  return out;
+}
+
+/// Memory-0 action distribution of an engine strategy (noise folded in).
+std::vector<double> action_dist(const GameSpec& spec, const Strategy& s) {
+  std::vector<double> dist;
+  if (s.is_nway()) {
+    EGT_REQUIRE_MSG(s.as_nway().actions() == spec.actions,
+                    "strategy action count does not match the game");
+    dist = s.as_nway().probs();
+  } else {
+    EGT_REQUIRE_MSG(spec.actions == 2,
+                    "binary strategies only play 2-action games");
+    EGT_REQUIRE_MSG(s.memory() == 0,
+                    "one-shot sampled play needs memory-0 strategies");
+    const double p = s.coop_prob(0);
+    dist = {p, 1.0 - p};
+  }
+  if (spec.noise > 0.0) {
+    const double other = spec.noise / (spec.actions - 1);
+    for (double& p : dist) p = (1.0 - spec.noise) * p + other * (1.0 - p);
+  }
+  return dist;
+}
+
+struct Chain {
+  std::uint32_t m = 0;
+  std::uint32_t states = 0;          // m^2
+  std::vector<double> pay_a;         // per state: expected round payoff of A
+  std::vector<double> pay_b;
+  std::vector<double> coop_a;        // per state: P(A plays action 0)
+  std::vector<double> coop_b;
+  std::vector<double> transition;    // states x states row-major
+};
+
+Chain build_chain(const GameSpec& spec, const Behavioral& a,
+                  const Behavioral& b) {
+  a.validate();
+  b.validate();
+  EGT_REQUIRE_MSG(a.actions == spec.actions && b.actions == spec.actions,
+                  "behavioral strategies must match the game's action count");
+  Chain c;
+  c.m = spec.actions;
+  c.states = c.m * c.m;
+  c.pay_a.assign(c.states, 0.0);
+  c.pay_b.assign(c.states, 0.0);
+  c.coop_a.assign(c.states, 0.0);
+  c.coop_b.assign(c.states, 0.0);
+  c.transition.assign(static_cast<std::size_t>(c.states) * c.states, 0.0);
+  const auto pa = noisy_probs(a, spec.noise);
+  const auto pb = noisy_probs(b, spec.noise);
+  for (std::uint32_t x = 0; x < c.m; ++x) {
+    for (std::uint32_t y = 0; y < c.m; ++y) {
+      const std::uint32_t s = x * c.m + y;
+      // A conditions on (my last, their last) = (x, y); B sees the state
+      // from its own side, (y, x).
+      const double* da = &pa[(a.memory == 0 ? 0 : s) * c.m];
+      const double* db = &pb[(b.memory == 0 ? 0 : y * c.m + x) * c.m];
+      c.coop_a[s] = da[0];
+      c.coop_b[s] = db[0];
+      for (std::uint32_t u = 0; u < c.m; ++u) {
+        for (std::uint32_t v = 0; v < c.m; ++v) {
+          const double w = da[u] * db[v];
+          c.pay_a[s] += w * spec.payoff_of(u, v);
+          c.pay_b[s] += w * spec.col_payoff_of(v, u);
+          c.transition[static_cast<std::size_t>(s) * c.states + u * c.m + v] +=
+              w;
+        }
+      }
+    }
+  }
+  return c;
+}
+
+/// Solve pi = pi * T by dense Gaussian elimination on (T^t - I) with the
+/// normalization row sum(pi) = 1. Returns empty when the system is
+/// (numerically) singular — a reducible or periodic chain.
+std::vector<double> solve_stationary(const Chain& c) {
+  const std::uint32_t n = c.states;
+  // A[i][j] * pi[j] = rhs[i]; rows are the balance equations
+  // sum_j T[j][i] pi[j] - pi[i] = 0, with the last row replaced by the
+  // normalization.
+  std::vector<double> A(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> rhs(n, 0.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      A[static_cast<std::size_t>(i) * n + j] =
+          c.transition[static_cast<std::size_t>(j) * n + i] -
+          (i == j ? 1.0 : 0.0);
+    }
+  }
+  for (std::uint32_t j = 0; j < n; ++j) {
+    A[static_cast<std::size_t>(n - 1) * n + j] = 1.0;
+  }
+  rhs[n - 1] = 1.0;
+  // Gaussian elimination with partial pivoting.
+  for (std::uint32_t col = 0; col < n; ++col) {
+    std::uint32_t pivot = col;
+    for (std::uint32_t r = col + 1; r < n; ++r) {
+      if (std::abs(A[static_cast<std::size_t>(r) * n + col]) >
+          std::abs(A[static_cast<std::size_t>(pivot) * n + col])) {
+        pivot = r;
+      }
+    }
+    const double pv = A[static_cast<std::size_t>(pivot) * n + col];
+    if (std::abs(pv) < 1e-12) return {};  // singular: not ergodic
+    if (pivot != col) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        std::swap(A[static_cast<std::size_t>(pivot) * n + j],
+                  A[static_cast<std::size_t>(col) * n + j]);
+      }
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    for (std::uint32_t r = col + 1; r < n; ++r) {
+      const double f = A[static_cast<std::size_t>(r) * n + col] / pv;
+      if (f == 0.0) continue;
+      for (std::uint32_t j = col; j < n; ++j) {
+        A[static_cast<std::size_t>(r) * n + j] -=
+            f * A[static_cast<std::size_t>(col) * n + j];
+      }
+      rhs[r] -= f * rhs[col];
+    }
+  }
+  std::vector<double> pi(n, 0.0);
+  for (std::uint32_t i = n; i-- > 0;) {
+    double v = rhs[i];
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      v -= A[static_cast<std::size_t>(i) * n + j] * pi[j];
+    }
+    pi[i] = v / A[static_cast<std::size_t>(i) * n + i];
+  }
+  // Clip the tiny negatives elimination can leave on boundary chains.
+  double total = 0.0;
+  for (double& p : pi) {
+    if (p < 0.0) p = 0.0;
+    total += p;
+  }
+  if (total <= 0.0) return {};
+  for (double& p : pi) p /= total;
+  return pi;
+}
+
+/// Non-ergodic fallback: long-run average of the deterministic propagation
+/// from the both-played-action-0 start (matches the orbit-averaging
+/// fallback of markov::stationary_mem1 in spirit).
+std::vector<double> longrun_average(const Chain& c) {
+  const std::uint32_t n = c.states;
+  std::vector<double> d(n, 0.0), nd(n, 0.0), avg(n, 0.0);
+  d[0] = 1.0;
+  constexpr int kWarmup = 2048;
+  constexpr int kAverage = 2048;
+  for (int t = 0; t < kWarmup + kAverage; ++t) {
+    if (t >= kWarmup) {
+      for (std::uint32_t s = 0; s < n; ++s) avg[s] += d[s];
+    }
+    nd.assign(n, 0.0);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      const double w = d[s];
+      if (w == 0.0) continue;
+      const double* row = &c.transition[static_cast<std::size_t>(s) * n];
+      for (std::uint32_t s2 = 0; s2 < n; ++s2) nd[s2] += w * row[s2];
+    }
+    d.swap(nd);
+  }
+  for (double& v : avg) v /= kAverage;
+  return avg;
+}
+
+}  // namespace
+
+Behavioral Behavioral::constant(std::uint32_t actions,
+                                std::vector<double> dist) {
+  Behavioral b;
+  b.actions = actions;
+  b.memory = 0;
+  b.probs = std::move(dist);
+  b.validate();
+  return b;
+}
+
+Behavioral Behavioral::from_strategy(const GameSpec& spec, const Strategy& s) {
+  Behavioral b;
+  b.actions = spec.actions;
+  if (s.is_nway()) {
+    EGT_REQUIRE_MSG(s.as_nway().actions() == spec.actions,
+                    "strategy action count does not match the game");
+    b.memory = 0;
+    b.probs = s.as_nway().probs();
+    return b;
+  }
+  EGT_REQUIRE_MSG(spec.actions == 2,
+                  "binary strategies lift to 2-action chains only");
+  EGT_REQUIRE_MSG(s.memory() <= 1, "the chain covers memory <= 1");
+  b.memory = s.memory();
+  const std::uint32_t states = b.memory == 0 ? 1 : 4;
+  b.probs.reserve(states * 2);
+  for (std::uint32_t st = 0; st < states; ++st) {
+    const double p = s.coop_prob(st);
+    b.probs.push_back(p);
+    b.probs.push_back(1.0 - p);
+  }
+  return b;
+}
+
+void Behavioral::validate() const {
+  EGT_REQUIRE_MSG(actions >= 2, "need at least two actions");
+  EGT_REQUIRE_MSG(memory == 0 || memory == 1, "memory must be 0 or 1");
+  EGT_REQUIRE_MSG(probs.size() ==
+                      static_cast<std::size_t>(states()) * actions,
+                  "probs must hold states x actions entries");
+  for (std::uint32_t st = 0; st < states(); ++st) {
+    double sum = 0.0;
+    for (std::uint32_t a = 0; a < actions; ++a) {
+      const double p = probs[static_cast<std::size_t>(st) * actions + a];
+      EGT_REQUIRE_MSG(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+      sum += p;
+    }
+    EGT_REQUIRE_MSG(std::abs(sum - 1.0) <= 1e-9,
+                    "per-state action distribution must sum to 1");
+  }
+}
+
+GameResult expected_game(const GameSpec& spec, const Behavioral& a,
+                         const Behavioral& b) {
+  const Chain c = build_chain(spec, a, b);
+  std::vector<double> d(c.states, 0.0), nd(c.states, 0.0);
+  d[0] = 1.0;  // both-played-action-0 history, the all-C generalization
+  double pay_a = 0.0, pay_b = 0.0, coop_a = 0.0, coop_b = 0.0;
+  for (std::uint32_t t = 0; t < spec.rounds; ++t) {
+    double pa = 0.0, pb = 0.0, ca = 0.0, cb = 0.0;
+    for (std::uint32_t s = 0; s < c.states; ++s) {
+      const double w = d[s];
+      if (w == 0.0) continue;
+      pa += w * c.pay_a[s];
+      pb += w * c.pay_b[s];
+      ca += w * c.coop_a[s];
+      cb += w * c.coop_b[s];
+    }
+    pay_a += pa;
+    pay_b += pb;
+    coop_a += ca;
+    coop_b += cb;
+    nd.assign(c.states, 0.0);
+    for (std::uint32_t s = 0; s < c.states; ++s) {
+      const double w = d[s];
+      if (w == 0.0) continue;
+      const double* row =
+          &c.transition[static_cast<std::size_t>(s) * c.states];
+      for (std::uint32_t s2 = 0; s2 < c.states; ++s2) nd[s2] += w * row[s2];
+    }
+    d.swap(nd);
+  }
+  GameResult r;
+  r.payoff_a = pay_a;
+  r.payoff_b = pay_b;
+  r.rounds = spec.rounds;
+  r.coop_a = static_cast<std::uint32_t>(std::llround(coop_a));
+  r.coop_b = static_cast<std::uint32_t>(std::llround(coop_b));
+  return r;
+}
+
+std::vector<double> stationary_distribution(const GameSpec& spec,
+                                            const Behavioral& a,
+                                            const Behavioral& b) {
+  const Chain c = build_chain(spec, a, b);
+  auto pi = solve_stationary(c);
+  if (pi.empty()) pi = longrun_average(c);
+  return pi;
+}
+
+markov::ExpectedOutcome stationary_outcome(const GameSpec& spec,
+                                           const Behavioral& a,
+                                           const Behavioral& b) {
+  const auto pi = stationary_distribution(spec, a, b);
+  const std::uint32_t m = spec.actions;
+  markov::ExpectedOutcome out;
+  for (std::uint32_t x = 0; x < m; ++x) {
+    for (std::uint32_t y = 0; y < m; ++y) {
+      const double w = pi[static_cast<std::size_t>(x) * m + y];
+      out.payoff_a += w * spec.payoff_of(x, y);
+      out.payoff_b += w * spec.col_payoff_of(y, x);
+      if (x == 0) out.coop_a += w;
+      if (y == 0) out.coop_b += w;
+    }
+  }
+  return out;
+}
+
+GameResult play_oneshot(const GameSpec& spec, const Strategy& a,
+                        const Strategy& b, util::StreamRng rng) {
+  const auto da = action_dist(spec, a);
+  const auto db = action_dist(spec, b);
+  auto draw = [&](const std::vector<double>& dist) {
+    const double u = util::uniform01(rng);
+    double acc = 0.0;
+    std::uint32_t pick = spec.actions - 1;  // numeric safety net
+    for (std::uint32_t i = 0; i < spec.actions; ++i) {
+      acc += dist[i];
+      if (u < acc) {
+        pick = i;
+        break;
+      }
+    }
+    return pick;
+  };
+  GameResult r;
+  r.rounds = spec.rounds;
+  for (std::uint32_t t = 0; t < spec.rounds; ++t) {
+    const std::uint32_t x = draw(da);
+    const std::uint32_t y = draw(db);
+    r.payoff_a += spec.payoff_of(x, y);
+    r.payoff_b += spec.col_payoff_of(y, x);
+    if (x == 0) ++r.coop_a;
+    if (y == 0) ++r.coop_b;
+  }
+  return r;
+}
+
+}  // namespace egt::game::spec

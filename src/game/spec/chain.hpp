@@ -1,0 +1,83 @@
+// The m-action analytic engine (DESIGN.md §10): the generalization of
+// game/markov.hpp's memory-one machinery from the 2x2 IPD to arbitrary
+// m-action matrix games.
+//
+// Joint play of two memory-<=1 behavioral strategies is a Markov chain over
+// the m^2 joint outcomes (A's last action, B's last action). This module
+// propagates the exact outcome distribution for a finite number of rounds
+// (expected totals, matching the sampled engine in expectation) and solves
+// for the stationary distribution of the infinitely repeated game (dense
+// linear solve, with a long-run-average fallback for non-ergodic chains).
+//
+// The existing 2x2 path (markov::expected_game_mem1 et al.) remains the
+// fast case for 2-action games — the fitness tier only routes through this
+// chain when the spec actually needs n-way play (actions >= 3 / bimatrix);
+// chain_test.cpp pins the m = 2 equivalence between the two.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/markov.hpp"
+#include "game/spec/gamespec.hpp"
+#include "game/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace egt::game::spec {
+
+/// Behavioral strategy over m actions: one action distribution per chain
+/// state. memory 0 = one state (unconditional play); memory 1 = m^2 states
+/// indexed (my last action) * m + (their last action), the m-action
+/// generalization of the StateCodec memory-one convention.
+struct Behavioral {
+  std::uint32_t actions = 2;
+  int memory = 0;  ///< 0 or 1
+  /// states() x actions row-major: probs[s * actions + a] = P(a | state s).
+  std::vector<double> probs;
+
+  std::uint32_t states() const noexcept {
+    return memory == 0 ? 1 : actions * actions;
+  }
+
+  /// Memory-0 strategy playing `dist` (size = actions, sums to 1).
+  static Behavioral constant(std::uint32_t actions, std::vector<double> dist);
+
+  /// Lift an engine strategy: NWayStrategy (memory 0, any m) directly;
+  /// pure/mixed binary strategies of memory <= 1 via their cooperation
+  /// probabilities (m must be 2).
+  static Behavioral from_strategy(const GameSpec& spec, const Strategy& s);
+
+  void validate() const;
+};
+
+/// Exact expected totals of `spec.rounds` stage games between `a` and `b`
+/// with execution noise spec.noise (a move is replaced by a uniformly
+/// random *other* action with that probability), starting from the
+/// both-played-action-0 history. Equals the expectation of the sampled
+/// one-shot play over its RNG; for actions == 2 it equals
+/// markov::expected_game_mem1 exactly.
+GameResult expected_game(const GameSpec& spec, const Behavioral& a,
+                         const Behavioral& b);
+
+/// Stationary distribution over the m^2 joint outcomes of the infinitely
+/// repeated game (row-major: A's action * m + B's action). Ergodic chains
+/// are solved exactly (dense Gaussian elimination); non-ergodic chains fall
+/// back to the long-run average of the deterministic propagation.
+std::vector<double> stationary_distribution(const GameSpec& spec,
+                                            const Behavioral& a,
+                                            const Behavioral& b);
+
+/// Per-round stationary expectations (payoffs, action-0 shares) — the
+/// m-action twin of markov::stationary_mem1.
+markov::ExpectedOutcome stationary_outcome(const GameSpec& spec,
+                                           const Behavioral& a,
+                                           const Behavioral& b);
+
+/// One sampled game: `spec.rounds` independent stage games on the caller's
+/// keyed stream (memory-0 strategies only — the sampled twin of
+/// expected_game; one uniform draw per player per round, noise folded into
+/// the per-move action distribution).
+GameResult play_oneshot(const GameSpec& spec, const Strategy& a,
+                        const Strategy& b, util::StreamRng rng);
+
+}  // namespace egt::game::spec

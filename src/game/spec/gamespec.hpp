@@ -1,0 +1,150 @@
+// GameSpec: the generalized game kernel (DESIGN.md §10).
+//
+// A GameSpec describes *what game the population plays*. The engine was
+// historically hardwired to the paper's 2x2 Iterated Prisoner's Dilemma
+// (game::IpdParams); GameSpec subsumes that as its default and extends the
+// kernel along two axes:
+//
+//  * GameKind::Matrix — an m-action matrix game, symmetric or bimatrix.
+//    For m == 2 the PayoffMatrix view (`payoff`) is authoritative and the
+//    whole existing memory-n IPD machinery applies unchanged (iterated
+//    play, sampled / frozen / analytic fitness, dedup). For m >= 3 (or an
+//    explicit bimatrix) strategies are per-SSet action distributions
+//    (game::NWayStrategy, memory 0) and each pair plays `rounds` repeated
+//    one-shot stage games — sampled on the (gen, i, j)-keyed stream or
+//    analytically as the exact expectation (game::spec::expected_game).
+//
+//  * GameKind::PublicGoods — a k-player Public Goods Game played in groups
+//    of SSets: every contributor pays `pgg_cost`, the pot is multiplied by
+//    `pgg_r` and shared equally, so a member of group g earns
+//    r * cost * (sum of contributions) / |g| - own contribution * cost
+//    per round. Contribution is binary (action 0 = contribute), carried by
+//    the ordinary memory-0 pure/mixed strategies. Group structure:
+//    pgg_k == 0 plays one whole-population group (well-mixed) or the
+//    {i} ∪ N(i) neighbourhood groups (structured populations); pgg_k >= 2
+//    plays the ssets ring windows {t, .., t+k-1 (mod n)}.
+//
+// Default-constructed GameSpec is bit-for-bit the paper's IPD: the same
+// payoff/rounds/noise members the rest of the code has always read, so
+// every existing call site (config.game.payoff, .rounds, .noise) and every
+// existing trajectory is untouched.
+//
+// Presets live in game/spec/registry.hpp (egt::game::registry()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "game/ipd.hpp"
+#include "game/payoff.hpp"
+
+namespace egt::game {
+
+/// What kind of game the population plays.
+enum class GameKind : std::uint8_t {
+  Matrix,       ///< pairwise m-action matrix game (m == 2: the classic path)
+  PublicGoods,  ///< k-player group game over binary contributions
+};
+
+/// How a pair plays a Matrix game.
+enum class PlayMode : std::uint8_t {
+  /// Memory-n iterated play from the all-cooperate history — the paper's
+  /// IPD engine. Only defined for 2-action games.
+  Iterated,
+  /// `rounds` independent repetitions of the stage game (no history). The
+  /// only mode for m >= 3; for m == 2 it is the memory-0 special case of
+  /// Iterated and therefore not a separate code path.
+  OneShot,
+};
+
+struct GameSpec {
+  GameKind kind = GameKind::Matrix;
+  std::string display_name = "ipd";  ///< registry name ("custom" when edited)
+  std::uint32_t actions = 2;         ///< m, the per-player action count
+  std::vector<std::string> labels;   ///< per-action labels (empty = C/D)
+  PlayMode play = PlayMode::Iterated;
+
+  /// m == 2 symmetric games: the authoritative payoff table (row player),
+  /// exactly the member the whole IPD pipeline has always read.
+  PayoffMatrix payoff = paper_payoff();
+
+  /// m >= 3 or bimatrix: flattened row-major m x m payoff of the *row*
+  /// player (entry a*m + b = payoff of playing a against b). Empty for the
+  /// 2-action symmetric case, where `payoff` rules.
+  std::vector<double> row_payoff;
+  /// Bimatrix column-player payoff (entry b*m + a layout mirrors
+  /// row_payoff: col_payoff[b*m + a] = payoff of the column player playing
+  /// b against a). Empty = symmetric (column player reads row_payoff
+  /// transposed). Fitness always evaluates each ordered pair (i, j) with i
+  /// as the row player, so roles symmetrize across the two orderings.
+  std::vector<double> col_payoff;
+
+  std::uint32_t rounds = 200;  ///< repetitions per pairing / group play
+  double noise = 0.0;  ///< per-move execution error (uniform other action)
+
+  // --- GameKind::PublicGoods ---------------------------------------------
+  double pgg_r = 3.0;     ///< pot multiplier r
+  double pgg_cost = 1.0;  ///< contribution cost c
+  /// Group size k. 0 = automatic: the whole population (well-mixed) or the
+  /// {i} ∪ N(i) neighbourhoods (structured). k >= 2 plays the ssets ring
+  /// windows of size k (well-mixed populations only).
+  std::uint32_t pgg_k = 0;
+
+  /// The classic-IPD view consumed by IpdEngine / the analysis layer.
+  /// Meaningful exactly when the 2-action machinery applies.
+  IpdParams ipd_params() const noexcept { return {payoff, rounds, noise}; }
+
+  /// True when play needs NWayStrategy action distributions (m >= 3 or an
+  /// explicit bimatrix) instead of the binary memory-n strategies.
+  bool uses_nway() const noexcept {
+    return kind == GameKind::Matrix && (actions > 2 || !col_payoff.empty());
+  }
+
+  /// True when the population must be memory-0 (no game history exists).
+  bool requires_memory0() const noexcept {
+    return uses_nway() || kind == GameKind::PublicGoods ||
+           play == PlayMode::OneShot;
+  }
+
+  /// Row-player payoff of action `mine` against `theirs`.
+  double payoff_of(std::uint32_t mine, std::uint32_t theirs) const;
+  /// Column-player payoff of action `theirs` against `mine` (reads
+  /// col_payoff when present, row_payoff transposed otherwise).
+  double col_payoff_of(std::uint32_t theirs, std::uint32_t mine) const;
+
+  /// Label of action `a` ("C"/"D" defaults for unlabelled 2-action games,
+  /// "a<i>" beyond).
+  std::string label(std::uint32_t a) const;
+
+  /// Content hash of everything that defines the game's payoff structure
+  /// (kind, actions, play, tables, PGG parameters — not labels or name).
+  /// Recorded in run manifests and mixed into checkpoint fingerprints.
+  std::uint64_t matrix_hash() const noexcept;
+
+  /// Throws std::invalid_argument on an inconsistent spec (table sizes,
+  /// action counts, PGG parameters, play/kind pairing).
+  void validate() const;
+
+  /// One-line human description (registry listings, config summaries).
+  std::string describe() const;
+
+  // --- construction helpers (the registry is built from these) ----------
+  /// 2-action symmetric game from a PayoffMatrix.
+  static GameSpec matrix2(std::string name, const PayoffMatrix& m,
+                          std::vector<std::string> labels = {},
+                          std::uint32_t rounds = 200);
+  /// m-action symmetric game from a flattened row-major table.
+  static GameSpec matrix_n(std::string name, std::uint32_t actions,
+                           std::vector<double> row_major,
+                           std::vector<std::string> labels = {},
+                           std::uint32_t rounds = 50);
+  /// Public goods game.
+  static GameSpec public_goods(std::string name, double r, double cost,
+                               std::uint32_t k = 0,
+                               std::uint32_t rounds = 50);
+
+  friend bool operator==(const GameSpec& a, const GameSpec& b) noexcept;
+};
+
+}  // namespace egt::game

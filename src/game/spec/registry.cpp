@@ -1,0 +1,122 @@
+#include "game/spec/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace egt::game {
+
+namespace {
+
+/// Static-init registration store. Function-local so registrars in any
+/// translation unit can run before this file's dynamic initializers.
+std::vector<GameSpec>& store() {
+  static std::vector<GameSpec> games;
+  return games;
+}
+
+std::string normalize(std::string name) {
+  std::replace(name.begin(), name.end(), '-', '_');
+  return name;
+}
+
+}  // namespace
+
+namespace detail {
+
+GameRegistrar::GameRegistrar(GameSpec spec) {
+  spec.validate();
+  EGT_REQUIRE_MSG(find_game(spec.display_name) == nullptr,
+                  "duplicate game preset registration");
+  auto& games = store();
+  const auto at = std::lower_bound(
+      games.begin(), games.end(), spec,
+      [](const GameSpec& a, const GameSpec& b) {
+        return a.display_name < b.display_name;
+      });
+  games.insert(at, std::move(spec));
+}
+
+}  // namespace detail
+
+const std::vector<GameSpec>& registry() { return store(); }
+
+const GameSpec* find_game(const std::string& name) {
+  const std::string wanted = normalize(name);
+  for (const GameSpec& g : store()) {
+    if (g.display_name == wanted) return &g;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> game_names() {
+  std::vector<std::string> names;
+  names.reserve(store().size());
+  for (const GameSpec& g : store()) names.push_back(g.display_name);
+  return names;
+}
+
+std::string registry_listing() {
+  std::ostringstream os;
+  for (const GameSpec& g : store()) os << "  " << g.describe() << "\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// The shipped presets. 2-action presets keep the full memory-n iterated
+// machinery; rps is the 3-action one-shot exemplar; pgg is the group-play
+// kind. Registration order is irrelevant (the store stays name-sorted).
+
+namespace {
+
+using detail::GameRegistrar;
+
+/// The paper's IPD, f[R,S,T,P] = [3,0,4,1] — identical to a
+/// default-constructed GameSpec.
+const GameRegistrar r_ipd{GameSpec::matrix2("ipd", paper_payoff())};
+
+/// Axelrod's tournament values [3,0,5,1].
+const GameRegistrar r_axelrod{GameSpec::matrix2("axelrod", axelrod_payoff())};
+
+/// Generic donation game, benefit 3, cost 1: [2,-1,3,0].
+const GameRegistrar r_donation{
+    GameSpec::matrix2("donation", donation_payoff(3.0, 1.0))};
+
+/// Hawk-Dove with resource V=2, injury cost C=3: mixed ESS at hawk
+/// frequency V/C = 2/3. Action 0 = dove, action 1 = hawk.
+const GameRegistrar r_hawk_dove{GameSpec::matrix2(
+    "hawk_dove", PayoffMatrix{1.0, 0.0, 2.0, -0.5}, {"dove", "hawk"})};
+
+/// Snowdrift, benefit 4, cost 2: [3,2,4,0] — cooperation survives in
+/// mixtures where the PD would kill it.
+const GameRegistrar r_snowdrift{GameSpec::matrix2(
+    "snowdrift", snowdrift_payoff(4.0, 2.0), {"shovel", "sit"})};
+
+/// Stag hunt [4,0,3,2]: payoff-dominant stag vs risk-dominant hare
+/// (T+P = 5 > R+S = 4).
+const GameRegistrar r_stag_hunt{GameSpec::matrix2(
+    "stag_hunt", stag_hunt_payoff(), {"stag", "hare"})};
+
+/// Pure coordination [2,0,0,1]: two strict equilibria, A both payoff- and
+/// risk-dominant.
+const GameRegistrar r_coordination{GameSpec::matrix2(
+    "coordination", PayoffMatrix{2.0, 0.0, 0.0, 1.0}, {"A", "B"})};
+
+/// Rock-paper-scissors, win 1 / lose -1 / tie 0: the canonical 3-action
+/// cyclic game — no pure ESS, dynamics orbit the uniform mixture.
+const GameRegistrar r_rps{GameSpec::matrix_n(
+    "rps", 3,
+    {0.0, -1.0, 1.0,  //
+     1.0, 0.0, -1.0,  //
+     -1.0, 1.0, 0.0},
+    {"rock", "paper", "scissors"})};
+
+/// Public goods, r=3, cost 1, automatic groups: contribution is dominated
+/// when r < group size and dominant when r exceeds it.
+const GameRegistrar r_pgg{
+    GameSpec::public_goods("pgg", 3.0, 1.0, /*k=*/0)};
+
+}  // namespace
+
+}  // namespace egt::game

@@ -1,0 +1,41 @@
+// Preset game registry (DESIGN.md §10).
+//
+// Presets are registered at static-initialization time by GameRegistrar
+// objects in registry.cpp (the C++ twin of the ESSModule `register_game`
+// shape): each translation unit that defines presets links them into the
+// process before main runs, and registry() exposes them name-sorted.
+//
+// Names are lowercase snake_case and part of the CLI / repro-JSON surface:
+// add, never rename. Lookup normalizes '-' to '_' so `--game hawk-dove`
+// and `--game hawk_dove` both resolve.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "game/spec/gamespec.hpp"
+
+namespace egt::game {
+
+/// All registered presets, sorted by name. Stable for the process lifetime.
+const std::vector<GameSpec>& registry();
+
+/// Look a preset up by name (case-sensitive, '-' normalized to '_').
+/// Returns nullptr for unknown names.
+const GameSpec* find_game(const std::string& name);
+
+/// The registered preset names, sorted.
+std::vector<std::string> game_names();
+
+/// Human-readable registry table (one "name — description" line per
+/// preset) for --list-games and unknown-preset errors.
+std::string registry_listing();
+
+namespace detail {
+/// Registers a preset at static-initialization time.
+struct GameRegistrar {
+  explicit GameRegistrar(GameSpec spec);
+};
+}  // namespace detail
+
+}  // namespace egt::game

@@ -94,6 +94,64 @@ std::string MixedStrategy::to_string() const {
   return os.str();
 }
 
+NWayStrategy::NWayStrategy(std::uint32_t actions)
+    : probs_(actions, actions > 0 ? 1.0 / actions : 0.0) {
+  EGT_REQUIRE_MSG(actions >= 2 && actions <= 255,
+                  "n-way strategies span 2..255 actions");
+}
+
+NWayStrategy NWayStrategy::from_probs(std::vector<double> probs) {
+  EGT_REQUIRE_MSG(probs.size() >= 2 && probs.size() <= 255,
+                  "n-way strategies span 2..255 actions");
+  double sum = 0.0;
+  for (double p : probs) {
+    EGT_REQUIRE_MSG(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+    sum += p;
+  }
+  EGT_REQUIRE_MSG(std::abs(sum - 1.0) <= 1e-9,
+                  "action distribution must sum to 1");
+  NWayStrategy s(static_cast<std::uint32_t>(probs.size()));
+  s.probs_ = std::move(probs);
+  return s;
+}
+
+NWayStrategy NWayStrategy::pure_action(std::uint32_t actions,
+                                       std::uint32_t action) {
+  EGT_REQUIRE(action < actions);
+  NWayStrategy s(actions);
+  s.probs_.assign(actions, 0.0);
+  s.probs_[action] = 1.0;
+  return s;
+}
+
+bool NWayStrategy::is_degenerate() const noexcept {
+  for (double p : probs_) {
+    if (p != 0.0 && p != 1.0) return false;
+  }
+  return true;
+}
+
+std::uint64_t NWayStrategy::hash() const noexcept {
+  std::uint64_t h = util::mix64(static_cast<std::uint64_t>(actions()) + 1);
+  for (double p : probs_) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &p, sizeof bits);
+    h = util::mix64(h ^ bits);
+  }
+  return h;
+}
+
+std::string NWayStrategy::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << probs_[i];
+  }
+  os << "}";
+  return os.str();
+}
+
 int Strategy::memory() const noexcept {
   return std::visit([](const auto& s) { return s.memory(); }, impl_);
 }
@@ -106,6 +164,9 @@ double Strategy::coop_prob(State s) const noexcept {
   if (const auto* p = std::get_if<PureStrategy>(&impl_)) {
     return p->move(s) == Move::Cooperate ? 1.0 : 0.0;
   }
+  if (const auto* n = std::get_if<NWayStrategy>(&impl_)) {
+    return n->action_prob(0);  // action 0 is the "cooperate" analogue
+  }
   return std::get<MixedStrategy>(impl_).coop_prob(s);
 }
 
@@ -113,11 +174,21 @@ MixedStrategy Strategy::to_mixed() const {
   if (const auto* p = std::get_if<PureStrategy>(&impl_)) {
     return MixedStrategy::from_pure(*p);
   }
+  if (const auto* n = std::get_if<NWayStrategy>(&impl_)) {
+    EGT_REQUIRE_MSG(n->actions() == 2,
+                    "only 2-action n-way strategies have a mixed view");
+    return MixedStrategy::from_probs({n->action_prob(0)});
+  }
   return std::get<MixedStrategy>(impl_);
 }
 
 std::uint64_t Strategy::hash() const noexcept {
-  const std::uint64_t tag = is_pure() ? 0x9e3779b97f4a7c15ULL : 0;
+  std::uint64_t tag = 0;
+  if (is_pure()) {
+    tag = 0x9e3779b97f4a7c15ULL;
+  } else if (is_nway()) {
+    tag = 0x2545F4914F6CDD1DULL;
+  }
   return util::mix64(
       tag ^ std::visit([](const auto& s) { return s.hash(); }, impl_));
 }
@@ -130,6 +201,16 @@ std::uint64_t Strategy::pair_key(std::uint64_t hash_a,
 
 std::vector<std::byte> Strategy::serialize() const {
   std::vector<std::byte> out;
+  if (is_nway()) {
+    const auto& n = as_nway();
+    out.push_back(static_cast<std::byte>(2));
+    out.push_back(static_cast<std::byte>(0));  // memory, always 0
+    out.push_back(static_cast<std::byte>(n.actions()));
+    const auto& probs = n.probs();
+    const auto* p = reinterpret_cast<const std::byte*>(probs.data());
+    out.insert(out.end(), p, p + probs.size() * sizeof(double));
+    return out;
+  }
   out.push_back(static_cast<std::byte>(is_pure() ? 0 : 1));
   out.push_back(static_cast<std::byte>(memory()));
   if (is_pure()) {
@@ -146,7 +227,21 @@ std::vector<std::byte> Strategy::serialize() const {
 
 Strategy Strategy::deserialize(const std::vector<std::byte>& bytes) {
   EGT_REQUIRE_MSG(bytes.size() >= 2, "strategy payload too short");
-  const bool pure = std::to_integer<int>(bytes[0]) == 0;
+  const int kind = std::to_integer<int>(bytes[0]);
+  EGT_REQUIRE_MSG(kind >= 0 && kind <= 2, "unknown strategy kind byte");
+  if (kind == 2) {
+    EGT_REQUIRE_MSG(std::to_integer<int>(bytes[1]) == 0,
+                    "n-way strategies are memory-0");
+    EGT_REQUIRE_MSG(bytes.size() >= 3, "n-way strategy payload too short");
+    const auto actions =
+        static_cast<std::uint32_t>(std::to_integer<int>(bytes[2]));
+    EGT_REQUIRE_MSG(bytes.size() == 3 + actions * sizeof(double),
+                    "n-way strategy payload size mismatch");
+    std::vector<double> probs(actions);
+    std::memcpy(probs.data(), bytes.data() + 3, actions * sizeof(double));
+    return NWayStrategy::from_probs(std::move(probs));
+  }
+  const bool pure = kind == 0;
   const int memory = std::to_integer<int>(bytes[1]);
   EGT_REQUIRE(memory >= 0 && memory <= kMaxMemory);
   const std::uint32_t states = num_states(memory);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <variant>
@@ -130,20 +131,84 @@ class MixedStrategy {
   std::vector<double> coop_;
 };
 
+/// Memory-0 action distribution over m >= 2 actions, for n-way matrix
+/// games (DESIGN.md §10). N-way games play one-shot stage games, so unlike
+/// Pure/MixedStrategy there is no game state: the strategy is a single
+/// point on the action simplex. Binary games (including the public goods
+/// contribution choice) keep using Pure/MixedStrategy.
+class NWayStrategy {
+ public:
+  NWayStrategy() : NWayStrategy(2) {}
+
+  /// Uniform distribution over `actions` actions.
+  explicit NWayStrategy(std::uint32_t actions);
+
+  /// Explicit distribution; the action count is the vector size (in
+  /// [2, 255], entries in [0,1] summing to 1).
+  static NWayStrategy from_probs(std::vector<double> probs);
+
+  /// One-hot "pure" n-way strategy always playing `action`.
+  static NWayStrategy pure_action(std::uint32_t actions,
+                                  std::uint32_t action);
+
+  /// Uniform on the simplex (Dirichlet(1,...,1), via normalized Exp(1)
+  /// draws — `actions` uniform01 consumptions).
+  template <class Rng>
+  static NWayStrategy random(std::uint32_t actions, Rng& rng) {
+    std::vector<double> p(actions);
+    double total = 0.0;
+    for (auto& v : p) {
+      v = -std::log1p(-util::uniform01(rng));
+      total += v;
+    }
+    if (total <= 0.0) return NWayStrategy(actions);  // all-zero draw
+    for (auto& v : p) v /= total;
+    return from_probs(std::move(p));
+  }
+
+  std::uint32_t actions() const noexcept {
+    return static_cast<std::uint32_t>(probs_.size());
+  }
+  int memory() const noexcept { return 0; }
+  std::uint32_t states() const noexcept { return 1; }
+
+  double action_prob(std::uint32_t a) const { return probs_[a]; }
+  const std::vector<double>& probs() const noexcept { return probs_; }
+
+  /// True when the distribution is one-hot.
+  bool is_degenerate() const noexcept;
+
+  std::uint64_t hash() const noexcept;
+  std::string to_string() const;
+
+  friend bool operator==(const NWayStrategy& a,
+                         const NWayStrategy& b) noexcept {
+    return a.probs_ == b.probs_;
+  }
+
+ private:
+  std::vector<double> probs_;
+};
+
 /// Value-type strategy wrapper stored by the population layer.
 class Strategy {
  public:
   Strategy() : impl_(PureStrategy(1)) {}
   Strategy(PureStrategy p) : impl_(std::move(p)) {}    // NOLINT(implicit)
   Strategy(MixedStrategy m) : impl_(std::move(m)) {}   // NOLINT(implicit)
+  Strategy(NWayStrategy n) : impl_(std::move(n)) {}    // NOLINT(implicit)
 
   bool is_pure() const noexcept {
     return std::holds_alternative<PureStrategy>(impl_);
+  }
+  bool is_nway() const noexcept {
+    return std::holds_alternative<NWayStrategy>(impl_);
   }
   const PureStrategy& as_pure() const { return std::get<PureStrategy>(impl_); }
   const MixedStrategy& as_mixed() const {
     return std::get<MixedStrategy>(impl_);
   }
+  const NWayStrategy& as_nway() const { return std::get<NWayStrategy>(impl_); }
 
   int memory() const noexcept;
   std::uint32_t states() const noexcept;
@@ -151,14 +216,19 @@ class Strategy {
   /// Cooperation probability in state s (0/1 for pure strategies).
   double coop_prob(State s) const noexcept;
 
-  /// Pure strategies never consume randomness.
+  /// Pure strategies never consume randomness. N-way strategies do not
+  /// play binary Moves — config validation routes them through the
+  /// one-shot spec engine instead.
   template <class Rng>
   Move move(State s, Rng& rng) const {
     if (const auto* p = std::get_if<PureStrategy>(&impl_)) return p->move(s);
+    EGT_REQUIRE_MSG(!is_nway(),
+                    "n-way strategies play via the spec engine, not Move");
     return std::get<MixedStrategy>(impl_).move(s, rng);
   }
 
   /// Mixed view of the strategy (per-state cooperation probabilities).
+  /// N-way strategies only convert when actions == 2.
   MixedStrategy to_mixed() const;
 
   std::uint64_t hash() const noexcept;
@@ -173,8 +243,9 @@ class Strategy {
                                 std::uint64_t hash_b) noexcept;
 
   /// Wire format for the parallel runtime's strategy broadcasts:
-  /// [kind:u8][memory:u8][payload]. Pure payload = packed bits; mixed
-  /// payload = doubles.
+  /// [kind:u8][memory:u8][payload]. Kind 0 = pure (payload packed bits),
+  /// 1 = mixed (per-state doubles), 2 = n-way ([actions:u8] then
+  /// per-action doubles, memory byte always 0).
   std::vector<std::byte> serialize() const;
   static Strategy deserialize(const std::vector<std::byte>& bytes);
 
@@ -183,7 +254,7 @@ class Strategy {
   }
 
  private:
-  std::variant<PureStrategy, MixedStrategy> impl_;
+  std::variant<PureStrategy, MixedStrategy, NWayStrategy> impl_;
 };
 
 }  // namespace egt::game

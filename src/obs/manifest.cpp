@@ -1,5 +1,6 @@
 #include "obs/manifest.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -27,6 +28,33 @@ void write_run_manifest(std::ostream& os, const ManifestInfo& info) {
   w.field("fingerprint", info.config_fingerprint);
   if (info.config_fields) info.config_fields(w);
   w.end_object();
+
+  if (info.game != nullptr) {
+    const auto& g = *info.game;
+    w.key("game").begin_object();
+    w.field("kind", g.kind == game::GameKind::PublicGoods ? "public_goods"
+                                                          : "matrix");
+    w.field("name", g.display_name);
+    w.field("actions", static_cast<std::uint64_t>(g.actions));
+    w.field("play",
+            g.play == game::PlayMode::OneShot ? "one_shot" : "iterated");
+    w.key("labels").begin_array();
+    for (std::uint32_t a = 0; a < g.actions; ++a) w.value(g.label(a));
+    w.end_array();
+    w.field("rounds", static_cast<std::uint64_t>(g.rounds));
+    w.field("noise", g.noise);
+    // Hex string: a u64 would be rounded by JSON's double number model.
+    char hash[24];
+    std::snprintf(hash, sizeof hash, "%016llx",
+                  static_cast<unsigned long long>(g.matrix_hash()));
+    w.field("matrix_hash", hash);
+    if (g.kind == game::GameKind::PublicGoods) {
+      w.field("pgg_r", g.pgg_r);
+      w.field("pgg_cost", g.pgg_cost);
+      w.field("pgg_k", static_cast<std::uint64_t>(g.pgg_k));
+    }
+    w.end_object();
+  }
 
   w.key("run").begin_object();
   w.field("ranks", info.ranks);

@@ -2,16 +2,26 @@
 // (config, build), what it cost (wall time, per-phase times, counters) and
 // what it moved (broadcast vs point-to-point traffic, per rank).
 //
-// Schema "egt.run_manifest/v2" (validated by tests/obs/manifest_test.cpp;
-// documented for external consumers in DESIGN.md §Observability). v2 adds
+// Schema "egt.run_manifest/v3" (validated by tests/obs/manifest_test.cpp;
+// documented for external consumers in DESIGN.md §Observability). v2 added
 // p50/p95/p99 latency quantiles (estimated from the power-of-two buckets)
-// to every histogram body:
+// to every histogram body; v3 adds the optional "game" block recording the
+// GameSpec a simulation played (tools that run no simulation omit it):
 //
 //   {
-//     "schema": "egt.run_manifest/v2",
+//     "schema": "egt.run_manifest/v3",
 //     "tool": "<producing binary>",
 //     "git_describe": "<git describe --always --dirty, or 'unknown'>",
 //     "config": { "summary": "...", "fingerprint": u64, ...tool extras },
+//     "game": {                              // v3, when ManifestInfo.game set
+//       "kind": "matrix" | "public_goods",
+//       "name": "<registry / display name>",
+//       "actions": u64, "play": "iterated" | "one_shot",
+//       "labels": [ "<action 0>", ... ],     // exactly `actions` entries
+//       "rounds": u64, "noise": double,
+//       "matrix_hash": "hex16",             // GameSpec::matrix_hash()
+//       "pgg_r": double, "pgg_cost": double, "pgg_k": u64  // PGG only
+//     },
 //     "run": { "ranks": int (0 = serial), "generations": u64,
 //              "wall_seconds": double },
 //     "phases": { "<name>": { "seconds": double, "count": u64,
@@ -38,6 +48,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "game/spec/gamespec.hpp"
 #include "obs/metrics.hpp"
 #include "par/runtime.hpp"
 
@@ -47,7 +58,7 @@ class JsonWriter;
 
 namespace egt::obs {
 
-inline constexpr const char* kManifestSchema = "egt.run_manifest/v2";
+inline constexpr const char* kManifestSchema = "egt.run_manifest/v3";
 
 /// Build identity baked in by CMake ("unknown" outside a git checkout).
 std::string git_describe();
@@ -60,6 +71,10 @@ struct ManifestInfo {
   std::string config_summary;
   std::uint64_t config_fingerprint = 0;
   std::function<void(util::JsonWriter&)> config_fields;
+
+  /// When set, emitted as the v3 "game" block (kind, actions, labels,
+  /// matrix hash). Must outlive the write call.
+  const game::GameSpec* game = nullptr;
 
   int ranks = 0;  ///< 0 = serial engine
   std::uint64_t generations = 0;

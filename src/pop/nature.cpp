@@ -18,6 +18,35 @@ NatureAgent::NatureAgent(const NatureConfig& config)
 
 game::Strategy NatureAgent::random_strategy(SSetId target,
                                             const Population* population) {
+  if (config_.actions > 2) {
+    // N-way games: memory-0 action distributions (DESIGN.md §10).
+    switch (config_.kernel) {
+      case MutationKernel::UniformProbs:
+        if (config_.space == StrategySpace::Pure) {
+          return game::NWayStrategy::pure_action(
+              config_.actions,
+              static_cast<std::uint32_t>(
+                  util::uniform_below(rng_, config_.actions)));
+        }
+        return game::NWayStrategy::random(config_.actions, rng_);
+      case MutationKernel::PureBitFlip: {
+        EGT_REQUIRE_MSG(population != nullptr,
+                        "PureBitFlip needs the population (local kernel)");
+        const game::Strategy& current = population->strategy(target);
+        EGT_REQUIRE_MSG(current.is_nway() && current.as_nway().is_degenerate(),
+                        "n-way PureBitFlip requires one-hot strategies");
+        // Current action -> a uniformly random *different* action.
+        std::uint32_t a = 0;
+        while (current.as_nway().action_prob(a) != 1.0) ++a;
+        const auto shift = 1 + static_cast<std::uint32_t>(util::uniform_below(
+                                   rng_, config_.actions - 1));
+        return game::NWayStrategy::pure_action(config_.actions,
+                                               (a + shift) % config_.actions);
+      }
+      default:
+        EGT_REQUIRE_MSG(false, "mutation kernel unsupported for n-way games");
+    }
+  }
   switch (config_.kernel) {
     case MutationKernel::UniformProbs:
       if (config_.space == StrategySpace::Pure) {

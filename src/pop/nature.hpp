@@ -71,6 +71,12 @@ enum class UpdateRule {
 struct NatureConfig {
   SSetId ssets = 0;
   int memory = 1;
+  /// Action count of the game. 2 = the classic binary machinery (pure /
+  /// mixed memory-n strategies); >= 3 = n-way games, where mutation
+  /// generates NWayStrategy values (memory must be 0, and only the
+  /// UniformProbs / PureBitFlip kernels apply: one-hot actions in the pure
+  /// space, Dirichlet(1) simplex points in the mixed space).
+  std::uint32_t actions = 2;
   double pc_rate = 0.1;         ///< paper §V-C (0.01 in the scaling studies)
   double mutation_rate = 0.05;  ///< paper's mu
   double beta = 1.0;            ///< Fermi selection intensity

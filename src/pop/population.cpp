@@ -39,6 +39,22 @@ Population Population::random_mixed(SSetId size, int memory,
   return Population(std::move(strategies));
 }
 
+Population Population::random_nway(SSetId size, std::uint32_t actions,
+                                   bool pure, util::Xoshiro256& rng) {
+  std::vector<game::Strategy> strategies;
+  strategies.reserve(size);
+  for (SSetId i = 0; i < size; ++i) {
+    if (pure) {
+      strategies.emplace_back(game::NWayStrategy::pure_action(
+          actions,
+          static_cast<std::uint32_t>(util::uniform_below(rng, actions))));
+    } else {
+      strategies.emplace_back(game::NWayStrategy::random(actions, rng));
+    }
+  }
+  return Population(std::move(strategies));
+}
+
 void Population::set_strategy(SSetId i, game::Strategy s) {
   EGT_REQUIRE(i < size());
   EGT_REQUIRE_MSG(s.memory() == memory(),

@@ -51,6 +51,12 @@ class Population {
   static Population random_mixed(SSetId size, int memory,
                                  util::Xoshiro256& rng);
 
+  /// `size` SSets with n-way strategies over `actions` actions (DESIGN.md
+  /// §10): one-hot uniform actions when `pure`, Dirichlet(1) simplex points
+  /// otherwise.
+  static Population random_nway(SSetId size, std::uint32_t actions, bool pure,
+                                util::Xoshiro256& rng);
+
   SSetId size() const noexcept {
     return static_cast<SSetId>(strategies_.size());
   }

@@ -93,9 +93,15 @@ std::string format_census(const Population& pop, std::size_t top_k) {
   for (std::size_t k = 0; k < std::min(top_k, c.size()); ++k) {
     const auto& e = c[k];
     const auto& strat = pop.strategy(e.example);
-    const auto [name, dist] = game::named::nearest_named(strat);
     os << "  " << e.count << " SSets (" << 100.0 * e.count / pop.size()
-       << "%)  nearest-named=" << name << " (d=" << dist << ")";
+       << "%)";
+    if (strat.is_nway() && strat.as_nway().actions() != 2) {
+      // Binary named strategies don't apply; show the action mix itself.
+      os << "  mix=" << strat.as_nway().to_string();
+    } else {
+      const auto [name, dist] = game::named::nearest_named(strat);
+      os << "  nearest-named=" << name << " (d=" << dist << ")";
+    }
     if (strat.is_pure() && strat.states() <= 16) {
       os << "  bits=" << strat.as_pure().to_string();
     }

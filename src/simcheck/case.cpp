@@ -9,6 +9,7 @@
 #include "core/engine.hpp"
 #include "core/parallel_engine.hpp"
 #include "ft/ft_engine.hpp"
+#include "game/spec/registry.hpp"
 #include "obs/metrics.hpp"
 #include "simcheck/selftest.hpp"
 #include "simcheck/trace.hpp"
@@ -251,9 +252,13 @@ void compare_outcome(CaseResult& result, EngineKind kind,
     // games_played is partition-dependent under dedup: the class-pair
     // cache is global in the serial engine but per-rank in the parallel
     // ones, so a pair class spanning blocks is played once per rank.
+    // (Public-goods fitness is group-pooled: BlockFitness never
+    // deduplicates it, so its games counter stays partition-independent
+    // and comparable even with config.dedup set.)
     const bool dedup_active =
         result.spec.config.dedup &&
-        result.spec.config.fitness_mode == core::FitnessMode::Analytic;
+        result.spec.config.fitness_mode == core::FitnessMode::Analytic &&
+        result.spec.config.game.kind != game::GameKind::PublicGoods;
     const bool multi_rank = kind == EngineKind::Parallel ||
                             kind == EngineKind::ParallelReplicated ||
                             kind == EngineKind::ParallelFt ||
@@ -353,6 +358,29 @@ CaseSpec sample_case(std::uint64_t fuzz_seed) {
   c.generations = pick(16, 64);
   c.game.rounds = static_cast<std::uint32_t>(pick(8, 32));
   c.game.noise = chance(0.3) ? 0.02 + 0.05 * unit() : 0.0;
+  // ~45% of cases play a non-IPD preset from the registry (DESIGN.md §10):
+  // other 2-action matrix games keep the sampled memory/kernels, while the
+  // n-way and public-goods kinds drop to memory 0 (normalize_spec repairs
+  // the kernel pairing below).
+  if (chance(0.45)) {
+    static const char* kPresets[] = {"hawk_dove",    "snowdrift", "stag_hunt",
+                                     "coordination", "donation",  "rps",
+                                     "pgg"};
+    const game::GameSpec* preset = game::find_game(kPresets[pick(0, 6)]);
+    const std::uint32_t rounds = static_cast<std::uint32_t>(pick(4, 16));
+    const double noise = c.game.noise;
+    c.game = *preset;
+    c.game.rounds = rounds;
+    c.game.noise = noise;
+    if (c.game.requires_memory0()) c.memory = 0;
+    if (c.game.kind == game::GameKind::PublicGoods &&
+        !c.interaction.structured() && chance(0.5)) {
+      // Half the PGG cases play k-sized ring windows instead of the one
+      // global group.
+      c.game.pgg_k = static_cast<std::uint32_t>(
+          pick(2, std::min<std::uint64_t>(c.ssets, 6)));
+    }
+  }
   c.pc_rate = 0.2 + 0.6 * unit();
   c.mutation_rate = chance(0.15) ? 0.0 : 0.05 + 0.35 * unit();
   c.beta = 0.2 + 1.5 * unit();
@@ -445,6 +473,18 @@ bool normalize_spec(CaseSpec& spec) {
     c.mutation_kernel = pop::MutationKernel::UniformProbs;
   }
   if (c.mutation_bits == 0) c.mutation_bits = 1;
+
+  // Game-spec constraints (DESIGN.md §10; see SimConfig::validate).
+  if (c.game.requires_memory0()) c.memory = 0;
+  if (c.game.uses_nway() &&
+      c.mutation_kernel != pop::MutationKernel::UniformProbs &&
+      c.mutation_kernel != pop::MutationKernel::PureBitFlip) {
+    c.mutation_kernel = pop::MutationKernel::UniformProbs;
+  }
+  if (c.game.kind == game::GameKind::PublicGoods) {
+    if (c.interaction.structured()) c.game.pgg_k = 0;  // groups = graph
+    if (c.game.pgg_k == 1 || c.game.pgg_k > c.ssets) c.game.pgg_k = 0;
+  }
 
   spec.nranks = std::max(
       1, std::min(spec.nranks, static_cast<int>(c.ssets)));

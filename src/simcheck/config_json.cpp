@@ -147,6 +147,28 @@ void write_config(util::JsonWriter& w, const core::SimConfig& c) {
   w.field("punishment", c.game.payoff.punishment);
   w.field("rounds", c.game.rounds);
   w.field("noise", c.game.noise);
+  // Wire v3 GameSpec fields, emitted only when they differ from the
+  // default IPD: v2 repros parse unchanged and IPD repros stay
+  // byte-stable.
+  if (c.game.kind == game::GameKind::PublicGoods) {
+    w.field("kind", "public_goods");
+    w.field("pgg_r", c.game.pgg_r);
+    w.field("pgg_cost", c.game.pgg_cost);
+    w.field("pgg_k", c.game.pgg_k);
+  }
+  if (c.game.display_name != "ipd") w.field("name", c.game.display_name);
+  if (c.game.actions != 2) w.field("actions", c.game.actions);
+  if (c.game.play == game::PlayMode::OneShot) w.field("play", "one_shot");
+  if (!c.game.row_payoff.empty()) {
+    w.key("row_payoff").begin_array();
+    for (double p : c.game.row_payoff) w.value(p);
+    w.end_array();
+  }
+  if (!c.game.col_payoff.empty()) {
+    w.key("col_payoff").begin_array();
+    for (double p : c.game.col_payoff) w.value(p);
+    w.end_array();
+  }
   w.end_object();
   w.field("pc_rate", c.pc_rate);
   w.field("mutation_rate", c.mutation_rate);
@@ -202,6 +224,39 @@ core::SimConfig config_from_json(const util::JsonValue& v) {
     read_d(*g, "punishment", c.game.payoff.punishment);
     read_u(*g, "rounds", c.game.rounds);
     read_d(*g, "noise", c.game.noise);
+    if (const auto* k = g->find("kind")) {
+      const std::string s = k->as_string();
+      if (s == "matrix") {
+        c.game.kind = game::GameKind::Matrix;
+      } else if (s == "public_goods") {
+        c.game.kind = game::GameKind::PublicGoods;
+      } else {
+        bad_enum("game kind", s);
+      }
+    }
+    if (const auto* n = g->find("name")) c.game.display_name = n->as_string();
+    read_u(*g, "actions", c.game.actions);
+    if (const auto* p = g->find("play")) {
+      const std::string s = p->as_string();
+      if (s == "iterated") {
+        c.game.play = game::PlayMode::Iterated;
+      } else if (s == "one_shot") {
+        c.game.play = game::PlayMode::OneShot;
+      } else {
+        bad_enum("game play", s);
+      }
+    }
+    const auto read_matrix = [&](const char* key, std::vector<double>& out) {
+      if (const auto* m = g->find(key)) {
+        out.clear();
+        for (const auto& e : m->items()) out.push_back(e.as_number());
+      }
+    };
+    read_matrix("row_payoff", c.game.row_payoff);
+    read_matrix("col_payoff", c.game.col_payoff);
+    read_d(*g, "pgg_r", c.game.pgg_r);
+    read_d(*g, "pgg_cost", c.game.pgg_cost);
+    read_u(*g, "pgg_k", c.game.pgg_k);
   }
   read_d(v, "pc_rate", c.pc_rate);
   read_d(v, "mutation_rate", c.mutation_rate);

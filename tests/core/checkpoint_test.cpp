@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "core/engine.hpp"
+#include "game/spec/registry.hpp"
 
 namespace egt::core {
 namespace {
@@ -55,6 +56,35 @@ TEST(Checkpoint, ResumeWorksForMixedStrategies) {
   auto cfg = config(FitnessMode::Analytic);
   cfg.space = pop::StrategySpace::Mixed;
   cfg.game.noise = 0.05;
+  Engine whole(cfg);
+  whole.run(100);
+  Engine half(cfg);
+  half.run(50);
+  Engine resumed = restore_checkpoint(cfg, save_checkpoint(half));
+  resumed.run(50);
+  EXPECT_EQ(resumed.population().table_hash(), whole.population().table_hash());
+}
+
+TEST(Checkpoint, ResumeWorksForNWayGames) {
+  // N-way strategies serialize with their own kind byte (wire v3); a
+  // resumed RPS run must replay the uninterrupted trajectory exactly.
+  auto cfg = config(FitnessMode::Analytic);
+  cfg.memory = 0;
+  cfg.game = *game::find_game("rps");
+  cfg.space = pop::StrategySpace::Mixed;
+  Engine whole(cfg);
+  whole.run(100);
+  Engine half(cfg);
+  half.run(50);
+  Engine resumed = restore_checkpoint(cfg, save_checkpoint(half));
+  resumed.run(50);
+  EXPECT_EQ(resumed.population().table_hash(), whole.population().table_hash());
+}
+
+TEST(Checkpoint, ResumeWorksForPublicGoodsGames) {
+  auto cfg = config(FitnessMode::Analytic);
+  cfg.memory = 0;
+  cfg.game = game::GameSpec::public_goods("pgg", 3.0, 1.0, /*k=*/4);
   Engine whole(cfg);
   whole.run(100);
   Engine half(cfg);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "game/spec/registry.hpp"
+
 namespace egt::core {
 namespace {
 
@@ -31,6 +33,35 @@ TEST(SimConfig, ValidateCatchesBadValues) {
   cfg.fitness_mode = FitnessMode::Analytic;
   cfg.ssets = 20000;
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SimConfig, ValidateEnforcesGameConstraints) {
+  // N-way, one-shot and public-goods games are memory-0 by construction.
+  SimConfig cfg;
+  cfg.game = *game::find_game("rps");
+  cfg.memory = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.memory = 0;
+  EXPECT_NO_THROW(cfg.validate());
+  // N-way mutation is limited to the simplex-aware kernels.
+  cfg.mutation_kernel = pop::MutationKernel::MixedGaussian;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.mutation_kernel = pop::MutationKernel::PureBitFlip;
+  EXPECT_NO_THROW(cfg.validate());
+  // PGG group sizes: pgg_k can't exceed the population, and structured
+  // populations take their groups from the graph instead.
+  cfg = SimConfig();
+  cfg.memory = 0;
+  cfg.ssets = 8;
+  cfg.game = game::GameSpec::public_goods("pgg", 3.0, 1.0, /*k=*/4);
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.game.pgg_k = 9;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.game.pgg_k = 4;
+  cfg.interaction.kind = InteractionSpec::Kind::Ring;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.game.pgg_k = 0;
+  EXPECT_NO_THROW(cfg.validate());
 }
 
 TEST(SimConfig, NatureConfigMirrorsFields) {

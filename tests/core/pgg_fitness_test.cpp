@@ -1,0 +1,144 @@
+// Public-goods group play inside BlockFitness (DESIGN.md §10): the three
+// grouping modes (global pool, well-mixed k-windows, structured
+// neighbourhood groups) against hand-computed payoffs, the sampled /
+// analytic agreement for pure strategies, and the incremental
+// strategy_changed path against a from-scratch evaluation.
+#include "core/fitness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "game/named.hpp"
+#include "pop/graph.hpp"
+
+namespace egt::core {
+namespace {
+
+// r = 3, cost = 1: every contributed unit comes back tripled and split.
+SimConfig pgg_config(pop::SSetId ssets, std::uint32_t rounds,
+                     std::uint32_t k = 0) {
+  SimConfig cfg;
+  cfg.ssets = ssets;
+  cfg.memory = 0;
+  cfg.seed = 21;
+  cfg.game = game::GameSpec::public_goods("pgg", 3.0, 1.0, k, rounds);
+  cfg.fitness_mode = FitnessMode::Analytic;
+  cfg.fitness_scale = FitnessScale::Total;
+  return cfg;
+}
+
+// C, C, D, D — contributions rounds, rounds, 0, 0.
+pop::Population half_coop_population() {
+  std::vector<game::Strategy> ss;
+  ss.emplace_back(game::named::all_c(0));
+  ss.emplace_back(game::named::all_c(0));
+  ss.emplace_back(game::named::all_d(0));
+  ss.emplace_back(game::named::all_d(0));
+  return pop::Population(std::move(ss));
+}
+
+// C, D, C, D — the alternating ring used by the window/structured checks.
+pop::Population alternating_population() {
+  std::vector<game::Strategy> ss;
+  ss.emplace_back(game::named::all_c(0));
+  ss.emplace_back(game::named::all_d(0));
+  ss.emplace_back(game::named::all_c(0));
+  ss.emplace_back(game::named::all_d(0));
+  return pop::Population(std::move(ss));
+}
+
+// Global pool (pgg_k == 0, well-mixed): pool = 2R of a possible 4R, each
+// member receives r*pool/n = 1.5R; contributors paid R in, so 0.5R vs
+// 1.5R. Free riding dominates pointwise, yet the pool rewards r > 1.
+TEST(PggFitness, GlobalPoolMatchesHandComputation) {
+  const std::uint32_t rounds = 8;
+  const SimConfig cfg = pgg_config(4, rounds);
+  BlockFitness fit(cfg, 0, cfg.ssets);
+  fit.initialize(half_coop_population());
+  const double R = rounds;
+  EXPECT_DOUBLE_EQ(fit.fitness(0), 0.5 * R);
+  EXPECT_DOUBLE_EQ(fit.fitness(1), 0.5 * R);
+  EXPECT_DOUBLE_EQ(fit.fitness(2), 1.5 * R);
+  EXPECT_DOUBLE_EQ(fit.fitness(3), 1.5 * R);
+}
+
+// Well-mixed k-windows, k = 2, n = 4, C D C D, one round: every window
+// holds exactly one C and one D, so each group pays out r*1/2 = 1.5 per
+// member. A cooperator sits in 2 windows and paid 2: 2*1.5 - 2 = 1. A
+// defector collects the same shares free: 2*1.5 = 3.
+TEST(PggFitness, RingWindowsMatchHandComputation) {
+  const SimConfig cfg = pgg_config(4, /*rounds=*/1, /*k=*/2);
+  BlockFitness fit(cfg, 0, cfg.ssets);
+  fit.initialize(alternating_population());
+  EXPECT_DOUBLE_EQ(fit.fitness(0), 1.0);
+  EXPECT_DOUBLE_EQ(fit.fitness(1), 3.0);
+  EXPECT_DOUBLE_EQ(fit.fitness(2), 1.0);
+  EXPECT_DOUBLE_EQ(fit.fitness(3), 3.0);
+}
+
+// Structured ring (1 neighbour per side): groups are {t} ∪ N(t), size 3.
+// On C D C D the cooperator's own group pools 1, its neighbours' pool 2
+// each, shares are pool*r/3 = pool; totals 0 + 1 + 1 = 2 for C and
+// 2 + 1 + 1 = 4 for D.
+TEST(PggFitness, StructuredNeighbourhoodGroupsMatchHandComputation) {
+  SimConfig cfg = pgg_config(4, /*rounds=*/1);
+  cfg.interaction.kind = InteractionSpec::Kind::Ring;
+  cfg.interaction.ring_k = 1;
+  const auto graph = std::make_shared<const pop::InteractionGraph>(
+      make_interaction_graph(cfg));
+  BlockFitness fit(cfg, 0, cfg.ssets, graph);
+  fit.initialize(alternating_population());
+  EXPECT_DOUBLE_EQ(fit.fitness(0), 2.0);
+  EXPECT_DOUBLE_EQ(fit.fitness(1), 4.0);
+  EXPECT_DOUBLE_EQ(fit.fitness(2), 2.0);
+  EXPECT_DOUBLE_EQ(fit.fitness(3), 4.0);
+}
+
+// PerRoundAverage divides by groups * rounds; with one global group the
+// scale is 1 / rounds exactly.
+TEST(PggFitness, PerRoundAverageScalesByGroupsTimesRounds) {
+  const std::uint32_t rounds = 8;
+  SimConfig cfg = pgg_config(4, rounds);
+  cfg.fitness_scale = FitnessScale::PerRoundAverage;
+  BlockFitness fit(cfg, 0, cfg.ssets);
+  fit.initialize(half_coop_population());
+  EXPECT_DOUBLE_EQ(fit.fitness(0), 0.5);
+  EXPECT_DOUBLE_EQ(fit.fitness(2), 1.5);
+}
+
+// Pure contributions are deterministic bernoulli(1.0) / bernoulli(0.0)
+// draws, so the sampled engine must land on the analytic values exactly.
+TEST(PggFitness, SampledEqualsAnalyticForPureStrategies) {
+  SimConfig cfg = pgg_config(4, /*rounds=*/16, /*k=*/2);
+  BlockFitness analytic(cfg, 0, cfg.ssets);
+  analytic.initialize(alternating_population());
+  cfg.fitness_mode = FitnessMode::Sampled;
+  BlockFitness sampled(cfg, 0, cfg.ssets);
+  sampled.initialize(alternating_population());
+  sampled.begin_generation(alternating_population(), 3);
+  for (pop::SSetId i = 0; i < cfg.ssets; ++i) {
+    EXPECT_DOUBLE_EQ(sampled.fitness(i), analytic.fitness(i)) << i;
+  }
+}
+
+// A strategy change must refresh every owned row (PGG payoffs are group
+// sums, not pairwise entries) — the incremental path has to agree with a
+// from-scratch block on the mutated population.
+TEST(PggFitness, StrategyChangedMatchesFreshEvaluation) {
+  const SimConfig cfg = pgg_config(4, /*rounds=*/8, /*k=*/2);
+  auto pop = alternating_population();
+  BlockFitness incremental(cfg, 0, cfg.ssets);
+  incremental.initialize(pop);
+  pop.set_strategy(1, game::Strategy{game::named::all_c(0)});
+  incremental.strategy_changed(1, pop, /*generation=*/5);
+  BlockFitness fresh(cfg, 0, cfg.ssets);
+  fresh.initialize(pop);
+  for (pop::SSetId i = 0; i < cfg.ssets; ++i) {
+    EXPECT_DOUBLE_EQ(incremental.fitness(i), fresh.fitness(i)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace egt::core

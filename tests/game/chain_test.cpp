@@ -1,0 +1,170 @@
+// The m-action analytic engine (game/spec/chain.hpp) against its 2x2
+// ancestors: for actions == 2 the joint-outcome chain must reproduce
+// markov::expected_game_mem1 / stationary_mem1 exactly (same chain, two
+// implementations), and for m >= 3 the solve must satisfy the invariants
+// a hand analysis pins down (uniform RPS, pure one-shot play).
+#include "game/spec/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "game/markov.hpp"
+#include "game/spec/registry.hpp"
+#include "game/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace egt::game::spec {
+namespace {
+
+GameSpec two_action_spec(std::uint32_t rounds, double noise) {
+  GameSpec s;
+  s.rounds = rounds;
+  s.noise = noise;
+  return s;
+}
+
+TEST(Behavioral, ConstantValidatesItsDistribution) {
+  EXPECT_NO_THROW(Behavioral::constant(3, {0.2, 0.3, 0.5}).validate());
+  EXPECT_THROW(Behavioral::constant(3, {0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(Behavioral, FromStrategyLiftsBinaryAndNWayStrategies) {
+  const GameSpec binary = two_action_spec(10, 0.0);
+  const Behavioral tft = Behavioral::from_strategy(
+      binary, Strategy{MixedStrategy::from_probs({1.0, 0.0, 1.0, 0.0})});
+  EXPECT_EQ(tft.actions, 2u);
+  EXPECT_EQ(tft.memory, 1);
+  EXPECT_EQ(tft.states(), 4u);
+
+  const GameSpec* rps = find_game("rps");
+  ASSERT_NE(rps, nullptr);
+  const Behavioral nway = Behavioral::from_strategy(
+      *rps, Strategy{NWayStrategy::from_probs({0.2, 0.3, 0.5})});
+  EXPECT_EQ(nway.actions, 3u);
+  EXPECT_EQ(nway.memory, 0);
+  EXPECT_DOUBLE_EQ(nway.probs[2], 0.5);
+}
+
+// For 2 actions the chain over {CC, CD, DC, DD} is literally the chain
+// expected_game_mem1 propagates; totals must agree to rounding error.
+TEST(Chain, TwoActionExpectedGameMatchesMarkovMem1) {
+  util::Xoshiro256 rng(11);
+  for (const double noise : {0.0, 0.05}) {
+    const GameSpec spec = two_action_spec(37, noise);
+    for (int trial = 0; trial < 8; ++trial) {
+      const Strategy a{MixedStrategy::random(1, rng)};
+      const Strategy b{MixedStrategy::random(1, rng)};
+      const GameResult want = markov::expected_game_mem1(
+          a, b, spec.payoff, spec.rounds, spec.noise);
+      const GameResult got =
+          expected_game(spec, Behavioral::from_strategy(spec, a),
+                        Behavioral::from_strategy(spec, b));
+      ASSERT_NEAR(got.payoff_a, want.payoff_a, 1e-9) << "noise " << noise;
+      ASSERT_NEAR(got.payoff_b, want.payoff_b, 1e-9) << "noise " << noise;
+      ASSERT_EQ(got.rounds, want.rounds);
+      ASSERT_EQ(got.coop_a, want.coop_a);
+      ASSERT_EQ(got.coop_b, want.coop_b);
+    }
+  }
+}
+
+TEST(Chain, TwoActionStationaryMatchesMarkovMem1) {
+  util::Xoshiro256 rng(13);
+  const GameSpec spec = two_action_spec(50, 0.02);  // ergodic via noise
+  for (int trial = 0; trial < 8; ++trial) {
+    const Strategy a{MixedStrategy::random(1, rng)};
+    const Strategy b{MixedStrategy::random(1, rng)};
+    const auto want = markov::stationary_mem1(a, b, spec.payoff, spec.noise);
+    const auto got =
+        stationary_outcome(spec, Behavioral::from_strategy(spec, a),
+                           Behavioral::from_strategy(spec, b));
+    ASSERT_NEAR(got.payoff_a, want.payoff_a, 1e-9);
+    ASSERT_NEAR(got.payoff_b, want.payoff_b, 1e-9);
+    ASSERT_NEAR(got.coop_a, want.coop_a, 1e-9);
+    ASSERT_NEAR(got.coop_b, want.coop_b, 1e-9);
+  }
+}
+
+TEST(Chain, UniformRpsIsZeroSumAndUniformStationary) {
+  const GameSpec* rps = find_game("rps");
+  ASSERT_NE(rps, nullptr);
+  const auto uniform = Behavioral::constant(3, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  const GameResult r = expected_game(*rps, uniform, uniform);
+  EXPECT_NEAR(r.payoff_a, 0.0, 1e-12);
+  EXPECT_NEAR(r.payoff_b, 0.0, 1e-12);
+  const auto pi = stationary_distribution(*rps, uniform, uniform);
+  ASSERT_EQ(pi.size(), 9u);
+  double sum = 0.0;
+  for (const double p : pi) {
+    EXPECT_NEAR(p, 1.0 / 9, 1e-12);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Chain, DegenerateStrategiesScoreTheTableEntry) {
+  const GameSpec* rps = find_game("rps");
+  ASSERT_NE(rps, nullptr);
+  const auto rock = Behavioral::constant(3, {1, 0, 0});
+  const auto paper = Behavioral::constant(3, {0, 1, 0});
+  const GameResult r = expected_game(*rps, rock, paper);
+  EXPECT_NEAR(r.payoff_a, -1.0 * rps->rounds, 1e-12);
+  EXPECT_NEAR(r.payoff_b, 1.0 * rps->rounds, 1e-12);
+}
+
+TEST(Chain, NoiseShiftsTheExpectedActionDistribution) {
+  GameSpec rps = *find_game("rps");
+  rps.noise = 0.3;
+  const auto rock = Behavioral::constant(3, {1, 0, 0});
+  // With noise eps, the played distribution is (1-eps) on rock and eps/2
+  // on each other action; rock vs rock expected payoff per round follows.
+  const double eps = 0.3;
+  const std::vector<double> d = {1.0 - eps, eps / 2, eps / 2};
+  double want = 0.0;
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      want += d[a] * d[b] * rps.payoff_of(a, b);
+    }
+  }
+  const GameResult r = expected_game(rps, rock, rock);
+  EXPECT_NEAR(r.payoff_a, want * rps.rounds, 1e-9);
+}
+
+TEST(Chain, PlayOneshotIsDeterministicPerStreamAndExactForPurePairs) {
+  const GameSpec* rps = find_game("rps");
+  ASSERT_NE(rps, nullptr);
+  const Strategy rock{NWayStrategy::pure_action(3, 0)};
+  const Strategy scissors{NWayStrategy::pure_action(3, 2)};
+  const GameResult r1 =
+      play_oneshot(*rps, rock, scissors, util::StreamRng(1, 42));
+  const GameResult r2 =
+      play_oneshot(*rps, rock, scissors, util::StreamRng(1, 42));
+  EXPECT_DOUBLE_EQ(r1.payoff_a, r2.payoff_a);
+  // Noise-free pure play: rock beats scissors every round.
+  EXPECT_DOUBLE_EQ(r1.payoff_a, 1.0 * rps->rounds);
+  EXPECT_DOUBLE_EQ(r1.payoff_b, -1.0 * rps->rounds);
+  EXPECT_EQ(r1.rounds, rps->rounds);
+}
+
+TEST(Chain, PlayOneshotMatchesExpectedGameInMean) {
+  const GameSpec* rps = find_game("rps");
+  ASSERT_NE(rps, nullptr);
+  const Strategy a{NWayStrategy::from_probs({0.5, 0.3, 0.2})};
+  const Strategy b{NWayStrategy::from_probs({0.1, 0.6, 0.3})};
+  const GameResult expect = expected_game(
+      *rps, Behavioral::from_strategy(*rps, a),
+      Behavioral::from_strategy(*rps, b));
+  double mean = 0.0;
+  const int samples = 4000;
+  for (int k = 0; k < samples; ++k) {
+    mean += play_oneshot(*rps, a, b, util::StreamRng(7, k)).payoff_a;
+  }
+  mean /= samples;
+  // Monte-Carlo agreement: generous band, but tight enough to catch a
+  // payoff table or noise-folding mix-up.
+  EXPECT_NEAR(mean, expect.payoff_a, 0.05 * rps->rounds);
+}
+
+}  // namespace
+}  // namespace egt::game::spec

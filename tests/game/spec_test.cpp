@@ -1,0 +1,200 @@
+// GameSpec + preset registry (DESIGN.md §10): the default spec must be
+// bit-for-bit the paper's IPD, validation must reject inconsistent specs,
+// and every registered preset must be well-formed and reachable by name.
+// Also covers the NWayStrategy wire format (kind byte 2).
+#include "game/spec/gamespec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "game/spec/registry.hpp"
+#include "game/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace egt::game {
+namespace {
+
+TEST(GameSpec, DefaultIsThePaperIpd) {
+  const GameSpec s;
+  EXPECT_EQ(s.kind, GameKind::Matrix);
+  EXPECT_EQ(s.actions, 2u);
+  EXPECT_EQ(s.play, PlayMode::Iterated);
+  EXPECT_EQ(s.rounds, 200u);
+  EXPECT_DOUBLE_EQ(s.noise, 0.0);
+  EXPECT_FALSE(s.uses_nway());
+  EXPECT_FALSE(s.requires_memory0());
+  const IpdParams p = s.ipd_params();
+  EXPECT_DOUBLE_EQ(p.payoff.reward, 3.0);
+  EXPECT_DOUBLE_EQ(p.payoff.sucker, 0.0);
+  EXPECT_DOUBLE_EQ(p.payoff.temptation, 4.0);
+  EXPECT_DOUBLE_EQ(p.payoff.punishment, 1.0);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(GameSpec, PayoffOfReadsThePayoffMatrixViewForTwoActions) {
+  const GameSpec s;  // row_payoff empty: PayoffMatrix is authoritative
+  EXPECT_DOUBLE_EQ(s.payoff_of(0, 0), 3.0);   // R
+  EXPECT_DOUBLE_EQ(s.payoff_of(0, 1), 0.0);   // S
+  EXPECT_DOUBLE_EQ(s.payoff_of(1, 0), 4.0);   // T
+  EXPECT_DOUBLE_EQ(s.payoff_of(1, 1), 1.0);   // P
+  // Symmetric: the column player's payoff is the transposed table.
+  EXPECT_DOUBLE_EQ(s.col_payoff_of(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(s.col_payoff_of(0, 1), 0.0);
+}
+
+TEST(GameSpec, PayoffOfReadsTheRowTableForNWayGames) {
+  const auto s = GameSpec::matrix_n(
+      "rps_copy", 3, {0, -1, 1, 1, 0, -1, -1, 1, 0});
+  EXPECT_TRUE(s.uses_nway());
+  EXPECT_TRUE(s.requires_memory0());
+  EXPECT_DOUBLE_EQ(s.payoff_of(1, 0), 1.0);   // paper beats rock
+  EXPECT_DOUBLE_EQ(s.payoff_of(0, 1), -1.0);  // rock loses to paper
+  EXPECT_DOUBLE_EQ(s.col_payoff_of(1, 0), 1.0);
+}
+
+TEST(GameSpec, BimatrixColumnTableOverridesTheTranspose) {
+  GameSpec s = GameSpec::matrix_n("bim", 2, {1, 2, 3, 4});
+  s.col_payoff = {5, 6, 7, 8};
+  s.validate();
+  EXPECT_TRUE(s.uses_nway());  // explicit bimatrix, even with m == 2
+  EXPECT_DOUBLE_EQ(s.col_payoff_of(0, 1), 6.0);  // col_payoff[0*2+1]
+}
+
+TEST(GameSpec, MatrixHashIgnoresLabelsButNotPayoffs) {
+  GameSpec a;
+  GameSpec b;
+  b.labels = {"give", "take"};
+  EXPECT_EQ(a.matrix_hash(), b.matrix_hash());
+  b.payoff.temptation = 5.0;
+  EXPECT_NE(a.matrix_hash(), b.matrix_hash());
+  GameSpec pgg = GameSpec::public_goods("pgg", 3.0, 1.0);
+  GameSpec pgg2 = GameSpec::public_goods("pgg", 3.0, 1.0, 4);
+  EXPECT_NE(pgg.matrix_hash(), pgg2.matrix_hash());
+}
+
+TEST(GameSpec, ValidateRejectsInconsistentSpecs) {
+  GameSpec s;
+  s.rounds = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = GameSpec();
+  s.labels = {"only-one"};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = GameSpec();
+  s.actions = 3;  // m >= 3 without a table
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  EXPECT_THROW(GameSpec::matrix_n("bad", 3, {1, 2, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(GameSpec::public_goods("bad", -1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(GameSpec::public_goods("bad", 3.0, 1.0, /*k=*/1),
+               std::invalid_argument);
+}
+
+TEST(Registry, ShipsTheDocumentedPresetsSorted) {
+  const auto names = game_names();
+  for (const char* expected :
+       {"axelrod", "coordination", "donation", "hawk_dove", "ipd", "pgg",
+        "rps", "snowdrift", "stag_hunt"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), expected) !=
+                names.end())
+        << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(registry().size(), names.size());
+  for (const GameSpec& g : registry()) EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Registry, FindGameNormalizesDashes) {
+  ASSERT_NE(find_game("hawk_dove"), nullptr);
+  EXPECT_EQ(find_game("hawk-dove"), find_game("hawk_dove"));
+  EXPECT_EQ(find_game("no_such_game"), nullptr);
+}
+
+TEST(Registry, ListingMentionsEveryPreset) {
+  const std::string listing = registry_listing();
+  for (const auto& name : game_names()) {
+    EXPECT_NE(listing.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Registry, IpdPresetMatchesTheDefaultSpec) {
+  const GameSpec* ipd = find_game("ipd");
+  ASSERT_NE(ipd, nullptr);
+  EXPECT_TRUE(*ipd == GameSpec());
+}
+
+TEST(Registry, PresetShapesMatchTheirKind) {
+  const GameSpec* hd = find_game("hawk_dove");
+  ASSERT_NE(hd, nullptr);
+  EXPECT_FALSE(hd->uses_nway());
+  EXPECT_DOUBLE_EQ(hd->payoff.temptation, 2.0);  // hawk exploits dove
+  EXPECT_EQ(hd->label(0), "dove");
+
+  const GameSpec* rps = find_game("rps");
+  ASSERT_NE(rps, nullptr);
+  EXPECT_EQ(rps->actions, 3u);
+  EXPECT_TRUE(rps->uses_nway());
+  EXPECT_EQ(rps->play, PlayMode::OneShot);
+  // Zero-sum: every ordered pair sums to 0 across the two roles.
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(rps->payoff_of(a, b) + rps->col_payoff_of(b, a), 0.0);
+    }
+  }
+
+  const GameSpec* pgg = find_game("pgg");
+  ASSERT_NE(pgg, nullptr);
+  EXPECT_EQ(pgg->kind, GameKind::PublicGoods);
+  EXPECT_TRUE(pgg->requires_memory0());
+}
+
+TEST(NWayStrategy, FromProbsValidatesAndNormalizes) {
+  const auto s = NWayStrategy::from_probs({0.2, 0.3, 0.5});
+  EXPECT_EQ(s.actions(), 3u);
+  EXPECT_EQ(s.memory(), 0);
+  EXPECT_DOUBLE_EQ(s.action_prob(2), 0.5);
+  EXPECT_THROW(NWayStrategy::from_probs({0.9, 0.9}), std::invalid_argument);
+  EXPECT_THROW(NWayStrategy::from_probs({1.0}), std::invalid_argument);
+}
+
+TEST(NWayStrategy, PureActionIsDegenerate) {
+  const auto s = NWayStrategy::pure_action(4, 2);
+  EXPECT_TRUE(s.is_degenerate());
+  EXPECT_DOUBLE_EQ(s.action_prob(2), 1.0);
+  EXPECT_DOUBLE_EQ(s.action_prob(0), 0.0);
+}
+
+TEST(NWayStrategy, RandomDrawsAValidDistribution) {
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 16; ++i) {
+    const auto s = NWayStrategy::random(3, rng);
+    double sum = 0.0;
+    for (std::uint32_t a = 0; a < 3; ++a) {
+      EXPECT_GE(s.action_prob(a), 0.0);
+      sum += s.action_prob(a);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(NWayStrategy, SerializeRoundTripsThroughStrategy) {
+  const Strategy s{NWayStrategy::from_probs({0.25, 0.25, 0.5})};
+  ASSERT_TRUE(s.is_nway());
+  const auto blob = s.serialize();
+  const Strategy back = Strategy::deserialize(blob);
+  ASSERT_TRUE(back.is_nway());
+  EXPECT_TRUE(s == back);
+  EXPECT_EQ(s.hash(), back.hash());
+  EXPECT_DOUBLE_EQ(back.coop_prob(0), 0.25);  // action-0 propensity
+}
+
+TEST(NWayStrategy, MoveInterfaceIsRejected) {
+  const Strategy s{NWayStrategy::from_probs({0.5, 0.25, 0.25})};
+  util::StreamRng rng(1, 2);
+  EXPECT_THROW(s.move(0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::game

@@ -1,0 +1,132 @@
+// Textbook dynamics of the non-IPD presets through the full pipeline
+// (DESIGN.md §10): hawk-dove settles near its mixed ESS, stag-hunt fixes
+// on the risk-dominant equilibrium, RPS keeps cycling instead of fixating,
+// and public-goods contribution tracks the sign of r - k. Seeds are
+// pinned; every run is bit-deterministic, the bands document the regime.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "game/spec/registry.hpp"
+#include "pop/stats.hpp"
+
+namespace egt::core {
+namespace {
+
+// Time-averaged population mean of action-0 propensity (dove share /
+// cooperation / contribution, depending on the game) over `samples`
+// windows of `window` generations after the engine's current state.
+double time_averaged_coop(Engine& engine, int samples, std::uint64_t window) {
+  double sum = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    engine.run(window);
+    sum += pop::mean_coop_probability(engine.population());
+  }
+  return sum / samples;
+}
+
+TEST(GameDynamics, HawkDoveHoversNearTheMixedEss) {
+  // hawk_dove: V/2 < C so pure hawk is not stable; the mixed ESS plays
+  // hawk with probability 2/3. The population mean dove share should
+  // hover near 1/3 — clearly below one half and clearly above extinction.
+  SimConfig cfg;
+  cfg.memory = 0;
+  cfg.ssets = 48;
+  cfg.generations = 0;  // stepped manually below
+  cfg.space = pop::StrategySpace::Mixed;
+  cfg.game = *game::find_game("hawk_dove");
+  cfg.pc_rate = 0.5;
+  cfg.mutation_rate = 0.05;
+  cfg.beta = 5.0;
+  cfg.seed = 31;
+  cfg.fitness_mode = FitnessMode::Analytic;
+  Engine engine(cfg);
+  engine.run(4000);  // burn-in
+  const double dove = time_averaged_coop(engine, /*samples=*/40, 100);
+  EXPECT_GT(dove, 0.18);
+  EXPECT_LT(dove, 0.48);
+}
+
+TEST(GameDynamics, StagHuntFixesOnTheRiskDominantHare) {
+  // stag_hunt {4,0,3,2}: stag is payoff-dominant but hare risk-dominant
+  // (R - T = 1 < P - S = 2; the stag basin needs 2/3 stag players).
+  // From a random start under strong imitation the population fixes on
+  // hare (action 1).
+  SimConfig cfg;
+  cfg.memory = 0;
+  cfg.ssets = 24;
+  cfg.generations = 6000;
+  cfg.game = *game::find_game("stag_hunt");
+  cfg.pc_rate = 0.5;
+  cfg.mutation_rate = 0.0;  // clean fixation
+  cfg.beta = 10.0;
+  cfg.seed = 7;
+  cfg.fitness_mode = FitnessMode::Analytic;
+  Engine engine(cfg);
+  engine.run_all();
+  EXPECT_LT(pop::mean_coop_probability(engine.population()), 0.05);
+}
+
+TEST(GameDynamics, RpsNeverFixatesAndKeepsEveryActionAlive) {
+  // Zero-sum RPS has no pure ESS: best-response cycling plus mutation
+  // keeps all three actions in play. Assert time-averaged shares stay
+  // interior — no extinction, no fixation.
+  SimConfig cfg;
+  cfg.memory = 0;
+  cfg.ssets = 48;
+  cfg.generations = 0;
+  cfg.space = pop::StrategySpace::Mixed;
+  cfg.game = *game::find_game("rps");
+  cfg.pc_rate = 0.5;
+  cfg.mutation_rate = 0.05;
+  cfg.beta = 5.0;
+  cfg.seed = 11;
+  cfg.fitness_mode = FitnessMode::Analytic;
+  Engine engine(cfg);
+  engine.run(2000);  // burn-in
+  double share[3] = {0.0, 0.0, 0.0};
+  const int samples = 40;
+  for (int s = 0; s < samples; ++s) {
+    engine.run(100);
+    const auto& pop = engine.population();
+    for (pop::SSetId i = 0; i < pop.size(); ++i) {
+      const auto& nw = pop.strategy(i).as_nway();
+      for (std::uint32_t a = 0; a < 3; ++a) {
+        share[a] += nw.action_prob(a) / (samples * pop.size());
+      }
+    }
+  }
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    EXPECT_GT(share[a], 0.10) << "action " << a << " went extinct";
+    EXPECT_LT(share[a], 0.70) << "action " << a << " fixated";
+  }
+}
+
+TEST(GameDynamics, PublicGoodsContributionTracksRVersusK) {
+  // k-window PGG: d(payoff)/d(own contribution) has the sign of r - k.
+  // r = 6 > k = 4 makes contributing dominant; r = 2 < k = 4 makes free
+  // riding dominant. Same pipeline, opposite fates.
+  const auto run_with_r = [](double r) {
+    SimConfig cfg;
+    cfg.memory = 0;
+    cfg.ssets = 24;
+    cfg.generations = 0;
+    cfg.game = game::GameSpec::public_goods("pgg_test", r, 1.0, /*k=*/4,
+                                            /*rounds=*/16);
+    cfg.pc_rate = 0.5;
+    cfg.mutation_rate = 0.02;
+    cfg.beta = 5.0;
+    cfg.seed = 17;
+    cfg.fitness_mode = FitnessMode::Analytic;
+    Engine engine(cfg);
+    engine.run(2000);  // burn-in
+    return time_averaged_coop(engine, /*samples=*/20, 100);
+  };
+  const double generous = run_with_r(6.0);
+  const double stingy = run_with_r(2.0);
+  EXPECT_GT(generous, 0.7) << "r > k should sustain contribution";
+  EXPECT_LT(stingy, 0.3) << "r < k should collapse to free riding";
+  EXPECT_GT(generous, stingy + 0.4);
+}
+
+}  // namespace
+}  // namespace egt::core

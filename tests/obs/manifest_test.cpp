@@ -105,6 +105,46 @@ TEST(Manifest, ParallelRoundTripIncludesPerRankTraffic) {
   EXPECT_EQ(t.at("per_rank").items()[1].at("p2p_messages").as_u64(), 10u);
 }
 
+TEST(Manifest, GameBlockRecordsTheSpec) {
+  ManifestInfo info;
+  info.tool = "egtsim/test";
+  info.config_summary = "s";
+  const game::GameSpec spec;  // default: the paper's IPD
+  info.game = &spec;
+  std::ostringstream os;
+  write_run_manifest(os, info);
+  const auto doc = util::JsonValue::parse(os.str());
+  testing::expect_valid_manifest(doc, /*expect_traffic=*/false);
+  const auto& g = doc.at("game");
+  EXPECT_EQ(g.at("kind").as_string(), "matrix");
+  EXPECT_EQ(g.at("name").as_string(), "ipd");
+  EXPECT_EQ(g.at("actions").as_u64(), 2u);
+  EXPECT_EQ(g.at("play").as_string(), "iterated");
+  EXPECT_EQ(g.at("labels").items()[0].as_string(), "C");
+  EXPECT_EQ(g.at("labels").items()[1].as_string(), "D");
+  char want_hash[24];
+  std::snprintf(want_hash, sizeof want_hash, "%016llx",
+                static_cast<unsigned long long>(spec.matrix_hash()));
+  EXPECT_EQ(g.at("matrix_hash").as_string(), want_hash);
+}
+
+TEST(Manifest, GameBlockRecordsPublicGoodsParameters) {
+  ManifestInfo info;
+  info.tool = "egtsim/test";
+  info.config_summary = "s";
+  const auto spec = game::GameSpec::public_goods("pgg", 3.0, 1.0, 4);
+  info.game = &spec;
+  std::ostringstream os;
+  write_run_manifest(os, info);
+  const auto doc = util::JsonValue::parse(os.str());
+  testing::expect_valid_manifest(doc, /*expect_traffic=*/false);
+  const auto& g = doc.at("game");
+  EXPECT_EQ(g.at("kind").as_string(), "public_goods");
+  EXPECT_DOUBLE_EQ(g.at("pgg_r").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(g.at("pgg_cost").as_number(), 1.0);
+  EXPECT_EQ(g.at("pgg_k").as_u64(), 4u);
+}
+
 TEST(Manifest, ConfigFieldsHookAddsToolSpecificEntries) {
   ManifestInfo info;
   info.tool = "egtsim/test";

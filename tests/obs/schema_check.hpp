@@ -1,4 +1,4 @@
-// Shared validator for the egt.run_manifest/v2 schema (manifest.hpp).
+// Shared validator for the egt.run_manifest/v3 schema (manifest.hpp).
 // Used by the unit round-trip test and the serial/parallel integration
 // test, so the documented schema is enforced in one place.
 #pragma once
@@ -34,7 +34,7 @@ inline void expect_quantiles(const util::JsonValue& h,
   EXPECT_LE(p99, h.at("max_seconds").as_number()) << name;
 }
 
-/// Assert `doc` is a well-formed egt.run_manifest/v2 document.
+/// Assert `doc` is a well-formed egt.run_manifest/v3 document.
 /// `expect_traffic` demands the parallel-only "traffic" section too.
 inline void expect_valid_manifest(const util::JsonValue& doc,
                                   bool expect_traffic) {
@@ -47,6 +47,29 @@ inline void expect_valid_manifest(const util::JsonValue& doc,
   expect_section_object(doc, "config");
   EXPECT_TRUE(doc.at("config").at("summary").is_string());
   EXPECT_TRUE(doc.at("config").at("fingerprint").is_number());
+
+  // v3: the game block is optional (benches omit it) but, when present,
+  // must describe a complete GameSpec.
+  if (doc.has("game")) {
+    const auto& g = doc.at("game");
+    ASSERT_TRUE(g.is_object());
+    const std::string kind = g.at("kind").as_string();
+    EXPECT_TRUE(kind == "matrix" || kind == "public_goods") << kind;
+    EXPECT_TRUE(g.at("name").is_string());
+    EXPECT_GE(g.at("actions").as_u64(), 2u);
+    const std::string play = g.at("play").as_string();
+    EXPECT_TRUE(play == "iterated" || play == "one_shot") << play;
+    ASSERT_TRUE(g.at("labels").is_array());
+    EXPECT_EQ(g.at("labels").items().size(), g.at("actions").as_u64());
+    EXPECT_GE(g.at("rounds").as_u64(), 1u);
+    EXPECT_TRUE(g.at("noise").is_number());
+    EXPECT_EQ(g.at("matrix_hash").as_string().size(), 16u);
+    if (kind == "public_goods") {
+      EXPECT_GT(g.at("pgg_r").as_number(), 0.0);
+      EXPECT_GT(g.at("pgg_cost").as_number(), 0.0);
+      EXPECT_TRUE(g.at("pgg_k").is_number());
+    }
+  }
 
   expect_section_object(doc, "run");
   const auto& run = doc.at("run");

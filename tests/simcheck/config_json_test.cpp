@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "game/spec/registry.hpp"
 #include "simcheck/case.hpp"
 
 namespace egt::simcheck {
@@ -22,6 +23,15 @@ void expect_round_trip(const core::SimConfig& c) {
   EXPECT_EQ(back.game.payoff.punishment, c.game.payoff.punishment);
   EXPECT_EQ(back.game.rounds, c.game.rounds);
   EXPECT_EQ(back.game.noise, c.game.noise);
+  EXPECT_EQ(back.game.kind, c.game.kind);
+  EXPECT_EQ(back.game.display_name, c.game.display_name);
+  EXPECT_EQ(back.game.actions, c.game.actions);
+  EXPECT_EQ(back.game.play, c.game.play);
+  EXPECT_EQ(back.game.row_payoff, c.game.row_payoff);
+  EXPECT_EQ(back.game.col_payoff, c.game.col_payoff);
+  EXPECT_EQ(back.game.pgg_r, c.game.pgg_r);
+  EXPECT_EQ(back.game.pgg_cost, c.game.pgg_cost);
+  EXPECT_EQ(back.game.pgg_k, c.game.pgg_k);
   EXPECT_EQ(back.pc_rate, c.pc_rate);
   EXPECT_EQ(back.mutation_rate, c.mutation_rate);
   EXPECT_EQ(back.beta, c.beta);
@@ -69,6 +79,28 @@ TEST(ConfigJson, NonDefaultFieldsRoundTrip) {
   c.sset_threads = 1;
   c.dedup = false;
   expect_round_trip(c);
+}
+
+TEST(ConfigJson, EveryRegistryPresetRoundTrips) {
+  for (const auto& g : game::registry()) {
+    core::SimConfig c;
+    c.game = g;
+    if (c.game.requires_memory0()) c.memory = 0;
+    expect_round_trip(c);
+  }
+}
+
+TEST(ConfigJson, DefaultIpdStaysByteStable) {
+  // v2 repro compatibility: the wire v3 game fields are emitted only when
+  // they differ from the IPD defaults, so a default config's game object
+  // must not mention any of them.
+  const std::string json = config_to_json(core::SimConfig{});
+  // ("kind" can't be probed this way: the interaction object uses it too.)
+  for (const char* key :
+       {"\"name\"", "\"actions\"", "\"play\"", "\"row_payoff\"",
+        "\"col_payoff\"", "\"pgg_r\"", "\"public_goods\""}) {
+    EXPECT_EQ(json.find(key), std::string::npos) << key;
+  }
 }
 
 TEST(ConfigJson, FuzzedConfigsRoundTrip) {

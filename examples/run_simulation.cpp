@@ -21,6 +21,7 @@
 //   ./run_simulation --payoff "[[3,0],[5,1]]" ...  # custom 2x2 payoffs
 //   ./run_simulation --list-games                # registry listing
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -76,7 +77,15 @@ struct OutputPaths {
   int ranks = 0;
   bool progress = false;
   bool list_games = false;
+  double max_wall_seconds = 0.0;  // 0 = no deadline
 };
+
+/// Graceful-shutdown request: SIGTERM/SIGINT land here and the serial
+/// generation loop notices at its next boundary — the only place a stop
+/// is safe (no checkpoint is ever cut mid-generation).
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+extern "C" void request_stop(int sig) { g_stop_signal = sig; }
 
 /// --payoff: a square JSON matrix of row-player payoffs. 2x2 tables map
 /// onto the PayoffMatrix view (full memory-n iterated machinery); larger
@@ -216,6 +225,11 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   auto metrics_stream_every = cli.opt<std::int64_t>(
       "metrics-stream-every", 1,
       "generations between --metrics-stream lines");
+  auto max_wall = cli.opt<double>(
+      "max-wall-seconds", 0.0,
+      "stop gracefully after this much wall time (serial engine): a final "
+      "checkpoint is written and the run exits cleanly, same as SIGTERM "
+      "(0 = no deadline)");
   auto progress = cli.flag(
       "progress", "heartbeat log with gen/s and ETA (implies --verbose)");
   auto verbose = cli.flag("verbose", "info-level logging");
@@ -314,6 +328,7 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   out.checkpoint_keep = *ckpt_keep;
   out.ranks = *ranks_opt;
   out.progress = *progress;
+  out.max_wall_seconds = *max_wall;
   return cfg;
 }
 
@@ -746,7 +761,38 @@ int run_cli(int argc, char** argv) {
       cfg.generations > engine.generation()
           ? cfg.generations - engine.generation()
           : 0;
-  engine.run(remaining, &obs);
+
+  // Serial generation loop with graceful-shutdown points: SIGTERM/SIGINT
+  // and the --max-wall-seconds deadline both stop the run at the next
+  // generation boundary, commit a final checkpoint, and exit cleanly —
+  // never mid-write. The run is then resumable with --resume/--restore.
+  std::signal(SIGTERM, request_stop);
+  std::signal(SIGINT, request_stop);
+  std::string stop_reason;
+  for (std::uint64_t g = 0; g < remaining; ++g) {
+    if (g_stop_signal != 0) {
+      stop_reason = g_stop_signal == SIGTERM ? "SIGTERM" : "SIGINT";
+      break;
+    }
+    if (out.max_wall_seconds > 0.0 && timer.seconds() > out.max_wall_seconds) {
+      stop_reason = "--max-wall-seconds deadline";
+      break;
+    }
+    engine.step();
+    obs.on_generation(engine.population(), engine.last_record());
+  }
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  if (!stop_reason.empty()) {
+    std::printf("stopping early (%s) at generation %llu\n", stop_reason.c_str(),
+                static_cast<unsigned long long>(engine.generation()));
+    if (out.checkpoint.empty() && !rolling) {
+      std::fprintf(stderr,
+                   "warning: no --checkpoint/--checkpoint-dir; progress up to "
+                   "generation %llu is lost\n",
+                   static_cast<unsigned long long>(engine.generation()));
+    }
+  }
   if (!out.trace_out.empty()) try_write_trace(out.trace_out, metrics);
   if (stream) {
     std::printf("metrics stream written: %s (%llu lines)\n",

@@ -69,9 +69,8 @@ std::vector<std::byte> save_checkpoint(const Engine& engine) {
   return w.take();
 }
 
-Engine restore_checkpoint(const SimConfig& config,
-                          const std::vector<std::byte>& blob,
-                          obs::MetricsRegistry* metrics) {
+Engine::RestoredState decode_checkpoint(const SimConfig& config,
+                                        const std::vector<std::byte>& blob) {
   wire::Reader r(blob, "checkpoint");
   if (r.u64("magic") != kMagic) r.fail("not an egtsim checkpoint");
   const std::uint32_t version = r.u32("version");
@@ -108,10 +107,14 @@ Engine restore_checkpoint(const SimConfig& config,
     }
   }
   r.expect_exhausted();
-  return Engine(config,
-                Engine::RestoredState{generation, nature,
-                                      pop::Population(std::move(strategies))},
-                metrics);
+  return Engine::RestoredState{generation, nature,
+                               pop::Population(std::move(strategies))};
+}
+
+Engine restore_checkpoint(const SimConfig& config,
+                          const std::vector<std::byte>& blob,
+                          obs::MetricsRegistry* metrics) {
+  return Engine(config, decode_checkpoint(config, blob), metrics);
 }
 
 void write_checkpoint_file(const Engine& engine, const std::string& path) {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/wire.hpp"
 
 namespace egt::obs {
@@ -32,9 +33,6 @@ class MetricsRegistry;
 }
 
 namespace egt::core {
-
-class Engine;
-struct SimConfig;
 
 /// Bumped whenever the checkpoint payload layout changes; readers reject
 /// any other value with a clear CheckpointError. v3: the config
@@ -46,6 +44,14 @@ inline constexpr std::uint32_t kCheckpointVersion = 3;
 /// Serialize the engine's state. The blob embeds a fingerprint of the
 /// configuration; restoring under a different config is rejected.
 std::vector<std::byte> save_checkpoint(const Engine& engine);
+
+/// Decode a checkpoint blob into the engine's restored state without
+/// constructing the engine — callers that carry extra state alongside the
+/// core checkpoint (serve/job_checkpoint.hpp pairs it with the fitness
+/// block) decode here and pick the Engine constructor themselves.
+/// Validation is identical to restore_checkpoint.
+Engine::RestoredState decode_checkpoint(const SimConfig& config,
+                                        const std::vector<std::byte>& blob);
 
 /// Reconstruct an engine mid-run. `config` must match the saving run's
 /// configuration (validated via the embedded fingerprint). `metrics`

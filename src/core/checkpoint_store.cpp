@@ -1,10 +1,15 @@
 #include "core/checkpoint_store.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "util/check.hpp"
 #include "util/crc32.hpp"
@@ -56,23 +61,56 @@ std::vector<std::byte> checked_payload(const std::vector<std::byte>& blob) {
                                     static_cast<std::ptrdiff_t>(payload_size));
 }
 
+namespace {
+
+void write_all_or_throw(int fd, const std::byte* data, std::size_t size,
+                        const std::string& what) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ::ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("failed writing " + what + ": " +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
 void atomic_write_file(const std::string& path,
                        const std::vector<std::byte>& blob) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) {
-      throw std::runtime_error("cannot open checkpoint temp file " + tmp);
-    }
-    out.write(reinterpret_cast<const char*>(blob.data()),
-              static_cast<std::streamsize>(blob.size()));
-    out.flush();
-    if (!out.good()) {
-      std::error_code ignored;
-      fs::remove(tmp, ignored);
-      throw std::runtime_error("failed writing checkpoint temp file " + tmp);
-    }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open checkpoint temp file " + tmp + ": " +
+                             std::strerror(errno));
   }
+  try {
+    write_all_or_throw(fd, blob.data(), blob.size(),
+                       "checkpoint temp file " + tmp);
+    // Durability before visibility: the rename must never publish bytes the
+    // disk has not accepted, or a power loss commits a named-but-empty file
+    // past the CRC footer's reach.
+    if (::fsync(fd) != 0) {
+      throw std::runtime_error("failed syncing checkpoint temp file " + tmp +
+                               ": " + std::strerror(errno));
+    }
+  } catch (...) {
+    ::close(fd);
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    throw;
+  }
+  ::close(fd);
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
@@ -81,6 +119,10 @@ void atomic_write_file(const std::string& path,
     throw std::runtime_error("failed committing checkpoint file " + path +
                              ": " + ec.message());
   }
+  // Persist the rename itself (the directory entry), not just the data.
+  const auto slash = path.find_last_of('/');
+  fsync_dir(slash == std::string::npos ? std::string(".")
+                                       : path.substr(0, slash));
 }
 
 std::vector<std::byte> read_file_bytes(const std::string& path) {
@@ -117,6 +159,12 @@ std::size_t sweep_tmp_files(const std::string& dir) {
 CheckpointDir::CheckpointDir(std::string dir, int keep)
     : dir_(std::move(dir)), keep_(keep) {
   EGT_REQUIRE_MSG(keep_ >= 1, "checkpoint retention must keep >= 1");
+  // Create the directory if it does not exist yet: a graceful-shutdown
+  // checkpoint must not be silently lost because the operator pointed
+  // --checkpoint-dir at a fresh path. Creation failures surface on the
+  // first commit (warn-and-continue there, by contract).
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
   sweep_tmp_files(dir_);
 }
 

@@ -52,12 +52,18 @@ std::vector<std::byte> checked_payload(const std::vector<std::byte>& blob);
 // -- atomic files -------------------------------------------------------------
 
 /// Write `blob` to `path` crash-consistently: the bytes go to
-/// `path + ".tmp"` first and are renamed over `path` only once completely
-/// written, so a concurrent crash can never leave a half-written `path`.
-/// Throws std::runtime_error (not CheckpointError — this is an I/O
-/// failure, not a corrupt blob) when the directory is unwritable.
+/// `path + ".tmp"` first, are fsynced to stable storage, and only then
+/// renamed over `path` (followed by a best-effort fsync of the parent
+/// directory so the rename itself survives power loss). A crash can never
+/// leave a half-written or unflushed `path`. Throws std::runtime_error
+/// (not CheckpointError — this is an I/O failure, not a corrupt blob)
+/// when the directory is unwritable.
 void atomic_write_file(const std::string& path,
                        const std::vector<std::byte>& blob);
+
+/// Best-effort fsync of a directory's entries (after a rename/create).
+/// Silently a no-op where directory fds are unsupported.
+void fsync_dir(const std::string& dir);
 
 /// Read a whole file; throws std::runtime_error when unreadable.
 std::vector<std::byte> read_file_bytes(const std::string& path);

@@ -66,7 +66,7 @@ Engine::Engine(const SimConfig& config, obs::MetricsRegistry* metrics)
       pop_(make_initial_population(config)),
       graph_(make_shared_graph(config)),
       nature_(nature_config_with_graph(config, graph_)),
-      fitness_(config, 0, config.ssets, graph_) {
+      fitness_(config, 0, config.ssets, graph_, metrics) {
   bind_metrics(metrics);
   {
     // The initial all-pairs evaluation is game-dynamics work.
@@ -84,7 +84,7 @@ Engine::Engine(const SimConfig& config, RestoredState state,
       pop_(std::move(state.population)),
       graph_(make_shared_graph(config)),
       nature_(nature_config_with_graph(config, graph_)),
-      fitness_(config, 0, config.ssets, graph_),
+      fitness_(config, 0, config.ssets, graph_, metrics),
       generation_(state.generation) {
   EGT_REQUIRE_MSG(pop_.size() == config.ssets,
                   "checkpoint population size does not match the config");
@@ -95,6 +95,33 @@ Engine::Engine(const SimConfig& config, RestoredState state,
   {
     obs::ScopedTimer t(ph_game_play_);
     fitness_.initialize(pop_);
+  }
+  account_pairs();
+}
+
+Engine::Engine(const SimConfig& config, RestoredState state, FitnessRestore fit,
+               obs::MetricsRegistry* metrics)
+    : config_((config.validate(), config)),
+      pop_(std::move(state.population)),
+      graph_(make_shared_graph(config)),
+      nature_(nature_config_with_graph(config, graph_)),
+      fitness_(config, 0, config.ssets, graph_, metrics),
+      generation_(state.generation) {
+  EGT_REQUIRE_MSG(pop_.size() == config.ssets,
+                  "checkpoint population size does not match the config");
+  EGT_REQUIRE_MSG(pop_.memory() == config.memory,
+                  "checkpoint memory depth does not match the config");
+  nature_.restore_state(state.nature);
+  bind_metrics(metrics);
+  // No initial evaluation: the cached modes adopt the captured block state
+  // verbatim; Sampled recomputes everything at the next step()'s
+  // begin_generation. Either way pairs_evaluated / games_played stay at
+  // zero here — the saving run's totals travel with the job, not the
+  // engine — so a resumed run's counter *growth* matches an undisturbed
+  // run generation for generation.
+  if (config_.fitness_mode != FitnessMode::Sampled) {
+    fitness_.restore_state(std::move(fit.fitness), std::move(fit.matrix),
+                           std::move(fit.dedup));
   }
   account_pairs();
 }

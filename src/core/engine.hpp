@@ -47,6 +47,26 @@ class Engine {
   Engine(const SimConfig& config, RestoredState state,
          obs::MetricsRegistry* metrics = nullptr);
 
+  /// The fitness block's evaluation state as captured alongside a
+  /// checkpoint (serve/job_checkpoint.hpp): the per-row fitness, the
+  /// cached payoff matrix (empty for Sampled / public goods) and the
+  /// dedup class-pair cache.
+  struct FitnessRestore {
+    std::vector<double> fitness;
+    std::vector<double> matrix;
+    std::vector<BlockFitness::DedupEntry> dedup;
+  };
+
+  /// Resume from a checkpointed state *and* a captured fitness block —
+  /// unlike the plain restore constructor this performs no initial
+  /// all-pairs evaluation, so engine.pairs_evaluated / games_played (and
+  /// the dedup cache contents) continue exactly where the saving run
+  /// stopped: a preempted run resumed this way is bit-identical to an
+  /// undisturbed one, counters included. Sampled mode ignores `fit`
+  /// (begin_generation replays everything next step anyway).
+  Engine(const SimConfig& config, RestoredState state, FitnessRestore fit,
+         obs::MetricsRegistry* metrics = nullptr);
+
   /// The Nature Agent (checkpointing, inspection).
   const pop::NatureAgent& nature_agent() const noexcept { return nature_; }
 
@@ -85,6 +105,9 @@ class Engine {
   const pop::InteractionGraph* interaction_graph() const noexcept {
     return graph_.get();
   }
+
+  /// The fitness block (checkpointing its evaluation state).
+  const BlockFitness& fitness_block() const noexcept { return fitness_; }
 
  private:
   /// Resolve phase histograms / event counters once (lock-free afterwards).

@@ -65,7 +65,8 @@ double PairEvaluator::payoff(const pop::Population& pop, pop::SSetId i,
 
 BlockFitness::BlockFitness(const SimConfig& config, pop::SSetId row_begin,
                            pop::SSetId row_end,
-                           std::shared_ptr<const pop::InteractionGraph> graph)
+                           std::shared_ptr<const pop::InteractionGraph> graph,
+                           obs::MetricsRegistry* metrics)
     : config_(config),
       eval_(config),
       graph_(std::move(graph)),
@@ -75,6 +76,11 @@ BlockFitness::BlockFitness(const SimConfig& config, pop::SSetId row_begin,
              config.game.kind != game::GameKind::PublicGoods),
       pgg_(config.game.kind == game::GameKind::PublicGoods) {
   EGT_REQUIRE(row_begin <= row_end && row_end <= config.ssets);
+  if (metrics != nullptr) {
+    ct_cache_inserts_ = &metrics->counter("fitness.cache_inserts");
+    ct_cache_prunes_ = &metrics->counter("fitness.cache_prunes");
+    ct_restores_ = &metrics->counter("fitness.state_restores");
+  }
   fitness_.assign(end_ - begin_, 0.0);
   if (pairwise_cached()) {
     matrix_.assign(static_cast<std::size_t>(end_ - begin_) * config_.ssets,
@@ -188,7 +194,10 @@ double BlockFitness::pair_value(const pop::Population& pop, pop::SSetId i,
       ++games;
       // Pool workers run behind a prefill and must not mutate the cache;
       // recomputing a rare miss is correct either way (pure function).
-      if (allow_insert) class_pay_.emplace(key, ClassPay{v, ci.hash, cj.hash});
+      if (allow_insert) {
+        class_pay_.emplace(key, ClassPay{v, ci.hash, cj.hash});
+        if (ct_cache_inserts_ != nullptr) ct_cache_inserts_->inc();
+      }
       return v;
     }
   }
@@ -208,6 +217,7 @@ void BlockFitness::prefill_pair(const pop::Population& pop, pop::ClassId cr,
       key, ClassPay{eval_.pair_payoff(row.strategy, col.strategy), row.hash,
                     col.hash});
   ++games_;
+  if (ct_cache_inserts_ != nullptr) ct_cache_inserts_->inc();
 }
 
 void BlockFitness::prefill_class(const pop::Population& pop, pop::ClassId cr) {
@@ -428,6 +438,7 @@ void BlockFitness::maybe_prune_cache(const pop::Population& pop) {
     if (live_hashes.count(it->second.a) == 0 ||
         live_hashes.count(it->second.b) == 0) {
       it = class_pay_.erase(it);
+      if (ct_cache_prunes_ != nullptr) ct_cache_prunes_->inc();
     } else {
       ++it;
     }
@@ -446,6 +457,7 @@ void BlockFitness::restore_state(std::vector<double> fitness,
                   "restored payoff matrix size mismatch");
   fitness_ = std::move(fitness);
   matrix_ = std::move(matrix);
+  if (ct_restores_ != nullptr) ct_restores_->inc();
   if (dedup_) {
     class_pay_.clear();
     class_pay_.reserve(cache.size());

@@ -43,6 +43,7 @@
 #include "core/config.hpp"
 #include "game/markov.hpp"
 #include "game/spec/chain.hpp"
+#include "obs/metrics.hpp"
 #include "par/threadpool.hpp"
 #include "pop/population.hpp"
 
@@ -92,9 +93,14 @@ class BlockFitness {
 
   /// `graph` restricts game play to neighbours (null = well-mixed, the
   /// paper's population; the engines pass make_interaction_graph output).
+  /// `metrics`, when given, receives the cold-path "fitness.*" counters
+  /// (dedup cache inserts/prunes, state restores); the engines pass their
+  /// own — per-rank, per-job — registry so concurrent simulations never
+  /// share counters. Must outlive the block.
   BlockFitness(const SimConfig& config, pop::SSetId row_begin,
                pop::SSetId row_end,
-               std::shared_ptr<const pop::InteractionGraph> graph = nullptr);
+               std::shared_ptr<const pop::InteractionGraph> graph = nullptr,
+               obs::MetricsRegistry* metrics = nullptr);
 
   pop::SSetId row_begin() const noexcept { return begin_; }
   pop::SSetId row_end() const noexcept { return end_; }
@@ -246,6 +252,12 @@ class BlockFitness {
   std::unordered_map<std::uint64_t, ClassPay> class_pay_;
   std::uint64_t pairs_ = 0;
   std::uint64_t games_ = 0;
+  // Cold-path instrumentation (null when the block runs unobserved). All
+  // increments happen on the serial control path (inserts are forbidden
+  // from pool workers), so a per-block registry needs no extra locking.
+  obs::Counter* ct_cache_inserts_ = nullptr;
+  obs::Counter* ct_cache_prunes_ = nullptr;
+  obs::Counter* ct_restores_ = nullptr;
 };
 
 }  // namespace egt::core

@@ -148,7 +148,7 @@ void rank_main(par::Comm& comm, const SimConfig& config,
       part.begin(static_cast<std::uint64_t>(rank)));
   const auto row_end =
       static_cast<pop::SSetId>(part.end(static_cast<std::uint64_t>(rank)));
-  BlockFitness fit(config, row_begin, row_end, graph);
+  BlockFitness fit(config, row_begin, row_end, graph, &registry);
   {
     obs::ScopedTimer t(ins.game_play);
     obs::TraceSpan span(obs::phase::kGamePlay, obs::kCatPhase);

@@ -87,8 +87,12 @@ struct FtInstruments {
   obs::Counter* stale = nullptr;
   obs::Counter* log_records = nullptr;  // master side: records replicated
   obs::Counter* log_bytes = nullptr;
+  // The rank's registry itself, for components that register their own
+  // counter family (BlockFitness's "fitness.*").
+  obs::MetricsRegistry* registry = nullptr;
 
   FtInstruments(obs::MetricsRegistry& reg, bool is_master) {
+    registry = &reg;
     game_play = &reg.histogram(obs::phase::kGamePlay);
     plan = &reg.histogram(obs::phase::kPlanBcast);
     fitness_return = &reg.histogram(obs::phase::kFitnessReturn);
@@ -174,7 +178,10 @@ class BlockSet {
   /// in the base engines.
   void add_initial(pop::SSetId begin, pop::SSetId end,
                    const pop::Population& pop) {
-    Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0, 0};
+    Block blk{core::BlockFitness(config_, begin, end, graph_, ins_.registry),
+               {},
+               0,
+               0};
     {
       obs::ScopedTimer t(ins_.game_play);
       obs::TraceSpan span(obs::phase::kGamePlay, obs::kCatPhase);
@@ -277,7 +284,10 @@ class BlockSet {
              const CheckpointStore& store, std::uint64_t fingerprint) {
     obs::ScopedTimer t(ins_.recovery);
     obs::TraceSpan span("phase.ft_recovery", obs::kCatFt, "begin", begin);
-    Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0, 0};
+    Block blk{core::BlockFitness(config_, begin, end, graph_, ins_.registry),
+               {},
+               0,
+               0};
     const std::optional<BlockCheckpoint> hit =
         lookup(store, begin, end, gen, pop);
     if (hit && cached_mode() && hit->matrix_cols == expected_matrix_cols() &&
@@ -329,7 +339,10 @@ class BlockSet {
                          std::uint64_t fingerprint) {
     obs::ScopedTimer t(ins_.recovery);
     obs::TraceSpan span("phase.ft_recovery", obs::kCatFt, "begin", begin);
-    Block blk{core::BlockFitness(config_, begin, end, graph_), {}, 0, 0};
+    Block blk{core::BlockFitness(config_, begin, end, graph_, ins_.registry),
+               {},
+               0,
+               0};
     const std::optional<BlockCheckpoint> hit =
         lookup(store, begin, end, gen, pop);
     if (hit && cached_mode() && hit->matrix_cols == expected_matrix_cols() &&

@@ -1,0 +1,66 @@
+// Seeded chaos schedules for soak-testing the job scheduler.
+//
+// Every schedule is a pure function of one 64-bit seed: a handful of
+// small jobs across several tenants and game presets, a scheduler shape
+// (workers, slice quantum, max attempts), a fault plan (worker kills and
+// watchdog expiries at chosen generations, injected deterministically via
+// the scheduler's FaultHook), a mid-soak hard stop (the in-process
+// SIGKILL stand-in) with optional torn-tail journal damage, then a second
+// scheduler that recover()s and drains the survivors.
+//
+// The verdict is timing-independent even though thread interleavings are
+// not: every completed job must be bit-identical — strategy table hash,
+// fitness doubles, merged engine.* counters — to an undisturbed serial
+// run of the same spec, no acknowledged job may be lost across the
+// restart, and no job completed before the hard stop may run again after
+// it.
+//
+// Shared between tools/egtd_soak (CLI, CI seed sweeps) and
+// tests/serve/serve_chaos_test.cpp (a fixed slice of the same seed
+// space).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+namespace egt::serve {
+
+/// One seed's worth of chaos.
+struct ServeChaosSchedule {
+  SchedulerOptions options;          ///< data_dir filled in by the runner
+  std::vector<std::string> specs;    ///< job spec JSON, submission order
+  /// generation → action, per job (job ids are 1-based submission order).
+  std::map<std::uint64_t, std::map<std::uint64_t, Scheduler::FaultAction>>
+      faults;
+  /// Jobs completed before the hard stop fires (rest finish after
+  /// recovery). Ranges over [0, specs.size()].
+  std::size_t stop_after_completed = 0;
+  bool tear_journal_tail = false;  ///< append a torn record before restart
+  std::size_t cancel_job = 0;      ///< 1-based id to cancel early; 0 = none
+  std::string summary;             ///< one line for log output
+};
+
+/// Deterministically derive schedule `seed`.
+ServeChaosSchedule make_serve_schedule(std::uint64_t seed);
+
+/// The soak verdict for one seed.
+struct ServeChaosOutcome {
+  bool ok = false;
+  std::string detail;  ///< schedule summary, or what diverged
+  std::size_t completed = 0;
+  std::size_t requeued = 0;    ///< jobs the restart had to requeue
+  std::uint64_t retries = 0;   ///< fault-induced retry dispatches observed
+  std::uint64_t preemptions = 0;
+};
+
+/// Run schedule `seed` in `data_dir` (wiped first) and compare every
+/// completed job against the serial oracle. Never throws — a thrown run
+/// is reported as a failed outcome.
+ServeChaosOutcome run_serve_schedule(std::uint64_t seed,
+                                     const std::string& data_dir);
+
+}  // namespace egt::serve

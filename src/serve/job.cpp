@@ -1,0 +1,21 @@
+#include "serve/job.hpp"
+
+namespace egt::serve {
+
+const char* to_string(JobState s) noexcept {
+  switch (s) {
+    case JobState::Queued:
+      return "queued";
+    case JobState::Running:
+      return "running";
+    case JobState::Completed:
+      return "completed";
+    case JobState::Failed:
+      return "failed";
+    case JobState::Cancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+}  // namespace egt::serve

@@ -1,0 +1,44 @@
+// Job submission schema ("egt.job/v1") and result/event JSON.
+//
+// A submission is one JSON object per line on egtd's stdin (or any
+// transport that delivers the object text):
+//
+//   { "schema": "egt.job/v1",            // optional, validated if present
+//     "tenant": "alice",                 // fair-share accounting key
+//     "game":   "hawk_dove",             // optional preset (game registry)
+//     "config": { ... } }                // egt.sim_config/v1 fields
+//
+// The config object reuses the simcheck schema verbatim — missing keys
+// keep SimConfig defaults, unknown keys are ignored — and the optional
+// "game" preset resolves through game::find_game before the config's own
+// "game" block (if any) applies, so a spec can name a preset and still
+// override rounds/noise on top.
+#pragma once
+
+#include <string>
+
+#include "core/config.hpp"
+#include "serve/job.hpp"
+
+namespace egt::serve {
+
+inline constexpr const char* kJobSchema = "egt.job/v1";
+
+struct JobSpec {
+  std::string tenant = "default";
+  core::SimConfig config;
+};
+
+/// Parse one submission. Throws std::runtime_error with a
+/// submitter-addressable message on malformed JSON, an unknown preset, or
+/// a config that fails SimConfig::validate().
+JobSpec parse_job_spec(const std::string& text);
+
+/// Canonical re-serialization (the form stored in Submitted journal
+/// records, so a restart replays exactly what was accepted).
+std::string job_spec_to_json(const JobSpec& spec);
+
+/// One completed job's result as a JSON object (egtd's response line).
+std::string job_result_to_json(std::uint64_t job_id, const JobResult& result);
+
+}  // namespace egt::serve

@@ -1,0 +1,118 @@
+// Crash-safe write-ahead job journal ("egt.jobs/v1").
+//
+// The scheduler's durable source of truth: every externally visible job
+// transition is one appended record, fsynced before the caller observes
+// the acknowledgement. An egtd restart replays the file and reconstructs
+// exactly the acknowledged set — accepted-but-unfinished jobs are
+// requeued, completed jobs keep their full result (so they are never run
+// twice), and nothing the daemon acknowledged is ever lost.
+//
+// On-disk layout:
+//
+//   header   u64 kJournalMagic ("EGTJOBS1"), u32 kJournalVersion
+//   record*  u32 kRecordMagic ("EGTR"), u32 payload length,
+//            payload bytes (wire-encoded JournalRecord),
+//            u32 CRC-32 of the payload
+//
+// Failure semantics, mirrored by the property tests (tests/serve):
+//   * torn tail (crash mid-append): the incomplete final record is
+//     dropped; every record acknowledged before it survives.
+//   * bit flip mid-file: the CRC rejects the record; replay resynchronises
+//     on the next record magic and counts the loss in corrupt_skipped —
+//     one damaged record never poisons the records behind it.
+//   * compaction rewrites the whole file via the checkpoint store's
+//     fsync + atomic-rename path, so a crash mid-compaction leaves the
+//     previous journal intact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace egt::serve {
+
+inline constexpr const char* kJournalSchema = "egt.jobs/v1";
+inline constexpr std::uint64_t kJournalMagic = 0x4547544a4f425331ull;  // EGTJOBS1
+inline constexpr std::uint32_t kJournalVersion = 1;
+inline constexpr std::uint32_t kRecordMagic = 0x45475452u;  // "EGTR"
+inline constexpr std::size_t kJournalHeaderBytes = 8 + 4;
+/// Per-record framing overhead: magic + length + trailing CRC.
+inline constexpr std::size_t kRecordFrameBytes = 4 + 4 + 4;
+/// Upper bound on one record's payload; a corrupt length field beyond it
+/// is treated as damage, not as a request to allocate gigabytes.
+inline constexpr std::uint32_t kMaxRecordBytes = 1u << 26;
+
+struct JournalRecord {
+  enum class Type : std::uint32_t {
+    Submitted = 1,  ///< job accepted past admission control
+    Completed = 2,  ///< terminal success; carries the full result
+    Failed = 3,     ///< terminal failure (attempts exhausted)
+    Cancelled = 4,  ///< terminal cancellation
+  };
+
+  Type type = Type::Submitted;
+  std::uint64_t job_id = 0;
+  std::string tenant;     ///< Submitted
+  std::string spec_json;  ///< Submitted: canonical job spec
+  JobResult result;       ///< Completed
+  std::string reason;     ///< Failed
+};
+
+/// Wire-encode one record's payload (no framing).
+std::vector<std::byte> encode_record(const JournalRecord& rec);
+
+/// Decode one payload. Throws core::CheckpointError on any damage.
+JournalRecord decode_record(const std::vector<std::byte>& payload);
+
+/// Payload + framing, as appended to the file.
+std::vector<std::byte> frame_record(const JournalRecord& rec);
+
+/// Append-side handle. Thread-safe: workers append terminal records
+/// concurrently with the admission path appending Submitted records.
+class JobJournal {
+ public:
+  /// Opens `path` for appending, creating it (with the file header) when
+  /// missing. Throws std::runtime_error when the path is unwritable.
+  explicit JobJournal(std::string path);
+  ~JobJournal();
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// Append one record and fsync. When this returns the record is durable:
+  /// a crash at any later point replays it. Throws std::runtime_error on
+  /// I/O failure.
+  void append(const JournalRecord& rec);
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Everything replay recovered, plus how much damage it skipped.
+  struct Replay {
+    std::vector<JournalRecord> records;
+    std::size_t corrupt_skipped = 0;  ///< records lost to CRC/decode damage
+    bool truncated_tail = false;      ///< torn final record dropped
+    bool missing = false;             ///< no journal file at all
+  };
+
+  /// Read every intact record of `path` in append order. Never throws on
+  /// damage — a journal that cannot be fully read still yields everything
+  /// readable (the crash-recovery contract).
+  static Replay replay(const std::string& path);
+
+  /// Atomically rewrite `path` to contain exactly `records` (bounding the
+  /// file to live state after a restart replay). Uses the checkpoint
+  /// store's fsync + atomic-rename commit.
+  static void compact(const std::string& path,
+                      const std::vector<JournalRecord>& records);
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  int fd_ = -1;
+};
+
+}  // namespace egt::serve

@@ -1,0 +1,49 @@
+// The chaos soak as a regression test: for a handful of fixed seeds, run
+// the full seeded schedule — worker kills, deadline expiries, preemption
+// slices, a torn journal tail, and a hard daemon stop mid-flight — and
+// require every completed job to be bit-identical to an undisturbed
+// serial run, with no acknowledged job lost and no completed job re-run.
+// Wider sweeps live in tools/egtd_soak (CI runs them nightly-style).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "serve/chaos.hpp"
+
+namespace egt::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServeChaos : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServeChaos, SeededScheduleSurvivesBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("egt_serve_chaos_test_" + std::to_string(seed) + "_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+  const ServeChaosOutcome out = run_serve_schedule(seed, dir.string());
+  EXPECT_TRUE(out.ok) << "seed " << seed << ": " << out.detail;
+  EXPECT_GT(out.completed, 0u) << "seed " << seed;
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(FixedSeeds, ServeChaos,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(ServeChaosSchedule, IsAPureFunctionOfTheSeed) {
+  const ServeChaosSchedule a = make_serve_schedule(17);
+  const ServeChaosSchedule b = make_serve_schedule(17);
+  EXPECT_EQ(a.summary, b.summary);
+  EXPECT_EQ(a.specs, b.specs);
+  EXPECT_EQ(a.stop_after_completed, b.stop_after_completed);
+  EXPECT_EQ(a.tear_journal_tail, b.tear_journal_tail);
+  const ServeChaosSchedule c = make_serve_schedule(18);
+  EXPECT_NE(a.summary, c.summary);
+}
+
+}  // namespace
+}  // namespace egt::serve

@@ -1,0 +1,243 @@
+// egtd: the simulation-serving daemon (DESIGN.md §11).
+//
+// Jobs arrive as egt.job/v1 JSON objects, one per line, on stdin; every
+// scheduler transition leaves as one NDJSON event line on stdout. The
+// daemon is crash-safe: accepted jobs are fsynced into the data dir's
+// egt.jobs/v1 journal before the "submitted" acknowledgement is printed,
+// and a restarted egtd replays the journal — completed jobs keep their
+// results, unfinished ones resume from their newest intact checkpoint.
+//
+//   # run two tenants' jobs over one worker pool, durable under ./served
+//   cat jobs.ndjson | egtd --data-dir served --workers 2 --slice 64
+//
+//   # resume whatever an earlier (killed) egtd left behind, then drain
+//   egtd --data-dir served < /dev/null
+//
+// Input lines:
+//   {"schema":"egt.job/v1","tenant":"alice","game":"hawk_dove",
+//    "config":{"ssets":32,"generations":2000}}       submit a job
+//   {"cmd":"cancel","job_id":3}                      cancel one
+//
+// SIGTERM/SIGINT stop gracefully: running jobs are checkpointed at their
+// next generation boundary and stay acknowledged in the journal for the
+// next egtd to finish. On stdin EOF the daemon drains and exits (pass
+// --hold to keep serving until a signal instead).
+#include <poll.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "serve/jobspec.hpp"
+#include "serve/scheduler.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+extern "C" void request_stop(int) { g_stop = 1; }
+
+std::mutex g_out_mu;
+
+void print_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_out_mu);
+  std::fputs(line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+std::string event_line(const egt::serve::JobEvent& ev) {
+  std::ostringstream os;
+  egt::util::JsonWriter w(os, 0);
+  w.begin_object();
+  w.field("event", std::string(egt::serve::to_string(ev.kind)));
+  w.field("job_id", ev.job_id);
+  w.field("tenant", ev.tenant);
+  w.field("generation", ev.generation);
+  if (!ev.detail.empty()) w.field("detail", ev.detail);
+  w.end_object();
+  return os.str();
+}
+
+/// One stdin line: a job spec, or a {"cmd": ...} control object.
+void handle_line(egt::serve::Scheduler& sched, const std::string& line) {
+  using namespace egt;
+  if (line.empty() || line[0] == '#') return;
+  // Peek for a control object without disturbing spec errors.
+  bool is_cmd = false;
+  std::string cmd;
+  std::uint64_t cmd_job = 0;
+  try {
+    const util::JsonValue v = util::JsonValue::parse(line);
+    if (v.is_object() && v.find("cmd") != nullptr) {
+      is_cmd = true;
+      cmd = v.find("cmd")->as_string();
+      if (const auto* id = v.find("job_id")) {
+        cmd_job = static_cast<std::uint64_t>(id->as_number());
+      }
+    }
+  } catch (const std::exception&) {
+    // fall through: submit() reports the parse error uniformly
+  }
+  if (is_cmd) {
+    std::ostringstream os;
+    util::JsonWriter w(os, 0);
+    w.begin_object();
+    if (cmd == "cancel") {
+      w.field("event", std::string("cancel_requested"));
+      w.field("job_id", cmd_job);
+      w.field("ok", sched.cancel(cmd_job));
+    } else {
+      w.field("event", std::string("error"));
+      w.field("detail", "unknown cmd \"" + cmd + "\"");
+    }
+    w.end_object();
+    print_line(os.str());
+    return;
+  }
+  const serve::SubmitOutcome out = sched.submit(line);
+  if (!out.accepted) {
+    std::ostringstream os;
+    util::JsonWriter w(os, 0);
+    w.begin_object();
+    w.field("event", std::string("rejected"));
+    w.field("reason", out.rejected);
+    w.end_object();
+    print_line(os.str());
+  }
+  // Accepted submissions are announced by the Submitted event itself.
+}
+
+}  // namespace
+
+int run_cli(int argc, char** argv) {
+  using namespace egt;
+  util::Cli cli("egtd",
+                "simulation job daemon: NDJSON jobs in, NDJSON events out");
+  auto data_dir = cli.opt<std::string>(
+      "data-dir", "egtd.data",
+      "journal + checkpoints + metric streams live here; a restart with the "
+      "same dir resumes the previous daemon's queue");
+  auto workers = cli.opt<int>("workers", 1, "worker threads");
+  auto capacity = cli.opt<int>(
+      "queue-capacity", 64,
+      "max queued+running jobs; submissions beyond it are load-shed with "
+      "rejected: capacity");
+  auto slice = cli.opt<std::int64_t>(
+      "slice", 0,
+      "generations per dispatch before a job is preempted (checkpointed and "
+      "requeued) when other work waits; 0 runs jobs to completion");
+  auto max_attempts = cli.opt<int>(
+      "max-attempts", 3, "failed dispatches before a job turns failed");
+  auto watchdog = cli.opt<double>(
+      "watchdog-seconds", 0.0,
+      "per-attempt wall deadline enforced at generation boundaries; an "
+      "expired attempt retries with exponential backoff (0 = off)");
+  auto stream_every = cli.opt<std::int64_t>(
+      "metrics-stream-every", 0,
+      "per-generation NDJSON metrics per dispatch under "
+      "<data-dir>/streams/ (0 = off)");
+  auto keep = cli.opt<int>("checkpoint-keep", 2,
+                           "checkpoint generations retained per job");
+  auto hold = cli.flag(
+      "hold", "keep serving after stdin EOF (until SIGTERM/SIGINT)");
+  cli.parse(argc, argv);
+
+  serve::SchedulerOptions opts;
+  opts.workers = static_cast<unsigned>(*workers > 0 ? *workers : 1);
+  opts.queue_capacity = static_cast<std::size_t>(*capacity > 0 ? *capacity : 1);
+  opts.slice_generations = *slice > 0 ? static_cast<std::uint64_t>(*slice) : 0;
+  opts.max_attempts = static_cast<std::uint32_t>(*max_attempts > 0
+                                                     ? *max_attempts
+                                                     : 1);
+  opts.watchdog_seconds = *watchdog;
+  opts.metrics_stream_every =
+      *stream_every > 0 ? static_cast<std::uint64_t>(*stream_every) : 0;
+  opts.checkpoint_keep = *keep;
+  opts.data_dir = *data_dir;
+  obs::MetricsRegistry metrics;
+  opts.metrics = &metrics;
+
+  serve::Scheduler sched(opts);
+  sched.set_event_sink(
+      [](const serve::JobEvent& ev) { print_line(event_line(ev)); });
+
+  const auto rep = sched.recover();
+  {
+    std::ostringstream os;
+    util::JsonWriter w(os, 0);
+    w.begin_object();
+    w.field("event", std::string("recovered"));
+    w.field("replayed", static_cast<std::uint64_t>(rep.replayed));
+    w.field("terminal", static_cast<std::uint64_t>(rep.completed));
+    w.field("requeued", static_cast<std::uint64_t>(rep.requeued));
+    w.field("corrupt_skipped", static_cast<std::uint64_t>(rep.corrupt_skipped));
+    w.field("truncated_tail", rep.truncated_tail);
+    w.end_object();
+    print_line(os.str());
+  }
+  sched.start();
+
+  std::signal(SIGTERM, request_stop);
+  std::signal(SIGINT, request_stop);
+
+  // Poll stdin so a signal is noticed within one tick even while no input
+  // arrives (a blocked line read would ride out SIGTERM under SA_RESTART).
+  std::string buffer;
+  bool stdin_open = true;
+  while (g_stop == 0) {
+    if (!stdin_open) {
+      if (!*hold) break;
+      ::poll(nullptr, 0, 100);
+      continue;
+    }
+    struct pollfd pfd{STDIN_FILENO, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc <= 0) continue;
+    char chunk[4096];
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+    if (n <= 0) {
+      stdin_open = false;
+      continue;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      handle_line(sched, buffer.substr(0, nl));
+      buffer.erase(0, nl + 1);
+    }
+  }
+  if (!buffer.empty()) handle_line(sched, buffer);
+
+  if (g_stop != 0) {
+    // Graceful: running jobs checkpoint at their next generation boundary
+    // and stay journaled for the next egtd.
+    print_line("{\"event\": \"stopping\", \"reason\": \"signal\"}");
+    sched.shutdown();
+  } else {
+    sched.drain();
+    sched.shutdown();
+  }
+
+  // Full results for everything that completed under this daemon.
+  for (const serve::JobStatus& js : sched.statuses()) {
+    if (js.state != serve::JobState::Completed) continue;
+    if (const auto result = sched.result(js.id)) {
+      print_line(serve::job_result_to_json(js.id, *result));
+    }
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

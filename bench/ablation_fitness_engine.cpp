@@ -12,12 +12,14 @@
 // (asserted in tests); this bench shows what each costs. --json writes an
 // egt.bench_fitness/v1 document (consumed by tools/bench_check in the CI
 // perf-smoke job).
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "game/simd.hpp"
 #include "game/spec/registry.hpp"
 #include "obs/tracer.hpp"
 #include "util/cli.hpp"
@@ -32,6 +34,11 @@ int main(int argc, char** argv) {
                 "without strategy-interned dedup");
   auto ssets = cli.opt<int>("ssets", 48, "number of SSets");
   auto gens = cli.opt<std::int64_t>("generations", 300, "generations");
+  auto warmup = cli.opt<int>("warmup", 1,
+                            "untimed warmup runs per variant (touch caches, "
+                            "fault in pages, settle the clock governor)");
+  auto repeats = cli.opt<int>(
+      "repeats", 3, "timed runs per variant; min wall time is reported");
   auto json_out = cli.opt<std::string>(
       "json", "", "write an egt.bench_fitness/v1 JSON document here");
   cli.parse(argc, argv);
@@ -49,7 +56,8 @@ int main(int argc, char** argv) {
   struct Variant {
     std::string name;
     core::SimConfig cfg;
-    bool traced = false;  ///< run with the flight recorder enabled
+    bool traced = false;        ///< run with the flight recorder enabled
+    bool force_scalar = false;  ///< pin the scalar batch kernel for the run
   };
   std::vector<Variant> variants;
   {
@@ -87,6 +95,22 @@ int main(int argc, char** argv) {
     rps.memory = 0;
     rps.game = *game::find_game("rps");
     variants.push_back({"analytic rps (n-way)", rps});
+    // The mem1-markov batch kernel (DESIGN.md §12): mixed memory-one
+    // strategies never cycle, so every pair goes through the analytic
+    // stationary solve — the row the SoA/AVX2 batch kernels accelerate.
+    // The forced-scalar twin pins the scalar fallback's cost so a
+    // dispatch regression (silently losing the AVX2 path) shows up as a
+    // kernel-row delta rather than hiding inside run-to-run noise.
+    auto mem1 = base;
+    mem1.fitness_mode = core::FitnessMode::Analytic;
+    mem1.memory = 1;
+    mem1.space = pop::StrategySpace::Mixed;
+    mem1.dedup = false;
+    variants.push_back({"analytic mem1-markov (no dedup)", mem1});
+    variants.push_back(
+        {"analytic mem1-markov scalar", mem1, false, /*force_scalar=*/true});
+    mem1.dedup = true;
+    variants.push_back({"analytic mem1-markov + dedup", mem1});
   }
 
   struct Result {
@@ -99,25 +123,48 @@ int main(int argc, char** argv) {
   std::vector<Result> results;
   util::TextTable table({"engine", "wall time (s)", "pair evaluations",
                          "games played", "final table hash"});
+  // Timing discipline: each variant gets --warmup untimed runs (the first
+  // run of a process pays for page faults, branch-predictor and allocator
+  // warmup — single-shot timing once recorded a *traced* run as faster
+  // than its untraced twin purely from run order), then --repeats timed
+  // runs of which the minimum is reported. min-of-N is the standard
+  // estimator for a deterministic workload: noise is strictly additive.
   for (const auto& v : variants) {
-    if (v.traced) obs::Tracer::instance().start();
-    core::Engine engine(v.cfg);
-    util::Timer t;
-    engine.run_all();
     Result r;
     r.name = v.name;
-    r.wall_s = t.seconds();
-    if (v.traced) {
-      obs::Tracer::instance().stop();
-      obs::Tracer::instance().clear();  // measure recording, not serializing
+    r.wall_s = 0.0;
+    const int timed = std::max(1, *repeats);
+    for (int run = -std::max(0, *warmup); run < timed; ++run) {
+      if (v.traced) obs::Tracer::instance().start();
+      if (v.force_scalar) game::simd::set_force_scalar(true);
+      core::Engine engine(v.cfg);
+      util::Timer t;
+      engine.run_all();
+      const double wall = t.seconds();
+      if (v.force_scalar) game::simd::set_force_scalar(false);
+      if (v.traced) {
+        obs::Tracer::instance().stop();
+        obs::Tracer::instance().clear();  // measure recording, not serializing
+      }
+      if (run < 0) continue;  // warmup: never timed
+      if (run == 0 || wall < r.wall_s) r.wall_s = wall;
+      // Counters and hash are deterministic across repeats; take them from
+      // the first timed run and verify the rest agree.
+      if (run == 0) {
+        r.pairs = engine.pairs_evaluated();
+        r.games = engine.games_played();
+        char hash[32];
+        std::snprintf(hash, sizeof hash, "%016llx",
+                      static_cast<unsigned long long>(
+                          engine.population().table_hash()));
+        r.hash = hash;
+      } else if (r.pairs != engine.pairs_evaluated() ||
+                 r.games != engine.games_played()) {
+        std::cerr << "FATAL [" << v.name
+                  << "]: counters diverged across repeats\n";
+        return 1;
+      }
     }
-    r.pairs = engine.pairs_evaluated();
-    r.games = engine.games_played();
-    char hash[32];
-    std::snprintf(hash, sizeof hash, "%016llx",
-                  static_cast<unsigned long long>(
-                      engine.population().table_hash()));
-    r.hash = hash;
     table.add_row({r.name, std::to_string(r.wall_s), std::to_string(r.pairs),
                    std::to_string(r.games), r.hash});
     results.push_back(std::move(r));
@@ -142,6 +189,8 @@ int main(int argc, char** argv) {
     w.field("ssets", static_cast<std::uint64_t>(base.ssets));
     w.field("generations", base.generations);
     w.field("seed", base.seed);
+    w.field("warmup", static_cast<std::uint64_t>(std::max(0, *warmup)));
+    w.field("repeats", static_cast<std::uint64_t>(std::max(1, *repeats)));
     w.end_object();
     w.key("rows");
     w.begin_array();

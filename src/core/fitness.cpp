@@ -12,34 +12,62 @@ PairEvaluator::PairEvaluator(const SimConfig& config)
     : config_(config),
       engine_(config.memory, config.game.ipd_params(), config.lookup) {}
 
+PairEvaluator::Route PairEvaluator::route(
+    const game::Strategy& si, const game::Strategy& sj) const noexcept {
+  if (config_.fitness_mode != FitnessMode::Analytic) {
+    return Route::SampledStream;
+  }
+  // N-way matrix games: the memory-0 outcome chain is always exact, and
+  // must never flow into a kernel that assumes binary moves.
+  if (game::spec::requires_spec_chain(config_.game)) return Route::NWaySpec;
+  if (si.is_pure() && sj.is_pure() && config_.game.noise == 0.0) {
+    return Route::PureExact;
+  }
+  if (config_.memory == 1) return Route::Mem1Markov;
+  return Route::SampledStream;  // stochastic memory >= 2: stream play
+}
+
 bool PairEvaluator::strategy_pure(const game::Strategy& si,
                                   const game::Strategy& sj) const noexcept {
-  if (config_.fitness_mode != FitnessMode::Analytic) return false;
-  // N-way matrix games: the memory-0 outcome chain is always exact.
-  if (config_.game.uses_nway()) return true;
-  if (si.is_pure() && sj.is_pure() && config_.game.noise == 0.0) return true;
-  return config_.memory == 1;
+  return route(si, sj) != Route::SampledStream;
+}
+
+void PairEvaluator::mem1_batch_payoffs(const game::batch::Mem1Batch& batch,
+                                       std::span<double> out) const {
+  game::batch::expected_payoff_mem1(batch, config_.game.payoff,
+                                    config_.game.rounds, out);
 }
 
 double PairEvaluator::pair_payoff(const game::Strategy& si,
                                   const game::Strategy& sj) const {
-  if (config_.game.uses_nway()) {
-    return game::spec::expected_game(
-               config_.game,
-               game::spec::Behavioral::from_strategy(config_.game, si),
-               game::spec::Behavioral::from_strategy(config_.game, sj))
-        .payoff_a;
+  switch (route(si, sj)) {
+    case Route::NWaySpec:
+      return game::spec::expected_game(
+                 config_.game,
+                 game::spec::Behavioral::from_strategy(config_.game, si),
+                 game::spec::Behavioral::from_strategy(config_.game, sj))
+          .payoff_a;
+    case Route::PureExact:
+      return game::batch::exact_pure_game_fast(si.as_pure(), sj.as_pure(),
+                                               config_.game.payoff,
+                                               config_.game.rounds)
+          .payoff_a;
+    case Route::Mem1Markov: {
+      // Batch of one through the same kernel every batched evaluation
+      // uses (one kernel per process; lane arithmetic is batch-size
+      // independent, so this equals any batched evaluation bitwise).
+      thread_local game::batch::Mem1Batch batch;
+      batch.clear();
+      batch.push_pair(si, sj, config_.game.noise);
+      double out = 0.0;
+      mem1_batch_payoffs(batch, {&out, 1});
+      return out;
+    }
+    case Route::SampledStream:
+      break;
   }
-  if (si.is_pure() && sj.is_pure() && config_.game.noise == 0.0) {
-    return game::markov::exact_pure_game(si.as_pure(), sj.as_pure(),
-                                         config_.game.payoff,
-                                         config_.game.rounds)
-        .payoff_a;
-  }
-  return game::markov::expected_game_mem1(si, sj, config_.game.payoff,
-                                          config_.game.rounds,
-                                          config_.game.noise)
-      .payoff_a;
+  EGT_REQUIRE_MSG(false, "pair_payoff requires a strategy-pure pair");
+  return 0.0;
 }
 
 double PairEvaluator::payoff(const pop::Population& pop, pop::SSetId i,
@@ -74,7 +102,10 @@ BlockFitness::BlockFitness(const SimConfig& config, pop::SSetId row_begin,
       end_(row_end),
       dedup_(config.dedup && config.fitness_mode == FitnessMode::Analytic &&
              config.game.kind != game::GameKind::PublicGoods),
-      pgg_(config.game.kind == game::GameKind::PublicGoods) {
+      pgg_(config.game.kind == game::GameKind::PublicGoods),
+      row_batchable_(config.fitness_mode == FitnessMode::Analytic && !pgg_ &&
+                     !game::spec::requires_spec_chain(config.game) &&
+                     config.memory == 1) {
   EGT_REQUIRE(row_begin <= row_end && row_end <= config.ssets);
   if (metrics != nullptr) {
     ct_cache_inserts_ = &metrics->counter("fitness.cache_inserts");
@@ -225,11 +256,40 @@ void BlockFitness::prefill_class(const pop::Population& pop, pop::ClassId cr) {
   // games_played stays identical to the serial lazy path for any thread
   // count: every live column class — except the self pair of a singleton
   // class, which no (i, j != i) ever realizes.
+  //
+  // The Mem1Markov misses are gathered into one SoA batch (fed straight
+  // from the population's interned class-table view) and run through a
+  // single kernel call; other routes evaluate per pair. Lane arithmetic is
+  // batch-size independent, so the cached values equal the per-pair path
+  // bitwise, and each batched pair still counts as one game.
   const auto& classes = pop.classes();
+  const pop::StrategyClass& row = classes[cr];
+  game::batch::Mem1Batch batch;
+  std::vector<const pop::StrategyClass*> cols;
   for (pop::ClassId cc = 0; cc < classes.size(); ++cc) {
     if (classes[cc].members == 0) continue;
     if (cc == cr && classes[cc].members < 2) continue;
-    prefill_pair(pop, cr, cc);
+    const pop::StrategyClass& col = classes[cc];
+    if (eval_.route(row.strategy, col.strategy) !=
+            PairEvaluator::Route::Mem1Markov ||
+        !pop.mem1_batchable(cr) || !pop.mem1_batchable(cc)) {
+      prefill_pair(pop, cr, cc);
+      continue;
+    }
+    const std::uint64_t key = game::Strategy::pair_key(row.hash, col.hash);
+    if (class_pay_.find(key) != class_pay_.end()) continue;
+    batch.push_probs(pop.mem1_probs(cr), pop.mem1_probs(cc),
+                     config_.game.noise);
+    cols.push_back(&col);
+  }
+  if (batch.empty()) return;
+  std::vector<double> vals(batch.size());
+  eval_.mem1_batch_payoffs(batch, vals);
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    class_pay_.emplace(game::Strategy::pair_key(row.hash, cols[k]->hash),
+                       ClassPay{vals[k], row.hash, cols[k]->hash});
+    ++games_;
+    if (ct_cache_inserts_ != nullptr) ct_cache_inserts_->inc();
   }
 }
 
@@ -242,10 +302,12 @@ void BlockFitness::recompute_row(pop::SSetId i, const pop::Population& pop,
   }
   const std::size_t row = i - begin_;
   const bool use_agent_pool = agent_pool_ != nullptr && !nested;
-  if (dedup_ && use_agent_pool) {
-    // The agent tier reads the cache from several threads: make every
-    // strategy-pure pair of this row a guaranteed hit first. Structured
-    // rows only ever touch their neighbours' classes.
+  if (dedup_ && !nested) {
+    // Serial control path: make every strategy-pure pair of this row a
+    // guaranteed hit first — prefill_class batches the Mem1Markov misses
+    // through one SoA kernel call, and the agent tier (when active) then
+    // reads the cache from several threads without ever inserting.
+    // Structured rows only ever touch their neighbours' classes.
     const pop::ClassId ci = pop.strategy_class(i);
     if (structured()) {
       for (pop::SSetId j : graph_->neighbors(i)) {
@@ -292,6 +354,49 @@ void BlockFitness::recompute_row(pop::SSetId i, const pop::Population& pop,
     fitness_[row] = sum * row_scale(i);
     return;
   }
+  if (row_batchable_ && !dedup_ && !use_agent_pool) {
+    // SoA row batch (DESIGN.md §12): every Mem1Markov pair of this row
+    // goes through one batch kernel call, fed from the interned class
+    // table's SoA view; other routes (PureExact walker, rare mixed-in
+    // pure pairs) fall back to per-pair evaluation. The final sum still
+    // walks j in fixed order over the same per-pair values — one kernel
+    // per process and batch-size-independent lanes make this
+    // bit-identical to the per-pair loop.
+    thread_local game::batch::Mem1Batch batch;
+    thread_local std::vector<double> vals;
+    thread_local std::vector<double> bvals;
+    thread_local std::vector<pop::SSetId> bj;
+    batch.clear();
+    bj.clear();
+    if (vals.size() < config_.ssets) vals.resize(config_.ssets);
+    const game::Strategy& si = pop.strategy(i);
+    const pop::ClassId ci = pop.strategy_class(i);
+    for (pop::SSetId j = 0; j < config_.ssets; ++j) {
+      if (j == i) continue;
+      const pop::ClassId cj = pop.strategy_class(j);
+      if (eval_.route(si, pop.strategy(j)) ==
+              PairEvaluator::Route::Mem1Markov &&
+          pop.mem1_batchable(ci) && pop.mem1_batchable(cj)) {
+        batch.push_probs(pop.mem1_probs(ci), pop.mem1_probs(cj),
+                         config_.game.noise);
+        bj.push_back(j);
+      } else {
+        vals[j] = pair_value(pop, i, j, gen_key, counts.games, !nested);
+      }
+    }
+    if (bvals.size() < batch.size()) bvals.resize(batch.size());
+    eval_.mem1_batch_payoffs(batch, {bvals.data(), batch.size()});
+    counts.games += bj.size();  // one expected-payoff evaluation per pair
+    for (std::size_t k = 0; k < bj.size(); ++k) vals[bj[k]] = bvals[k];
+    for (pop::SSetId j = 0; j < config_.ssets; ++j) {
+      if (j == i) continue;
+      ++counts.pairs;
+      if (cached()) matrix_[row * config_.ssets + j] = vals[j];
+      sum += vals[j];
+    }
+    fitness_[row] = sum * row_scale(i);
+    return;
+  }
   if (use_agent_pool) {
     // Agent tier: the row's games run concurrently into a buffer; the sum
     // is then taken in fixed j order, so the result is bit-identical to
@@ -329,19 +434,13 @@ void BlockFitness::recompute_row(pop::SSetId i, const pop::Population& pop,
 void BlockFitness::evaluate_rows(const pop::Population& pop,
                                  std::uint64_t gen_key) {
   const std::uint64_t rows = end_ - begin_;
-  if (sset_pool_ == nullptr) {
-    Counts counts;
-    for (pop::SSetId i = begin_; i < end_; ++i) {
-      recompute_row(i, pop, gen_key, counts, false);
-    }
-    pairs_ += counts.pairs;
-    games_ += counts.games;
-    return;
-  }
   if (dedup_) {
-    // Pool workers only read the cache: cover exactly the strategy-pure
-    // pairs the rows below will touch, so the hit set is guaranteed and
-    // games_played stays thread-count-invariant.
+    // Cover exactly the strategy-pure pairs the rows below will touch,
+    // serially and up front. Pool workers then only ever read the cache
+    // (the hit set is guaranteed and games_played stays
+    // thread-count-invariant), and the serial path inserts the same key
+    // set it would have inserted lazily — but through prefill_class's SoA
+    // batches instead of one kernel call per miss.
     if (structured()) {
       for (pop::SSetId i = begin_; i < end_; ++i) {
         const pop::ClassId ci = pop.strategy_class(i);
@@ -360,6 +459,15 @@ void BlockFitness::evaluate_rows(const pop::Population& pop,
                         row_classes.end());
       for (pop::ClassId cr : row_classes) prefill_class(pop, cr);
     }
+  }
+  if (sset_pool_ == nullptr) {
+    Counts counts;
+    for (pop::SSetId i = begin_; i < end_; ++i) {
+      recompute_row(i, pop, gen_key, counts, false);
+    }
+    pairs_ += counts.pairs;
+    games_ += counts.games;
+    return;
   }
   // SSet-row tier: rows are independent (each writes only its fitness and
   // matrix entries and its own Counts slot); every row keeps its fixed

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "game/batch.hpp"
 #include "game/markov.hpp"
 #include "game/spec/chain.hpp"
 #include "obs/metrics.hpp"
@@ -53,6 +54,28 @@ namespace egt::core {
 class PairEvaluator {
  public:
   explicit PairEvaluator(const SimConfig& config);
+
+  /// Which kernel evaluates a strategy pair (the DESIGN.md §12 dispatch
+  /// rules). Everything except SampledStream is a pure function of the
+  /// strategy pair — the dedup-eligibility rule.
+  enum class Route {
+    NWaySpec,       ///< m-action spec chain (spec::requires_spec_chain) —
+                    ///< never the 2x2 batch kernels
+    PureExact,      ///< deterministic pure pair, zero noise: bit-packed
+                    ///< cycle walker (batch::exact_pure_game_fast)
+    Mem1Markov,     ///< memory-one analytic: SoA batch kernel
+                    ///< (batch::expected_totals_mem1, AVX2 or scalar)
+    SampledStream,  ///< (gen_key, i, j)-keyed stream play — never
+                    ///< deduplicated, never batched
+  };
+  Route route(const game::Strategy& si,
+              const game::Strategy& sj) const noexcept;
+
+  /// Batch twin of pair_payoff for Route::Mem1Markov pairs: out[k] gets
+  /// the row-side payoff of the batch's pair k, each bit-identical to
+  /// pair_payoff on that pair (lane arithmetic is batch-size independent).
+  void mem1_batch_payoffs(const game::batch::Mem1Batch& batch,
+                          std::span<double> out) const;
 
   /// Payoff of SSet `i` playing SSet `j` (i's side), using the stream keyed
   /// by (seed, gen_key, i, j). For FitnessMode::Analytic the value is an
@@ -243,6 +266,10 @@ class BlockFitness {
   pop::SSetId end_;
   bool dedup_ = false;
   bool pgg_ = false;  ///< GameKind::PublicGoods: group-pooled fitness
+  /// Analytic binary-game memory-one config: well-mixed non-dedup rows run
+  /// through the SoA row batch (one kernel call per row) instead of
+  /// per-pair evaluation.
+  bool row_batchable_ = false;
   std::vector<double> fitness_;         // per owned row (scaled sums)
   std::vector<double> matrix_;          // cached modes: rows x ssets payoffs
   std::vector<double> row_scratch_;     // agent-tier evaluation buffer

@@ -1,5 +1,6 @@
 #include "game/ipd.hpp"
 
+#include "game/batch.hpp"
 #include "util/check.hpp"
 
 namespace egt::game {
@@ -64,6 +65,12 @@ GameResult IpdEngine::play(const Strategy& a, const Strategy& b,
   EGT_REQUIRE_MSG(a.memory() == memory() && b.memory() == memory(),
                   "strategy memory depth must match the engine");
   if (a.is_pure() && b.is_pure()) {
+    if (params_.noise == 0.0 && mode_ == LookupMode::Indexed) {
+      // Deterministic game: the bit-packed walker reproduces the round
+      // loop bit-for-bit (and, like the loop, consumes no RNG draws).
+      return batch::run_pure_game(a.as_pure(), b.as_pure(), params_.payoff,
+                                  params_.rounds);
+    }
     return run(a.as_pure(), b.as_pure(), rng);
   }
   if (a.is_pure()) {
@@ -79,6 +86,9 @@ GameResult IpdEngine::play(const PureStrategy& a, const PureStrategy& b,
                            util::StreamRng rng) const {
   EGT_REQUIRE_MSG(a.memory() == memory() && b.memory() == memory(),
                   "strategy memory depth must match the engine");
+  if (params_.noise == 0.0 && mode_ == LookupMode::Indexed) {
+    return batch::run_pure_game(a, b, params_.payoff, params_.rounds);
+  }
   return run(a, b, rng);
 }
 

@@ -25,6 +25,17 @@
 
 namespace egt::game::spec {
 
+/// Dispatch gate for the batch fitness kernels (game/batch.hpp): true when
+/// a spec's pairwise play must route through this m-action chain and may
+/// NOT use the 2x2 SIMD/SoA batch kernels — any n-way spec (actions >= 3
+/// or bimatrix payoffs). 2-action IPD-shaped specs return false and keep
+/// the markov/batch fast path. The fitness tier consults this gate before
+/// batching, so adding an m-action game can never silently flow into a
+/// kernel that assumes binary moves.
+inline bool requires_spec_chain(const GameSpec& spec) noexcept {
+  return spec.uses_nway();
+}
+
 /// Behavioral strategy over m actions: one action distribution per chain
 /// state. memory 0 = one state (unconditional play); memory 1 = m^2 states
 /// indexed (my last action) * m + (their last action), the m-action

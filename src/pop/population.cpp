@@ -87,7 +87,26 @@ ClassId Population::intern(game::Strategy s) {
   }
   chain.push_back(c);
   ++live_classes_;
+  refresh_mem1(c);
   return c;
+}
+
+void Population::refresh_mem1(ClassId c) {
+  const auto need = static_cast<std::size_t>(c) + 1;
+  if (mem1_valid_.size() < need) {
+    mem1_valid_.resize(need, 0);
+    mem1_probs_.resize(4 * need, 0.0);
+  }
+  const game::Strategy& s = classes_[c].strategy;
+  if (s.is_nway() || s.memory() != 1) {
+    mem1_valid_[c] = 0;
+    return;
+  }
+  for (int o = 0; o < 4; ++o) {
+    mem1_probs_[4 * static_cast<std::size_t>(c) + o] =
+        s.coop_prob(static_cast<game::State>(o));
+  }
+  mem1_valid_[c] = 1;
 }
 
 void Population::release(ClassId c) {
@@ -102,6 +121,7 @@ void Population::release(ClassId c) {
   slot.hash = 0;
   free_slots_.push_back(c);
   --live_classes_;
+  if (c < mem1_valid_.size()) mem1_valid_[c] = 0;
 }
 
 std::uint64_t Population::table_hash() const noexcept {

@@ -1,0 +1,173 @@
+#include "simcheck/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "game/batch.hpp"
+#include "game/ipd.hpp"
+#include "game/markov.hpp"
+#include "game/payoff.hpp"
+#include "game/simd.hpp"
+#include "game/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace egt::simcheck {
+
+namespace {
+
+constexpr double kCrossKernelTol = 1e-12;  // AVX2 vs scalar, relative
+
+double rel_err(double got, double want) {
+  const double scale = std::max(1.0, std::fabs(want));
+  return std::fabs(got - want) / scale;
+}
+
+void note_failure(KernelCheck& c, const std::string& what) {
+  if (c.detail.empty()) c.detail = what;
+  c.passed = false;
+}
+
+game::PayoffMatrix sample_payoff(util::Xoshiro256& rng, bool integral) {
+  if (integral) return game::paper_payoff();
+  return game::PayoffMatrix{3.0 + util::uniform01(rng),
+                            -util::uniform01(rng),
+                            4.0 + util::uniform01(rng),
+                            util::uniform01(rng)};
+}
+
+/// AVX2 vs scalar on random mixed/pure batches (skipped when the AVX2
+/// kernel is unavailable), plus scalar vs markov bit-identity.
+void check_mem1(KernelReport& report, util::Xoshiro256& rng) {
+  KernelCheck cross{"mem1.avx2_vs_scalar", true, 0, 0.0, {}};
+  KernelCheck exact{"mem1.scalar_vs_markov_bitwise", true, 0, 0.0, {}};
+  const bool avx2 = report.avx2_available;
+
+  for (int iter = 0; iter < 64; ++iter) {
+    const std::size_t n = 1 + util::uniform_below(rng, 9);  // remainder lanes
+    const double eps = (iter % 3 == 0) ? 0.0 : 0.25 * util::uniform01(rng);
+    const game::PayoffMatrix payoff = sample_payoff(rng, iter % 2 == 0);
+    const auto rounds =
+        static_cast<std::uint32_t>(1 + util::uniform_below(rng, 400));
+
+    game::batch::Mem1Batch batch;
+    std::vector<game::Strategy> as, bs;
+    for (std::size_t k = 0; k < n; ++k) {
+      // Mix pure and mixed memory-one strategies in one batch.
+      if (util::uniform_below(rng, 4) == 0) {
+        as.emplace_back(game::PureStrategy::random(1, rng));
+      } else {
+        as.emplace_back(game::MixedStrategy::random(1, rng));
+      }
+      bs.emplace_back(game::MixedStrategy::random(1, rng));
+      batch.push_pair(as.back(), bs.back(), eps);
+    }
+
+    std::vector<game::batch::BatchTotals> sca(n);
+    game::batch::expected_totals_mem1_scalar(batch, payoff, rounds,
+                                             sca.data());
+    for (std::size_t k = 0; k < n; ++k) {
+      const game::GameResult want = game::markov::expected_game_mem1(
+          as[k], bs[k], payoff, rounds, eps);
+      exact.cases++;
+      if (sca[k].payoff_a != want.payoff_a ||
+          sca[k].payoff_b != want.payoff_b) {
+        std::ostringstream os;
+        os << "scalar kernel diverges from markov at iter " << iter
+           << " pair " << k << ": " << sca[k].payoff_a
+           << " != " << want.payoff_a;
+        note_failure(exact, os.str());
+      }
+    }
+    if (!avx2) continue;
+    std::vector<game::batch::BatchTotals> avx(n);
+    game::batch::expected_totals_mem1_avx2(batch, payoff, rounds, avx.data());
+    for (std::size_t k = 0; k < n; ++k) {
+      cross.cases++;
+      const double worst = std::max(
+          {rel_err(avx[k].payoff_a, sca[k].payoff_a),
+           rel_err(avx[k].payoff_b, sca[k].payoff_b),
+           rel_err(avx[k].coop_a, sca[k].coop_a),
+           rel_err(avx[k].coop_b, sca[k].coop_b)});
+      cross.worst_rel = std::max(cross.worst_rel, worst);
+      if (worst > kCrossKernelTol) {
+        std::ostringstream os;
+        os << "avx2 vs scalar rel err " << worst << " > " << kCrossKernelTol
+           << " at iter " << iter << " pair " << k;
+        note_failure(cross, os.str());
+      }
+    }
+  }
+  if (cross.detail.empty()) {
+    std::ostringstream os;
+    if (avx2) {
+      os << "worst rel err " << cross.worst_rel;
+    } else {
+      os << "skipped: AVX2 kernel unavailable";
+    }
+    cross.detail = os.str();
+  }
+  report.checks.push_back(std::move(cross));
+  report.checks.push_back(std::move(exact));
+}
+
+/// Pure walkers vs markov::exact_pure_game / the legacy round loop —
+/// bitwise, across memory depths and round counts.
+void check_pure(KernelReport& report, util::Xoshiro256& rng) {
+  KernelCheck walker{"pure.walker_vs_markov_bitwise", true, 0, 0.0, {}};
+  KernelCheck sampled{"pure.run_vs_round_loop_bitwise", true, 0, 0.0, {}};
+
+  for (int iter = 0; iter < 64; ++iter) {
+    const int memory = static_cast<int>(util::uniform_below(rng, 4));
+    const auto rounds =
+        static_cast<std::uint32_t>(1 + util::uniform_below(rng, 1000));
+    const game::PayoffMatrix payoff = sample_payoff(rng, iter % 2 == 0);
+    const game::PureStrategy a = game::PureStrategy::random(memory, rng);
+    const game::PureStrategy b = game::PureStrategy::random(memory, rng);
+
+    const game::GameResult want =
+        game::markov::exact_pure_game(a, b, payoff, rounds);
+    const game::GameResult got =
+        game::batch::exact_pure_game_fast(a, b, payoff, rounds);
+    walker.cases++;
+    if (got.payoff_a != want.payoff_a || got.payoff_b != want.payoff_b ||
+        got.coop_a != want.coop_a || got.coop_b != want.coop_b) {
+      std::ostringstream os;
+      os << "walker diverges from exact_pure_game at iter " << iter
+         << " (memory " << memory << ", rounds " << rounds << ")";
+      note_failure(walker, os.str());
+    }
+
+    // The LinearSearch engine still runs the legacy loop (no fast path).
+    const game::IpdParams params{payoff, rounds, 0.0};
+    const game::IpdEngine linear(memory, params,
+                                 game::LookupMode::LinearSearch);
+    const game::GameResult loop = linear.play(a, b, util::StreamRng(0, 0));
+    const game::GameResult fast =
+        game::batch::run_pure_game(a, b, payoff, rounds);
+    sampled.cases++;
+    if (fast.payoff_a != loop.payoff_a || fast.payoff_b != loop.payoff_b ||
+        fast.coop_a != loop.coop_a || fast.coop_b != loop.coop_b) {
+      std::ostringstream os;
+      os << "run_pure_game diverges from the round loop at iter " << iter
+         << " (memory " << memory << ", rounds " << rounds << ")";
+      note_failure(sampled, os.str());
+    }
+  }
+  report.checks.push_back(std::move(walker));
+  report.checks.push_back(std::move(sampled));
+}
+
+}  // namespace
+
+KernelReport run_kernel_checks(std::uint64_t seed) {
+  KernelReport report;
+  report.avx2_available =
+      game::simd::compiled_with_avx2() && game::simd::cpu_supports_avx2();
+  util::Xoshiro256 rng(seed);
+  check_mem1(report, rng);
+  check_pure(report, rng);
+  return report;
+}
+
+}  // namespace egt::simcheck

@@ -1,0 +1,45 @@
+// Kernel cross-validation (DESIGN.md §12 tolerance policy): fuzz the batch
+// fitness kernels against their references.
+//
+//  * Mem1 batch: random memory-one pair batches (mixed + pure, with and
+//    without noise, remainder-lane sizes included) — the AVX2 lane kernel
+//    must agree with the scalar reference to 1e-12 relative, and the
+//    scalar reference must be bit-identical to markov::expected_game_mem1.
+//  * Pure walker: random deterministic pure pairs across memory depths —
+//    batch::exact_pure_game_fast must be bit-identical to
+//    markov::exact_pure_game, and batch::run_pure_game to the legacy
+//    round loop.
+//
+// Exposed as `simcheck --kernels`; runs whatever kernels this build/CPU
+// provides (the AVX2 half is skipped, not failed, on scalar-only builds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace egt::simcheck {
+
+struct KernelCheck {
+  std::string name;
+  bool passed = false;
+  std::uint64_t cases = 0;      ///< pairs compared
+  double worst_rel = 0.0;       ///< worst relative error observed
+  std::string detail;           ///< first failure, or summary
+};
+
+struct KernelReport {
+  std::vector<KernelCheck> checks;
+  bool avx2_available = false;  ///< compiled in and CPU-supported
+  bool passed() const noexcept {
+    for (const auto& c : checks) {
+      if (!c.passed) return false;
+    }
+    return true;
+  }
+};
+
+/// Run the full kernel cross-validation suite (deterministic for a seed).
+KernelReport run_kernel_checks(std::uint64_t seed);
+
+}  // namespace egt::simcheck

@@ -1,0 +1,200 @@
+// SIMD/SoA batch fitness path (DESIGN.md §12): routing rules, kernel
+// equivalence at the fitness tier, and the scalar fallback for pairs the
+// batch kernel must not touch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/fitness.hpp"
+#include "game/simd.hpp"
+#include "game/spec/registry.hpp"
+#include "pop/population.hpp"
+#include "util/rng.hpp"
+
+namespace egt::core {
+namespace {
+
+SimConfig analytic_config(pop::SSetId ssets, int memory) {
+  SimConfig cfg;
+  cfg.ssets = ssets;
+  cfg.memory = memory;
+  cfg.seed = 4242;
+  cfg.fitness_mode = FitnessMode::Analytic;
+  cfg.dedup = false;  // exercise the row-batch path; tests opt back in
+  return cfg;
+}
+
+struct ForceScalarGuard {
+  explicit ForceScalarGuard(bool on) { game::simd::set_force_scalar(on); }
+  ~ForceScalarGuard() { game::simd::set_force_scalar(false); }
+};
+
+TEST(PairRoute, ClassifiesEveryDispatchCase) {
+  util::Xoshiro256 rng(1);
+  const game::Strategy pure1{game::PureStrategy::random(1, rng)};
+  const game::Strategy mixed1{game::MixedStrategy::random(1, rng)};
+
+  SimConfig cfg = analytic_config(8, 1);
+  PairEvaluator eval(cfg);
+  EXPECT_EQ(eval.route(pure1, pure1), PairEvaluator::Route::PureExact);
+  EXPECT_EQ(eval.route(pure1, mixed1), PairEvaluator::Route::Mem1Markov);
+  EXPECT_EQ(eval.route(mixed1, mixed1), PairEvaluator::Route::Mem1Markov);
+
+  // Execution noise kills the deterministic walker but not the chain.
+  cfg.game.noise = 0.05;
+  PairEvaluator noisy(cfg);
+  EXPECT_EQ(noisy.route(pure1, pure1), PairEvaluator::Route::Mem1Markov);
+
+  // Stochastic memory >= 2 has no closed form: stream play.
+  SimConfig deep = analytic_config(8, 2);
+  const game::Strategy mixed2{game::MixedStrategy::random(2, rng)};
+  const game::Strategy pure2{game::PureStrategy::random(2, rng)};
+  PairEvaluator deep_eval(deep);
+  EXPECT_EQ(deep_eval.route(mixed2, mixed2),
+            PairEvaluator::Route::SampledStream);
+  EXPECT_EQ(deep_eval.route(pure2, pure2), PairEvaluator::Route::PureExact);
+
+  // Sampled mode never has a strategy-pure pair.
+  SimConfig sampled = analytic_config(8, 1);
+  sampled.fitness_mode = FitnessMode::Sampled;
+  PairEvaluator sampled_eval(sampled);
+  EXPECT_EQ(sampled_eval.route(pure1, pure1),
+            PairEvaluator::Route::SampledStream);
+
+  // m-action specs bypass the 2x2 kernels entirely.
+  SimConfig nway = analytic_config(8, 0);
+  nway.memory = 0;
+  nway.game = *game::find_game("rps");
+  ASSERT_TRUE(game::spec::requires_spec_chain(nway.game));
+  util::Xoshiro256 nrng(2);
+  const game::Strategy rps{game::NWayStrategy::random(3, nrng)};
+  PairEvaluator nway_eval(nway);
+  EXPECT_EQ(nway_eval.route(rps, rps), PairEvaluator::Route::NWaySpec);
+}
+
+// The whole fitness tier — row batch, dedup prefill batch, batch-of-one
+// cache misses — must agree with the active kernel to the cross-kernel
+// tolerance when forced scalar, and bitwise with itself across dedup and
+// thread-count settings (one kernel per process).
+TEST(BatchFitness, ForcedScalarAgreesWithActiveKernelTo1em12) {
+  const SimConfig cfg = analytic_config(24, 1);
+  util::Xoshiro256 rng(55);
+  const auto pop = pop::Population::random_mixed(cfg.ssets, 1, rng);
+
+  std::vector<double> active, scalar;
+  {
+    BlockFitness block(cfg, 0, cfg.ssets);
+    block.initialize(pop);
+    active.assign(block.block().begin(), block.block().end());
+  }
+  {
+    ForceScalarGuard guard(true);
+    BlockFitness block(cfg, 0, cfg.ssets);
+    block.initialize(pop);
+    scalar.assign(block.block().begin(), block.block().end());
+  }
+  ASSERT_EQ(active.size(), scalar.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    const double tol = 1e-12 * std::max(1.0, std::fabs(scalar[i]));
+    EXPECT_NEAR(active[i], scalar[i], tol) << "row " << i;
+  }
+}
+
+TEST(BatchFitness, DedupAndRowBatchBitIdentical) {
+  SimConfig brute = analytic_config(20, 1);
+  SimConfig dedup = brute;
+  dedup.dedup = true;
+  util::Xoshiro256 rng(7);
+  auto pop = pop::Population::random_mixed(brute.ssets, 1, rng);
+  for (pop::SSetId i = 0; i < pop.size(); i += 2) {
+    pop.set_strategy(i, pop.strategy(1));  // give dedup real classes
+  }
+
+  BlockFitness a(brute, 0, brute.ssets);
+  BlockFitness b(dedup, 0, dedup.ssets);
+  a.initialize(pop);
+  b.initialize(pop);
+  ASSERT_EQ(a.block().size(), b.block().size());
+  for (std::size_t i = 0; i < a.block().size(); ++i) {
+    EXPECT_EQ(a.block()[i], b.block()[i]) << "row " << i;
+  }
+  EXPECT_EQ(a.pairs_evaluated(), b.pairs_evaluated());
+  EXPECT_LT(b.games_played(), a.games_played());
+}
+
+// Mixed memory-2 pairs have no closed form: the row batch must leave them
+// on the per-pair stream path, and results must match the brute-force
+// evaluator pair by pair.
+TEST(BatchFitness, StochasticMemory2FallsBackToStreamPlay) {
+  const SimConfig cfg = analytic_config(10, 2);
+  util::Xoshiro256 rng(13);
+  const auto pop = pop::Population::random_mixed(cfg.ssets, 2, rng);
+
+  BlockFitness block(cfg, 0, cfg.ssets);
+  block.initialize(pop);
+  const PairEvaluator eval(cfg);
+  for (pop::SSetId i = 0; i < cfg.ssets; ++i) {
+    double sum = 0.0;
+    for (pop::SSetId j = 0; j < cfg.ssets; ++j) {
+      if (j == i) continue;
+      sum += eval.payoff(pop, i, j, 0);
+    }
+    const double scale = 1.0 / ((cfg.ssets - 1.0) * cfg.game.rounds);
+    EXPECT_EQ(block.fitness(i), sum * scale) << "row " << i;
+  }
+}
+
+// m-action populations route through the spec chain: flipping the kernel
+// switch must not move a single bit.
+TEST(BatchFitness, NWaySpecBypassUnaffectedByKernelSwitch) {
+  SimConfig cfg = analytic_config(12, 0);
+  cfg.memory = 0;
+  cfg.game = *game::find_game("rps");
+  util::Xoshiro256 rng(21);
+  const auto pop = pop::Population::random_nway(cfg.ssets, 3, false, rng);
+
+  std::vector<double> active, scalar;
+  {
+    BlockFitness block(cfg, 0, cfg.ssets);
+    block.initialize(pop);
+    active.assign(block.block().begin(), block.block().end());
+  }
+  {
+    ForceScalarGuard guard(true);
+    BlockFitness block(cfg, 0, cfg.ssets);
+    block.initialize(pop);
+    scalar.assign(block.block().begin(), block.block().end());
+  }
+  ASSERT_EQ(active.size(), scalar.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    EXPECT_EQ(active[i], scalar[i]) << "row " << i;
+  }
+}
+
+// Pure populations at zero noise take the PureExact walker everywhere —
+// also kernel-switch invariant (the walker has no SIMD variant).
+TEST(BatchFitness, PureExactPathKernelSwitchInvariant) {
+  const SimConfig cfg = analytic_config(16, 2);
+  util::Xoshiro256 rng(31);
+  const auto pop = pop::Population::random_pure(cfg.ssets, 2, rng);
+
+  std::vector<double> active, scalar;
+  {
+    BlockFitness block(cfg, 0, cfg.ssets);
+    block.initialize(pop);
+    active.assign(block.block().begin(), block.block().end());
+  }
+  {
+    ForceScalarGuard guard(true);
+    BlockFitness block(cfg, 0, cfg.ssets);
+    block.initialize(pop);
+    scalar.assign(block.block().begin(), block.block().end());
+  }
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    EXPECT_EQ(active[i], scalar[i]) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace egt::core

@@ -1,0 +1,197 @@
+#include "game/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "game/markov.hpp"
+#include "game/named.hpp"
+#include "game/simd.hpp"
+#include "game/state.hpp"
+#include "util/rng.hpp"
+
+namespace egt::game::batch {
+namespace {
+
+const PayoffMatrix kPayoff = paper_payoff();
+
+double rel_err(double got, double want) {
+  const double scale = std::max(1.0, std::fabs(want));
+  return std::fabs(got - want) / scale;
+}
+
+Mem1Batch random_mixed_batch(std::size_t n, double eps,
+                             std::vector<Strategy>& a_out,
+                             std::vector<Strategy>& b_out,
+                             util::Xoshiro256& rng) {
+  Mem1Batch batch;
+  for (std::size_t k = 0; k < n; ++k) {
+    a_out.emplace_back(MixedStrategy::random(1, rng));
+    b_out.emplace_back(MixedStrategy::random(1, rng));
+    batch.push_pair(a_out.back(), b_out.back(), eps);
+  }
+  return batch;
+}
+
+// Every batch size around the 4-lane group width — 1..9 covers full
+// groups, bare remainders, and the empty-remainder case — must agree with
+// the markov reference per pair to 1e-12 relative, under the active
+// kernel (AVX2 where compiled+supported) and the forced-scalar one.
+TEST(Mem1BatchKernel, RemainderLaneSizesMatchMarkovReference) {
+  util::Xoshiro256 rng(2024);
+  for (const double eps : {0.0, 0.05}) {
+    for (std::size_t n = 1; n <= 9; ++n) {
+      std::vector<Strategy> as, bs;
+      const Mem1Batch batch = random_mixed_batch(n, eps, as, bs, rng);
+      std::vector<BatchTotals> got(n);
+      for (const bool force : {false, true}) {
+        simd::set_force_scalar(force);
+        expected_totals_mem1(batch, kPayoff, 200, got);
+        for (std::size_t k = 0; k < n; ++k) {
+          const GameResult want =
+              markov::expected_game_mem1(as[k], bs[k], kPayoff, 200, eps);
+          EXPECT_LT(rel_err(got[k].payoff_a, want.payoff_a), 1e-12)
+              << "n=" << n << " k=" << k << " force_scalar=" << force;
+          EXPECT_LT(rel_err(got[k].payoff_b, want.payoff_b), 1e-12)
+              << "n=" << n << " k=" << k << " force_scalar=" << force;
+        }
+      }
+      simd::set_force_scalar(false);
+    }
+  }
+}
+
+// The scalar fallback replicates markov::finite_totals_mem1
+// operation-for-operation: payoffs must be bit-identical, not just close.
+TEST(Mem1BatchKernel, ScalarKernelBitIdenticalToMarkov) {
+  util::Xoshiro256 rng(7);
+  std::vector<Strategy> as, bs;
+  const Mem1Batch batch = random_mixed_batch(17, 0.01, as, bs, rng);
+  std::vector<BatchTotals> got(batch.size());
+  expected_totals_mem1_scalar(batch, kPayoff, 200, got.data());
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const GameResult want =
+        markov::expected_game_mem1(as[k], bs[k], kPayoff, 200, 0.01);
+    EXPECT_EQ(got[k].payoff_a, want.payoff_a) << "k=" << k;
+    EXPECT_EQ(got[k].payoff_b, want.payoff_b) << "k=" << k;
+  }
+}
+
+// Lane arithmetic is strictly vertical: a pair's result must not depend on
+// its lane position or on the batch size. A batch of one must equal the
+// same pair inside a batch of nine, bitwise, under the active kernel.
+TEST(Mem1BatchKernel, LanePositionAndBatchSizeIndependent) {
+  util::Xoshiro256 rng(99);
+  std::vector<Strategy> as, bs;
+  const Mem1Batch big = random_mixed_batch(9, 0.02, as, bs, rng);
+  std::vector<BatchTotals> batched(9);
+  expected_totals_mem1(big, kPayoff, 200, batched);
+  for (std::size_t k = 0; k < 9; ++k) {
+    Mem1Batch one;
+    one.push_pair(as[k], bs[k], 0.02);
+    std::vector<BatchTotals> solo(1);
+    expected_totals_mem1(one, kPayoff, 200, solo);
+    EXPECT_EQ(solo[0].payoff_a, batched[k].payoff_a) << "k=" << k;
+    EXPECT_EQ(solo[0].payoff_b, batched[k].payoff_b) << "k=" << k;
+    EXPECT_EQ(solo[0].coop_a, batched[k].coop_a) << "k=" << k;
+    EXPECT_EQ(solo[0].coop_b, batched[k].coop_b) << "k=" << k;
+  }
+}
+
+// AVX2 and scalar kernels must agree to 1e-12 relative (when the AVX2 TU
+// is compiled in and the CPU supports it; trivially passes otherwise).
+TEST(Mem1BatchKernel, Avx2AgreesWithScalarReference) {
+  if (!simd::compiled_with_avx2() || !simd::cpu_supports_avx2()) {
+    GTEST_SKIP() << "AVX2 kernel unavailable on this build/CPU";
+  }
+  util::Xoshiro256 rng(123);
+  std::vector<Strategy> as, bs;
+  const Mem1Batch batch = random_mixed_batch(33, 0.1, as, bs, rng);
+  std::vector<BatchTotals> avx(batch.size()), sca(batch.size());
+  expected_totals_mem1_avx2(batch, kPayoff, 200, avx.data());
+  expected_totals_mem1_scalar(batch, kPayoff, 200, sca.data());
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    EXPECT_LT(rel_err(avx[k].payoff_a, sca[k].payoff_a), 1e-12) << "k=" << k;
+    EXPECT_LT(rel_err(avx[k].payoff_b, sca[k].payoff_b), 1e-12) << "k=" << k;
+    EXPECT_LT(rel_err(avx[k].coop_a, sca[k].coop_a), 1e-12) << "k=" << k;
+    EXPECT_LT(rel_err(avx[k].coop_b, sca[k].coop_b), 1e-12) << "k=" << k;
+  }
+}
+
+// The zero-allocation walker is a drop-in for markov::exact_pure_game:
+// bitwise-identical results across memory depths and round counts,
+// including rounds shorter than the transient.
+TEST(PureWalker, ExactPureGameFastBitIdenticalToMarkov) {
+  util::Xoshiro256 rng(5);
+  for (const int memory : {0, 1, 2, 3, 4}) {
+    for (const std::uint32_t rounds : {1u, 2u, 7u, 200u, 100000u}) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const PureStrategy a = PureStrategy::random(memory, rng);
+        const PureStrategy b = PureStrategy::random(memory, rng);
+        const GameResult want = markov::exact_pure_game(a, b, kPayoff, rounds);
+        const GameResult got = exact_pure_game_fast(a, b, kPayoff, rounds);
+        ASSERT_EQ(got.payoff_a, want.payoff_a)
+            << "memory=" << memory << " rounds=" << rounds;
+        ASSERT_EQ(got.payoff_b, want.payoff_b);
+        ASSERT_EQ(got.coop_a, want.coop_a);
+        ASSERT_EQ(got.coop_b, want.coop_b);
+        ASSERT_EQ(got.rounds, want.rounds);
+      }
+    }
+  }
+}
+
+// run_pure_game must replicate the sequential round loop bit-for-bit. The
+// LinearSearch engine still runs the legacy loop (no fast path), so it is
+// the executable reference for the Indexed fast path.
+TEST(PureWalker, RunPureGameMatchesLegacyRoundLoop) {
+  util::Xoshiro256 rng(11);
+  // Non-integral payoffs force the walker to replay every round.
+  const PayoffMatrix fractional{2.5, -0.25, 4.125, 0.75};
+  for (const PayoffMatrix& payoff : {kPayoff, fractional}) {
+    const IpdParams params{payoff, 200, 0.0};
+    for (const int memory : {1, 2, 3}) {
+      const IpdEngine indexed(memory, params, LookupMode::Indexed);
+      const IpdEngine linear(memory, params, LookupMode::LinearSearch);
+      for (int rep = 0; rep < 16; ++rep) {
+        const PureStrategy a = PureStrategy::random(memory, rng);
+        const PureStrategy b = PureStrategy::random(memory, rng);
+        const GameResult fast = indexed.play(a, b, util::StreamRng(0, 0));
+        const GameResult loop = linear.play(a, b, util::StreamRng(0, 0));
+        ASSERT_EQ(fast.payoff_a, loop.payoff_a) << "memory=" << memory;
+        ASSERT_EQ(fast.payoff_b, loop.payoff_b);
+        ASSERT_EQ(fast.coop_a, loop.coop_a);
+        ASSERT_EQ(fast.coop_b, loop.coop_b);
+      }
+    }
+  }
+}
+
+TEST(PureWalker, IntegerExactPayoffGate) {
+  EXPECT_TRUE(integer_exact_payoff(kPayoff, 200));
+  EXPECT_TRUE(integer_exact_payoff(PayoffMatrix{5, -1, 8, 0}, 1000000));
+  EXPECT_FALSE(integer_exact_payoff(PayoffMatrix{2.5, 0, 4, 1}, 200));
+  // Integral but too large: partial sums would leave the exact range.
+  EXPECT_FALSE(integer_exact_payoff(PayoffMatrix{1e15, 0, 4, 1}, 1u << 20));
+}
+
+// Noisy games must keep the stochastic engine path (the walker consumes no
+// RNG and would change trajectories): same seed same result, and the fast
+// path only engages at noise == 0.
+TEST(PureWalker, NoisyGamesKeepLegacyEnginePath) {
+  const IpdParams noisy{kPayoff, 200, 0.1};
+  const IpdEngine engine(2, noisy);
+  util::Xoshiro256 rng(3);
+  const PureStrategy a = PureStrategy::random(2, rng);
+  const PureStrategy b = PureStrategy::random(2, rng);
+  const GameResult r1 = engine.play(a, b, util::StreamRng(42, 7));
+  const GameResult r2 = engine.play(a, b, util::StreamRng(42, 7));
+  EXPECT_EQ(r1.payoff_a, r2.payoff_a);
+  const GameResult other = engine.play(a, b, util::StreamRng(42, 8));
+  // Different stream, (almost surely) different noise realization.
+  EXPECT_EQ(r1.rounds, other.rounds);
+}
+
+}  // namespace
+}  // namespace egt::game::batch

@@ -4,15 +4,18 @@
 //   * counters (pairs_evaluated, games_played) and the final table hash
 //     are deterministic — any difference is a correctness regression and
 //     fails exactly;
-//   * wall time is environment-dependent — only a relative slowdown beyond
-//     --max-regress (default 25%) fails, and only for rows slow enough for
-//     the ratio to mean anything (--min-seconds floor).
+//   * wall time is environment-dependent — a row fails only when it is past
+//     the relative budget (--max-regress, default 25%) AND past the absolute
+//     --noise-floor above the baseline; --min-seconds can additionally skip
+//     very fast rows entirely. Gate policy lives in bench_check_lib.hpp and
+//     is unit-tested in tests/tools/.
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "bench_check_lib.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 
@@ -29,14 +32,6 @@ egt::util::JsonValue load(const std::string& path) {
     throw std::runtime_error(path + " is not an egt.bench_fitness/v1 doc");
   }
   return doc;
-}
-
-const egt::util::JsonValue* find_row(const egt::util::JsonValue& doc,
-                                     const std::string& name) {
-  for (const auto& row : doc.at("rows").items()) {
-    if (row.at("name").as_string() == name) return &row;
-  }
-  return nullptr;
 }
 
 // --cross: an egt.simcheck_counters/v1 document (tools/simcheck
@@ -106,65 +101,6 @@ int check_cross(const std::string& path) {
   return 0;
 }
 
-// --trace-overhead: within one document, every "<name> + trace" row is the
-// same run as "<name>" with the flight recorder on. The traced row must
-// keep the exact counters/hash (tracing must not perturb the trajectory)
-// and stay within `max_overhead` relative wall time — the ISSUE budget for
-// always-on-capable tracing. Rows faster than `min_seconds` untraced skip
-// the time gate (the ratio is noise there), never the exactness gate.
-int check_trace_overhead(const egt::util::JsonValue& doc, double max_overhead,
-                         double min_seconds) {
-  int failures = 0, compared = 0;
-  for (const auto& row : doc.at("rows").items()) {
-    const std::string name = row.at("name").as_string();
-    const std::string suffix = " + trace";
-    if (name.size() <= suffix.size() ||
-        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
-            0) {
-      continue;
-    }
-    const std::string base_name = name.substr(0, name.size() - suffix.size());
-    const auto* base = find_row(doc, base_name);
-    if (base == nullptr) {
-      std::cerr << "FAIL [" << name << "]: no untraced row '" << base_name
-                << "' to compare against\n";
-      ++failures;
-      continue;
-    }
-    ++compared;
-    for (const char* counter : {"pairs_evaluated", "games_played"}) {
-      if (row.at(counter).as_u64() != base->at(counter).as_u64()) {
-        std::cerr << "FAIL [" << name << "]: " << counter
-                  << " diverged from the untraced run\n";
-        ++failures;
-      }
-    }
-    if (row.at("table_hash").as_string() !=
-        base->at("table_hash").as_string()) {
-      std::cerr << "FAIL [" << name << "]: tracing changed the trajectory\n";
-      ++failures;
-    }
-    const double base_t = base->at("wall_s").as_number();
-    const double cur_t = row.at("wall_s").as_number();
-    if (base_t >= min_seconds && cur_t > base_t * (1.0 + max_overhead)) {
-      std::cerr << "FAIL [" << name << "]: traced wall time " << cur_t
-                << "s > " << (1.0 + max_overhead) << "x untraced " << base_t
-                << "s\n";
-      ++failures;
-    } else {
-      std::cout << "ok   [" << name << "]: " << cur_t << "s traced vs "
-                << base_t << "s untraced ("
-                << (base_t > 0 ? (cur_t / base_t - 1.0) * 100.0 : 0.0)
-                << "% overhead)\n";
-    }
-  }
-  if (compared == 0) {
-    std::cerr << "FAIL: no '<name> + trace' rows found\n";
-    ++failures;
-  }
-  return failures;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,6 +116,11 @@ int main(int argc, char** argv) {
   auto min_seconds = cli.opt<double>(
       "min-seconds", 0.05,
       "rows faster than this in the baseline skip the time gate");
+  auto noise_floor = cli.opt<double>(
+      "noise-floor", 0.005,
+      "absolute wall-time slack (seconds) always tolerated on top of the "
+      "relative budget — lets sub-millisecond rows be gated without timer "
+      "noise tripping the ratio test");
   auto cross_path = cli.opt<std::string>(
       "cross", "",
       "diff cross-engine counters of an egt.simcheck_counters/v1 document "
@@ -206,43 +147,14 @@ int main(int argc, char** argv) {
   try {
     const auto baseline = load(*baseline_path);
     const auto current = load(*current_path);
+    bench::TimeGate gate;
+    gate.max_regress = *max_regress;
+    gate.min_seconds = *min_seconds;
+    gate.noise_floor = *noise_floor;
     if (*trace_overhead >= 0.0) {
-      failures +=
-          check_trace_overhead(current, *trace_overhead, *min_seconds);
+      failures += bench::check_trace_overhead(current, *trace_overhead, gate);
     }
-    for (const auto& base_row : baseline.at("rows").items()) {
-      const std::string name = base_row.at("name").as_string();
-      const auto* cur_row = find_row(current, name);
-      if (cur_row == nullptr) {
-        std::cerr << "FAIL [" << name << "]: missing from current run\n";
-        ++failures;
-        continue;
-      }
-      for (const char* counter : {"pairs_evaluated", "games_played"}) {
-        const auto base_v = base_row.at(counter).as_u64();
-        const auto cur_v = cur_row->at(counter).as_u64();
-        if (base_v != cur_v) {
-          std::cerr << "FAIL [" << name << "]: " << counter << " " << cur_v
-                    << " != baseline " << base_v << "\n";
-          ++failures;
-        }
-      }
-      if (base_row.at("table_hash").as_string() !=
-          cur_row->at("table_hash").as_string()) {
-        std::cerr << "FAIL [" << name << "]: final table hash diverged\n";
-        ++failures;
-      }
-      const double base_t = base_row.at("wall_s").as_number();
-      const double cur_t = cur_row->at("wall_s").as_number();
-      if (base_t >= *min_seconds && cur_t > base_t * (1.0 + *max_regress)) {
-        std::cerr << "FAIL [" << name << "]: wall time " << cur_t << "s > "
-                  << (1.0 + *max_regress) << "x baseline " << base_t << "s\n";
-        ++failures;
-      } else {
-        std::cout << "ok   [" << name << "]: " << cur_t << "s vs baseline "
-                  << base_t << "s\n";
-      }
-    }
+    failures += bench::check_baseline(baseline, current, gate);
   } catch (const std::exception& e) {
     std::cerr << "bench_check: " << e.what() << "\n";
     return 2;

@@ -4,6 +4,8 @@
 //   --self-test        inject a broken dedup copy, expect catch + shrink
 //   --replay FILE      re-run a repro JSON, checking the recorded trace
 //   --stats            statistical suite only
+//   --kernels          cross-validate the batch fitness kernels (AVX2 vs
+//                      scalar at 1e-12 relative, walkers bitwise)
 //   (default)          fuzz: sample --seeds configs from --start, run every
 //                      applicable engine pair, shrink failures (--shrink)
 //                      and write runnable repro JSONs under --out
@@ -16,6 +18,7 @@
 #include <string>
 
 #include "simcheck/case.hpp"
+#include "simcheck/kernels.hpp"
 #include "simcheck/repro.hpp"
 #include "simcheck/selftest.hpp"
 #include "simcheck/shrink.hpp"
@@ -107,6 +110,27 @@ int run_stats(std::uint64_t seed, bool quick) {
   return 0;
 }
 
+int run_kernels(std::uint64_t seed) {
+  const auto report = simcheck::run_kernel_checks(seed);
+  std::cout << "kernels: avx2 "
+            << (report.avx2_available ? "active" : "unavailable (scalar only)")
+            << "\n";
+  int failures = 0;
+  for (const auto& c : report.checks) {
+    std::cout << (c.passed ? "ok   " : "FAIL ") << "[" << c.name << "]: "
+              << c.cases << " case(s)";
+    if (!c.detail.empty()) std::cout << " — " << c.detail;
+    std::cout << "\n";
+    if (!c.passed) ++failures;
+  }
+  if (failures > 0) {
+    std::cerr << "kernels: " << failures << " check(s) FAILED\n";
+    return 1;
+  }
+  std::cout << "kernels: all checks ok\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,6 +149,8 @@ int main(int argc, char** argv) {
   auto replay_path =
       cli.opt<std::string>("replay", "", "re-run a repro JSON and exit");
   auto self_test = cli.flag("self-test", "run the broken-dedup self test");
+  auto kernels = cli.flag("kernels", "cross-validate the batch fitness "
+                                     "kernels (AVX2 vs scalar)");
   auto stats = cli.flag("stats", "run the statistical validation suite");
   auto stats_seed =
       cli.opt<std::uint64_t>("stats-seed", 20120427, "statistical suite seed");
@@ -134,6 +160,7 @@ int main(int argc, char** argv) {
 
   try {
     if (*self_test) return run_self_test(*stats_seed);
+    if (*kernels) return run_kernels(*stats_seed);
     if (!replay_path->empty()) return run_replay(*replay_path);
     if (*stats) return run_stats(*stats_seed, *quick);
 

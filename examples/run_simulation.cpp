@@ -20,6 +20,8 @@
 //   ./run_simulation --game pgg ...              # public goods group play
 //   ./run_simulation --payoff "[[3,0],[5,1]]" ...  # custom 2x2 payoffs
 //   ./run_simulation --list-games                # registry listing
+//   ./run_simulation --game rps --memory 0 --preview  # mean-field ODE
+//                                                # trajectory, no agents
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
@@ -34,6 +36,7 @@
 #include "analysis/coop.hpp"
 #include "analysis/heatmap.hpp"
 #include "analysis/kmeans.hpp"
+#include "analysis/meanfield/preview.hpp"
 #include "core/checkpoint.hpp"
 #include "core/checkpoint_store.hpp"
 #include "core/engine.hpp"
@@ -77,6 +80,7 @@ struct OutputPaths {
   int ranks = 0;
   bool progress = false;
   bool list_games = false;
+  bool preview = false;
   double max_wall_seconds = 0.0;  // 0 = no deadline
 };
 
@@ -230,6 +234,11 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
       "stop gracefully after this much wall time (serial engine): a final "
       "checkpoint is written and the run exits cleanly, same as SIGTERM "
       "(0 = no deadline)");
+  auto preview = cli.flag(
+      "preview",
+      "skip the agent simulation and integrate the mean-field replicator "
+      "ODE instead (~1000x faster; well-mixed pure-strategy matrix games "
+      "with memory <= 1 only)");
   auto progress = cli.flag(
       "progress", "heartbeat log with gen/s and ETA (implies --verbose)");
   auto verbose = cli.flag("verbose", "info-level logging");
@@ -328,8 +337,62 @@ egt::core::SimConfig build_config(egt::util::Cli& cli, int argc, char** argv,
   out.checkpoint_keep = *ckpt_keep;
   out.ranks = *ranks_opt;
   out.progress = *progress;
+  out.preview = *preview;
   out.max_wall_seconds = *max_wall;
   return cfg;
+}
+
+/// --preview: integrate the mean-field replicator ODE compiled from the
+/// exact same SimConfig instead of running agents (DESIGN.md §13). Prints
+/// a trajectory table, the final class mix, and the cooperation headline.
+int run_preview_mode(const egt::core::SimConfig& cfg) {
+  using namespace egt;
+  std::string why;
+  if (!analysis::meanfield::preview_supported(cfg, &why)) {
+    throw std::invalid_argument(
+        "--preview cannot compile this config to a mean-field model: " + why +
+        " (previews cover well-mixed pure-strategy matrix games with "
+        "memory <= 1 under pairwise comparison)");
+  }
+  util::Timer timer;
+  const auto r = analysis::meanfield::run_preview(cfg);
+  const auto& traj = r.trajectory;
+  std::printf("mean-field preview: replicator ODE over %zu strategy "
+              "class(es), %llu accepted / %llu rejected steps\n",
+              r.model.classes.size(),
+              static_cast<unsigned long long>(traj.steps),
+              static_cast<unsigned long long>(traj.rejected_steps));
+
+  std::printf("%12s  %11s  %s\n", "generation", "cooperation",
+              "leading class");
+  const std::size_t samples = traj.times.size();
+  const std::size_t rows = std::min<std::size_t>(13, samples);
+  for (std::size_t row = 0; row < rows; ++row) {
+    const std::size_t i = rows <= 1 ? 0 : row * (samples - 1) / (rows - 1);
+    const auto& x = traj.states[i];
+    const std::size_t lead = static_cast<std::size_t>(
+        std::max_element(x.begin(), x.end()) - x.begin());
+    std::printf("%12.0f  %11.4f  %s (%.3f)\n", traj.times[i],
+                r.model.cooperation(x), r.model.labels[lead].c_str(),
+                x[lead]);
+  }
+
+  std::vector<std::size_t> order(r.model.classes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return traj.final_state[a] > traj.final_state[b];
+  });
+  std::printf("final class mix:");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, order.size()); ++i) {
+    std::printf(" %s=%.3f", r.model.labels[order[i]].c_str(),
+                traj.final_state[order[i]]);
+  }
+  if (order.size() > 5) std::printf(" ...");
+  std::printf("\nfinal cooperation: %.4f (initial %.4f)\n",
+              r.final_cooperation, r.initial_cooperation);
+  std::printf("wall time: %.3f s (no agents were simulated)\n",
+              timer.seconds());
+  return 0;
 }
 
 /// Headline cooperation statistic for the legacy manifest: expected play
@@ -586,6 +649,10 @@ int run_cli(int argc, char** argv) {
   if (out.list_games) {
     std::printf("%s", game::registry_listing().c_str());
     return 0;
+  }
+  if (out.preview) {
+    std::printf("previewing: %s\n", cfg.summary().c_str());
+    return run_preview_mode(cfg);
   }
 
   std::printf("running: %s\n", cfg.summary().c_str());

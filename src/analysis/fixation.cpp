@@ -30,6 +30,10 @@ FixationResult run_until_fixation(core::Engine& engine,
   if (check()) return result;
   std::uint64_t done = 0;
   while (done < max_generations) {
+    // Boundary contract (pinned by fixation_test.cpp): the last stride is
+    // clamped to the remaining budget, so a check_interval larger than —
+    // or not dividing — max_generations still ends with a census exactly
+    // at the max_generations boundary and never overruns the budget.
     const std::uint64_t step =
         std::min<std::uint64_t>(check_interval, max_generations - done);
     engine.run(step);

@@ -1,0 +1,261 @@
+#include "analysis/meanfield/moran.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/fitness.hpp"
+#include "game/spec/chain.hpp"
+#include "pop/fermi.hpp"
+
+namespace egt::analysis::meanfield {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Adoption probability of a planned PC event, honouring the
+/// teacher-better gate exactly as pop::NatureAgent::decide_adoption does
+/// (the gate zeroes adoption unless the teacher is *strictly* better).
+double adoption_probability(double teacher, double learner, double beta,
+                            bool require_teacher_better) {
+  if (require_teacher_better && !(teacher > learner)) return 0.0;
+  return pop::fermi_probability(teacher, learner, beta);
+}
+
+/// Thomas solve of T⁺_k y_{k+1} - (T⁺_k + T⁻_k) y_k + T⁻_k y_{k-1} =
+/// rhs_k for interior k with y_0 = y0 and y_N = yN. The system is a
+/// weakly diagonally dominant M-matrix (|diag| = sub + super), so the
+/// forward elimination never hits a zero pivot while some transition out
+/// of every interior state exists — which MoranChain::validate enforces.
+std::vector<double> tridiagonal_solve(const MoranChain& chain,
+                                      const std::vector<double>& rhs,
+                                      double y0, double yN) {
+  const std::uint32_t n = chain.population;
+  std::vector<double> diag(n + 1), upper(n + 1), b(n + 1);
+  for (std::uint32_t k = 1; k < n; ++k) {
+    diag[k] = -(chain.t_plus[k] + chain.t_minus[k]);
+    upper[k] = chain.t_plus[k];
+    b[k] = rhs[k];
+  }
+  b[1] -= chain.t_minus[1] * y0;
+  b[n - 1] -= chain.t_plus[n - 1] * yN;
+
+  for (std::uint32_t k = 2; k < n; ++k) {
+    const double w = chain.t_minus[k] / diag[k - 1];
+    diag[k] -= w * upper[k - 1];
+    b[k] -= w * b[k - 1];
+  }
+  std::vector<double> y(n + 1, 0.0);
+  y[0] = y0;
+  y[n] = yN;
+  if (n >= 2) {
+    y[n - 1] = b[n - 1] / diag[n - 1];
+    for (std::uint32_t k = n - 1; k-- > 1;) {
+      y[k] = (b[k] - upper[k] * y[k + 1]) / diag[k];
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+void MoranChain::validate() const {
+  if (population < 2) {
+    throw std::invalid_argument("MoranChain: population must be >= 2");
+  }
+  const std::size_t want = static_cast<std::size_t>(population) + 1;
+  if (t_plus.size() != want || t_minus.size() != want ||
+      delta.size() != want) {
+    throw std::invalid_argument("MoranChain: vectors must have N + 1 entries");
+  }
+  if (t_plus.front() != 0.0 || t_minus.front() != 0.0 ||
+      t_plus.back() != 0.0 || t_minus.back() != 0.0) {
+    throw std::invalid_argument("MoranChain: k = 0 and k = N must be absorbing");
+  }
+  for (std::uint32_t k = 1; k < population; ++k) {
+    if (t_plus[k] < 0.0 || t_minus[k] < 0.0 ||
+        t_plus[k] + t_minus[k] > 1.0 + 1e-12) {
+      throw std::invalid_argument("MoranChain: transition rates out of range");
+    }
+    if (t_plus[k] == 0.0 && t_minus[k] == 0.0) {
+      // Only reachable with the teacher-better gate at Δ_k = 0: the
+      // agent dynamics would be frozen at k mutants and fixation is
+      // undefined — exactly the runs analysis::fixation_probability
+      // would never finish.
+      throw std::invalid_argument(
+          "MoranChain: interior state " + std::to_string(k) +
+          " is absorbing (teacher-better gate at zero fitness gap)");
+    }
+  }
+}
+
+double mean_pair_payoff(const core::SimConfig& config, const game::Strategy& a,
+                        const game::Strategy& b) {
+  if (config.game.kind == game::GameKind::PublicGoods) {
+    throw std::invalid_argument(
+        "mean_pair_payoff: public goods fitness is group-pooled, not "
+        "pairwise — no mean-field pair payoff exists");
+  }
+  core::SimConfig analytic = config;
+  analytic.fitness_mode = core::FitnessMode::Analytic;
+  const core::PairEvaluator eval(analytic);
+  if (eval.strategy_pure(a, b)) return eval.pair_payoff(a, b);
+  // Stochastic pairs outside the evaluator's exact kernels (e.g. binary
+  // memory-0 mixed play with noise): the m-action chain still gives the
+  // exact expectation for memory <= 1.
+  const auto ba = game::spec::Behavioral::from_strategy(config.game, a);
+  const auto bb = game::spec::Behavioral::from_strategy(config.game, b);
+  return game::spec::expected_game(config.game, ba, bb).payoff_a;
+}
+
+MoranChain build_moran_chain(std::uint32_t population,
+                             const PairPayoffs& payoffs, double scale,
+                             double beta, double pc_rate,
+                             bool require_teacher_better) {
+  if (population < 2) {
+    throw std::invalid_argument("build_moran_chain: population must be >= 2");
+  }
+  MoranChain chain;
+  chain.population = population;
+  chain.t_plus.assign(population + 1, 0.0);
+  chain.t_minus.assign(population + 1, 0.0);
+  chain.delta.assign(population + 1, 0.0);
+  const double n = static_cast<double>(population);
+  for (std::uint32_t k = 1; k < population; ++k) {
+    const double kd = static_cast<double>(k);
+    // Engine fitness at k mutants: each member sums pair payoffs against
+    // the other N-1 SSets (self excluded), then row_scale maps the sum
+    // onto the configured FitnessScale.
+    const double f_mut =
+        scale * ((kd - 1.0) * payoffs.mm + (n - kd) * payoffs.mr);
+    const double f_res =
+        scale * (kd * payoffs.rm + (n - kd - 1.0) * payoffs.rr);
+    chain.delta[k] = f_mut - f_res;
+    // One PC event per generation with probability pc_rate; teacher
+    // uniform over N, learner uniform over the other N-1. k rises when a
+    // mutant teaches a resident, falls in the mirrored case.
+    const double pair_prob = pc_rate * kd * (n - kd) / (n * (n - 1.0));
+    chain.t_plus[k] =
+        pair_prob *
+        adoption_probability(f_mut, f_res, beta, require_teacher_better);
+    chain.t_minus[k] =
+        pair_prob *
+        adoption_probability(f_res, f_mut, beta, require_teacher_better);
+  }
+  chain.validate();
+  return chain;
+}
+
+MoranChain build_moran_chain(const core::SimConfig& config,
+                             const game::Strategy& resident,
+                             const game::Strategy& mutant) {
+  if (config.interaction.structured()) {
+    throw std::invalid_argument(
+        "build_moran_chain: only the well-mixed population is a birth-death "
+        "chain in the mutant count (structured graphs need per-site state)");
+  }
+  if (config.update_rule != pop::UpdateRule::PairwiseComparison) {
+    throw std::invalid_argument(
+        "build_moran_chain: transitions model pairwise-comparison updating");
+  }
+  PairPayoffs payoffs;
+  payoffs.mm = mean_pair_payoff(config, mutant, mutant);
+  payoffs.mr = mean_pair_payoff(config, mutant, resident);
+  payoffs.rm = mean_pair_payoff(config, resident, mutant);
+  payoffs.rr = mean_pair_payoff(config, resident, resident);
+  const double scale =
+      config.fitness_scale == core::FitnessScale::Total
+          ? 1.0
+          : 1.0 / (static_cast<double>(config.ssets - 1) * config.game.rounds);
+  return build_moran_chain(config.ssets, payoffs, scale, config.beta,
+                           config.pc_rate, config.require_teacher_better);
+}
+
+MoranSolution solve(const MoranChain& chain) {
+  chain.validate();
+  const std::uint32_t n = chain.population;
+  MoranSolution sol;
+
+  bool plus_vanishes = false;
+  for (std::uint32_t k = 1; k < n; ++k) {
+    if (chain.t_plus[k] == 0.0) plus_vanishes = true;
+  }
+  if (plus_vanishes) {
+    // γ_k = T⁻_k / T⁺_k is infinite somewhere — the product formula
+    // degenerates, the linear system does not.
+    sol.fixation = fixation_by_linear_solve(chain);
+  } else {
+    // ρ_k = Σ_{l<k} Π_{m<=l} γ_m / Σ_{l<N} Π_{m<=l} γ_m, evaluated in
+    // log space so strong selection (γ^N far outside double range) stays
+    // finite.
+    std::vector<double> log_term(n, 0.0);
+    double running = 0.0;
+    bool dead = false;  // a γ_m = 0 zeroes every later product
+    for (std::uint32_t l = 1; l < n; ++l) {
+      if (!dead) {
+        if (chain.t_minus[l] == 0.0) {
+          dead = true;
+        } else {
+          running += std::log(chain.t_minus[l]) - std::log(chain.t_plus[l]);
+        }
+      }
+      log_term[l] =
+          dead ? -std::numeric_limits<double>::infinity() : running;
+    }
+    const double peak = *std::max_element(log_term.begin(), log_term.end());
+    std::vector<double> prefix(n + 1, 0.0);
+    for (std::uint32_t l = 0; l < n; ++l) {
+      prefix[l + 1] = prefix[l] + std::exp(log_term[l] - peak);
+    }
+    sol.fixation.assign(n + 1, 0.0);
+    for (std::uint32_t k = 0; k <= n; ++k) {
+      sol.fixation[k] = prefix[std::min(k, n)] / prefix[n];
+    }
+  }
+
+  std::vector<double> neg_one(n + 1, -1.0);
+  neg_one[0] = neg_one[n] = 0.0;
+  sol.absorption_time = tridiagonal_solve(chain, neg_one, 0.0, 0.0);
+
+  // Conditional times via θ_k = ρ_k τ_k: T⁺ θ_{k+1} - (T⁺+T⁻) θ_k +
+  // T⁻ θ_{k-1} = -ρ_k with θ_0 = θ_N = 0 (Traulsen & Hauert 2009).
+  std::vector<double> neg_rho(n + 1, 0.0);
+  for (std::uint32_t k = 1; k < n; ++k) neg_rho[k] = -sol.fixation[k];
+  const auto theta = tridiagonal_solve(chain, neg_rho, 0.0, 0.0);
+  sol.conditional_fixation_time.assign(n + 1, kNaN);
+  sol.conditional_fixation_time[n] = 0.0;
+  for (std::uint32_t k = 1; k < n; ++k) {
+    if (sol.fixation[k] > 0.0) {
+      sol.conditional_fixation_time[k] = theta[k] / sol.fixation[k];
+    }
+  }
+  return sol;
+}
+
+double exact_fixation_probability(const core::SimConfig& config,
+                                  const game::Strategy& resident,
+                                  const game::Strategy& mutant) {
+  return solve(build_moran_chain(config, resident, mutant)).fixation[1];
+}
+
+std::vector<double> fixation_by_linear_solve(const MoranChain& chain) {
+  chain.validate();
+  const std::uint32_t n = chain.population;
+  std::vector<double> zero(n + 1, 0.0);
+  auto rho = tridiagonal_solve(chain, zero, 0.0, 1.0);
+  for (double& v : rho) v = std::clamp(v, 0.0, 1.0);  // shave rounding
+  return rho;
+}
+
+double constant_gap_closed_form(std::uint32_t population, double beta,
+                                double delta) {
+  const double x = beta * delta;
+  if (std::abs(x) < 1e-14) return 1.0 / static_cast<double>(population);
+  // (1 - γ) / (1 - γ^N) with γ = e^{-x}, written through expm1 so weak
+  // selection keeps full precision.
+  return std::expm1(-x) / std::expm1(-static_cast<double>(population) * x);
+}
+
+}  // namespace egt::analysis::meanfield

@@ -1,0 +1,111 @@
+// Mean-field ground truth #2: the exact invasion chain (DESIGN.md §13).
+//
+// With mutation off and exactly two strategy classes (resident R, mutant
+// M), the well-mixed pairwise-comparison dynamics is a birth-death Markov
+// chain on the mutant count k ∈ {0..N}. One generation moves k by at most
+// one:
+//
+//   T±_k = pc_rate · k (N-k) / (N (N-1)) · g(±Δ_k),
+//   g(δ) = 1 / (1 + exp(-β δ)),   Δ_k = f_M(k) - f_R(k)
+//
+// with the engine's finite-N self-excluded fitness on the configured
+// FitnessScale. Everything about fixation is then exact linear algebra:
+// the fixation-probability vector ρ_k via the classic γ-product formula
+// (γ_l = T⁻_l/T⁺_l = e^{-βΔ_l} when the teacher-better gate is off), and
+// the unconditional/conditional fixation-time vectors via tridiagonal
+// solves — generalizing the ρ = (1-γ)/(1-γ^N) constant-gap closed form
+// pinned in tests/analysis/fixation_test.cpp to arbitrary GameSpec payoff
+// tables. Times are in generations, directly comparable to the
+// Monte-Carlo estimates of analysis::fixation_probability, which simcheck
+// --stats bounds against ρ_1 at Wilson 99% intervals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "game/strategy.hpp"
+
+namespace egt::analysis::meanfield {
+
+/// Expected total pair payoffs (summed over rounds, pre-row_scale) of the
+/// mutant/resident pair — the four numbers that fully determine the chain.
+struct PairPayoffs {
+  double mm = 0.0;  ///< mutant vs mutant
+  double mr = 0.0;  ///< mutant vs resident
+  double rm = 0.0;  ///< resident vs mutant
+  double rr = 0.0;  ///< resident vs resident
+};
+
+/// The birth-death chain over the mutant count k = 0..N.
+struct MoranChain {
+  std::uint32_t population = 0;  ///< N
+  std::vector<double> t_plus;    ///< size N+1; T⁺_k (0 at k = 0, N)
+  std::vector<double> t_minus;   ///< size N+1; T⁻_k (0 at k = 0, N)
+  std::vector<double> delta;     ///< size N+1; fitness gap Δ_k (interior k)
+
+  void validate() const;
+};
+
+/// Exact expected payoff (a's side, totals over spec.rounds) of strategy
+/// `a` against `b` under `config`'s game — PairEvaluator's exact kernels
+/// where they apply (pure pairs, memory-one), the m-action spec chain
+/// otherwise. Throws for configurations with no analytic pair expectation
+/// (public goods, stochastic memory >= 2).
+double mean_pair_payoff(const core::SimConfig& config, const game::Strategy& a,
+                        const game::Strategy& b);
+
+/// Build the chain for `mutant` invading `resident` under `config`
+/// (config.ssets = N; beta / pc_rate / require_teacher_better /
+/// fitness_scale all honoured; mutation ignored — fixation chains are
+/// mutation-free by construction, matching analysis::fixation_probability).
+/// Throws std::invalid_argument for structured populations or
+/// UpdateRule::Moran — the chain is the well-mixed PC model only.
+MoranChain build_moran_chain(const core::SimConfig& config,
+                             const game::Strategy& resident,
+                             const game::Strategy& mutant);
+
+/// Same chain from raw pair payoffs: `scale` multiplies the payoff sums
+/// into fitness (pass 1/((N-1) * rounds) for PerRoundAverage, 1 for
+/// Total).
+MoranChain build_moran_chain(std::uint32_t population,
+                             const PairPayoffs& payoffs, double scale,
+                             double beta, double pc_rate,
+                             bool require_teacher_better);
+
+struct MoranSolution {
+  /// ρ_k: probability the chain started at k mutants absorbs at N.
+  std::vector<double> fixation;
+  /// t_k: expected generations to absorption (either end) from k.
+  std::vector<double> absorption_time;
+  /// τ_k: expected generations to absorption at N, conditioned on that
+  /// happening. NaN where ρ_k = 0.
+  std::vector<double> conditional_fixation_time;
+};
+
+/// Full solve: ρ via the γ-product formula in log space (overflow-safe for
+/// strong selection), times via tridiagonal (Thomas) solves of the
+/// standard recurrences. Throws std::invalid_argument if an interior state
+/// is absorbing (T⁺_k = T⁻_k = 0, possible only under the teacher-better
+/// gate at Δ_k = 0 — the agent chain would be stuck there too).
+MoranSolution solve(const MoranChain& chain);
+
+/// ρ_1 of build_moran_chain(config, resident, mutant) — the exact twin of
+/// analysis::fixation_probability.
+double exact_fixation_probability(const core::SimConfig& config,
+                                  const game::Strategy& resident,
+                                  const game::Strategy& mutant);
+
+/// Reference implementation of ρ by solving the full linear system
+/// instead of the product formula — kept separate so tests can cross-check
+/// two independent derivations to machine precision.
+std::vector<double> fixation_by_linear_solve(const MoranChain& chain);
+
+/// The constant-gap closed form ρ_1 = (1 - γ) / (1 - γ^N), γ = e^{-βΔ}
+/// (neutral limit 1/N), valid when Δ_k is k-independent — the formula
+/// tests/analysis/fixation_test.cpp pins. Exposed for the ≤ 1e-12
+/// acceptance check against solve().
+double constant_gap_closed_form(std::uint32_t population, double beta,
+                                double delta);
+
+}  // namespace egt::analysis::meanfield

@@ -1,0 +1,186 @@
+#include "analysis/meanfield/preview.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "analysis/meanfield/moran.hpp"
+#include "core/engine.hpp"
+#include "game/spec/gamespec.hpp"
+
+namespace egt::analysis::meanfield {
+
+namespace {
+
+std::vector<game::Strategy> enumerate_classes(const core::SimConfig& config) {
+  std::vector<game::Strategy> classes;
+  if (config.game.uses_nway()) {
+    for (std::uint32_t a = 0; a < config.game.actions; ++a) {
+      classes.emplace_back(
+          game::NWayStrategy::pure_action(config.game.actions, a));
+    }
+    return classes;
+  }
+  const std::uint32_t states = config.memory == 0 ? 1 : 4;
+  const std::uint32_t count = 1u << states;
+  for (std::uint32_t b = 0; b < count; ++b) {
+    game::PureStrategy s(config.memory);
+    for (std::uint32_t st = 0; st < states; ++st) {
+      s.set_move(static_cast<game::State>(st), ((b >> st) & 1u) != 0
+                                                   ? game::Move::Defect
+                                                   : game::Move::Cooperate);
+    }
+    classes.emplace_back(std::move(s));
+  }
+  return classes;
+}
+
+double class_coop(const game::Strategy& s) {
+  if (s.is_nway()) return s.as_nway().action_prob(0);
+  double acc = 0.0;
+  for (std::uint32_t st = 0; st < s.states(); ++st) {
+    acc += s.coop_prob(static_cast<game::State>(st));
+  }
+  return acc / s.states();
+}
+
+std::vector<double> mutation_matrix(const core::SimConfig& config,
+                                    const std::vector<game::Strategy>& cls) {
+  const std::size_t d = cls.size();
+  if (config.mutation_kernel == pop::MutationKernel::UniformProbs) {
+    return {};  // ReplicatorModel's empty kernel = uniform over classes
+  }
+  // Single-bit PureBitFlip: binary strategies hop to a uniformly random
+  // Hamming-1 neighbour; n-way one-hots to a uniformly random *other*
+  // action (nature.cpp's kernel, exactly).
+  std::vector<double> m(d * d, 0.0);
+  if (!cls.empty() && cls.front().is_nway()) {
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = 0; b < d; ++b) {
+        if (a != b) m[a * d + b] = 1.0 / static_cast<double>(d - 1);
+      }
+    }
+    return m;
+  }
+  const std::uint32_t states = cls.front().states();
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::uint32_t st = 0; st < states; ++st) {
+      m[a * d + (a ^ (std::size_t{1} << st))] =
+          1.0 / static_cast<double>(states);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+double PreviewModel::cooperation(const std::vector<double>& x) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < coop.size(); ++i) acc += coop[i] * x[i];
+  return acc;
+}
+
+bool preview_supported(const core::SimConfig& config, std::string* why) {
+  const auto fail = [&](const char* reason) {
+    if (why) *why = reason;
+    return false;
+  };
+  if (config.game.kind == game::GameKind::PublicGoods) {
+    return fail("public goods fitness is group-pooled — no pairwise "
+                "mean-field payoff matrix exists");
+  }
+  if (config.interaction.structured()) {
+    return fail("structured populations have per-site state the well-mixed "
+                "mean field cannot represent");
+  }
+  if (config.update_rule != pop::UpdateRule::PairwiseComparison) {
+    return fail("the mean-field drift models pairwise-comparison updating");
+  }
+  if (config.space != pop::StrategySpace::Pure) {
+    return fail("the mixed strategy space is a continuum — only pure "
+                "spaces enumerate into replicator classes");
+  }
+  if (!config.game.uses_nway() && config.memory > 1) {
+    return fail("memory >= 2 enumerates 2^16+ classes — beyond the "
+                "mean-field preview's class budget");
+  }
+  if (config.mutation_kernel != pop::MutationKernel::UniformProbs &&
+      !(config.mutation_kernel == pop::MutationKernel::PureBitFlip &&
+        config.mutation_bits == 1)) {
+    return fail("only UniformProbs and single-bit PureBitFlip mutation "
+                "kernels have class-space transition matrices");
+  }
+  if (config.ssets < 2) return fail("need at least 2 SSets");
+  return true;
+}
+
+PreviewModel build_preview_model(const core::SimConfig& config) {
+  std::string why;
+  if (!preview_supported(config, &why)) {
+    throw std::invalid_argument("mean-field preview unsupported: " + why);
+  }
+  PreviewModel pm;
+  pm.classes = enumerate_classes(config);
+  const std::uint32_t d = static_cast<std::uint32_t>(pm.classes.size());
+
+  pm.model.dim = d;
+  pm.model.population = config.ssets;
+  pm.model.beta = config.beta;
+  pm.model.pc_rate = config.pc_rate;
+  pm.model.mutation_rate = config.mutation_rate;
+  pm.model.mutation = mutation_matrix(config, pm.classes);
+  // Class-pair payoffs on the engine's fitness scale (see
+  // ReplicatorModel::payoff): PerRoundAverage divides the whole-game
+  // totals by rounds (the per-opponent 1/(N-1) cancels against fitness()
+  // summing N-1 encounters); Total multiplies by N-1 instead.
+  const double to_scale =
+      config.fitness_scale == core::FitnessScale::Total
+          ? static_cast<double>(config.ssets - 1)
+          : 1.0 / config.game.rounds;
+  pm.model.payoff.resize(static_cast<std::size_t>(d) * d);
+  for (std::uint32_t i = 0; i < d; ++i) {
+    for (std::uint32_t j = 0; j < d; ++j) {
+      pm.model.payoff[static_cast<std::size_t>(i) * d + j] =
+          to_scale * mean_pair_payoff(config, pm.classes[i], pm.classes[j]);
+    }
+  }
+
+  pm.labels.reserve(d);
+  pm.coop.reserve(d);
+  std::unordered_map<std::uint64_t, std::uint32_t> by_hash;
+  for (std::uint32_t i = 0; i < d; ++i) {
+    pm.labels.push_back(pm.classes[i].is_nway()
+                            ? pm.classes[i].as_nway().to_string()
+                            : pm.classes[i].as_pure().to_string());
+    pm.coop.push_back(class_coop(pm.classes[i]));
+    by_hash.emplace(pm.classes[i].hash(), i);
+  }
+
+  // The exact population the agent engines would start from.
+  const pop::Population initial = core::make_initial_population(config);
+  pm.x0.assign(d, 0.0);
+  for (pop::SSetId s = 0; s < config.ssets; ++s) {
+    const auto it = by_hash.find(initial.strategy(s).hash());
+    if (it == by_hash.end()) {
+      throw std::logic_error(
+          "preview: initial population holds a strategy outside the "
+          "enumerated class space");
+    }
+    pm.x0[it->second] += 1.0 / static_cast<double>(config.ssets);
+  }
+  return pm;
+}
+
+PreviewResult run_preview(const core::SimConfig& config,
+                          std::uint32_t samples) {
+  PreviewResult out;
+  out.model = build_preview_model(config);
+  const double t_end = static_cast<double>(config.generations);
+  IntegrateOptions opts;
+  if (samples > 0 && t_end > 0.0) opts.sample_every = t_end / samples;
+  out.trajectory = integrate(out.model.model, out.model.x0, t_end, opts);
+  out.initial_cooperation = out.model.cooperation(out.model.x0);
+  out.final_cooperation = out.model.cooperation(out.trajectory.final_state);
+  return out;
+}
+
+}  // namespace egt::analysis::meanfield

@@ -1,0 +1,71 @@
+// The mean-field preview engine (DESIGN.md §13): a SimConfig compiled
+// down to a ReplicatorModel over the config's *enumerable* pure-strategy
+// classes, integrated in milliseconds instead of simulated in minutes —
+// the ~1000x-faster trajectory predictor behind `run_simulation
+// --preview` and the per-preset simcheck --stats observables.
+//
+// The compilation is exact in expectation: class-pair payoffs come from
+// the same analytic kernels the fitness tier uses (PairEvaluator /
+// spec::expected_game), the drift carries the engine's event rates, and
+// the initial mix is classified from the very population
+// make_initial_population(config) would hand the agent engine. What the
+// mean field drops is finite-N fluctuation — so previews are previews,
+// and simcheck quantifies the gap at 99% confidence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/meanfield/replicator.hpp"
+#include "core/config.hpp"
+#include "game/strategy.hpp"
+
+namespace egt::analysis::meanfield {
+
+/// A SimConfig compiled to its mean-field model.
+struct PreviewModel {
+  ReplicatorModel model;
+  /// The enumerated strategy classes, index-aligned with the model: all
+  /// 2^(4^memory) pure binary strategies (memory <= 1), or the m one-hot
+  /// actions of an n-way game.
+  std::vector<game::Strategy> classes;
+  std::vector<std::string> labels;  ///< Strategy::to_string per class
+  /// Cooperation propensity per class: mean cooperation probability over
+  /// the strategy's states (binary), or the action-0 share (n-way) — the
+  /// weight vector turning a strategy mix into the headline number.
+  std::vector<double> coop;
+  /// Initial abundance: make_initial_population(config) classified into
+  /// the classes above (so the preview starts exactly where the agent
+  /// run would).
+  std::vector<double> x0;
+
+  /// Mix-weighted cooperation propensity of an abundance vector.
+  double cooperation(const std::vector<double>& x) const;
+};
+
+/// True when `config` has a mean-field compilation: well-mixed,
+/// pairwise-comparison, matrix game (not public goods), pure strategy
+/// space with memory <= 1, and a class-representable mutation kernel
+/// (UniformProbs, or single-bit PureBitFlip). `why`, when given, gets the
+/// first failed requirement.
+bool preview_supported(const core::SimConfig& config,
+                       std::string* why = nullptr);
+
+/// Compile `config`. Throws std::invalid_argument with the
+/// preview_supported reason when unsupported.
+PreviewModel build_preview_model(const core::SimConfig& config);
+
+struct PreviewResult {
+  PreviewModel model;
+  ReplicatorResult trajectory;  ///< sampled over config.generations
+  double initial_cooperation = 0.0;
+  double final_cooperation = 0.0;
+};
+
+/// Compile and integrate over config.generations, sampling ~`samples`
+/// evenly spaced trajectory points.
+PreviewResult run_preview(const core::SimConfig& config,
+                          std::uint32_t samples = 200);
+
+}  // namespace egt::analysis::meanfield

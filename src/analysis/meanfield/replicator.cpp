@@ -1,0 +1,263 @@
+#include "analysis/meanfield/replicator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace egt::analysis::meanfield {
+
+namespace {
+
+void rk4_step(const ReplicatorModel& model, const std::vector<double>& y,
+              double h, std::vector<double>& out) {
+  const std::size_t d = y.size();
+  const auto k1 = model.drift(y);
+  std::vector<double> tmp(d);
+  for (std::size_t i = 0; i < d; ++i) tmp[i] = y[i] + 0.5 * h * k1[i];
+  const auto k2 = model.drift(tmp);
+  for (std::size_t i = 0; i < d; ++i) tmp[i] = y[i] + 0.5 * h * k2[i];
+  const auto k3 = model.drift(tmp);
+  for (std::size_t i = 0; i < d; ++i) tmp[i] = y[i] + h * k3[i];
+  const auto k4 = model.drift(tmp);
+  out.resize(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    out[i] = y[i] + (h / 6.0) * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+}  // namespace
+
+std::vector<double> ReplicatorModel::fitness(
+    const std::vector<double>& x) const {
+  std::vector<double> f(dim, 0.0);
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    double acc = 0.0;
+    const double* row = payoff.data() + static_cast<std::size_t>(i) * dim;
+    for (std::uint32_t j = 0; j < dim; ++j) acc += row[j] * x[j];
+    if (population >= 2) {
+      // Self-excluded finite-N fitness: a class-i member faces N-1
+      // opponents drawn from the population minus itself, so the i-vs-i
+      // term loses exactly one encounter (DESIGN.md §13).
+      const double n = static_cast<double>(population);
+      f[i] = (n * acc - row[i]) / (n - 1.0);
+    } else {
+      f[i] = acc;
+    }
+  }
+  return f;
+}
+
+std::vector<double> ReplicatorModel::drift(const std::vector<double>& x) const {
+  const auto f = fitness(x);
+  // One PC event per generation picks teacher T and learner L uniformly
+  // (distinct); adoption probability is Fermi. Gains minus losses for
+  // class i collapse to tanh(β Δf / 2); the 1/(N-1) is the exact
+  // teacher-learner pairing factor. population == 0 drops the finite-N
+  // prefactors (textbook imitation flow, time in sweeps).
+  const double imit_rate =
+      population >= 2 ? pc_rate / (static_cast<double>(population) - 1.0)
+                      : pc_rate;
+  const double mut_rate =
+      population >= 2 ? mutation_rate / static_cast<double>(population)
+                      : mutation_rate;
+  std::vector<double> dx(dim, 0.0);
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    double flow = 0.0;
+    for (std::uint32_t j = 0; j < dim; ++j) {
+      if (j == i) continue;
+      flow += x[j] * std::tanh(0.5 * beta * (f[i] - f[j]));
+    }
+    dx[i] = imit_rate * x[i] * flow;
+  }
+  if (mut_rate > 0.0) {
+    for (std::uint32_t i = 0; i < dim; ++i) {
+      double inflow = 0.0;
+      if (mutation.empty()) {
+        inflow = 1.0 / static_cast<double>(dim);  // uniform target kernel
+      } else {
+        for (std::uint32_t s = 0; s < dim; ++s) {
+          inflow += x[s] * mutation[static_cast<std::size_t>(s) * dim + i];
+        }
+      }
+      dx[i] += mut_rate * (inflow - x[i]);
+    }
+  }
+  return dx;
+}
+
+void ReplicatorModel::validate() const {
+  if (dim == 0) throw std::invalid_argument("ReplicatorModel: dim == 0");
+  if (payoff.size() != static_cast<std::size_t>(dim) * dim) {
+    throw std::invalid_argument("ReplicatorModel: payoff must be dim x dim");
+  }
+  if (!mutation.empty()) {
+    if (mutation.size() != static_cast<std::size_t>(dim) * dim) {
+      throw std::invalid_argument(
+          "ReplicatorModel: mutation kernel must be dim x dim (or empty)");
+    }
+    for (std::uint32_t s = 0; s < dim; ++s) {
+      double row = 0.0;
+      for (std::uint32_t t = 0; t < dim; ++t) {
+        const double p = mutation[static_cast<std::size_t>(s) * dim + t];
+        if (p < 0.0) {
+          throw std::invalid_argument(
+              "ReplicatorModel: negative mutation probability");
+        }
+        row += p;
+      }
+      if (std::abs(row - 1.0) > 1e-9) {
+        throw std::invalid_argument(
+            "ReplicatorModel: mutation kernel rows must sum to 1");
+      }
+    }
+  }
+  if (population == 1) {
+    throw std::invalid_argument(
+        "ReplicatorModel: population must be 0 (infinite) or >= 2");
+  }
+  if (!(beta >= 0.0)) throw std::invalid_argument("ReplicatorModel: beta < 0");
+  if (!(pc_rate >= 0.0 && pc_rate <= 1.0)) {
+    throw std::invalid_argument("ReplicatorModel: pc_rate outside [0, 1]");
+  }
+  if (!(mutation_rate >= 0.0 && mutation_rate <= 1.0)) {
+    throw std::invalid_argument("ReplicatorModel: mutation_rate outside [0,1]");
+  }
+}
+
+ReplicatorResult integrate(const ReplicatorModel& model,
+                           const std::vector<double>& x0, double t_end,
+                           const IntegrateOptions& opts) {
+  model.validate();
+  if (x0.size() != model.dim) {
+    throw std::invalid_argument("integrate: x0 has wrong dimension");
+  }
+  double sum0 = 0.0;
+  for (double v : x0) {
+    if (v < -1e-12) throw std::invalid_argument("integrate: x0 negative");
+    sum0 += v;
+  }
+  if (std::abs(sum0 - 1.0) > 1e-9) {
+    throw std::invalid_argument("integrate: x0 must lie on the simplex");
+  }
+  if (!(t_end >= 0.0)) throw std::invalid_argument("integrate: t_end < 0");
+
+  ReplicatorResult result;
+  std::vector<double> y = x0;
+  double t = 0.0;
+  result.times.push_back(0.0);
+  result.states.push_back(y);
+
+  const double max_step =
+      opts.max_step > 0.0 ? opts.max_step : std::max(t_end / 8.0, 1e-6);
+  double h = std::min(std::max(opts.initial_step, 1e-9), max_step);
+  double next_sample =
+      opts.sample_every > 0.0 ? opts.sample_every : t_end + 1.0;
+
+  std::vector<double> full(model.dim), half(model.dim), two_half(model.dim);
+  while (t < t_end) {
+    bool hit_sample = false;
+    double step = std::min(h, t_end - t);
+    if (opts.sample_every > 0.0 && next_sample <= t_end + 1e-12 &&
+        t + step >= next_sample - 1e-12) {
+      step = next_sample - t;
+      hit_sample = true;
+    }
+
+    rk4_step(model, y, step, full);
+    rk4_step(model, y, 0.5 * step, half);
+    rk4_step(model, half, 0.5 * step, two_half);
+
+    // Step doubling: RK4 local error ~ C h^5, so the half-step pair is
+    // 2^4 = 16x more accurate and err ≈ |Δ| / 15 estimates the
+    // half-step solution's error.
+    double err = 0.0;
+    for (std::uint32_t i = 0; i < model.dim; ++i) {
+      err = std::max(err, std::abs(two_half[i] - full[i]) / 15.0);
+    }
+    if (err > opts.tolerance && step > 1e-9) {
+      ++result.rejected_steps;
+      const double shrink =
+          0.9 * std::pow(opts.tolerance / err, 0.2);  // fifth-order control
+      h = step * std::clamp(shrink, 0.1, 0.5);
+      continue;
+    }
+
+    // Accept, with local extrapolation to fifth order.
+    for (std::uint32_t i = 0; i < model.dim; ++i) {
+      y[i] = two_half[i] + (two_half[i] - full[i]) / 15.0;
+    }
+    t += step;
+    ++result.steps;
+
+    // Simplex invariant: the drift sums to zero and RK preserves linear
+    // invariants, so any growth here is a bug or catastrophic rounding.
+    double sum = 0.0, min_v = 0.0;
+    for (double v : y) {
+      sum += v;
+      min_v = std::min(min_v, v);
+    }
+    result.max_simplex_drift =
+        std::max(result.max_simplex_drift, std::abs(sum - 1.0));
+    if (std::abs(sum - 1.0) > opts.simplex_tolerance ||
+        min_v < -opts.simplex_tolerance) {
+      throw std::runtime_error(
+          "replicator integrate: simplex invariant violated (|sum-1| = " +
+          std::to_string(std::abs(sum - 1.0)) +
+          ", min = " + std::to_string(min_v) + ") at t = " +
+          std::to_string(t));
+    }
+    // Boundary trajectories can land a rounding error below zero; clamp
+    // and renormalize so long integrations stay exactly on the simplex.
+    for (double& v : y) v = std::max(v, 0.0);
+    sum = 0.0;
+    for (double v : y) sum += v;
+    for (double& v : y) v /= sum;
+
+    if (hit_sample) {
+      result.times.push_back(t);
+      result.states.push_back(y);
+      next_sample += opts.sample_every;
+    }
+
+    if (err > 0.0) {
+      const double grow = 0.9 * std::pow(opts.tolerance / err, 0.2);
+      h = std::min(step * std::clamp(grow, 1.0, 4.0), max_step);
+    } else {
+      h = std::min(step * 4.0, max_step);
+    }
+  }
+
+  if (result.times.back() != t_end && t_end > 0.0) {
+    result.times.push_back(t_end);
+    result.states.push_back(y);
+  }
+  result.final_state = y;
+  return result;
+}
+
+std::vector<std::vector<double>> sample_at(const ReplicatorModel& model,
+                                           const std::vector<double>& x0,
+                                           const std::vector<double>& times,
+                                           const IntegrateOptions& opts) {
+  std::vector<std::vector<double>> out;
+  out.reserve(times.size());
+  std::vector<double> y = x0;
+  double t = 0.0;
+  for (double target : times) {
+    if (target < t - 1e-12) {
+      throw std::invalid_argument("sample_at: times must be non-decreasing");
+    }
+    if (target > t) {
+      IntegrateOptions seg = opts;
+      seg.sample_every = 0.0;
+      ReplicatorModel m = model;
+      const auto r = integrate(m, y, target - t, seg);
+      y = r.final_state;
+      t = target;
+    }
+    out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace egt::analysis::meanfield

@@ -1,0 +1,104 @@
+// Mean-field ground truth #1: the pairwise-comparison replicator flow
+// (DESIGN.md §13).
+//
+// The agent-based dynamics — Nature draws one teacher/learner pair per
+// generation and the learner adopts via the Fermi rule — has an exact
+// mean-field drift. With x the strategy-class abundance vector, Π the
+// pairwise per-round payoff table and f(x) the engine's (self-excluded)
+// fitness, the expected per-generation change of class i is
+//
+//   E[Δx_i | x] = pc_rate/(N-1) · x_i Σ_j x_j tanh(β (f_i - f_j) / 2)
+//               + mutation_rate/N · ((Mᵀx)_i - x_i)
+//
+// because a teacher-learner Fermi comparison gains minus losses collapses
+// to g(+δ) - g(-δ) = tanh(βδ/2). As N→∞ (rescaling time by N/pc_rate)
+// this is the imitation dynamics of Fontanari, whose β→0 limit is the
+// classic replicator equation — the correspondence simcheck --stats
+// validates against every engine. ReplicatorModel integrates exactly this
+// drift in *generation* time with adaptive RK4, so finite-N agent
+// trajectories are comparable without any time-unit gymnastics.
+//
+// Invariants: the drift sums to zero, so Σx is conserved; Runge-Kutta
+// methods preserve linear invariants exactly, and the integrator verifies
+// the simplex constraint (Σx = 1, x ≥ 0) after every accepted step —
+// drift beyond the tolerance throws instead of silently leaving the
+// simplex.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace egt::analysis::meanfield {
+
+/// The mean-field model of one well-mixed population: d strategy classes
+/// with a fixed pairwise payoff table. Build by hand for synthetic models
+/// or via preview.hpp's build_model for a full SimConfig.
+struct ReplicatorModel {
+  std::uint32_t dim = 0;
+  /// d x d row-major pairwise payoff of the row class against the column
+  /// class, on the engine's fitness scale (PerRoundAverage: per-round
+  /// expected payoff; Total: whole-game totals pre-multiplied by N-1 so
+  /// fitness() lands on raw sums).
+  std::vector<double> payoff;
+  /// Population size N >= 2: fitness self-excludes and the drift carries
+  /// the engine's exact 1/(N-1) and 1/N event prefactors. 0 = infinite
+  /// population (f = Πx, unit prefactors — the textbook flow, time then
+  /// measured in sweeps of N/pc_rate generations).
+  std::uint32_t population = 0;
+  double beta = 1.0;
+  double pc_rate = 1.0;
+  double mutation_rate = 0.0;
+  /// d x d row-stochastic mutation kernel: mutation[s*dim + t] is the
+  /// probability a mutation event on a class-s member yields class t.
+  /// Empty = uniform over all classes (MutationKernel::UniformProbs).
+  std::vector<double> mutation;
+
+  /// Engine fitness of every class at abundance x (self-excluded when
+  /// population >= 2).
+  std::vector<double> fitness(const std::vector<double>& x) const;
+
+  /// The mean-field drift dx/dt (t in generations for population >= 2).
+  std::vector<double> drift(const std::vector<double>& x) const;
+
+  /// Throws std::invalid_argument on inconsistent dimensions/parameters.
+  void validate() const;
+};
+
+struct IntegrateOptions {
+  /// Per-component local error target of the step doubling control.
+  double tolerance = 1e-9;
+  double initial_step = 1.0;   ///< generations
+  double max_step = 0.0;       ///< 0 = t_end / 8
+  /// Allowed |Σx - 1| drift before the simplex invariant check throws.
+  double simplex_tolerance = 1e-7;
+  /// Record the state every `sample_every` generations (0 = endpoints
+  /// only). The integrator shortens steps to land exactly on grid times.
+  double sample_every = 0.0;
+};
+
+struct ReplicatorResult {
+  std::vector<double> times;               ///< sample times (generations)
+  std::vector<std::vector<double>> states; ///< abundance vector per sample
+  std::vector<double> final_state;
+  std::uint64_t steps = 0;          ///< accepted RK4 steps
+  std::uint64_t rejected_steps = 0; ///< halved by the error control
+  double max_simplex_drift = 0.0;   ///< worst |Σx - 1| seen (post-check)
+};
+
+/// Integrate the model from `x0` (a simplex point) for `t_end` generations
+/// with adaptive RK4 (step doubling, fifth-order error estimate). Throws
+/// std::invalid_argument on a bad model/x0 and std::runtime_error if the
+/// simplex invariant degrades beyond opts.simplex_tolerance.
+ReplicatorResult integrate(const ReplicatorModel& model,
+                           const std::vector<double>& x0, double t_end,
+                           const IntegrateOptions& opts = {});
+
+/// State at a list of times (convenience over one integrate call;
+/// `times` must be non-decreasing, starting at >= 0).
+std::vector<std::vector<double>> sample_at(const ReplicatorModel& model,
+                                           const std::vector<double>& x0,
+                                           const std::vector<double>& times,
+                                           const IntegrateOptions& opts = {});
+
+}  // namespace egt::analysis::meanfield

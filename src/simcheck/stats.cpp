@@ -4,10 +4,15 @@
 #include <array>
 #include <cmath>
 #include <sstream>
+#include <unordered_map>
 
 #include "analysis/fixation.hpp"
+#include "analysis/meanfield/moran.hpp"
+#include "analysis/meanfield/preview.hpp"
 #include "core/engine.hpp"
 #include "game/ipd.hpp"
+#include "game/named.hpp"
+#include "game/spec/registry.hpp"
 #include "game/strategy.hpp"
 #include "pop/fermi.hpp"
 #include "pop/nature.hpp"
@@ -236,7 +241,234 @@ ObservableCheck check_cooperation_rate(std::uint64_t seed, bool quick) {
   return check;
 }
 
+// FNV-1a over the preset name: a build-independent per-preset seed fold
+// (std::hash would pin different streams on different stdlibs).
+std::uint64_t fold_name(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Observables 6 & 7 share the hawk-dove invasion setup: the fitness gap
+// between a hawk mutant and dove residents varies with the mutant count,
+// so no constant-gamma closed form exists — the exact chain solve is the
+// only ground truth.
+core::SimConfig hawk_dove_invasion_config(std::uint64_t seed) {
+  core::SimConfig cfg;
+  cfg.game = *game::find_game("hawk_dove");
+  cfg.memory = 0;
+  cfg.ssets = 8;
+  cfg.generations = 1;  // unused: fixation runs until absorption
+  cfg.pc_rate = 1.0;
+  cfg.mutation_rate = 0.0;
+  cfg.beta = 1.0;
+  cfg.require_teacher_better = false;
+  cfg.space = pop::StrategySpace::Pure;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.fitness_scale = core::FitnessScale::PerRoundAverage;
+  cfg.seed = util::mix64(seed ^ 0x6d0c41e9a27f35ULL);
+  return cfg;
+}
+
+// Observable 5 (one per preset): R independent agent runs of a registry
+// preset, cooperation censused at four points along the trajectory, vs
+// the replicator-ODE prediction compiled from the identical SimConfig by
+// analysis::meanfield. Paired design: make_initial_population draws a
+// seed-dependent initial mix, so each replicate's ODE is integrated from
+// that replicate's own initial census — the paired difference cancels
+// the O(1/sqrt(N)) initial-mix scatter that would otherwise dominate.
+// The drift is exact in expectation, so the mean paired difference must
+// sit within z99 standard errors of zero plus a kBiasScale/N allowance
+// for the fluctuation-curvature coupling the mean field drops.
+ObservableCheck replicator_trajectory_check(const std::string& preset,
+                                            std::uint64_t seed, bool quick) {
+  const std::uint32_t replicates = quick ? 10 : 32;
+  const std::uint32_t n = quick ? 128 : 256;
+  const std::uint64_t generations = quick ? 200 : 400;
+  const double kBiasScale = 4.0;
+
+  const auto* spec = game::find_game(preset);
+  if (spec == nullptr) {
+    throw std::invalid_argument("unknown game preset: " + preset);
+  }
+  core::SimConfig cfg;
+  cfg.game = *spec;
+  cfg.memory = 0;
+  cfg.ssets = n;
+  cfg.generations = generations;
+  cfg.pc_rate = 1.0;
+  cfg.mutation_rate = 0.01;
+  cfg.beta = 2.0;
+  cfg.space = pop::StrategySpace::Pure;
+  cfg.mutation_kernel = pop::MutationKernel::UniformProbs;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.seed = util::mix64(seed ^ fold_name(preset));
+
+  const auto preview = analysis::meanfield::build_preview_model(cfg);
+
+  std::vector<double> census(4);
+  for (std::size_t i = 0; i < census.size(); ++i) {
+    census[i] = static_cast<double>(generations) * (i + 1) / census.size();
+  }
+
+  std::unordered_map<std::uint64_t, std::size_t> class_of;
+  for (std::size_t c = 0; c < preview.classes.size(); ++c) {
+    class_of[preview.classes[c].hash()] = c;
+  }
+  const auto census_mix = [&](const core::Engine& engine) {
+    std::vector<double> x(preview.classes.size(), 0.0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      x[class_of.at(engine.population().strategy(i).hash())] += 1.0 / n;
+    }
+    return x;
+  };
+
+  std::vector<double> diffs;
+  diffs.reserve(replicates);
+  double mean_obs = 0.0, mean_pred = 0.0;
+  for (std::uint32_t r = 0; r < replicates; ++r) {
+    auto trial = cfg;
+    trial.seed =
+        util::mix64(cfg.seed + 0x9e3779b97f4a7c15ULL * (r + 1));
+    core::Engine engine(trial);
+
+    const auto ode_states = analysis::meanfield::sample_at(
+        preview.model, census_mix(engine), census);
+    double pred = 0.0;
+    for (const auto& state : ode_states) pred += preview.cooperation(state);
+    pred /= static_cast<double>(ode_states.size());
+
+    double obs = 0.0;
+    std::uint64_t at = 0;
+    for (const double t : census) {
+      const auto target = static_cast<std::uint64_t>(t);
+      engine.run(target - at);
+      at = target;
+      obs += preview.cooperation(census_mix(engine));
+    }
+    obs /= static_cast<double>(census.size());
+
+    diffs.push_back(obs - pred);
+    mean_obs += obs / replicates;
+    mean_pred += pred / replicates;
+  }
+
+  double mean_diff = 0.0;
+  for (const double d : diffs) mean_diff += d;
+  mean_diff /= static_cast<double>(replicates);
+  double var = 0.0;
+  for (const double d : diffs) var += (d - mean_diff) * (d - mean_diff);
+  var /= static_cast<double>(replicates - 1);
+  const double se = std::sqrt(var / replicates);
+  const double allowance = kZ99TwoSided * se + kBiasScale / n;
+
+  ObservableCheck check;
+  check.name = "replicator_traj_" + preset;
+  check.observed = mean_obs;
+  check.expected_lo = mean_pred - allowance;
+  check.expected_hi = mean_pred + allowance;
+  check.passed = std::abs(mean_diff) <= allowance;
+  std::ostringstream os;
+  os << "paired ODE prediction " << mean_pred << ", replicate mean "
+     << mean_obs << " (diff " << mean_diff << " +/- " << se << " SE) over "
+     << replicates << " runs of " << generations << " generations (N " << n
+     << ", bias allowance " << kBiasScale / n << ")";
+  check.detail = os.str();
+  return check;
+}
+
+// Observable 6: the exact Moran solver must reproduce the constant-gap
+// closed form rho = (1 - gamma)/(1 - gamma^N) to 1e-12 relative on the
+// ALLD-vs-ALLC chain whose gap delta = (N+2)/(N-1) is k-independent.
+// Deterministic linear algebra: no Monte Carlo, no confidence interval.
+ObservableCheck check_moran_exact_closed_form(std::uint64_t seed) {
+  (void)seed;  // an algebraic identity: the seed plays no role
+  const unsigned n = 16;
+  const double beta = 1.0;
+
+  core::SimConfig cfg;
+  cfg.memory = 1;
+  cfg.ssets = n;
+  cfg.generations = 1;
+  cfg.game.rounds = 8;
+  cfg.pc_rate = 1.0;
+  cfg.mutation_rate = 0.0;
+  cfg.beta = beta;
+  cfg.space = pop::StrategySpace::Pure;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.fitness_scale = core::FitnessScale::PerRoundAverage;
+
+  const game::Strategy resident{game::PureStrategy(1)};  // ALLC
+  const game::Strategy mutant{game::PureStrategy::from_bits("1111")};
+  const double exact =
+      analysis::meanfield::exact_fixation_probability(cfg, resident, mutant);
+  const double delta = (static_cast<double>(n) + 2.0) /
+                       (static_cast<double>(n) - 1.0);
+  const double closed =
+      analysis::meanfield::constant_gap_closed_form(n, beta, delta);
+  const double relative = std::abs(exact - closed) / closed;
+
+  ObservableCheck check;
+  check.name = "moran_exact_closed_form";
+  check.observed = relative;
+  check.expected_lo = 0.0;
+  check.expected_hi = 1e-12;
+  check.passed = relative <= 1e-12;
+  std::ostringstream os;
+  os << "exact chain rho " << exact << " vs closed form " << closed
+     << " (N " << n << ", delta " << delta << "), relative error "
+     << relative;
+  check.detail = os.str();
+  return check;
+}
+
+// Observable 7: Monte-Carlo fixation of one hawk invading doves vs the
+// exact chain solve — the k-dependent-gap case the closed form cannot
+// cover, bounding analysis::fixation_probability by the solver's rho_1
+// at the Wilson 99% interval.
+ObservableCheck check_moran_mc_vs_exact(std::uint64_t seed, bool quick) {
+  const std::uint32_t trials = quick ? 300 : 1200;
+  auto cfg = hawk_dove_invasion_config(seed);
+
+  const game::Strategy resident{game::PureStrategy(0)};  // all-dove
+  const game::Strategy mutant = game::named::all_d(0);   // all-hawk
+  const double exact =
+      analysis::meanfield::exact_fixation_probability(cfg, resident, mutant);
+  const double observed =
+      analysis::fixation_probability(cfg, resident, mutant, trials, 100000);
+  const auto fixed =
+      static_cast<std::uint64_t>(std::llround(observed * trials));
+  const auto ci = wilson(fixed, trials, kZ99TwoSided);
+
+  ObservableCheck check;
+  check.name = "moran_mc_vs_exact";
+  check.observed = observed;
+  check.expected_lo = ci.lo;
+  check.expected_hi = ci.hi;
+  check.passed = ci.contains(exact);
+  std::ostringstream os;
+  os << "fixations " << format_ratio(fixed, trials)
+     << ", exact chain solve rho_1 = " << exact << " (hawk into "
+     << cfg.ssets << " doves, beta " << cfg.beta << ")";
+  check.detail = os.str();
+  return check;
+}
+
 }  // namespace
+
+const std::vector<std::string>& replicator_stat_presets() {
+  static const std::vector<std::string> presets = {"ipd", "hawk_dove",
+                                                   "stag_hunt", "rps"};
+  return presets;
+}
+
+ObservableCheck check_replicator_trajectory(const std::string& preset,
+                                            std::uint64_t seed, bool quick) {
+  return replicator_trajectory_check(preset, seed, quick);
+}
 
 StatsReport run_statistical_suite(std::uint64_t seed, bool quick) {
   StatsReport report;
@@ -244,6 +476,11 @@ StatsReport run_statistical_suite(std::uint64_t seed, bool quick) {
   report.checks.push_back(check_fixation_probability(seed, quick));
   report.checks.push_back(check_stationary_uniform(seed, quick));
   report.checks.push_back(check_cooperation_rate(seed, quick));
+  for (const auto& preset : replicator_stat_presets()) {
+    report.checks.push_back(replicator_trajectory_check(preset, seed, quick));
+  }
+  report.checks.push_back(check_moran_exact_closed_form(seed));
+  report.checks.push_back(check_moran_mc_vs_exact(seed, quick));
   return report;
 }
 

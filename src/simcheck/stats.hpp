@@ -1,6 +1,6 @@
 // Paper-validation statistical suite: long Monte-Carlo runs of the real
-// engines checked against closed-form predictions at 99% confidence with
-// pinned seeds. Four observables:
+// engines checked against closed-form and mean-field predictions at 99%
+// confidence with pinned seeds. Observables:
 //   1. Fermi adoption rate — NatureAgent::decide_adoption frequency vs
 //      pop::fermi_probability (detailed balance of the imitation kernel).
 //   2. Fixation probability — a lone ALLD invading ALLC under pairwise
@@ -13,6 +13,18 @@
 //      uniform over all 16 tables (chi-square, df 15).
 //   4. Cooperation rate under noise — ALLC self-play with flip noise eps
 //      must cooperate at rate 1 - eps (binomial, Wilson interval).
+//   5. Replicator trajectories (one observable per preset: ipd,
+//      hawk_dove, stag_hunt, rps) — replicated agent runs, cooperation
+//      censused along the trajectory, vs the mean-field ODE prediction
+//      from analysis::meanfield (DESIGN.md §13). Accepted when the
+//      replicate mean sits within z99 standard errors of the ODE plus an
+//      O(1/N) finite-population allowance.
+//   6. Exact Moran solver identity — the transition-matrix fixation
+//      solve must reproduce the constant-gap closed form to 1e-12
+//      relative (deterministic linear algebra, no Monte Carlo).
+//   7. Moran MC vs exact — Monte-Carlo fixation of a hawk invading doves
+//      (no closed form: the payoff gap varies with the mutant count) vs
+//      the exact chain solve, Wilson interval.
 // Deterministic: same seed, same verdicts.
 #pragma once
 
@@ -64,7 +76,19 @@ struct StatsReport {
   }
 };
 
-/// Run all four observables. `quick` shrinks the Monte-Carlo budgets about
+/// Presets covered by the replicator-trajectory observables inside
+/// run_statistical_suite (the nightly sweep runs a superset).
+const std::vector<std::string>& replicator_stat_presets();
+
+/// Mean-field cross-validation for one registry preset: replicated agent
+/// runs censused along the trajectory vs the replicator-ODE prediction
+/// compiled from the identical SimConfig. Any preset the preview engine
+/// supports is accepted (throws std::invalid_argument otherwise), so the
+/// nightly sweep can range beyond replicator_stat_presets().
+ObservableCheck check_replicator_trajectory(const std::string& preset,
+                                            std::uint64_t seed, bool quick);
+
+/// Run all observables. `quick` shrinks the Monte-Carlo budgets about
 /// 5x for CI smoke use (the confidence machinery keeps the false-positive
 /// rate at the same 1%-per-observable either way).
 StatsReport run_statistical_suite(std::uint64_t seed, bool quick = false);

@@ -65,6 +65,40 @@ TEST(Fixation, GivesUpAfterBudget) {
   EXPECT_EQ(engine.generation(), 200u);
 }
 
+TEST(Fixation, CheckIntervalLargerThanBudgetStillChecksTheBoundary) {
+  // Regression: with check_interval > max_generations the single stride
+  // must be clamped to the budget and followed by a census — a fixation
+  // reached inside the budget may not be silently missed.
+  auto cfg = base_config();
+  cfg.ssets = 2;
+  cfg.memory = 0;
+  cfg.beta = 50.0;  // ALLD -> ALLC adoption only; fixation in ~2 events
+  pop::NatureAgent nature(cfg.nature_config());
+  std::vector<game::Strategy> ss = {game::Strategy(game::PureStrategy(0)),
+                                    game::named::all_d(0)};
+  core::Engine engine(cfg, core::Engine::RestoredState{
+                               0, nature.save_state(),
+                               pop::Population(std::move(ss))});
+  const auto result =
+      run_until_fixation(engine, 50, 1.0, /*check_interval=*/1000);
+  EXPECT_TRUE(result.fixated);
+  EXPECT_EQ(result.generation, 50u);  // the one (clamped) boundary census
+  EXPECT_EQ(engine.generation(), 50u);
+}
+
+TEST(Fixation, NonDividingIntervalRunsExactlyTheBudget) {
+  // 16 does not divide 10: the loop must clamp the final stride, running
+  // exactly max_generations — never rounding up to the next interval.
+  auto cfg = base_config();
+  cfg.pc_rate = 0.0;  // nothing changes: fixation unreachable
+  core::Engine engine(cfg);
+  const auto result = run_until_fixation(engine, 10, 1.0, 16);
+  EXPECT_FALSE(result.fixated);
+  EXPECT_EQ(engine.generation(), 10u);
+  // The boundary census still ran and reported the dominant share.
+  EXPECT_GT(result.final_dominant_fraction, 0.0);
+}
+
 TEST(Fixation, ValidatesArguments) {
   auto cfg = base_config();
   core::Engine engine(cfg);

@@ -1,0 +1,210 @@
+#include "analysis/meanfield/moran.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/fixation.hpp"
+#include "game/named.hpp"
+#include "simcheck/stats.hpp"
+
+namespace egt::analysis::meanfield {
+namespace {
+
+/// The fixation_test.cpp setting: paper payoff [3,0,4,1], memory-one,
+/// PerRoundAverage, where an ALLD mutant leads every ALLC resident by the
+/// k-independent gap delta = (N+2)/(N-1).
+core::SimConfig alld_vs_allc_config(std::uint32_t n) {
+  core::SimConfig cfg;
+  cfg.memory = 1;
+  cfg.ssets = n;
+  cfg.generations = 1;
+  cfg.game.rounds = 8;
+  cfg.pc_rate = 1.0;
+  cfg.mutation_rate = 0.0;
+  cfg.beta = 1.0;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.fitness_scale = core::FitnessScale::PerRoundAverage;
+  cfg.seed = 99;
+  return cfg;
+}
+
+game::Strategy allc() { return game::named::all_c(1); }
+game::Strategy alld() { return game::named::all_d(1); }
+
+TEST(MoranExact, ReproducesTheConstantGapClosedForm) {
+  // The acceptance-criterion pin: the full chain solve must land on
+  // rho = (1 - gamma) / (1 - gamma^N) to <= 1e-12 relative.
+  for (const std::uint32_t n : {4u, 8u, 16u, 32u}) {
+    const auto cfg = alld_vs_allc_config(n);
+    const auto chain = build_moran_chain(cfg, allc(), alld());
+    const double delta = (static_cast<double>(n) + 2.0) /
+                         (static_cast<double>(n) - 1.0);
+    for (std::uint32_t k = 1; k < n; ++k) {
+      EXPECT_NEAR(chain.delta[k], delta, 1e-12) << "N " << n << " k " << k;
+    }
+    const double rho = solve(chain).fixation[1];
+    const double closed = constant_gap_closed_form(n, cfg.beta, delta);
+    EXPECT_NEAR(rho, closed, 1e-12 * closed) << "N " << n;
+    // ... and against the simcheck helper's independent expression.
+    EXPECT_NEAR(rho, simcheck::fermi_fixation_probability(delta, cfg.beta, n),
+                1e-12 * closed);
+    EXPECT_NEAR(exact_fixation_probability(cfg, allc(), alld()), rho, 0.0);
+  }
+}
+
+TEST(MoranExact, NeutralChainFixatesAtKOverN) {
+  auto cfg = alld_vs_allc_config(12);
+  cfg.beta = 0.0;
+  const auto sol = solve(build_moran_chain(cfg, allc(), alld()));
+  for (std::uint32_t k = 0; k <= 12; ++k) {
+    EXPECT_NEAR(sol.fixation[k], k / 12.0, 1e-13) << "k " << k;
+  }
+}
+
+TEST(MoranExact, FixationVectorIsMonotoneWithAbsorbingEnds) {
+  const auto cfg = alld_vs_allc_config(10);
+  const auto sol = solve(build_moran_chain(cfg, allc(), alld()));
+  EXPECT_DOUBLE_EQ(sol.fixation.front(), 0.0);
+  EXPECT_DOUBLE_EQ(sol.fixation.back(), 1.0);
+  for (std::uint32_t k = 0; k < 10; ++k) {
+    EXPECT_LE(sol.fixation[k], sol.fixation[k + 1] + 1e-15);
+  }
+}
+
+TEST(MoranExact, ProductFormulaAgreesWithTheLinearSolve) {
+  // Two independent derivations of rho — the log-space gamma product and
+  // the tridiagonal boundary-value solve — must agree to fp precision,
+  // including on a chain with a k-dependent gap (coexistence game).
+  PairPayoffs hawk_dove{-0.5, 2.0, 0.0, 1.0};
+  for (const double beta : {0.0, 0.5, 3.0}) {
+    const auto chain =
+        build_moran_chain(24, hawk_dove, 1.0 / 23.0, beta, 0.7, false);
+    const auto product = solve(chain).fixation;
+    const auto linear = fixation_by_linear_solve(chain);
+    ASSERT_EQ(product.size(), linear.size());
+    for (std::size_t k = 0; k < product.size(); ++k) {
+      EXPECT_NEAR(product[k], linear[k], 1e-12) << "beta " << beta;
+    }
+  }
+}
+
+TEST(MoranExact, StrongSelectionStaysFiniteInLogSpace) {
+  // beta * delta * N far beyond exp range: the naive gamma product
+  // overflows; the log-space evaluation must still give rho in [0, 1].
+  const auto chain = build_moran_chain(
+      64, PairPayoffs{0.0, -50.0, 50.0, 0.0}, 1.0, 40.0, 1.0, false);
+  const auto sol = solve(chain);
+  for (double r : sol.fixation) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+  EXPECT_LT(sol.fixation[1], 1e-9);  // the mutant is heavily disfavoured
+}
+
+TEST(MoranExact, AbsorptionTimesArePositiveInsideZeroAtEnds) {
+  const auto cfg = alld_vs_allc_config(8);
+  const auto sol = solve(build_moran_chain(cfg, allc(), alld()));
+  EXPECT_DOUBLE_EQ(sol.absorption_time.front(), 0.0);
+  EXPECT_DOUBLE_EQ(sol.absorption_time.back(), 0.0);
+  for (std::uint32_t k = 1; k < 8; ++k) {
+    EXPECT_GT(sol.absorption_time[k], 1.0);  // at least one generation
+    EXPECT_GT(sol.conditional_fixation_time[k], 0.0);
+    EXPECT_TRUE(std::isfinite(sol.conditional_fixation_time[k]));
+  }
+  EXPECT_DOUBLE_EQ(sol.conditional_fixation_time.back(), 0.0);
+}
+
+TEST(MoranExact, NeutralAbsorptionTimeMatchesTheKnownFormula) {
+  // Neutral chain: conditional fixation time from one mutant is the
+  // classic (N - 1)^2 / p_step where transitions fire at rate
+  // pc * k (N - k) / (N (N - 1)) * 1/2 per direction. For the discrete
+  // chain the closed form is t1 = (N - 1) * sum_{k=1}^{N-1} (1/k) /
+  // T+_1-ish — rather than re-derive, pin detailed balance instead:
+  // theta_k = rho_k * tau_k must satisfy the defining recurrence.
+  auto cfg = alld_vs_allc_config(9);
+  cfg.beta = 0.0;
+  const auto chain = build_moran_chain(cfg, allc(), alld());
+  const auto sol = solve(chain);
+  for (std::uint32_t k = 1; k < 9; ++k) {
+    const double theta_k = sol.fixation[k] * sol.conditional_fixation_time[k];
+    const double theta_up =
+        k + 1 <= 8 ? sol.fixation[k + 1] * sol.conditional_fixation_time[k + 1]
+                   : 0.0;
+    const double theta_dn =
+        k >= 2 ? sol.fixation[k - 1] * sol.conditional_fixation_time[k - 1]
+               : 0.0;
+    const double residual = chain.t_plus[k] * theta_up -
+                            (chain.t_plus[k] + chain.t_minus[k]) * theta_k +
+                            chain.t_minus[k] * theta_dn + sol.fixation[k];
+    EXPECT_NEAR(residual, 0.0, 1e-9) << "k " << k;
+  }
+}
+
+TEST(MoranExact, TeacherBetterGateMakesDominantInvasionsCertain) {
+  // With the gate on and a strictly dominant mutant, the chain can only
+  // move up: fixation is certain from every interior state.
+  auto cfg = alld_vs_allc_config(8);
+  cfg.require_teacher_better = true;
+  const auto sol = solve(build_moran_chain(cfg, allc(), alld()));
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    EXPECT_DOUBLE_EQ(sol.fixation[k], 1.0) << "k " << k;
+  }
+}
+
+TEST(MoranExact, GateWithZeroGapIsRejectedAsStuck) {
+  // Identical strategies under the gate: no adoption can ever fire, the
+  // interior states are absorbing and fixation is undefined — exactly the
+  // configuration analysis::fixation_probability would spin on forever.
+  auto cfg = alld_vs_allc_config(6);
+  cfg.require_teacher_better = true;
+  EXPECT_THROW((void)build_moran_chain(cfg, allc(), allc()),
+               std::invalid_argument);
+}
+
+TEST(MoranExact, RejectsNonWellMixedAndNonPcConfigs) {
+  auto structured = alld_vs_allc_config(8);
+  structured.interaction.kind = core::InteractionSpec::Kind::Ring;
+  EXPECT_THROW((void)build_moran_chain(structured, allc(), alld()),
+               std::invalid_argument);
+
+  auto moran_rule = alld_vs_allc_config(8);
+  moran_rule.update_rule = pop::UpdateRule::Moran;
+  EXPECT_THROW((void)build_moran_chain(moran_rule, allc(), alld()),
+               std::invalid_argument);
+
+  auto pgg = alld_vs_allc_config(8);
+  pgg.memory = 0;
+  pgg.game = game::GameSpec::public_goods("pgg_t", 3.0, 1.0);
+  EXPECT_THROW((void)mean_pair_payoff(pgg, allc(), alld()),
+               std::invalid_argument);
+}
+
+// Satellite: the Monte-Carlo estimator pinned against the exact solver at
+// N in {4, 8, 16} with Wilson 99.9% acceptance. Deterministic: the MC
+// trials are seeded, so the verdict never flakes.
+TEST(MoranExact, MonteCarloFixationLandsInsideTheWilsonInterval) {
+  struct Case {
+    std::uint32_t n;
+    std::uint32_t trials;
+  };
+  for (const auto [n, trials] :
+       {Case{4, 500}, Case{8, 400}, Case{16, 250}}) {
+    const auto cfg = alld_vs_allc_config(n);
+    const double exact = exact_fixation_probability(cfg, allc(), alld());
+    const double mc =
+        fixation_probability(cfg, allc(), alld(), trials, 100000);
+    const auto fixed =
+        static_cast<std::uint64_t>(std::llround(mc * trials));
+    // z = 3.29: 99.9% two-sided, keeping the pinned-seed test safe from
+    // an unlucky (but fixed) draw while still ~3-sigma tight.
+    const auto ci = simcheck::wilson(fixed, trials, 3.29);
+    EXPECT_TRUE(ci.contains(exact))
+        << "N " << n << ": exact " << exact << " outside [" << ci.lo << ", "
+        << ci.hi << "] from " << fixed << "/" << trials;
+  }
+}
+
+}  // namespace
+}  // namespace egt::analysis::meanfield

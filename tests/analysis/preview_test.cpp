@@ -1,0 +1,150 @@
+#include "analysis/meanfield/preview.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "game/spec/registry.hpp"
+
+namespace egt::analysis::meanfield {
+namespace {
+
+core::SimConfig preset_config(const std::string& game, int memory = 0) {
+  core::SimConfig cfg;
+  const auto* spec = game::find_game(game);
+  EXPECT_NE(spec, nullptr) << game;
+  cfg.game = *spec;
+  cfg.memory = memory;
+  cfg.ssets = 64;
+  cfg.generations = 4000;
+  cfg.pc_rate = 1.0;
+  cfg.mutation_rate = 0.01;
+  cfg.beta = 5.0;
+  cfg.space = pop::StrategySpace::Pure;
+  cfg.fitness_mode = core::FitnessMode::Analytic;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+TEST(Preview, MemoryZeroIpdEndsInDefection) {
+  const auto cfg = preset_config("ipd");
+  const auto r = run_preview(cfg);
+  ASSERT_EQ(r.model.classes.size(), 2u);
+  // The initial population is ~half cooperators; defection dominates the
+  // one-shot PD, so the mean field must drain cooperation.
+  EXPECT_GT(r.initial_cooperation, 0.2);
+  EXPECT_LT(r.initial_cooperation, 0.8);
+  EXPECT_LT(r.final_cooperation, 0.15);
+  EXPECT_LT(r.final_cooperation, r.initial_cooperation);
+}
+
+TEST(Preview, HawkDoveRelaxesToTheInteriorEquilibrium) {
+  auto cfg = preset_config("hawk_dove");
+  cfg.ssets = 16;
+  cfg.mutation_rate = 0.0;
+  cfg.beta = 2.0;
+  cfg.generations = 100000;
+  const auto r = run_preview(cfg);
+  // {R,S,T,P} = {1, 0, 2, -0.5}: the infinite-population ESS is hawk =
+  // 2/3, but the engine's self-excluded finite-N fitness shifts the
+  // zero-gap point to h* = (N + 1.5) / (1.5 N) — the preview model must
+  // carry exactly that correction. Class 1 (always-defect) is hawk; the
+  // cooperation headline is the dove share.
+  const double n = cfg.ssets;
+  const double h_star = (n + 1.5) / (1.5 * n);
+  EXPECT_NEAR(r.trajectory.final_state[1], h_star, 5e-3);
+  EXPECT_NEAR(r.final_cooperation, 1.0 - h_star, 5e-3);
+}
+
+TEST(Preview, MemoryOneEnumeratesAllSixteenTables) {
+  auto cfg = preset_config("ipd", /*memory=*/1);
+  const auto pm = build_preview_model(cfg);
+  ASSERT_EQ(pm.classes.size(), 16u);
+  ASSERT_EQ(pm.labels.size(), 16u);
+  EXPECT_EQ(std::set<std::string>(pm.labels.begin(), pm.labels.end()).size(),
+            16u);
+  const double total = std::accumulate(pm.x0.begin(), pm.x0.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Class 0 is the all-cooperate table, class 15 all-defect.
+  EXPECT_DOUBLE_EQ(pm.coop[0], 1.0);
+  EXPECT_DOUBLE_EQ(pm.coop[15], 0.0);
+}
+
+TEST(Preview, RpsPreviewStaysOnTheSimplexWithThreeClasses) {
+  auto cfg = preset_config("rps");
+  cfg.mutation_rate = 0.05;
+  const auto r = run_preview(cfg);
+  ASSERT_EQ(r.model.classes.size(), 3u);
+  EXPECT_LE(r.trajectory.max_simplex_drift, 1e-9);
+  double sum = 0.0;
+  for (double v : r.trajectory.final_state) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Preview, BitflipKernelBecomesAHammingNeighbourMatrix) {
+  auto cfg = preset_config("ipd", /*memory=*/1);
+  cfg.mutation_kernel = pop::MutationKernel::PureBitFlip;
+  cfg.mutation_bits = 1;
+  const auto pm = build_preview_model(cfg);
+  ASSERT_EQ(pm.model.mutation.size(), 16u * 16u);
+  for (std::size_t a = 0; a < 16; ++a) {
+    double row = 0.0;
+    for (std::size_t b = 0; b < 16; ++b) {
+      const double p = pm.model.mutation[a * 16 + b];
+      row += p;
+      const int hamming = __builtin_popcount(static_cast<unsigned>(a ^ b));
+      if (hamming == 1) {
+        EXPECT_DOUBLE_EQ(p, 0.25);
+      } else {
+        EXPECT_DOUBLE_EQ(p, 0.0);
+      }
+    }
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(Preview, InitialMixMatchesTheEnginePopulationExactly) {
+  const auto cfg = preset_config("donation");
+  const auto pm = build_preview_model(cfg);
+  // x0 must be a multiple of 1/ssets per class: it is a classification of
+  // the actual make_initial_population output, not an idealized 50/50.
+  for (double v : pm.x0) {
+    const double scaled = v * cfg.ssets;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+  }
+}
+
+TEST(Preview, UnsupportedConfigsAreReportedWithAReason) {
+  std::string why;
+
+  auto mixed = preset_config("ipd");
+  mixed.space = pop::StrategySpace::Mixed;
+  EXPECT_FALSE(preview_supported(mixed, &why));
+  EXPECT_NE(why.find("continuum"), std::string::npos);
+  EXPECT_THROW((void)build_preview_model(mixed), std::invalid_argument);
+
+  auto deep = preset_config("ipd", /*memory=*/2);
+  EXPECT_FALSE(preview_supported(deep, &why));
+
+  auto structured = preset_config("ipd");
+  structured.interaction.kind = core::InteractionSpec::Kind::Ring;
+  EXPECT_FALSE(preview_supported(structured, &why));
+
+  auto pgg = preset_config("pgg");
+  EXPECT_FALSE(preview_supported(pgg, &why));
+
+  auto multiflip = preset_config("ipd", /*memory=*/1);
+  multiflip.mutation_kernel = pop::MutationKernel::PureBitFlip;
+  multiflip.mutation_bits = 2;
+  EXPECT_FALSE(preview_supported(multiflip, &why));
+
+  EXPECT_TRUE(preview_supported(preset_config("stag_hunt"), &why)) << why;
+}
+
+}  // namespace
+}  // namespace egt::analysis::meanfield

@@ -1,0 +1,203 @@
+#include "analysis/meanfield/replicator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace egt::analysis::meanfield {
+namespace {
+
+/// Two-strategy model whose class-1 fitness leads class 0 by a constant
+/// `delta` regardless of the mix — the mean-field twin of the chain the
+/// fixation closed form pins.
+ReplicatorModel constant_gap_model(double delta, double beta,
+                                   double pc_rate) {
+  ReplicatorModel m;
+  m.dim = 2;
+  m.payoff = {0.0, 0.0, delta, delta};
+  m.population = 0;  // infinite: f = payoff * x, unit event rates
+  m.beta = beta;
+  m.pc_rate = pc_rate;
+  return m;
+}
+
+/// Hawk-Dove on the registry's numbers {R,S,T,P} = {1, 0, 2, -0.5}
+/// (class 0 = dove, class 1 = hawk): interior equilibrium at hawk = 2/3,
+/// where the fitness gap — and hence the tanh drift — vanishes for any
+/// beta.
+ReplicatorModel hawk_dove_model() {
+  ReplicatorModel m;
+  m.dim = 2;
+  m.payoff = {1.0, 0.0, 2.0, -0.5};
+  m.population = 0;
+  m.beta = 2.0;
+  m.pc_rate = 1.0;
+  return m;
+}
+
+ReplicatorModel rps_model() {
+  ReplicatorModel m;
+  m.dim = 3;
+  m.payoff = {0.0, -1.0, 1.0,  //
+              1.0, 0.0,  -1.0,  //
+              -1.0, 1.0, 0.0};
+  m.population = 0;
+  m.beta = 1.5;
+  m.pc_rate = 1.0;
+  return m;
+}
+
+TEST(Replicator, DriftSumsToZeroOnTheSimplex) {
+  const auto m = rps_model();
+  const std::vector<double> x = {0.5, 0.3, 0.2};
+  const auto dx = m.drift(x);
+  EXPECT_NEAR(dx[0] + dx[1] + dx[2], 0.0, 1e-15);
+}
+
+TEST(Replicator, SimplexInvariantHoldsOverLongIntegrations) {
+  const auto m = rps_model();
+  IntegrateOptions opts;
+  opts.sample_every = 25.0;
+  const auto r = integrate(m, {0.6, 0.25, 0.15}, 2000.0, opts);
+  EXPECT_LE(r.max_simplex_drift, 1e-9);
+  ASSERT_FALSE(r.states.empty());
+  for (const auto& state : r.states) {
+    double sum = 0.0;
+    for (double v : state) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  EXPECT_GT(r.steps, 0u);
+}
+
+TEST(Replicator, HawkDoveConvergesToTheEssMix) {
+  const auto m = hawk_dove_model();
+  const auto r = integrate(m, {0.9, 0.1}, 400.0);
+  EXPECT_NEAR(r.final_state[1], 2.0 / 3.0, 1e-6);
+  // ... from the other side of the equilibrium too.
+  const auto r2 = integrate(m, {0.05, 0.95}, 400.0);
+  EXPECT_NEAR(r2.final_state[1], 2.0 / 3.0, 1e-6);
+}
+
+TEST(Replicator, RpsCenterIsAFixedPoint) {
+  const auto m = rps_model();
+  const std::vector<double> center = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  const auto dx = m.drift(center);
+  for (double v : dx) EXPECT_NEAR(v, 0.0, 1e-15);
+  const auto r = integrate(m, center, 500.0);
+  for (double v : r.final_state) EXPECT_NEAR(v, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Replicator, ConstantGapMatchesTheLogisticClosedForm) {
+  // dx/dt = c x (1 - x) with c = pc * tanh(beta * delta / 2) has the
+  // exact solution x(t) = x0 e^{ct} / (1 + x0 (e^{ct} - 1)).
+  const double delta = 1.25, beta = 0.8, pc = 0.6, x0 = 0.07;
+  const auto m = constant_gap_model(delta, beta, pc);
+  const double c = pc * std::tanh(0.5 * beta * delta);
+  IntegrateOptions opts;
+  opts.tolerance = 1e-11;
+  for (const double t : {2.0, 7.5, 20.0, 60.0}) {
+    const auto r = integrate(m, {1.0 - x0, x0}, t, opts);
+    const double e = std::exp(c * t);
+    const double expect = x0 * e / (1.0 + x0 * (e - 1.0));
+    EXPECT_NEAR(r.final_state[1], expect, 1e-8) << "t = " << t;
+  }
+}
+
+TEST(Replicator, FiniteNPrefactorsSlowTheFlowByNMinusOne) {
+  // The finite-N drift is pc/(N-1) * the infinite-population drift when
+  // the payoff has no self-interaction correction (diagonal-free gap
+  // model): integrating N-1 times longer must land on the same point.
+  const double delta = 1.0;
+  auto inf = constant_gap_model(delta, 1.0, 1.0);
+  auto fin = inf;
+  fin.population = 33;
+  // Kill the self-exclusion difference: with payoff rows constant in the
+  // column, (N (Pi x)_i - Pi_ii) / (N - 1) == (Pi x)_i exactly.
+  const auto a = integrate(inf, {0.8, 0.2}, 10.0);
+  const auto b = integrate(fin, {0.8, 0.2}, 10.0 * (33 - 1));
+  EXPECT_NEAR(a.final_state[1], b.final_state[1], 1e-7);
+}
+
+TEST(Replicator, MutationPullsTowardTheKernelMix) {
+  // pc = 0 isolates the mutation term: dx/dt = mu/N (q - x) with uniform
+  // q, so the state relaxes to 1/dim exactly.
+  ReplicatorModel m = rps_model();
+  m.pc_rate = 0.0;
+  m.mutation_rate = 0.5;
+  m.population = 10;
+  const auto r = integrate(m, {1.0, 0.0, 0.0}, 2000.0);
+  for (double v : r.final_state) EXPECT_NEAR(v, 1.0 / 3.0, 1e-7);
+}
+
+TEST(Replicator, ExplicitMutationKernelIsHonoured) {
+  ReplicatorModel m;
+  m.dim = 2;
+  m.payoff = {0.0, 0.0, 0.0, 0.0};
+  m.population = 0;
+  m.pc_rate = 0.0;
+  m.mutation_rate = 1.0;
+  // Every mutation lands on class 1 regardless of source.
+  m.mutation = {0.0, 1.0, 0.0, 1.0};
+  const auto r = integrate(m, {1.0, 0.0}, 200.0);
+  EXPECT_NEAR(r.final_state[1], 1.0, 1e-9);
+}
+
+TEST(Replicator, TighterToleranceTakesMoreSteps) {
+  const auto m = rps_model();
+  IntegrateOptions loose;
+  loose.tolerance = 1e-5;
+  IntegrateOptions tight;
+  tight.tolerance = 1e-12;
+  const auto a = integrate(m, {0.6, 0.25, 0.15}, 300.0, loose);
+  const auto b = integrate(m, {0.6, 0.25, 0.15}, 300.0, tight);
+  EXPECT_GT(b.steps, a.steps);
+}
+
+TEST(Replicator, SampleGridIsHonoured) {
+  const auto m = hawk_dove_model();
+  IntegrateOptions opts;
+  opts.sample_every = 10.0;
+  const auto r = integrate(m, {0.5, 0.5}, 100.0, opts);
+  ASSERT_GE(r.times.size(), 11u);  // t = 0, 10, ..., 100
+  for (std::size_t i = 0; i + 1 < r.times.size(); ++i) {
+    EXPECT_LT(r.times[i], r.times[i + 1]);
+  }
+  EXPECT_DOUBLE_EQ(r.times.front(), 0.0);
+  EXPECT_DOUBLE_EQ(r.times.back(), 100.0);
+  EXPECT_NEAR(r.times[1], 10.0, 1e-9);
+}
+
+TEST(Replicator, SampleAtMatchesDirectIntegration) {
+  const auto m = hawk_dove_model();
+  const std::vector<double> x0 = {0.8, 0.2};
+  const auto states = sample_at(m, x0, {0.0, 5.0, 25.0, 80.0});
+  ASSERT_EQ(states.size(), 4u);
+  EXPECT_EQ(states[0], x0);
+  const auto direct = integrate(m, x0, 25.0);
+  EXPECT_NEAR(states[2][1], direct.final_state[1], 1e-8);
+}
+
+TEST(Replicator, ValidatesModelAndInitialState) {
+  ReplicatorModel bad;
+  bad.dim = 2;
+  bad.payoff = {1.0};  // wrong size
+  EXPECT_THROW((void)integrate(bad, {0.5, 0.5}, 1.0), std::invalid_argument);
+
+  const auto m = hawk_dove_model();
+  EXPECT_THROW((void)integrate(m, {0.5, 0.4}, 1.0),  // off the simplex
+               std::invalid_argument);
+  EXPECT_THROW((void)integrate(m, {0.5, 0.5, 0.0}, 1.0),  // wrong dim
+               std::invalid_argument);
+
+  ReplicatorModel bad_kernel = m;
+  bad_kernel.mutation = {0.5, 0.4, 0.5, 0.5};  // row 0 sums to 0.9
+  bad_kernel.mutation_rate = 0.1;
+  EXPECT_THROW((void)integrate(bad_kernel, {0.5, 0.5}, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace egt::analysis::meanfield

@@ -4,8 +4,21 @@
 
 #include <set>
 
+#include "core/config.hpp"
+
 namespace egt::pop {
 namespace {
+
+/// Adjacency snapshot for whole-graph equality checks.
+std::vector<std::vector<SSetId>> adjacency_of(const InteractionGraph& g) {
+  std::vector<std::vector<SSetId>> adj(g.nodes());
+  if (g.is_complete()) return adj;  // implicit: nothing to snapshot
+  for (SSetId i = 0; i < g.nodes(); ++i) {
+    const auto ns = g.neighbors(i);
+    adj[i].assign(ns.begin(), ns.end());
+  }
+  return adj;
+}
 
 TEST(Graph, CompleteIsImplicit) {
   const auto g = InteractionGraph::complete(10);
@@ -88,6 +101,87 @@ TEST(Graph, NeighbourListsAreSortedAndSelfFree) {
       ASSERT_FALSE(unique.count(i)) << "self-loop at " << i;
       ASSERT_TRUE(std::is_sorted(ns.begin(), ns.end()));
     }
+  }
+}
+
+// The cross-rank contract from the header: graphs are built
+// deterministically from (kind, parameters), so every rank reconstructs
+// the identical structure from the SimConfig alone — no topology is ever
+// communicated. Two independent builds must agree edge-for-edge.
+TEST(Graph, SimConfigReconstructionIsDeterministic) {
+  core::SimConfig ring;
+  ring.ssets = 24;
+  ring.interaction.kind = core::InteractionSpec::Kind::Ring;
+  ring.interaction.ring_k = 3;
+
+  core::SimConfig lattice;
+  lattice.ssets = 24;
+  lattice.interaction.kind = core::InteractionSpec::Kind::Lattice2D;
+  lattice.interaction.lattice_width = 6;
+  lattice.interaction.moore = true;
+
+  core::SimConfig complete;
+  complete.ssets = 24;
+
+  for (const auto& cfg : {ring, lattice, complete}) {
+    const auto a = core::make_interaction_graph(cfg);
+    const auto b = core::make_interaction_graph(cfg);
+    EXPECT_EQ(a.nodes(), b.nodes());
+    EXPECT_EQ(a.is_complete(), b.is_complete());
+    EXPECT_EQ(a.edges(), b.edges());
+    EXPECT_EQ(a.to_string(), b.to_string());
+    EXPECT_EQ(adjacency_of(a), adjacency_of(b));
+  }
+}
+
+TEST(Graph, SimConfigReconstructionMatchesTheFactories) {
+  core::SimConfig cfg;
+  cfg.ssets = 30;
+  cfg.interaction.kind = core::InteractionSpec::Kind::Ring;
+  cfg.interaction.ring_k = 2;
+  EXPECT_EQ(adjacency_of(core::make_interaction_graph(cfg)),
+            adjacency_of(InteractionGraph::ring(30, 2)));
+
+  cfg.interaction.kind = core::InteractionSpec::Kind::Lattice2D;
+  cfg.interaction.lattice_width = 5;  // height = ssets / width = 6
+  cfg.interaction.moore = false;
+  EXPECT_EQ(adjacency_of(core::make_interaction_graph(cfg)),
+            adjacency_of(InteractionGraph::lattice(5, 6, false)));
+
+  cfg.interaction.kind = core::InteractionSpec::Kind::Complete;
+  const auto g = core::make_interaction_graph(cfg);
+  EXPECT_TRUE(g.is_complete());
+  EXPECT_EQ(g.nodes(), 30u);
+}
+
+TEST(Graph, SimConfigGraphsKeepSymmetryAndDegreeInvariants) {
+  core::SimConfig ring;
+  ring.ssets = 17;  // odd size: wrap arithmetic has no mirror shortcuts
+  ring.interaction.kind = core::InteractionSpec::Kind::Ring;
+  ring.interaction.ring_k = 4;
+
+  core::SimConfig lattice;
+  lattice.ssets = 35;
+  lattice.interaction.kind = core::InteractionSpec::Kind::Lattice2D;
+  lattice.interaction.lattice_width = 7;  // 7 x 5 torus
+  lattice.interaction.moore = false;
+
+  for (const auto& cfg : {ring, lattice}) {
+    const auto g = core::make_interaction_graph(cfg);
+    const std::uint32_t expected_degree =
+        cfg.interaction.kind == core::InteractionSpec::Kind::Ring
+            ? 2 * cfg.interaction.ring_k
+            : 4;
+    std::uint64_t degree_sum = 0;
+    for (SSetId i = 0; i < g.nodes(); ++i) {
+      ASSERT_EQ(g.degree(i), expected_degree) << g.to_string() << " @" << i;
+      degree_sum += g.degree(i);
+      for (SSetId j : g.neighbors(i)) {
+        ASSERT_TRUE(g.are_neighbors(j, i))
+            << g.to_string() << ": " << i << "->" << j << " not symmetric";
+      }
+    }
+    EXPECT_EQ(g.edges(), degree_sum / 2);
   }
 }
 

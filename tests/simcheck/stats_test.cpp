@@ -60,7 +60,7 @@ TEST(FermiFixation, DisadvantageousMutantRarelyFixes) {
 
 TEST(StatisticalSuite, QuickSuitePassesWithPinnedSeed) {
   const auto report = run_statistical_suite(/*seed=*/20120427, /*quick=*/true);
-  ASSERT_EQ(report.checks.size(), 4u);
+  ASSERT_EQ(report.checks.size(), 10u);
   for (const auto& c : report.checks) {
     EXPECT_TRUE(c.passed) << c.name << ": observed " << c.observed << " in ["
                           << c.expected_lo << ", " << c.expected_hi << "] — "
@@ -70,13 +70,55 @@ TEST(StatisticalSuite, QuickSuitePassesWithPinnedSeed) {
   EXPECT_TRUE(report.passed());
 }
 
-TEST(StatisticalSuite, ReportsAllFourObservables) {
+TEST(StatisticalSuite, ReportsAllTenObservables) {
   const auto report = run_statistical_suite(/*seed=*/5, /*quick=*/true);
-  ASSERT_EQ(report.checks.size(), 4u);
+  ASSERT_EQ(report.checks.size(), 10u);
   EXPECT_EQ(report.checks[0].name, "fermi_adoption_rate");
   EXPECT_EQ(report.checks[1].name, "fixation_probability");
   EXPECT_EQ(report.checks[2].name, "stationary_uniform");
   EXPECT_EQ(report.checks[3].name, "cooperation_rate_noise");
+  EXPECT_EQ(report.checks[4].name, "replicator_traj_ipd");
+  EXPECT_EQ(report.checks[5].name, "replicator_traj_hawk_dove");
+  EXPECT_EQ(report.checks[6].name, "replicator_traj_stag_hunt");
+  EXPECT_EQ(report.checks[7].name, "replicator_traj_rps");
+  EXPECT_EQ(report.checks[8].name, "moran_exact_closed_form");
+  EXPECT_EQ(report.checks[9].name, "moran_mc_vs_exact");
+}
+
+TEST(StatisticalSuite, TrajectoryPresetsMatchTheSuiteOrder) {
+  const auto& presets = replicator_stat_presets();
+  ASSERT_EQ(presets.size(), 4u);
+  EXPECT_EQ(presets[0], "ipd");
+  EXPECT_EQ(presets[1], "hawk_dove");
+  EXPECT_EQ(presets[2], "stag_hunt");
+  EXPECT_EQ(presets[3], "rps");
+}
+
+TEST(ReplicatorTrajectoryCheck, SweepsPresetsBeyondTheSuiteList) {
+  // The nightly sweep runs registry presets outside the default four; the
+  // checker must accept any preview-compilable preset by name.
+  const auto c =
+      check_replicator_trajectory("donation", /*seed=*/20120427,
+                                  /*quick=*/true);
+  EXPECT_EQ(c.name, "replicator_traj_donation");
+  EXPECT_TRUE(c.passed) << c.detail;
+}
+
+TEST(ReplicatorTrajectoryCheck, RejectsUnknownPresets) {
+  EXPECT_THROW(
+      (void)check_replicator_trajectory("no_such_game", 1, true),
+      std::invalid_argument);
+}
+
+TEST(MoranObservables, ExactSolverCheckIsDeterministic) {
+  const auto a = run_statistical_suite(/*seed=*/1, /*quick=*/true).checks[8];
+  const auto b = run_statistical_suite(/*seed=*/2, /*quick=*/true).checks[8];
+  EXPECT_EQ(a.name, "moran_exact_closed_form");
+  // Pure linear algebra: the verdict and the observed relative error are
+  // seed-independent, and the tolerance is the 1e-12 acceptance bound.
+  EXPECT_TRUE(a.passed);
+  EXPECT_DOUBLE_EQ(a.observed, b.observed);
+  EXPECT_DOUBLE_EQ(a.expected_hi, 1e-12);
 }
 
 }  // namespace

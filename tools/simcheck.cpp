@@ -4,6 +4,8 @@
 //   --self-test        inject a broken dedup copy, expect catch + shrink
 //   --replay FILE      re-run a repro JSON, checking the recorded trace
 //   --stats            statistical suite only
+//   --stats-preset G   single full-budget mean-field trajectory check of
+//                      registry preset G (nightly per-preset sweep)
 //   --kernels          cross-validate the batch fitness kernels (AVX2 vs
 //                      scalar at 1e-12 relative, walkers bitwise)
 //   (default)          fuzz: sample --seeds configs from --start, run every
@@ -110,6 +112,21 @@ int run_stats(std::uint64_t seed, bool quick) {
   return 0;
 }
 
+int run_stats_preset(const std::string& preset, std::uint64_t seed,
+                     bool quick) {
+  const auto c =
+      simcheck::check_replicator_trajectory(preset, seed, quick);
+  std::cout << (c.passed ? "ok   " : "FAIL ") << "[" << c.name
+            << "]: observed " << c.observed << " in [" << c.expected_lo
+            << ", " << c.expected_hi << "] — " << c.detail << "\n";
+  if (!c.passed) {
+    std::cerr << "stats-preset: " << preset
+              << " outside the 99% confidence region\n";
+    return 1;
+  }
+  return 0;
+}
+
 int run_kernels(std::uint64_t seed) {
   const auto report = simcheck::run_kernel_checks(seed);
   std::cout << "kernels: avx2 "
@@ -152,6 +169,9 @@ int main(int argc, char** argv) {
   auto kernels = cli.flag("kernels", "cross-validate the batch fitness "
                                      "kernels (AVX2 vs scalar)");
   auto stats = cli.flag("stats", "run the statistical validation suite");
+  auto stats_preset = cli.opt<std::string>(
+      "stats-preset", "",
+      "run only the mean-field trajectory check for one registry preset");
   auto stats_seed =
       cli.opt<std::uint64_t>("stats-seed", 20120427, "statistical suite seed");
   auto quick = cli.flag("quick", "shrink the statistical Monte-Carlo "
@@ -162,6 +182,9 @@ int main(int argc, char** argv) {
     if (*self_test) return run_self_test(*stats_seed);
     if (*kernels) return run_kernels(*stats_seed);
     if (!replay_path->empty()) return run_replay(*replay_path);
+    if (!stats_preset->empty()) {
+      return run_stats_preset(*stats_preset, *stats_seed, *quick);
+    }
     if (*stats) return run_stats(*stats_seed, *quick);
 
     std::ostringstream counters;
